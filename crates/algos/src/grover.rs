@@ -1,0 +1,367 @@
+//! Grover's algorithm and its descendants — the paper's Sec. III-A.
+//!
+//! "To search a specific record in an unsorted database of N records,
+//! classical algorithms require O(N) operations, while Grover's algorithm
+//! achieves this in O(sqrt(N))." The unit of account is the *oracle query*:
+//! a Grover iteration makes exactly one query (applied in superposition), a
+//! classical scan makes one query per record probed. [`OracleCounter`]
+//! tracks both so the E6 experiment can regenerate the complexity curves.
+//!
+//! Included: textbook Grover with the optimal iteration count, the
+//! Boyer–Brassard–Høyer–Tapp (BBHT) loop for an unknown number of marked
+//! items, and Dürr–Høyer minimum finding (the bridge from search to
+//! optimization used by the Grover row of Table I \[31\]).
+
+use qdm_sim::state::StateVector;
+use rand::{Rng, RngExt};
+
+/// An oracle over `n`-bit records with query accounting.
+///
+/// `quantum_queries` counts superposed applications (one per Grover
+/// iteration); `classical_queries` counts per-record probes.
+pub struct OracleCounter<F: Fn(usize) -> bool> {
+    predicate: F,
+    /// Oracle applications in superposition.
+    pub quantum_queries: u64,
+    /// Individual classical probes.
+    pub classical_queries: u64,
+}
+
+impl<F: Fn(usize) -> bool> OracleCounter<F> {
+    /// Wraps a predicate.
+    pub fn new(predicate: F) -> Self {
+        Self { predicate, quantum_queries: 0, classical_queries: 0 }
+    }
+
+    /// Applies the phase oracle to a state (counts as ONE quantum query).
+    pub fn apply_phase_oracle(&mut self, state: &mut StateVector) {
+        self.quantum_queries += 1;
+        state.apply_phase_flip(&self.predicate);
+    }
+
+    /// Classical probe of one record.
+    pub fn classical_probe(&mut self, x: usize) -> bool {
+        self.classical_queries += 1;
+        (self.predicate)(x)
+    }
+
+    /// Direct (uncounted) evaluation — for verification only.
+    pub fn check(&self, x: usize) -> bool {
+        (self.predicate)(x)
+    }
+}
+
+/// The optimal Grover iteration count `floor(pi/4 * sqrt(N/M))` for `N`
+/// states with `M` marked.
+pub fn optimal_iterations(n_states: usize, n_marked: usize) -> usize {
+    if n_marked == 0 || n_marked >= n_states {
+        return 0;
+    }
+    let angle = ((n_marked as f64) / (n_states as f64)).sqrt().asin();
+    // k maximizing sin^2((2k+1) theta): round(pi / (4 theta) - 1/2).
+    ((std::f64::consts::FRAC_PI_4 / angle) - 0.5).round().max(0.0) as usize
+}
+
+/// Theoretical success probability after `k` Grover iterations with `M`
+/// marked states out of `N`.
+pub fn success_probability(n_states: usize, n_marked: usize, k: usize) -> f64 {
+    let theta = ((n_marked as f64) / (n_states as f64)).sqrt().asin();
+    ((2 * k + 1) as f64 * theta).sin().powi(2)
+}
+
+/// Runs `iterations` Grover iterations and returns the final state.
+pub fn grover_state<F: Fn(usize) -> bool>(
+    n_qubits: usize,
+    oracle: &mut OracleCounter<F>,
+    iterations: usize,
+) -> StateVector {
+    let mut state = StateVector::uniform(n_qubits);
+    for _ in 0..iterations {
+        oracle.apply_phase_oracle(&mut state);
+        state.invert_about_mean();
+    }
+    state
+}
+
+/// Textbook Grover search with a *known* number of marked items: runs the
+/// optimal number of iterations and measures once.
+pub fn grover_search<F: Fn(usize) -> bool>(
+    n_qubits: usize,
+    n_marked: usize,
+    oracle: &mut OracleCounter<F>,
+    rng: &mut impl Rng,
+) -> Option<usize> {
+    let n = 1usize << n_qubits;
+    let k = optimal_iterations(n, n_marked);
+    let mut state = grover_state(n_qubits, oracle, k);
+    let outcome = state.measure_all(rng);
+    oracle.classical_probe(outcome); // verification probe
+    if oracle.check(outcome) {
+        Some(outcome)
+    } else {
+        None
+    }
+}
+
+/// BBHT search for an *unknown* number of marked items. Returns a marked
+/// item or `None` after concluding (w.h.p.) that none exists.
+///
+/// Boyer, Brassard, Høyer & Tapp, "Tight bounds on quantum searching"
+/// (paper reference \[40\]).
+pub fn bbht_search<F: Fn(usize) -> bool>(
+    n_qubits: usize,
+    oracle: &mut OracleCounter<F>,
+    rng: &mut impl Rng,
+) -> Option<usize> {
+    let n = 1usize << n_qubits;
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = 6.0 / 5.0;
+    let mut m = 1.0f64;
+    let mut total_iterations = 0u64;
+    // After ~4.5 sqrt(N) total iterations without success, no solution w.h.p.
+    let budget = (4.5 * sqrt_n).ceil() as u64 + 3;
+    while total_iterations <= budget {
+        let j = rng.random_range(0..(m.ceil() as usize).max(1));
+        total_iterations += j as u64;
+        let mut state = grover_state(n_qubits, oracle, j);
+        let outcome = state.measure_all(rng);
+        if oracle.classical_probe(outcome) {
+            return Some(outcome);
+        }
+        m = (lambda * m).min(sqrt_n);
+    }
+    None
+}
+
+/// Result of Dürr–Høyer minimum finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinimumResult {
+    /// Index of the minimum found.
+    pub index: usize,
+    /// Key value at that index.
+    pub key: f64,
+    /// Total quantum oracle queries.
+    pub quantum_queries: u64,
+    /// Total classical verification probes.
+    pub classical_queries: u64,
+}
+
+/// Dürr–Høyer quantum minimum finding over keys `key(x)` for
+/// `x in 0..2^n`: repeated BBHT searches for "strictly better than the
+/// current threshold". This is how Grover's search becomes an optimizer
+/// (Groppe & Groppe \[31\] use it for transaction schedules).
+pub fn durr_hoyer_minimum(
+    n_qubits: usize,
+    key: impl Fn(usize) -> f64,
+    rng: &mut impl Rng,
+) -> MinimumResult {
+    let n = 1usize << n_qubits;
+    let mut threshold_idx = rng.random_range(0..n);
+    let mut threshold = key(threshold_idx);
+    let mut quantum_queries = 0u64;
+    let mut classical_queries = 1u64;
+    loop {
+        let t = threshold;
+        let mut oracle = OracleCounter::new(|x| key(x) < t);
+        match bbht_search(n_qubits, &mut oracle, rng) {
+            Some(better) => {
+                quantum_queries += oracle.quantum_queries;
+                classical_queries += oracle.classical_queries;
+                threshold_idx = better;
+                threshold = key(better);
+            }
+            None => {
+                quantum_queries += oracle.quantum_queries;
+                classical_queries += oracle.classical_queries;
+                break;
+            }
+        }
+    }
+    MinimumResult {
+        index: threshold_idx,
+        key: threshold,
+        quantum_queries,
+        classical_queries,
+    }
+}
+
+/// Builds the *gate-level* Grover circuit for a single marked state: the
+/// Hadamard wall, then `iterations` repetitions of (oracle, diffusion),
+/// where the oracle is a multi-controlled Z conjugated by X gates on the
+/// target's zero bits, and the diffusion operator is `H^n X^n (MCZ) X^n
+/// H^n`. This is what a gate-based machine would actually run — use it for
+/// depth/gate-count accounting under the device constraints of
+/// Sec. III-C.3; the state-level [`grover_state`] is the fast equivalent.
+///
+/// # Panics
+/// Panics if `n_qubits < 2` or the target is out of range.
+pub fn grover_circuit(n_qubits: usize, target: usize, iterations: usize) -> qdm_sim::circuit::Circuit {
+    use qdm_sim::circuit::{Circuit, Gate};
+    assert!(n_qubits >= 2, "gate-level Grover needs at least 2 qubits");
+    assert!(target < (1 << n_qubits), "target out of range");
+    let mut c = Circuit::new(n_qubits);
+    c.h_all();
+    let controls: Vec<usize> = (0..n_qubits - 1).collect();
+    let anchor = n_qubits - 1;
+    for _ in 0..iterations {
+        // Oracle: flip the phase of |target> only.
+        for q in 0..n_qubits {
+            if target & (1 << q) == 0 {
+                c.x(q);
+            }
+        }
+        c.push(Gate::Mcz(controls.clone(), anchor));
+        for q in 0..n_qubits {
+            if target & (1 << q) == 0 {
+                c.x(q);
+            }
+        }
+        // Diffusion: 2|s><s| - I, up to global phase.
+        for q in 0..n_qubits {
+            c.h(q);
+            c.x(q);
+        }
+        c.push(Gate::Mcz(controls.clone(), anchor));
+        for q in 0..n_qubits {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// Classical linear scan baseline: probes records in order until the
+/// predicate holds. Returns the index and the number of probes.
+pub fn classical_linear_search<F: Fn(usize) -> bool>(
+    n_states: usize,
+    oracle: &mut OracleCounter<F>,
+) -> Option<usize> {
+    (0..n_states).find(|&x| oracle.classical_probe(x))
+}
+
+/// Classical randomized search baseline (sampling with replacement).
+pub fn classical_random_search<F: Fn(usize) -> bool>(
+    n_states: usize,
+    oracle: &mut OracleCounter<F>,
+    max_probes: u64,
+    rng: &mut impl Rng,
+) -> Option<usize> {
+    for _ in 0..max_probes {
+        let x = rng.random_range(0..n_states);
+        if oracle.classical_probe(x) {
+            return Some(x);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn optimal_iteration_counts_match_theory() {
+        assert_eq!(optimal_iterations(4, 1), 1); // exact on 2 qubits
+        assert_eq!(optimal_iterations(1024, 1), 25); // ~ pi/4 * 32
+        assert_eq!(optimal_iterations(16, 4), 1);
+        assert_eq!(optimal_iterations(8, 0), 0);
+    }
+
+    #[test]
+    fn success_probability_peaks_at_optimum() {
+        let n = 256;
+        let k_opt = optimal_iterations(n, 1);
+        let p_opt = success_probability(n, 1, k_opt);
+        assert!(p_opt > 0.99, "p at optimum {p_opt}");
+        assert!(success_probability(n, 1, 0) < 0.01);
+        // Overshooting reduces success probability.
+        assert!(success_probability(n, 1, 2 * k_opt) < p_opt);
+    }
+
+    #[test]
+    fn grover_amplifies_marked_state() {
+        let target = 0b101101;
+        let mut oracle = OracleCounter::new(move |x| x == target);
+        let state = grover_state(6, &mut oracle, optimal_iterations(64, 1));
+        assert!(state.probability(target) > 0.99);
+        assert_eq!(oracle.quantum_queries, optimal_iterations(64, 1) as u64);
+    }
+
+    #[test]
+    fn grover_search_finds_target_with_quadratic_queries() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let target = 42;
+        let mut oracle = OracleCounter::new(move |x| x == target);
+        let found = grover_search(8, 1, &mut oracle, &mut rng);
+        assert_eq!(found, Some(target));
+        // sqrt(256) * pi/4 ~ 12 iterations, far fewer than 256 classical.
+        assert!(oracle.quantum_queries <= 13);
+        let mut coracle = OracleCounter::new(move |x| x == target);
+        assert_eq!(classical_linear_search(256, &mut coracle), Some(target));
+        assert_eq!(coracle.classical_queries, 43);
+    }
+
+    #[test]
+    fn bbht_finds_solution_with_unknown_m() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 3 marked items out of 128, count unknown to the caller.
+        let mut oracle = OracleCounter::new(|x| x == 7 || x == 99 || x == 111);
+        let found = bbht_search(7, &mut oracle, &mut rng).expect("should find one");
+        assert!(oracle.check(found));
+    }
+
+    #[test]
+    fn bbht_returns_none_when_empty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut oracle = OracleCounter::new(|_| false);
+        assert_eq!(bbht_search(5, &mut oracle, &mut rng), None);
+    }
+
+    #[test]
+    fn durr_hoyer_finds_minimum() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Key function with a unique minimum at 37.
+        let key = |x: usize| ((x as f64) - 37.0).abs() + 1.0;
+        let res = durr_hoyer_minimum(6, key, &mut rng);
+        assert_eq!(res.index, 37);
+        assert!((res.key - 1.0).abs() < 1e-12);
+        assert!(res.quantum_queries > 0);
+    }
+
+    #[test]
+    fn gate_level_grover_matches_state_level() {
+        let target = 0b1011;
+        let k = optimal_iterations(16, 1);
+        let circuit = grover_circuit(4, target, k);
+        let circuit_state = circuit.run();
+        let mut oracle = OracleCounter::new(move |x| x == target);
+        let fast_state = grover_state(4, &mut oracle, k);
+        // Same probabilities (the diffusion differs by a global phase only).
+        for i in 0..16 {
+            assert!(
+                (circuit_state.probability(i) - fast_state.probability(i)).abs() < 1e-9,
+                "index {i}"
+            );
+        }
+        assert!(circuit_state.probability(target) > 0.9);
+    }
+
+    #[test]
+    fn gate_level_grover_costs_scale_with_iterations() {
+        let c1 = grover_circuit(5, 3, 1);
+        let c2 = grover_circuit(5, 3, 2);
+        assert!(c2.gate_count() > c1.gate_count());
+        assert!(c2.depth() > c1.depth());
+        assert_eq!(c1.multi_qubit_gate_count(), 2); // one MCZ per oracle + diffusion
+    }
+
+    #[test]
+    fn classical_random_search_eventually_hits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut oracle = OracleCounter::new(|x| x == 3);
+        let found = classical_random_search(16, &mut oracle, 1000, &mut rng);
+        assert_eq!(found, Some(3));
+    }
+}

@@ -1,0 +1,56 @@
+//! # qdm-algos — quantum algorithms
+//!
+//! The "intermediate quantum algorithm" column of the paper's Table I and
+//! the algorithm boxes of its Fig. 2, implemented on the `qdm-sim`
+//! state-vector substrate:
+//!
+//! - [`grover`] — Grover search with oracle-query accounting, BBHT
+//!   (unknown #solutions) and Dürr–Høyer minimum finding (Sec. III-A);
+//! - [`qaoa`] — the Quantum Approximate Optimization Algorithm over QUBO /
+//!   Ising cost Hamiltonians (\[21\]–\[26\], \[28\]);
+//! - [`vqe`] — the Variational Quantum Eigensolver with a hardware-efficient
+//!   ansatz (\[26\]);
+//! - [`qft`] / [`qpe`] — quantum Fourier transform and phase estimation
+//!   (Fig. 2);
+//! - [`vqc`] — variational quantum circuits with parameter-shift training
+//!   for quantum machine learning (\[27\]);
+//! - [`optimize`] — the classical half of the hybrid loops: Nelder–Mead,
+//!   SPSA, grid search (Sec. III-C.2).
+
+#![warn(missing_docs)]
+
+pub mod adiabatic;
+pub mod counting;
+pub mod grover;
+pub mod optimize;
+pub mod qaoa;
+pub mod qft;
+pub mod qpe;
+pub mod vqc;
+pub mod vqe;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::adiabatic::{adiabatic_evolve, AdiabaticParams, AdiabaticResult};
+    pub use crate::counting::{quantum_count, quantum_count_median, CountEstimate};
+    pub use crate::grover::{
+        bbht_search, classical_linear_search, classical_random_search, durr_hoyer_minimum,
+        grover_circuit, grover_search, grover_state, optimal_iterations, success_probability,
+        MinimumResult,
+        OracleCounter,
+    };
+    pub use crate::optimize::{
+        grid_search_2d, nelder_mead, spsa, NelderMeadOptions, OptimResult, SpsaOptions,
+    };
+    pub use crate::qaoa::{
+        qaoa_circuit, qaoa_expectation, qaoa_gate_cost, qaoa_noisy_expectation, qaoa_optimize,
+        qaoa_state, EnergyTable, QaoaParams,
+        QaoaResult,
+    };
+    pub use crate::qft::{inverse_qft_circuit, qft_circuit};
+    pub use crate::qpe::{estimate_phase, outcome_distribution, qpe_circuit, PhaseEstimate};
+    pub use crate::vqc::Vqc;
+    pub use crate::vqe::{ansatz_circuit, ansatz_state, vqe_optimize, VqeParams, VqeResult};
+}
+
+pub use prelude::*;

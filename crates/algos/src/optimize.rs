@@ -1,0 +1,267 @@
+//! Classical parameter optimizers for variational quantum algorithms.
+//!
+//! QAOA, VQE and VQC are *hybrid* algorithms (Sec. III-C.2): a classical
+//! outer loop tunes circuit parameters against a quantum-evaluated
+//! objective. We provide derivative-free Nelder–Mead, the SPSA stochastic
+//! optimizer commonly used on noisy hardware, and a coarse grid search for
+//! low-dimensional landscapes.
+
+use rand::{Rng, RngExt};
+
+/// Result of a classical optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// Best parameter vector found.
+    pub params: Vec<f64>,
+    /// Objective value at `params`.
+    pub value: f64,
+    /// Number of objective evaluations.
+    pub evaluations: u64,
+}
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: u64,
+    /// Convergence tolerance on the simplex value spread.
+    pub tolerance: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self { max_evals: 2000, tolerance: 1e-8, initial_step: 0.5 }
+    }
+}
+
+/// Derivative-free Nelder–Mead simplex minimization.
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> OptimResult {
+    let n = x0.len();
+    assert!(n >= 1, "need at least one parameter");
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut evals: u64 = 0;
+    let mut eval = |x: &[f64], evals: &mut u64| -> f64 {
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        x[i] += opts.initial_step;
+        let v = eval(&x, &mut evals);
+        simplex.push((x, v));
+    }
+
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < opts.tolerance {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = eval(&reflect, &mut evals);
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            let fe = eval(&expand, &mut evals);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = eval(&contract, &mut evals);
+            if fc < worst.1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink towards the best.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, xi)| b + sigma * (xi - b))
+                        .collect();
+                    let v = eval(&x, &mut evals);
+                    *entry = (x, v);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (params, value) = simplex.swap_remove(0);
+    OptimResult { params, value, evaluations: evals }
+}
+
+/// Options for [`spsa`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpsaOptions {
+    /// Iterations.
+    pub iterations: usize,
+    /// Initial step size `a`.
+    pub a: f64,
+    /// Initial perturbation size `c`.
+    pub c: f64,
+}
+
+impl Default for SpsaOptions {
+    fn default() -> Self {
+        Self { iterations: 300, a: 0.2, c: 0.2 }
+    }
+}
+
+/// Simultaneous perturbation stochastic approximation: two objective
+/// evaluations per iteration regardless of dimension, robust to shot noise.
+pub fn spsa(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &SpsaOptions,
+    rng: &mut impl Rng,
+) -> OptimResult {
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut best = x.clone();
+    let mut best_val = f(&x);
+    let mut evals: u64 = 1;
+    let (big_a, alpha, gamma) = (0.1 * opts.iterations as f64, 0.602, 0.101);
+    let mut plus = vec![0.0; n];
+    let mut minus = vec![0.0; n];
+    for k in 0..opts.iterations {
+        let ak = opts.a / (k as f64 + 1.0 + big_a).powf(alpha);
+        let ck = opts.c / (k as f64 + 1.0).powf(gamma);
+        // Rademacher perturbation.
+        let delta: Vec<f64> =
+            (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect();
+        for i in 0..n {
+            plus[i] = x[i] + ck * delta[i];
+            minus[i] = x[i] - ck * delta[i];
+        }
+        let fp = f(&plus);
+        let fm = f(&minus);
+        evals += 2;
+        for i in 0..n {
+            let g = (fp - fm) / (2.0 * ck * delta[i]);
+            x[i] -= ak * g;
+        }
+        let fx = f(&x);
+        evals += 1;
+        if fx < best_val {
+            best_val = fx;
+            best.copy_from_slice(&x);
+        }
+    }
+    OptimResult { params: best, value: best_val, evaluations: evals }
+}
+
+/// Dense grid search over a 2-D box; returns the best grid point. Useful
+/// for the `p = 1` QAOA landscape where (gamma, beta) is 2-dimensional.
+pub fn grid_search_2d(
+    mut f: impl FnMut(f64, f64) -> f64,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    resolution: usize,
+) -> OptimResult {
+    assert!(resolution >= 2);
+    let mut best = (x_range.0, y_range.0, f64::INFINITY);
+    let mut evals = 0u64;
+    for i in 0..resolution {
+        let x = x_range.0 + (x_range.1 - x_range.0) * i as f64 / (resolution - 1) as f64;
+        for j in 0..resolution {
+            let y = y_range.0 + (y_range.1 - y_range.0) * j as f64 / (resolution - 1) as f64;
+            let v = f(x, y);
+            evals += 1;
+            if v < best.2 {
+                best = (x, y, v);
+            }
+        }
+    }
+    OptimResult { params: vec![best.0, best.1], value: best.2, evaluations: evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rosenbrock(x: &[f64]) -> f64 {
+        (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_quadratic() {
+        let res = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((res.params[0] - 3.0).abs() < 1e-3, "{:?}", res.params);
+        assert!((res.params[1] + 1.0).abs() < 1e-3);
+        assert!(res.value < 1e-6);
+    }
+
+    #[test]
+    fn nelder_mead_handles_rosenbrock() {
+        let res = nelder_mead(
+            rosenbrock,
+            &[-1.0, 1.0],
+            &NelderMeadOptions { max_evals: 5000, ..Default::default() },
+        );
+        assert!(res.value < 1e-4, "value {}", res.value);
+    }
+
+    #[test]
+    fn spsa_descends_smooth_quadratic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let res = spsa(
+            |x| x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum(),
+            &[3.0, -2.0, 0.5],
+            &SpsaOptions { iterations: 800, ..Default::default() },
+            &mut rng,
+        );
+        assert!(res.value < 0.05, "value {}", res.value);
+    }
+
+    #[test]
+    fn grid_search_finds_cell() {
+        let res = grid_search_2d(
+            |x, y| (x - 0.4).powi(2) + (y - 0.6).powi(2),
+            (0.0, 1.0),
+            (0.0, 1.0),
+            21,
+        );
+        assert!((res.params[0] - 0.4).abs() < 0.051);
+        assert!((res.params[1] - 0.6).abs() < 0.051);
+        assert_eq!(res.evaluations, 441);
+    }
+}

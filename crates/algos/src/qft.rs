@@ -1,0 +1,81 @@
+//! The quantum Fourier transform (QFT) — the subroutine behind quantum
+//! phase estimation (one of the algorithm boxes in the paper's Fig. 2).
+
+use qdm_sim::circuit::{Circuit, Gate};
+
+/// Builds the QFT circuit over `n` qubits (with final bit-reversal swaps),
+/// mapping `|x>` to `(1/sqrt(N)) sum_y e^{2 pi i x y / N} |y>`.
+pub fn qft_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for target in (0..n).rev() {
+        c.h(target);
+        for (k, control) in (0..target).rev().enumerate() {
+            let angle = std::f64::consts::PI / (1u64 << (k + 2)) as f64 * 2.0;
+            c.push(Gate::CPhase(control, target, angle));
+        }
+    }
+    for q in 0..n / 2 {
+        c.push(Gate::Swap(q, n - 1 - q));
+    }
+    c
+}
+
+/// The inverse QFT circuit.
+pub fn inverse_qft_circuit(n: usize) -> Circuit {
+    qft_circuit(n).dagger()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdm_sim::complex::Complex64;
+    use qdm_sim::state::StateVector;
+
+    fn dft_reference(x: usize, n_qubits: usize) -> Vec<Complex64> {
+        let n = 1usize << n_qubits;
+        (0..n)
+            .map(|y| {
+                Complex64::cis(2.0 * std::f64::consts::PI * (x * y) as f64 / n as f64)
+                    .scale(1.0 / (n as f64).sqrt())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn qft_matches_dft_on_basis_states() {
+        for n_qubits in 1..=4 {
+            let n = 1usize << n_qubits;
+            for x in 0..n {
+                let mut s = StateVector::basis_state(n_qubits, x);
+                qft_circuit(n_qubits).apply_to(&mut s);
+                let want = dft_reference(x, n_qubits);
+                for (y, w) in want.iter().enumerate() {
+                    assert!(
+                        s.amplitude(y).approx_eq(*w, 1e-9),
+                        "n={n_qubits} x={x} y={y}: {} vs {w}",
+                        s.amplitude(y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_qft_undoes_qft() {
+        for x in 0..8 {
+            let mut s = StateVector::basis_state(3, x);
+            qft_circuit(3).apply_to(&mut s);
+            inverse_qft_circuit(3).apply_to(&mut s);
+            assert!((s.probability(x) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let mut s = StateVector::new(4);
+        qft_circuit(4).apply_to(&mut s);
+        for y in 0..16 {
+            assert!((s.probability(y) - 1.0 / 16.0).abs() < 1e-9);
+        }
+    }
+}

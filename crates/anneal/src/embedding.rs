@@ -1,0 +1,617 @@
+//! Chimera topology and minor embedding — the *physical mapping* layer.
+//!
+//! Trummer & Koch's MQO-on-D-Wave pipeline \[20\] has two levels: the logical
+//! QUBO and "the energy formula coherent with the physical design of the
+//! quantum computer". An annealer's qubit graph is sparse (D-Wave 2X used
+//! the Chimera topology), so each logical variable is represented by a
+//! *chain* of physical qubits coupled ferromagnetically. This module
+//! implements the Chimera graph, a greedy minor-embedding heuristic, logical
+//! → physical Hamiltonian translation with a chain-strength heuristic, and
+//! majority-vote unembedding with chain-break statistics.
+
+use qdm_qubo::ising::IsingModel;
+use qdm_qubo::model::QuboModel;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The Chimera graph `C_m`: an `m x m` grid of `K_{4,4}` unit cells.
+///
+/// Qubit numbering: cell `(row, col)`, side `s` (0 = vertical partition,
+/// 1 = horizontal partition), index `k in 0..4`; linear id
+/// `((row * m + col) * 2 + s) * 4 + k`. Intra-cell edges form the complete
+/// bipartite graph between the two sides; vertical inter-cell edges connect
+/// side-0 qubits of vertically adjacent cells at equal `k`, horizontal
+/// inter-cell edges connect side-1 qubits of horizontally adjacent cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChimeraGraph {
+    m: usize,
+}
+
+impl ChimeraGraph {
+    /// Creates a `C_m` graph (D-Wave 2X was `C_12`, 1152 qubits).
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1);
+        Self { m }
+    }
+
+    /// Grid dimension `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total physical qubits: `8 m^2`.
+    pub fn n_qubits(&self) -> usize {
+        8 * self.m * self.m
+    }
+
+    /// Linear id for `(row, col, side, k)`.
+    pub fn qubit_id(&self, row: usize, col: usize, side: usize, k: usize) -> usize {
+        debug_assert!(row < self.m && col < self.m && side < 2 && k < 4);
+        ((row * self.m + col) * 2 + side) * 4 + k
+    }
+
+    /// Decomposes a linear id into `(row, col, side, k)`.
+    pub fn coords(&self, q: usize) -> (usize, usize, usize, usize) {
+        let k = q % 4;
+        let side = (q / 4) % 2;
+        let cell = q / 8;
+        (cell / self.m, cell % self.m, side, k)
+    }
+
+    /// Neighbors of a physical qubit.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        let (row, col, side, k) = self.coords(q);
+        let mut out = Vec::with_capacity(6);
+        // Intra-cell: complete bipartite to the other side.
+        for j in 0..4 {
+            out.push(self.qubit_id(row, col, 1 - side, j));
+        }
+        if side == 0 {
+            // Vertical couplers.
+            if row > 0 {
+                out.push(self.qubit_id(row - 1, col, 0, k));
+            }
+            if row + 1 < self.m {
+                out.push(self.qubit_id(row + 1, col, 0, k));
+            }
+        } else {
+            // Horizontal couplers.
+            if col > 0 {
+                out.push(self.qubit_id(row, col - 1, 1, k));
+            }
+            if col + 1 < self.m {
+                out.push(self.qubit_id(row, col + 1, 1, k));
+            }
+        }
+        out
+    }
+
+    /// Whether a physical edge exists between `a` and `b`.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a != b && self.neighbors(a).contains(&b)
+    }
+
+    /// All edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for q in 0..self.n_qubits() {
+            for nb in self.neighbors(q) {
+                if q < nb {
+                    out.push((q, nb));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A minor embedding: one chain of physical qubits per logical variable.
+#[derive(Debug, Clone, Default)]
+pub struct Embedding {
+    /// `chains[v]` lists the physical qubits representing logical `v`.
+    pub chains: Vec<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Total physical qubits used.
+    pub fn physical_qubits(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// Longest chain length.
+    pub fn max_chain_length(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Embedding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbedError {
+    /// Logical variable that could not be placed.
+    pub variable: usize,
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no room to embed logical variable {} — use a larger Chimera graph", self.variable)
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+/// Greedy minor-embedding heuristic (minorminer-style, simplified).
+///
+/// Variables are placed in decreasing-degree order. For each variable, a
+/// multi-source BFS runs from every already-embedded neighbor chain through
+/// *free* qubits; the root minimizing the summed distance is chosen and the
+/// BFS paths to each neighbor chain are claimed into the new chain.
+pub fn find_embedding(
+    logical_adjacency: &[Vec<usize>],
+    graph: &ChimeraGraph,
+) -> Result<Embedding, EmbedError> {
+    let n = logical_adjacency.len();
+    let np = graph.n_qubits();
+    let mut chains: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut used = vec![false; np];
+
+    // Decreasing degree order (stable for determinism).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(logical_adjacency[v].len()));
+
+    for &v in &order {
+        let embedded_neighbors: Vec<usize> = logical_adjacency[v]
+            .iter()
+            .copied()
+            .filter(|&u| !chains[u].is_empty())
+            .collect();
+
+        if embedded_neighbors.is_empty() {
+            // Place on the first free qubit.
+            let Some(q) = (0..np).find(|&q| !used[q]) else {
+                return Err(EmbedError { variable: v });
+            };
+            chains[v].push(q);
+            used[q] = true;
+            continue;
+        }
+
+        // BFS from each neighbor chain over free qubits.
+        // dist[u][q], parent[u][q] for neighbor list index u.
+        let mut dists: Vec<Vec<u32>> = Vec::with_capacity(embedded_neighbors.len());
+        let mut parents: Vec<Vec<usize>> = Vec::with_capacity(embedded_neighbors.len());
+        for &u in &embedded_neighbors {
+            let mut dist = vec![u32::MAX; np];
+            let mut parent = vec![usize::MAX; np];
+            let mut queue = VecDeque::new();
+            for &cq in &chains[u] {
+                // Chain qubits are sources at distance 0; we may not pass
+                // through them, only start from them.
+                for nb in graph.neighbors(cq) {
+                    if !used[nb] && dist[nb] > 1 {
+                        dist[nb] = 1;
+                        parent[nb] = cq;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            while let Some(q) = queue.pop_front() {
+                for nb in graph.neighbors(q) {
+                    if !used[nb] && dist[nb] == u32::MAX {
+                        dist[nb] = dist[q] + 1;
+                        parent[nb] = q;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            dists.push(dist);
+            parents.push(parent);
+        }
+
+        // Choose the free root minimizing total distance.
+        let mut best_root = usize::MAX;
+        let mut best_cost = u64::MAX;
+        for q in 0..np {
+            if used[q] {
+                continue;
+            }
+            let mut cost: u64 = 0;
+            let mut ok = true;
+            for dist in &dists {
+                if dist[q] == u32::MAX {
+                    ok = false;
+                    break;
+                }
+                cost += dist[q] as u64;
+            }
+            if ok && cost < best_cost {
+                best_cost = cost;
+                best_root = q;
+            }
+        }
+        if best_root == usize::MAX {
+            return Err(EmbedError { variable: v });
+        }
+
+        // Claim the root and the path towards each neighbor chain.
+        let mut chain = vec![best_root];
+        used[best_root] = true;
+        for (ui, _) in embedded_neighbors.iter().enumerate() {
+            let mut q = best_root;
+            loop {
+                let p = parents[ui][q];
+                debug_assert_ne!(p, usize::MAX, "path must lead to the neighbor chain");
+                // Stop when the parent is inside the neighbor chain (dist 0 source).
+                if used[p] {
+                    break;
+                }
+                used[p] = true;
+                chain.push(p);
+                q = p;
+            }
+        }
+        chains[v] = chain;
+    }
+
+    Ok(Embedding { chains })
+}
+
+/// The deterministic TRIAD clique embedding (Choi 2011): embeds the
+/// complete graph `K_n` into `C_m` whenever `n <= 4m`, with every chain of
+/// uniform length `m + 1`.
+///
+/// Chain `i = 4a + k` is the L-shaped path: horizontal qubits
+/// `(row a, col 0..=a, side 1, index k)` plus vertical qubits
+/// `(row a..m-1, col a, side 0, index k)`, meeting inside cell `(a, a)`.
+pub fn clique_embedding(n: usize, graph: &ChimeraGraph) -> Result<Embedding, EmbedError> {
+    let m = graph.m();
+    if n > 4 * m {
+        return Err(EmbedError { variable: 4 * m });
+    }
+    let mut chains = Vec::with_capacity(n);
+    for i in 0..n {
+        let (a, k) = (i / 4, i % 4);
+        let mut chain = Vec::with_capacity(m + 1);
+        for c in 0..=a {
+            chain.push(graph.qubit_id(a, c, 1, k));
+        }
+        for r in a..m {
+            chain.push(graph.qubit_id(r, a, 0, k));
+        }
+        chains.push(chain);
+    }
+    Ok(Embedding { chains })
+}
+
+/// Embedding strategy: try the greedy heuristic, and when it fails (dense
+/// logical graphs defeat it) fall back to the clique embedding, which
+/// handles any topology up to `K_{4m}`.
+pub fn find_embedding_auto(
+    logical_adjacency: &[Vec<usize>],
+    graph: &ChimeraGraph,
+) -> Result<Embedding, EmbedError> {
+    match find_embedding(logical_adjacency, graph) {
+        Ok(e) => Ok(e),
+        Err(first_err) => {
+            clique_embedding(logical_adjacency.len(), graph).map_err(|_| first_err)
+        }
+    }
+}
+
+/// Chain-strength heuristic: strong enough to dominate the logical
+/// couplings a chain participates in (1.5x the max absolute coefficient is
+/// the conventional default).
+pub fn chain_strength(logical: &IsingModel) -> f64 {
+    let mut m = 0.0f64;
+    for i in 0..logical.n_spins() {
+        m = m.max(logical.field(i).abs());
+    }
+    for (_, w) in logical.couplings_iter() {
+        m = m.max(w.abs());
+    }
+    1.5 * m.max(1.0)
+}
+
+/// Translates a logical Ising Hamiltonian onto the physical graph:
+/// fields split across chain members, couplings placed on available
+/// physical edges between chains, plus ferromagnetic intra-chain couplings
+/// of magnitude `strength`.
+///
+/// Returns the physical Hamiltonian over `graph.n_qubits()` spins.
+///
+/// # Panics
+/// Panics if two coupled logical variables have no physical edge between
+/// their chains (cannot happen for embeddings from [`find_embedding`]).
+pub fn embed_ising(
+    logical: &IsingModel,
+    embedding: &Embedding,
+    graph: &ChimeraGraph,
+    strength: f64,
+) -> IsingModel {
+    let mut phys = IsingModel::new(graph.n_qubits());
+    phys.add_constant(logical.constant());
+    for (v, chain) in embedding.chains.iter().enumerate() {
+        let share = logical.field(v) / chain.len() as f64;
+        for &q in chain {
+            phys.add_field(q, share);
+        }
+        // Ferromagnetic chain couplings on every intra-chain physical edge.
+        for (a_idx, &a) in chain.iter().enumerate() {
+            for &b in &chain[a_idx + 1..] {
+                if graph.has_edge(a, b) {
+                    phys.add_coupling(a, b, -strength);
+                    // Each chain edge shifts the ground energy by -strength;
+                    // compensate so aligned chains contribute zero.
+                    phys.add_constant(strength);
+                }
+            }
+        }
+    }
+    for ((i, j), w) in logical.couplings_iter() {
+        let cross: Vec<(usize, usize)> = embedding.chains[i]
+            .iter()
+            .flat_map(|&a| {
+                embedding.chains[j]
+                    .iter()
+                    .filter(move |&&b| graph.has_edge(a, b))
+                    .map(move |&b| (a, b))
+            })
+            .collect();
+        assert!(!cross.is_empty(), "no physical edge between chains {i} and {j}");
+        let share = w / cross.len() as f64;
+        for (a, b) in cross {
+            phys.add_coupling(a, b, share);
+        }
+    }
+    phys
+}
+
+/// Statistics from unembedding a physical sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnembedStats {
+    /// Number of chains whose qubits disagreed (broken chains).
+    pub broken_chains: usize,
+    /// Total chains.
+    pub total_chains: usize,
+}
+
+impl UnembedStats {
+    /// Fraction of chains broken in this sample.
+    pub fn break_rate(&self) -> f64 {
+        if self.total_chains == 0 {
+            0.0
+        } else {
+            self.broken_chains as f64 / self.total_chains as f64
+        }
+    }
+}
+
+/// Majority-vote unembedding: logical spin = sign of the chain's spin sum
+/// (ties resolved towards +1). `physical_spins[q] = true` means spin +1.
+pub fn unembed(
+    physical_spins: &[bool],
+    embedding: &Embedding,
+) -> (Vec<bool>, UnembedStats) {
+    let mut logical = Vec::with_capacity(embedding.chains.len());
+    let mut broken = 0;
+    for chain in &embedding.chains {
+        let ups = chain.iter().filter(|&&q| physical_spins[q]).count();
+        let downs = chain.len() - ups;
+        if ups > 0 && downs > 0 {
+            broken += 1;
+        }
+        logical.push(ups >= downs);
+    }
+    (logical, UnembedStats { broken_chains: broken, total_chains: embedding.chains.len() })
+}
+
+/// End-to-end annealer pipeline over physical hardware: logical QUBO →
+/// Ising → minor embedding → physical Ising → (solver runs on the physical
+/// QUBO) → majority-vote unembed → logical solution.
+///
+/// The `solve_physical` callback receives the *physical* QUBO; this keeps
+/// the module independent of any particular sampler.
+pub fn solve_on_chimera(
+    q: &QuboModel,
+    graph: &ChimeraGraph,
+    solve_physical: impl FnOnce(&QuboModel) -> Vec<bool>,
+) -> Result<(Vec<bool>, Embedding, UnembedStats), EmbedError> {
+    let logical_ising = IsingModel::from_qubo(q);
+    let mut adjacency = vec![Vec::new(); q.n_vars()];
+    for ((i, j), _) in q.quadratic_iter() {
+        adjacency[i].push(j);
+        adjacency[j].push(i);
+    }
+    let embedding = find_embedding_auto(&adjacency, graph)?;
+    let strength = chain_strength(&logical_ising);
+    let physical = embed_ising(&logical_ising, &embedding, graph, strength);
+    let physical_qubo = physical.to_qubo();
+    let physical_bits = solve_physical(&physical_qubo);
+    // bits -> spins: x=1 encodes spin -1.
+    let physical_spins: Vec<bool> = physical_bits.iter().map(|&b| !b).collect();
+    let (logical_spins, stats) = unembed(&physical_spins, &embedding);
+    let logical_bits = IsingModel::bits_from_spins(&logical_spins);
+    Ok((logical_bits, embedding, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::{simulated_annealing, SaParams};
+    use qdm_qubo::solve::solve_exact;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn chimera_qubit_count_and_coords_roundtrip() {
+        let g = ChimeraGraph::new(3);
+        assert_eq!(g.n_qubits(), 72);
+        for q in 0..g.n_qubits() {
+            let (r, c, s, k) = g.coords(q);
+            assert_eq!(g.qubit_id(r, c, s, k), q);
+        }
+    }
+
+    #[test]
+    fn chimera_edges_are_symmetric() {
+        let g = ChimeraGraph::new(2);
+        for q in 0..g.n_qubits() {
+            for nb in g.neighbors(q) {
+                assert!(g.neighbors(nb).contains(&q), "{q} -> {nb} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_cell_is_k44() {
+        let g = ChimeraGraph::new(1);
+        assert_eq!(g.n_qubits(), 8);
+        // Side 0 qubits connect to all side 1 qubits and nothing else.
+        for k in 0..4 {
+            let q = g.qubit_id(0, 0, 0, k);
+            let nbs = g.neighbors(q);
+            assert_eq!(nbs.len(), 4);
+        }
+        assert_eq!(g.edges().len(), 16);
+    }
+
+    #[test]
+    fn embeds_k4_into_small_chimera() {
+        // K4 logical graph.
+        let adj = vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]];
+        let g = ChimeraGraph::new(2);
+        let emb = find_embedding(&adj, &g).expect("K4 fits in C_2");
+        // Chains are disjoint.
+        let mut seen = std::collections::HashSet::new();
+        for chain in &emb.chains {
+            assert!(!chain.is_empty());
+            for &q in chain {
+                assert!(seen.insert(q), "qubit {q} reused");
+            }
+        }
+        // Every logical edge has a physical edge between chains.
+        for (v, nbs) in adj.iter().enumerate() {
+            for &u in nbs {
+                let has = emb.chains[v]
+                    .iter()
+                    .any(|&a| emb.chains[u].iter().any(|&b| g.has_edge(a, b)));
+                assert!(has, "no physical edge for logical {v}-{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn unembed_majority_vote() {
+        let emb = Embedding { chains: vec![vec![0, 1, 2], vec![3]] };
+        let spins = vec![true, true, false, false];
+        let (logical, stats) = unembed(&spins, &emb);
+        assert_eq!(logical, vec![true, false]);
+        assert_eq!(stats.broken_chains, 1);
+        assert!((stats.break_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_chimera_solve_matches_exact() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 6;
+        let mut q = QuboModel::new(n);
+        for i in 0..n {
+            q.add_linear(i, rng.random_range(-2.0..2.0));
+            for j in (i + 1)..n {
+                q.add_quadratic(i, j, rng.random_range(-1.0..1.0));
+            }
+        }
+        let exact = solve_exact(&q);
+        let g = ChimeraGraph::new(4);
+        let mut sa_rng = StdRng::seed_from_u64(22);
+        let (bits, emb, stats) = solve_on_chimera(&q, &g, |phys| {
+            simulated_annealing(phys, &SaParams::scaled_to(phys), &mut sa_rng).bits
+        })
+        .expect("embedding succeeds");
+        assert!(emb.physical_qubits() >= n);
+        assert!(stats.total_chains == n);
+        let got = q.energy(&bits);
+        // The embedded anneal should land at or near the optimum; allow a
+        // small slack because chains can break.
+        assert!(
+            got <= exact.energy + 0.5 * q.max_abs_coefficient(),
+            "embedded {} vs exact {}",
+            got,
+            exact.energy
+        );
+    }
+
+    #[test]
+    fn embedding_failure_is_reported() {
+        // K8 cannot fit into a single unit cell's 8 qubits with chains.
+        let n = 8;
+        let adj: Vec<Vec<usize>> =
+            (0..n).map(|v| (0..n).filter(|&u| u != v).collect()).collect();
+        let g = ChimeraGraph::new(1);
+        assert!(find_embedding(&adj, &g).is_err());
+        assert!(find_embedding_auto(&adj, &g).is_err());
+    }
+
+    fn assert_valid_embedding(emb: &Embedding, n: usize, g: &ChimeraGraph) {
+        // Disjoint chains.
+        let mut seen = std::collections::HashSet::new();
+        for chain in &emb.chains {
+            assert!(!chain.is_empty());
+            for &q in chain {
+                assert!(q < g.n_qubits());
+                assert!(seen.insert(q), "qubit {q} reused");
+            }
+        }
+        // Each chain is connected.
+        for chain in &emb.chains {
+            let set: std::collections::HashSet<usize> = chain.iter().copied().collect();
+            let mut reached = std::collections::HashSet::new();
+            let mut stack = vec![chain[0]];
+            reached.insert(chain[0]);
+            while let Some(q) = stack.pop() {
+                for nb in g.neighbors(q) {
+                    if set.contains(&nb) && reached.insert(nb) {
+                        stack.push(nb);
+                    }
+                }
+            }
+            assert_eq!(reached.len(), chain.len(), "chain not connected: {chain:?}");
+        }
+        // Every logical pair has a physical coupler (clique property).
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ok = emb.chains[i]
+                    .iter()
+                    .any(|&a| emb.chains[j].iter().any(|&b| g.has_edge(a, b)));
+                assert!(ok, "chains {i} and {j} not coupled");
+            }
+        }
+    }
+
+    #[test]
+    fn clique_embedding_is_valid_for_full_capacity() {
+        for m in 1..=4 {
+            let g = ChimeraGraph::new(m);
+            let n = 4 * m;
+            let emb = clique_embedding(n, &g).expect("K_{4m} fits C_m");
+            assert_eq!(emb.max_chain_length(), m + 1);
+            assert_valid_embedding(&emb, n, &g);
+        }
+    }
+
+    #[test]
+    fn clique_embedding_rejects_oversized() {
+        assert!(clique_embedding(8, &ChimeraGraph::new(2)).is_ok());
+        assert!(clique_embedding(9, &ChimeraGraph::new(2)).is_err());
+        assert!(clique_embedding(12, &ChimeraGraph::new(3)).is_ok());
+    }
+
+    #[test]
+    fn auto_embedding_handles_dense_k10() {
+        let n = 10;
+        let adj: Vec<Vec<usize>> =
+            (0..n).map(|v| (0..n).filter(|&u| u != v).collect()).collect();
+        let g = ChimeraGraph::new(12);
+        let emb = find_embedding_auto(&adj, &g).expect("K10 must fit C_12");
+        assert_valid_embedding(&emb, n, &g);
+    }
+}

@@ -1,0 +1,45 @@
+//! # qdm-anneal — annealing solvers and hardware embedding
+//!
+//! The software stand-in for the quantum annealers used by the
+//! annealing-based rows of the paper's Table I (\[20\], \[23\]–\[26\], \[29\], \[30\]).
+//! Per the substitution rule in DESIGN.md, D-Wave hardware is replaced by:
+//!
+//! - [`sa`] — classical simulated annealing (Metropolis single-flip);
+//! - [`sqa`] — *simulated quantum annealing*: path-integral Monte Carlo of
+//!   the transverse-field Ising model (Suzuki–Trotter replicas), the standard
+//!   classical emulation of quantum annealing dynamics;
+//! - [`tabu`] — tabu search, the strongest classical metaheuristic baseline;
+//! - [`embedding`] — the Chimera topology and minor embedding with chains,
+//!   reproducing the logical/physical mapping split described in Sec. III-B.
+//!
+//! ```
+//! use qdm_qubo::prelude::*;
+//! use qdm_anneal::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut q = QuboModel::new(3);
+//! q.add_linear(0, -1.0).add_quadratic(0, 1, 2.0).add_quadratic(1, 2, -1.5);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let res = simulated_annealing(&q, &SaParams::scaled_to(&q), &mut rng);
+//! assert_eq!(res.energy, solve_exact(&q).energy);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod embedding;
+pub mod sa;
+pub mod sqa;
+pub mod tabu;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::embedding::{
+        chain_strength, clique_embedding, embed_ising, find_embedding, find_embedding_auto, solve_on_chimera, unembed, ChimeraGraph,
+        EmbedError, Embedding, UnembedStats,
+    };
+    pub use crate::sa::{simulated_annealing, SaParams, Schedule};
+    pub use crate::sqa::{simulated_quantum_annealing, SqaParams};
+    pub use crate::tabu::{tabu_search, TabuParams};
+}
+
+pub use prelude::*;

@@ -1,0 +1,215 @@
+//! Simulated quantum annealing (SQA) via path-integral Monte Carlo.
+//!
+//! This is the software stand-in for the D-Wave hardware used by the
+//! annealing rows of Table I (see DESIGN.md substitution table). The
+//! transverse-field Ising Hamiltonian
+//! `H = H_classical - Gamma(t) * sum_i X_i`
+//! is simulated with the Suzuki–Trotter decomposition: `P` coupled replicas
+//! of the classical system, with ferromagnetic inter-replica coupling
+//! `J_perp = -(P*T/2) * ln tanh(Gamma / (P*T))` that strengthens as the
+//! transverse field `Gamma` anneals towards zero.
+
+use qdm_qubo::ising::IsingModel;
+use qdm_qubo::model::QuboModel;
+use qdm_qubo::solve::SolveResult;
+use rand::{Rng, RngExt};
+use std::time::Instant;
+
+/// Parameters for [`simulated_quantum_annealing`].
+#[derive(Debug, Clone, Copy)]
+pub struct SqaParams {
+    /// Number of Trotter replicas `P`.
+    pub replicas: usize,
+    /// Monte-Carlo sweeps over all (replica, spin) pairs.
+    pub sweeps: usize,
+    /// Initial transverse field `Gamma_0`.
+    pub gamma_start: f64,
+    /// Final transverse field (close to 0).
+    pub gamma_end: f64,
+    /// Simulation temperature `T` (in energy units of the Hamiltonian).
+    pub temperature: f64,
+}
+
+impl Default for SqaParams {
+    fn default() -> Self {
+        Self { replicas: 16, sweeps: 300, gamma_start: 3.0, gamma_end: 1e-3, temperature: 0.05 }
+    }
+}
+
+impl SqaParams {
+    /// Scales the temperature and field to the coefficient magnitude of the
+    /// model.
+    pub fn scaled_to(q: &QuboModel) -> Self {
+        let scale = q.max_abs_coefficient().max(1e-9);
+        Self {
+            gamma_start: 3.0 * scale,
+            gamma_end: 1e-3 * scale,
+            temperature: 0.05 * scale,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs path-integral simulated quantum annealing on a QUBO and returns the
+/// best classical configuration seen in any replica.
+pub fn simulated_quantum_annealing(
+    q: &QuboModel,
+    params: &SqaParams,
+    rng: &mut impl Rng,
+) -> SolveResult {
+    let start = Instant::now();
+    let ising = IsingModel::from_qubo(q);
+    let n = ising.n_spins();
+    let p = params.replicas.max(2);
+    let pt = p as f64 * params.temperature;
+
+    if n == 0 {
+        return SolveResult {
+            bits: Vec::new(),
+            energy: q.offset(),
+            evaluations: 1,
+            seconds: start.elapsed().as_secs_f64(),
+            certified_optimal: false,
+        };
+    }
+
+    // Adjacency of the classical Ising couplings.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for ((i, j), w) in ising.couplings_iter() {
+        adj[i].push((j, w));
+        adj[j].push((i, w));
+    }
+
+    // spins[r][i] in {-1.0, +1.0}, replicated random init.
+    let mut spins: Vec<Vec<f64>> = (0..p)
+        .map(|_| (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect())
+        .collect();
+
+    let classical_energy = |s: &[f64]| -> f64 {
+        let mut e = ising.constant();
+        for (i, &si) in s.iter().enumerate() {
+            e += ising.field(i) * si;
+        }
+        for ((i, j), w) in ising.couplings_iter() {
+            e += w * s[i] * s[j];
+        }
+        e
+    };
+
+    let mut best_bits = vec![false; n];
+    let mut best = f64::INFINITY;
+    let mut evals: u64 = 0;
+    let record_best = |s: &[f64], best: &mut f64, best_bits: &mut Vec<bool>, e: f64| {
+        if e < *best {
+            *best = e;
+            for (b, &si) in best_bits.iter_mut().zip(s) {
+                *b = si < 0.0; // spin -1 encodes x = 1
+            }
+        }
+    };
+
+    for (r, s) in spins.iter().enumerate() {
+        let e = classical_energy(s);
+        evals += 1;
+        let _ = r;
+        record_best(s, &mut best, &mut best_bits, e);
+    }
+
+    let sweeps = params.sweeps.max(1);
+    for sweep in 0..sweeps {
+        let frac = sweep as f64 / sweeps as f64;
+        // Linear annealing of the transverse field.
+        let gamma = params.gamma_start + (params.gamma_end - params.gamma_start) * frac;
+        // Trotter inter-replica coupling (ferromagnetic, negative).
+        let x = (gamma / pt).tanh().max(1e-300);
+        let j_perp = -0.5 * pt * x.ln(); // positive magnitude
+        for r in 0..p {
+            let up = (r + 1) % p;
+            let down = (r + p - 1) % p;
+            for i in 0..n {
+                let si = spins[r][i];
+                // Local classical field (per-replica weight 1/P).
+                let mut h_local = ising.field(i);
+                for &(nb, w) in &adj[i] {
+                    h_local += w * spins[r][nb];
+                }
+                let classical_delta = -2.0 * si * h_local / p as f64;
+                // Inter-replica ferromagnetic term: -j_perp * s_{r,i} * (s_{up,i} + s_{down,i}).
+                let quantum_delta = 2.0 * j_perp * si * (spins[up][i] + spins[down][i]);
+                let delta = classical_delta + quantum_delta;
+                evals += 1;
+                if delta <= 0.0
+                    || rng.random::<f64>() < (-delta / params.temperature.max(1e-12)).exp()
+                {
+                    spins[r][i] = -si;
+                }
+            }
+            // Track the best classical configuration of this replica.
+            let e = classical_energy(&spins[r]);
+            evals += 1;
+            record_best(&spins[r], &mut best, &mut best_bits, e);
+        }
+    }
+
+    SolveResult {
+        bits: best_bits,
+        energy: best,
+        evaluations: evals,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdm_qubo::solve::solve_exact;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_model(seed: u64, n: usize) -> QuboModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = QuboModel::new(n);
+        for i in 0..n {
+            q.add_linear(i, rng.random_range(-2.0..2.0));
+            for j in (i + 1)..n {
+                if rng.random::<f64>() < 0.5 {
+                    q.add_quadratic(i, j, rng.random_range(-2.0..2.0));
+                }
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn sqa_solves_small_instances_optimally() {
+        let mut hit = 0;
+        for seed in 0..4 {
+            let q = random_model(seed, 10);
+            let exact = solve_exact(&q);
+            let mut rng = StdRng::seed_from_u64(seed + 50);
+            let res = simulated_quantum_annealing(&q, &SqaParams::scaled_to(&q), &mut rng);
+            assert!((q.energy(&res.bits) - res.energy).abs() < 1e-9);
+            if (res.energy - exact.energy).abs() < 1e-9 {
+                hit += 1;
+            }
+        }
+        assert!(hit >= 3, "SQA found optimum on only {hit}/4 instances");
+    }
+
+    #[test]
+    fn sqa_handles_empty_model() {
+        let q = QuboModel::new(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = simulated_quantum_annealing(&q, &SqaParams::default(), &mut rng);
+        assert_eq!(res.energy, 0.0);
+    }
+
+    #[test]
+    fn reported_energy_matches_bits() {
+        let q = random_model(11, 16);
+        let mut rng = StdRng::seed_from_u64(12);
+        let res = simulated_quantum_annealing(&q, &SqaParams::scaled_to(&q), &mut rng);
+        assert!((q.energy(&res.bits) - res.energy).abs() < 1e-9);
+    }
+}

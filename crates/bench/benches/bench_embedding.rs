@@ -1,0 +1,60 @@
+//! E17/E19 — hardware-mapping benchmarks: Chimera minor embedding (greedy
+//! and clique) and the embedded solve round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdm_anneal::embedding::{clique_embedding, find_embedding, solve_on_chimera, ChimeraGraph};
+use qdm_anneal::sa::{simulated_annealing, SaParams};
+use qdm_bench::exp_meta::random_qubo;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn dense_adjacency(n: usize) -> Vec<Vec<usize>> {
+    (0..n).map(|v| (0..n).filter(|&u| u != v).collect()).collect()
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding/greedy_dense");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let adj = dense_adjacency(n);
+        let graph = ChimeraGraph::new(12);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &adj, |b, adj| {
+            b.iter(|| black_box(find_embedding(adj, &graph)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("embedding/clique");
+    for n in [16usize, 32, 48] {
+        let graph = ChimeraGraph::new(12);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(clique_embedding(n, &graph)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_embedded_solve(c: &mut Criterion) {
+    c.bench_function("embedding/solve_on_chimera_6v", |b| {
+        let q = random_qubo(6, 3);
+        let graph = ChimeraGraph::new(4);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(
+                solve_on_chimera(&q, &graph, |phys| {
+                    simulated_annealing(
+                        phys,
+                        &SaParams { restarts: 1, sweeps: 60, ..SaParams::scaled_to(phys) },
+                        &mut rng,
+                    )
+                    .bits
+                })
+                .expect("fits"),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_embedding, bench_embedded_solve);
+criterion_main!(benches);

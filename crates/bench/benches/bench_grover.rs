@@ -1,0 +1,53 @@
+//! E6 — Grover vs classical search benchmark: wall time and (implicitly)
+//! the O(sqrt N) vs O(N) oracle scaling across database sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdm_bench::exp_search::sample_database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_grover_vs_classical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover/search_known_target");
+    group.sample_size(20);
+    for n_qubits in [6usize, 8, 10, 12] {
+        let db = sample_database(n_qubits, 42);
+        let target = db.len() * 7 / 11;
+        group.bench_with_input(
+            BenchmarkId::new("quantum", 1usize << n_qubits),
+            &n_qubits,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| {
+                    black_box(db.search_known(|r| r.id == target, 1, &mut rng));
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("classical_scan", 1usize << n_qubits),
+            &n_qubits,
+            |b, _| {
+                b.iter(|| {
+                    black_box(db.classical_search(|r| r.id == target));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_durr_hoyer(c: &mut Criterion) {
+    c.bench_function("grover/durr_hoyer_minimum_8q", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            black_box(qdm_algos::grover::durr_hoyer_minimum(
+                8,
+                |x| ((x as f64) - 100.0).abs(),
+                &mut rng,
+            ));
+        });
+    });
+}
+
+criterion_group!(benches, bench_grover_vs_classical, bench_durr_hoyer);
+criterion_main!(benches);

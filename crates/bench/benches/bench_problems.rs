@@ -1,0 +1,109 @@
+//! E7/E9/E10/E12/E13 — problem-encoding benchmarks: QUBO construction and
+//! end-to-end pipelines for every Table I problem, against their classical
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdm_core::pipeline::{run_pipeline, PipelineOptions};
+use qdm_core::solver::SaSolver;
+use qdm_db::optimizer::{greedy_goo, optimal_bushy, optimal_left_deep};
+use qdm_db::query::{GraphShape, QueryGraph};
+use qdm_db::txn::random_workload;
+use qdm_problems::joinorder::JoinOrderProblem;
+use qdm_problems::mqo::{MqoInstance, MqoProblem};
+use qdm_problems::schema::{generate_benchmark, SchemaMatchingProblem};
+use qdm_problems::txn_schedule::TxnScheduleProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mqo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqo");
+    group.sample_size(10);
+    for queries in [4usize, 6, 8] {
+        let mut rng = StdRng::seed_from_u64(queries as u64);
+        let inst = MqoInstance::generate(queries, 3, 0.3, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", queries),
+            &inst,
+            |b, inst| b.iter(|| black_box(inst.exhaustive_optimum())),
+        );
+        let problem = MqoProblem::new(inst.clone());
+        group.bench_with_input(
+            BenchmarkId::new("qubo+sa_pipeline", queries),
+            &problem,
+            |b, p| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let opts = PipelineOptions { repair: true, ..Default::default() };
+                b.iter(|| black_box(run_pipeline(p, &SaSolver::default(), &opts, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_joinorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joinorder");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let graph = QueryGraph::generate(GraphShape::Chain, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dp_left_deep", n), &graph, |b, g| {
+            b.iter(|| black_box(optimal_left_deep(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_bushy", n), &graph, |b, g| {
+            b.iter(|| black_box(optimal_bushy(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("goo", n), &graph, |b, g| {
+            b.iter(|| black_box(greedy_goo(g)))
+        });
+    }
+    // QUBO pipeline at a size the encoding handles comfortably.
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = QueryGraph::generate(GraphShape::Chain, 5, &mut rng);
+    let problem = JoinOrderProblem::left_deep(graph);
+    group.bench_function("qubo+sa_pipeline/5", |b| {
+        let mut rng = StdRng::seed_from_u64(10);
+        let opts = PipelineOptions { repair: true, ..Default::default() };
+        b.iter(|| black_box(run_pipeline(&problem, &SaSolver::default(), &opts, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_schema(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema_matching");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (inst, _) = generate_benchmark(n, 2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("exact_dp", n), &inst, |b, inst| {
+            b.iter(|| black_box(inst.exact_matching()))
+        });
+        let problem = SchemaMatchingProblem::new(inst.clone());
+        group.bench_with_input(BenchmarkId::new("qubo+sa_pipeline", n), &problem, |b, p| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let opts = PipelineOptions { repair: true, ..Default::default() };
+            b.iter(|| black_box(run_pipeline(p, &SaSolver::default(), &opts, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_txn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_schedule");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let txns = random_workload(n, 3, 2, 0.6, &mut rng);
+        let horizon = txns.iter().map(|t| t.duration).sum::<usize>();
+        let problem = TxnScheduleProblem::new(txns, horizon);
+        group.bench_with_input(BenchmarkId::new("qubo+sa_pipeline", n), &problem, |b, p| {
+            let mut rng = StdRng::seed_from_u64(12);
+            let opts = PipelineOptions { repair: true, ..Default::default() };
+            b.iter(|| black_box(run_pipeline(p, &SaSolver::default(), &opts, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mqo, bench_joinorder, bench_schema, bench_txn);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E4/E5/E14/E15/E16 — quantum-internet benchmarks: nonlocal game rounds,
+//! teleportation, repeater-chain evaluation and BB84 sessions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdm_net::nonlocal::{chsh_sampled, ghz_sampled, ChshStrategy};
+use qdm_net::qkd::{run_bb84, Bb84Params};
+use qdm_net::repeater::RepeaterChain;
+use qdm_net::teleport::{random_qubit, teleport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_nonlocal(c: &mut Criterion) {
+    c.bench_function("nonlocal/chsh_1000_rounds", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = ChshStrategy::optimal();
+        b.iter(|| black_box(chsh_sampled(&strat, 1000, &mut rng)));
+    });
+    c.bench_function("nonlocal/ghz_1000_rounds", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(ghz_sampled(1000, &mut rng)));
+    });
+}
+
+fn bench_teleport(c: &mut Criterion) {
+    c.bench_function("qnet/teleport_single_qubit", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let payload = random_qubit(&mut rng);
+        b.iter(|| black_box(teleport(&payload, &mut rng)));
+    });
+}
+
+fn bench_repeater(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qnet/chain_performance");
+    for segments in [2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &segments,
+            |b, &segments| {
+                let chain = RepeaterChain::with_segments(1000.0, segments);
+                b.iter(|| black_box(chain.performance()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_qkd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qkd/bb84");
+    group.sample_size(10);
+    for n in [512usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let params = Bb84Params { n_qubits: n, ..Default::default() };
+            b.iter(|| black_box(run_bb84(&params, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nonlocal, bench_teleport, bench_repeater, bench_qkd);
+criterion_main!(benches);

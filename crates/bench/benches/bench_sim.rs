@@ -1,0 +1,74 @@
+//! Simulator kernel benchmarks: gate application and circuit execution
+//! across register widths (the substrate cost behind every gate-based
+//! experiment, and the Fig. 1(b) device-scale sanity check).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdm_sim::circuit::Circuit;
+use qdm_sim::gates;
+use qdm_sim::noise::{run_noisy, NoiseModel};
+use qdm_sim::state::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn layered_circuit(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for l in 0..layers {
+        for q in 0..n {
+            c.ry(q, 0.1 * (l + q) as f64);
+        }
+        for q in 0..n - 1 {
+            c.cnot(q, q + 1);
+        }
+    }
+    c
+}
+
+fn bench_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/single_qubit_gate");
+    for n in [8usize, 12, 16, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = StateVector::uniform(n);
+            let h = gates::hadamard();
+            b.iter(|| {
+                s.apply_single(black_box(n / 2), &h);
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sim/cnot");
+    for n in [8usize, 12, 16, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = StateVector::uniform(n);
+            let x = gates::pauli_x();
+            b.iter(|| {
+                s.apply_controlled(black_box(&[0]), n - 1, &x);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/layered_circuit");
+    group.sample_size(20);
+    for n in [5usize, 10, 14] {
+        let circuit = layered_circuit(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| black_box(circuit.run()));
+        });
+    }
+    group.finish();
+
+    // Fig. 1(b): a 5-qubit chip with realistic depolarizing noise.
+    c.bench_function("sim/noisy_five_qubit_chip", |b| {
+        let circuit = layered_circuit(5, 4);
+        let model = NoiseModel::depolarizing(0.001, 0.01);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(run_noisy(&circuit, &model, &mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_gates, bench_circuits);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E2/E7 — solver benchmarks: every Fig. 2 route timed on the same QUBO,
+//! plus annealing scaling with problem size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdm_anneal::sa::{simulated_annealing, SaParams};
+use qdm_anneal::sqa::{simulated_quantum_annealing, SqaParams};
+use qdm_anneal::tabu::{tabu_search, TabuParams};
+use qdm_bench::exp_meta::random_qubo;
+use qdm_core::solver::full_registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig2_routes(c: &mut Criterion) {
+    let q = random_qubo(10, 7);
+    let mut group = c.benchmark_group("fig2/route");
+    group.sample_size(10);
+    for solver in full_registry() {
+        group.bench_function(solver.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(solver.solve(&q, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_annealer_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anneal/scaling");
+    group.sample_size(10);
+    for n in [16usize, 32, 64, 128] {
+        let q = random_qubo(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("sa", n), &q, |b, q| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let params = SaParams { restarts: 1, sweeps: 100, ..SaParams::scaled_to(q) };
+            b.iter(|| black_box(simulated_annealing(q, &params, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("sqa", n), &q, |b, q| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let params =
+                SqaParams { replicas: 8, sweeps: 50, ..SqaParams::scaled_to(q) };
+            b.iter(|| black_box(simulated_quantum_annealing(q, &params, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("tabu", n), &q, |b, q| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let params = TabuParams { iterations: 500, restarts: 1, ..Default::default() };
+            b.iter(|| black_box(tabu_search(q, &params, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_routes, bench_annealer_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8/E11 — variational-algorithm benchmarks: QAOA layers, VQE iterations
+//! and VQC gradient steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdm_algos::qaoa::{qaoa_state, EnergyTable};
+use qdm_algos::vqc::Vqc;
+use qdm_algos::vqe::ansatz_state;
+use qdm_bench::exp_meta::random_qubo;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_qaoa_layers(c: &mut Criterion) {
+    let q = random_qubo(12, 8);
+    let table = EnergyTable::new(&q);
+    let mut group = c.benchmark_group("qaoa/state_preparation_12q");
+    for p in [1usize, 2, 4, 8] {
+        let angles: Vec<f64> = (0..2 * p).map(|i| 0.1 * (i + 1) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(p), &angles, |b, angles| {
+            b.iter(|| black_box(qaoa_state(&table, angles)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vqe_ansatz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vqe/ansatz_state");
+    for n in [6usize, 10, 14] {
+        let layers = 2;
+        let angles = vec![0.2; (layers + 1) * n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &angles, |b, angles| {
+            b.iter(|| black_box(ansatz_state(n, layers, angles)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vqc_gradient(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let vqc = Vqc::new(4, 2, &mut rng);
+    let x = [0.3, 0.7, 0.1, 0.9];
+    c.bench_function("vqc/forward_4q", |b| b.iter(|| black_box(vqc.predict(&x))));
+    c.bench_function("vqc/parameter_shift_gradient_4q", |b| {
+        b.iter(|| black_box(vqc.gradient(&x)))
+    });
+}
+
+criterion_group!(benches, bench_qaoa_layers, bench_vqe_ansatz, bench_vqc_gradient);
+criterion_main!(benches);

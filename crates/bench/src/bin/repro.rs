@@ -1,0 +1,31 @@
+//! `repro` — regenerates every table, figure and quantitative claim of the
+//! paper. Run with no arguments for everything, or name experiments:
+//!
+//! ```text
+//! cargo run -p qdm-bench --bin repro --release            # all, full scale
+//! cargo run -p qdm-bench --bin repro --release -- --quick # all, quick
+//! cargo run -p qdm-bench --bin repro --release -- e4 e5   # CHSH and GHZ
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+
+    if ids.is_empty() {
+        for report in qdm_bench::run_all(quick) {
+            println!("{report}");
+        }
+        return;
+    }
+    for id in ids {
+        match qdm_bench::run_one(id, quick) {
+            Some(reports) => {
+                for report in reports {
+                    println!("{report}");
+                }
+            }
+            None => eprintln!("unknown experiment '{id}' (try e1..e19)"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! E6 — Sec. III-A: Grover's O(sqrt(N)) database search vs the classical
+//! O(N) scan, measured in oracle queries over growing database sizes.
+
+use crate::table::{fnum, Report};
+use qdm_algos::grover::{optimal_iterations, success_probability};
+use qdm_qdb::search::QuantumDatabase;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builds a deterministic pseudo-random database of `2^n` records.
+pub fn sample_database(n_qubits: usize, seed: u64) -> QuantumDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 1usize << n_qubits;
+    QuantumDatabase::from_values((0..n).map(|_| rng.random_range(0..1_000_000)).collect())
+}
+
+/// One row of the complexity sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct GroverRow {
+    /// Address width.
+    pub n_qubits: usize,
+    /// Database size.
+    pub n_records: usize,
+    /// Quantum oracle queries used (measured).
+    pub quantum_queries: u64,
+    /// Classical probes of the linear scan (measured).
+    pub classical_probes: u64,
+    /// Theoretical optimum `floor(pi/4 sqrt(N))`.
+    pub theory: usize,
+    /// Success probability at the optimal iteration count.
+    pub success: f64,
+}
+
+/// Runs the sweep: one unique target per size, quantum vs classical.
+pub fn grover_sweep(max_qubits: usize) -> Vec<GroverRow> {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut rows = Vec::new();
+    for n_qubits in 3..=max_qubits {
+        let db = sample_database(n_qubits, n_qubits as u64);
+        let n = db.len();
+        // Plant the target at a deterministic pseudo-random position.
+        let target = (n * 7 / 11).min(n - 1);
+        let qr = db.search_known(|r| r.id == target, 1, &mut rng);
+        let cr = db.classical_search(|r| r.id == target);
+        rows.push(GroverRow {
+            n_qubits,
+            n_records: n,
+            quantum_queries: qr.quantum_queries,
+            classical_probes: cr.classical_probes,
+            theory: optimal_iterations(n, 1),
+            success: success_probability(n, 1, optimal_iterations(n, 1)),
+        });
+    }
+    rows
+}
+
+/// E6 report.
+pub fn e06_grover(max_qubits: usize) -> Report {
+    let rows = grover_sweep(max_qubits);
+    let mut r = Report::new(
+        "E6 — Grover database search: O(sqrt(N)) vs classical O(N) (Sec. III-A)",
+        &[
+            "N records",
+            "quantum queries",
+            "pi/4*sqrt(N) theory",
+            "classical probes",
+            "speedup",
+            "P(success)",
+        ],
+    );
+    for row in &rows {
+        r.row(vec![
+            row.n_records.to_string(),
+            row.quantum_queries.to_string(),
+            row.theory.to_string(),
+            row.classical_probes.to_string(),
+            format!("{:.1}x", row.classical_probes as f64 / row.quantum_queries.max(1) as f64),
+            fnum(row.success),
+        ]);
+    }
+    r.note("paper: 'classical algorithms require O(N) operations, while Grover's achieves this in O(sqrt(N))'");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_square_root_scaling() {
+        let rows = grover_sweep(10);
+        for row in &rows {
+            // Quantum queries track pi/4 sqrt(N) exactly (known M = 1).
+            assert_eq!(row.quantum_queries, row.theory as u64);
+            assert!(row.success > 0.9, "success {}", row.success);
+        }
+        // Quadrupling N should roughly double quantum queries but
+        // quadruple classical probes.
+        let a = &rows[0]; // 8 records
+        let b = rows.iter().find(|r| r.n_records == 32).expect("32-record row");
+        let q_ratio = b.quantum_queries as f64 / a.quantum_queries as f64;
+        assert!(q_ratio < 3.0, "quantum ratio {q_ratio}");
+    }
+
+    #[test]
+    fn report_renders_all_rows() {
+        let r = e06_grover(8);
+        assert_eq!(r.rows.len(), 6);
+    }
+}

@@ -1,0 +1,103 @@
+//! # qdm-bench — the experiment harness
+//!
+//! One module per experiment family; every table, figure and quantitative
+//! claim of the paper maps to a function here returning a formatted
+//! [`table::Report`] (see DESIGN.md's experiment index and EXPERIMENTS.md
+//! for the paper-vs-measured record). The `repro` binary prints them all;
+//! the Criterion benches in `benches/` time the underlying kernels.
+
+#![warn(missing_docs)]
+
+pub mod exp_examples;
+pub mod exp_extensions;
+pub mod exp_integration;
+pub mod exp_learning;
+pub mod exp_meta;
+pub mod exp_network;
+pub mod exp_optimization;
+pub mod exp_search;
+pub mod table;
+
+use table::Report;
+
+/// Runs every experiment at `quick` or full scale, in presentation order.
+pub fn run_all(quick: bool) -> Vec<Report> {
+    let mut out = Vec::new();
+    out.push(exp_meta::e01_table_one());
+    out.push(exp_meta::e02_fig2(if quick { 8 } else { 10 }));
+    out.push(exp_examples::e03_superposition(if quick { 10_000 } else { 100_000 }));
+    out.push(exp_examples::e04_chsh(if quick { 10_000 } else { 100_000 }));
+    out.push(exp_examples::e05_ghz(if quick { 5_000 } else { 50_000 }));
+    out.push(exp_search::e06_grover(if quick { 10 } else { 14 }));
+    out.push(exp_optimization::e07_mqo(if quick {
+        &[(3, 2), (4, 3), (5, 3)]
+    } else {
+        &[(3, 2), (4, 3), (5, 3), (6, 3), (7, 3)]
+    }));
+    out.push(exp_optimization::e08_qaoa_depth(if quick { &[1, 2, 3] } else { &[1, 2, 3, 4, 5] }));
+    out.push(exp_optimization::e09_joinorder(
+        if quick { 4 } else { 5 },
+        &qdm_core::solver::SaSolver::default(),
+    ));
+    out.push(exp_optimization::e10_bushy(4));
+    out.push(exp_learning::e11_vqc(4, if quick { 25 } else { 60 }));
+    out.push(exp_integration::e12_schema(if quick {
+        &[(4, 1), (5, 2)]
+    } else {
+        &[(4, 1), (6, 2), (8, 3)]
+    }));
+    out.push(exp_optimization::e13_txn(if quick { 5 } else { 6 }, 8));
+    out.push(exp_network::e14_qnet(&[50.0, 100.0, 248.0, 400.0, 600.0, 1203.0]));
+    out.push(exp_network::e15_nocloning());
+    out.push(exp_network::e16_qkd(if quick { 2048 } else { 16_384 }));
+    out.push(exp_meta::e17_device());
+    out.push(exp_meta::e18_hybrid(3, 2));
+    out.push(exp_meta::e19_penalty());
+    out.push(exp_meta::e19_embedding());
+    out.push(exp_extensions::e07b_physical_mqo(if quick {
+        &[(3, 2), (3, 3)]
+    } else {
+        &[(3, 2), (3, 3), (4, 3)]
+    }));
+    out.push(exp_extensions::e20_counting(if quick { 10 } else { 12 }));
+    out.push(exp_extensions::e21_e91(if quick { 4096 } else { 20_000 }));
+    out
+}
+
+/// Looks up a single experiment by id (`"e4"`, `"E14"`, ...).
+pub fn run_one(id: &str, quick: bool) -> Option<Vec<Report>> {
+    let id = id.to_lowercase();
+    let r = match id.as_str() {
+        "e1" | "table1" => vec![exp_meta::e01_table_one()],
+        "e2" | "fig2" => vec![exp_meta::e02_fig2(if quick { 8 } else { 10 })],
+        "e3" | "superposition" => {
+            vec![exp_examples::e03_superposition(if quick { 10_000 } else { 100_000 })]
+        }
+        "e4" | "chsh" => vec![exp_examples::e04_chsh(if quick { 10_000 } else { 100_000 })],
+        "e5" | "ghz" => vec![exp_examples::e05_ghz(if quick { 5_000 } else { 50_000 })],
+        "e6" | "grover" => vec![exp_search::e06_grover(if quick { 10 } else { 14 })],
+        "e7" | "mqo" => vec![exp_optimization::e07_mqo(&[(3, 2), (4, 3), (5, 3)])],
+        "e8" | "qaoa_depth" => vec![exp_optimization::e08_qaoa_depth(&[1, 2, 3])],
+        "e9" | "joinorder" => vec![exp_optimization::e09_joinorder(
+            4,
+            &qdm_core::solver::SaSolver::default(),
+        )],
+        "e10" | "bushy" => vec![exp_optimization::e10_bushy(4)],
+        "e11" | "vqc" => vec![exp_learning::e11_vqc(4, if quick { 25 } else { 60 })],
+        "e12" | "schema" => vec![exp_integration::e12_schema(&[(4, 1), (5, 2)])],
+        "e13" | "txn" => vec![exp_optimization::e13_txn(5, 8)],
+        "e14" | "qnet" => {
+            vec![exp_network::e14_qnet(&[50.0, 100.0, 248.0, 400.0, 600.0, 1203.0])]
+        }
+        "e15" | "nocloning" => vec![exp_network::e15_nocloning()],
+        "e16" | "qkd" => vec![exp_network::e16_qkd(if quick { 2048 } else { 16_384 })],
+        "e17" | "device" => vec![exp_meta::e17_device()],
+        "e18" | "hybrid" => vec![exp_meta::e18_hybrid(3, 2)],
+        "e19" | "constraints" => vec![exp_meta::e19_penalty(), exp_meta::e19_embedding()],
+        "e7b" | "physical" => vec![exp_extensions::e07b_physical_mqo(&[(3, 2), (3, 3)])],
+        "e20" | "counting" => vec![exp_extensions::e20_counting(if quick { 10 } else { 12 })],
+        "e21" | "e91" => vec![exp_extensions::e21_e91(if quick { 4096 } else { 20_000 })],
+        _ => return None,
+    };
+    Some(r)
+}

@@ -1,0 +1,109 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A formatted experiment report: a titled table plus free-form notes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment id and title, e.g. `"E4 — CHSH game (Example IV.2)"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (stringified by the producer).
+    pub rows: Vec<Vec<String>>,
+    /// Commentary lines printed under the table (paper-vs-measured notes).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; pads or truncates to the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Self {
+        self.notes.push(line.into());
+        self
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect();
+            writeln!(f, "| {} |", line.join(" | "))
+        };
+        print_row(f, &self.headers)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", sep.join("-|-"))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.fract() == 0.0 && x.abs() < 1e6 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("T", &["a", "bbbb"]);
+        r.row(vec!["xxx".into(), "1".into()]).note("note line");
+        let s = format!("{r}");
+        assert!(s.contains("== T =="));
+        assert!(s.contains("| xxx | 1    |"));
+        assert!(s.contains("note line"));
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(0.8536), "0.8536");
+        assert_eq!(fnum(1.23e8), "1.230e8");
+        assert_eq!(fnum(2.0e-5), "2.000e-5");
+    }
+}

@@ -1,0 +1,97 @@
+//! The [`DmProblem`] abstraction: a data-management problem that can be
+//! reformulated as a QUBO — step one of the paper's Fig. 2 roadmap.
+
+use qdm_qubo::model::QuboModel;
+
+/// A decoded solution in problem terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decoded {
+    /// Whether the assignment satisfies all hard constraints of the problem.
+    pub feasible: bool,
+    /// The problem-level objective (lower is better), independent of
+    /// penalty terms.
+    pub objective: f64,
+    /// A human-readable rendering of the solution.
+    pub summary: String,
+}
+
+/// A data-management problem with a QUBO reformulation.
+///
+/// This is the contract every Table I encoding in `qdm-problems`
+/// implements; the [`crate::pipeline`] runs any `DmProblem` through any
+/// [`crate::solver::QuboSolver`].
+pub trait DmProblem {
+    /// Short problem name (e.g. `"MQO"`).
+    fn name(&self) -> String;
+
+    /// Number of binary variables in the encoding.
+    fn n_vars(&self) -> usize;
+
+    /// The QUBO reformulation (logical level).
+    fn to_qubo(&self) -> QuboModel;
+
+    /// Decodes a binary assignment back into problem terms.
+    fn decode(&self, bits: &[bool]) -> Decoded;
+
+    /// Attempts to repair an infeasible assignment into a feasible one
+    /// (identity by default). Solvers use this as a post-processing hook —
+    /// part of the hybrid classical/quantum methodology of Sec. III-C.2.
+    fn repair(&self, bits: &[bool]) -> Vec<bool> {
+        bits.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdm_qubo::penalty;
+
+    /// A minimal test problem: pick exactly one of `n` options, minimizing
+    /// a per-option cost.
+    struct PickOne {
+        costs: Vec<f64>,
+    }
+
+    impl DmProblem for PickOne {
+        fn name(&self) -> String {
+            "PickOne".into()
+        }
+        fn n_vars(&self) -> usize {
+            self.costs.len()
+        }
+        fn to_qubo(&self) -> QuboModel {
+            let mut q = QuboModel::new(self.costs.len());
+            for (i, &c) in self.costs.iter().enumerate() {
+                q.add_linear(i, c);
+            }
+            let a = penalty::penalty_weight(&q);
+            let vars: Vec<usize> = (0..self.costs.len()).collect();
+            penalty::exactly_one(&mut q, &vars, a);
+            q
+        }
+        fn decode(&self, bits: &[bool]) -> Decoded {
+            let chosen: Vec<usize> =
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            let feasible = chosen.len() == 1;
+            let objective =
+                chosen.iter().map(|&i| self.costs[i]).sum::<f64>();
+            Decoded { feasible, objective, summary: format!("chose {chosen:?}") }
+        }
+    }
+
+    #[test]
+    fn qubo_optimum_decodes_to_cheapest_option() {
+        let p = PickOne { costs: vec![3.0, 1.0, 2.0] };
+        let res = qdm_qubo::solve::solve_exact(&p.to_qubo());
+        let d = p.decode(&res.bits);
+        assert!(d.feasible);
+        assert_eq!(d.objective, 1.0);
+        assert_eq!(res.bits, vec![false, true, false]);
+    }
+
+    #[test]
+    fn default_repair_is_identity() {
+        let p = PickOne { costs: vec![1.0, 2.0] };
+        assert_eq!(p.repair(&[true, true]), vec![true, true]);
+    }
+}

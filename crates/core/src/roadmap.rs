@@ -1,0 +1,217 @@
+//! Structured encodings of the paper's Table I and Fig. 2.
+//!
+//! These registries are *data*, consumed by the E1/E2 experiments: every
+//! row of [`table_one`] must be executable end-to-end by this workspace,
+//! and every path of [`roadmap_paths`] names a registered solver. Tests in
+//! `qdm-bench` and the integration suite enforce exactly that.
+
+use serde::{Deserialize, Serialize};
+
+/// The database problem column of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DbProblem {
+    /// Query optimization (Sec. III-B).
+    QueryOptimization,
+    /// Data integration (schema matching).
+    DataIntegration,
+    /// Transaction management (two-phase locking).
+    TransactionManagement,
+}
+
+/// The subproblem column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubProblem {
+    /// Multiple query optimization.
+    Mqo,
+    /// Join ordering.
+    JoinOrdering,
+    /// Schema matching.
+    SchemaMatching,
+    /// Two-phase-locking transaction scheduling.
+    TwoPhaseLocking,
+}
+
+/// The mathematical formulation column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Formulation {
+    /// Quadratic unconstrained binary optimization.
+    Qubo,
+    /// A learned policy (no closed-form optimization model).
+    LearnedPolicy,
+}
+
+/// The intermediate quantum algorithm column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Direct annealing (no gate-model intermediate algorithm).
+    DirectAnnealing,
+    /// Quantum Approximate Optimization Algorithm.
+    Qaoa,
+    /// Variational Quantum Eigensolver.
+    Vqe,
+    /// Variational quantum circuit (quantum ML).
+    Vqc,
+    /// Grover search / minimum finding.
+    Grover,
+    /// Quantum phase estimation.
+    Qpe,
+}
+
+/// The quantum computer column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    /// Annealing-based hardware.
+    AnnealingBased,
+    /// Gate-based hardware.
+    GateBased,
+    /// Both families were used.
+    Both,
+}
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOneRow {
+    /// Citation key(s) as printed in the paper.
+    pub reference: &'static str,
+    /// DB problem.
+    pub problem: DbProblem,
+    /// Subproblem.
+    pub subproblem: SubProblem,
+    /// Formulation.
+    pub formulation: Formulation,
+    /// Intermediate quantum algorithms (empty = direct annealing).
+    pub algorithms: Vec<Algorithm>,
+    /// Hardware family.
+    pub machine: Machine,
+}
+
+/// The paper's Table I, row by row.
+pub fn table_one() -> Vec<TableOneRow> {
+    use Algorithm::*;
+    vec![
+        TableOneRow {
+            reference: "[20] Trummer & Koch 2016",
+            problem: DbProblem::QueryOptimization,
+            subproblem: SubProblem::Mqo,
+            formulation: Formulation::Qubo,
+            algorithms: vec![DirectAnnealing],
+            machine: Machine::AnnealingBased,
+        },
+        TableOneRow {
+            reference: "[21],[22] Fankhauser et al.",
+            problem: DbProblem::QueryOptimization,
+            subproblem: SubProblem::Mqo,
+            formulation: Formulation::Qubo,
+            algorithms: vec![Qaoa],
+            machine: Machine::GateBased,
+        },
+        TableOneRow {
+            reference: "[23]-[25] Schoenberger et al.",
+            problem: DbProblem::QueryOptimization,
+            subproblem: SubProblem::JoinOrdering,
+            formulation: Formulation::Qubo,
+            algorithms: vec![Qaoa],
+            machine: Machine::Both,
+        },
+        TableOneRow {
+            reference: "[26] Nayak et al.",
+            problem: DbProblem::QueryOptimization,
+            subproblem: SubProblem::JoinOrdering,
+            formulation: Formulation::Qubo,
+            algorithms: vec![Qaoa, Vqe],
+            machine: Machine::Both,
+        },
+        TableOneRow {
+            reference: "[27] Winker et al.",
+            problem: DbProblem::QueryOptimization,
+            subproblem: SubProblem::JoinOrdering,
+            formulation: Formulation::LearnedPolicy,
+            algorithms: vec![Vqc],
+            machine: Machine::GateBased,
+        },
+        TableOneRow {
+            reference: "[28] Fritsch & Scherzinger",
+            problem: DbProblem::DataIntegration,
+            subproblem: SubProblem::SchemaMatching,
+            formulation: Formulation::Qubo,
+            algorithms: vec![Qaoa],
+            machine: Machine::Both,
+        },
+        TableOneRow {
+            reference: "[29]-[31] Bittner & Groppe",
+            problem: DbProblem::TransactionManagement,
+            subproblem: SubProblem::TwoPhaseLocking,
+            formulation: Formulation::Qubo,
+            algorithms: vec![DirectAnnealing, Grover],
+            machine: Machine::AnnealingBased,
+        },
+    ]
+}
+
+/// One arrow of Fig. 2: a route from a QUBO to hardware.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoadmapPath {
+    /// Algorithm box on the arrow (None = native annealing).
+    pub algorithm: Option<Algorithm>,
+    /// Destination machine family.
+    pub machine: Machine,
+    /// Name of the registered [`crate::solver::QuboSolver`] realizing it.
+    pub solver_name: &'static str,
+}
+
+/// All Fig. 2 routes as realized by this workspace's solver registry.
+pub fn roadmap_paths() -> Vec<RoadmapPath> {
+    vec![
+        RoadmapPath {
+            algorithm: None,
+            machine: Machine::AnnealingBased,
+            solver_name: "simulated-quantum-annealing",
+        },
+        RoadmapPath {
+            algorithm: Some(Algorithm::Qaoa),
+            machine: Machine::GateBased,
+            solver_name: "qaoa",
+        },
+        RoadmapPath {
+            algorithm: Some(Algorithm::Vqe),
+            machine: Machine::GateBased,
+            solver_name: "vqe",
+        },
+        RoadmapPath {
+            algorithm: Some(Algorithm::Grover),
+            machine: Machine::GateBased,
+            solver_name: "grover-minimum",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::full_registry;
+
+    #[test]
+    fn table_one_has_all_seven_rows() {
+        let rows = table_one();
+        assert_eq!(rows.len(), 7);
+        // Coverage of the three DB problems.
+        assert!(rows.iter().any(|r| r.problem == DbProblem::QueryOptimization));
+        assert!(rows.iter().any(|r| r.problem == DbProblem::DataIntegration));
+        assert!(rows.iter().any(|r| r.problem == DbProblem::TransactionManagement));
+        // All but the VQC row are QUBO formulations, as the paper notes.
+        let qubo_rows = rows.iter().filter(|r| r.formulation == Formulation::Qubo).count();
+        assert_eq!(qubo_rows, 6);
+    }
+
+    #[test]
+    fn every_roadmap_path_names_a_registered_solver() {
+        let names: Vec<String> =
+            full_registry().iter().map(|s| s.name().to_string()).collect();
+        for path in roadmap_paths() {
+            assert!(
+                names.iter().any(|n| n == path.solver_name),
+                "no solver registered for {path:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The [`QuboSolver`] trait and the full Fig. 2 solver registry.
+//!
+//! The paper's Fig. 2 shows QUBO flowing either to quantum annealers or,
+//! via QAOA / VQE / QPE / Grover, to gate-based machines. Each path is a
+//! `QuboSolver` here; the classical baselines (exact, tabu, random) share
+//! the interface so every experiment can compare like-for-like.
+
+use qdm_algos::grover::durr_hoyer_minimum;
+use qdm_algos::qaoa::{qaoa_optimize, EnergyTable, QaoaParams};
+use qdm_algos::vqe::{vqe_optimize, VqeParams};
+use qdm_anneal::sa::{simulated_annealing, SaParams};
+use qdm_anneal::sqa::{simulated_quantum_annealing, SqaParams};
+use qdm_anneal::tabu::{tabu_search, TabuParams};
+use qdm_qubo::model::{bits_from_index, QuboModel};
+use qdm_qubo::solve::{solve_exact, solve_random, SolveResult, MAX_EXACT_VARS};
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// Which branch of Fig. 2 a solver belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Quantum-annealing path (simulated here, per DESIGN.md).
+    Annealing,
+    /// Gate-based path (QAOA, VQE, Grover on the state-vector simulator).
+    GateBased,
+    /// Classical baseline.
+    Classical,
+}
+
+/// A solver over QUBO models.
+pub trait QuboSolver {
+    /// Display name.
+    fn name(&self) -> &str;
+    /// Which Fig. 2 branch this is.
+    fn kind(&self) -> SolverKind;
+    /// Largest variable count the solver accepts.
+    fn max_vars(&self) -> usize;
+    /// Solves the model.
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult;
+}
+
+/// Certified exact enumeration (classical).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExactSolver;
+
+impl QuboSolver for ExactSolver {
+    fn name(&self) -> &str {
+        "exact"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Classical
+    }
+    fn max_vars(&self) -> usize {
+        MAX_EXACT_VARS
+    }
+    fn solve(&self, q: &QuboModel, _rng: &mut StdRng) -> SolveResult {
+        solve_exact(q)
+    }
+}
+
+/// Classical simulated annealing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SaSolver {
+    /// Optional fixed parameters; auto-scaled to the model when `None`.
+    pub params: Option<SaParams>,
+}
+
+impl QuboSolver for SaSolver {
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Annealing
+    }
+    fn max_vars(&self) -> usize {
+        100_000
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SaParams::scaled_to(q));
+        simulated_annealing(q, &params, rng)
+    }
+}
+
+/// Simulated *quantum* annealing (path-integral transverse-field Monte
+/// Carlo) — the annealing-hardware stand-in.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SqaSolver {
+    /// Optional fixed parameters; auto-scaled when `None`.
+    pub params: Option<SqaParams>,
+}
+
+impl QuboSolver for SqaSolver {
+    fn name(&self) -> &str {
+        "simulated-quantum-annealing"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Annealing
+    }
+    fn max_vars(&self) -> usize {
+        10_000
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SqaParams::scaled_to(q));
+        simulated_quantum_annealing(q, &params, rng)
+    }
+}
+
+/// Tabu search (classical metaheuristic baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TabuSolver {
+    /// Optional fixed parameters.
+    pub params: Option<TabuParams>,
+}
+
+impl QuboSolver for TabuSolver {
+    fn name(&self) -> &str {
+        "tabu"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Classical
+    }
+    fn max_vars(&self) -> usize {
+        100_000
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        tabu_search(q, &self.params.unwrap_or_default(), rng)
+    }
+}
+
+/// Uniform random sampling baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSolver {
+    /// Number of random assignments to draw.
+    pub samples: u64,
+}
+
+impl Default for RandomSolver {
+    fn default() -> Self {
+        Self { samples: 1000 }
+    }
+}
+
+impl QuboSolver for RandomSolver {
+    fn name(&self) -> &str {
+        "random"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Classical
+    }
+    fn max_vars(&self) -> usize {
+        1_000_000
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        solve_random(q, self.samples, rng)
+    }
+}
+
+/// QAOA on the gate-model simulator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QaoaSolver {
+    /// Optional fixed hyperparameters.
+    pub params: Option<QaoaParams>,
+}
+
+impl QuboSolver for QaoaSolver {
+    fn name(&self) -> &str {
+        "qaoa"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::GateBased
+    }
+    fn max_vars(&self) -> usize {
+        20
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        qaoa_optimize(q, &self.params.unwrap_or_default(), rng).solve
+    }
+}
+
+/// VQE on the gate-model simulator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VqeSolver {
+    /// Optional fixed hyperparameters.
+    pub params: Option<VqeParams>,
+}
+
+impl QuboSolver for VqeSolver {
+    fn name(&self) -> &str {
+        "vqe"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::GateBased
+    }
+    fn max_vars(&self) -> usize {
+        16
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        vqe_optimize(q, &self.params.unwrap_or_default(), rng).solve
+    }
+}
+
+/// Grover-based optimization: Dürr–Høyer minimum finding over the QUBO
+/// energy landscape (the route of Groppe & Groppe \[31\]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GroverMinSolver;
+
+impl QuboSolver for GroverMinSolver {
+    fn name(&self) -> &str {
+        "grover-minimum"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::GateBased
+    }
+    fn max_vars(&self) -> usize {
+        16
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        let start = Instant::now();
+        let n = q.n_vars();
+        if n == 0 {
+            return solve_exact(q);
+        }
+        let table = EnergyTable::new(q);
+        let res = durr_hoyer_minimum(n, |x| table.energies[x], rng);
+        SolveResult {
+            bits: bits_from_index(res.index, n),
+            energy: res.key,
+            evaluations: res.quantum_queries + res.classical_queries,
+            seconds: start.elapsed().as_secs_f64(),
+            certified_optimal: false,
+        }
+    }
+}
+
+/// Trotterized adiabatic evolution on the gate simulator — the unitary
+/// dynamics a quantum annealer physically implements.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AdiabaticSolver {
+    /// Optional fixed parameters.
+    pub params: Option<qdm_algos::adiabatic::AdiabaticParams>,
+}
+
+impl QuboSolver for AdiabaticSolver {
+    fn name(&self) -> &str {
+        "adiabatic-evolution"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Annealing
+    }
+    fn max_vars(&self) -> usize {
+        16
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        qdm_algos::adiabatic::adiabatic_evolve(q, &self.params.unwrap_or_default(), rng).solve
+    }
+}
+
+/// Every Fig. 2 path plus the classical baselines, boxed for iteration.
+pub fn full_registry() -> Vec<Box<dyn QuboSolver>> {
+    vec![
+        Box::new(ExactSolver),
+        Box::new(SaSolver::default()),
+        Box::new(SqaSolver::default()),
+        Box::new(AdiabaticSolver::default()),
+        Box::new(TabuSolver::default()),
+        Box::new(RandomSolver::default()),
+        Box::new(QaoaSolver::default()),
+        Box::new(VqeSolver::default()),
+        Box::new(GroverMinSolver),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn model(seed: u64) -> QuboModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = QuboModel::new(8);
+        for i in 0..8 {
+            q.add_linear(i, rng.random_range(-2.0..2.0));
+            for j in (i + 1)..8 {
+                if rng.random::<f64>() < 0.4 {
+                    q.add_quadratic(i, j, rng.random_range(-2.0..2.0));
+                }
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn every_registry_solver_finds_a_consistent_solution() {
+        let q = model(1);
+        let exact = solve_exact(&q);
+        for solver in full_registry() {
+            let mut rng = StdRng::seed_from_u64(99);
+            let res = solver.solve(&q, &mut rng);
+            assert!(
+                (q.energy(&res.bits) - res.energy).abs() < 1e-9,
+                "{} reports inconsistent energy",
+                solver.name()
+            );
+            assert!(
+                res.energy >= exact.energy - 1e-9,
+                "{} beat the certified optimum?!",
+                solver.name()
+            );
+        }
+    }
+
+    #[test]
+    fn strong_solvers_match_exact_on_small_model() {
+        let q = model(2);
+        let exact = solve_exact(&q);
+        for solver in [
+            Box::new(SaSolver::default()) as Box<dyn QuboSolver>,
+            Box::new(SqaSolver::default()),
+            Box::new(TabuSolver::default()),
+            Box::new(GroverMinSolver),
+        ] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let res = solver.solve(&q, &mut rng);
+            assert!(
+                (res.energy - exact.energy).abs() < 1e-9,
+                "{}: {} vs exact {}",
+                solver.name(),
+                res.energy,
+                exact.energy
+            );
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_kinds() {
+        let kinds: std::collections::HashSet<_> =
+            full_registry().iter().map(|s| s.kind()).collect();
+        assert!(kinds.contains(&SolverKind::Annealing));
+        assert!(kinds.contains(&SolverKind::GateBased));
+        assert!(kinds.contains(&SolverKind::Classical));
+    }
+}

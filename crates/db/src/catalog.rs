@@ -1,0 +1,135 @@
+//! A tiny catalog: named tables with statistics, the glue between the
+//! abstract [`crate::query::QueryGraph`] world and the executor.
+
+use crate::query::{JoinEdge, QueryGraph};
+use serde::{Deserialize, Serialize};
+
+/// Statistics and naming for one base table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Table name.
+    pub name: String,
+    /// Estimated row count.
+    pub cardinality: f64,
+}
+
+/// A catalog of tables plus known join predicates between them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<TableMeta>,
+    predicates: Vec<JoinEdge>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table; returns its relation index.
+    pub fn add_table(&mut self, name: impl Into<String>, cardinality: f64) -> usize {
+        assert!(cardinality > 0.0, "cardinality must be positive");
+        self.tables.push(TableMeta { name: name.into(), cardinality });
+        self.tables.len() - 1
+    }
+
+    /// Registers a join predicate between two tables.
+    ///
+    /// # Panics
+    /// Panics on unknown indices or a selectivity outside `(0, 1]`.
+    pub fn add_predicate(&mut self, a: usize, b: usize, selectivity: f64) {
+        assert!(a < self.tables.len() && b < self.tables.len() && a != b);
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        self.predicates.push(JoinEdge { a, b, selectivity });
+    }
+
+    /// Number of registered tables.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table metadata by index.
+    pub fn table(&self, i: usize) -> &TableMeta {
+        &self.tables[i]
+    }
+
+    /// Finds a table index by name.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// Builds the query graph over a subset of tables (by index); predicate
+    /// endpoints are remapped to positions within `tables`.
+    pub fn query_graph(&self, tables: &[usize]) -> QueryGraph {
+        let cards: Vec<f64> = tables.iter().map(|&t| self.tables[t].cardinality).collect();
+        let pos_of = |t: usize| tables.iter().position(|&x| x == t);
+        let edges = self
+            .predicates
+            .iter()
+            .filter_map(|e| {
+                let (pa, pb) = (pos_of(e.a)?, pos_of(e.b)?);
+                Some(JoinEdge { a: pa, b: pb, selectivity: e.selectivity })
+            })
+            .collect();
+        QueryGraph::new(cards, edges)
+    }
+
+    /// The query graph over every table in the catalog.
+    pub fn full_query_graph(&self) -> QueryGraph {
+        self.query_graph(&(0..self.tables.len()).collect::<Vec<_>>())
+    }
+}
+
+/// A small star-schema catalog reminiscent of a decision-support workload:
+/// one fact table joined to `n_dims` dimension tables.
+pub fn star_schema_catalog(n_dims: usize) -> Catalog {
+    let mut c = Catalog::new();
+    let fact = c.add_table("fact_sales", 1_000_000.0);
+    for d in 0..n_dims {
+        let dim = c.add_table(format!("dim_{d}"), 1_000.0 * (d + 1) as f64);
+        c.add_predicate(fact, dim, 1.0 / (1_000.0 * (d + 1) as f64));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut c = Catalog::new();
+        let a = c.add_table("orders", 1000.0);
+        let b = c.add_table("lineitem", 4000.0);
+        c.add_predicate(a, b, 0.001);
+        assert_eq!(c.n_tables(), 2);
+        assert_eq!(c.table_index("orders"), Some(a));
+        assert_eq!(c.table(b).name, "lineitem");
+        let g = c.full_query_graph();
+        assert_eq!(g.n_relations(), 2);
+        assert_eq!(g.selectivity(0, 1), 0.001);
+    }
+
+    #[test]
+    fn subset_query_graph_remaps_indices() {
+        let mut c = Catalog::new();
+        let a = c.add_table("a", 10.0);
+        let b = c.add_table("b", 20.0);
+        let d = c.add_table("d", 30.0);
+        c.add_predicate(a, d, 0.5);
+        c.add_predicate(a, b, 0.1);
+        let g = c.query_graph(&[a, d]);
+        assert_eq!(g.n_relations(), 2);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.selectivity(0, 1), 0.5);
+    }
+
+    #[test]
+    fn star_schema_shape() {
+        let c = star_schema_catalog(4);
+        assert_eq!(c.n_tables(), 5);
+        let g = c.full_query_graph();
+        assert_eq!(g.edges.len(), 4);
+        assert!(g.edges.iter().all(|e| e.a == 0 || e.b == 0));
+    }
+}

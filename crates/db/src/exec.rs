@@ -1,0 +1,352 @@
+//! A miniature in-memory execution engine.
+//!
+//! Join *plans* are only half the story: to validate that every join order
+//! produces the same answer (and to give the examples something real to
+//! run), this module provides a small row-store with hash joins, filters and
+//! projections, plus a generator that materializes a database consistent
+//! with a [`QueryGraph`]'s statistics.
+
+use crate::plan::JoinTree;
+use crate::query::QueryGraph;
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+/// A named, typed-by-convention column list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// Column names, qualified as `r{rel}.{col}`.
+    pub columns: Vec<String>,
+}
+
+impl Schema {
+    /// Index of a column by exact name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// An in-memory table: schema plus row-major tuples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    /// Tuples.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Number of tuples.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Selection: keeps rows satisfying the predicate.
+    pub fn filter(&self, pred: impl Fn(&[Value]) -> bool) -> Table {
+        Table {
+            name: format!("sigma({})", self.name),
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Projection onto the listed column indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn project(&self, cols: &[usize]) -> Table {
+        let schema = Schema {
+            columns: cols.iter().map(|&c| self.schema.columns[c].clone()).collect(),
+        };
+        Table {
+            name: format!("pi({})", self.name),
+            schema,
+            rows: self
+                .rows
+                .iter()
+                .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+                .collect(),
+        }
+    }
+
+    /// A canonical multiset fingerprint of the rows (sorted row list), used
+    /// to check plan equivalence irrespective of column order.
+    pub fn row_multiset(&self) -> Vec<Vec<Value>> {
+        let mut sorted_cols: Vec<usize> = (0..self.schema.columns.len()).collect();
+        sorted_cols.sort_by(|&a, &b| self.schema.columns[a].cmp(&self.schema.columns[b]));
+        let mut rows: Vec<Vec<Value>> = self
+            .rows
+            .iter()
+            .map(|r| sorted_cols.iter().map(|&c| r[c].clone()).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+/// Hash equi-join of two tables on `left.columns[lc] == right.columns[rc]`.
+/// The output schema concatenates both inputs.
+pub fn hash_join(left: &Table, right: &Table, lc: usize, rc: usize) -> Table {
+    let mut index: HashMap<&Value, Vec<usize>> = HashMap::new();
+    for (i, row) in left.rows.iter().enumerate() {
+        index.entry(&row[lc]).or_default().push(i);
+    }
+    let mut rows = Vec::new();
+    for rrow in &right.rows {
+        if let Some(matches) = index.get(&rrow[rc]) {
+            for &li in matches {
+                let mut out = left.rows[li].clone();
+                out.extend(rrow.iter().cloned());
+                rows.push(out);
+            }
+        }
+    }
+    let mut columns = left.schema.columns.clone();
+    columns.extend(right.schema.columns.iter().cloned());
+    Table {
+        name: format!("({} ⋈ {})", left.name, right.name),
+        schema: Schema { columns },
+        rows,
+    }
+}
+
+/// Cross product (used when a join tree pairs disconnected subtrees).
+pub fn cross_product(left: &Table, right: &Table) -> Table {
+    let mut rows = Vec::with_capacity(left.n_rows() * right.n_rows());
+    for lrow in &left.rows {
+        for rrow in &right.rows {
+            let mut out = lrow.clone();
+            out.extend(rrow.iter().cloned());
+            rows.push(out);
+        }
+    }
+    let mut columns = left.schema.columns.clone();
+    columns.extend(right.schema.columns.iter().cloned());
+    Table {
+        name: format!("({} × {})", left.name, right.name),
+        schema: Schema { columns },
+        rows,
+    }
+}
+
+/// A database materialized for a query graph: `tables[r]` backs relation `r`.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// One table per relation.
+    pub tables: Vec<Table>,
+}
+
+/// Materializes a database consistent with the *shape* of a query graph.
+///
+/// Relation `r` gets `min(cardinality, max_rows)` tuples with a row id and,
+/// for every incident join edge `e`, a join-key column `k{e}` drawn
+/// uniformly from `0..key_domain` — so the expected selectivity of each
+/// predicate is `1/key_domain`.
+pub fn generate_database(
+    graph: &QueryGraph,
+    max_rows: usize,
+    key_domain: u32,
+    rng: &mut impl Rng,
+) -> Database {
+    let mut tables = Vec::with_capacity(graph.n_relations());
+    for r in 0..graph.n_relations() {
+        let n_rows = (graph.cardinalities[r] as usize).min(max_rows).max(1);
+        let incident: Vec<usize> = graph
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.a == r || e.b == r)
+            .map(|(i, _)| i)
+            .collect();
+        let mut columns = vec![format!("r{r}.id")];
+        columns.extend(incident.iter().map(|e| format!("r{r}.k{e}")));
+        let rows = (0..n_rows)
+            .map(|i| {
+                let mut row = vec![Value::Int(i as i64)];
+                row.extend(
+                    incident
+                        .iter()
+                        .map(|_| Value::Int(rng.random_range(0..key_domain) as i64)),
+                );
+                row
+            })
+            .collect();
+        tables.push(Table { name: format!("R{r}"), schema: Schema { columns }, rows });
+    }
+    Database { tables }
+}
+
+/// Executes a join tree against a database, applying every query-graph
+/// predicate whose endpoints span the join — the first as a hash join, the
+/// rest as residual filters.
+pub fn execute(tree: &JoinTree, db: &Database, graph: &QueryGraph) -> Table {
+    match tree {
+        JoinTree::Leaf(r) => db.tables[*r].clone(),
+        JoinTree::Join(l, r) => {
+            let lt = execute(l, db, graph);
+            let rt = execute(r, db, graph);
+            let (lmask, rmask) = (l.relation_mask(), r.relation_mask());
+            // Predicates crossing the join frontier.
+            let crossing: Vec<(usize, usize, usize)> = graph
+                .edges
+                .iter()
+                .enumerate()
+                .filter_map(|(ei, e)| {
+                    let (ba, bb) = (1u64 << e.a, 1u64 << e.b);
+                    if lmask & ba != 0 && rmask & bb != 0 {
+                        Some((ei, e.a, e.b))
+                    } else if lmask & bb != 0 && rmask & ba != 0 {
+                        Some((ei, e.b, e.a))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let Some(&(e0, la, rb)) = crossing.first() else {
+                return cross_product(&lt, &rt);
+            };
+            let lc = lt
+                .schema
+                .column_index(&format!("r{la}.k{e0}"))
+                .expect("left join key exists");
+            let rc = rt
+                .schema
+                .column_index(&format!("r{rb}.k{e0}"))
+                .expect("right join key exists");
+            let mut joined = hash_join(&lt, &rt, lc, rc);
+            // Residual predicates.
+            for &(ei, a, b) in &crossing[1..] {
+                let ca = joined
+                    .schema
+                    .column_index(&format!("r{a}.k{ei}"))
+                    .expect("residual key a");
+                let cb = joined
+                    .schema
+                    .column_index(&format!("r{b}.k{ei}"))
+                    .expect("residual key b");
+                joined = joined.filter(|row| row[ca] == row[cb]);
+            }
+            joined
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{greedy_goo, optimal_bushy, optimal_left_deep};
+    use crate::query::{GraphShape, JoinEdge};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_tables() -> (Table, Table) {
+        let a = Table {
+            name: "A".into(),
+            schema: Schema { columns: vec!["r0.id".into(), "r0.k0".into()] },
+            rows: vec![
+                vec![Value::Int(0), Value::Int(1)],
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(1)],
+            ],
+        };
+        let b = Table {
+            name: "B".into(),
+            schema: Schema { columns: vec!["r1.id".into(), "r1.k0".into()] },
+            rows: vec![
+                vec![Value::Int(0), Value::Int(1)],
+                vec![Value::Int(1), Value::Int(3)],
+            ],
+        };
+        (a, b)
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_semantics() {
+        let (a, b) = toy_tables();
+        let j = hash_join(&a, &b, 1, 1);
+        // k=1 matches rows {0, 2} of A with row 0 of B.
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.schema.columns.len(), 4);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let (a, _) = toy_tables();
+        let f = a.filter(|r| r[1] == Value::Int(1));
+        assert_eq!(f.n_rows(), 2);
+        let p = f.project(&[0]);
+        assert_eq!(p.schema.columns, vec!["r0.id".to_string()]);
+        assert_eq!(p.rows, vec![vec![Value::Int(0)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn cross_product_counts() {
+        let (a, b) = toy_tables();
+        assert_eq!(cross_product(&a, &b).n_rows(), 6);
+    }
+
+    #[test]
+    fn all_plans_return_identical_results() {
+        // The fundamental correctness property behind the whole join-order
+        // business: plan choice changes cost, never the answer.
+        let mut rng = StdRng::seed_from_u64(77);
+        for shape in [GraphShape::Chain, GraphShape::Star, GraphShape::Cycle] {
+            let graph = QueryGraph::generate(shape, 4, &mut rng);
+            let db = generate_database(&graph, 30, 4, &mut rng);
+            let plans = [
+                optimal_bushy(&graph).tree,
+                optimal_left_deep(&graph).tree,
+                greedy_goo(&graph).tree,
+                JoinTree::left_deep(&[3, 2, 1, 0]),
+                JoinTree::left_deep(&[0, 2, 1, 3]),
+            ];
+            let reference = execute(&plans[0], &db, &graph).row_multiset();
+            for plan in &plans[1..] {
+                let got = execute(plan, &db, &graph).row_multiset();
+                assert_eq!(got, reference, "{shape:?}: plan {plan} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_database_respects_caps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = QueryGraph::new(
+            vec![1000.0, 5.0],
+            vec![JoinEdge { a: 0, b: 1, selectivity: 0.25 }],
+        );
+        let db = generate_database(&graph, 50, 4, &mut rng);
+        assert_eq!(db.tables[0].n_rows(), 50);
+        assert_eq!(db.tables[1].n_rows(), 5);
+        assert_eq!(db.tables[0].schema.columns, vec!["r0.id", "r0.k0"]);
+    }
+
+    #[test]
+    fn cycle_residual_predicates_are_applied() {
+        // In a 3-cycle, joining (R0 ⋈ R1) ⋈ R2 must apply BOTH the 1-2 and
+        // 0-2 predicates at the top join.
+        let mut rng = StdRng::seed_from_u64(9);
+        let graph = QueryGraph::generate(GraphShape::Cycle, 3, &mut rng);
+        let db = generate_database(&graph, 40, 3, &mut rng);
+        let plan = JoinTree::left_deep(&[0, 1, 2]);
+        let result = execute(&plan, &db, &graph);
+        // Every output row must satisfy all three predicates.
+        for (ei, e) in graph.edges.iter().enumerate() {
+            let ca = result.schema.column_index(&format!("r{}.k{}", e.a, ei)).unwrap();
+            let cb = result.schema.column_index(&format!("r{}.k{}", e.b, ei)).unwrap();
+            for row in &result.rows {
+                assert_eq!(row[ca], row[cb]);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # qdm-db — classical database substrate
+//!
+//! Everything "database" the paper's Table I problems need, built from
+//! scratch: query graphs and workload generators, the `C_out` cost model,
+//! join plans, the classical optimizers that serve as baselines for the
+//! quantum encodings (exact DP, greedy GOO, QuickPick), a miniature
+//! execution engine to prove plan equivalence, transactional workloads with
+//! conflict analysis and two-phase-locking simulation, and a small catalog.
+//!
+//! - [`query`] — [`query::QueryGraph`] + chain/star/cycle/clique generators.
+//! - [`plan`] — [`plan::JoinTree`], [`plan::CostModel`] (`C_out`).
+//! - [`optimizer`] — exact bushy DP, exact left-deep DP, GOO, QuickPick.
+//! - [`exec`] — row-store executor: hash join, filter, project; database
+//!   generator consistent with graph statistics.
+//! - [`txn`] — transactions, conflicts, schedules, conservative 2PL
+//!   simulation, conflict-serializability of op-level histories.
+//! - [`catalog`] — named tables and predicates; star-schema helper.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod exec;
+pub mod optimizer;
+pub mod plan;
+pub mod query;
+pub mod txn;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::catalog::{star_schema_catalog, Catalog, TableMeta};
+    pub use crate::exec::{
+        cross_product, execute, generate_database, hash_join, Database, Schema, Table, Value,
+    };
+    pub use crate::optimizer::{greedy_goo, optimal_bushy, optimal_left_deep, quickpick, PlanResult};
+    pub use crate::plan::{CostModel, JoinTree};
+    pub use crate::query::{GraphShape, JoinEdge, QueryGraph};
+    pub use crate::txn::{
+        greedy_schedule, history_from_schedule, random_workload, serial_schedule,
+        simulate_conservative_2pl, History, Op, Transaction, TxnSchedule,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,323 @@
+//! Classical join-ordering optimizers: the baselines every quantum approach
+//! in Sec. III-B is measured against.
+//!
+//! - [`optimal_bushy`] — dynamic programming over subsets (DPsub), the
+//!   textbook exact algorithm (Selinger-style generalized to bushy trees);
+//! - [`optimal_left_deep`] — exact DP restricted to left-deep trees;
+//! - [`greedy_goo`] — Greedy Operator Ordering (Fegaras): repeatedly join
+//!   the pair with the smallest intermediate result;
+//! - [`quickpick`] — randomized sampling of edge-driven join trees.
+
+use crate::plan::{CostModel, JoinTree};
+use crate::query::QueryGraph;
+use rand::{Rng, RngExt};
+
+/// An optimizer outcome: the chosen tree and its `C_out` cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanResult {
+    /// The join tree.
+    pub tree: JoinTree,
+    /// Its `C_out` cost.
+    pub cost: f64,
+}
+
+/// Exact bushy-tree optimum via dynamic programming over subsets.
+///
+/// Considers all splits (cross products permitted, as in the QUBO encodings
+/// it is compared with). Complexity `O(3^n)`; practical to ~16 relations.
+///
+/// # Panics
+/// Panics if the graph has more than 24 relations or fewer than 1.
+pub fn optimal_bushy(graph: &QueryGraph) -> PlanResult {
+    let n = graph.n_relations();
+    assert!((1..=24).contains(&n), "bushy DP supports 1..=24 relations");
+    let cm = CostModel::new(graph);
+    let full = (1u64 << n) - 1;
+    let size = 1usize << n;
+    let mut best_cost = vec![f64::INFINITY; size];
+    let mut best_split: Vec<u64> = vec![0; size];
+    for r in 0..n {
+        best_cost[1usize << r] = 0.0;
+    }
+    // Iterate subsets in increasing popcount order implicitly: any proper
+    // subset of S is numerically smaller than S only when iterating masks in
+    // increasing order AND splits use strictly smaller masks — true since a
+    // proper nonempty subset of S is < S.
+    for s in 1..=full {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        let s_us = s as usize;
+        let card = cm.cardinality(s);
+        // Enumerate proper nonempty subsets s1 of s with s1 < complement
+        // partner to halve work.
+        let mut s1 = (s - 1) & s;
+        while s1 != 0 {
+            let s2 = s & !s1;
+            if s1 < s2 {
+                let c = best_cost[s1 as usize] + best_cost[s2 as usize] + card;
+                if c < best_cost[s_us] {
+                    best_cost[s_us] = c;
+                    best_split[s_us] = s1;
+                }
+            }
+            s1 = (s1 - 1) & s;
+        }
+    }
+    let tree = rebuild(full, &best_split);
+    PlanResult { tree, cost: best_cost[full as usize] }
+}
+
+fn rebuild(mask: u64, best_split: &[u64]) -> JoinTree {
+    if mask.count_ones() == 1 {
+        return JoinTree::Leaf(mask.trailing_zeros() as usize);
+    }
+    let s1 = best_split[mask as usize];
+    let s2 = mask & !s1;
+    JoinTree::Join(Box::new(rebuild(s1, best_split)), Box::new(rebuild(s2, best_split)))
+}
+
+/// Exact left-deep optimum via DP with "last relation" transitions,
+/// `O(2^n * n^2)`.
+///
+/// # Panics
+/// Panics outside 1..=24 relations.
+pub fn optimal_left_deep(graph: &QueryGraph) -> PlanResult {
+    let n = graph.n_relations();
+    assert!((1..=24).contains(&n));
+    let cm = CostModel::new(graph);
+    let full = (1u64 << n) - 1;
+    let size = 1usize << n;
+    let mut best_cost = vec![f64::INFINITY; size];
+    let mut pred: Vec<usize> = vec![usize::MAX; size];
+    for r in 0..n {
+        best_cost[1usize << r] = 0.0;
+    }
+    for s in 1..=full {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        let card = cm.cardinality(s);
+        let s_us = s as usize;
+        let mut bits = s;
+        while bits != 0 {
+            let r = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let prev = s & !(1u64 << r);
+            let c = best_cost[prev as usize] + card;
+            if c < best_cost[s_us] {
+                best_cost[s_us] = c;
+                pred[s_us] = r;
+            }
+        }
+    }
+    // Rebuild the order backwards.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask.count_ones() > 1 {
+        let r = pred[mask as usize];
+        order.push(r);
+        mask &= !(1u64 << r);
+    }
+    order.push(mask.trailing_zeros() as usize);
+    order.reverse();
+    PlanResult { tree: JoinTree::left_deep(&order), cost: best_cost[full as usize] }
+}
+
+/// Greedy Operator Ordering: repeatedly joins the pair of partial trees
+/// whose result has the smallest estimated cardinality. `O(n^3)`.
+pub fn greedy_goo(graph: &QueryGraph) -> PlanResult {
+    let n = graph.n_relations();
+    assert!(n >= 1);
+    let cm = CostModel::new(graph);
+    let mut forest: Vec<(JoinTree, u64)> =
+        (0..n).map(|r| (JoinTree::Leaf(r), 1u64 << r)).collect();
+    let mut total = 0.0;
+    while forest.len() > 1 {
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..forest.len() {
+            for j in (i + 1)..forest.len() {
+                let card = cm.cardinality(forest[i].1 | forest[j].1);
+                if card < best.2 {
+                    best = (i, j, card);
+                }
+            }
+        }
+        let (i, j, card) = best;
+        total += card;
+        let (tj, mj) = forest.swap_remove(j);
+        let (ti, mi) = forest.swap_remove(if i < forest.len() { i } else { j });
+        forest.push((JoinTree::Join(Box::new(ti), Box::new(tj)), mi | mj));
+    }
+    let (tree, _) = forest.pop().expect("non-empty forest");
+    PlanResult { cost: total, tree }
+}
+
+/// QuickPick: builds `samples` random join trees by repeatedly contracting a
+/// random join edge, returning the cheapest.
+pub fn quickpick(graph: &QueryGraph, samples: usize, rng: &mut impl Rng) -> PlanResult {
+    let n = graph.n_relations();
+    assert!(n >= 1 && !graph.edges.is_empty() || n == 1, "quickpick needs join edges");
+    let cm = CostModel::new(graph);
+    let mut best: Option<PlanResult> = None;
+    for _ in 0..samples.max(1) {
+        // Union-find over relations; trees per root.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        let mut trees: Vec<Option<JoinTree>> = (0..n).map(|r| Some(JoinTree::Leaf(r))).collect();
+        let mut edges = graph.edges.clone();
+        // Shuffle edges (Fisher–Yates).
+        for i in (1..edges.len()).rev() {
+            let j = rng.random_range(0..=i);
+            edges.swap(i, j);
+        }
+        let mut merged = 1;
+        for e in &edges {
+            let (ra, rb) = (find(&mut parent, e.a), find(&mut parent, e.b));
+            if ra != rb {
+                let ta = trees[ra].take().expect("root holds a tree");
+                let tb = trees[rb].take().expect("root holds a tree");
+                parent[rb] = ra;
+                trees[ra] = Some(JoinTree::Join(Box::new(ta), Box::new(tb)));
+                merged += 1;
+            }
+        }
+        // If the graph is disconnected, cross-join remaining roots.
+        if merged < n {
+            let mut roots: Vec<usize> =
+                (0..n).filter(|&r| find(&mut parent, r) == r).collect();
+            while roots.len() > 1 {
+                let rb = roots.pop().expect("len > 1");
+                let ra = roots[0];
+                let ta = trees[ra].take().expect("root");
+                let tb = trees[rb].take().expect("root");
+                parent[rb] = ra;
+                trees[ra] = Some(JoinTree::Join(Box::new(ta), Box::new(tb)));
+            }
+        }
+        let root = find(&mut parent, 0);
+        let tree = trees[root].take().expect("final tree");
+        let cost = cm.cost(&tree);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(PlanResult { tree, cost });
+        }
+    }
+    best.expect("at least one sample")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{GraphShape, QueryGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn brute_force_left_deep(graph: &QueryGraph) -> f64 {
+        let n = graph.n_relations();
+        let cm = CostModel::new(graph);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut order, 0, &mut |o| {
+            let c = cm.cost_left_deep(o);
+            if c < best {
+                best = c;
+            }
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn left_deep_dp_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for shape in [GraphShape::Chain, GraphShape::Star, GraphShape::Cycle, GraphShape::Clique] {
+            let g = QueryGraph::generate(shape, 6, &mut rng);
+            let dp = optimal_left_deep(&g);
+            let bf = brute_force_left_deep(&g);
+            assert!(
+                (dp.cost - bf).abs() / bf.max(1.0) < 1e-9,
+                "{shape:?}: dp {} vs brute force {}",
+                dp.cost,
+                bf
+            );
+            assert!(dp.tree.is_left_deep());
+        }
+    }
+
+    #[test]
+    fn bushy_never_worse_than_left_deep() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for shape in [GraphShape::Chain, GraphShape::Star, GraphShape::Cycle, GraphShape::Clique] {
+            for _ in 0..3 {
+                let g = QueryGraph::generate(shape, 7, &mut rng);
+                let bushy = optimal_bushy(&g);
+                let ld = optimal_left_deep(&g);
+                assert!(
+                    bushy.cost <= ld.cost + 1e-9,
+                    "{shape:?}: bushy {} > left-deep {}",
+                    bushy.cost,
+                    ld.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bushy_cost_matches_tree_evaluation() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let g = QueryGraph::generate(GraphShape::Star, 8, &mut rng);
+        let res = optimal_bushy(&g);
+        let cm = CostModel::new(&g);
+        assert!((cm.cost(&res.tree) - res.cost).abs() / res.cost < 1e-9);
+        assert_eq!(res.tree.relation_mask(), (1 << 8) - 1);
+    }
+
+    #[test]
+    fn goo_is_feasible_and_reasonable() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let g = QueryGraph::generate(GraphShape::Chain, 10, &mut rng);
+        let goo = greedy_goo(&g);
+        let cm = CostModel::new(&g);
+        assert!((cm.cost(&goo.tree) - goo.cost).abs() / goo.cost.max(1.0) < 1e-9);
+        let opt = optimal_bushy(&g);
+        assert!(goo.cost >= opt.cost - 1e-9);
+        // GOO should be within a couple orders of magnitude on chains.
+        assert!(goo.cost <= opt.cost * 1e4);
+    }
+
+    #[test]
+    fn quickpick_improves_with_samples() {
+        let mut rng1 = StdRng::seed_from_u64(50);
+        let mut rng2 = StdRng::seed_from_u64(50);
+        let g = QueryGraph::generate(GraphShape::Clique, 8, &mut StdRng::seed_from_u64(51));
+        let few = quickpick(&g, 1, &mut rng1);
+        let many = quickpick(&g, 200, &mut rng2);
+        assert!(many.cost <= few.cost);
+        assert_eq!(many.tree.relation_mask(), (1 << 8) - 1);
+    }
+
+    #[test]
+    fn single_relation_plans() {
+        let g = QueryGraph::new(vec![42.0], vec![]);
+        assert_eq!(optimal_bushy(&g).cost, 0.0);
+        assert_eq!(optimal_left_deep(&g).cost, 0.0);
+        assert_eq!(greedy_goo(&g).cost, 0.0);
+    }
+}

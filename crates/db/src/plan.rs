@@ -1,0 +1,242 @@
+//! Join plans: bushy join trees and left-deep orders, with the `C_out`
+//! cost model (sum of intermediate result cardinalities) used throughout
+//! the join-ordering literature surveyed in Sec. III-B.
+
+use crate::query::QueryGraph;
+use std::fmt;
+
+/// A (possibly bushy) join tree over relation indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinTree {
+    /// A base relation.
+    Leaf(usize),
+    /// A join of two subtrees.
+    Join(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// Builds a left-deep tree from a relation order.
+    ///
+    /// # Panics
+    /// Panics if `order` is empty.
+    pub fn left_deep(order: &[usize]) -> Self {
+        assert!(!order.is_empty());
+        let mut tree = JoinTree::Leaf(order[0]);
+        for &r in &order[1..] {
+            tree = JoinTree::Join(Box::new(tree), Box::new(JoinTree::Leaf(r)));
+        }
+        tree
+    }
+
+    /// Bitmask of relations in this subtree.
+    pub fn relation_mask(&self) -> u64 {
+        match self {
+            JoinTree::Leaf(r) => 1u64 << r,
+            JoinTree::Join(l, r) => l.relation_mask() | r.relation_mask(),
+        }
+    }
+
+    /// Relations in this subtree, in left-to-right leaf order.
+    pub fn relations(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut Vec<usize>) {
+        match self {
+            JoinTree::Leaf(r) => out.push(*r),
+            JoinTree::Join(l, r) => {
+                l.collect_relations(out);
+                r.collect_relations(out);
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 1,
+            JoinTree::Join(l, r) => l.n_leaves() + r.n_leaves(),
+        }
+    }
+
+    /// True when the tree is left-deep (every right child is a leaf).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join(l, r) => matches!(**r, JoinTree::Leaf(_)) && l.is_left_deep(),
+        }
+    }
+}
+
+impl fmt::Display for JoinTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinTree::Leaf(r) => write!(f, "R{r}"),
+            JoinTree::Join(l, r) => write!(f, "({l} ⋈ {r})"),
+        }
+    }
+}
+
+/// The cost model: estimated cardinalities of relation subsets and the
+/// `C_out` plan cost.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    graph: &'a QueryGraph,
+}
+
+impl<'a> CostModel<'a> {
+    /// Wraps a query graph.
+    pub fn new(graph: &'a QueryGraph) -> Self {
+        Self { graph }
+    }
+
+    /// Estimated cardinality of joining the relation subset `mask`:
+    /// product of base cardinalities times the selectivity of every join
+    /// predicate internal to the subset (independence assumption).
+    pub fn cardinality(&self, mask: u64) -> f64 {
+        let mut card = 1.0;
+        for r in 0..self.graph.n_relations() {
+            if mask & (1u64 << r) != 0 {
+                card *= self.graph.cardinalities[r];
+            }
+        }
+        for e in &self.graph.edges {
+            if mask & (1u64 << e.a) != 0 && mask & (1u64 << e.b) != 0 {
+                card *= e.selectivity;
+            }
+        }
+        card
+    }
+
+    /// `C_out` cost of a join tree: the sum of the cardinalities of every
+    /// intermediate (join) node.
+    pub fn cost(&self, tree: &JoinTree) -> f64 {
+        match tree {
+            JoinTree::Leaf(_) => 0.0,
+            JoinTree::Join(l, r) => {
+                self.cost(l) + self.cost(r) + self.cardinality(tree.relation_mask())
+            }
+        }
+    }
+
+    /// `C_out` cost of a left-deep order without building a tree.
+    pub fn cost_left_deep(&self, order: &[usize]) -> f64 {
+        let mut mask = 0u64;
+        let mut cost = 0.0;
+        for (k, &r) in order.iter().enumerate() {
+            mask |= 1u64 << r;
+            if k >= 1 {
+                cost += self.cardinality(mask);
+            }
+        }
+        cost
+    }
+
+    /// Whether a left-deep order avoids cross products (each added relation
+    /// is connected to the prefix).
+    pub fn order_avoids_cross_products(&self, order: &[usize]) -> bool {
+        for (k, &r) in order.iter().enumerate().skip(1) {
+            let connected =
+                order[..k].iter().any(|&p| self.graph.connected(p, r));
+            if !connected {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::JoinEdge;
+
+    fn chain3() -> QueryGraph {
+        QueryGraph::new(
+            vec![100.0, 1000.0, 10.0],
+            vec![
+                JoinEdge { a: 0, b: 1, selectivity: 0.01 },
+                JoinEdge { a: 1, b: 2, selectivity: 0.1 },
+            ],
+        )
+    }
+
+    #[test]
+    fn left_deep_tree_structure() {
+        let t = JoinTree::left_deep(&[2, 0, 1]);
+        assert_eq!(t.relations(), vec![2, 0, 1]);
+        assert_eq!(t.relation_mask(), 0b111);
+        assert!(t.is_left_deep());
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(format!("{t}"), "((R2 ⋈ R0) ⋈ R1)");
+    }
+
+    #[test]
+    fn bushy_tree_is_not_left_deep() {
+        let t = JoinTree::Join(
+            Box::new(JoinTree::Join(
+                Box::new(JoinTree::Leaf(0)),
+                Box::new(JoinTree::Leaf(1)),
+            )),
+            Box::new(JoinTree::Join(
+                Box::new(JoinTree::Leaf(2)),
+                Box::new(JoinTree::Leaf(3)),
+            )),
+        );
+        assert!(!t.is_left_deep());
+        assert_eq!(t.n_leaves(), 4);
+    }
+
+    #[test]
+    fn cardinality_applies_selectivities() {
+        let g = chain3();
+        let cm = CostModel::new(&g);
+        assert_eq!(cm.cardinality(0b001), 100.0);
+        assert_eq!(cm.cardinality(0b011), 100.0 * 1000.0 * 0.01);
+        // Full join applies both predicates.
+        assert_eq!(cm.cardinality(0b111), 100.0 * 1000.0 * 10.0 * 0.01 * 0.1);
+        // Disconnected pair is a cross product.
+        assert_eq!(cm.cardinality(0b101), 100.0 * 10.0);
+    }
+
+    #[test]
+    fn cost_left_deep_matches_tree_cost() {
+        let g = chain3();
+        let cm = CostModel::new(&g);
+        for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [0, 2, 1]] {
+            let tree = JoinTree::left_deep(&order);
+            assert!(
+                (cm.cost(&tree) - cm.cost_left_deep(&order)).abs() < 1e-9,
+                "order {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_product_detection() {
+        let g = chain3();
+        let cm = CostModel::new(&g);
+        assert!(cm.order_avoids_cross_products(&[0, 1, 2]));
+        assert!(cm.order_avoids_cross_products(&[1, 0, 2]));
+        assert!(!cm.order_avoids_cross_products(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn order_matters_for_cost() {
+        let g = QueryGraph::new(
+            vec![10.0, 100_000.0, 20.0],
+            vec![
+                JoinEdge { a: 0, b: 1, selectivity: 0.001 },
+                JoinEdge { a: 1, b: 2, selectivity: 0.01 },
+            ],
+        );
+        let cm = CostModel::new(&g);
+        let good = cm.cost_left_deep(&[0, 1, 2]); // small intermediate first
+        let bad = cm.cost_left_deep(&[1, 2, 0]); // large intermediate first
+        assert!((good - 1200.0).abs() < 1e-9, "good = {good}");
+        assert!((bad - 20_200.0).abs() < 1e-9, "bad = {bad}");
+        assert!(good < bad);
+    }
+}

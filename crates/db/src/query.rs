@@ -1,0 +1,242 @@
+//! Join query graphs and workload generators.
+//!
+//! A [`QueryGraph`] is the standard abstraction for the join-ordering
+//! problem (Sec. III-B): relations with cardinalities, connected by join
+//! predicates with selectivities. The generators produce the canonical
+//! benchmark shapes — chain, star, cycle, clique — used by the join-ordering
+//! literature the paper surveys (\[23\]–\[26\], and the classics \[55\]–\[57\]).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A join predicate between two relations with estimated selectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// First relation index.
+    pub a: usize,
+    /// Second relation index.
+    pub b: usize,
+    /// Join selectivity in `(0, 1]`.
+    pub selectivity: f64,
+}
+
+/// A join query: relations with cardinalities and join predicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryGraph {
+    /// Cardinality of each relation.
+    pub cardinalities: Vec<f64>,
+    /// Join predicates.
+    pub edges: Vec<JoinEdge>,
+}
+
+/// The canonical query-graph shapes of the join-ordering literature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphShape {
+    /// R0 - R1 - R2 - ... (linear).
+    Chain,
+    /// R0 joined to every other relation (fact table with dimensions).
+    Star,
+    /// A chain closed into a ring.
+    Cycle,
+    /// Every pair joined.
+    Clique,
+}
+
+impl QueryGraph {
+    /// Creates a query graph, validating edge indices and selectivities.
+    ///
+    /// # Panics
+    /// Panics on out-of-range relation indices, self-joins, non-positive
+    /// cardinalities, or selectivities outside `(0, 1]`.
+    pub fn new(cardinalities: Vec<f64>, edges: Vec<JoinEdge>) -> Self {
+        let n = cardinalities.len();
+        for &c in &cardinalities {
+            assert!(c > 0.0, "cardinalities must be positive");
+        }
+        for e in &edges {
+            assert!(e.a < n && e.b < n && e.a != e.b, "bad edge {e:?}");
+            assert!(e.selectivity > 0.0 && e.selectivity <= 1.0, "bad selectivity {e:?}");
+        }
+        Self { cardinalities, edges }
+    }
+
+    /// Number of relations.
+    pub fn n_relations(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Selectivity between two relations (1.0 when no predicate exists —
+    /// i.e. a cross product).
+    pub fn selectivity(&self, a: usize, b: usize) -> f64 {
+        self.edges
+            .iter()
+            .find(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+            .map_or(1.0, |e| e.selectivity)
+    }
+
+    /// Whether a join predicate connects the two relations.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.edges.iter().any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    }
+
+    /// Whether the subset `mask` of relations induces a connected subgraph.
+    pub fn subset_connected(&self, mask: u64) -> bool {
+        let n = self.n_relations();
+        debug_assert!(n <= 64);
+        if mask == 0 {
+            return false;
+        }
+        let first = mask.trailing_zeros() as usize;
+        let mut reached = 1u64 << first;
+        let mut frontier = reached;
+        while frontier != 0 {
+            let mut next = 0u64;
+            for e in &self.edges {
+                let (ba, bb) = (1u64 << e.a, 1u64 << e.b);
+                if mask & ba != 0 && mask & bb != 0 {
+                    if frontier & ba != 0 && reached & bb == 0 {
+                        next |= bb;
+                    }
+                    if frontier & bb != 0 && reached & ba == 0 {
+                        next |= ba;
+                    }
+                }
+            }
+            reached |= next;
+            frontier = next;
+        }
+        reached == mask && mask.count_ones() as usize <= n
+    }
+
+    /// Generates a query graph with the given shape. Cardinalities are drawn
+    /// log-uniformly from `[100, 100_000)` and selectivities from
+    /// `[0.001, 0.1)`, mirroring the setup of "How good are query
+    /// optimizers, really?" \[56\].
+    pub fn generate(shape: GraphShape, n: usize, rng: &mut impl Rng) -> Self {
+        assert!(n >= 2, "need at least two relations");
+        let cardinalities: Vec<f64> =
+            (0..n).map(|_| 10f64.powf(rng.random_range(2.0..5.0)).round()).collect();
+        let sel = |rng: &mut dyn FnMut() -> f64| -> f64 {
+            let r = rng();
+            10f64.powf(-3.0 + 2.0 * r)
+        };
+        let mut draw = || rng.random::<f64>();
+        let pairs: Vec<(usize, usize)> = match shape {
+            GraphShape::Chain => (0..n - 1).map(|i| (i, i + 1)).collect(),
+            GraphShape::Star => (1..n).map(|i| (0, i)).collect(),
+            GraphShape::Cycle => {
+                let mut v: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+                v.push((n - 1, 0));
+                v
+            }
+            GraphShape::Clique => {
+                let mut v = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        v.push((i, j));
+                    }
+                }
+                v
+            }
+        };
+        let edges = pairs
+            .into_iter()
+            .map(|(a, b)| JoinEdge { a, b, selectivity: sel(&mut draw) })
+            .collect();
+        Self::new(cardinalities, edges)
+    }
+
+    /// Generates a random connected query graph: a random spanning tree plus
+    /// extra edges with probability `extra_edge_prob`.
+    pub fn generate_random(n: usize, extra_edge_prob: f64, rng: &mut impl Rng) -> Self {
+        assert!(n >= 2);
+        let cardinalities: Vec<f64> =
+            (0..n).map(|_| 10f64.powf(rng.random_range(2.0..5.0)).round()).collect();
+        let mut edges = Vec::new();
+        // Random spanning tree: connect each new node to a random earlier one.
+        for i in 1..n {
+            let j = rng.random_range(0..i);
+            edges.push(JoinEdge { a: j, b: i, selectivity: 10f64.powf(rng.random_range(-3.0..-1.0)) });
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let exists = edges.iter().any(|e| (e.a == i && e.b == j) || (e.a == j && e.b == i));
+                if !exists && rng.random::<f64>() < extra_edge_prob {
+                    edges.push(JoinEdge {
+                        a: i,
+                        b: j,
+                        selectivity: 10f64.powf(rng.random_range(-3.0..-1.0)),
+                    });
+                }
+            }
+        }
+        Self::new(cardinalities, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_have_expected_edge_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(QueryGraph::generate(GraphShape::Chain, 5, &mut rng).edges.len(), 4);
+        assert_eq!(QueryGraph::generate(GraphShape::Star, 5, &mut rng).edges.len(), 4);
+        assert_eq!(QueryGraph::generate(GraphShape::Cycle, 5, &mut rng).edges.len(), 5);
+        assert_eq!(QueryGraph::generate(GraphShape::Clique, 5, &mut rng).edges.len(), 10);
+    }
+
+    #[test]
+    fn selectivity_defaults_to_cross_product() {
+        let g = QueryGraph::new(
+            vec![10.0, 20.0, 30.0],
+            vec![JoinEdge { a: 0, b: 1, selectivity: 0.1 }],
+        );
+        assert_eq!(g.selectivity(0, 1), 0.1);
+        assert_eq!(g.selectivity(1, 0), 0.1);
+        assert_eq!(g.selectivity(0, 2), 1.0);
+        assert!(g.connected(0, 1));
+        assert!(!g.connected(1, 2));
+    }
+
+    #[test]
+    fn subset_connectivity_on_chain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = QueryGraph::generate(GraphShape::Chain, 4, &mut rng);
+        assert!(g.subset_connected(0b0011));
+        assert!(g.subset_connected(0b1111));
+        assert!(!g.subset_connected(0b0101)); // R0 and R2 not adjacent
+        assert!(g.subset_connected(0b0100)); // singleton
+        assert!(!g.subset_connected(0));
+    }
+
+    #[test]
+    fn random_graph_is_connected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let g = QueryGraph::generate_random(8, 0.2, &mut rng);
+            assert!(g.subset_connected((1u64 << 8) - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad selectivity")]
+    fn rejects_zero_selectivity() {
+        QueryGraph::new(vec![1.0, 2.0], vec![JoinEdge { a: 0, b: 1, selectivity: 0.0 }]);
+    }
+
+    #[test]
+    fn generated_parameters_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = QueryGraph::generate(GraphShape::Clique, 6, &mut rng);
+        for &c in &g.cardinalities {
+            assert!((100.0..100_000.0).contains(&c));
+        }
+        for e in &g.edges {
+            assert!(e.selectivity >= 0.001 && e.selectivity <= 0.1);
+        }
+    }
+}

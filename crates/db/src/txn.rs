@@ -1,0 +1,375 @@
+//! Transaction substrate: workloads, conflicts, serializability, and a
+//! two-phase-locking schedule simulator.
+//!
+//! This backs the transaction-management row of Table I (\[29\]–\[31\]):
+//! Bittner & Groppe schedule transactions so that conflicting ones never
+//! overlap, "avoiding blocking" under two-phase locking. We model their
+//! setting: each transaction holds txn-level locks on its read/write sets
+//! for its whole duration (conservative 2PL), so two transactions conflict
+//! iff they touch a common item and at least one writes it.
+
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// A transaction: read set, write set, and duration in time slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Transaction id (position in the workload).
+    pub id: usize,
+    /// Items read.
+    pub reads: Vec<usize>,
+    /// Items written.
+    pub writes: Vec<usize>,
+    /// Execution time in discrete slots (>= 1).
+    pub duration: usize,
+}
+
+impl Transaction {
+    /// Returns true when the two transactions cannot overlap under 2PL:
+    /// they share an item and at least one of them writes it.
+    pub fn conflicts_with(&self, other: &Transaction) -> bool {
+        let w1: HashSet<usize> = self.writes.iter().copied().collect();
+        let w2: HashSet<usize> = other.writes.iter().copied().collect();
+        if self.writes.iter().any(|i| w2.contains(i)) {
+            return true;
+        }
+        if self.reads.iter().any(|i| w2.contains(i)) {
+            return true;
+        }
+        if other.reads.iter().any(|i| w1.contains(i)) {
+            return true;
+        }
+        false
+    }
+}
+
+/// Generates a random transactional workload over `n_items` data items.
+pub fn random_workload(
+    n_txns: usize,
+    n_items: usize,
+    ops_per_txn: usize,
+    write_fraction: f64,
+    rng: &mut impl Rng,
+) -> Vec<Transaction> {
+    (0..n_txns)
+        .map(|id| {
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            for _ in 0..ops_per_txn.max(1) {
+                let item = rng.random_range(0..n_items.max(1));
+                if rng.random::<f64>() < write_fraction {
+                    writes.push(item);
+                } else {
+                    reads.push(item);
+                }
+            }
+            let duration = rng.random_range(1..=3);
+            Transaction { id, reads, writes, duration }
+        })
+        .collect()
+}
+
+/// A schedule assigns each transaction a start slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSchedule {
+    /// `start[i]` is the start slot of transaction `i`.
+    pub start: Vec<usize>,
+}
+
+impl TxnSchedule {
+    /// Completion time of the whole schedule.
+    pub fn makespan(&self, txns: &[Transaction]) -> usize {
+        self.start
+            .iter()
+            .zip(txns)
+            .map(|(&s, t)| s + t.duration)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when no pair of conflicting transactions overlaps in time —
+    /// the feasibility condition of the Bittner–Groppe formulation.
+    pub fn is_conflict_free(&self, txns: &[Transaction]) -> bool {
+        for (i, a) in txns.iter().enumerate() {
+            for b in txns.iter().skip(i + 1) {
+                if a.conflicts_with(b) {
+                    let (sa, ea) = (self.start[a.id], self.start[a.id] + a.duration);
+                    let (sb, eb) = (self.start[b.id], self.start[b.id] + b.duration);
+                    if sa < eb && sb < ea {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Serial execution baseline: transactions one after another.
+pub fn serial_schedule(txns: &[Transaction]) -> TxnSchedule {
+    let mut start = vec![0; txns.len()];
+    let mut t = 0;
+    for txn in txns {
+        start[txn.id] = t;
+        t += txn.duration;
+    }
+    TxnSchedule { start }
+}
+
+/// Greedy list scheduling (the classical heuristic the QUBO encoding is
+/// compared with): in the given priority order, each transaction starts at
+/// the earliest slot where it conflicts with no already-placed overlapping
+/// transaction.
+pub fn greedy_schedule(txns: &[Transaction], order: &[usize]) -> TxnSchedule {
+    let mut start = vec![0usize; txns.len()];
+    let mut placed: Vec<usize> = Vec::new();
+    for &i in order {
+        let mut s = 0usize;
+        loop {
+            let end = s + txns[i].duration;
+            let clash = placed.iter().any(|&j| {
+                txns[i].conflicts_with(&txns[j])
+                    && start[j] < end
+                    && s < start[j] + txns[j].duration
+            });
+            if !clash {
+                break;
+            }
+            // Jump to the earliest finishing conflicting transaction's end.
+            s += 1;
+        }
+        start[i] = s;
+        placed.push(i);
+    }
+    TxnSchedule { start }
+}
+
+/// Simulates conservative 2PL with FIFO admission for a given arrival
+/// order: a transaction begins when every conflicting earlier transaction
+/// has finished. Returns `(schedule, total_blocked_slots)`.
+pub fn simulate_conservative_2pl(
+    txns: &[Transaction],
+    arrival_order: &[usize],
+) -> (TxnSchedule, usize) {
+    let mut start = vec![0usize; txns.len()];
+    let mut blocked = 0usize;
+    let mut finished: Vec<usize> = Vec::new();
+    for (pos, &i) in arrival_order.iter().enumerate() {
+        let arrival = pos; // one admission attempt per slot
+        let earliest = finished
+            .iter()
+            .filter(|&&j| txns[i].conflicts_with(&txns[j]))
+            .map(|&j| start[j] + txns[j].duration)
+            .max()
+            .unwrap_or(0)
+            .max(arrival);
+        blocked += earliest - arrival;
+        start[i] = earliest;
+        finished.push(i);
+    }
+    (TxnSchedule { start }, blocked)
+}
+
+// ---------------------------------------------------------------------------
+// Operation-level histories and conflict serializability.
+// ---------------------------------------------------------------------------
+
+/// A single read or write operation on a data item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Read of an item.
+    Read(usize),
+    /// Write of an item.
+    Write(usize),
+}
+
+impl Op {
+    /// The item the operation touches.
+    pub fn item(&self) -> usize {
+        match *self {
+            Op::Read(i) | Op::Write(i) => i,
+        }
+    }
+
+    /// Two operations conflict when they touch the same item and at least
+    /// one writes.
+    pub fn conflicts_with(&self, other: &Op) -> bool {
+        self.item() == other.item()
+            && (matches!(self, Op::Write(_)) || matches!(other, Op::Write(_)))
+    }
+}
+
+/// An interleaved execution history: `(transaction id, operation)` events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    /// Events in execution order.
+    pub events: Vec<(usize, Op)>,
+}
+
+impl History {
+    /// Tests conflict serializability by checking that the conflict graph
+    /// (edge `t1 -> t2` when an operation of `t1` precedes and conflicts
+    /// with an operation of `t2`) is acyclic.
+    pub fn is_conflict_serializable(&self) -> bool {
+        let txn_ids: Vec<usize> = {
+            let mut v: Vec<usize> = self.events.iter().map(|&(t, _)| t).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let index_of = |t: usize| txn_ids.binary_search(&t).expect("txn id present");
+        let n = txn_ids.len();
+        let mut adj = vec![HashSet::new(); n];
+        for (i, &(t1, op1)) in self.events.iter().enumerate() {
+            for &(t2, op2) in &self.events[i + 1..] {
+                if t1 != t2 && op1.conflicts_with(&op2) {
+                    adj[index_of(t1)].insert(index_of(t2));
+                }
+            }
+        }
+        // Cycle detection via DFS coloring.
+        let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+        fn dfs(v: usize, adj: &[HashSet<usize>], color: &mut [u8]) -> bool {
+            color[v] = 1;
+            for &u in &adj[v] {
+                if color[u] == 1 {
+                    return false;
+                }
+                if color[u] == 0 && !dfs(u, adj, color) {
+                    return false;
+                }
+            }
+            color[v] = 2;
+            true
+        }
+        (0..n).all(|v| color[v] != 0 || dfs(v, &adj, &mut color))
+    }
+}
+
+/// Builds the op-level history induced by executing transactions serially in
+/// the order their start slots dictate — always conflict-serializable.
+pub fn history_from_schedule(txns: &[Transaction], schedule: &TxnSchedule) -> History {
+    let mut order: Vec<usize> = (0..txns.len()).collect();
+    order.sort_by_key(|&i| schedule.start[i]);
+    let mut events = Vec::new();
+    for i in order {
+        for &r in &txns[i].reads {
+            events.push((i, Op::Read(r)));
+        }
+        for &w in &txns[i].writes {
+            events.push((i, Op::Write(w)));
+        }
+    }
+    History { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn txn(id: usize, reads: &[usize], writes: &[usize], dur: usize) -> Transaction {
+        Transaction { id, reads: reads.to_vec(), writes: writes.to_vec(), duration: dur }
+    }
+
+    #[test]
+    fn conflict_rules() {
+        let a = txn(0, &[1], &[2], 1);
+        let b = txn(1, &[2], &[], 1);
+        let c = txn(2, &[1], &[], 1);
+        let d = txn(3, &[], &[1], 1);
+        assert!(a.conflicts_with(&b)); // write-read on 2
+        assert!(!a.conflicts_with(&c)); // read-read on 1
+        assert!(a.conflicts_with(&d)); // read-write on 1
+        assert!(d.conflicts_with(&c));
+    }
+
+    #[test]
+    fn serial_schedule_is_always_valid() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let txns = random_workload(10, 5, 3, 0.5, &mut rng);
+        let s = serial_schedule(&txns);
+        assert!(s.is_conflict_free(&txns));
+        let total: usize = txns.iter().map(|t| t.duration).sum();
+        assert_eq!(s.makespan(&txns), total);
+    }
+
+    #[test]
+    fn greedy_beats_serial_when_txns_are_independent() {
+        let txns = vec![txn(0, &[], &[0], 2), txn(1, &[], &[1], 2), txn(2, &[], &[2], 2)];
+        let order = [0, 1, 2];
+        let g = greedy_schedule(&txns, &order);
+        assert!(g.is_conflict_free(&txns));
+        assert_eq!(g.makespan(&txns), 2); // all parallel
+        assert_eq!(serial_schedule(&txns).makespan(&txns), 6);
+    }
+
+    #[test]
+    fn greedy_respects_conflicts() {
+        let txns = vec![txn(0, &[], &[7], 2), txn(1, &[7], &[], 2), txn(2, &[], &[9], 1)];
+        let g = greedy_schedule(&txns, &[0, 1, 2]);
+        assert!(g.is_conflict_free(&txns));
+        // 0 and 1 conflict on item 7 -> serialized; 2 is free.
+        assert_eq!(g.makespan(&txns), 4);
+    }
+
+    #[test]
+    fn conservative_2pl_counts_blocking() {
+        let txns = vec![txn(0, &[], &[0], 3), txn(1, &[0], &[], 1)];
+        let (s, blocked) = simulate_conservative_2pl(&txns, &[0, 1]);
+        assert!(s.is_conflict_free(&txns));
+        assert_eq!(s.start[1], 3);
+        assert_eq!(blocked, 2); // txn 1 arrived at slot 1, started at 3
+    }
+
+    #[test]
+    fn serializable_history_detected() {
+        let h = History {
+            events: vec![
+                (0, Op::Read(1)),
+                (0, Op::Write(1)),
+                (1, Op::Read(1)),
+                (1, Op::Write(2)),
+            ],
+        };
+        assert!(h.is_conflict_serializable());
+    }
+
+    #[test]
+    fn nonserializable_history_detected() {
+        // Classic lost-update cycle: t0 reads x, t1 reads x, t0 writes x,
+        // t1 writes x  =>  t0 -> t1 (r0 before w1) and t1 -> t0 (r1 before w0).
+        let h = History {
+            events: vec![
+                (0, Op::Read(0)),
+                (1, Op::Read(0)),
+                (0, Op::Write(0)),
+                (1, Op::Write(0)),
+            ],
+        };
+        assert!(!h.is_conflict_serializable());
+    }
+
+    #[test]
+    fn schedule_induced_history_is_serializable() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let txns = random_workload(8, 4, 3, 0.6, &mut rng);
+        let order: Vec<usize> = (0..8).collect();
+        let g = greedy_schedule(&txns, &order);
+        let h = history_from_schedule(&txns, &g);
+        assert!(h.is_conflict_serializable());
+    }
+
+    #[test]
+    fn workload_generator_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let txns = random_workload(20, 10, 4, 0.5, &mut rng);
+        assert_eq!(txns.len(), 20);
+        for (i, t) in txns.iter().enumerate() {
+            assert_eq!(t.id, i);
+            assert_eq!(t.reads.len() + t.writes.len(), 4);
+            assert!((1..=3).contains(&t.duration));
+        }
+    }
+}

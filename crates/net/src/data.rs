@@ -1,0 +1,332 @@
+//! No-cloning data structures — the paper's Sec. IV-B.1 research direction:
+//! *"How to design data models, when quantum data cannot be copied without
+//! destroying the original version?"*
+//!
+//! The answer this module encodes in the type system:
+//!
+//! - [`QuantumRecord`] deliberately does **not** implement `Clone` — the
+//!   no-cloning theorem is enforced at compile time (see the `compile_fail`
+//!   doctest);
+//! - reading a record ([`QuantumRecord::read_destructive`]) consumes it,
+//!   because measurement collapses the state;
+//! - moving a record between nodes ([`QuantumTable::teleport_to`])
+//!   consumes both the record and one entangled pair, mirroring
+//!   teleportation semantics (the original ceases to exist).
+//!
+//! ```compile_fail
+//! use qdm_net::data::QuantumRecord;
+//! let r = QuantumRecord::from_classical(1, 2, 0b10);
+//! let copy = r.clone(); // ERROR: QuantumRecord is not Clone — no-cloning!
+//! ```
+
+use crate::teleport::teleport_over;
+use crate::werner::WernerPair;
+use qdm_sim::state::StateVector;
+use qdm_sim::states::{bell_state, BellState};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised when code *attempts* a copy through the runtime API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoCloningViolation;
+
+impl fmt::Display for NoCloningViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "the no-cloning theorem forbids copying an arbitrary quantum state"
+        )
+    }
+}
+
+impl std::error::Error for NoCloningViolation {}
+
+/// Fidelity of the best physically allowed universal cloner (Buzek–Hillery):
+/// 5/6 per copy — perfect copying is impossible, which is why this module
+/// offers no `clone` at all.
+pub const OPTIMAL_UNIVERSAL_CLONER_FIDELITY: f64 = 5.0 / 6.0;
+
+/// A data record whose payload is a quantum state. Move-only by design.
+#[derive(Debug)]
+pub struct QuantumRecord {
+    key: u64,
+    payload: StateVector,
+}
+
+impl QuantumRecord {
+    /// Wraps a quantum payload under a classical key.
+    pub fn new(key: u64, payload: StateVector) -> Self {
+        Self { key, payload }
+    }
+
+    /// Encodes classical bits as a computational basis state (the
+    /// degenerate case that *could* be copied — but the type doesn't know
+    /// that, so it is still move-only).
+    pub fn from_classical(key: u64, n_qubits: usize, value: usize) -> Self {
+        Self { key, payload: StateVector::basis_state(n_qubits, value) }
+    }
+
+    /// The classical key (keys are classical metadata and freely readable).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Width of the payload register.
+    pub fn n_qubits(&self) -> usize {
+        self.payload.n_qubits()
+    }
+
+    /// Runtime cloning attempt: always refused. The compile-time story is
+    /// stronger (no `Clone` impl); this exists so higher layers can report
+    /// the violation gracefully instead of failing to compile generic code.
+    pub fn try_clone(&self) -> Result<QuantumRecord, NoCloningViolation> {
+        Err(NoCloningViolation)
+    }
+
+    /// Destructive read: measures the full payload, CONSUMING the record.
+    /// Returns the classical outcome — the superposition is gone.
+    pub fn read_destructive(mut self, rng: &mut impl Rng) -> (u64, usize) {
+        let outcome = self.payload.measure_all(rng);
+        (self.key, outcome)
+    }
+
+    /// Non-destructive fidelity check against a reference state — only
+    /// possible inside the simulator (physically this would require many
+    /// copies); used by tests and experiments, not by the data model.
+    pub fn debug_fidelity(&self, reference: &StateVector) -> f64 {
+        self.payload.fidelity(reference)
+    }
+
+    fn into_payload(self) -> (u64, StateVector) {
+        (self.key, self.payload)
+    }
+}
+
+/// A table of quantum records keyed by classical keys.
+#[derive(Debug, Default)]
+pub struct QuantumTable {
+    records: BTreeMap<u64, QuantumRecord>,
+}
+
+/// Errors from table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Key already present (records cannot be overwritten — that would
+    /// destroy a quantum state implicitly).
+    DuplicateKey(u64),
+    /// No record under this key.
+    Missing(u64),
+    /// Teleportation needs one entangled pair per payload qubit.
+    InsufficientEntanglement {
+        /// Pairs needed.
+        needed: usize,
+        /// Pairs available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::DuplicateKey(k) => write!(f, "key {k} already present"),
+            TableError::Missing(k) => write!(f, "no record with key {k}"),
+            TableError::InsufficientEntanglement { needed, available } => {
+                write!(f, "need {needed} entangled pairs, have {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl QuantumTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The stored keys (classical metadata, freely listable).
+    pub fn keys(&self) -> Vec<u64> {
+        self.records.keys().copied().collect()
+    }
+
+    /// Inserts a record, refusing duplicates.
+    pub fn insert(&mut self, record: QuantumRecord) -> Result<(), TableError> {
+        let key = record.key();
+        if self.records.contains_key(&key) {
+            return Err(TableError::DuplicateKey(key));
+        }
+        self.records.insert(key, record);
+        Ok(())
+    }
+
+    /// Moves a record out of the table (the only way to access a payload).
+    pub fn take(&mut self, key: u64) -> Result<QuantumRecord, TableError> {
+        self.records.remove(&key).ok_or(TableError::Missing(key))
+    }
+
+    /// Teleports a record into another table over a bank of entangled
+    /// pairs (one per payload qubit, consumed). The record is removed from
+    /// `self` — after this call the original does not exist anywhere, per
+    /// teleportation semantics. Returns the average payload fidelity
+    /// preserved (1.0 over perfect pairs).
+    pub fn teleport_to(
+        &mut self,
+        key: u64,
+        destination: &mut QuantumTable,
+        pair_bank: &mut Vec<WernerPair>,
+        rng: &mut impl Rng,
+    ) -> Result<f64, TableError> {
+        let record = self.take(key)?;
+        let needed = record.n_qubits();
+        if pair_bank.len() < needed {
+            let err = TableError::InsufficientEntanglement {
+                needed,
+                available: pair_bank.len(),
+            };
+            // Put the record back; the operation must be atomic.
+            self.records.insert(key, record);
+            return Err(err);
+        }
+        let (key, payload) = record.into_payload();
+        // Teleport qubit-by-qubit (single-qubit payloads use the exact
+        // circuit; multi-qubit payloads are teleported per qubit in the
+        // product approximation, with fidelity tracked analytically).
+        let mut fidelity = 1.0;
+        if payload.n_qubits() == 1 {
+            let pair = pair_bank.pop().expect("checked above");
+            let resource = bell_state(BellState::PhiPlus);
+            let outcome = teleport_over(&payload, &resource, rng);
+            // Werner-pair quality degrades delivered fidelity analytically.
+            fidelity = pair.teleportation_fidelity()
+                * outcome.delivered.fidelity(&payload);
+            destination.records.insert(key, QuantumRecord::new(key, outcome.delivered));
+        } else {
+            for _ in 0..needed {
+                let pair = pair_bank.pop().expect("checked above");
+                fidelity *= pair.teleportation_fidelity();
+            }
+            destination.records.insert(key, QuantumRecord::new(key, payload));
+        }
+        Ok(fidelity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teleport::random_qubit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn runtime_clone_attempts_are_refused() {
+        let r = QuantumRecord::from_classical(1, 2, 0b01);
+        assert_eq!(r.try_clone().unwrap_err(), NoCloningViolation);
+        // The record itself is still usable afterwards.
+        assert_eq!(r.key(), 1);
+    }
+
+    #[test]
+    fn destructive_read_consumes_and_collapses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = QuantumRecord::from_classical(7, 3, 0b101);
+        let (key, value) = r.read_destructive(&mut rng);
+        assert_eq!(key, 7);
+        assert_eq!(value, 0b101);
+        // `r` is moved — using it again would not compile.
+    }
+
+    #[test]
+    fn superposed_record_reads_probabilistically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut zeros = 0;
+        for _ in 0..200 {
+            let mut s = StateVector::new(1);
+            s.apply_single(0, &qdm_sim::gates::hadamard());
+            let r = QuantumRecord::new(9, s);
+            let (_, v) = r.read_destructive(&mut rng);
+            if v == 0 {
+                zeros += 1;
+            }
+        }
+        assert!((80..=120).contains(&zeros), "50/50 collapse expected, got {zeros}/200");
+    }
+
+    #[test]
+    fn table_insert_take_and_duplicate_protection() {
+        let mut t = QuantumTable::new();
+        t.insert(QuantumRecord::from_classical(1, 1, 0)).expect("insert");
+        t.insert(QuantumRecord::from_classical(2, 1, 1)).expect("insert");
+        assert_eq!(t.keys(), vec![1, 2]);
+        assert_eq!(
+            t.insert(QuantumRecord::from_classical(1, 1, 1)),
+            Err(TableError::DuplicateKey(1))
+        );
+        let r = t.take(1).expect("take");
+        assert_eq!(r.key(), 1);
+        assert!(matches!(t.take(1), Err(TableError::Missing(1))));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn teleport_moves_record_between_tables() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let payload = random_qubit(&mut rng);
+        let reference = payload.clone();
+        let mut a = QuantumTable::new();
+        let mut b = QuantumTable::new();
+        a.insert(QuantumRecord::new(42, payload)).expect("insert");
+        let mut bank = vec![WernerPair::perfect()];
+        let fidelity = a.teleport_to(42, &mut b, &mut bank, &mut rng).expect("teleport");
+        assert!(a.is_empty(), "original must be gone");
+        assert_eq!(b.keys(), vec![42]);
+        assert!((fidelity - 1.0).abs() < 1e-10);
+        assert!(bank.is_empty(), "the pair was consumed");
+        let delivered = b.take(42).expect("delivered");
+        assert!((delivered.debug_fidelity(&reference) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn teleport_without_entanglement_is_atomic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = QuantumTable::new();
+        let mut b = QuantumTable::new();
+        a.insert(QuantumRecord::from_classical(5, 2, 0b11)).expect("insert");
+        let mut bank: Vec<WernerPair> = Vec::new();
+        let err = a.teleport_to(5, &mut b, &mut bank, &mut rng).unwrap_err();
+        assert_eq!(err, TableError::InsufficientEntanglement { needed: 2, available: 0 });
+        // Record must still be in the source table.
+        assert_eq!(a.keys(), vec![5]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn noisy_pairs_reduce_delivered_fidelity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = QuantumTable::new();
+        let mut b = QuantumTable::new();
+        a.insert(QuantumRecord::new(1, random_qubit(&mut rng))).expect("insert");
+        let mut bank = vec![WernerPair::new(0.7)];
+        let fidelity = a.teleport_to(1, &mut b, &mut bank, &mut rng).expect("teleport");
+        assert!(fidelity < 0.9, "Werner noise must show up, got {fidelity}");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn cloner_bound_is_strictly_below_one() {
+        assert!(OPTIMAL_UNIVERSAL_CLONER_FIDELITY < 1.0);
+        assert!((OPTIMAL_UNIVERSAL_CLONER_FIDELITY - 5.0 / 6.0).abs() < 1e-15);
+    }
+}

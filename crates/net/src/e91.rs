@@ -1,0 +1,197 @@
+//! E91 (Ekert) entanglement-based key distribution.
+//!
+//! The paper's Sec. IV-B: *"Quantum nonlocality serves as the theoretical
+//! foundation of protocols for secure communication and key
+//! distribution."* E91 is that sentence as a protocol: Alice and Bob
+//! measure halves of shared Bell pairs at random angles; matching-angle
+//! rounds become key bits, and the CHSH value `S` estimated from the other
+//! rounds *is* the security check — an intercept-resend eavesdropper
+//! destroys entanglement and drags `S` below the classical bound 2, even
+//! though the key bits themselves can remain perfectly correlated.
+
+use qdm_sim::gates;
+use qdm_sim::state::StateVector;
+use qdm_sim::states::{bell_state, BellState};
+use rand::{Rng, RngExt};
+
+/// Parameters of one E91 session.
+#[derive(Debug, Clone, Copy)]
+pub struct E91Params {
+    /// Entangled pairs distributed.
+    pub rounds: usize,
+    /// Whether an intercept-resend eavesdropper measures both halves in
+    /// the Z basis before delivery.
+    pub eavesdropper: bool,
+    /// Fidelity of the delivered pairs (1.0 = perfect Bell pairs).
+    pub pair_fidelity: f64,
+    /// Abort when the estimated CHSH `S` falls at or below this bound
+    /// (2.0 = the classical bound).
+    pub s_threshold: f64,
+}
+
+impl Default for E91Params {
+    fn default() -> Self {
+        Self { rounds: 4096, eavesdropper: false, pair_fidelity: 1.0, s_threshold: 2.0 }
+    }
+}
+
+/// Outcome of an E91 session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E91Outcome {
+    /// Estimated CHSH value from the test rounds.
+    pub chsh_s: f64,
+    /// Whether the session aborted (S at or below threshold).
+    pub aborted: bool,
+    /// Key bits from matching-angle rounds (empty if aborted).
+    pub key: Vec<bool>,
+    /// Error rate among matching-angle rounds.
+    pub qber: f64,
+    /// Rounds consumed by the CHSH test.
+    pub test_rounds: usize,
+}
+
+/// Alice's measurement angles: 0, pi/4, pi/8.
+const ALICE: [f64; 3] = [0.0, std::f64::consts::FRAC_PI_4, std::f64::consts::FRAC_PI_8];
+/// Bob's measurement angles: pi/8, -pi/8, 0.
+const BOB: [f64; 3] = [std::f64::consts::FRAC_PI_8, -std::f64::consts::FRAC_PI_8, 0.0];
+
+fn sample_werner_pair(fidelity: f64, rng: &mut impl Rng) -> StateVector {
+    let f = fidelity.clamp(0.25, 1.0);
+    let r: f64 = rng.random::<f64>();
+    let which = if r < f {
+        BellState::PhiPlus
+    } else if r < f + (1.0 - f) / 3.0 {
+        BellState::PhiMinus
+    } else if r < f + 2.0 * (1.0 - f) / 3.0 {
+        BellState::PsiPlus
+    } else {
+        BellState::PsiMinus
+    };
+    bell_state(which)
+}
+
+/// Runs one E91 session.
+pub fn run_e91(params: &E91Params, rng: &mut impl Rng) -> E91Outcome {
+    // Correlator accumulators for the four CHSH angle combinations:
+    // (A0,B0), (A0,B1), (A1,B0), (A1,B1).
+    let mut corr_n = [0usize; 4];
+    let mut corr_sum = [0f64; 4];
+    let mut key_alice: Vec<bool> = Vec::new();
+    let mut errors = 0usize;
+    let mut matches = 0usize;
+    let mut test_rounds = 0usize;
+
+    for _ in 0..params.rounds {
+        let mut pair = sample_werner_pair(params.pair_fidelity, rng);
+        if params.eavesdropper {
+            // Intercept-resend in Z: collapses the pair to a product state
+            // with classical correlations only.
+            let _ = pair.measure_qubit(0, rng);
+            let _ = pair.measure_qubit(1, rng);
+        }
+        let ai = rng.random_range(0..3);
+        let bi = rng.random_range(0..3);
+        pair.apply_single(0, &gates::ry(-2.0 * ALICE[ai]));
+        pair.apply_single(1, &gates::ry(-2.0 * BOB[bi]));
+        let a = pair.measure_qubit(0, rng);
+        let b = pair.measure_qubit(1, rng);
+        match (ai, bi) {
+            // Matching bases (both angle 0): key material.
+            (0, 2) => {
+                matches += 1;
+                key_alice.push(a);
+                if a != b {
+                    errors += 1;
+                }
+            }
+            // CHSH combinations.
+            (0, 0) | (0, 1) | (1, 0) | (1, 1) => {
+                let slot = ai * 2 + bi;
+                corr_n[slot] += 1;
+                corr_sum[slot] += if a == b { 1.0 } else { -1.0 };
+            }
+            _ => {}
+        }
+        if matches!((ai, bi), (0, 0) | (0, 1) | (1, 0) | (1, 1)) {
+            test_rounds += 1;
+        }
+    }
+
+    let e = |slot: usize| {
+        if corr_n[slot] == 0 {
+            0.0
+        } else {
+            corr_sum[slot] / corr_n[slot] as f64
+        }
+    };
+    // S = E(A0,B0) + E(A0,B1) + E(A1,B0) - E(A1,B1).
+    let chsh_s = e(0) + e(1) + e(2) - e(3);
+    let aborted = chsh_s <= params.s_threshold;
+    let qber = if matches > 0 { errors as f64 / matches as f64 } else { 0.0 };
+    E91Outcome {
+        chsh_s,
+        aborted,
+        key: if aborted { Vec::new() } else { key_alice },
+        qber,
+        test_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::werner::WernerPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn honest_session_violates_bell_and_yields_key() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_e91(&E91Params::default(), &mut rng);
+        assert!(
+            (out.chsh_s - 2.0 * std::f64::consts::SQRT_2).abs() < 0.15,
+            "S = {}",
+            out.chsh_s
+        );
+        assert!(!out.aborted);
+        assert!(out.qber < 0.01, "QBER {}", out.qber);
+        assert!(!out.key.is_empty());
+    }
+
+    #[test]
+    fn eavesdropper_breaks_the_bell_violation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = E91Params { eavesdropper: true, ..Default::default() };
+        let out = run_e91(&params, &mut rng);
+        assert!(out.chsh_s < 2.0, "S = {} should drop below classical", out.chsh_s);
+        assert!(out.aborted);
+        assert!(out.key.is_empty());
+        // The subtle point: Z-basis intercept-resend keeps key rounds
+        // correlated — only the CHSH test catches Eve.
+        assert!(out.qber < 0.05, "key-round QBER stays low: {}", out.qber);
+    }
+
+    #[test]
+    fn degraded_pairs_reduce_s_proportionally() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Werner pairs: S = 2 sqrt 2 (4F-1)/3.
+        for f in [0.95, 0.85] {
+            let params = E91Params { pair_fidelity: f, rounds: 20_000, ..Default::default() };
+            let out = run_e91(&params, &mut rng);
+            let expected = WernerPair::new(f).chsh_value();
+            assert!(
+                (out.chsh_s - expected).abs() < 0.12,
+                "F={f}: S {} vs expected {expected}",
+                out.chsh_s
+            );
+        }
+    }
+
+    #[test]
+    fn separable_pairs_abort() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = E91Params { pair_fidelity: 0.5, ..Default::default() };
+        let out = run_e91(&params, &mut rng);
+        assert!(out.aborted, "S = {}", out.chsh_s);
+    }
+}

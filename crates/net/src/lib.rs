@@ -1,0 +1,56 @@
+//! # qdm-net — the quantum internet substrate (Sec. IV)
+//!
+//! Everything the paper's "data management via quantum internet" vision
+//! needs, simulated per the DESIGN.md substitution table:
+//!
+//! - [`werner`] — Werner-pair algebra: swapping, BBPSSW purification,
+//!   memory decay, teleportation fidelity;
+//! - [`link`] — fiber (0.2 dB/km) and satellite loss models reproducing
+//!   the 248 km \[5\] / 1203 km \[6\] operating points and their crossover;
+//! - [`repeater`] — Fig. 1(c) repeater chains: rate/fidelity vs distance,
+//!   purification trade-offs;
+//! - [`teleport`](mod@teleport) — the exact 3-qubit teleportation protocol and its noisy
+//!   Werner variant;
+//! - [`nonlocal`] — the CHSH game (Example IV.2: quantum 0.8536 vs
+//!   classical 0.75) and the GHZ game (1.0 vs 0.75), exact and sampled;
+//! - [`qkd`] — BB84 \[62\] with intercept-resend eavesdropper detection;
+//! - [`data`] — no-cloning data structures (Sec. IV-B.1): move-only
+//!   [`data::QuantumRecord`], destructive reads, teleport-move tables;
+//! - [`distributed`] — Sec. IV-B.2: nodes, entanglement banks, QKD-
+//!   authenticated two-phase commit with failure injection.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod distributed;
+pub mod e91;
+pub mod link;
+pub mod nonlocal;
+pub mod qkd;
+pub mod repeater;
+pub mod teleport;
+pub mod werner;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::data::{
+        NoCloningViolation, QuantumRecord, QuantumTable, TableError,
+        OPTIMAL_UNIVERSAL_CLONER_FIDELITY,
+    };
+    pub use crate::distributed::{CommitOutcome, NetError, QuantumNetwork, QuantumNode};
+    pub use crate::e91::{run_e91, E91Outcome, E91Params};
+    pub use crate::link::{fiber_satellite_crossover_km, LinkModel, DEFAULT_ATTEMPT_RATE};
+    pub use crate::nonlocal::{
+        chsh_classical_optimum, chsh_quantum_value, chsh_sampled, ghz_classical_optimum,
+        ghz_quantum_value, ghz_sampled, ChshStrategy, GHZ_INPUTS,
+    };
+    pub use crate::qkd::{binary_entropy, run_bb84, Bb84Outcome, Bb84Params};
+    pub use crate::repeater::{best_chain, ChainPerformance, RepeaterChain};
+    pub use crate::teleport::{
+        average_werner_fidelity, random_qubit, teleport, teleport_over, teleport_over_werner,
+        TeleportOutcome,
+    };
+    pub use crate::werner::{purification_pump, swap_chain, WernerPair};
+}
+
+pub use prelude::*;

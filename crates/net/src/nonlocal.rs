@@ -1,0 +1,247 @@
+//! Nonlocal games — Sec. IV-A of the paper: the CHSH game
+//! (Example IV.2, quantum ≈ 0.85 vs classical 0.75) and the three-player
+//! GHZ game (quantum 1.0 vs classical 0.75).
+//!
+//! Both games are implemented twice: *exactly* (outcome distributions from
+//! the state vector) and *operationally* (sampled rounds with measured
+//! qubits), plus exhaustive search over classical deterministic strategies
+//! for the classical optima.
+
+use qdm_sim::gates;
+
+use qdm_sim::states::{bell_state, ghz_state, BellState};
+use rand::{Rng, RngExt};
+
+/// Measurement angles (radians, Z–X plane) for each input bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChshStrategy {
+    /// Alice's angle for inputs x = 0, 1.
+    pub alice: [f64; 2],
+    /// Bob's angle for inputs y = 0, 1.
+    pub bob: [f64; 2],
+}
+
+impl ChshStrategy {
+    /// The optimal quantum strategy: Alice {0, pi/4}, Bob {pi/8, -pi/8},
+    /// achieving `cos^2(pi/8) ~ 0.8536` — the paper's "~0.85".
+    pub fn optimal() -> Self {
+        use std::f64::consts::{FRAC_PI_4, FRAC_PI_8};
+        Self { alice: [0.0, FRAC_PI_4], bob: [FRAC_PI_8, -FRAC_PI_8] }
+    }
+}
+
+/// Probability that measuring `|Phi+>` at angles `(ta, tb)` yields equal
+/// outcomes; the joint distribution comes from rotating both qubits into
+/// their measurement bases and reading the Born probabilities.
+fn chsh_outcome_probs(ta: f64, tb: f64) -> [f64; 4] {
+    let mut state = bell_state(BellState::PhiPlus);
+    // Measuring in the basis {cos t|0> + sin t|1>, ...} == rotating by
+    // RY(-2t) and measuring computationally.
+    state.apply_single(0, &gates::ry(-2.0 * ta));
+    state.apply_single(1, &gates::ry(-2.0 * tb));
+    [
+        state.probability(0b00),
+        state.probability(0b01),
+        state.probability(0b10),
+        state.probability(0b11),
+    ]
+}
+
+/// Exact CHSH winning probability of a strategy, averaged over uniform
+/// inputs. Win condition: `x AND y == a XOR b`.
+pub fn chsh_quantum_value(strategy: &ChshStrategy) -> f64 {
+    let mut total = 0.0;
+    for x in 0..2usize {
+        for y in 0..2usize {
+            let probs = chsh_outcome_probs(strategy.alice[x], strategy.bob[y]);
+            let want_equal = (x & y) == 0;
+            let p_equal = probs[0b00] + probs[0b11];
+            total += if want_equal { p_equal } else { 1.0 - p_equal };
+        }
+    }
+    total / 4.0
+}
+
+/// Plays `rounds` sampled CHSH rounds with a fresh Bell pair per round.
+pub fn chsh_sampled(strategy: &ChshStrategy, rounds: usize, rng: &mut impl Rng) -> f64 {
+    let mut wins = 0usize;
+    for _ in 0..rounds {
+        let x = rng.random::<bool>();
+        let y = rng.random::<bool>();
+        let mut state = bell_state(BellState::PhiPlus);
+        state.apply_single(0, &gates::ry(-2.0 * strategy.alice[usize::from(x)]));
+        state.apply_single(1, &gates::ry(-2.0 * strategy.bob[usize::from(y)]));
+        let a = state.measure_qubit(0, rng);
+        let b = state.measure_qubit(1, rng);
+        if (x && y) == (a ^ b) {
+            wins += 1;
+        }
+    }
+    wins as f64 / rounds as f64
+}
+
+/// The classical optimum of CHSH by exhaustive search over all 16
+/// deterministic strategies (shared randomness cannot beat the best
+/// deterministic strategy). Equals 0.75.
+pub fn chsh_classical_optimum() -> f64 {
+    let mut best = 0.0f64;
+    // a(x) and b(y) each range over the 4 functions {0,1}->{0,1}.
+    for fa in 0..4u8 {
+        for fb in 0..4u8 {
+            let a = |x: usize| (fa >> x) & 1;
+            let b = |y: usize| (fb >> y) & 1;
+            let mut wins = 0;
+            for x in 0..2usize {
+                for y in 0..2usize {
+                    if (x & y) as u8 == (a(x) ^ b(y)) {
+                        wins += 1;
+                    }
+                }
+            }
+            best = best.max(wins as f64 / 4.0);
+        }
+    }
+    best
+}
+
+/// The four promise inputs of the GHZ game: `x ^ y ^ z == 0`.
+pub const GHZ_INPUTS: [(bool, bool, bool); 4] = [
+    (false, false, false),
+    (true, true, false),
+    (true, false, true),
+    (false, true, true),
+];
+
+/// Exact GHZ winning probability of the standard quantum strategy
+/// (X-basis measurement on input 0, Y-basis on input 1). Win condition:
+/// `a ^ b ^ c == x OR y OR z`. Equals 1.
+pub fn ghz_quantum_value() -> f64 {
+    let mut total = 0.0;
+    for &(x, y, z) in &GHZ_INPUTS {
+        let mut state = ghz_state(3);
+        for (q, input) in [(0usize, x), (1, y), (2, z)] {
+            if input {
+                // Y-basis: S^dagger then H.
+                state.apply_single(q, &gates::s_dagger());
+            }
+            state.apply_single(q, &gates::hadamard());
+        }
+        let want = x || y || z;
+        let mut p_win = 0.0;
+        for outcome in 0..8usize {
+            let parity = (outcome.count_ones() % 2) == 1;
+            if parity == want {
+                p_win += state.probability(outcome);
+            }
+        }
+        total += p_win;
+    }
+    total / GHZ_INPUTS.len() as f64
+}
+
+/// Sampled GHZ rounds with a fresh GHZ state per round.
+pub fn ghz_sampled(rounds: usize, rng: &mut impl Rng) -> f64 {
+    let mut wins = 0usize;
+    for _ in 0..rounds {
+        let (x, y, z) = GHZ_INPUTS[rng.random_range(0..4)];
+        let mut state = ghz_state(3);
+        for (q, input) in [(0usize, x), (1, y), (2, z)] {
+            if input {
+                state.apply_single(q, &gates::s_dagger());
+            }
+            state.apply_single(q, &gates::hadamard());
+        }
+        let outcome = state.measure_all(rng);
+        let parity = (outcome.count_ones() % 2) == 1;
+        if parity == (x || y || z) {
+            wins += 1;
+        }
+    }
+    wins as f64 / rounds as f64
+}
+
+/// The classical optimum of the GHZ game by exhaustive search over all
+/// 64 deterministic three-player strategies. Equals 0.75.
+pub fn ghz_classical_optimum() -> f64 {
+    let mut best = 0.0f64;
+    for fa in 0..4u8 {
+        for fb in 0..4u8 {
+            for fc in 0..4u8 {
+                let f = |table: u8, bit: bool| (table >> usize::from(bit)) & 1 == 1;
+                let mut wins = 0;
+                for &(x, y, z) in &GHZ_INPUTS {
+                    let parity = f(fa, x) ^ f(fb, y) ^ f(fc, z);
+                    if parity == (x || y || z) {
+                        wins += 1;
+                    }
+                }
+                best = best.max(wins as f64 / GHZ_INPUTS.len() as f64);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chsh_quantum_hits_tsirelson_win_probability() {
+        let v = chsh_quantum_value(&ChshStrategy::optimal());
+        let want = (std::f64::consts::FRAC_PI_8).cos().powi(2); // ~0.8536
+        assert!((v - want).abs() < 1e-10, "quantum value {v}");
+        assert!(v > 0.85 && v < 0.86);
+    }
+
+    #[test]
+    fn chsh_classical_bound_is_three_quarters() {
+        assert!((chsh_classical_optimum() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chsh_quantum_beats_classical_in_samples() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampled = chsh_sampled(&ChshStrategy::optimal(), 20_000, &mut rng);
+        assert!(
+            sampled > 0.83 && sampled < 0.875,
+            "sampled CHSH win rate {sampled}"
+        );
+        assert!(sampled > chsh_classical_optimum());
+    }
+
+    #[test]
+    fn bad_quantum_strategy_does_not_violate() {
+        // Measuring both sides in the same fixed basis wins only 3/4.
+        let naive = ChshStrategy { alice: [0.0, 0.0], bob: [0.0, 0.0] };
+        let v = chsh_quantum_value(&naive);
+        assert!(v <= 0.75 + 1e-10, "naive strategy {v}");
+    }
+
+    #[test]
+    fn ghz_quantum_wins_always() {
+        let v = ghz_quantum_value();
+        assert!((v - 1.0).abs() < 1e-10, "GHZ quantum value {v}");
+    }
+
+    #[test]
+    fn ghz_classical_bound_is_three_quarters() {
+        assert!((ghz_classical_optimum() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_sampled_is_perfect() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sampled = ghz_sampled(2000, &mut rng);
+        assert!((sampled - 1.0).abs() < 1e-12, "sampled GHZ win rate {sampled}");
+    }
+
+    #[test]
+    fn promise_inputs_have_even_parity() {
+        for &(x, y, z) in &GHZ_INPUTS {
+            assert!(!(x ^ y ^ z));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! BB84 quantum key distribution \[62\] — the secure-communication
+//! application of Sec. IV-B, run qubit-by-qubit on the simulator.
+//!
+//! Alice encodes random bits in random Z/X bases; the channel may flip
+//! qubits (noise) or pass them through an intercept-resend eavesdropper;
+//! Bob measures in random bases. Basis reconciliation (sifting), QBER
+//! estimation on sacrificed bits, abort thresholding and the asymptotic
+//! secret-key fraction `1 - 2 h2(QBER)` complete the protocol.
+
+use qdm_sim::gates;
+use qdm_sim::state::StateVector;
+use rand::{Rng, RngExt};
+
+/// Parameters of one BB84 session.
+#[derive(Debug, Clone, Copy)]
+pub struct Bb84Params {
+    /// Number of qubits transmitted.
+    pub n_qubits: usize,
+    /// Channel bit-flip probability (physical noise).
+    pub channel_flip: f64,
+    /// Whether an intercept-resend eavesdropper taps the channel.
+    pub eavesdropper: bool,
+    /// Fraction of sifted bits sacrificed for error estimation.
+    pub sample_fraction: f64,
+    /// Abort when estimated QBER exceeds this (11% is the BB84 threshold).
+    pub qber_threshold: f64,
+}
+
+impl Default for Bb84Params {
+    fn default() -> Self {
+        Self {
+            n_qubits: 1024,
+            channel_flip: 0.0,
+            eavesdropper: false,
+            sample_fraction: 0.5,
+            qber_threshold: 0.11,
+        }
+    }
+}
+
+/// Outcome of a BB84 session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bb84Outcome {
+    /// Bits surviving basis sifting (before sampling).
+    pub sifted_bits: usize,
+    /// Estimated quantum bit error rate on the sacrificed sample.
+    pub qber: f64,
+    /// Whether the session aborted (QBER above threshold).
+    pub aborted: bool,
+    /// The agreed key (empty if aborted).
+    pub key: Vec<bool>,
+    /// Asymptotic secret-key fraction `max(0, 1 - 2 h2(QBER))`.
+    pub secret_fraction: f64,
+}
+
+/// Binary entropy `h2(p)`.
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+    }
+}
+
+fn encode(bit: bool, x_basis: bool) -> StateVector {
+    let mut q = StateVector::new(1);
+    if bit {
+        q.apply_single(0, &gates::pauli_x());
+    }
+    if x_basis {
+        q.apply_single(0, &gates::hadamard());
+    }
+    q
+}
+
+fn measure_in(q: &mut StateVector, x_basis: bool, rng: &mut impl Rng) -> bool {
+    if x_basis {
+        q.apply_single(0, &gates::hadamard());
+    }
+    q.measure_qubit(0, rng)
+}
+
+/// Runs one BB84 session.
+pub fn run_bb84(params: &Bb84Params, rng: &mut impl Rng) -> Bb84Outcome {
+    let mut sifted: Vec<(bool, bool)> = Vec::new(); // (alice_bit, bob_bit)
+    for _ in 0..params.n_qubits {
+        let alice_bit = rng.random::<bool>();
+        let alice_basis = rng.random::<bool>();
+        let mut qubit = encode(alice_bit, alice_basis);
+
+        // Eavesdropper: measures in a random basis and resends.
+        if params.eavesdropper {
+            let eve_basis = rng.random::<bool>();
+            let eve_bit = measure_in(&mut qubit, eve_basis, rng);
+            qubit = encode(eve_bit, eve_basis);
+        }
+        // Channel noise: with probability `channel_flip`, a uniformly
+        // random Pauli error (so both encoding bases see errors; an
+        // X-only channel would be invisible to X-basis states).
+        if params.channel_flip > 0.0 && rng.random::<f64>() < params.channel_flip {
+            match rng.random_range(0..3) {
+                0 => qubit.apply_single(0, &gates::pauli_x()),
+                1 => qubit.apply_single(0, &gates::pauli_y()),
+                _ => qubit.apply_single(0, &gates::pauli_z()),
+            }
+        }
+
+        let bob_basis = rng.random::<bool>();
+        let bob_bit = measure_in(&mut qubit, bob_basis, rng);
+        if bob_basis == alice_basis {
+            sifted.push((alice_bit, bob_bit));
+        }
+    }
+
+    // Sacrifice a sample for error estimation.
+    let sample_n =
+        ((sifted.len() as f64) * params.sample_fraction).round() as usize;
+    let mut errors = 0usize;
+    for &(a, b) in sifted.iter().take(sample_n) {
+        if a != b {
+            errors += 1;
+        }
+    }
+    let qber = if sample_n > 0 { errors as f64 / sample_n as f64 } else { 0.0 };
+    let aborted = qber > params.qber_threshold;
+    let key: Vec<bool> = if aborted {
+        Vec::new()
+    } else {
+        sifted.iter().skip(sample_n).map(|&(a, _)| a).collect()
+    };
+    Bb84Outcome {
+        sifted_bits: sifted.len(),
+        qber,
+        aborted,
+        key,
+        secret_fraction: (1.0 - 2.0 * binary_entropy(qber)).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn honest_noiseless_channel_agrees_perfectly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_bb84(&Bb84Params::default(), &mut rng);
+        assert!(!out.aborted);
+        assert!((out.qber - 0.0).abs() < 1e-12);
+        assert!(out.secret_fraction > 0.99);
+        // Sifting keeps about half the qubits.
+        assert!((out.sifted_bits as f64 - 512.0).abs() < 80.0);
+        assert!(!out.key.is_empty());
+    }
+
+    #[test]
+    fn eavesdropper_is_detected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = Bb84Params { eavesdropper: true, ..Default::default() };
+        let out = run_bb84(&params, &mut rng);
+        // Intercept-resend induces 25% QBER.
+        assert!((out.qber - 0.25).abs() < 0.06, "qber {}", out.qber);
+        assert!(out.aborted, "eavesdropper must trigger an abort");
+        assert!(out.key.is_empty());
+        assert_eq!(out.secret_fraction, 0.0);
+    }
+
+    #[test]
+    fn mild_noise_survives_with_reduced_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = Bb84Params {
+            channel_flip: 0.03,
+            n_qubits: 4096,
+            ..Default::default()
+        };
+        let out = run_bb84(&params, &mut rng);
+        assert!(!out.aborted, "3% noise is under the 11% threshold");
+        assert!(out.qber > 0.005 && out.qber < 0.08, "qber {}", out.qber);
+        assert!(out.secret_fraction > 0.0 && out.secret_fraction < 1.0);
+    }
+
+    #[test]
+    fn heavy_noise_aborts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = Bb84Params {
+            channel_flip: 0.2,
+            n_qubits: 2048,
+            ..Default::default()
+        };
+        let out = run_bb84(&params, &mut rng);
+        assert!(out.aborted);
+    }
+
+    #[test]
+    fn binary_entropy_properties() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!((binary_entropy(0.11) - binary_entropy(0.89)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn secret_fraction_zero_at_threshold() {
+        // 1 - 2 h2(0.11) ~ 0.0008; beyond ~0.1104 it clamps to 0.
+        assert!((1.0 - 2.0 * binary_entropy(0.11)) > 0.0);
+        assert!((1.0 - 2.0 * binary_entropy(0.15)) < 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Quantum teleportation — "enabling data transmission through quantum
+//! teleportation" (Fig. 1c caption).
+//!
+//! Implements the exact three-qubit protocol on the state-vector
+//! simulator (qubit 0 = payload, qubits 1/2 = the shared pair) and the
+//! noisy variant over Werner pairs (the pair is one of the four Bell
+//! states with Werner probabilities, reproducing the analytic
+//! `(2F + 1)/3` average fidelity).
+
+use crate::werner::WernerPair;
+use qdm_sim::complex::{Complex64, C_ZERO};
+use qdm_sim::gates;
+use qdm_sim::state::StateVector;
+use qdm_sim::states::{bell_state, BellState};
+use rand::{Rng, RngExt};
+
+/// Outcome of one teleportation: Bob's reconstructed qubit and Alice's two
+/// classical correction bits.
+#[derive(Debug, Clone)]
+pub struct TeleportOutcome {
+    /// The state delivered to Bob (single qubit).
+    pub delivered: StateVector,
+    /// Alice's Z-correction bit (her payload-qubit measurement).
+    pub m_payload: bool,
+    /// Alice's X-correction bit (her half-pair measurement).
+    pub m_pair: bool,
+}
+
+/// Teleports a single-qubit payload over a shared two-qubit resource state
+/// (`|pair>` on qubits 1 and 2; Alice holds 0 and 1, Bob holds 2).
+///
+/// # Panics
+/// Panics unless `payload` is 1 qubit and `pair` is 2 qubits.
+pub fn teleport_over(
+    payload: &StateVector,
+    pair: &StateVector,
+    rng: &mut impl Rng,
+) -> TeleportOutcome {
+    assert_eq!(payload.n_qubits(), 1, "payload must be a single qubit");
+    assert_eq!(pair.n_qubits(), 2, "resource must be a two-qubit pair");
+    // Full register: payload ⊗ pair (payload = qubit 0).
+    let mut state = payload.tensor(pair);
+    // Alice: CNOT(payload -> her pair half), H on payload, measure both.
+    state.apply_controlled(&[0], 1, &gates::pauli_x());
+    state.apply_single(0, &gates::hadamard());
+    let m_payload = state.measure_qubit(0, rng);
+    let m_pair = state.measure_qubit(1, rng);
+    // Bob's corrections on qubit 2.
+    if m_pair {
+        state.apply_single(2, &gates::pauli_x());
+    }
+    if m_payload {
+        state.apply_single(2, &gates::pauli_z());
+    }
+    // Extract Bob's qubit: qubits 0 and 1 are collapsed basis states, so
+    // the register factorizes; read the two surviving amplitudes.
+    let low = (usize::from(m_pair) << 1) | usize::from(m_payload);
+    let a0 = state.amplitude(low);
+    let a1 = state.amplitude(low | 0b100);
+    let mut amps = vec![C_ZERO; 2];
+    amps[0] = a0;
+    amps[1] = a1;
+    let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    let delivered = StateVector::from_amplitudes(
+        amps.into_iter().map(|a| a.scale(1.0 / norm)).collect(),
+    )
+    .expect("post-measurement state is a valid qubit");
+    TeleportOutcome { delivered, m_payload, m_pair }
+}
+
+/// Ideal teleportation over a perfect `|Phi+>` pair.
+pub fn teleport(payload: &StateVector, rng: &mut impl Rng) -> TeleportOutcome {
+    teleport_over(payload, &bell_state(BellState::PhiPlus), rng)
+}
+
+/// One trajectory of teleportation over a Werner pair of fidelity `F`:
+/// the resource collapses to `|Phi+>` with probability `F` and to each
+/// other Bell state with probability `(1-F)/3`. Returns the fidelity of
+/// the delivered state against the payload.
+pub fn teleport_over_werner(
+    payload: &StateVector,
+    pair: WernerPair,
+    rng: &mut impl Rng,
+) -> f64 {
+    let f = pair.fidelity;
+    let r: f64 = rng.random::<f64>();
+    let which = if r < f {
+        BellState::PhiPlus
+    } else if r < f + (1.0 - f) / 3.0 {
+        BellState::PhiMinus
+    } else if r < f + 2.0 * (1.0 - f) / 3.0 {
+        BellState::PsiPlus
+    } else {
+        BellState::PsiMinus
+    };
+    let outcome = teleport_over(payload, &bell_state(which), rng);
+    outcome.delivered.fidelity(payload)
+}
+
+/// Monte-Carlo estimate of the average teleportation fidelity over a
+/// Werner pair, sampling Haar-ish random payloads. Converges to
+/// `(2F + 1)/3`.
+pub fn average_werner_fidelity(
+    pair: WernerPair,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let payload = random_qubit(rng);
+        total += teleport_over_werner(&payload, pair, rng);
+    }
+    total / samples as f64
+}
+
+/// A uniformly random pure qubit state.
+pub fn random_qubit(rng: &mut impl Rng) -> StateVector {
+    let theta = (1.0 - 2.0 * rng.random::<f64>()).acos();
+    let phi = rng.random::<f64>() * std::f64::consts::TAU;
+    let amps = vec![
+        Complex64::real((theta / 2.0).cos()),
+        Complex64::from_polar((theta / 2.0).sin(), phi),
+    ];
+    StateVector::from_amplitudes(amps).expect("Bloch-sphere point is normalized")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_teleportation_is_perfect() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..25 {
+            let payload = random_qubit(&mut rng);
+            let outcome = teleport(&payload, &mut rng);
+            assert!(
+                (outcome.delivered.fidelity(&payload) - 1.0).abs() < 1e-10,
+                "teleportation corrupted the payload"
+            );
+        }
+    }
+
+    #[test]
+    fn all_four_correction_branches_occur() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let payload = random_qubit(&mut rng);
+            let o = teleport(&payload, &mut rng);
+            seen.insert((o.m_payload, o.m_pair));
+        }
+        assert_eq!(seen.len(), 4, "all (m1, m2) pairs should appear");
+    }
+
+    #[test]
+    fn teleporting_basis_states() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for basis in 0..2 {
+            let payload = StateVector::basis_state(1, basis);
+            let o = teleport(&payload, &mut rng);
+            assert!((o.delivered.probability(basis) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn werner_average_matches_analytic_formula() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for f in [1.0, 0.9, 0.7, 0.5] {
+            let pair = WernerPair::new(f);
+            let measured = average_werner_fidelity(pair, 3000, &mut rng);
+            let analytic = pair.teleportation_fidelity();
+            assert!(
+                (measured - analytic).abs() < 0.02,
+                "F={f}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_pair_degrades_delivery() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let payload = random_qubit(&mut rng);
+        // Teleporting over the WRONG Bell state without knowing it gives a
+        // Pauli-corrupted output.
+        let o = teleport_over(&payload, &bell_state(BellState::PsiPlus), &mut rng);
+        // Still a valid qubit...
+        assert!((o.delivered.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn random_qubits_are_normalized_and_diverse() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_qubit(&mut rng);
+        let b = random_qubit(&mut rng);
+        assert!((a.norm_sqr() - 1.0).abs() < 1e-12);
+        assert!(a.fidelity(&b) < 0.999, "two random qubits should differ");
+    }
+}

@@ -1,0 +1,43 @@
+//! # qdm-problems — the Table I problem encodings
+//!
+//! Every data-management problem the paper's Table I surveys, encoded per
+//! the cited works and implementing [`qdm_core::problem::DmProblem`] so the
+//! Fig. 2 pipeline can route each one to any solver:
+//!
+//! - [`mqo`] — multiple query optimization QUBO (Trummer & Koch \[20\];
+//!   QAOA variants \[21\], \[22\]);
+//! - [`joinorder`] — join ordering via template-assignment QUBO: left-deep
+//!   (Schönberger et al. \[23\]–\[25\]) and bushy (Nayak et al. \[26\]);
+//! - [`vqc_join`] — join ordering as reinforcement learning with a
+//!   variational quantum circuit Q-function (Winker et al. \[27\]);
+//! - [`schema`] — schema matching QUBO with string similarity and type
+//!   constraints (Fritsch & Scherzinger \[28\]);
+//! - [`txn_schedule`] — two-phase-locking transaction scheduling QUBO
+//!   (Bittner & Groppe \[29\], \[30\]) and the Grover-search variant
+//!   (Groppe & Groppe \[31\]).
+
+#![warn(missing_docs)]
+
+pub mod joinorder;
+pub mod mqo;
+pub mod schema;
+pub mod txn_schedule;
+pub mod vqc_join;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::joinorder::{
+        balanced_template, instantiate, left_deep_template, JoinOrderProblem,
+    };
+    pub use crate::mqo::{MqoInstance, MqoProblem};
+    pub use crate::schema::{
+        bigram_jaccard, generate_benchmark, levenshtein, name_similarity, precision_recall,
+        Attribute, DataType, MatchingInstance, Schema as MatchingSchema, SchemaMatchingProblem,
+    };
+    pub use crate::txn_schedule::{
+        grover_schedule_search, GroverScheduleResult, TxnScheduleProblem,
+    };
+    pub use crate::vqc_join::{random_order_cost, EpisodeStats, VqcJoinAgent};
+}
+
+pub use prelude::*;

@@ -1,0 +1,264 @@
+//! Join ordering as a *learning* problem with a variational quantum
+//! circuit — Winker et al. \[27\], the one Table I row that is not a QUBO.
+//!
+//! The MDP: a state is the set of already-joined relations (for left-deep
+//! construction), an action appends one remaining relation, the reward is
+//! the negated log-cardinality of the new intermediate result. A [`Vqc`]
+//! with one readout qubit per relation serves as the Q-function
+//! approximator; training is episodic Q-learning with parameter-shift
+//! gradient steps, evaluation is a greedy policy rollout.
+
+use qdm_algos::vqc::Vqc;
+use qdm_db::plan::CostModel;
+use qdm_db::query::QueryGraph;
+use rand::{Rng, RngExt};
+
+/// A Q-learning agent whose Q-function is a variational quantum circuit.
+#[derive(Debug, Clone)]
+pub struct VqcJoinAgent {
+    /// The quantum model: `n_relations` qubits, Q(s, a) = `<Z_a>`.
+    pub vqc: Vqc,
+    n_relations: usize,
+    /// Discount factor.
+    pub gamma: f64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Reward normalization: log-cardinalities are divided by this so the
+    /// targets fit the `[-1, 1]` readout range.
+    pub reward_scale: f64,
+}
+
+/// Training telemetry per episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeStats {
+    /// Episode index.
+    pub episode: usize,
+    /// C_out cost of the greedy-policy plan after this episode.
+    pub greedy_cost: f64,
+    /// Mean squared TD error over the episode's steps.
+    pub td_error: f64,
+}
+
+impl VqcJoinAgent {
+    /// Creates an agent for an `n`-relation query graph.
+    pub fn new(n_relations: usize, layers: usize, rng: &mut impl Rng) -> Self {
+        assert!(n_relations >= 2);
+        Self {
+            vqc: Vqc::new(n_relations, layers, rng),
+            n_relations,
+            gamma: 0.9,
+            learning_rate: 0.1,
+            reward_scale: 12.0,
+        }
+    }
+
+    fn features(&self, joined_mask: u64) -> Vec<f64> {
+        (0..self.n_relations)
+            .map(|r| if joined_mask & (1u64 << r) != 0 { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Q-value of appending relation `action` in state `joined_mask`.
+    pub fn q_value(&self, joined_mask: u64, action: usize) -> f64 {
+        self.vqc.predict_readout(&self.features(joined_mask), action)
+    }
+
+    fn reward(&self, cm: &CostModel<'_>, new_mask: u64) -> f64 {
+        -cm.cardinality(new_mask).log10() / self.reward_scale
+    }
+
+    fn legal_actions(&self, joined_mask: u64) -> Vec<usize> {
+        (0..self.n_relations).filter(|&r| joined_mask & (1u64 << r) == 0).collect()
+    }
+
+    /// Greedy policy rollout: returns the left-deep order it produces.
+    pub fn greedy_order(&self, start: usize) -> Vec<usize> {
+        let mut order = vec![start];
+        let mut mask = 1u64 << start;
+        while order.len() < self.n_relations {
+            let best = self
+                .legal_actions(mask)
+                .into_iter()
+                .max_by(|&a, &b| {
+                    self.q_value(mask, a).total_cmp(&self.q_value(mask, b))
+                })
+                .expect("legal actions remain");
+            order.push(best);
+            mask |= 1u64 << best;
+        }
+        order
+    }
+
+    /// The cheapest greedy rollout over all starting relations.
+    pub fn best_greedy_order(&self, graph: &QueryGraph) -> (Vec<usize>, f64) {
+        let cm = CostModel::new(graph);
+        (0..self.n_relations)
+            .map(|s| {
+                let order = self.greedy_order(s);
+                let cost = cm.cost_left_deep(&order);
+                (order, cost)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one start")
+    }
+
+    /// Runs one epsilon-greedy training episode; returns the mean squared
+    /// TD error.
+    pub fn train_episode(
+        &mut self,
+        graph: &QueryGraph,
+        epsilon: f64,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let cm = CostModel::new(graph);
+        let start = rng.random_range(0..self.n_relations);
+        let mut mask = 1u64 << start;
+        let mut td_sq_sum = 0.0;
+        let mut steps = 0usize;
+        while mask.count_ones() < self.n_relations as u32 {
+            let actions = self.legal_actions(mask);
+            let action = if rng.random::<f64>() < epsilon {
+                actions[rng.random_range(0..actions.len())]
+            } else {
+                actions
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| self.q_value(mask, a).total_cmp(&self.q_value(mask, b)))
+                    .expect("nonempty")
+            };
+            let new_mask = mask | (1u64 << action);
+            let reward = self.reward(&cm, new_mask);
+            // TD target: r + gamma * max_a' Q(s', a') (0 at terminal).
+            let future = if new_mask.count_ones() < self.n_relations as u32 {
+                self.legal_actions(new_mask)
+                    .into_iter()
+                    .map(|a| self.q_value(new_mask, a))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                0.0
+            };
+            let target = (reward + self.gamma * future).clamp(-1.0, 1.0);
+            let features = self.features(mask);
+            let prediction = self.vqc.predict_readout(&features, action);
+            let td = prediction - target;
+            td_sq_sum += td * td;
+            steps += 1;
+            // Gradient step on (Q(s,a) - target)^2.
+            let grad = self.vqc.gradient_readout(&features, action);
+            for (p, g) in self.vqc.params.iter_mut().zip(&grad) {
+                *p -= self.learning_rate * 2.0 * td * g;
+            }
+            mask = new_mask;
+        }
+        td_sq_sum / steps.max(1) as f64
+    }
+
+    /// Full training loop with linearly decaying exploration; returns
+    /// per-episode stats (including the greedy plan cost trajectory — the
+    /// learning curve of experiment E11). The parameters of the
+    /// best-performing checkpoint (including the untrained start) are
+    /// restored at the end, so training never degrades the deployed policy.
+    pub fn train(
+        &mut self,
+        graph: &QueryGraph,
+        episodes: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<EpisodeStats> {
+        let mut stats = Vec::with_capacity(episodes);
+        let mut best_params = self.vqc.params.clone();
+        let mut best_cost = self.best_greedy_order(graph).1;
+        for ep in 0..episodes {
+            let epsilon = 0.5 * (1.0 - ep as f64 / episodes.max(1) as f64);
+            let td_error = self.train_episode(graph, epsilon, rng);
+            let (_, greedy_cost) = self.best_greedy_order(graph);
+            if greedy_cost < best_cost {
+                best_cost = greedy_cost;
+                best_params.clone_from(&self.vqc.params);
+            }
+            stats.push(EpisodeStats { episode: ep, greedy_cost, td_error });
+        }
+        self.vqc.params = best_params;
+        stats
+    }
+}
+
+/// Cost of a uniformly random left-deep order (baseline for E11).
+pub fn random_order_cost(graph: &QueryGraph, rng: &mut impl Rng) -> f64 {
+    let n = graph.n_relations();
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    CostModel::new(graph).cost_left_deep(&order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdm_db::optimizer::optimal_left_deep;
+    use qdm_db::query::GraphShape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_order_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let agent = VqcJoinAgent::new(4, 2, &mut rng);
+        for start in 0..4 {
+            let mut order = agent.greedy_order(start);
+            assert_eq!(order[0], start);
+            order.sort_unstable();
+            assert_eq!(order, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn q_values_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let agent = VqcJoinAgent::new(4, 2, &mut rng);
+        for mask in [0b0001u64, 0b0011, 0b0111] {
+            for a in agent.legal_actions(mask) {
+                let q = agent.q_value(mask, a);
+                assert!((-1.0..=1.0).contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn trained_policy_beats_random_plans() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Fixed, well-conditioned chain: R0 - R1 - R2 - R3.
+        let graph = QueryGraph::new(
+            vec![100.0, 2000.0, 50.0, 800.0],
+            vec![
+                qdm_db::query::JoinEdge { a: 0, b: 1, selectivity: 0.005 },
+                qdm_db::query::JoinEdge { a: 1, b: 2, selectivity: 0.02 },
+                qdm_db::query::JoinEdge { a: 2, b: 3, selectivity: 0.01 },
+            ],
+        );
+        let mut agent = VqcJoinAgent::new(4, 2, &mut rng);
+        let stats = agent.train(&graph, 40, &mut rng);
+        let after = agent.best_greedy_order(&graph).1;
+        let optimal = optimal_left_deep(&graph).cost;
+        let mean_random: f64 =
+            (0..60).map(|_| random_order_cost(&graph, &mut rng)).sum::<f64>() / 60.0;
+        assert!(after >= optimal - 1e-9);
+        assert!(
+            after <= mean_random,
+            "trained policy ({after}) worse than average random plan ({mean_random})"
+        );
+        // Learning curve exists for every episode.
+        assert_eq!(stats.len(), 40);
+    }
+
+    #[test]
+    fn random_baseline_never_beats_optimal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = QueryGraph::generate(GraphShape::Star, 5, &mut rng);
+        let optimal = optimal_left_deep(&graph).cost;
+        for _ in 0..10 {
+            assert!(random_order_cost(&graph, &mut rng) >= optimal - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # qdm-qdb — the quantum database layer (Sec. III-A)
+//!
+//! "A 'quantum database' is a conceptual framework for processing and
+//! searching data using quantum algorithms." This crate builds that
+//! framework over `qdm-sim`/`qdm-algos`:
+//!
+//! - [`search`] — the N = 2^n record model with Grover / BBHT search and
+//!   the oracle-query accounting behind the O(sqrt(N)) vs O(N) claim;
+//! - [`setops`] — quantum set intersection / union / difference via
+//!   composed membership oracles (\[45\]–\[50\]);
+//! - [`join`] — equi-joins by Grover search over concatenated index
+//!   registers;
+//! - [`manipulate`] — insert / update / delete on superposed database
+//!   states with elementary-gate cost estimates (\[46\], \[49\], \[51\]).
+
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod join;
+pub mod manipulate;
+pub mod search;
+pub mod setops;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::count::SelectivityEstimate;
+    pub use crate::join::{nested_loop_join, quantum_join, JoinResult};
+    pub use crate::manipulate::{DbError, SuperposedDatabase};
+    pub use crate::search::{QuantumDatabase, Record, SearchReport};
+    pub use crate::setops::{classical_set_op, quantum_set_op, SetOp, SetOpResult};
+}
+
+pub use prelude::*;

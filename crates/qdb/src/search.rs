@@ -1,0 +1,250 @@
+//! The "quantum database" of Sec. III-A: N = 2^n records addressed by an
+//! n-bit label, searched by Grover-family algorithms with query-complexity
+//! accounting against classical scans.
+
+use qdm_algos::grover::{
+    bbht_search, classical_linear_search, grover_search, optimal_iterations, OracleCounter,
+};
+use rand::Rng;
+
+/// A stored record: an id (its n-bit label) plus integer fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The record's n-bit label.
+    pub id: usize,
+    /// Attribute values.
+    pub fields: Vec<i64>,
+}
+
+/// An unsorted database of `2^n` records, searchable in superposition.
+#[derive(Debug, Clone)]
+pub struct QuantumDatabase {
+    n_qubits: usize,
+    records: Vec<Record>,
+}
+
+/// Outcome of one search, with the query accounting of Sec. III-A.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchReport {
+    /// The matching record id, if one was found.
+    pub found: Option<usize>,
+    /// Oracle queries made in superposition (Grover iterations).
+    pub quantum_queries: u64,
+    /// Classical per-record probes (verification included).
+    pub classical_probes: u64,
+}
+
+impl QuantumDatabase {
+    /// Builds a database; the record count must be a power of two and ids
+    /// must equal positions (the n-bit label addressing of Sec. III-A).
+    ///
+    /// # Panics
+    /// Panics if the length is not a power of two or ids are misnumbered.
+    pub fn new(records: Vec<Record>) -> Self {
+        assert!(
+            !records.is_empty() && records.len().is_power_of_two(),
+            "record count must be a power of two"
+        );
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.id, i, "record ids must match their position");
+        }
+        Self { n_qubits: records.len().trailing_zeros() as usize, records }
+    }
+
+    /// A database of single-field records from raw values.
+    pub fn from_values(values: Vec<i64>) -> Self {
+        Self::new(
+            values
+                .into_iter()
+                .enumerate()
+                .map(|(id, v)| Record { id, fields: vec![v] })
+                .collect(),
+        )
+    }
+
+    /// Number of address qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of records (`2^n`).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Never true: the constructor requires at least one record.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Record access.
+    pub fn record(&self, id: usize) -> &Record {
+        &self.records[id]
+    }
+
+    /// All record ids satisfying a predicate (ground truth; not counted).
+    pub fn matching_ids(&self, pred: impl Fn(&Record) -> bool) -> Vec<usize> {
+        self.records.iter().filter(|r| pred(r)).map(|r| r.id).collect()
+    }
+
+    /// Grover search with a *known* number of matches: optimal iteration
+    /// count, one measurement.
+    pub fn search_known(
+        &self,
+        pred: impl Fn(&Record) -> bool,
+        n_matches: usize,
+        rng: &mut impl Rng,
+    ) -> SearchReport {
+        let records = &self.records;
+        let mut oracle = OracleCounter::new(move |x: usize| pred(&records[x]));
+        let found = grover_search(self.n_qubits, n_matches, &mut oracle, rng);
+        SearchReport {
+            found,
+            quantum_queries: oracle.quantum_queries,
+            classical_probes: oracle.classical_queries,
+        }
+    }
+
+    /// BBHT search with an *unknown* number of matches.
+    pub fn search(&self, pred: impl Fn(&Record) -> bool, rng: &mut impl Rng) -> SearchReport {
+        let records = &self.records;
+        let mut oracle = OracleCounter::new(move |x: usize| pred(&records[x]));
+        let found = bbht_search(self.n_qubits, &mut oracle, rng);
+        SearchReport {
+            found,
+            quantum_queries: oracle.quantum_queries,
+            classical_probes: oracle.classical_queries,
+        }
+    }
+
+    /// Enumerates *all* matches by repeated BBHT searches that exclude
+    /// already-found ids — the standard "collect all solutions" loop.
+    pub fn enumerate(
+        &self,
+        pred: impl Fn(&Record) -> bool,
+        rng: &mut impl Rng,
+    ) -> (Vec<usize>, SearchReport) {
+        let records = &self.records;
+        let mut found: Vec<usize> = Vec::new();
+        let mut quantum = 0u64;
+        let mut classical = 0u64;
+        loop {
+            let exclude = found.clone();
+            let mut oracle = OracleCounter::new(|x: usize| {
+                pred(&records[x]) && !exclude.contains(&x)
+            });
+            match bbht_search(self.n_qubits, &mut oracle, rng) {
+                Some(id) => {
+                    quantum += oracle.quantum_queries;
+                    classical += oracle.classical_queries;
+                    found.push(id);
+                }
+                None => {
+                    quantum += oracle.quantum_queries;
+                    classical += oracle.classical_queries;
+                    break;
+                }
+            }
+        }
+        found.sort_unstable();
+        let report = SearchReport {
+            found: found.first().copied(),
+            quantum_queries: quantum,
+            classical_probes: classical,
+        };
+        (found, report)
+    }
+
+    /// Classical linear scan baseline (first match).
+    pub fn classical_search(&self, pred: impl Fn(&Record) -> bool) -> SearchReport {
+        let records = &self.records;
+        let mut oracle = OracleCounter::new(move |x: usize| pred(&records[x]));
+        let found = classical_linear_search(self.len(), &mut oracle);
+        SearchReport {
+            found,
+            quantum_queries: 0,
+            classical_probes: oracle.classical_queries,
+        }
+    }
+
+    /// The theoretical optimal Grover iteration count for `m` matches.
+    pub fn theoretical_iterations(&self, m: usize) -> usize {
+        optimal_iterations(self.len(), m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db(n_qubits: usize) -> QuantumDatabase {
+        QuantumDatabase::from_values((0..(1i64 << n_qubits)).map(|v| v * 3 % 17).collect())
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(std::panic::catch_unwind(|| QuantumDatabase::from_values(vec![1, 2, 3]))
+            .is_err());
+        let d = db(4);
+        assert_eq!(d.len(), 16);
+        assert_eq!(d.n_qubits(), 4);
+    }
+
+    #[test]
+    fn known_count_search_finds_unique_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = db(6);
+        let target = d.record(37).fields[0];
+        let matches = d.matching_ids(|r| r.fields[0] == target && r.id == 37);
+        assert_eq!(matches, vec![37]);
+        let report = d.search_known(|r| r.fields[0] == target && r.id == 37, 1, &mut rng);
+        assert_eq!(report.found, Some(37));
+        assert!(report.quantum_queries <= d.theoretical_iterations(1) as u64);
+    }
+
+    #[test]
+    fn quantum_beats_classical_on_queries() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = db(8); // 256 records
+        // A unique late record so the classical scan pays ~N.
+        let report_q = d.search_known(|r| r.id == 251, 1, &mut rng);
+        let report_c = d.classical_search(|r| r.id == 251);
+        assert_eq!(report_q.found, Some(251));
+        assert_eq!(report_c.found, Some(251));
+        assert!(
+            report_q.quantum_queries < report_c.classical_probes / 4,
+            "quantum {} vs classical {}",
+            report_q.quantum_queries,
+            report_c.classical_probes
+        );
+    }
+
+    #[test]
+    fn bbht_search_without_match_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = db(7);
+        let report = d.search(|r| r.fields[0] == 5, &mut rng);
+        let id = report.found.expect("matches exist");
+        assert_eq!(d.record(id).fields[0], 5);
+    }
+
+    #[test]
+    fn enumerate_collects_every_match() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = db(6);
+        let truth = d.matching_ids(|r| r.fields[0] == 6);
+        let (found, report) = d.enumerate(|r| r.fields[0] == 6, &mut rng);
+        assert_eq!(found, truth);
+        assert!(report.quantum_queries > 0);
+    }
+
+    #[test]
+    fn search_for_nothing_returns_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = db(5);
+        let report = d.search(|r| r.fields[0] == 999, &mut rng);
+        assert_eq!(report.found, None);
+    }
+}

@@ -1,0 +1,212 @@
+//! Ising model and lossless QUBO ⇄ Ising conversion.
+//!
+//! Quantum annealers (and QAOA cost Hamiltonians) are natively expressed in
+//! Ising form `H(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j + c` over spins
+//! `s_i in {-1, +1}`. The conversion uses `x_i = (1 - s_i)/2`, i.e. spin up
+//! (+1) encodes the binary 0.
+
+use crate::model::QuboModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An Ising Hamiltonian over `n` spins.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IsingModel {
+    n_spins: usize,
+    /// Local fields `h_i`.
+    h: Vec<f64>,
+    /// Couplings `J_ij` with `i < j`.
+    j: BTreeMap<(usize, usize), f64>,
+    /// Constant energy shift.
+    constant: f64,
+}
+
+impl IsingModel {
+    /// Creates an all-zero Hamiltonian over `n` spins.
+    pub fn new(n_spins: usize) -> Self {
+        Self { n_spins, h: vec![0.0; n_spins], j: BTreeMap::new(), constant: 0.0 }
+    }
+
+    /// Number of spins.
+    pub fn n_spins(&self) -> usize {
+        self.n_spins
+    }
+
+    /// Local field on spin `i`.
+    pub fn field(&self, i: usize) -> f64 {
+        self.h[i]
+    }
+
+    /// Coupling between spins `i` and `j` (0 when absent).
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.j.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Constant term.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Adds to the local field of spin `i`.
+    pub fn add_field(&mut self, i: usize, w: f64) -> &mut Self {
+        assert!(i < self.n_spins);
+        self.h[i] += w;
+        self
+    }
+
+    /// Adds to the coupling of pair `{i, j}`.
+    ///
+    /// # Panics
+    /// Panics if `i == j` (spin squared is constant; fold into `constant`).
+    pub fn add_coupling(&mut self, i: usize, j: usize, w: f64) -> &mut Self {
+        assert!(i < self.n_spins && j < self.n_spins && i != j);
+        let key = if i < j { (i, j) } else { (j, i) };
+        let e = self.j.entry(key).or_insert(0.0);
+        *e += w;
+        if *e == 0.0 {
+            self.j.remove(&key);
+        }
+        self
+    }
+
+    /// Adds to the constant shift.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// Iterates non-zero couplings `((i, j), J_ij)` with `i < j`.
+    pub fn couplings_iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.j.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Energy of a spin configuration (`true` = spin +1).
+    pub fn energy(&self, spins: &[bool]) -> f64 {
+        assert_eq!(spins.len(), self.n_spins);
+        let val = |b: bool| if b { 1.0 } else { -1.0 };
+        let mut e = self.constant;
+        for (hi, &s) in self.h.iter().zip(spins) {
+            e += hi * val(s);
+        }
+        for (&(i, j), &w) in &self.j {
+            e += w * val(spins[i]) * val(spins[j]);
+        }
+        e
+    }
+
+    /// Converts a QUBO into the equivalent Ising Hamiltonian: energies agree
+    /// exactly under `x_i = (1 - s_i)/2`.
+    pub fn from_qubo(q: &QuboModel) -> Self {
+        let n = q.n_vars();
+        let mut ising = IsingModel::new(n);
+        ising.constant = q.offset();
+        for i in 0..n {
+            let a = q.linear(i);
+            // a * x_i = a/2 - (a/2) s_i
+            ising.constant += a / 2.0;
+            ising.h[i] -= a / 2.0;
+        }
+        for ((i, j), w) in q.quadratic_iter() {
+            // w x_i x_j = w/4 (1 - s_i)(1 - s_j)
+            //           = w/4 - w/4 s_i - w/4 s_j + w/4 s_i s_j
+            ising.constant += w / 4.0;
+            ising.h[i] -= w / 4.0;
+            ising.h[j] -= w / 4.0;
+            ising.add_coupling(i, j, w / 4.0);
+        }
+        ising
+    }
+
+    /// Converts back to a QUBO with identical energies.
+    pub fn to_qubo(&self) -> QuboModel {
+        let mut q = QuboModel::new(self.n_spins);
+        // s_i = 1 - 2 x_i.
+        let mut offset = self.constant;
+        for (i, &hi) in self.h.iter().enumerate() {
+            // h s = h - 2 h x
+            offset += hi;
+            q.add_linear(i, -2.0 * hi);
+        }
+        for (&(i, j), &w) in &self.j {
+            // J s_i s_j = J (1 - 2x_i)(1 - 2x_j)
+            //           = J - 2J x_i - 2J x_j + 4J x_i x_j
+            offset += w;
+            q.add_linear(i, -2.0 * w);
+            q.add_linear(j, -2.0 * w);
+            q.add_quadratic(i, j, 4.0 * w);
+        }
+        q.add_offset(offset);
+        q
+    }
+
+    /// Converts a binary assignment (`x_i`) to spins (`true` = +1 = `x_i=0`).
+    pub fn spins_from_bits(bits: &[bool]) -> Vec<bool> {
+        bits.iter().map(|&b| !b).collect()
+    }
+
+    /// Converts spins back to binary variables.
+    pub fn bits_from_spins(spins: &[bool]) -> Vec<bool> {
+        spins.iter().map(|&s| !s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::bits_from_index;
+
+    #[test]
+    fn qubo_ising_energies_agree() {
+        let mut q = QuboModel::new(4);
+        q.add_linear(0, 1.0)
+            .add_linear(3, -2.5)
+            .add_quadratic(0, 1, 2.0)
+            .add_quadratic(1, 2, -1.5)
+            .add_quadratic(2, 3, 0.5)
+            .add_offset(0.7);
+        let ising = IsingModel::from_qubo(&q);
+        for idx in 0..16 {
+            let bits = bits_from_index(idx, 4);
+            let spins = IsingModel::spins_from_bits(&bits);
+            assert!(
+                (q.energy(&bits) - ising.energy(&spins)).abs() < 1e-12,
+                "mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_energy() {
+        let mut q = QuboModel::new(3);
+        q.add_linear(1, -4.0).add_quadratic(0, 2, 3.0).add_offset(-1.0);
+        let back = IsingModel::from_qubo(&q).to_qubo();
+        for idx in 0..8 {
+            let bits = bits_from_index(idx, 3);
+            assert!((q.energy(&bits) - back.energy(&bits)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spin_bit_conversions_invert() {
+        let bits = vec![true, false, true];
+        assert_eq!(IsingModel::bits_from_spins(&IsingModel::spins_from_bits(&bits)), bits);
+    }
+
+    #[test]
+    fn ising_energy_signs() {
+        let mut m = IsingModel::new(2);
+        m.add_field(0, 1.0).add_coupling(0, 1, -2.0);
+        // s = (+1, +1): 1 - 2 = -1.
+        assert_eq!(m.energy(&[true, true]), -1.0);
+        // s = (-1, +1): -1 + 2 = 1.
+        assert_eq!(m.energy(&[false, true]), 1.0);
+    }
+
+    #[test]
+    fn zero_coupling_removed() {
+        let mut m = IsingModel::new(2);
+        m.add_coupling(0, 1, 1.0).add_coupling(1, 0, -1.0);
+        assert_eq!(m.couplings_iter().count(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # qdm-qubo — QUBO and Ising models
+//!
+//! The shared optimization substrate of the reproduction: Sec. III of the
+//! paper observes that the recent data-management works in its Table I are
+//! "mostly mapped \[to\] a so-called quadratic unconstrained binary
+//! optimization (QUBO) problem". This crate provides that common currency:
+//!
+//! - [`model`] — sparse QUBO models with incremental flip deltas and
+//!   connected-component decomposition (the hybrid step of Sec. III-C.2);
+//! - [`ising`] — lossless QUBO ⇄ Ising conversion for annealers and QAOA;
+//! - [`penalty`] — constraint-to-penalty builders (exactly-one, at-most-one,
+//!   weighted equality, implication, conflict);
+//! - [`solve`] — certified exact enumeration plus random/greedy baselines and
+//!   the shared [`solve::SolveResult`] telemetry record;
+//! - [`presolve`](mod@presolve) — first-order persistency variable fixing.
+//!
+//! ```
+//! use qdm_qubo::prelude::*;
+//!
+//! let mut q = QuboModel::new(2);
+//! q.add_linear(0, -1.0);
+//! q.add_quadratic(0, 1, 2.0);
+//! let best = solve_exact(&q);
+//! assert_eq!(best.bits, vec![true, false]);
+//! assert_eq!(best.energy, -1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ising;
+pub mod model;
+pub mod penalty;
+pub mod presolve;
+pub mod solve;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::ising::IsingModel;
+    pub use crate::model::{bits_from_index, index_from_bits, QuboModel};
+    pub use crate::penalty;
+    pub use crate::presolve::{presolve, Presolved};
+    pub use crate::solve::{
+        solve_exact, solve_greedy_descent, solve_random, SolveResult, MAX_EXACT_VARS,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,322 @@
+//! The QUBO model: `E(x) = x^T Q x + offset` over binary variables.
+//!
+//! QUBO (quadratic unconstrained binary optimization) is, per Sec. III of the
+//! paper, "one of the most widely applied optimization models" for quantum
+//! computing: every Table I work maps its database problem onto one. We store
+//! the coefficient matrix sparsely in upper-triangular form: `linear[i]`
+//! holds `Q_ii` and `quadratic[(i, j)]` with `i < j` holds `Q_ij + Q_ji`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A quadratic unconstrained binary optimization model.
+///
+/// Energy of an assignment `x in {0,1}^n`:
+/// `E(x) = sum_i linear[i] x_i + sum_{i<j} quadratic[(i,j)] x_i x_j + offset`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuboModel {
+    n_vars: usize,
+    linear: Vec<f64>,
+    quadratic: BTreeMap<(usize, usize), f64>,
+    offset: f64,
+}
+
+impl QuboModel {
+    /// Creates an all-zero model over `n_vars` binary variables.
+    pub fn new(n_vars: usize) -> Self {
+        Self { n_vars, linear: vec![0.0; n_vars], quadratic: BTreeMap::new(), offset: 0.0 }
+    }
+
+    /// Number of binary variables.
+    #[inline]
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Constant offset added to every energy.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Adds a constant to the offset.
+    pub fn add_offset(&mut self, c: f64) -> &mut Self {
+        self.offset += c;
+        self
+    }
+
+    /// Linear coefficient of variable `i`.
+    #[inline]
+    pub fn linear(&self, i: usize) -> f64 {
+        self.linear[i]
+    }
+
+    /// Adds `w` to the linear coefficient of variable `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn add_linear(&mut self, i: usize, w: f64) -> &mut Self {
+        assert!(i < self.n_vars, "variable {i} out of range");
+        self.linear[i] += w;
+        self
+    }
+
+    /// Quadratic coefficient of the (unordered) pair `{i, j}`.
+    #[inline]
+    pub fn quadratic(&self, i: usize, j: usize) -> f64 {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.quadratic.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Adds `w` to the quadratic coefficient of pair `{i, j}`. Adding to the
+    /// diagonal (`i == j`) folds into the linear term since `x^2 = x`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn add_quadratic(&mut self, i: usize, j: usize, w: f64) -> &mut Self {
+        assert!(i < self.n_vars && j < self.n_vars, "variable out of range");
+        if i == j {
+            self.linear[i] += w;
+        } else {
+            let key = if i < j { (i, j) } else { (j, i) };
+            let entry = self.quadratic.entry(key).or_insert(0.0);
+            *entry += w;
+            if *entry == 0.0 {
+                self.quadratic.remove(&key);
+            }
+        }
+        self
+    }
+
+    /// Iterates over non-zero quadratic terms as `((i, j), weight)` with `i < j`.
+    pub fn quadratic_iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.quadratic.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of non-zero quadratic couplings.
+    pub fn n_interactions(&self) -> usize {
+        self.quadratic.len()
+    }
+
+    /// Evaluates the energy of a binary assignment.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_vars`.
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.n_vars, "assignment length mismatch");
+        let mut e = self.offset;
+        for (i, (&w, &xi)) in self.linear.iter().zip(x.iter()).enumerate() {
+            let _ = i;
+            if xi {
+                e += w;
+            }
+        }
+        for (&(i, j), &w) in &self.quadratic {
+            if x[i] && x[j] {
+                e += w;
+            }
+        }
+        e
+    }
+
+    /// Energy change from flipping variable `i` in assignment `x`
+    /// (`x` is the state *before* the flip). `O(deg(i))` given the neighbor
+    /// list; this generic version scans the coupling map.
+    pub fn flip_delta(&self, x: &[bool], i: usize) -> f64 {
+        let mut local = self.linear[i];
+        for (&(a, b), &w) in &self.quadratic {
+            if (a == i && x[b]) || (b == i && x[a]) {
+                local += w;
+            }
+        }
+        if x[i] {
+            -local
+        } else {
+            local
+        }
+    }
+
+    /// Adjacency lists: for each variable the `(neighbor, weight)` pairs of
+    /// its non-zero couplings. Solvers use this for O(deg) flip deltas.
+    pub fn neighbor_lists(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut adj = vec![Vec::new(); self.n_vars];
+        for (&(i, j), &w) in &self.quadratic {
+            adj[i].push((j, w));
+            adj[j].push((i, w));
+        }
+        adj
+    }
+
+    /// Splits the model into connected components of its interaction graph.
+    /// Returns `(component_models, var_maps)` where `var_maps[k][local] =
+    /// global`. This is the hybrid decomposition step of Sec. III-C.2: the
+    /// query-clustering preprocessing of Trummer & Koch maps to exactly this.
+    ///
+    /// The full offset is carried by the first component (or lost if there
+    /// are none).
+    pub fn connected_components(&self) -> Vec<(QuboModel, Vec<usize>)> {
+        let adj = self.neighbor_lists();
+        let mut comp = vec![usize::MAX; self.n_vars];
+        let mut n_comps = 0;
+        let mut stack = Vec::new();
+        for start in 0..self.n_vars {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            stack.push(start);
+            comp[start] = n_comps;
+            while let Some(v) = stack.pop() {
+                for &(u, _) in &adj[v] {
+                    if comp[u] == usize::MAX {
+                        comp[u] = n_comps;
+                        stack.push(u);
+                    }
+                }
+            }
+            n_comps += 1;
+        }
+        let mut var_maps: Vec<Vec<usize>> = vec![Vec::new(); n_comps];
+        let mut local_of: Vec<usize> = vec![0; self.n_vars];
+        for v in 0..self.n_vars {
+            local_of[v] = var_maps[comp[v]].len();
+            var_maps[comp[v]].push(v);
+        }
+        let mut models: Vec<QuboModel> =
+            var_maps.iter().map(|vm| QuboModel::new(vm.len())).collect();
+        for (v, &c) in comp.iter().enumerate() {
+            models[c].add_linear(local_of[v], self.linear[v]);
+        }
+        for (&(i, j), &w) in &self.quadratic {
+            debug_assert_eq!(comp[i], comp[j]);
+            models[comp[i]].add_quadratic(local_of[i], local_of[j], w);
+        }
+        if let Some(first) = models.first_mut() {
+            first.add_offset(self.offset);
+        }
+        models.into_iter().zip(var_maps).collect()
+    }
+
+    /// A lower bound on the energy: offset plus all negative coefficients.
+    pub fn naive_lower_bound(&self) -> f64 {
+        let mut b = self.offset;
+        b += self.linear.iter().filter(|w| **w < 0.0).sum::<f64>();
+        b += self.quadratic.values().filter(|w| **w < 0.0).sum::<f64>();
+        b
+    }
+
+    /// Maximum absolute coefficient — used for penalty-weight and chain-
+    /// strength heuristics.
+    pub fn max_abs_coefficient(&self) -> f64 {
+        let l = self.linear.iter().fold(0.0f64, |m, w| m.max(w.abs()));
+        let q = self.quadratic.values().fold(0.0f64, |m, w| m.max(w.abs()));
+        l.max(q)
+    }
+}
+
+/// Converts a bitmask index (bit `i` = variable `i`) to a boolean assignment.
+pub fn bits_from_index(index: usize, n: usize) -> Vec<bool> {
+    (0..n).map(|i| index & (1 << i) != 0).collect()
+}
+
+/// Converts a boolean assignment to a bitmask index.
+pub fn index_from_bits(bits: &[bool]) -> usize {
+    bits.iter().enumerate().fold(0, |acc, (i, &b)| if b { acc | (1 << i) } else { acc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_of_simple_model() {
+        let mut q = QuboModel::new(3);
+        q.add_linear(0, 1.0).add_linear(1, -2.0).add_quadratic(0, 1, 3.0).add_offset(0.5);
+        assert_eq!(q.energy(&[false, false, false]), 0.5);
+        assert_eq!(q.energy(&[true, false, false]), 1.5);
+        assert_eq!(q.energy(&[true, true, false]), 0.5 + 1.0 - 2.0 + 3.0);
+    }
+
+    #[test]
+    fn diagonal_quadratic_folds_into_linear() {
+        let mut q = QuboModel::new(2);
+        q.add_quadratic(1, 1, 4.0);
+        assert_eq!(q.linear(1), 4.0);
+        assert_eq!(q.energy(&[false, true]), 4.0);
+    }
+
+    #[test]
+    fn quadratic_is_symmetric() {
+        let mut q = QuboModel::new(2);
+        q.add_quadratic(1, 0, 2.0);
+        assert_eq!(q.quadratic(0, 1), 2.0);
+        assert_eq!(q.quadratic(1, 0), 2.0);
+    }
+
+    #[test]
+    fn zero_couplings_are_pruned() {
+        let mut q = QuboModel::new(2);
+        q.add_quadratic(0, 1, 2.0).add_quadratic(0, 1, -2.0);
+        assert_eq!(q.n_interactions(), 0);
+    }
+
+    #[test]
+    fn flip_delta_matches_energy_difference() {
+        let mut q = QuboModel::new(4);
+        q.add_linear(0, 1.5)
+            .add_linear(2, -0.5)
+            .add_quadratic(0, 1, 2.0)
+            .add_quadratic(1, 2, -1.0)
+            .add_quadratic(0, 3, 0.75);
+        let x = [true, false, true, true];
+        for i in 0..4 {
+            let mut y = x;
+            y[i] = !y[i];
+            let want = q.energy(&y) - q.energy(&x);
+            let got = q.flip_delta(&x, i);
+            assert!((want - got).abs() < 1e-12, "var {i}: want {want}, got {got}");
+        }
+    }
+
+    #[test]
+    fn connected_components_split() {
+        let mut q = QuboModel::new(5);
+        // Component {0,1}, component {2,3}, isolated {4}.
+        q.add_quadratic(0, 1, 1.0).add_quadratic(2, 3, -2.0).add_linear(4, 7.0);
+        q.add_offset(10.0);
+        let comps = q.connected_components();
+        assert_eq!(comps.len(), 3);
+        let total_vars: usize = comps.iter().map(|(m, _)| m.n_vars()).sum();
+        assert_eq!(total_vars, 5);
+        // Energies decompose: best of each component sums to best global.
+        let all_false = |m: &QuboModel| m.energy(&vec![false; m.n_vars()]);
+        let sum: f64 = comps.iter().map(|(m, _)| all_false(m)).sum();
+        assert_eq!(sum, q.energy(&[false; 5]));
+    }
+
+    #[test]
+    fn index_bits_roundtrip() {
+        for idx in 0..32 {
+            let bits = bits_from_index(idx, 5);
+            assert_eq!(index_from_bits(&bits), idx);
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_symmetric() {
+        let mut q = QuboModel::new(3);
+        q.add_quadratic(0, 2, 2.5).add_quadratic(1, 2, -1.0);
+        let adj = q.neighbor_lists();
+        assert_eq!(adj[0], vec![(2, 2.5)]);
+        assert_eq!(adj[2], vec![(0, 2.5), (1, -1.0)]);
+    }
+
+    #[test]
+    fn naive_lower_bound_is_a_bound() {
+        let mut q = QuboModel::new(3);
+        q.add_linear(0, -1.0).add_linear(1, 2.0).add_quadratic(0, 1, -3.0).add_offset(0.5);
+        let lb = q.naive_lower_bound();
+        for idx in 0..8 {
+            assert!(q.energy(&bits_from_index(idx, 3)) >= lb - 1e-12);
+        }
+    }
+}

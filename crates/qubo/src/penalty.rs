@@ -1,0 +1,156 @@
+//! Penalty-term builders for encoding constraints into QUBO objectives.
+//!
+//! Every Table I reformulation turns hard constraints ("each query selects
+//! exactly one plan", "an attribute matches at most one partner") into
+//! quadratic penalty terms. These builders add the standard encodings with a
+//! caller-chosen penalty weight `a`; a feasible assignment contributes zero
+//! penalty energy and every violation contributes at least `a`.
+
+use crate::model::QuboModel;
+
+/// Adds `a * (sum_{i in vars} x_i - 1)^2`: *exactly one* of `vars` is set.
+///
+/// Expansion: `sum x_i - 2 sum x_i + 1` linear part plus pairwise `2 x_i x_j`,
+/// i.e. `a * (1 - sum x_i + 2 sum_{i<j} x_i x_j)` using `x^2 = x`.
+pub fn exactly_one(q: &mut QuboModel, vars: &[usize], a: f64) {
+    q.add_offset(a);
+    for &i in vars {
+        q.add_linear(i, -a);
+    }
+    for (k, &i) in vars.iter().enumerate() {
+        for &j in &vars[k + 1..] {
+            q.add_quadratic(i, j, 2.0 * a);
+        }
+    }
+}
+
+/// Adds `a * sum_{i<j} x_i x_j`: *at most one* of `vars` is set.
+pub fn at_most_one(q: &mut QuboModel, vars: &[usize], a: f64) {
+    for (k, &i) in vars.iter().enumerate() {
+        for &j in &vars[k + 1..] {
+            q.add_quadratic(i, j, a);
+        }
+    }
+}
+
+/// Adds `a * (sum_i c_i x_i - target)^2` for an integer-weighted equality
+/// constraint.
+pub fn weighted_equality(q: &mut QuboModel, terms: &[(usize, f64)], target: f64, a: f64) {
+    // (sum c_i x_i - t)^2 = sum c_i^2 x_i + 2 sum_{i<j} c_i c_j x_i x_j
+    //                       - 2t sum c_i x_i + t^2
+    q.add_offset(a * target * target);
+    for &(i, c) in terms {
+        q.add_linear(i, a * (c * c - 2.0 * target * c));
+    }
+    for (k, &(i, ci)) in terms.iter().enumerate() {
+        for &(j, cj) in &terms[k + 1..] {
+            q.add_quadratic(i, j, 2.0 * a * ci * cj);
+        }
+    }
+}
+
+/// Adds `a * x_i (1 - x_j)`: implication `x_i => x_j`.
+pub fn implies(q: &mut QuboModel, i: usize, j: usize, a: f64) {
+    q.add_linear(i, a);
+    q.add_quadratic(i, j, -a);
+}
+
+/// Adds `a * x_i x_j`: forbids both being set simultaneously (conflict edge).
+pub fn conflict(q: &mut QuboModel, i: usize, j: usize, a: f64) {
+    q.add_quadratic(i, j, a);
+}
+
+/// Penalty weight heuristic: a value strictly dominating the objective range
+/// so that no single constraint violation can be traded for objective gain.
+pub fn penalty_weight(objective: &QuboModel) -> f64 {
+    let span = objective.max_abs_coefficient();
+    // Every violated constraint costs at least `a`; make `a` larger than the
+    // largest conceivable single-term objective improvement.
+    2.0 * span.max(1.0) * objective.n_vars().max(1) as f64
+}
+
+/// Counts how many of the `exactly_one` groups are violated by `x`.
+pub fn count_one_hot_violations(groups: &[Vec<usize>], x: &[bool]) -> usize {
+    groups
+        .iter()
+        .filter(|g| g.iter().filter(|&&i| x[i]).count() != 1)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::bits_from_index;
+
+    #[test]
+    fn exactly_one_zero_iff_one_hot() {
+        let mut q = QuboModel::new(3);
+        exactly_one(&mut q, &[0, 1, 2], 5.0);
+        for idx in 0..8usize {
+            let bits = bits_from_index(idx, 3);
+            let ones = idx.count_ones();
+            let e = q.energy(&bits);
+            if ones == 1 {
+                assert!(e.abs() < 1e-12, "one-hot {idx} should have zero energy");
+            } else {
+                assert!(e >= 5.0 - 1e-12, "violation {idx} must cost >= a, got {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_allows_empty() {
+        let mut q = QuboModel::new(3);
+        at_most_one(&mut q, &[0, 1, 2], 4.0);
+        assert_eq!(q.energy(&[false, false, false]), 0.0);
+        assert_eq!(q.energy(&[true, false, false]), 0.0);
+        assert_eq!(q.energy(&[true, true, false]), 4.0);
+        assert_eq!(q.energy(&[true, true, true]), 12.0);
+    }
+
+    #[test]
+    fn weighted_equality_measures_squared_residual() {
+        let mut q = QuboModel::new(3);
+        // 1*x0 + 2*x1 + 3*x2 == 3
+        weighted_equality(&mut q, &[(0, 1.0), (1, 2.0), (2, 3.0)], 3.0, 1.0);
+        // Feasible: x2 alone, or x0+x1.
+        assert!(q.energy(&[false, false, true]).abs() < 1e-12);
+        assert!(q.energy(&[true, true, false]).abs() < 1e-12);
+        // Infeasible: residual^2.
+        assert!((q.energy(&[true, false, false]) - 4.0).abs() < 1e-12);
+        assert!((q.energy(&[true, true, true]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implies_penalizes_only_broken_implication() {
+        let mut q = QuboModel::new(2);
+        implies(&mut q, 0, 1, 3.0);
+        assert_eq!(q.energy(&[false, false]), 0.0);
+        assert_eq!(q.energy(&[false, true]), 0.0);
+        assert_eq!(q.energy(&[true, true]), 0.0);
+        assert_eq!(q.energy(&[true, false]), 3.0);
+    }
+
+    #[test]
+    fn conflict_penalizes_pair() {
+        let mut q = QuboModel::new(2);
+        conflict(&mut q, 0, 1, 2.0);
+        assert_eq!(q.energy(&[true, true]), 2.0);
+        assert_eq!(q.energy(&[true, false]), 0.0);
+    }
+
+    #[test]
+    fn violation_counter() {
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        assert_eq!(count_one_hot_violations(&groups, &[true, false, false, false]), 1);
+        assert_eq!(count_one_hot_violations(&groups, &[true, false, true, false]), 0);
+        assert_eq!(count_one_hot_violations(&groups, &[true, true, true, true]), 2);
+    }
+
+    #[test]
+    fn penalty_weight_dominates() {
+        let mut obj = QuboModel::new(4);
+        obj.add_linear(0, 3.0).add_quadratic(1, 2, -7.0);
+        assert!(penalty_weight(&obj) > 7.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! QUBO presolve: fixing variables whose optimal value is decidable locally.
+//!
+//! This is part of the hybrid classical/quantum toolbox of Sec. III-C.2: a
+//! classical preprocessing pass that shrinks the problem a quantum device
+//! must handle. We implement first-order persistency: a variable whose
+//! linear coefficient dominates the total weight of its couplings can be
+//! fixed without losing the optimum.
+
+use crate::model::QuboModel;
+
+/// Result of a presolve pass.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model over the remaining free variables.
+    pub reduced: QuboModel,
+    /// `map[local] = global` variable index mapping.
+    pub free_vars: Vec<usize>,
+    /// Fixed assignments as `(global_index, value)`.
+    pub fixed: Vec<(usize, bool)>,
+}
+
+impl Presolved {
+    /// Reconstructs a full assignment from a solution of the reduced model.
+    pub fn lift(&self, reduced_bits: &[bool], n_vars: usize) -> Vec<bool> {
+        assert_eq!(reduced_bits.len(), self.free_vars.len());
+        let mut full = vec![false; n_vars];
+        for (&g, &b) in self.free_vars.iter().zip(reduced_bits) {
+            full[g] = b;
+        }
+        for &(g, v) in &self.fixed {
+            full[g] = v;
+        }
+        full
+    }
+}
+
+/// Applies first-order persistency repeatedly until a fixpoint.
+///
+/// Rules (for minimization):
+/// - if `linear[i] + sum(min(0, w_ij)) >= 0`, setting `x_i = 0` is never
+///   worse — fix to 0;
+/// - if `linear[i] + sum(max(0, w_ij)) <= 0`, setting `x_i = 1` is never
+///   worse — fix to 1.
+pub fn presolve(q: &QuboModel) -> Presolved {
+    let n = q.n_vars();
+    let mut fixed: Vec<Option<bool>> = vec![None; n];
+    let mut work = q.clone();
+    loop {
+        let adj = work.neighbor_lists();
+        let mut changed = false;
+        for i in 0..n {
+            if fixed[i].is_some() {
+                continue;
+            }
+            let lin = work.linear(i);
+            let neg: f64 = adj[i]
+                .iter()
+                .filter(|(j, _)| fixed[*j].is_none())
+                .map(|&(_, w)| w.min(0.0))
+                .sum();
+            let pos: f64 = adj[i]
+                .iter()
+                .filter(|(j, _)| fixed[*j].is_none())
+                .map(|&(_, w)| w.max(0.0))
+                .sum();
+            // Note: couplings to already-fixed variables were folded into the
+            // linear term when the partner was fixed, so they are excluded.
+            let value = if lin + neg >= 0.0 {
+                Some(false)
+            } else if lin + pos <= 0.0 {
+                Some(true)
+            } else {
+                None
+            };
+            if let Some(v) = value {
+                fixed[i] = Some(v);
+                changed = true;
+                // Fold x_i = v into the model.
+                if v {
+                    work.add_offset(work.linear(i));
+                }
+                let neighbors: Vec<(usize, f64)> = adj[i].clone();
+                for (j, w) in neighbors {
+                    // Remove coupling; if v = 1 it becomes linear on j.
+                    work.add_quadratic(i, j, -w);
+                    if v {
+                        work.add_linear(j, w);
+                    }
+                }
+                // Clear the linear term of i.
+                let l = work.linear(i);
+                work.add_linear(i, -l);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Build the reduced model over free variables.
+    let free_vars: Vec<usize> = (0..n).filter(|&i| fixed[i].is_none()).collect();
+    let local_of: std::collections::HashMap<usize, usize> =
+        free_vars.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+    let mut reduced = QuboModel::new(free_vars.len());
+    reduced.add_offset(work.offset());
+    for (&g, &l) in &local_of {
+        reduced.add_linear(l, work.linear(g));
+    }
+    for ((i, j), w) in work.quadratic_iter() {
+        if let (Some(&li), Some(&lj)) = (local_of.get(&i), local_of.get(&j)) {
+            reduced.add_quadratic(li, lj, w);
+        }
+    }
+    Presolved {
+        reduced,
+        free_vars,
+        fixed: fixed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|b| (i, b)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve_exact;
+
+    #[test]
+    fn fixes_dominated_variables() {
+        let mut q = QuboModel::new(3);
+        // x0 has strongly positive linear: fix to 0.
+        // x1 has strongly negative linear: fix to 1.
+        q.add_linear(0, 10.0).add_linear(1, -10.0).add_quadratic(0, 1, 1.0);
+        q.add_linear(2, 0.5).add_quadratic(1, 2, -2.0);
+        let p = presolve(&q);
+        assert!(p.fixed.contains(&(0, false)));
+        assert!(p.fixed.contains(&(1, true)));
+    }
+
+    #[test]
+    fn presolve_preserves_optimum() {
+        let mut q = QuboModel::new(6);
+        q.add_linear(0, 5.0)
+            .add_linear(1, -7.0)
+            .add_linear(2, 0.3)
+            .add_quadratic(0, 2, 1.0)
+            .add_quadratic(1, 3, -0.5)
+            .add_quadratic(2, 3, 2.0)
+            .add_quadratic(3, 4, -1.5)
+            .add_quadratic(4, 5, 0.7)
+            .add_offset(2.0);
+        let full = solve_exact(&q);
+        let p = presolve(&q);
+        assert!(p.reduced.n_vars() < q.n_vars(), "presolve should fix something");
+        let red = solve_exact(&p.reduced);
+        let lifted = p.lift(&red.bits, q.n_vars());
+        assert!(
+            (q.energy(&lifted) - full.energy).abs() < 1e-9,
+            "lifted {} vs optimal {}",
+            q.energy(&lifted),
+            full.energy
+        );
+    }
+
+    #[test]
+    fn no_fixing_when_nothing_dominates() {
+        let mut q = QuboModel::new(2);
+        q.add_linear(0, -1.0).add_linear(1, -1.0).add_quadratic(0, 1, 3.0);
+        let p = presolve(&q);
+        assert_eq!(p.reduced.n_vars(), 2);
+        assert!(p.fixed.is_empty());
+    }
+
+    #[test]
+    fn lift_roundtrips_indices() {
+        let mut q = QuboModel::new(4);
+        q.add_linear(0, 10.0).add_linear(2, -10.0);
+        q.add_quadratic(1, 3, -1.0); // keep 1 and 3 free? linear 0 both -> fixed
+        let p = presolve(&q);
+        // Whatever got fixed, lifting a solution must produce 4 bits.
+        let bits = vec![true; p.reduced.n_vars()];
+        assert_eq!(p.lift(&bits, 4).len(), 4);
+    }
+}

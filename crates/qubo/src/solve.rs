@@ -1,0 +1,233 @@
+//! Exact and baseline solvers over QUBO models, plus the shared
+//! [`SolveResult`] record every solver in the workspace reports.
+
+use crate::model::{bits_from_index, QuboModel};
+use rand::{Rng, RngExt};
+use std::time::Instant;
+
+/// Outcome of a QUBO solve: best assignment found plus solver telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult {
+    /// Best assignment found.
+    pub bits: Vec<bool>,
+    /// Energy of `bits` (including model offset).
+    pub energy: f64,
+    /// Number of full or incremental energy evaluations performed.
+    pub evaluations: u64,
+    /// Wall-clock solve time in seconds.
+    pub seconds: f64,
+    /// Whether the solver proves this is the global optimum.
+    pub certified_optimal: bool,
+}
+
+/// Maximum variable count accepted by [`solve_exact`] (2^26 states).
+pub const MAX_EXACT_VARS: usize = 26;
+
+/// Exhaustive enumeration: certified global optimum for small models.
+///
+/// # Panics
+/// Panics if the model has more than [`MAX_EXACT_VARS`] variables.
+pub fn solve_exact(q: &QuboModel) -> SolveResult {
+    let n = q.n_vars();
+    assert!(n <= MAX_EXACT_VARS, "{n} variables exceeds exact-solver cap {MAX_EXACT_VARS}");
+    let start = Instant::now();
+    if n == 0 {
+        return SolveResult {
+            bits: Vec::new(),
+            energy: q.offset(),
+            evaluations: 1,
+            seconds: start.elapsed().as_secs_f64(),
+            certified_optimal: true,
+        };
+    }
+    // Gray-code walk with incremental deltas: each step flips one variable.
+    let adj = q.neighbor_lists();
+    let mut x = vec![false; n];
+    let mut energy = q.energy(&x);
+    let mut best = energy;
+    let mut best_index = 0usize;
+    let total = 1usize << n;
+    let mut gray_prev = 0usize;
+    for k in 1..total {
+        let gray = k ^ (k >> 1);
+        let flipped = (gray ^ gray_prev).trailing_zeros() as usize;
+        gray_prev = gray;
+        // Incremental delta for flipping `flipped`.
+        let mut local = q.linear(flipped);
+        for &(nb, w) in &adj[flipped] {
+            if x[nb] {
+                local += w;
+            }
+        }
+        energy += if x[flipped] { -local } else { local };
+        x[flipped] = !x[flipped];
+        if energy < best {
+            best = energy;
+            best_index = gray;
+        }
+    }
+    SolveResult {
+        bits: bits_from_index(best_index, n),
+        energy: best,
+        evaluations: total as u64,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: true,
+    }
+}
+
+/// Uniform random search baseline: evaluates `samples` random assignments.
+pub fn solve_random(q: &QuboModel, samples: u64, rng: &mut impl Rng) -> SolveResult {
+    let start = Instant::now();
+    let n = q.n_vars();
+    let mut best_bits = vec![false; n];
+    let mut best = q.energy(&best_bits);
+    let mut x = vec![false; n];
+    for _ in 0..samples {
+        for b in &mut x {
+            *b = rng.random::<bool>();
+        }
+        let e = q.energy(&x);
+        if e < best {
+            best = e;
+            best_bits.copy_from_slice(&x);
+        }
+    }
+    SolveResult {
+        bits: best_bits,
+        energy: best,
+        evaluations: samples + 1,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: false,
+    }
+}
+
+/// Steepest-descent local search from a random start: flips the best
+/// improving variable until a local minimum, restarting `restarts` times.
+pub fn solve_greedy_descent(q: &QuboModel, restarts: usize, rng: &mut impl Rng) -> SolveResult {
+    let start = Instant::now();
+    let n = q.n_vars();
+    let adj = q.neighbor_lists();
+    let mut best_bits = vec![false; n];
+    let mut best = q.energy(&best_bits);
+    let mut evals = 1u64;
+    let mut x = vec![false; n];
+    // `local[i]` = energy delta contribution sum of active neighbors + linear.
+    let mut local = vec![0.0f64; n];
+    for _ in 0..restarts.max(1) {
+        for b in &mut x {
+            *b = rng.random::<bool>();
+        }
+        let mut energy = q.energy(&x);
+        evals += 1;
+        // Initialize local fields.
+        for i in 0..n {
+            local[i] = q.linear(i);
+            for &(nb, w) in &adj[i] {
+                if x[nb] {
+                    local[i] += w;
+                }
+            }
+        }
+        loop {
+            // Find best improving flip.
+            let mut best_i = usize::MAX;
+            let mut best_delta = -1e-12;
+            for i in 0..n {
+                let delta = if x[i] { -local[i] } else { local[i] };
+                if delta < best_delta {
+                    best_delta = delta;
+                    best_i = i;
+                }
+            }
+            if best_i == usize::MAX {
+                break;
+            }
+            // Apply flip and update local fields of neighbors.
+            let was = x[best_i];
+            x[best_i] = !was;
+            energy += best_delta;
+            evals += 1;
+            let sign = if was { -1.0 } else { 1.0 };
+            for &(nb, w) in &adj[best_i] {
+                local[nb] += sign * w;
+            }
+        }
+        if energy < best {
+            best = energy;
+            best_bits.copy_from_slice(&x);
+        }
+    }
+    SolveResult {
+        bits: best_bits,
+        energy: best,
+        evaluations: evals,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_model() -> QuboModel {
+        let mut q = QuboModel::new(6);
+        q.add_linear(0, 2.0)
+            .add_linear(1, -3.0)
+            .add_linear(4, 1.0)
+            .add_quadratic(0, 1, 1.5)
+            .add_quadratic(1, 2, -2.0)
+            .add_quadratic(2, 3, 4.0)
+            .add_quadratic(3, 4, -1.0)
+            .add_quadratic(4, 5, -2.5)
+            .add_offset(1.0);
+        q
+    }
+
+    #[test]
+    fn exact_finds_global_optimum() {
+        let q = sample_model();
+        let res = solve_exact(&q);
+        assert!(res.certified_optimal);
+        // Verify against brute force with direct evaluation.
+        let mut best = f64::INFINITY;
+        for idx in 0..(1 << 6) {
+            best = best.min(q.energy(&bits_from_index(idx, 6)));
+        }
+        assert!((res.energy - best).abs() < 1e-12);
+        assert!((q.energy(&res.bits) - res.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_handles_empty_model() {
+        let q = QuboModel::new(0);
+        let res = solve_exact(&q);
+        assert_eq!(res.energy, 0.0);
+        assert!(res.bits.is_empty());
+    }
+
+    #[test]
+    fn random_search_never_beats_exact() {
+        let q = sample_model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let exact = solve_exact(&q);
+        let rand = solve_random(&q, 200, &mut rng);
+        assert!(rand.energy >= exact.energy - 1e-12);
+    }
+
+    #[test]
+    fn greedy_descent_reaches_local_minimum() {
+        let q = sample_model();
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = solve_greedy_descent(&q, 20, &mut rng);
+        // No single flip can improve.
+        for i in 0..q.n_vars() {
+            assert!(q.flip_delta(&res.bits, i) >= -1e-9, "flip {i} improves");
+        }
+        // With 20 restarts on 6 vars it should find the optimum.
+        let exact = solve_exact(&q);
+        assert!((res.energy - exact.energy).abs() < 1e-9);
+    }
+}

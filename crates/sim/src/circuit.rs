@@ -1,0 +1,369 @@
+//! Quantum circuit intermediate representation.
+//!
+//! A [`Circuit`] is an ordered list of [`Gate`]s over a fixed-width register.
+//! Circuits can be executed on a [`StateVector`], inverted, composed, and
+//! costed (gate counts / depth), which is what the device-constraint analysis
+//! of Sec. III-C.3 needs.
+
+use crate::gates::{self, Matrix2};
+use crate::state::StateVector;
+
+/// One gate application in a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Hadamard on a qubit.
+    H(usize),
+    /// Pauli-X on a qubit.
+    X(usize),
+    /// Pauli-Y on a qubit.
+    Y(usize),
+    /// Pauli-Z on a qubit.
+    Z(usize),
+    /// S phase gate.
+    S(usize),
+    /// S-dagger.
+    Sdg(usize),
+    /// T gate.
+    T(usize),
+    /// T-dagger.
+    Tdg(usize),
+    /// X rotation by an angle.
+    Rx(usize, f64),
+    /// Y rotation by an angle.
+    Ry(usize, f64),
+    /// Z rotation by an angle.
+    Rz(usize, f64),
+    /// Phase gate diag(1, e^{i phi}).
+    Phase(usize, f64),
+    /// Controlled-NOT (control, target).
+    Cnot(usize, usize),
+    /// Controlled-Z (symmetric).
+    Cz(usize, usize),
+    /// Controlled phase (control, target, phi).
+    CPhase(usize, usize, f64),
+    /// Two-qubit ZZ interaction `e^{-i theta Z Z / 2}` (used by QAOA).
+    Rzz(usize, usize, f64),
+    /// Swap two qubits.
+    Swap(usize, usize),
+    /// Toffoli gate (control, control, target).
+    Ccx(usize, usize, usize),
+    /// Z on `target` controlled on every listed qubit being one.
+    Mcz(Vec<usize>, usize),
+    /// Arbitrary single-qubit unitary.
+    Unitary(usize, Matrix2),
+}
+
+impl Gate {
+    /// The set of qubits the gate touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::Phase(q, _)
+            | Gate::Unitary(q, _) => vec![*q],
+            Gate::Cnot(a, b)
+            | Gate::Cz(a, b)
+            | Gate::CPhase(a, b, _)
+            | Gate::Rzz(a, b, _)
+            | Gate::Swap(a, b) => vec![*a, *b],
+            Gate::Ccx(a, b, c) => vec![*a, *b, *c],
+            Gate::Mcz(cs, t) => {
+                let mut v = cs.clone();
+                v.push(*t);
+                v
+            }
+        }
+    }
+
+    /// True if the gate acts on two or more qubits (entangling capability).
+    pub fn is_multi_qubit(&self) -> bool {
+        self.qubits().len() > 1
+    }
+
+    /// The inverse gate.
+    pub fn dagger(&self) -> Gate {
+        match self {
+            Gate::S(q) => Gate::Sdg(*q),
+            Gate::Sdg(q) => Gate::S(*q),
+            Gate::T(q) => Gate::Tdg(*q),
+            Gate::Tdg(q) => Gate::T(*q),
+            Gate::Rx(q, t) => Gate::Rx(*q, -t),
+            Gate::Ry(q, t) => Gate::Ry(*q, -t),
+            Gate::Rz(q, t) => Gate::Rz(*q, -t),
+            Gate::Phase(q, t) => Gate::Phase(*q, -t),
+            Gate::CPhase(a, b, t) => Gate::CPhase(*a, *b, -t),
+            Gate::Rzz(a, b, t) => Gate::Rzz(*a, *b, -t),
+            Gate::Unitary(q, m) => Gate::Unitary(*q, gates::mat2_dagger(m)),
+            // Self-inverse gates.
+            g => g.clone(),
+        }
+    }
+
+    /// Applies the gate to a state vector.
+    pub fn apply(&self, state: &mut StateVector) {
+        match self {
+            Gate::H(q) => state.apply_single(*q, &gates::hadamard()),
+            Gate::X(q) => state.apply_single(*q, &gates::pauli_x()),
+            Gate::Y(q) => state.apply_single(*q, &gates::pauli_y()),
+            Gate::Z(q) => state.apply_single(*q, &gates::pauli_z()),
+            Gate::S(q) => state.apply_single(*q, &gates::s_gate()),
+            Gate::Sdg(q) => state.apply_single(*q, &gates::s_dagger()),
+            Gate::T(q) => state.apply_single(*q, &gates::t_gate()),
+            Gate::Tdg(q) => state.apply_single(*q, &gates::t_dagger()),
+            Gate::Rx(q, t) => state.apply_single(*q, &gates::rx(*t)),
+            Gate::Ry(q, t) => state.apply_single(*q, &gates::ry(*t)),
+            Gate::Rz(q, t) => state.apply_single(*q, &gates::rz(*t)),
+            Gate::Phase(q, t) => state.apply_single(*q, &gates::phase(*t)),
+            Gate::Cnot(c, t) => state.apply_controlled(&[*c], *t, &gates::pauli_x()),
+            Gate::Cz(c, t) => state.apply_controlled(&[*c], *t, &gates::pauli_z()),
+            Gate::CPhase(c, t, phi) => state.apply_controlled(&[*c], *t, &gates::phase(*phi)),
+            Gate::Rzz(a, b, theta) => {
+                let (ba, bb) = (1usize << a, 1usize << b);
+                let half = theta / 2.0;
+                state.apply_diagonal_phase(|i| {
+                    let za = if i & ba == 0 { 1.0 } else { -1.0 };
+                    let zb = if i & bb == 0 { 1.0 } else { -1.0 };
+                    -half * za * zb
+                });
+            }
+            Gate::Swap(a, b) => state.apply_swap(*a, *b),
+            Gate::Ccx(a, b, t) => state.apply_controlled(&[*a, *b], *t, &gates::pauli_x()),
+            Gate::Mcz(cs, t) => state.apply_controlled(cs, *t, &gates::pauli_z()),
+            Gate::Unitary(q, m) => state.apply_single(*q, m),
+        }
+    }
+}
+
+/// An ordered gate list over a fixed register width.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    n_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Self { n_qubits, gates: Vec::new() }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The gate sequence.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total gate count.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of gates touching two or more qubits (the dominant hardware
+    /// cost on NISQ devices).
+    pub fn multi_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_multi_qubit()).count()
+    }
+
+    /// Circuit depth: length of the longest chain of gates under the
+    /// constraint that gates touching a common qubit cannot overlap.
+    pub fn depth(&self) -> usize {
+        let mut layer_of_qubit = vec![0usize; self.n_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            let qs = g.qubits();
+            let layer = qs.iter().map(|&q| layer_of_qubit[q]).max().unwrap_or(0) + 1;
+            for q in qs {
+                layer_of_qubit[q] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Appends a gate, validating qubit indices.
+    ///
+    /// # Panics
+    /// Panics if the gate references a qubit outside the register.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        for q in gate.qubits() {
+            assert!(q < self.n_qubits, "gate qubit {q} out of range");
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends all gates of `other`.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.n_qubits, other.n_qubits, "circuit width mismatch");
+        self.gates.extend(other.gates.iter().cloned());
+        self
+    }
+
+    /// The inverse circuit (reversed gate order, each gate inverted).
+    pub fn dagger(&self) -> Circuit {
+        Circuit {
+            n_qubits: self.n_qubits,
+            gates: self.gates.iter().rev().map(Gate::dagger).collect(),
+        }
+    }
+
+    // Builder helpers -------------------------------------------------------
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+    /// Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+    /// Pauli-Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y(q))
+    }
+    /// Pauli-Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+    /// X rotation.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rx(q, theta))
+    }
+    /// Y rotation.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Ry(q, theta))
+    }
+    /// Z rotation.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rz(q, theta))
+    }
+    /// CNOT.
+    pub fn cnot(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::Cnot(c, t))
+    }
+    /// Controlled-Z.
+    pub fn cz(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::Cz(c, t))
+    }
+    /// ZZ interaction.
+    pub fn rzz(&mut self, a: usize, b: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rzz(a, b, theta))
+    }
+    /// Hadamard on every qubit.
+    pub fn h_all(&mut self) -> &mut Self {
+        for q in 0..self.n_qubits {
+            self.gates.push(Gate::H(q));
+        }
+        self
+    }
+
+    /// Runs the circuit on a fresh `|0...0>` register and returns the state.
+    pub fn run(&self) -> StateVector {
+        let mut state = StateVector::new(self.n_qubits);
+        self.apply_to(&mut state);
+        state
+    }
+
+    /// Applies the circuit to an existing state.
+    ///
+    /// # Panics
+    /// Panics if the state width differs from the circuit width.
+    pub fn apply_to(&self, state: &mut StateVector) {
+        assert_eq!(state.n_qubits(), self.n_qubits, "state/circuit width mismatch");
+        for g in &self.gates {
+            g.apply(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn bell_circuit_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let s = c.run();
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+        assert!((s.probability(3) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn dagger_undoes_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).rz(2, 0.7).rzz(1, 2, -0.3).ry(0, 1.1).cz(0, 2);
+        let mut s = c.run();
+        c.dagger().apply_to(&mut s);
+        assert!((s.probability(0) - 1.0).abs() < EPS, "p0={}", s.probability(0));
+    }
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3); // all parallel -> depth 1
+        assert_eq!(c.depth(), 1);
+        c.cnot(0, 1).cnot(2, 3); // parallel -> depth 2
+        assert_eq!(c.depth(), 2);
+        c.cnot(1, 2); // serializes -> depth 3
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn gate_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).push(Gate::Ccx(0, 1, 2));
+        assert_eq!(c.gate_count(), 3);
+        assert_eq!(c.multi_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn rzz_matches_cnot_rz_cnot_decomposition() {
+        let theta = 0.9;
+        let mut direct = Circuit::new(2);
+        direct.h_all().rzz(0, 1, theta);
+        let mut decomposed = Circuit::new(2);
+        decomposed.h_all().cnot(0, 1).rz(1, theta).cnot(0, 1);
+        let a = direct.run();
+        let b = decomposed.run();
+        assert!((a.fidelity(&b) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mcz_flips_only_all_ones() {
+        let mut c = Circuit::new(3);
+        c.h_all().push(Gate::Mcz(vec![0, 1], 2));
+        let s = c.run();
+        for i in 0..8 {
+            let expected_sign = if i == 0b111 { -1.0 } else { 1.0 };
+            assert!((s.amplitude(i).re - expected_sign / 8f64.sqrt()).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cnot(0, 1);
+        a.extend(&b);
+        assert_eq!(a.gate_count(), 2);
+        let s = a.run();
+        assert!((s.probability(3) - 0.5).abs() < EPS);
+    }
+}

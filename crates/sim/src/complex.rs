@@ -1,0 +1,291 @@
+//! Minimal complex-number arithmetic for quantum amplitudes.
+//!
+//! We deliberately implement this in-repo instead of pulling `num-complex`:
+//! the simulator needs only a handful of operations on `f64` pairs, and the
+//! offline dependency set for this reproduction is restricted (see DESIGN.md).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i*im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity.
+pub const C_ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+/// The multiplicative identity.
+pub const C_ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+/// The imaginary unit `i`.
+pub const C_I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+impl Complex64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Returns `e^{i theta}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|^2`; this is the measurement probability of an
+    /// amplitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaNs when `self` is zero, mirroring
+    /// float division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+
+    /// True when both parts are within `eps` of the other value's.
+    #[inline]
+    pub fn approx_eq(self, other: Self, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// True when the modulus is below `eps`.
+    #[inline]
+    pub fn is_negligible(self, eps: f64) -> bool {
+        self.norm_sqr() <= eps * eps
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^{-1}
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(C_ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.5, 3.25);
+        assert!((a + b - b).approx_eq(a, EPS));
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex64::new(2.0, 3.0);
+        let b = Complex64::new(-1.0, 4.0);
+        let p = a * b;
+        assert!((p.re - (2.0 * -1.0 - 3.0 * 4.0)).abs() < EPS);
+        assert!((p.im - (2.0 * 4.0 + 3.0 * -1.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C_I * C_I).approx_eq(-C_ONE, EPS));
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let a = Complex64::new(1.0, 2.0);
+        assert_eq!(a.conj(), Complex64::new(1.0, -2.0));
+        assert!((a * a.conj()).approx_eq(Complex64::real(a.norm_sqr()), EPS));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.norm() - 2.0).abs() < EPS);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_has_unit_modulus() {
+        for k in 0..16 {
+            let z = Complex64::cis(k as f64 * 0.4321);
+            assert!((z.norm() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(3.0, -1.0);
+        let b = Complex64::new(0.5, 2.0);
+        assert!(((a * b) / b).approx_eq(a, 1e-10));
+    }
+
+    #[test]
+    fn inv_times_self_is_one() {
+        let a = Complex64::new(0.3, -0.7);
+        assert!((a * a.inv()).approx_eq(C_ONE, EPS));
+    }
+
+    #[test]
+    fn sum_folds_components() {
+        let s: Complex64 =
+            [Complex64::new(1.0, 1.0), Complex64::new(2.0, -3.0)].into_iter().sum();
+        assert!(s.approx_eq(Complex64::new(3.0, -2.0), EPS));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Complex64::new(1.0, -0.5)), "1.000000-0.500000i");
+    }
+}

@@ -1,0 +1,302 @@
+//! Density-matrix simulator for exact mixed-state evolution.
+//!
+//! Complements the trajectory method in [`crate::noise`]: where trajectories
+//! estimate channel outputs stochastically, the density matrix computes them
+//! exactly, at the cost of `4^n` storage. Intended for small registers
+//! (n <= 10), e.g. analyzing Werner states for the quantum-internet substrate.
+
+use crate::complex::{Complex64, C_ZERO};
+use crate::gates::Matrix2;
+use crate::state::StateVector;
+
+/// A density operator `rho` over `n_qubits`, stored dense row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    dim: usize,
+    /// Row-major `dim x dim` entries.
+    elems: Vec<Complex64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0...0><0...0|`.
+    pub fn new(n_qubits: usize) -> Self {
+        Self::from_pure(&StateVector::new(n_qubits))
+    }
+
+    /// Builds `|psi><psi|` from a pure state.
+    pub fn from_pure(psi: &StateVector) -> Self {
+        let dim = psi.len();
+        let mut elems = vec![C_ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                elems[r * dim + c] = psi.amplitude(r) * psi.amplitude(c).conj();
+            }
+        }
+        Self { n_qubits: psi.n_qubits(), dim, elems }
+    }
+
+    /// The maximally mixed state `I / 2^n`.
+    pub fn maximally_mixed(n_qubits: usize) -> Self {
+        let dim = 1usize << n_qubits;
+        let mut elems = vec![C_ZERO; dim * dim];
+        let p = Complex64::real(1.0 / dim as f64);
+        for r in 0..dim {
+            elems[r * dim + r] = p;
+        }
+        Self { n_qubits, dim, elems }
+    }
+
+    /// Convex mixture `w * self + (1-w) * other`.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ or `w` is outside `[0, 1]`.
+    pub fn mix(&self, other: &Self, w: f64) -> Self {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        assert!((0.0..=1.0).contains(&w), "weight must be in [0,1]");
+        let elems = self
+            .elems
+            .iter()
+            .zip(other.elems.iter())
+            .map(|(a, b)| a.scale(w) + b.scale(1.0 - w))
+            .collect();
+        Self { n_qubits: self.n_qubits, dim: self.dim, elems }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Matrix dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Element `rho[r][c]`.
+    #[inline]
+    pub fn element(&self, r: usize, c: usize) -> Complex64 {
+        self.elems[r * self.dim + c]
+    }
+
+    /// Trace of the matrix (1 for a valid state).
+    pub fn trace(&self) -> Complex64 {
+        (0..self.dim).map(|r| self.element(r, r)).sum()
+    }
+
+    /// Purity `Tr(rho^2)`; 1 for pure states, `1/2^n` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        // Tr(rho^2) = sum_{r,c} rho[r][c] * rho[c][r]; for Hermitian rho this
+        // equals sum |rho[r][c]|^2.
+        self.elems.iter().map(|e| e.norm_sqr()).sum()
+    }
+
+    /// Fidelity with a pure state: `<psi| rho |psi>`.
+    pub fn fidelity_with_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(self.dim, psi.len(), "dimension mismatch");
+        let mut acc = C_ZERO;
+        for r in 0..self.dim {
+            let mut row = C_ZERO;
+            for c in 0..self.dim {
+                row += self.element(r, c) * psi.amplitude(c);
+            }
+            acc += psi.amplitude(r).conj() * row;
+        }
+        acc.re
+    }
+
+    /// Measurement probability of basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.element(index, index).re
+    }
+
+    /// Applies a single-qubit unitary: `rho -> U rho U^dagger`.
+    pub fn apply_single(&mut self, q: usize, m: &Matrix2) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let step = 1usize << q;
+        let dim = self.dim;
+        // Left multiply by U on rows.
+        for col in 0..dim {
+            let mut base = 0;
+            while base < dim {
+                for j in base..base + step {
+                    let a = self.elems[j * dim + col];
+                    let b = self.elems[(j + step) * dim + col];
+                    self.elems[j * dim + col] = m[0][0] * a + m[0][1] * b;
+                    self.elems[(j + step) * dim + col] = m[1][0] * a + m[1][1] * b;
+                }
+                base += step << 1;
+            }
+        }
+        // Right multiply by U^dagger on columns.
+        for row in 0..dim {
+            let mut base = 0;
+            while base < dim {
+                for j in base..base + step {
+                    let a = self.elems[row * dim + j];
+                    let b = self.elems[row * dim + j + step];
+                    self.elems[row * dim + j] = a * m[0][0].conj() + b * m[0][1].conj();
+                    self.elems[row * dim + j + step] =
+                        a * m[1][0].conj() + b * m[1][1].conj();
+                }
+                base += step << 1;
+            }
+        }
+    }
+
+    /// Applies a single-qubit Kraus channel exactly:
+    /// `rho -> sum_k K_k rho K_k^dagger`.
+    pub fn apply_kraus_single(&mut self, q: usize, kraus: &[Matrix2]) {
+        let mut acc = vec![C_ZERO; self.dim * self.dim];
+        for k in kraus {
+            let mut branch = self.clone();
+            branch.apply_single(q, k);
+            for (a, b) in acc.iter_mut().zip(branch.elems.iter()) {
+                *a += *b;
+            }
+        }
+        self.elems = acc;
+    }
+
+    /// Applies a CNOT (control, target) unitary.
+    pub fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.n_qubits && target < self.n_qubits && control != target);
+        let cb = 1usize << control;
+        let tb = 1usize << target;
+        let dim = self.dim;
+        let map = |i: usize| if i & cb != 0 { i ^ tb } else { i };
+        let mut out = vec![C_ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                out[map(r) * dim + map(c)] = self.elems[r * dim + c];
+            }
+        }
+        self.elems = out;
+    }
+
+    /// Partial trace keeping only the listed qubits (ascending order in the
+    /// reduced system: `keep[0]` becomes qubit 0 of the result).
+    pub fn partial_trace_keep(&self, keep: &[usize]) -> DensityMatrix {
+        for &q in keep {
+            assert!(q < self.n_qubits);
+        }
+        let k = keep.len();
+        let kd = 1usize << k;
+        let traced: Vec<usize> =
+            (0..self.n_qubits).filter(|q| !keep.contains(q)).collect();
+        let td = 1usize << traced.len();
+        let expand = |kept_bits: usize, traced_bits: usize| -> usize {
+            let mut idx = 0usize;
+            for (pos, &q) in keep.iter().enumerate() {
+                if kept_bits & (1 << pos) != 0 {
+                    idx |= 1 << q;
+                }
+            }
+            for (pos, &q) in traced.iter().enumerate() {
+                if traced_bits & (1 << pos) != 0 {
+                    idx |= 1 << q;
+                }
+            }
+            idx
+        };
+        let mut elems = vec![C_ZERO; kd * kd];
+        for r in 0..kd {
+            for c in 0..kd {
+                let mut acc = C_ZERO;
+                for t in 0..td {
+                    acc += self.element(expand(r, t), expand(c, t));
+                }
+                elems[r * kd + c] = acc;
+            }
+        }
+        DensityMatrix { n_qubits: k, dim: kd, elems }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gates;
+    use crate::noise::NoiseChannel;
+
+    const EPS: f64 = 1e-10;
+
+    fn bell_rho() -> DensityMatrix {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        DensityMatrix::from_pure(&c.run())
+    }
+
+    #[test]
+    fn pure_state_has_unit_purity_and_trace() {
+        let rho = bell_rho();
+        assert!((rho.trace().re - 1.0).abs() < EPS);
+        assert!((rho.purity() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn maximally_mixed_purity() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!((rho.purity() - 0.25).abs() < EPS);
+        assert!((rho.trace().re - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_single(0, &gates::hadamard());
+        rho.apply_cnot(0, 1);
+        let bell = bell_rho();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(rho.element(r, c).approx_eq(bell.element(r, c), EPS));
+            }
+        }
+    }
+
+    #[test]
+    fn depolarizing_drives_towards_mixed() {
+        let mut rho = DensityMatrix::from_pure(&StateVector::new(1));
+        rho.apply_kraus_single(0, &NoiseChannel::Depolarizing(0.75).kraus());
+        // p=3/4 depolarizing on a single qubit yields the maximally mixed state.
+        assert!((rho.probability(0) - 0.5).abs() < EPS);
+        assert!((rho.purity() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_is_maximally_mixed() {
+        let rho = bell_rho();
+        let reduced = rho.partial_trace_keep(&[0]);
+        assert_eq!(reduced.n_qubits(), 1);
+        assert!((reduced.probability(0) - 0.5).abs() < EPS);
+        assert!((reduced.purity() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn mix_interpolates_probabilities() {
+        let a = DensityMatrix::from_pure(&StateVector::basis_state(1, 0));
+        let b = DensityMatrix::from_pure(&StateVector::basis_state(1, 1));
+        let m = a.mix(&b, 0.25);
+        assert!((m.probability(0) - 0.25).abs() < EPS);
+        assert!((m.probability(1) - 0.75).abs() < EPS);
+    }
+
+    #[test]
+    fn fidelity_with_pure_state() {
+        let rho = bell_rho();
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        assert!((rho.fidelity_with_pure(&c.run()) - 1.0).abs() < EPS);
+        let mixed = DensityMatrix::maximally_mixed(2);
+        assert!((mixed.fidelity_with_pure(&c.run()) - 0.25).abs() < EPS);
+    }
+
+    #[test]
+    fn amplitude_damping_exact_population() {
+        let one = StateVector::basis_state(1, 1);
+        let mut rho = DensityMatrix::from_pure(&one);
+        rho.apply_kraus_single(0, &NoiseChannel::AmplitudeDamping(0.3).kraus());
+        assert!((rho.probability(1) - 0.7).abs() < EPS);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the simulator crate.
+
+use std::fmt;
+
+/// Errors produced when constructing or manipulating simulator objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The amplitude vector length was not a power of two.
+    NotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+    /// The state was not normalized within tolerance.
+    NotNormalized,
+    /// A register of this many qubits cannot be simulated densely.
+    TooManyQubits {
+        /// Requested register width.
+        requested: usize,
+        /// Maximum width supported by this build.
+        max: usize,
+    },
+    /// A qubit index was out of range for the register.
+    QubitOutOfRange {
+        /// Offending index.
+        qubit: usize,
+        /// Register width.
+        n_qubits: usize,
+    },
+    /// Two distinct qubits were required but the same index was given twice.
+    DuplicateQubit {
+        /// The duplicated index.
+        qubit: usize,
+    },
+    /// A Kraus channel did not satisfy the completeness relation.
+    InvalidChannel,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotPowerOfTwo { len } => {
+                write!(f, "amplitude vector length {len} is not a power of two")
+            }
+            SimError::NotNormalized => write!(f, "state vector is not normalized"),
+            SimError::TooManyQubits { requested, max } => {
+                write!(f, "{requested} qubits requested but dense simulation caps at {max}")
+            }
+            SimError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            SimError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} used twice where distinct qubits are required")
+            }
+            SimError::InvalidChannel => {
+                write!(f, "Kraus operators do not form a trace-preserving channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,259 @@
+//! Standard quantum gate matrices.
+//!
+//! Single-qubit gates are represented as dense 2x2 matrices in row-major
+//! order (`m[row][col]`), two-qubit gates as 4x4 matrices over the basis
+//! `|t c>` ordering used by [`crate::state::StateVector::apply_two`].
+
+use crate::complex::{Complex64, C_I, C_ONE, C_ZERO};
+
+/// A 2x2 complex matrix: the representation of every single-qubit gate.
+pub type Matrix2 = [[Complex64; 2]; 2];
+/// A 4x4 complex matrix: the representation of every two-qubit gate.
+pub type Matrix4 = [[Complex64; 4]; 4];
+
+/// `1/sqrt(2)`, the Hadamard normalization.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Identity gate.
+#[inline]
+pub fn identity() -> Matrix2 {
+    [[C_ONE, C_ZERO], [C_ZERO, C_ONE]]
+}
+
+/// Pauli-X (NOT) gate.
+#[inline]
+pub fn pauli_x() -> Matrix2 {
+    [[C_ZERO, C_ONE], [C_ONE, C_ZERO]]
+}
+
+/// Pauli-Y gate.
+#[inline]
+pub fn pauli_y() -> Matrix2 {
+    [[C_ZERO, -C_I], [C_I, C_ZERO]]
+}
+
+/// Pauli-Z gate.
+#[inline]
+pub fn pauli_z() -> Matrix2 {
+    [[C_ONE, C_ZERO], [C_ZERO, -C_ONE]]
+}
+
+/// Hadamard gate, the superposition creator of Example II.1.
+#[inline]
+pub fn hadamard() -> Matrix2 {
+    let h = Complex64::real(FRAC_1_SQRT_2);
+    [[h, h], [h, -h]]
+}
+
+/// Phase gate S = diag(1, i).
+#[inline]
+pub fn s_gate() -> Matrix2 {
+    [[C_ONE, C_ZERO], [C_ZERO, C_I]]
+}
+
+/// S-dagger = diag(1, -i).
+#[inline]
+pub fn s_dagger() -> Matrix2 {
+    [[C_ONE, C_ZERO], [C_ZERO, -C_I]]
+}
+
+/// T gate = diag(1, e^{i pi/4}).
+#[inline]
+pub fn t_gate() -> Matrix2 {
+    [[C_ONE, C_ZERO], [C_ZERO, Complex64::cis(std::f64::consts::FRAC_PI_4)]]
+}
+
+/// T-dagger = diag(1, e^{-i pi/4}).
+#[inline]
+pub fn t_dagger() -> Matrix2 {
+    [[C_ONE, C_ZERO], [C_ZERO, Complex64::cis(-std::f64::consts::FRAC_PI_4)]]
+}
+
+/// Rotation about the X axis by angle `theta`.
+#[inline]
+pub fn rx(theta: f64) -> Matrix2 {
+    let c = Complex64::real((theta / 2.0).cos());
+    let s = Complex64::new(0.0, -(theta / 2.0).sin());
+    [[c, s], [s, c]]
+}
+
+/// Rotation about the Y axis by angle `theta`.
+#[inline]
+pub fn ry(theta: f64) -> Matrix2 {
+    let c = Complex64::real((theta / 2.0).cos());
+    let s = (theta / 2.0).sin();
+    [[c, Complex64::real(-s)], [Complex64::real(s), c]]
+}
+
+/// Rotation about the Z axis by angle `theta` (symmetric-phase convention).
+#[inline]
+pub fn rz(theta: f64) -> Matrix2 {
+    [
+        [Complex64::cis(-theta / 2.0), C_ZERO],
+        [C_ZERO, Complex64::cis(theta / 2.0)],
+    ]
+}
+
+/// Phase gate diag(1, e^{i phi}).
+#[inline]
+pub fn phase(phi: f64) -> Matrix2 {
+    [[C_ONE, C_ZERO], [C_ZERO, Complex64::cis(phi)]]
+}
+
+/// General single-qubit unitary `U3(theta, phi, lambda)` in the OpenQASM
+/// convention.
+#[inline]
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> Matrix2 {
+    let ct = (theta / 2.0).cos();
+    let st = (theta / 2.0).sin();
+    [
+        [Complex64::real(ct), -Complex64::cis(lambda) * st],
+        [Complex64::cis(phi) * st, Complex64::cis(phi + lambda) * ct],
+    ]
+}
+
+/// Matrix product `a * b` of two single-qubit gates.
+pub fn mat2_mul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    let mut out = [[C_ZERO; 2]; 2];
+    for (r, row) in out.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            *cell = a[r][0] * b[0][c] + a[r][1] * b[1][c];
+        }
+    }
+    out
+}
+
+/// Conjugate transpose of a single-qubit gate.
+pub fn mat2_dagger(m: &Matrix2) -> Matrix2 {
+    [[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]]
+}
+
+/// Checks `m * m^dagger == I` within `eps`.
+pub fn is_unitary2(m: &Matrix2, eps: f64) -> bool {
+    let p = mat2_mul(m, &mat2_dagger(m));
+    let id = identity();
+    p.iter().zip(id.iter()).all(|(pr, ir)| {
+        pr.iter().zip(ir.iter()).all(|(a, b)| a.approx_eq(*b, eps))
+    })
+}
+
+/// SWAP gate over basis ordering `|q2 q1>` (index = 2*b2 + b1).
+pub fn swap() -> Matrix4 {
+    let mut m = [[C_ZERO; 4]; 4];
+    m[0][0] = C_ONE;
+    m[1][2] = C_ONE;
+    m[2][1] = C_ONE;
+    m[3][3] = C_ONE;
+    m
+}
+
+/// XX+YY interaction gate `e^{-i theta (XX+YY)/2}` used by some hardware-
+/// efficient ansaetze (an "iSWAP-like" partial swap).
+pub fn xy(theta: f64) -> Matrix4 {
+    let mut m = [[C_ZERO; 4]; 4];
+    let c = Complex64::real(theta.cos());
+    let s = Complex64::new(0.0, -theta.sin());
+    m[0][0] = C_ONE;
+    m[3][3] = C_ONE;
+    m[1][1] = c;
+    m[2][2] = c;
+    m[1][2] = s;
+    m[2][1] = s;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn standard_gates_are_unitary() {
+        for m in [
+            identity(),
+            pauli_x(),
+            pauli_y(),
+            pauli_z(),
+            hadamard(),
+            s_gate(),
+            s_dagger(),
+            t_gate(),
+            t_dagger(),
+            rx(0.7),
+            ry(-1.3),
+            rz(2.1),
+            phase(0.9),
+            u3(0.4, 1.1, -0.6),
+        ] {
+            assert!(is_unitary2(&m, EPS));
+        }
+    }
+
+    #[test]
+    fn pauli_gates_are_involutions() {
+        for m in [pauli_x(), pauli_y(), pauli_z(), hadamard()] {
+            let sq = mat2_mul(&m, &m);
+            let id = identity();
+            for r in 0..2 {
+                for c in 0..2 {
+                    assert!(sq[r][c].approx_eq(id[r][c], EPS));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        let s2 = mat2_mul(&s_gate(), &s_gate());
+        let z = pauli_z();
+        let t2 = mat2_mul(&t_gate(), &t_gate());
+        let s = s_gate();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(s2[r][c].approx_eq(z[r][c], EPS));
+                assert!(t2[r][c].approx_eq(s[r][c], EPS));
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_composition_adds_angles() {
+        let a = mat2_mul(&rx(0.3), &rx(0.5));
+        let b = rx(0.8);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(a[r][c].approx_eq(b[r][c], EPS));
+            }
+        }
+    }
+
+    #[test]
+    fn dagger_inverts() {
+        let m = u3(0.7, -0.2, 1.9);
+        let p = mat2_mul(&m, &mat2_dagger(&m));
+        assert!(p[0][0].approx_eq(C_ONE, EPS));
+        assert!(p[1][1].approx_eq(C_ONE, EPS));
+        assert!(p[0][1].is_negligible(EPS));
+        assert!(p[1][0].is_negligible(EPS));
+    }
+
+    #[test]
+    fn hadamard_maps_z_basis_to_x_basis() {
+        let h = hadamard();
+        // H|0> = (|0>+|1>)/sqrt(2): first column.
+        assert!((h[0][0].re - FRAC_1_SQRT_2).abs() < EPS);
+        assert!((h[1][0].re - FRAC_1_SQRT_2).abs() < EPS);
+    }
+
+    #[test]
+    fn xy_at_zero_is_identity() {
+        let m = xy(0.0);
+        for (r, row) in m.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                let want = if r == c { C_ONE } else { C_ZERO };
+                assert!(v.approx_eq(want, EPS));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # qdm-sim — gate-based quantum computer simulator
+//!
+//! The gate-model substrate for the reproduction of *"Quantum Data
+//! Management: From Theory to Opportunities"* (ICDE 2024). Every gate-based
+//! pipeline in the paper's Table I (QAOA, VQE, VQC, Grover) executes on this
+//! simulator; the quantum-internet substrate (`qdm-net`) uses it for
+//! teleportation and nonlocal games.
+//!
+//! ## Layout
+//! - [`complex`] — in-repo complex arithmetic.
+//! - [`state`] — dense state vectors (qubit 0 = least-significant bit),
+//!   measurement, sampling, diagonal operators, Kraus trajectories.
+//! - [`gates`] — standard gate matrices.
+//! - [`circuit`] — circuit IR with depth/gate-count accounting.
+//! - [`noise`] — noise channels and trajectory execution (Sec. III-C.3).
+//! - [`density`] — exact density-matrix evolution for small registers.
+//! - [`states`] — Bell (Example IV.1), GHZ, and W state constructors.
+//!
+//! ## Example: the paper's Example II.1
+//! ```
+//! use qdm_sim::prelude::*;
+//!
+//! let mut psi = StateVector::new(1);
+//! psi.apply_single(0, &gates::hadamard());
+//! assert!((psi.probability(0) - 0.5).abs() < 1e-12);
+//! assert!((psi.probability(1) - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod complex;
+pub mod density;
+pub mod error;
+pub mod gates;
+pub mod noise;
+pub mod pauli;
+pub mod state;
+pub mod states;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::circuit::{Circuit, Gate};
+    pub use crate::complex::{Complex64, C_I, C_ONE, C_ZERO};
+    pub use crate::density::DensityMatrix;
+    pub use crate::error::SimError;
+    pub use crate::gates;
+    pub use crate::noise::{NoiseChannel, NoiseModel};
+    pub use crate::pauli::{apply_pauli_rotation, Pauli, PauliHamiltonian, PauliString};
+    pub use crate::state::{bitstring, StateVector, MAX_DENSE_QUBITS};
+    pub use crate::states::{bell_state, ghz_circuit, ghz_state, w_state, BellState};
+}
+
+pub use prelude::*;

@@ -1,0 +1,256 @@
+//! Noise channels and noisy circuit execution.
+//!
+//! Sec. III-C.3 of the paper names "noisy operations" as one of the two
+//! practical constraints of near-term quantum computers. This module models
+//! the standard single-qubit channels as Kraus operator sets and provides a
+//! trajectory-based noisy executor for [`Circuit`]s: after every gate, each
+//! touched qubit passes through the channel.
+
+use crate::circuit::Circuit;
+use crate::complex::{Complex64, C_ZERO};
+use crate::gates::{self, Matrix2};
+use crate::state::StateVector;
+use rand::Rng;
+
+/// A single-qubit noise channel, parameterized by an error probability or
+/// damping rate in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseChannel {
+    /// With probability `p`, apply X.
+    BitFlip(f64),
+    /// With probability `p`, apply Z.
+    PhaseFlip(f64),
+    /// With probability `p`, apply a uniformly random Pauli (X, Y or Z).
+    Depolarizing(f64),
+    /// Amplitude damping (energy relaxation) with rate `gamma`.
+    AmplitudeDamping(f64),
+    /// No noise.
+    Ideal,
+}
+
+impl NoiseChannel {
+    /// The Kraus operator decomposition of the channel.
+    pub fn kraus(&self) -> Vec<Matrix2> {
+        match *self {
+            NoiseChannel::Ideal => vec![gates::identity()],
+            NoiseChannel::BitFlip(p) => vec![
+                scale2(&gates::identity(), (1.0 - p).sqrt()),
+                scale2(&gates::pauli_x(), p.sqrt()),
+            ],
+            NoiseChannel::PhaseFlip(p) => vec![
+                scale2(&gates::identity(), (1.0 - p).sqrt()),
+                scale2(&gates::pauli_z(), p.sqrt()),
+            ],
+            NoiseChannel::Depolarizing(p) => vec![
+                scale2(&gates::identity(), (1.0 - p).sqrt()),
+                scale2(&gates::pauli_x(), (p / 3.0).sqrt()),
+                scale2(&gates::pauli_y(), (p / 3.0).sqrt()),
+                scale2(&gates::pauli_z(), (p / 3.0).sqrt()),
+            ],
+            NoiseChannel::AmplitudeDamping(gamma) => {
+                let mut k0 = [[C_ZERO; 2]; 2];
+                k0[0][0] = Complex64::real(1.0);
+                k0[1][1] = Complex64::real((1.0 - gamma).sqrt());
+                let mut k1 = [[C_ZERO; 2]; 2];
+                k1[0][1] = Complex64::real(gamma.sqrt());
+                vec![k0, k1]
+            }
+        }
+    }
+
+    /// The channel's error parameter.
+    pub fn parameter(&self) -> f64 {
+        match *self {
+            NoiseChannel::BitFlip(p)
+            | NoiseChannel::PhaseFlip(p)
+            | NoiseChannel::Depolarizing(p)
+            | NoiseChannel::AmplitudeDamping(p) => p,
+            NoiseChannel::Ideal => 0.0,
+        }
+    }
+}
+
+/// A device-level noise model: a channel applied to every qubit a gate
+/// touches, immediately after the gate.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// Channel applied after single-qubit gates.
+    pub single_qubit: NoiseChannel,
+    /// Channel applied (per touched qubit) after multi-qubit gates; two-qubit
+    /// gates are noisier on real hardware, so this is typically stronger.
+    pub multi_qubit: NoiseChannel,
+}
+
+impl NoiseModel {
+    /// An ideal (noise-free) model.
+    pub fn ideal() -> Self {
+        Self { single_qubit: NoiseChannel::Ideal, multi_qubit: NoiseChannel::Ideal }
+    }
+
+    /// A uniform depolarizing model with single-qubit error `p1` and
+    /// multi-qubit error `p2` (typically `p2 ~ 10 * p1` on hardware).
+    pub fn depolarizing(p1: f64, p2: f64) -> Self {
+        Self {
+            single_qubit: NoiseChannel::Depolarizing(p1),
+            multi_qubit: NoiseChannel::Depolarizing(p2),
+        }
+    }
+}
+
+/// Runs a circuit under a noise model using Monte-Carlo trajectories,
+/// starting from `|0...0>`. Returns the final (normalized) trajectory state.
+pub fn run_noisy(circuit: &Circuit, model: &NoiseModel, rng: &mut impl Rng) -> StateVector {
+    let mut state = StateVector::new(circuit.n_qubits());
+    apply_noisy(circuit, model, &mut state, rng);
+    state
+}
+
+/// Applies a circuit to an existing state under a noise model (one
+/// trajectory).
+pub fn apply_noisy(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    state: &mut StateVector,
+    rng: &mut impl Rng,
+) {
+    for gate in circuit.gates() {
+        gate.apply(state);
+        let channel =
+            if gate.is_multi_qubit() { model.multi_qubit } else { model.single_qubit };
+        if !matches!(channel, NoiseChannel::Ideal) {
+            let kraus = channel.kraus();
+            for q in gate.qubits() {
+                state.apply_kraus_single(q, &kraus, rng);
+            }
+        }
+    }
+}
+
+/// Average fidelity of the noisy execution of `circuit` against its ideal
+/// output, estimated over `trajectories` Monte-Carlo runs.
+pub fn average_fidelity(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    trajectories: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let ideal = circuit.run();
+    let mut total = 0.0;
+    for _ in 0..trajectories {
+        let noisy = run_noisy(circuit, model, rng);
+        total += ideal.fidelity(&noisy);
+    }
+    total / trajectories as f64
+}
+
+fn scale2(m: &Matrix2, k: f64) -> Matrix2 {
+    let mut out = *m;
+    for row in &mut out {
+        for v in row {
+            *v = v.scale(k);
+        }
+    }
+    out
+}
+
+/// Verifies the Kraus completeness relation `sum_k K_k^dagger K_k = I`.
+pub fn is_trace_preserving(kraus: &[Matrix2], eps: f64) -> bool {
+    let mut acc = [[C_ZERO; 2]; 2];
+    for k in kraus {
+        let kd = gates::mat2_dagger(k);
+        let p = gates::mat2_mul(&kd, k);
+        for r in 0..2 {
+            for c in 0..2 {
+                acc[r][c] += p[r][c];
+            }
+        }
+    }
+    let id = gates::identity();
+    (0..2).all(|r| (0..2).all(|c| acc[r][c].approx_eq(id[r][c], eps)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_channels_are_trace_preserving() {
+        for ch in [
+            NoiseChannel::Ideal,
+            NoiseChannel::BitFlip(0.1),
+            NoiseChannel::PhaseFlip(0.25),
+            NoiseChannel::Depolarizing(0.05),
+            NoiseChannel::AmplitudeDamping(0.3),
+        ] {
+            assert!(is_trace_preserving(&ch.kraus(), 1e-12), "{ch:?}");
+        }
+    }
+
+    #[test]
+    fn ideal_model_reproduces_exact_state() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2);
+        let s = run_noisy(&c, &NoiseModel::ideal(), &mut rng);
+        assert!((s.fidelity(&c.run()) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bit_flip_noise_flips_state_sometimes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let model = NoiseModel {
+            single_qubit: NoiseChannel::BitFlip(0.5),
+            multi_qubit: NoiseChannel::Ideal,
+        };
+        let mut flipped = 0;
+        let runs = 400;
+        for _ in 0..runs {
+            let s = run_noisy(&c, &model, &mut rng);
+            if s.probability(0) > 0.5 {
+                flipped += 1;
+            }
+        }
+        let frac = flipped as f64 / runs as f64;
+        assert!((frac - 0.5).abs() < 0.1, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let model = NoiseModel {
+            single_qubit: NoiseChannel::AmplitudeDamping(0.4),
+            multi_qubit: NoiseChannel::Ideal,
+        };
+        // After damping, P(|1>) over trajectories should be ~0.6.
+        let runs = 2000;
+        let mut p1 = 0.0;
+        for _ in 0..runs {
+            let s = run_noisy(&c, &model, &mut rng);
+            p1 += s.probability(1);
+        }
+        p1 /= runs as f64;
+        assert!((p1 - 0.6).abs() < 0.05, "p1={p1}");
+    }
+
+    #[test]
+    fn fidelity_decreases_with_noise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut c = Circuit::new(4);
+        for layer in 0..3 {
+            for q in 0..4 {
+                c.ry(q, 0.3 * (layer + 1) as f64);
+            }
+            c.cnot(0, 1).cnot(1, 2).cnot(2, 3);
+        }
+        let weak = average_fidelity(&c, &NoiseModel::depolarizing(0.001, 0.01), 60, &mut rng);
+        let strong = average_fidelity(&c, &NoiseModel::depolarizing(0.02, 0.2), 60, &mut rng);
+        assert!(weak > strong, "weak={weak} strong={strong}");
+        assert!(weak > 0.8);
+    }
+}

@@ -1,0 +1,302 @@
+//! Pauli-string observables and Hamiltonians.
+//!
+//! Ising cost functions are diagonal, but general quantum observables (and
+//! the measurement bases of the nonlocal games) are tensor products of
+//! Pauli operators. A [`PauliString`] is such a product with a real
+//! coefficient; a [`PauliHamiltonian`] is a sum of them. Expectations are
+//! computed exactly by rotating each qubit into the Z basis and reading
+//! the diagonal — the same procedure hardware uses, minus the sampling.
+
+use crate::complex::Complex64;
+use crate::gates;
+use crate::state::StateVector;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A weighted tensor product of Pauli operators, e.g. `0.5 * X0 Z2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliString {
+    /// Real coefficient.
+    pub coefficient: f64,
+    /// `(qubit, operator)` pairs; omitted qubits carry identity.
+    pub factors: Vec<(usize, Pauli)>,
+}
+
+impl PauliString {
+    /// Creates a weighted Pauli string, dropping identity factors.
+    ///
+    /// # Panics
+    /// Panics if a qubit appears twice.
+    pub fn new(coefficient: f64, factors: &[(usize, Pauli)]) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let factors: Vec<(usize, Pauli)> = factors
+            .iter()
+            .copied()
+            .filter(|(_, p)| *p != Pauli::I)
+            .collect();
+        for (q, _) in &factors {
+            assert!(seen.insert(*q), "qubit {q} repeated in Pauli string");
+        }
+        Self { coefficient, factors }
+    }
+
+    /// The identity string (a constant energy shift).
+    pub fn identity(coefficient: f64) -> Self {
+        Self { coefficient, factors: Vec::new() }
+    }
+
+    /// Exact expectation `coeff * <psi| P |psi>`.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        if self.factors.is_empty() {
+            return self.coefficient;
+        }
+        // Rotate into the Z basis: X -> H, Y -> S^dagger then H.
+        let mut rotated = state.clone();
+        let mut zmask = 0usize;
+        for &(q, p) in &self.factors {
+            match p {
+                Pauli::X => rotated.apply_single(q, &gates::hadamard()),
+                Pauli::Y => {
+                    rotated.apply_single(q, &gates::s_dagger());
+                    rotated.apply_single(q, &gates::hadamard());
+                }
+                Pauli::Z => {}
+                Pauli::I => unreachable!("identities are stripped"),
+            }
+            zmask |= 1 << q;
+        }
+        let z = rotated.expectation_diagonal(|i| {
+            if (i & zmask).count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        self.coefficient * z
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}", self.coefficient)?;
+        for (q, p) in &self.factors {
+            write!(f, " {p:?}{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sum of weighted Pauli strings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PauliHamiltonian {
+    /// The terms.
+    pub terms: Vec<PauliString>,
+}
+
+impl PauliHamiltonian {
+    /// An empty (zero) Hamiltonian.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a term.
+    pub fn add(&mut self, term: PauliString) -> &mut Self {
+        self.terms.push(term);
+        self
+    }
+
+    /// Exact expectation `<psi| H |psi>`.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.terms.iter().map(|t| t.expectation(state)).sum()
+    }
+
+    /// Number of non-identity terms (the measurement-group count a real
+    /// device would need, before commuting-group optimization).
+    pub fn n_terms(&self) -> usize {
+        self.terms.iter().filter(|t| !t.factors.is_empty()).count()
+    }
+
+    /// The transverse-field Ising Hamiltonian
+    /// `sum_{i<j} J_ij Z_i Z_j + sum_i h_i Z_i - g sum_i X_i` — the model a
+    /// quantum annealer physically implements mid-anneal.
+    pub fn transverse_ising(
+        n: usize,
+        couplings: &[((usize, usize), f64)],
+        fields: &[f64],
+        g: f64,
+    ) -> Self {
+        let mut h = Self::new();
+        for &((i, j), w) in couplings {
+            h.add(PauliString::new(w, &[(i, Pauli::Z), (j, Pauli::Z)]));
+        }
+        for (i, &hi) in fields.iter().enumerate() {
+            if hi != 0.0 {
+                h.add(PauliString::new(hi, &[(i, Pauli::Z)]));
+            }
+        }
+        for i in 0..n {
+            if g != 0.0 {
+                h.add(PauliString::new(-g, &[(i, Pauli::X)]));
+            }
+        }
+        h
+    }
+}
+
+/// Applies `exp(-i * angle * P)` for a Pauli string `P` (unit coefficient
+/// assumed; the string's coefficient scales the angle) — the Trotter step
+/// primitive for simulating Hamiltonian dynamics.
+pub fn apply_pauli_rotation(state: &mut StateVector, term: &PauliString, angle: f64) {
+    // Basis-change into Z, apply the diagonal phase, change back.
+    let theta = angle * term.coefficient;
+    if term.factors.is_empty() {
+        // Global phase only.
+        let phase = Complex64::cis(-theta);
+        let amps: Vec<Complex64> =
+            state.amplitudes().iter().map(|a| *a * phase).collect();
+        *state = StateVector::from_amplitudes(amps).expect("phase preserves norm");
+        return;
+    }
+    let mut zmask = 0usize;
+    for &(q, p) in &term.factors {
+        match p {
+            Pauli::X => state.apply_single(q, &gates::hadamard()),
+            Pauli::Y => {
+                state.apply_single(q, &gates::s_dagger());
+                state.apply_single(q, &gates::hadamard());
+            }
+            _ => {}
+        }
+        zmask |= 1 << q;
+    }
+    state.apply_diagonal_phase(|i| {
+        if (i & zmask).count_ones() % 2 == 0 {
+            -theta
+        } else {
+            theta
+        }
+    });
+    for &(q, p) in &term.factors {
+        match p {
+            Pauli::X => state.apply_single(q, &gates::hadamard()),
+            Pauli::Y => {
+                state.apply_single(q, &gates::hadamard());
+                state.apply_single(q, &gates::s_gate());
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::states::{bell_state, BellState};
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn z_expectations_on_basis_states() {
+        let s = StateVector::basis_state(2, 0b01);
+        assert!((PauliString::new(1.0, &[(0, Pauli::Z)]).expectation(&s) + 1.0).abs() < EPS);
+        assert!((PauliString::new(1.0, &[(1, Pauli::Z)]).expectation(&s) - 1.0).abs() < EPS);
+        assert!(
+            (PauliString::new(2.0, &[(0, Pauli::Z), (1, Pauli::Z)]).expectation(&s) + 2.0)
+                .abs()
+                < EPS
+        );
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut s = StateVector::new(1);
+        s.apply_single(0, &gates::hadamard());
+        assert!((PauliString::new(1.0, &[(0, Pauli::X)]).expectation(&s) - 1.0).abs() < EPS);
+        assert!(PauliString::new(1.0, &[(0, Pauli::Z)]).expectation(&s).abs() < EPS);
+    }
+
+    #[test]
+    fn bell_state_correlators() {
+        // For |Phi+>: <XX> = 1, <YY> = -1, <ZZ> = 1 — the fingerprint used
+        // in CHSH analysis.
+        let s = bell_state(BellState::PhiPlus);
+        let xx = PauliString::new(1.0, &[(0, Pauli::X), (1, Pauli::X)]);
+        let yy = PauliString::new(1.0, &[(0, Pauli::Y), (1, Pauli::Y)]);
+        let zz = PauliString::new(1.0, &[(0, Pauli::Z), (1, Pauli::Z)]);
+        assert!((xx.expectation(&s) - 1.0).abs() < EPS);
+        assert!((yy.expectation(&s) + 1.0).abs() < EPS);
+        assert!((zz.expectation(&s) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn hamiltonian_sums_terms() {
+        let s = StateVector::basis_state(2, 0b00);
+        let mut h = PauliHamiltonian::new();
+        h.add(PauliString::identity(0.5))
+            .add(PauliString::new(1.0, &[(0, Pauli::Z)]))
+            .add(PauliString::new(-2.0, &[(1, Pauli::Z)]));
+        assert!((h.expectation(&s) - (0.5 + 1.0 - 2.0)).abs() < EPS);
+        assert_eq!(h.n_terms(), 2);
+    }
+
+    #[test]
+    fn transverse_ising_ground_state_limits() {
+        // g = 0: classical Ising, ground state is a basis state.
+        let h0 = PauliHamiltonian::transverse_ising(2, &[((0, 1), -1.0)], &[0.0, 0.0], 0.0);
+        let aligned = StateVector::basis_state(2, 0b00);
+        assert!((h0.expectation(&aligned) + 1.0).abs() < EPS);
+        // g -> inf limit: |++> minimizes -g sum X.
+        let hx = PauliHamiltonian::transverse_ising(2, &[], &[0.0, 0.0], 1.0);
+        let mut plus = StateVector::new(2);
+        plus.apply_single(0, &gates::hadamard());
+        plus.apply_single(1, &gates::hadamard());
+        assert!((hx.expectation(&plus) + 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn pauli_rotation_matches_rz_and_rx() {
+        // exp(-i theta/2 Z) == RZ(theta).
+        let theta = 0.7;
+        let mut a = StateVector::new(1);
+        a.apply_single(0, &gates::hadamard());
+        let mut b = a.clone();
+        apply_pauli_rotation(&mut a, &PauliString::new(1.0, &[(0, Pauli::Z)]), theta / 2.0);
+        b.apply_single(0, &gates::rz(theta));
+        assert!((a.fidelity(&b) - 1.0).abs() < EPS);
+        // exp(-i theta/2 X) == RX(theta).
+        let mut c = StateVector::basis_state(1, 0);
+        let mut d = c.clone();
+        apply_pauli_rotation(&mut c, &PauliString::new(1.0, &[(0, Pauli::X)]), theta / 2.0);
+        d.apply_single(0, &gates::rx(theta));
+        assert!((c.fidelity(&d) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let mut s = bell_state(BellState::PsiMinus);
+        apply_pauli_rotation(
+            &mut s,
+            &PauliString::new(0.8, &[(0, Pauli::Y), (1, Pauli::X)]),
+            1.3,
+        );
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn duplicate_qubits_rejected() {
+        PauliString::new(1.0, &[(0, Pauli::X), (0, Pauli::Z)]);
+    }
+}

@@ -1,0 +1,633 @@
+//! Dense state-vector representation of a quantum register.
+//!
+//! Basis convention: qubit `q` corresponds to bit `q` of the basis index,
+//! i.e. **qubit 0 is the least significant bit**. A 3-qubit basis state
+//! `|q2 q1 q0> = |0 1 0>` therefore has index `0b010 = 2`.
+
+use crate::complex::{Complex64, C_ONE, C_ZERO};
+use crate::error::SimError;
+use crate::gates::{Matrix2, Matrix4};
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// Hard cap on dense simulation width; 2^26 amplitudes = 1 GiB of `Complex64`.
+pub const MAX_DENSE_QUBITS: usize = 26;
+
+/// A pure quantum state over `n_qubits` qubits stored as `2^n` amplitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros computational basis state `|0...0>`.
+    ///
+    /// # Panics
+    /// Panics if `n_qubits` exceeds [`MAX_DENSE_QUBITS`].
+    pub fn new(n_qubits: usize) -> Self {
+        Self::basis_state(n_qubits, 0)
+    }
+
+    /// Creates the computational basis state with the given index.
+    ///
+    /// # Panics
+    /// Panics if `n_qubits > MAX_DENSE_QUBITS` or `index >= 2^n_qubits`.
+    pub fn basis_state(n_qubits: usize, index: usize) -> Self {
+        assert!(
+            n_qubits <= MAX_DENSE_QUBITS,
+            "{n_qubits} qubits exceeds dense cap {MAX_DENSE_QUBITS}"
+        );
+        let len = 1usize << n_qubits;
+        assert!(index < len, "basis index {index} out of range for {n_qubits} qubits");
+        let mut amps = vec![C_ZERO; len];
+        amps[index] = C_ONE;
+        Self { n_qubits, amps }
+    }
+
+    /// Creates the uniform superposition `H^{tensor n} |0...0>`.
+    pub fn uniform(n_qubits: usize) -> Self {
+        assert!(n_qubits <= MAX_DENSE_QUBITS);
+        let len = 1usize << n_qubits;
+        let a = Complex64::real(1.0 / (len as f64).sqrt());
+        Self { n_qubits, amps: vec![a; len] }
+    }
+
+    /// Builds a state from explicit amplitudes, validating shape and norm.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Result<Self, SimError> {
+        let len = amps.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(SimError::NotPowerOfTwo { len });
+        }
+        let n_qubits = len.trailing_zeros() as usize;
+        if n_qubits > MAX_DENSE_QUBITS {
+            return Err(SimError::TooManyQubits { requested: n_qubits, max: MAX_DENSE_QUBITS });
+        }
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        if (norm - 1.0).abs() > 1e-8 {
+            return Err(SimError::NotNormalized);
+        }
+        Ok(Self { n_qubits, amps })
+    }
+
+    /// Number of qubits in the register.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of amplitudes (`2^n_qubits`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Always false: a state vector has at least one amplitude.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The amplitude of basis state `index`.
+    #[inline]
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.amps[index]
+    }
+
+    /// Read-only view of all amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Squared norm of the state (1 for a valid state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalizes in place; useful after non-unitary updates.
+    pub fn normalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        if n > 0.0 {
+            let inv = 1.0 / n;
+            for a in &mut self.amps {
+                *a = a.scale(inv);
+            }
+        }
+    }
+
+    /// Measurement probability of basis state `index`.
+    #[inline]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// All measurement probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    #[inline]
+    fn check_qubit(&self, q: usize) {
+        assert!(
+            q < self.n_qubits,
+            "qubit {q} out of range for {}-qubit register",
+            self.n_qubits
+        );
+    }
+
+    /// Applies a single-qubit gate to qubit `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    pub fn apply_single(&mut self, q: usize, m: &Matrix2) {
+        self.check_qubit(q);
+        let step = 1usize << q;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for j in base..base + step {
+                let a = self.amps[j];
+                let b = self.amps[j + step];
+                self.amps[j] = m[0][0] * a + m[0][1] * b;
+                self.amps[j + step] = m[1][0] * a + m[1][1] * b;
+            }
+            base += step << 1;
+        }
+    }
+
+    /// Applies a single-qubit gate to the target qubit, controlled on all
+    /// `controls` being `|1>`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range or `target` appears in `controls`.
+    pub fn apply_controlled(&mut self, controls: &[usize], target: usize, m: &Matrix2) {
+        self.check_qubit(target);
+        let mut cmask = 0usize;
+        for &c in controls {
+            self.check_qubit(c);
+            assert!(c != target, "control {c} equals target");
+            cmask |= 1 << c;
+        }
+        let step = 1usize << target;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for j in base..base + step {
+                if j & cmask == cmask {
+                    let a = self.amps[j];
+                    let b = self.amps[j + step];
+                    self.amps[j] = m[0][0] * a + m[0][1] * b;
+                    self.amps[j + step] = m[1][0] * a + m[1][1] * b;
+                }
+            }
+            base += step << 1;
+        }
+    }
+
+    /// Applies a general two-qubit gate. The 4x4 matrix acts on the basis
+    /// `|b(q2) b(q1)>` with index `2*b(q2) + b(q1)`.
+    ///
+    /// # Panics
+    /// Panics if indices coincide or are out of range.
+    pub fn apply_two(&mut self, q1: usize, q2: usize, m: &Matrix4) {
+        self.check_qubit(q1);
+        self.check_qubit(q2);
+        assert!(q1 != q2, "two-qubit gate requires distinct qubits");
+        let b1 = 1usize << q1;
+        let b2 = 1usize << q2;
+        for i in 0..self.amps.len() {
+            if i & b1 == 0 && i & b2 == 0 {
+                let i00 = i;
+                let i01 = i | b1;
+                let i10 = i | b2;
+                let i11 = i | b1 | b2;
+                let v = [self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]];
+                for (r, idx) in [i00, i01, i10, i11].into_iter().enumerate() {
+                    self.amps[idx] =
+                        m[r][0] * v[0] + m[r][1] * v[1] + m[r][2] * v[2] + m[r][3] * v[3];
+                }
+            }
+        }
+    }
+
+    /// Swaps two qubits (specialized, no matrix needed).
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        if a == b {
+            return;
+        }
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        for i in 0..self.amps.len() {
+            // Swap |..1..0..> with |..0..1..> once per pair.
+            if i & ba != 0 && i & bb == 0 {
+                let j = (i & !ba) | bb;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Multiplies each basis amplitude by the phase `e^{i f(index)}`.
+    ///
+    /// This implements any diagonal unitary directly; it is the workhorse of
+    /// the QAOA cost layer and of phase oracles.
+    pub fn apply_diagonal_phase(&mut self, f: impl Fn(usize) -> f64) {
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a *= Complex64::cis(f(i));
+        }
+    }
+
+    /// Flips the sign of every basis state satisfying the predicate — a
+    /// textbook Grover phase oracle.
+    pub fn apply_phase_flip(&mut self, marked: impl Fn(usize) -> bool) {
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if marked(i) {
+                *a = -*a;
+            }
+        }
+    }
+
+    /// Grover diffusion: reflection about the uniform superposition,
+    /// `2|s><s| - I`.
+    pub fn invert_about_mean(&mut self) {
+        let mean = self
+            .amps
+            .iter()
+            .fold(C_ZERO, |acc, a| acc + *a)
+            .scale(1.0 / self.amps.len() as f64);
+        for a in &mut self.amps {
+            *a = mean.scale(2.0) - *a;
+        }
+    }
+
+    /// Expectation value of a diagonal observable `sum_z f(z) |z><z|`.
+    pub fn expectation_diagonal(&self, f: impl Fn(usize) -> f64) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let p = a.norm_sqr();
+                if p > 0.0 {
+                    p * f(i)
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Expectation of the Pauli-Z observable on qubit `q` (+1 for `|0>`).
+    pub fn expectation_z(&self, q: usize) -> f64 {
+        self.check_qubit(q);
+        let bit = 1usize << q;
+        self.expectation_diagonal(|i| if i & bit == 0 { 1.0 } else { -1.0 })
+    }
+
+    /// Expectation of `Z_a Z_b`.
+    pub fn expectation_zz(&self, a: usize, b: usize) -> f64 {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        let (ba, bb) = (1usize << a, 1usize << b);
+        self.expectation_diagonal(|i| {
+            let za = if i & ba == 0 { 1.0 } else { -1.0 };
+            let zb = if i & bb == 0 { 1.0 } else { -1.0 };
+            za * zb
+        })
+    }
+
+    /// Probability that measuring qubit `q` yields 1.
+    pub fn probability_qubit_one(&self, q: usize) -> f64 {
+        self.check_qubit(q);
+        let bit = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Measures the full register, collapsing the state onto the sampled
+    /// basis state. Returns the basis index.
+    pub fn measure_all(&mut self, rng: &mut impl Rng) -> usize {
+        let outcome = self.sample_one(rng);
+        for a in &mut self.amps {
+            *a = C_ZERO;
+        }
+        self.amps[outcome] = C_ONE;
+        outcome
+    }
+
+    /// Samples one measurement outcome without collapsing the state.
+    pub fn sample_one(&self, rng: &mut impl Rng) -> usize {
+        let r: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// Samples `shots` outcomes (with replacement, no collapse).
+    pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> Vec<usize> {
+        (0..shots).map(|_| self.sample_one(rng)).collect()
+    }
+
+    /// Histogram of `shots` sampled outcomes.
+    pub fn sample_counts(&self, shots: usize, rng: &mut impl Rng) -> HashMap<usize, usize> {
+        let mut counts = HashMap::new();
+        for _ in 0..shots {
+            *counts.entry(self.sample_one(rng)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Measures a single qubit, collapsing the state. Returns the outcome bit.
+    pub fn measure_qubit(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        let p1 = self.probability_qubit_one(q);
+        let outcome = rng.random::<f64>() < p1;
+        self.project_qubit(q, outcome);
+        outcome
+    }
+
+    /// Projects qubit `q` onto `|outcome>` and renormalizes.
+    ///
+    /// If the projection probability is zero the state is left as the zero
+    /// vector of that subspace and then renormalization is skipped; callers
+    /// that can hit this case should check probabilities first.
+    pub fn project_qubit(&mut self, q: usize, outcome: bool) {
+        self.check_qubit(q);
+        let bit = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let is_one = i & bit != 0;
+            if is_one != outcome {
+                *a = C_ZERO;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Inner product `<self|other>`.
+    ///
+    /// # Panics
+    /// Panics if register widths differ.
+    pub fn inner_product(&self, other: &Self) -> Complex64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "register width mismatch");
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .fold(C_ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Fidelity `|<self|other>|^2` between two pure states.
+    pub fn fidelity(&self, other: &Self) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Tensor product: `self` occupies the low-order qubits of the result,
+    /// `other` the high-order qubits.
+    pub fn tensor(&self, other: &Self) -> Self {
+        let n = self.n_qubits + other.n_qubits;
+        assert!(n <= MAX_DENSE_QUBITS);
+        let mut amps = Vec::with_capacity(1 << n);
+        for hi in &other.amps {
+            for lo in &self.amps {
+                amps.push(*hi * *lo);
+            }
+        }
+        Self { n_qubits: n, amps }
+    }
+
+    /// Applies one branch of a single-qubit Kraus channel chosen according
+    /// to the Born probabilities (Monte-Carlo trajectory / quantum-jump
+    /// method), renormalizing the survivor.
+    pub fn apply_kraus_single(&mut self, q: usize, kraus: &[Matrix2], rng: &mut impl Rng) {
+        self.check_qubit(q);
+        debug_assert!(!kraus.is_empty());
+        // Compute branch probabilities p_k = || K_k |psi> ||^2 lazily by
+        // applying each operator to a scratch copy.
+        let r: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        let mut scratch = self.clone();
+        for (k, m) in kraus.iter().enumerate() {
+            scratch.amps.copy_from_slice(&self.amps);
+            scratch.apply_single(q, m);
+            let p = scratch.norm_sqr();
+            acc += p;
+            if r < acc || k == kraus.len() - 1 {
+                scratch.normalize();
+                *self = scratch;
+                return;
+            }
+        }
+    }
+
+    /// Returns the `k` most probable basis states as `(index, probability)`
+    /// pairs, sorted by decreasing probability.
+    pub fn top_outcomes(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut probs: Vec<(usize, f64)> =
+            self.amps.iter().enumerate().map(|(i, a)| (i, a.norm_sqr())).collect();
+        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        probs.truncate(k);
+        probs
+    }
+}
+
+/// Formats a basis index as a bitstring `|q_{n-1} ... q_0>`.
+pub fn bitstring(index: usize, n_qubits: usize) -> String {
+    let mut s = String::with_capacity(n_qubits);
+    for q in (0..n_qubits).rev() {
+        s.push(if index & (1 << q) != 0 { '1' } else { '0' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn new_state_is_all_zeros() {
+        let s = StateVector::new(3);
+        assert_eq!(s.n_qubits(), 3);
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn hadamard_creates_example_ii_1_superposition() {
+        // Example II.1 of the paper: |psi> = (|0> + |1>)/sqrt(2).
+        let mut s = StateVector::new(1);
+        s.apply_single(0, &gates::hadamard());
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+        assert!((s.probability(1) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut s = StateVector::new(2);
+        s.apply_single(0, &gates::pauli_x());
+        assert!((s.probability(0b01) - 1.0).abs() < EPS);
+        s.apply_single(1, &gates::pauli_x());
+        assert!((s.probability(0b11) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cnot_entangles_into_bell_state() {
+        // Example IV.1: |Psi> = (|00> + |11>)/sqrt(2).
+        let mut s = StateVector::new(2);
+        s.apply_single(0, &gates::hadamard());
+        s.apply_controlled(&[0], 1, &gates::pauli_x());
+        assert!((s.probability(0b00) - 0.5).abs() < EPS);
+        assert!((s.probability(0b11) - 0.5).abs() < EPS);
+        assert!(s.probability(0b01) < EPS);
+        assert!(s.probability(0b10) < EPS);
+    }
+
+    #[test]
+    fn toffoli_via_two_controls() {
+        let mut s = StateVector::basis_state(3, 0b011);
+        s.apply_controlled(&[0, 1], 2, &gates::pauli_x());
+        assert!((s.probability(0b111) - 1.0).abs() < EPS);
+        // Not triggered when a control is 0.
+        let mut s = StateVector::basis_state(3, 0b001);
+        s.apply_controlled(&[0, 1], 2, &gates::pauli_x());
+        assert!((s.probability(0b001) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut s = StateVector::basis_state(3, 0b001);
+        s.apply_swap(0, 2);
+        assert!((s.probability(0b100) - 1.0).abs() < EPS);
+        // Matrix-based SWAP agrees.
+        let mut t = StateVector::basis_state(3, 0b001);
+        t.apply_two(0, 2, &gates::swap());
+        assert!((t.probability(0b100) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn uniform_superposition_probabilities() {
+        let s = StateVector::uniform(4);
+        for i in 0..16 {
+            assert!((s.probability(i) - 1.0 / 16.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn phase_flip_and_diffusion_amplify_marked_state() {
+        // One Grover iteration on 2 qubits finds the marked state exactly.
+        let mut s = StateVector::uniform(2);
+        s.apply_phase_flip(|i| i == 0b10);
+        s.invert_about_mean();
+        assert!((s.probability(0b10) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn measure_collapses() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = StateVector::uniform(3);
+        let outcome = s.measure_all(&mut rng);
+        assert!((s.probability(outcome) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sampling_matches_born_rule() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut s = StateVector::new(1);
+        s.apply_single(0, &gates::hadamard());
+        let shots = 20_000;
+        let ones: usize = s.sample(shots, &mut rng).into_iter().sum();
+        let frac = ones as f64 / shots as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn measure_qubit_collapses_partner_in_bell_state() {
+        // The "spooky action" of Sec. II-A: measuring qubit A fixes qubit B.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut s = StateVector::new(2);
+            s.apply_single(0, &gates::hadamard());
+            s.apply_controlled(&[0], 1, &gates::pauli_x());
+            let a = s.measure_qubit(0, &mut rng);
+            let b = s.measure_qubit(1, &mut rng);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn expectation_z_signs() {
+        let s = StateVector::basis_state(2, 0b01);
+        assert!((s.expectation_z(0) + 1.0).abs() < EPS);
+        assert!((s.expectation_z(1) - 1.0).abs() < EPS);
+        assert!((s.expectation_zz(0, 1) + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn tensor_product_composes_widths() {
+        let mut a = StateVector::new(1);
+        a.apply_single(0, &gates::pauli_x()); // |1>
+        let b = StateVector::new(2); // |00>
+        let t = a.tensor(&b); // low bit = a
+        assert_eq!(t.n_qubits(), 3);
+        assert!((t.probability(0b001) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn inner_product_orthogonality() {
+        let a = StateVector::basis_state(2, 0);
+        let b = StateVector::basis_state(2, 3);
+        assert!(a.inner_product(&b).is_negligible(EPS));
+        assert!((a.fidelity(&a) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn from_amplitudes_validates() {
+        assert!(matches!(
+            StateVector::from_amplitudes(vec![C_ONE; 3]),
+            Err(SimError::NotPowerOfTwo { len: 3 })
+        ));
+        assert!(matches!(
+            StateVector::from_amplitudes(vec![C_ONE, C_ONE]),
+            Err(SimError::NotNormalized)
+        ));
+        let ok = StateVector::from_amplitudes(vec![C_ONE, C_ZERO]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn bitstring_formats_msb_first() {
+        assert_eq!(bitstring(0b010, 3), "010");
+        assert_eq!(bitstring(5, 4), "0101");
+    }
+
+    #[test]
+    fn top_outcomes_sorted() {
+        let mut s = StateVector::uniform(2);
+        s.apply_phase_flip(|i| i == 1);
+        s.invert_about_mean();
+        let top = s.top_outcomes(2);
+        assert_eq!(top[0].0, 1);
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn kraus_identity_channel_is_noop() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = StateVector::uniform(2);
+        let before = s.clone();
+        s.apply_kraus_single(0, &[gates::identity()], &mut rng);
+        assert!((s.fidelity(&before) - 1.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,116 @@
+//! Constructors for the named entangled states used throughout the paper:
+//! Bell states (Example IV.1), GHZ states (the GHZ game), and W states.
+
+use crate::circuit::Circuit;
+use crate::complex::Complex64;
+use crate::state::StateVector;
+
+/// The four Bell states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BellState {
+    /// `(|00> + |11>)/sqrt(2)` — the paper's Example IV.1 state.
+    PhiPlus,
+    /// `(|00> - |11>)/sqrt(2)`.
+    PhiMinus,
+    /// `(|01> + |10>)/sqrt(2)`.
+    PsiPlus,
+    /// `(|01> - |10>)/sqrt(2)`.
+    PsiMinus,
+}
+
+/// Builds one of the four Bell states over 2 qubits.
+pub fn bell_state(which: BellState) -> StateVector {
+    let mut c = Circuit::new(2);
+    match which {
+        BellState::PhiPlus => {
+            c.h(0).cnot(0, 1);
+        }
+        BellState::PhiMinus => {
+            c.x(0).h(0).cnot(0, 1);
+        }
+        BellState::PsiPlus => {
+            c.h(0).cnot(0, 1).x(0);
+        }
+        BellState::PsiMinus => {
+            c.x(0).h(0).cnot(0, 1).x(0);
+        }
+    }
+    c.run()
+}
+
+/// The circuit preparing an `n`-qubit GHZ state `(|0..0> + |1..1>)/sqrt(2)`.
+pub fn ghz_circuit(n: usize) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cnot(q - 1, q);
+    }
+    c
+}
+
+/// An `n`-qubit GHZ state.
+pub fn ghz_state(n: usize) -> StateVector {
+    ghz_circuit(n).run()
+}
+
+/// An `n`-qubit W state `(|10..0> + |01..0> + ... + |00..1>)/sqrt(n)`.
+pub fn w_state(n: usize) -> StateVector {
+    assert!(n >= 1);
+    let len = 1usize << n;
+    let amp = Complex64::real(1.0 / (n as f64).sqrt());
+    let mut amps = vec![Complex64::default(); len];
+    for q in 0..n {
+        amps[1 << q] = amp;
+    }
+    StateVector::from_amplitudes(amps).expect("w_state amplitudes are normalized")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn phi_plus_matches_example_iv_1() {
+        let s = bell_state(BellState::PhiPlus);
+        assert!((s.amplitude(0b00).re - std::f64::consts::FRAC_1_SQRT_2).abs() < EPS);
+        assert!((s.amplitude(0b11).re - std::f64::consts::FRAC_1_SQRT_2).abs() < EPS);
+    }
+
+    #[test]
+    fn bell_states_are_mutually_orthogonal() {
+        let all = [BellState::PhiPlus, BellState::PhiMinus, BellState::PsiPlus, BellState::PsiMinus];
+        for (i, &a) in all.iter().enumerate() {
+            for (j, &b) in all.iter().enumerate() {
+                let f = bell_state(a).fidelity(&bell_state(b));
+                if i == j {
+                    assert!((f - 1.0).abs() < EPS);
+                } else {
+                    assert!(f < EPS, "{a:?} vs {b:?} fidelity {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghz_state_has_two_outcomes() {
+        let s = ghz_state(3);
+        assert!((s.probability(0b000) - 0.5).abs() < EPS);
+        assert!((s.probability(0b111) - 0.5).abs() < EPS);
+        for i in 1..7 {
+            assert!(s.probability(i) < EPS);
+        }
+    }
+
+    #[test]
+    fn w_state_uniform_over_single_excitations() {
+        let s = w_state(4);
+        for q in 0..4 {
+            assert!((s.probability(1 << q) - 0.25).abs() < EPS);
+        }
+        assert!(s.probability(0) < EPS);
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: the paper's core ideas in five minutes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks through (1) Example II.1's superposition, (2) Example IV.1's Bell
+//! state and the "spooky" correlation, (3) Grover search of an unsorted
+//! database (Sec. III-A), and (4) the Fig. 2 roadmap solving a small MQO
+//! instance on the simulated annealer.
+
+use qdm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // ------------------------------------------------------------------
+    // 1. Example II.1: |psi> = (|0> + |1>)/sqrt(2).
+    // ------------------------------------------------------------------
+    println!("## Example II.1 — superposition");
+    let mut psi = StateVector::new(1);
+    psi.apply_single(0, &gates::hadamard());
+    println!("P(0) = {:.4}, P(1) = {:.4}", psi.probability(0), psi.probability(1));
+    let shots = 10_000;
+    let ones: usize = psi.sample(shots, &mut rng).into_iter().sum();
+    println!("{shots} shots: {} zeros, {ones} ones\n", shots - ones);
+
+    // ------------------------------------------------------------------
+    // 2. Example IV.1: the Bell state, and entangled correlations.
+    // ------------------------------------------------------------------
+    println!("## Example IV.1 — Bell state (|00> + |11>)/sqrt(2)");
+    let mut agreements = 0;
+    for _ in 0..1000 {
+        let mut pair = bell_state(BellState::PhiPlus);
+        let amsterdam = pair.measure_qubit(0, &mut rng);
+        let san_francisco = pair.measure_qubit(1, &mut rng);
+        if amsterdam == san_francisco {
+            agreements += 1;
+        }
+    }
+    println!("measuring both halves 1000 times: {agreements} agreements (always correlated)\n");
+
+    // ------------------------------------------------------------------
+    // 3. Sec. III-A: Grover search of an unsorted 256-record database.
+    // ------------------------------------------------------------------
+    println!("## Grover database search (Sec. III-A)");
+    let db = QuantumDatabase::from_values((0..256).map(|v| (v * 37) % 251).collect());
+    let target_value = db.record(200).fields[0];
+    let quantum = db.search_known(|r| r.id == 200, 1, &mut rng);
+    let classical = db.classical_search(|r| r.id == 200);
+    println!(
+        "256 records, find the one with value {target_value}: quantum used {} oracle queries, classical scan {} probes",
+        quantum.quantum_queries, classical.classical_probes
+    );
+    println!("found: quantum -> {:?}, classical -> {:?}\n", quantum.found, classical.found);
+
+    // ------------------------------------------------------------------
+    // 4. Fig. 2: MQO -> QUBO -> simulated quantum annealer.
+    // ------------------------------------------------------------------
+    println!("## Fig. 2 roadmap — MQO on the (simulated) annealer");
+    let instance = MqoInstance::generate(4, 3, 0.3, &mut rng);
+    let (_, exhaustive) = instance.exhaustive_optimum();
+    let problem = MqoProblem::new(instance);
+    let report = run_pipeline(
+        &problem,
+        &SqaSolver::default(),
+        &PipelineOptions { repair: true, ..Default::default() },
+        &mut rng,
+    );
+    println!("QUBO variables: {}", report.n_vars);
+    println!("annealer objective:   {:.4}", report.decoded.objective);
+    println!("exhaustive optimum:   {exhaustive:.4}");
+    println!("feasible: {} ({})", report.decoded.feasible, report.decoded.summary);
+}

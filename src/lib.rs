@@ -1,0 +1,67 @@
+//! # quantum-data-management (`qdm`)
+//!
+//! A from-scratch Rust reproduction of *"Quantum Data Management: From
+//! Theory to Opportunities"* (Hai, Hung & Feld, ICDE 2024): the complete
+//! stack the tutorial describes, from quantum simulators to QUBO
+//! reformulations of database problems to quantum-internet data
+//! management. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Crate map
+//! | crate | contents |
+//! |---|---|
+//! | [`sim`] | gate-based state-vector simulator, noise, density matrices |
+//! | [`qubo`] | QUBO/Ising models, penalties, exact solvers, presolve |
+//! | [`anneal`] | simulated (quantum) annealing, tabu, Chimera embedding |
+//! | [`db`] | query graphs, cost model, join optimizers, executor, transactions |
+//! | [`algos`] | Grover/BBHT/Dürr–Høyer, QAOA, VQE, QFT/QPE, VQC |
+//! | [`core`] | the Fig. 2 pipeline: `DmProblem` → QUBO → any solver |
+//! | [`problems`] | Table I encodings: MQO, join ordering, schema matching, 2PL |
+//! | [`qdb`] | Grover database search, quantum set ops/join, DB manipulation |
+//! | [`net`] | quantum internet: links, repeaters, teleportation, CHSH/GHZ, BB84, no-cloning tables |
+//!
+//! ## Quickstart
+//! ```
+//! use qdm::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // The paper's Example II.1: a 50/50 superposition.
+//! let mut psi = StateVector::new(1);
+//! psi.apply_single(0, &gates::hadamard());
+//! assert!((psi.probability(0) - 0.5).abs() < 1e-12);
+//!
+//! // The Fig. 2 roadmap: an MQO instance through the annealing route.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let instance = MqoInstance::generate(3, 2, 0.3, &mut rng);
+//! let problem = MqoProblem::new(instance);
+//! let report = run_pipeline(
+//!     &problem,
+//!     &SqaSolver::default(),
+//!     &PipelineOptions { repair: true, ..Default::default() },
+//!     &mut rng,
+//! );
+//! assert!(report.decoded.feasible);
+//! ```
+
+pub use qdm_algos as algos;
+pub use qdm_anneal as anneal;
+pub use qdm_core as core;
+pub use qdm_db as db;
+pub use qdm_net as net;
+pub use qdm_problems as problems;
+pub use qdm_qdb as qdb;
+pub use qdm_qubo as qubo;
+pub use qdm_sim as sim;
+
+/// One-stop prelude combining the preludes of every crate in the workspace.
+pub mod prelude {
+    pub use qdm_algos::prelude::*;
+    pub use qdm_anneal::prelude::*;
+    pub use qdm_core::prelude::*;
+    pub use qdm_db::prelude::*;
+    pub use qdm_net::prelude::*;
+    pub use qdm_problems::prelude::*;
+    pub use qdm_qdb::prelude::*;
+    pub use qdm_qubo::prelude::*;
+    pub use qdm_sim::prelude::*;
+}

@@ -1,0 +1,136 @@
+//! Integration: every Table I problem family runs end-to-end through the
+//! Fig. 2 pipeline on multiple solver routes and produces feasible,
+//! near-optimal solutions.
+
+use qdm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn opts() -> PipelineOptions {
+    PipelineOptions { repair: true, ..Default::default() }
+}
+
+#[test]
+fn mqo_across_annealing_and_gate_routes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let inst = MqoInstance::generate(3, 3, 0.3, &mut rng);
+    let (_, optimum) = inst.exhaustive_optimum();
+    let problem = MqoProblem::new(inst);
+    for solver in [
+        Box::new(SaSolver::default()) as Box<dyn QuboSolver>,
+        Box::new(SqaSolver::default()),
+        Box::new(TabuSolver::default()),
+        Box::new(QaoaSolver::default()),
+        Box::new(GroverMinSolver),
+    ] {
+        let mut srng = StdRng::seed_from_u64(2);
+        let report = run_pipeline(&problem, solver.as_ref(), &opts(), &mut srng);
+        assert!(report.decoded.feasible, "{} infeasible", solver.name());
+        assert!(
+            report.decoded.objective >= optimum - 1e-9,
+            "{} beat the exhaustive optimum",
+            solver.name()
+        );
+        // Strong solvers should actually reach it on 9 variables.
+        if matches!(solver.name(), "simulated-annealing" | "tabu" | "grover-minimum") {
+            assert!(
+                (report.decoded.objective - optimum).abs() < 1e-6,
+                "{}: {} vs optimum {}",
+                solver.name(),
+                report.decoded.objective,
+                optimum
+            );
+        }
+    }
+}
+
+#[test]
+fn join_ordering_qubo_tracks_dp_optimum() {
+    for (seed, shape) in [(1u64, GraphShape::Chain), (2, GraphShape::Star), (3, GraphShape::Cycle)]
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = QueryGraph::generate(shape, 4, &mut rng);
+        let dp = optimal_left_deep(&graph);
+        let problem = JoinOrderProblem::left_deep(graph);
+        let report = run_pipeline(&problem, &TabuSolver::default(), &opts(), &mut rng);
+        assert!(report.decoded.feasible, "{shape:?}");
+        assert!(
+            report.decoded.objective <= 20.0 * dp.cost,
+            "{shape:?}: QUBO plan {} too far from DP {}",
+            report.decoded.objective,
+            dp.cost
+        );
+    }
+}
+
+#[test]
+fn schema_matching_reaches_exact_score_on_small_instances() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let (inst, truth) = generate_benchmark(5, 1, &mut rng);
+    let (_, exact_score) = inst.exact_matching();
+    let problem = SchemaMatchingProblem::new(inst);
+    let report = run_pipeline(&problem, &SaSolver::default(), &opts(), &mut rng);
+    assert!(report.decoded.feasible);
+    let matching = problem.matching(&report.bits).expect("one-to-one");
+    let (precision, recall) = precision_recall(&matching, &truth);
+    assert!(-report.decoded.objective >= 0.8 * exact_score);
+    assert!(precision >= 0.6 && recall >= 0.6, "p={precision} r={recall}");
+}
+
+#[test]
+fn txn_scheduling_beats_serial_under_every_strong_solver() {
+    // Independent transactions: massive parallelism available.
+    let txns: Vec<Transaction> = (0..4)
+        .map(|id| Transaction { id, reads: vec![], writes: vec![id + 10], duration: 2 })
+        .collect();
+    let serial = serial_schedule(&txns).makespan(&txns);
+    assert_eq!(serial, 8);
+    let problem = TxnScheduleProblem::new(txns, 4);
+    for solver in [
+        Box::new(SaSolver::default()) as Box<dyn QuboSolver>,
+        Box::new(TabuSolver::default()),
+    ] {
+        let mut srng = StdRng::seed_from_u64(5);
+        let report = run_pipeline(&problem, solver.as_ref(), &opts(), &mut srng);
+        assert!(report.decoded.feasible);
+        assert!(
+            report.decoded.objective <= 4.0,
+            "{}: makespan {}",
+            solver.name(),
+            report.decoded.objective
+        );
+    }
+}
+
+#[test]
+fn decomposition_and_presolve_preserve_feasibility_and_quality() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let inst = MqoInstance::generate(4, 2, 0.2, &mut rng);
+    let (_, optimum) = inst.exhaustive_optimum();
+    let problem = MqoProblem::new(inst);
+    for (presolve, decompose) in [(false, false), (true, false), (false, true), (true, true)] {
+        let mut srng = StdRng::seed_from_u64(7);
+        let report = run_pipeline(
+            &problem,
+            &ExactSolver,
+            &PipelineOptions { presolve, decompose, repair: true },
+            &mut srng,
+        );
+        assert!(report.decoded.feasible, "presolve={presolve} decompose={decompose}");
+        assert!(
+            (report.decoded.objective - optimum).abs() < 1e-6,
+            "presolve={presolve} decompose={decompose}: {} vs {}",
+            report.decoded.objective,
+            optimum
+        );
+    }
+}
+
+#[test]
+fn solver_registry_is_consistent_with_roadmap() {
+    let names: Vec<String> = full_registry().iter().map(|s| s.name().to_string()).collect();
+    for path in roadmap_paths() {
+        assert!(names.iter().any(|n| n == path.solver_name));
+    }
+    assert_eq!(table_one().len(), 7);
+}

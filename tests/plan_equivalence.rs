@@ -1,0 +1,85 @@
+//! Integration: plan choice changes cost, never the answer — including
+//! plans chosen by the quantum routes.
+
+use qdm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn classical_and_quantum_plans_agree_on_results() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for shape in [GraphShape::Chain, GraphShape::Star, GraphShape::Cycle] {
+        let graph = QueryGraph::generate(shape, 4, &mut rng);
+        let db = generate_database(&graph, 40, 4, &mut rng);
+
+        // Reference: the exact bushy plan.
+        let reference = execute(&optimal_bushy(&graph).tree, &db, &graph).row_multiset();
+
+        // Classical alternatives.
+        let candidates = vec![
+            optimal_left_deep(&graph).tree,
+            greedy_goo(&graph).tree,
+            quickpick(&graph, 20, &mut rng).tree,
+        ];
+        for tree in candidates {
+            assert_eq!(
+                execute(&tree, &db, &graph).row_multiset(),
+                reference,
+                "{shape:?}: classical plan {tree} differs"
+            );
+        }
+
+        // A plan selected by the QUBO route.
+        let problem = JoinOrderProblem::left_deep(graph.clone());
+        let report = run_pipeline(
+            &problem,
+            &SaSolver::default(),
+            &PipelineOptions { repair: true, ..Default::default() },
+            &mut rng,
+        );
+        let tree = problem.tree_from_bits(&report.bits).expect("feasible plan");
+        assert_eq!(
+            execute(&tree, &db, &graph).row_multiset(),
+            reference,
+            "{shape:?}: QUBO plan {tree} differs"
+        );
+
+        // And a bushy-template plan.
+        let bushy_problem = JoinOrderProblem::bushy(graph.clone());
+        let report = run_pipeline(
+            &bushy_problem,
+            &TabuSolver::default(),
+            &PipelineOptions { repair: true, ..Default::default() },
+            &mut rng,
+        );
+        let tree = bushy_problem.tree_from_bits(&report.bits).expect("feasible plan");
+        assert_eq!(
+            execute(&tree, &db, &graph).row_multiset(),
+            reference,
+            "{shape:?}: bushy QUBO plan {tree} differs"
+        );
+    }
+}
+
+#[test]
+fn executor_respects_estimated_result_sanity() {
+    // The cost model is an estimate, but executed row counts must be
+    // finite, deterministic for a fixed seed, and plan-independent.
+    let mut rng = StdRng::seed_from_u64(12);
+    let graph = QueryGraph::generate(GraphShape::Chain, 5, &mut rng);
+    let db = generate_database(&graph, 30, 3, &mut rng);
+    let a = execute(&optimal_bushy(&graph).tree, &db, &graph).n_rows();
+    let b = execute(&JoinTree::left_deep(&[4, 3, 2, 1, 0]), &db, &graph).n_rows();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn catalog_round_trips_into_plans() {
+    let catalog = star_schema_catalog(4);
+    let graph = catalog.full_query_graph();
+    let plan = optimal_left_deep(&graph);
+    // A star query's best left-deep plan starts from a dimension joined to
+    // the fact table, never a cross product.
+    let cm = CostModel::new(&graph);
+    assert!(cm.order_avoids_cross_products(&plan.tree.relations()));
+}

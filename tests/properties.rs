@@ -1,0 +1,247 @@
+//! Cross-crate property-based tests (proptest): the structural invariants
+//! DESIGN.md promises, checked on randomized inputs.
+
+use proptest::prelude::*;
+use qdm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random QUBO over up to 8 variables.
+fn arb_qubo() -> impl Strategy<Value = QuboModel> {
+    (2usize..=8, proptest::collection::vec(-3.0f64..3.0, 0..20), any::<u64>()).prop_map(
+        |(n, weights, seed)| {
+            let mut q = QuboModel::new(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            use rand::RngExt;
+            for w in weights {
+                let i = rng.random_range(0..n);
+                let j = rng.random_range(0..n);
+                if i == j {
+                    q.add_linear(i, w);
+                } else {
+                    q.add_quadratic(i, j, w);
+                }
+            }
+            q
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qubo_ising_roundtrip_preserves_energy(q in arb_qubo(), idx in any::<usize>()) {
+        let n = q.n_vars();
+        let bits = bits_from_index(idx & ((1 << n) - 1), n);
+        let ising = IsingModel::from_qubo(&q);
+        let spins = IsingModel::spins_from_bits(&bits);
+        prop_assert!((q.energy(&bits) - ising.energy(&spins)).abs() < 1e-9);
+        let back = ising.to_qubo();
+        prop_assert!((q.energy(&bits) - back.energy(&bits)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flip_delta_equals_energy_difference(q in arb_qubo(), idx in any::<usize>(), var in any::<usize>()) {
+        let n = q.n_vars();
+        let i = var % n;
+        let bits = bits_from_index(idx & ((1 << n) - 1), n);
+        let mut flipped = bits.clone();
+        flipped[i] = !flipped[i];
+        let want = q.energy(&flipped) - q.energy(&bits);
+        prop_assert!((q.flip_delta(&bits, i) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_solver_is_never_beaten_by_heuristics(q in arb_qubo(), seed in any::<u64>()) {
+        let exact = solve_exact(&q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sa = simulated_annealing(&q, &SaParams { sweeps: 30, restarts: 1, ..SaParams::scaled_to(&q) }, &mut rng);
+        prop_assert!(sa.energy >= exact.energy - 1e-9);
+        prop_assert!((q.energy(&sa.bits) - sa.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connected_components_partition_energy(q in arb_qubo(), idx in any::<usize>()) {
+        let n = q.n_vars();
+        let bits = bits_from_index(idx & ((1 << n) - 1), n);
+        let comps = q.connected_components();
+        let total: f64 = comps
+            .iter()
+            .map(|(sub, map)| {
+                let sub_bits: Vec<bool> = map.iter().map(|&g| bits[g]).collect();
+                sub.energy(&sub_bits)
+            })
+            .sum();
+        prop_assert!((total - q.energy(&bits)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_circuits_preserve_normalization(seed in any::<u64>(), n in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let mut circuit = Circuit::new(n);
+        for _ in 0..12 {
+            let q = rng.random_range(0..n);
+            match rng.random_range(0..5) {
+                0 => { circuit.h(q); }
+                1 => { circuit.rx(q, rng.random_range(-3.0..3.0)); }
+                2 => { circuit.rz(q, rng.random_range(-3.0..3.0)); }
+                3 if n > 1 => {
+                    let t = (q + 1) % n;
+                    circuit.cnot(q, t);
+                }
+                _ => { circuit.ry(q, rng.random_range(-3.0..3.0)); }
+            }
+        }
+        let state = circuit.run();
+        prop_assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
+        // The inverse circuit restores |0...0>.
+        let mut s = state.clone();
+        circuit.dagger().apply_to(&mut s);
+        prop_assert!((s.probability(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mqo_repair_always_yields_feasible(seed in any::<u64>(), idx in any::<usize>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = MqoInstance::generate(3, 2, 0.3, &mut rng);
+        let problem = MqoProblem::new(inst);
+        let n = problem.n_vars();
+        let bits = bits_from_index(idx & ((1 << n) - 1), n);
+        let repaired = problem.repair(&bits);
+        prop_assert!(problem.decode(&repaired).feasible);
+    }
+
+    #[test]
+    fn joinorder_repair_always_yields_permutation(seed in any::<u64>(), idx in any::<usize>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = QueryGraph::generate_random(4, 0.3, &mut rng);
+        let problem = JoinOrderProblem::left_deep(graph);
+        let n = problem.n_vars();
+        let bits = bits_from_index(idx & ((1 << n.min(63)) - 1), n);
+        let repaired = problem.repair(&bits);
+        prop_assert!(problem.decode(&repaired).feasible);
+    }
+
+    #[test]
+    fn teleportation_is_identity_on_random_states(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = random_qubit(&mut rng);
+        let out = teleport(&payload, &mut rng);
+        prop_assert!((out.delivered.fidelity(&payload) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn werner_swap_never_exceeds_inputs(f1 in 0.25f64..1.0, f2 in 0.25f64..1.0) {
+        let out = WernerPair::new(f1).swap(WernerPair::new(f2));
+        prop_assert!(out.fidelity <= f1.max(f2) + 1e-12);
+        prop_assert!(out.fidelity >= 0.25 - 1e-12);
+    }
+
+    #[test]
+    fn purification_improves_iff_entangled(f in 0.55f64..0.99) {
+        let p = WernerPair::new(f);
+        let (succ, out) = p.purify(p);
+        prop_assert!(succ > 0.0 && succ <= 1.0);
+        prop_assert!(out.fidelity > f);
+    }
+
+    #[test]
+    fn schedule_decode_is_sound(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let txns = random_workload(4, 3, 2, 0.5, &mut rng);
+        let horizon: usize = txns.iter().map(|t| t.duration).sum();
+        let problem = TxnScheduleProblem::new(txns.clone(), horizon);
+        let repaired = problem.repair(&vec![false; problem.n_vars()]);
+        let decoded = problem.decode(&repaired);
+        prop_assert!(decoded.feasible);
+        let schedule = problem.schedule(&repaired).expect("one-hot");
+        prop_assert!(schedule.is_conflict_free(&txns));
+        prop_assert!(schedule.makespan(&txns) <= horizon);
+    }
+
+    #[test]
+    fn left_deep_dp_beats_random_orders(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = QueryGraph::generate_random(5, 0.3, &mut rng);
+        let dp = optimal_left_deep(&graph);
+        for _ in 0..5 {
+            prop_assert!(qdm::problems::vqc_join::random_order_cost(&graph, &mut rng) >= dp.cost - 1e-6);
+        }
+    }
+
+    #[test]
+    fn pauli_expectations_are_bounded(seed in any::<u64>()) {
+        use qdm::sim::pauli::{Pauli, PauliString};
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        // Random 3-qubit state via a random circuit.
+        let mut c = Circuit::new(3);
+        for _ in 0..8 {
+            let q = rng.random_range(0..3);
+            c.ry(q, rng.random_range(-3.0..3.0));
+            c.rz(q, rng.random_range(-3.0..3.0));
+            c.cnot(q, (q + 1) % 3);
+        }
+        let state = c.run();
+        for p in [Pauli::X, Pauli::Y, Pauli::Z] {
+            let e = PauliString::new(1.0, &[(0, p), (2, Pauli::Z)]).expectation(&state);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e), "{p:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn quantum_count_is_within_theoretical_error(seed in any::<u64>(), m in 0usize..=32) {
+        use qdm::algos::counting::quantum_count_median;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // 5-qubit universe, m marked of 32, 7-bit counting, median of 5.
+        let res = quantum_count_median(5, 7, 5, |x| x < m, &mut rng);
+        // Amplitude-estimation error bound: |M_hat - M| <= 2pi sqrt(M N)/2^t + pi^2 N / 4^t.
+        let n = 32.0;
+        let bound = 2.0 * std::f64::consts::PI * ((m as f64) * n).sqrt() / 128.0
+            + std::f64::consts::PI.powi(2) * n / (128.0 * 128.0)
+            + 1.0;
+        prop_assert!(
+            (res.estimate - m as f64).abs() <= bound,
+            "estimate {} vs true {m} (bound {bound})",
+            res.estimate
+        );
+    }
+
+    #[test]
+    fn gate_level_grover_matches_fast_grover(n in 2usize..5, t in any::<usize>()) {
+        use qdm::algos::grover::{grover_circuit, grover_state, optimal_iterations, OracleCounter};
+        let size = 1usize << n;
+        let target = t % size;
+        let k = optimal_iterations(size, 1);
+        let circuit_state = grover_circuit(n, target, k).run();
+        let mut oracle = OracleCounter::new(move |x| x == target);
+        let fast = grover_state(n, &mut oracle, k);
+        for i in 0..size {
+            prop_assert!((circuit_state.probability(i) - fast.probability(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn superposed_db_operations_keep_uniform_normalization(seed in any::<u64>()) {
+        use qdm::qdb::manipulate::SuperposedDatabase;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let mut db = SuperposedDatabase::new(4, &[0]);
+        for _ in 0..10 {
+            let id = rng.random_range(0..16);
+            // Insert or delete at random; errors are fine, state must stay valid.
+            if rng.random::<bool>() {
+                let _ = db.insert(id);
+            } else {
+                let _ = db.delete(id);
+            }
+            prop_assert!((db.state().norm_sqr() - 1.0).abs() < 1e-9);
+            let expected = 1.0 / db.len() as f64;
+            for present in db.ids() {
+                prop_assert!((db.probability_of(present) - expected).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Integration: the paper's quantitative quantum claims, measured.
+
+use qdm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn chsh_numbers_match_the_paper() {
+    // "The two players win optimally with score ~0.85 using an entangled
+    // Bell's state, and every pair of players who do not share entangled
+    // states can succeed with probability of at most 0.75."
+    let quantum = chsh_quantum_value(&ChshStrategy::optimal());
+    assert!((quantum - 0.8536).abs() < 5e-4, "quantum {quantum}");
+    assert!((chsh_classical_optimum() - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn ghz_numbers_match_the_paper() {
+    // "In the GHZ game, the entangled state achieves a probability of 1,
+    // while classical resources can only achieve a probability of 0.75."
+    assert!((ghz_quantum_value() - 1.0).abs() < 1e-10);
+    assert!((ghz_classical_optimum() - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn grover_scaling_is_square_root() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut quantum = Vec::new();
+    let mut classical = Vec::new();
+    for n_qubits in [6usize, 8, 10] {
+        let n = 1usize << n_qubits;
+        let db = QuantumDatabase::from_values((0..n as i64).collect());
+        let target = n - 2; // near the end: classical pays ~N
+        let q = db.search_known(|r| r.id == target, 1, &mut rng);
+        assert_eq!(q.found, Some(target));
+        let c = db.classical_search(|r| r.id == target);
+        quantum.push(q.quantum_queries as f64);
+        classical.push(c.classical_probes as f64);
+    }
+    // Growth from N to 16N: quantum x4-ish, classical x16-ish.
+    let q_growth = quantum[2] / quantum[0];
+    let c_growth = classical[2] / classical[0];
+    assert!(q_growth < 5.0, "quantum growth {q_growth}");
+    assert!(c_growth > 14.0, "classical growth {c_growth}");
+}
+
+#[test]
+fn teleportation_preserves_arbitrary_states() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..30 {
+        let payload = random_qubit(&mut rng);
+        let out = teleport(&payload, &mut rng);
+        assert!((out.delivered.fidelity(&payload) - 1.0).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn werner_teleportation_follows_two_f_plus_one_over_three() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let pair = WernerPair::new(0.85);
+    let measured = average_werner_fidelity(pair, 4000, &mut rng);
+    assert!((measured - pair.teleportation_fidelity()).abs() < 0.02);
+}
+
+#[test]
+fn no_cloning_is_enforced_and_reads_are_destructive() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let record = QuantumRecord::from_classical(1, 3, 0b110);
+    assert!(record.try_clone().is_err());
+    let (key, value) = record.read_destructive(&mut rng);
+    assert_eq!((key, value), (1, 0b110));
+    // QuantumRecord: !Clone is checked by the compile_fail doctest in
+    // qdm_net::data; here we check the runtime surface only.
+}
+
+#[test]
+fn bb84_detects_eavesdropping_and_honest_runs_key() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let honest = run_bb84(&Bb84Params { n_qubits: 4096, ..Default::default() }, &mut rng);
+    assert!(!honest.aborted && !honest.key.is_empty());
+    let tapped = run_bb84(
+        &Bb84Params { n_qubits: 4096, eavesdropper: true, ..Default::default() },
+        &mut rng,
+    );
+    assert!(tapped.aborted && tapped.key.is_empty());
+    assert!((tapped.qber - 0.25).abs() < 0.04, "QBER {}", tapped.qber);
+}
+
+#[test]
+fn paper_distances_are_reachable() {
+    // 248 km fiber [5] and 1203 km satellite [6] deliver pairs; 1203 km
+    // bare fiber cannot.
+    assert!(LinkModel::fiber(248.0).pair_rate() > 1.0);
+    assert!(LinkModel::satellite(1203.0).pair_rate() > 1.0);
+    assert!(LinkModel::fiber(1203.0).pair_rate() < 1e-12);
+    // Repeaters rescue long-haul fiber.
+    let chain = RepeaterChain::with_segments(1203.0, 16).performance();
+    assert!(chain.rate_hz > LinkModel::fiber(1203.0).pair_rate() * 1e9);
+}
+
+#[test]
+fn qpe_and_qft_work_end_to_end() {
+    use qdm::algos::qpe::outcome_distribution;
+    // A phase exactly representable on 4 counting qubits is read exactly.
+    let dist = outcome_distribution(4, 5.0 / 16.0);
+    assert!((dist[5] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn quantum_counting_estimates_selectivity() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let db = QuantumDatabase::from_values((0..512).map(|v| v % 8).collect());
+    let truth = db.matching_ids(|r| r.fields[0] == 0).len() as f64;
+    let est = db.estimate_cardinality(|r| r.fields[0] == 0, 8, 5, &mut rng);
+    assert!((est.cardinality - truth).abs() <= 6.0, "est {} vs {truth}", est.cardinality);
+    assert!((est.selectivity - 0.125).abs() < 0.02);
+}
+
+#[test]
+fn e91_links_nonlocality_to_security() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let honest = run_e91(&E91Params { rounds: 6000, ..Default::default() }, &mut rng);
+    assert!(honest.chsh_s > 2.5 && !honest.aborted && !honest.key.is_empty());
+    let tapped = run_e91(
+        &E91Params { rounds: 6000, eavesdropper: true, ..Default::default() },
+        &mut rng,
+    );
+    assert!(tapped.chsh_s < 2.0 && tapped.aborted && tapped.key.is_empty());
+}
+
+#[test]
+fn adiabatic_route_solves_a_table_one_problem() {
+    use qdm::core::solver::AdiabaticSolver;
+    let mut rng = StdRng::seed_from_u64(9);
+    let inst = MqoInstance::generate(3, 2, 0.3, &mut rng);
+    let (_, optimum) = inst.exhaustive_optimum();
+    let problem = MqoProblem::new(inst);
+    let report = run_pipeline(
+        &problem,
+        &AdiabaticSolver::default(),
+        &PipelineOptions { repair: true, ..Default::default() },
+        &mut rng,
+    );
+    assert!(report.decoded.feasible);
+    assert!((report.decoded.objective - optimum).abs() < 1e-6);
+}
+
+#[test]
+fn gate_level_grover_respects_device_budgets() {
+    use qdm::algos::grover::grover_circuit;
+    // The Fig. 1b 5-qubit chip: one Grover iteration over 5 qubits.
+    let c = grover_circuit(5, 17, 1);
+    assert_eq!(c.n_qubits(), 5);
+    assert!(c.depth() > 0 && c.gate_count() < 60);
+    // Probability already amplified above uniform after one iteration.
+    let s = c.run();
+    assert!(s.probability(17) > 1.0 / 32.0 * 4.0);
+}
+
+#[test]
+fn entangled_measurement_correlations_are_instantaneous() {
+    // Sec. II-A's Amsterdam/San Francisco anecdote: outcomes always agree.
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..200 {
+        let mut pair = bell_state(BellState::PhiPlus);
+        let a = pair.measure_qubit(0, &mut rng);
+        let b = pair.measure_qubit(1, &mut rng);
+        assert_eq!(a, b);
+    }
+}
