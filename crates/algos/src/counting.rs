@@ -16,7 +16,7 @@
 //! so.
 
 use crate::qpe::outcome_distribution;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Result of a quantum counting run.
 #[derive(Debug, Clone, PartialEq)]

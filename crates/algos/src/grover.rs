@@ -13,7 +13,7 @@
 //! optimization used by the Grover row of Table I \[31\]).
 
 use qdm_sim::state::StateVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// An oracle over `n`-bit records with query accounting.
 ///
@@ -177,12 +177,7 @@ pub fn durr_hoyer_minimum(
             }
         }
     }
-    MinimumResult {
-        index: threshold_idx,
-        key: threshold,
-        quantum_queries,
-        classical_queries,
-    }
+    MinimumResult { index: threshold_idx, key: threshold, quantum_queries, classical_queries }
 }
 
 /// Builds the *gate-level* Grover circuit for a single marked state: the
@@ -195,7 +190,11 @@ pub fn durr_hoyer_minimum(
 ///
 /// # Panics
 /// Panics if `n_qubits < 2` or the target is out of range.
-pub fn grover_circuit(n_qubits: usize, target: usize, iterations: usize) -> qdm_sim::circuit::Circuit {
+pub fn grover_circuit(
+    n_qubits: usize,
+    target: usize,
+    iterations: usize,
+) -> qdm_sim::circuit::Circuit {
     use qdm_sim::circuit::{Circuit, Gate};
     assert!(n_qubits >= 2, "gate-level Grover needs at least 2 qubits");
     assert!(target < (1 << n_qubits), "target out of range");

@@ -36,16 +36,14 @@ pub mod prelude {
     pub use crate::grover::{
         bbht_search, classical_linear_search, classical_random_search, durr_hoyer_minimum,
         grover_circuit, grover_search, grover_state, optimal_iterations, success_probability,
-        MinimumResult,
-        OracleCounter,
+        MinimumResult, OracleCounter,
     };
     pub use crate::optimize::{
         grid_search_2d, nelder_mead, spsa, NelderMeadOptions, OptimResult, SpsaOptions,
     };
     pub use crate::qaoa::{
         qaoa_circuit, qaoa_expectation, qaoa_gate_cost, qaoa_noisy_expectation, qaoa_optimize,
-        qaoa_state, EnergyTable, QaoaParams,
-        QaoaResult,
+        qaoa_state, EnergyTable, QaoaParams, QaoaResult,
     };
     pub use crate::qft::{inverse_qft_circuit, qft_circuit};
     pub use crate::qpe::{estimate_phase, outcome_distribution, qpe_circuit, PhaseEstimate};

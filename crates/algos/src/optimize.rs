@@ -6,7 +6,7 @@
 //! optimizer commonly used on noisy hardware, and a coarse grid search for
 //! low-dimensional landscapes.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Result of a classical optimization run.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,30 +76,21 @@ pub fn nelder_mead(
             }
         }
         let worst = simplex[n].clone();
-        let reflect: Vec<f64> = centroid
-            .iter()
-            .zip(&worst.0)
-            .map(|(c, w)| c + alpha * (c - w))
-            .collect();
+        let reflect: Vec<f64> =
+            centroid.iter().zip(&worst.0).map(|(c, w)| c + alpha * (c - w)).collect();
         let fr = eval(&reflect, &mut evals);
         if fr < simplex[0].1 {
             // Try expansion.
-            let expand: Vec<f64> = centroid
-                .iter()
-                .zip(&reflect)
-                .map(|(c, r)| c + gamma * (r - c))
-                .collect();
+            let expand: Vec<f64> =
+                centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
             let fe = eval(&expand, &mut evals);
             simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
         } else if fr < simplex[n - 1].1 {
             simplex[n] = (reflect, fr);
         } else {
             // Contraction.
-            let contract: Vec<f64> = centroid
-                .iter()
-                .zip(&worst.0)
-                .map(|(c, w)| c + rho * (w - c))
-                .collect();
+            let contract: Vec<f64> =
+                centroid.iter().zip(&worst.0).map(|(c, w)| c + rho * (w - c)).collect();
             let fc = eval(&contract, &mut evals);
             if fc < worst.1 {
                 simplex[n] = (contract, fc);
@@ -107,11 +98,8 @@ pub fn nelder_mead(
                 // Shrink towards the best.
                 let best = simplex[0].0.clone();
                 for entry in simplex.iter_mut().skip(1) {
-                    let x: Vec<f64> = best
-                        .iter()
-                        .zip(&entry.0)
-                        .map(|(b, xi)| b + sigma * (xi - b))
-                        .collect();
+                    let x: Vec<f64> =
+                        best.iter().zip(&entry.0).map(|(b, xi)| b + sigma * (xi - b)).collect();
                     let v = eval(&x, &mut evals);
                     *entry = (x, v);
                 }

@@ -17,7 +17,7 @@ use qdm_qubo::model::{bits_from_index, QuboModel};
 use qdm_qubo::solve::SolveResult;
 use qdm_sim::gates;
 use qdm_sim::state::StateVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::time::Instant;
 
 /// Precomputed diagonal energy table of a QUBO over all `2^n` basis states.
@@ -67,10 +67,13 @@ impl EnergyTable {
 
     /// The index and value of the global minimum.
     pub fn minimum(&self) -> (usize, f64) {
-        self.energies
-            .iter()
-            .enumerate()
-            .fold((0, f64::INFINITY), |acc, (i, &e)| if e < acc.1 { (i, e) } else { acc })
+        self.energies.iter().enumerate().fold((0, f64::INFINITY), |acc, (i, &e)| {
+            if e < acc.1 {
+                (i, e)
+            } else {
+                acc
+            }
+        })
     }
 
     /// The maximum energy (for approximation-ratio normalization).
@@ -116,7 +119,7 @@ pub struct QaoaResult {
 /// Prepares the QAOA state for the given angles over a precomputed energy
 /// table (first half of `angles` = gammas, second half = betas).
 pub fn qaoa_state(table: &EnergyTable, angles: &[f64]) -> StateVector {
-    assert!(angles.len() % 2 == 0, "angles = gammas then betas");
+    assert!(angles.len().is_multiple_of(2), "angles = gammas then betas");
     let p = angles.len() / 2;
     let n = table.n_vars;
     let mut state = StateVector::uniform(n);
@@ -212,7 +215,7 @@ pub fn qaoa_optimize(q: &QuboModel, params: &QaoaParams, rng: &mut impl Rng) -> 
 /// noisy execution and device accounting.
 pub fn qaoa_circuit(q: &QuboModel, angles: &[f64]) -> qdm_sim::circuit::Circuit {
     use qdm_sim::circuit::Circuit;
-    assert!(angles.len() % 2 == 0, "angles = gammas then betas");
+    assert!(angles.len().is_multiple_of(2), "angles = gammas then betas");
     let p = angles.len() / 2;
     let n = q.n_vars();
     let mut c = Circuit::new(n);
@@ -366,10 +369,7 @@ mod tests {
         let circuit_state = qaoa_circuit(&q, &angles).run();
         // Same measurement distribution (global phase cancels).
         for z in 0..16 {
-            assert!(
-                (fast.probability(z) - circuit_state.probability(z)).abs() < 1e-9,
-                "z = {z}"
-            );
+            assert!((fast.probability(z) - circuit_state.probability(z)).abs() < 1e-9, "z = {z}");
         }
     }
 

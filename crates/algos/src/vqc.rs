@@ -9,7 +9,7 @@
 
 use qdm_sim::circuit::Circuit;
 use qdm_sim::state::StateVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A variational quantum circuit model.
 #[derive(Debug, Clone)]
@@ -26,9 +26,8 @@ impl Vqc {
     /// Creates a VQC with small random initial parameters.
     pub fn new(n_qubits: usize, layers: usize, rng: &mut impl Rng) -> Self {
         assert!(n_qubits >= 1 && layers >= 1);
-        let params = (0..Self::param_count(n_qubits, layers))
-            .map(|_| rng.random_range(-0.1..0.1))
-            .collect();
+        let params =
+            (0..Self::param_count(n_qubits, layers)).map(|_| rng.random_range(-0.1..0.1)).collect();
         Self { n_qubits, layers, params, readout: 0 }
     }
 
@@ -140,12 +139,7 @@ impl Vqc {
 
     /// Trains on a dataset for `epochs` passes; returns the per-epoch mean
     /// squared error trace.
-    pub fn train(
-        &mut self,
-        data: &[(Vec<f64>, f64)],
-        epochs: usize,
-        lr: f64,
-    ) -> Vec<f64> {
+    pub fn train(&mut self, data: &[(Vec<f64>, f64)], epochs: usize, lr: f64) -> Vec<f64> {
         let mut trace = Vec::with_capacity(epochs);
         for _ in 0..epochs {
             let mut loss = 0.0;
@@ -175,6 +169,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn parameter_shift_matches_finite_differences() {
         let mut rng = StdRng::seed_from_u64(2);
         let v = Vqc::new(2, 2, &mut rng);

@@ -13,7 +13,7 @@ use qdm_qubo::model::{bits_from_index, QuboModel};
 use qdm_qubo::solve::SolveResult;
 use qdm_sim::circuit::Circuit;
 use qdm_sim::state::StateVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::time::Instant;
 
 /// VQE hyperparameters.
@@ -85,8 +85,7 @@ pub fn vqe_optimize(q: &QuboModel, params: &VqeParams, rng: &mut impl Rng) -> Vq
     let mut best_angles = vec![0.0; dim];
     let mut best_val = f64::INFINITY;
     for _ in 0..params.starts.max(1) {
-        let x0: Vec<f64> =
-            (0..dim).map(|_| rng.random_range(-0.3..0.3)).collect();
+        let x0: Vec<f64> = (0..dim).map(|_| rng.random_range(-0.3..0.3)).collect();
         let res = nelder_mead(
             |a| {
                 let s = ansatz_state(n, layers, a);
@@ -134,10 +133,7 @@ mod tests {
 
     fn model() -> QuboModel {
         let mut q = QuboModel::new(3);
-        q.add_linear(0, 1.0)
-            .add_linear(2, -2.0)
-            .add_quadratic(0, 1, 1.5)
-            .add_quadratic(1, 2, -1.0);
+        q.add_linear(0, 1.0).add_linear(2, -2.0).add_quadratic(0, 1, 1.5).add_quadratic(1, 2, -1.0);
         q
     }
 

@@ -133,7 +133,11 @@ pub struct EmbedError {
 
 impl fmt::Display for EmbedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no room to embed logical variable {} — use a larger Chimera graph", self.variable)
+        write!(
+            f,
+            "no room to embed logical variable {} — use a larger Chimera graph",
+            self.variable
+        )
     }
 }
 
@@ -159,11 +163,8 @@ pub fn find_embedding(
     order.sort_by_key(|&v| std::cmp::Reverse(logical_adjacency[v].len()));
 
     for &v in &order {
-        let embedded_neighbors: Vec<usize> = logical_adjacency[v]
-            .iter()
-            .copied()
-            .filter(|&u| !chains[u].is_empty())
-            .collect();
+        let embedded_neighbors: Vec<usize> =
+            logical_adjacency[v].iter().copied().filter(|&u| !chains[u].is_empty()).collect();
 
         if embedded_neighbors.is_empty() {
             // Place on the first free qubit.
@@ -291,9 +292,7 @@ pub fn find_embedding_auto(
 ) -> Result<Embedding, EmbedError> {
     match find_embedding(logical_adjacency, graph) {
         Ok(e) => Ok(e),
-        Err(first_err) => {
-            clique_embedding(logical_adjacency.len(), graph).map_err(|_| first_err)
-        }
+        Err(first_err) => clique_embedding(logical_adjacency.len(), graph).map_err(|_| first_err),
     }
 }
 
@@ -387,10 +386,7 @@ impl UnembedStats {
 
 /// Majority-vote unembedding: logical spin = sign of the chain's spin sum
 /// (ties resolved towards +1). `physical_spins[q] = true` means spin +1.
-pub fn unembed(
-    physical_spins: &[bool],
-    embedding: &Embedding,
-) -> (Vec<bool>, UnembedStats) {
+pub fn unembed(physical_spins: &[bool], embedding: &Embedding) -> (Vec<bool>, UnembedStats) {
     let mut logical = Vec::with_capacity(embedding.chains.len());
     let mut broken = 0;
     for chain in &embedding.chains {
@@ -491,9 +487,8 @@ mod tests {
         // Every logical edge has a physical edge between chains.
         for (v, nbs) in adj.iter().enumerate() {
             for &u in nbs {
-                let has = emb.chains[v]
-                    .iter()
-                    .any(|&a| emb.chains[u].iter().any(|&b| g.has_edge(a, b)));
+                let has =
+                    emb.chains[v].iter().any(|&a| emb.chains[u].iter().any(|&b| g.has_edge(a, b)));
                 assert!(has, "no physical edge for logical {v}-{u}");
             }
         }
@@ -544,8 +539,7 @@ mod tests {
     fn embedding_failure_is_reported() {
         // K8 cannot fit into a single unit cell's 8 qubits with chains.
         let n = 8;
-        let adj: Vec<Vec<usize>> =
-            (0..n).map(|v| (0..n).filter(|&u| u != v).collect()).collect();
+        let adj: Vec<Vec<usize>> = (0..n).map(|v| (0..n).filter(|&u| u != v).collect()).collect();
         let g = ChimeraGraph::new(1);
         assert!(find_embedding(&adj, &g).is_err());
         assert!(find_embedding_auto(&adj, &g).is_err());
@@ -579,9 +573,8 @@ mod tests {
         // Every logical pair has a physical coupler (clique property).
         for i in 0..n {
             for j in (i + 1)..n {
-                let ok = emb.chains[i]
-                    .iter()
-                    .any(|&a| emb.chains[j].iter().any(|&b| g.has_edge(a, b)));
+                let ok =
+                    emb.chains[i].iter().any(|&a| emb.chains[j].iter().any(|&b| g.has_edge(a, b)));
                 assert!(ok, "chains {i} and {j} not coupled");
             }
         }
@@ -608,8 +601,7 @@ mod tests {
     #[test]
     fn auto_embedding_handles_dense_k10() {
         let n = 10;
-        let adj: Vec<Vec<usize>> =
-            (0..n).map(|v| (0..n).filter(|&u| u != v).collect()).collect();
+        let adj: Vec<Vec<usize>> = (0..n).map(|v| (0..n).filter(|&u| u != v).collect()).collect();
         let g = ChimeraGraph::new(12);
         let emb = find_embedding_auto(&adj, &g).expect("K10 must fit C_12");
         assert_valid_embedding(&emb, n, &g);

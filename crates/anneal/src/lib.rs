@@ -34,8 +34,8 @@ pub mod tabu;
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::embedding::{
-        chain_strength, clique_embedding, embed_ising, find_embedding, find_embedding_auto, solve_on_chimera, unembed, ChimeraGraph,
-        EmbedError, Embedding, UnembedStats,
+        chain_strength, clique_embedding, embed_ising, find_embedding, find_embedding_auto,
+        solve_on_chimera, unembed, ChimeraGraph, EmbedError, Embedding, UnembedStats,
     };
     pub use crate::sa::{simulated_annealing, SaParams, Schedule};
     pub use crate::sqa::{simulated_quantum_annealing, SqaParams};

@@ -6,7 +6,7 @@
 
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::solve::SolveResult;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::time::Instant;
 
 /// Cooling schedule for the Metropolis temperature.

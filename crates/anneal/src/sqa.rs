@@ -12,7 +12,7 @@
 use qdm_qubo::ising::IsingModel;
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::solve::SolveResult;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::time::Instant;
 
 /// Parameters for [`simulated_quantum_annealing`].

@@ -4,7 +4,7 @@
 
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::solve::SolveResult;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::time::Instant;
 
 /// Parameters for [`tabu_search`].

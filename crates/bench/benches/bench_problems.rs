@@ -22,21 +22,15 @@ fn bench_mqo(c: &mut Criterion) {
     for queries in [4usize, 6, 8] {
         let mut rng = StdRng::seed_from_u64(queries as u64);
         let inst = MqoInstance::generate(queries, 3, 0.3, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive", queries),
-            &inst,
-            |b, inst| b.iter(|| black_box(inst.exhaustive_optimum())),
-        );
+        group.bench_with_input(BenchmarkId::new("exhaustive", queries), &inst, |b, inst| {
+            b.iter(|| black_box(inst.exhaustive_optimum()))
+        });
         let problem = MqoProblem::new(inst.clone());
-        group.bench_with_input(
-            BenchmarkId::new("qubo+sa_pipeline", queries),
-            &problem,
-            |b, p| {
-                let mut rng = StdRng::seed_from_u64(9);
-                let opts = PipelineOptions { repair: true, ..Default::default() };
-                b.iter(|| black_box(run_pipeline(p, &SaSolver::default(), &opts, &mut rng)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("qubo+sa_pipeline", queries), &problem, |b, p| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let opts = PipelineOptions { repair: true, ..Default::default() };
+            b.iter(|| black_box(run_pipeline(p, &SaSolver::default(), &opts, &mut rng)));
+        });
     }
     group.finish();
 }

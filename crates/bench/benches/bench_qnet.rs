@@ -33,14 +33,10 @@ fn bench_teleport(c: &mut Criterion) {
 fn bench_repeater(c: &mut Criterion) {
     let mut group = c.benchmark_group("qnet/chain_performance");
     for segments in [2usize, 8, 32] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(segments),
-            &segments,
-            |b, &segments| {
-                let chain = RepeaterChain::with_segments(1000.0, segments);
-                b.iter(|| black_box(chain.performance()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &segments, |b, &segments| {
+            let chain = RepeaterChain::with_segments(1000.0, segments);
+            b.iter(|| black_box(chain.performance()));
+        });
     }
     group.finish();
 }

@@ -1,0 +1,123 @@
+//! Runtime-service throughput: a batch of independent MQO solves run (a)
+//! sequentially through `run_pipeline` on one thread and (b) through the
+//! `qdm-runtime` worker pool. Every job gets a fresh seed each iteration so
+//! the result cache never short-circuits the work being measured; a third
+//! bench measures the cache-hit path separately. On a multi-core runner the
+//! pooled batch completes ≥ 2× faster than the sequential loop (the printed
+//! `runtime/speedup` line reports the measured ratio).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdm_core::pipeline::{run_pipeline, PipelineOptions};
+use qdm_core::solver::SaSolver;
+use qdm_problems::mqo::{MqoInstance, MqoProblem};
+use qdm_runtime::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const N_JOBS: usize = 16;
+
+fn workload() -> Vec<Arc<MqoProblem>> {
+    (0..N_JOBS as u64)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Arc::new(MqoProblem::new(MqoInstance::generate(8, 3, 0.35, &mut rng)))
+        })
+        .collect()
+}
+
+fn opts() -> PipelineOptions {
+    PipelineOptions { repair: true, ..Default::default() }
+}
+
+/// Monotone seed source so every measured iteration is a cache miss.
+static SEED: AtomicU64 = AtomicU64::new(1_000_000);
+
+fn run_sequential(problems: &[Arc<MqoProblem>]) {
+    let solver = SaSolver::default();
+    let options = opts();
+    for problem in problems {
+        let seed = SEED.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        std::hint::black_box(run_pipeline(problem.as_ref(), &solver, &options, &mut rng));
+    }
+}
+
+fn run_pooled(service: &SolverService, problems: &[Arc<MqoProblem>]) {
+    let options = opts();
+    let batch: Vec<JobSpec> = problems
+        .iter()
+        .map(|p| {
+            let seed = SEED.fetch_add(1, Ordering::Relaxed);
+            JobSpec::new(Arc::clone(p) as SharedProblem, seed)
+                .with_options(options)
+                .on_backend("simulated-annealing")
+        })
+        .collect();
+    let outcomes = service.run_batch(batch);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let problems = workload();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let service = SolverService::new(ServiceConfig { workers, cache_capacity: 8 });
+
+    let mut group = c.benchmark_group("runtime/throughput");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| b.iter(|| run_sequential(&problems)));
+    group.bench_function(format!("pool-{workers}-workers"), |b| {
+        b.iter(|| run_pooled(&service, &problems));
+    });
+    group.finish();
+
+    // Direct speedup measurement over a few full batches (criterion medians
+    // are per-callable; this prints the headline ratio).
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_sequential(&problems);
+    }
+    let sequential = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        run_pooled(&service, &problems);
+    }
+    let pooled = t1.elapsed().as_secs_f64();
+    println!(
+        "runtime/speedup: {:.2}x ({} jobs/batch, {} workers, seq {:.3}s vs pool {:.3}s)",
+        sequential / pooled,
+        N_JOBS,
+        workers,
+        sequential / reps as f64,
+        pooled / reps as f64
+    );
+}
+
+fn bench_cache_hit_path(c: &mut Criterion) {
+    let problems = workload();
+    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 1024 });
+    let options = opts();
+    // Warm the cache once with a fixed seed, then measure pure hits.
+    let batch: Vec<JobSpec> = problems
+        .iter()
+        .map(|p| JobSpec::new(Arc::clone(p) as SharedProblem, 42).with_options(options))
+        .collect();
+    let warm = service.run_batch(batch.clone());
+    assert!(warm.iter().all(|o| o.is_ok()));
+
+    let mut group = c.benchmark_group("runtime/cache");
+    group.sample_size(10);
+    group.bench_function("hit_batch", |b| {
+        b.iter(|| {
+            let outcomes = service.run_batch(batch.clone());
+            assert!(outcomes.iter().all(|o| o.as_ref().is_ok_and(|r| r.from_cache)));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_cache_hit_path);
+criterion_main!(benches);

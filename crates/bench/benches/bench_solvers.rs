@@ -36,8 +36,7 @@ fn bench_annealer_scaling(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("sqa", n), &q, |b, q| {
             let mut rng = StdRng::seed_from_u64(5);
-            let params =
-                SqaParams { replicas: 8, sweeps: 50, ..SqaParams::scaled_to(q) };
+            let params = SqaParams { replicas: 8, sweeps: 50, ..SqaParams::scaled_to(q) };
             b.iter(|| black_box(simulated_quantum_annealing(q, &params, &mut rng)));
         });
         group.bench_with_input(BenchmarkId::new("tabu", n), &q, |b, q| {

@@ -40,9 +40,7 @@ fn bench_vqc_gradient(c: &mut Criterion) {
     let vqc = Vqc::new(4, 2, &mut rng);
     let x = [0.3, 0.7, 0.1, 0.9];
     c.bench_function("vqc/forward_4q", |b| b.iter(|| black_box(vqc.predict(&x))));
-    c.bench_function("vqc/parameter_shift_gradient_4q", |b| {
-        b.iter(|| black_box(vqc.gradient(&x)))
-    });
+    c.bench_function("vqc/parameter_shift_gradient_4q", |b| b.iter(|| black_box(vqc.gradient(&x))));
 }
 
 criterion_group!(benches, bench_qaoa_layers, bench_vqe_ansatz, bench_vqc_gradient);

@@ -46,11 +46,7 @@ pub fn e04_chsh(rounds: usize) -> Report {
         "E4 — Example IV.2: CHSH game winning probabilities",
         &["strategy", "paper", "measured"],
     );
-    r.row(vec![
-        "entangled (exact)".into(),
-        "~0.85".into(),
-        fnum(quantum_exact),
-    ]);
+    r.row(vec!["entangled (exact)".into(), "~0.85".into(), fnum(quantum_exact)]);
     r.row(vec![
         format!("entangled (sampled, {rounds} rounds)"),
         "~0.85".into(),

@@ -108,18 +108,12 @@ pub fn e21_e91(rounds: usize) -> Report {
     );
     let scenarios: [(&str, E91Params); 4] = [
         ("honest, perfect pairs", E91Params { rounds, ..Default::default() }),
-        (
-            "honest, Werner F=0.9",
-            E91Params { rounds, pair_fidelity: 0.9, ..Default::default() },
-        ),
+        ("honest, Werner F=0.9", E91Params { rounds, pair_fidelity: 0.9, ..Default::default() }),
         (
             "intercept-resend eavesdropper",
             E91Params { rounds, eavesdropper: true, ..Default::default() },
         ),
-        (
-            "separable pairs (F=0.5)",
-            E91Params { rounds, pair_fidelity: 0.5, ..Default::default() },
-        ),
+        ("separable pairs (F=0.5)", E91Params { rounds, pair_fidelity: 0.5, ..Default::default() }),
     ];
     for (name, params) in scenarios {
         let out = run_e91(&params, &mut rng);

@@ -12,34 +12,24 @@ use rand::SeedableRng;
 pub fn e12_schema(sizes: &[(usize, usize)]) -> Report {
     let mut r = Report::new(
         "E12 — schema matching via QUBO ([28])",
-        &[
-            "attrs + noise",
-            "vars",
-            "solver",
-            "QUBO score",
-            "exact score",
-            "precision",
-            "recall",
-        ],
+        &["attrs + noise", "vars", "solver", "QUBO score", "exact score", "precision", "recall"],
     );
     for &(n_attrs, noise) in sizes {
         let mut rng = StdRng::seed_from_u64(1200 + n_attrs as u64);
         let (inst, truth) = generate_benchmark(n_attrs, noise, &mut rng);
         let (_, exact_score) = inst.exact_matching();
         let problem = SchemaMatchingProblem::new(inst);
-        for solver in [
-            Box::new(SaSolver::default()) as Box<dyn QuboSolver>,
-            Box::new(TabuSolver::default()),
-        ] {
+        for solver in
+            [Box::new(SaSolver::default()) as Box<dyn QuboSolver>, Box::new(TabuSolver::default())]
+        {
             let report = run_pipeline(
                 &problem,
                 solver.as_ref(),
                 &PipelineOptions { repair: true, ..Default::default() },
                 &mut rng,
             );
-            let matching = problem
-                .matching(&report.bits)
-                .expect("repaired assignments are one-to-one");
+            let matching =
+                problem.matching(&report.bits).expect("repaired assignments are one-to-one");
             let (precision, recall) = precision_recall(&matching, &truth);
             r.row(vec![
                 format!("{n_attrs} + {noise}"),
@@ -52,7 +42,9 @@ pub fn e12_schema(sizes: &[(usize, usize)]) -> Report {
             ]);
         }
     }
-    r.note("shape ([28]): QUBO matching tracks the exact matcher and recovers most ground-truth pairs");
+    r.note(
+        "shape ([28]): QUBO matching tracks the exact matcher and recovers most ground-truth pairs",
+    );
     r
 }
 

@@ -9,9 +9,7 @@ use qdm_core::device::{Device, Fit};
 use qdm_core::pipeline::{run_pipeline, PipelineOptions};
 use qdm_core::problem::DmProblem;
 use qdm_core::roadmap::{table_one, Algorithm, Formulation};
-use qdm_core::solver::{
-    full_registry, ExactSolver, QaoaSolver, QuboSolver, SqaSolver, VqeSolver,
-};
+use qdm_core::solver::{full_registry, ExactSolver, QaoaSolver, QuboSolver, SqaSolver, VqeSolver};
 use qdm_db::optimizer::optimal_left_deep;
 use qdm_db::query::{GraphShape, QueryGraph};
 use qdm_db::txn::{random_workload, Transaction};
@@ -58,12 +56,11 @@ pub fn e01_table_one() -> Report {
             (qdm_core::roadmap::SubProblem::Mqo, _) => {
                 let inst = MqoInstance::generate(3, 3, 0.3, &mut rng);
                 let p = MqoProblem::new(inst);
-                let solver: Box<dyn QuboSolver> =
-                    if row.algorithms.contains(&Algorithm::Qaoa) {
-                        Box::new(QaoaSolver::default())
-                    } else {
-                        Box::new(SqaSolver::default())
-                    };
+                let solver: Box<dyn QuboSolver> = if row.algorithms.contains(&Algorithm::Qaoa) {
+                    Box::new(QaoaSolver::default())
+                } else {
+                    Box::new(SqaSolver::default())
+                };
                 let rep = run_pipeline(&p, solver.as_ref(), &opts, &mut rng);
                 vec![(
                     solver.name().to_string(),
@@ -109,12 +106,7 @@ pub fn e01_table_one() -> Report {
                 let p = SchemaMatchingProblem::new(inst);
                 let solver = QaoaSolver::default();
                 let rep = run_pipeline(&p, &solver, &opts, &mut rng);
-                vec![(
-                    "qaoa".to_string(),
-                    rep.n_vars,
-                    rep.decoded.feasible,
-                    rep.decoded.objective,
-                )]
+                vec![("qaoa".to_string(), rep.n_vars, rep.decoded.feasible, rep.decoded.objective)]
             }
             (qdm_core::roadmap::SubProblem::TwoPhaseLocking, _) => {
                 let txns: Vec<Transaction> = random_workload(3, 3, 2, 0.6, &mut rng);
@@ -183,8 +175,7 @@ pub fn e02_fig2(n_vars: usize) -> Report {
 /// E17 — device constraints (Fig. 1b, Sec. III-C.3): which devices fit
 /// which problem sizes, and what embedding costs.
 pub fn e17_device() -> Report {
-    let devices =
-        [Device::five_qubit_chip(), Device::ideal_simulator(20), Device::dwave_2x()];
+    let devices = [Device::five_qubit_chip(), Device::ideal_simulator(20), Device::dwave_2x()];
     let mut r = Report::new(
         "E17 — device constraints: problem fit across hardware profiles",
         &["device", "MQO size", "logical vars", "fit", "physical qubits", "max chain"],
@@ -411,8 +402,7 @@ mod tests {
     #[test]
     fn e17_five_qubit_chip_rejects_real_workloads() {
         let r = e17_device();
-        let chip_rows: Vec<_> =
-            r.rows.iter().filter(|row| row[0].contains("5-qubit")).collect();
+        let chip_rows: Vec<_> = r.rows.iter().filter(|row| row[0].contains("5-qubit")).collect();
         assert!(chip_rows.iter().any(|row| row[3].starts_with("too large")));
     }
 

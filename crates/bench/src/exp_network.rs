@@ -30,13 +30,7 @@ pub fn e14_qnet(distances_km: &[f64]) -> Report {
         let fiber = LinkModel::fiber(d).pair_rate();
         let sat = LinkModel::satellite(d).pair_rate();
         let chain = RepeaterChain::with_segments(d, 8).performance();
-        r.row(vec![
-            fnum(d),
-            fnum(fiber),
-            fnum(sat),
-            fnum(chain.rate_hz),
-            fnum(chain.fidelity),
-        ]);
+        r.row(vec![fnum(d), fnum(fiber), fnum(sat), fnum(chain.rate_hz), fnum(chain.fidelity)]);
     }
     r.note(format!(
         "fiber/satellite crossover at ~{} km; paper's demonstrated points: 248 km fiber [5], 1203 km satellite [6]",
@@ -130,10 +124,7 @@ pub fn e16_qkd(n_qubits: usize) -> Report {
             "intercept-resend eavesdropper",
             Bb84Params { n_qubits, eavesdropper: true, ..Default::default() },
         ),
-        (
-            "heavy noise (20%)",
-            Bb84Params { n_qubits, channel_flip: 0.2, ..Default::default() },
-        ),
+        ("heavy noise (20%)", Bb84Params { n_qubits, channel_flip: 0.2, ..Default::default() }),
     ];
     for (name, params) in scenarios {
         let out = run_bb84(&params, &mut rng);

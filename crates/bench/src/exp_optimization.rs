@@ -151,11 +151,9 @@ pub fn e10_bushy(n_relations: usize) -> Report {
             "bushy wins over left-deep",
         ],
     );
-    for (name, shape) in [
-        ("chain", GraphShape::Chain),
-        ("cycle", GraphShape::Cycle),
-        ("clique", GraphShape::Clique),
-    ] {
+    for (name, shape) in
+        [("chain", GraphShape::Chain), ("cycle", GraphShape::Cycle), ("clique", GraphShape::Clique)]
+    {
         let mut rng = StdRng::seed_from_u64(1000);
         let graph = QueryGraph::generate(shape, n_relations, &mut rng);
         let ld = optimal_left_deep(&graph);

@@ -78,10 +78,9 @@ pub fn run_one(id: &str, quick: bool) -> Option<Vec<Report>> {
         "e6" | "grover" => vec![exp_search::e06_grover(if quick { 10 } else { 14 })],
         "e7" | "mqo" => vec![exp_optimization::e07_mqo(&[(3, 2), (4, 3), (5, 3)])],
         "e8" | "qaoa_depth" => vec![exp_optimization::e08_qaoa_depth(&[1, 2, 3])],
-        "e9" | "joinorder" => vec![exp_optimization::e09_joinorder(
-            4,
-            &qdm_core::solver::SaSolver::default(),
-        )],
+        "e9" | "joinorder" => {
+            vec![exp_optimization::e09_joinorder(4, &qdm_core::solver::SaSolver::default())]
+        }
         "e10" | "bushy" => vec![exp_optimization::e10_bushy(4)],
         "e11" | "vqc" => vec![exp_learning::e11_vqc(4, if quick { 25 } else { 60 })],
         "e12" | "schema" => vec![exp_integration::e12_schema(&[(4, 1), (5, 2)])],

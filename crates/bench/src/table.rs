@@ -51,11 +51,8 @@ impl fmt::Display for Report {
         }
         writeln!(f, "== {} ==", self.title)?;
         let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
-            let line: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:<w$}", w = w))
-                .collect();
+            let line: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
             writeln!(f, "| {} |", line.join(" | "))
         };
         print_row(f, &self.headers)?;

@@ -124,9 +124,7 @@ impl Device {
             Connectivity::Complete => Fit::Direct,
             Connectivity::Linear => {
                 // Fits directly only if couplings form a sub-path of the line.
-                let native = q
-                    .quadratic_iter()
-                    .all(|((i, j), _)| i.abs_diff(j) == 1);
+                let native = q.quadratic_iter().all(|((i, j), _)| i.abs_diff(j) == 1);
                 if native {
                     Fit::Direct
                 } else {

@@ -32,8 +32,8 @@ pub mod solver;
 pub mod prelude {
     pub use crate::device::{Connectivity, Device, DeviceKind, Fit};
     pub use crate::pipeline::{
-        run_pipeline, run_pipeline_on_chimera, EmbeddedPipelineReport, PipelineOptions,
-        PipelineReport,
+        run_pipeline, run_pipeline_on_chimera, run_pipeline_with_qubo, EmbeddedPipelineReport,
+        PipelineOptions, PipelineReport,
     };
     pub use crate::problem::{Decoded, DmProblem};
     pub use crate::roadmap::{
@@ -41,8 +41,8 @@ pub mod prelude {
         SubProblem, TableOneRow,
     };
     pub use crate::solver::{
-        full_registry, AdiabaticSolver, ExactSolver, GroverMinSolver, QaoaSolver, QuboSolver, RandomSolver,
-        SaSolver, SolverKind, SqaSolver, TabuSolver, VqeSolver,
+        full_registry, AdiabaticSolver, ExactSolver, GroverMinSolver, QaoaSolver, QuboSolver,
+        RandomSolver, SaSolver, SolverKind, SqaSolver, TabuSolver, VqeSolver,
     };
 }
 

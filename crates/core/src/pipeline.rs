@@ -60,8 +60,21 @@ pub fn run_pipeline(
     options: &PipelineOptions,
     rng: &mut StdRng,
 ) -> PipelineReport {
+    run_pipeline_with_qubo(problem, problem.to_qubo(), solver, options, rng)
+}
+
+/// [`run_pipeline`] with the problem's QUBO already built. Callers that need
+/// the encoding for their own bookkeeping (e.g. the `qdm-runtime` cache
+/// fingerprints it before dispatch) hand it in instead of paying
+/// [`DmProblem::to_qubo`] twice; `qubo` must be exactly `problem.to_qubo()`.
+pub fn run_pipeline_with_qubo(
+    problem: &dyn DmProblem,
+    qubo: QuboModel,
+    solver: &dyn QuboSolver,
+    options: &PipelineOptions,
+    rng: &mut StdRng,
+) -> PipelineReport {
     let start = Instant::now();
-    let qubo = problem.to_qubo();
     let n = qubo.n_vars();
     let mut bits = vec![false; n];
     let mut evaluations = 0u64;
@@ -149,9 +162,7 @@ pub fn run_pipeline_on_chimera(
     options: &PipelineOptions,
     rng: &mut StdRng,
 ) -> Result<EmbeddedPipelineReport, qdm_anneal::embedding::EmbedError> {
-    use qdm_anneal::embedding::{
-        chain_strength, embed_ising, find_embedding_auto, unembed,
-    };
+    use qdm_anneal::embedding::{chain_strength, embed_ising, find_embedding_auto, unembed};
     use qdm_anneal::sa::{simulated_annealing, SaParams};
     use qdm_qubo::ising::IsingModel;
 
@@ -169,11 +180,7 @@ pub fn run_pipeline_on_chimera(
     let physical_qubo = physical.to_qubo();
     // Chain couplings flatten the landscape; give the physical anneal more
     // effort than a logical solve would need.
-    let params = SaParams {
-        sweeps: 600,
-        restarts: 8,
-        ..SaParams::scaled_to(&physical_qubo)
-    };
+    let params = SaParams { sweeps: 600, restarts: 8, ..SaParams::scaled_to(&physical_qubo) };
     let res = simulated_annealing(&physical_qubo, &params, rng);
     let physical_spins: Vec<bool> = res.bits.iter().map(|&b| !b).collect();
     let (logical_spins, stats) = unembed(&physical_spins, &embedding);
@@ -245,12 +252,7 @@ mod tests {
     #[test]
     fn plain_pipeline_solves() {
         let mut rng = StdRng::seed_from_u64(1);
-        let report = run_pipeline(
-            &TwoGroups,
-            &ExactSolver,
-            &PipelineOptions::default(),
-            &mut rng,
-        );
+        let report = run_pipeline(&TwoGroups, &ExactSolver, &PipelineOptions::default(), &mut rng);
         assert!(report.decoded.feasible);
         assert_eq!(report.bits, vec![false, true, false, false, false, true]);
         assert_eq!(report.components, 1);

@@ -73,8 +73,7 @@ mod tests {
             let chosen: Vec<usize> =
                 bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
             let feasible = chosen.len() == 1;
-            let objective =
-                chosen.iter().map(|&i| self.costs[i]).sum::<f64>();
+            let objective = chosen.iter().map(|&i| self.costs[i]).sum::<f64>();
             Decoded { feasible, objective, summary: format!("chose {chosen:?}") }
         }
     }

@@ -205,8 +205,7 @@ mod tests {
 
     #[test]
     fn every_roadmap_path_names_a_registered_solver() {
-        let names: Vec<String> =
-            full_registry().iter().map(|s| s.name().to_string()).collect();
+        let names: Vec<String> = full_registry().iter().map(|s| s.name().to_string()).collect();
         for path in roadmap_paths() {
             assert!(
                 names.iter().any(|n| n == path.solver_name),

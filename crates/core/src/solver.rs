@@ -28,7 +28,12 @@ pub enum SolverKind {
 }
 
 /// A solver over QUBO models.
-pub trait QuboSolver {
+///
+/// Solvers must be [`Send`] + [`Sync`]: the `qdm-runtime` worker pool shares
+/// one registered instance across worker threads. Every solver here is a
+/// small parameter struct with no interior mutability (all run state lives in
+/// the caller-provided RNG), so the bound is free.
+pub trait QuboSolver: Send + Sync {
     /// Display name.
     fn name(&self) -> &str;
     /// Which Fig. 2 branch this is.
@@ -256,7 +261,7 @@ impl QuboSolver for AdiabaticSolver {
 }
 
 /// Every Fig. 2 path plus the classical baselines, boxed for iteration.
-pub fn full_registry() -> Vec<Box<dyn QuboSolver>> {
+pub fn full_registry() -> Vec<Box<dyn QuboSolver + Send + Sync>> {
     vec![
         Box::new(ExactSolver),
         Box::new(SaSolver::default()),

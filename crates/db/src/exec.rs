@@ -8,7 +8,7 @@
 
 use crate::plan::JoinTree;
 use crate::query::QueryGraph;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// A cell value.
@@ -65,17 +65,12 @@ impl Table {
     /// # Panics
     /// Panics if an index is out of range.
     pub fn project(&self, cols: &[usize]) -> Table {
-        let schema = Schema {
-            columns: cols.iter().map(|&c| self.schema.columns[c].clone()).collect(),
-        };
+        let schema =
+            Schema { columns: cols.iter().map(|&c| self.schema.columns[c].clone()).collect() };
         Table {
             name: format!("pi({})", self.name),
             schema,
-            rows: self
-                .rows
-                .iter()
-                .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
-                .collect(),
+            rows: self.rows.iter().map(|r| cols.iter().map(|&c| r[c].clone()).collect()).collect(),
         }
     }
 
@@ -84,11 +79,8 @@ impl Table {
     pub fn row_multiset(&self) -> Vec<Vec<Value>> {
         let mut sorted_cols: Vec<usize> = (0..self.schema.columns.len()).collect();
         sorted_cols.sort_by(|&a, &b| self.schema.columns[a].cmp(&self.schema.columns[b]));
-        let mut rows: Vec<Vec<Value>> = self
-            .rows
-            .iter()
-            .map(|r| sorted_cols.iter().map(|&c| r[c].clone()).collect())
-            .collect();
+        let mut rows: Vec<Vec<Value>> =
+            self.rows.iter().map(|r| sorted_cols.iter().map(|&c| r[c].clone()).collect()).collect();
         rows.sort();
         rows
     }
@@ -113,11 +105,7 @@ pub fn hash_join(left: &Table, right: &Table, lc: usize, rc: usize) -> Table {
     }
     let mut columns = left.schema.columns.clone();
     columns.extend(right.schema.columns.iter().cloned());
-    Table {
-        name: format!("({} ⋈ {})", left.name, right.name),
-        schema: Schema { columns },
-        rows,
-    }
+    Table { name: format!("({} ⋈ {})", left.name, right.name), schema: Schema { columns }, rows }
 }
 
 /// Cross product (used when a join tree pairs disconnected subtrees).
@@ -132,11 +120,7 @@ pub fn cross_product(left: &Table, right: &Table) -> Table {
     }
     let mut columns = left.schema.columns.clone();
     columns.extend(right.schema.columns.iter().cloned());
-    Table {
-        name: format!("({} × {})", left.name, right.name),
-        schema: Schema { columns },
-        rows,
-    }
+    Table { name: format!("({} × {})", left.name, right.name), schema: Schema { columns }, rows }
 }
 
 /// A database materialized for a query graph: `tables[r]` backs relation `r`.
@@ -174,9 +158,7 @@ pub fn generate_database(
             .map(|i| {
                 let mut row = vec![Value::Int(i as i64)];
                 row.extend(
-                    incident
-                        .iter()
-                        .map(|_| Value::Int(rng.random_range(0..key_domain) as i64)),
+                    incident.iter().map(|_| Value::Int(rng.random_range(0..key_domain) as i64)),
                 );
                 row
             })
@@ -215,25 +197,16 @@ pub fn execute(tree: &JoinTree, db: &Database, graph: &QueryGraph) -> Table {
             let Some(&(e0, la, rb)) = crossing.first() else {
                 return cross_product(&lt, &rt);
             };
-            let lc = lt
-                .schema
-                .column_index(&format!("r{la}.k{e0}"))
-                .expect("left join key exists");
-            let rc = rt
-                .schema
-                .column_index(&format!("r{rb}.k{e0}"))
-                .expect("right join key exists");
+            let lc = lt.schema.column_index(&format!("r{la}.k{e0}")).expect("left join key exists");
+            let rc =
+                rt.schema.column_index(&format!("r{rb}.k{e0}")).expect("right join key exists");
             let mut joined = hash_join(&lt, &rt, lc, rc);
             // Residual predicates.
             for &(ei, a, b) in &crossing[1..] {
-                let ca = joined
-                    .schema
-                    .column_index(&format!("r{a}.k{ei}"))
-                    .expect("residual key a");
-                let cb = joined
-                    .schema
-                    .column_index(&format!("r{b}.k{ei}"))
-                    .expect("residual key b");
+                let ca =
+                    joined.schema.column_index(&format!("r{a}.k{ei}")).expect("residual key a");
+                let cb =
+                    joined.schema.column_index(&format!("r{b}.k{ei}")).expect("residual key b");
                 joined = joined.filter(|row| row[ca] == row[cb]);
             }
             joined
@@ -262,10 +235,7 @@ mod tests {
         let b = Table {
             name: "B".into(),
             schema: Schema { columns: vec!["r1.id".into(), "r1.k0".into()] },
-            rows: vec![
-                vec![Value::Int(0), Value::Int(1)],
-                vec![Value::Int(1), Value::Int(3)],
-            ],
+            rows: vec![vec![Value::Int(0), Value::Int(1)], vec![Value::Int(1), Value::Int(3)]],
         };
         (a, b)
     }
@@ -321,10 +291,8 @@ mod tests {
     #[test]
     fn generated_database_respects_caps() {
         let mut rng = StdRng::seed_from_u64(5);
-        let graph = QueryGraph::new(
-            vec![1000.0, 5.0],
-            vec![JoinEdge { a: 0, b: 1, selectivity: 0.25 }],
-        );
+        let graph =
+            QueryGraph::new(vec![1000.0, 5.0], vec![JoinEdge { a: 0, b: 1, selectivity: 0.25 }]);
         let db = generate_database(&graph, 50, 4, &mut rng);
         assert_eq!(db.tables[0].n_rows(), 50);
         assert_eq!(db.tables[1].n_rows(), 5);

@@ -31,7 +31,9 @@ pub mod prelude {
     pub use crate::exec::{
         cross_product, execute, generate_database, hash_join, Database, Schema, Table, Value,
     };
-    pub use crate::optimizer::{greedy_goo, optimal_bushy, optimal_left_deep, quickpick, PlanResult};
+    pub use crate::optimizer::{
+        greedy_goo, optimal_bushy, optimal_left_deep, quickpick, PlanResult,
+    };
     pub use crate::plan::{CostModel, JoinTree};
     pub use crate::query::{GraphShape, JoinEdge, QueryGraph};
     pub use crate::txn::{

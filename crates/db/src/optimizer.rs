@@ -10,7 +10,7 @@
 
 use crate::plan::{CostModel, JoinTree};
 use crate::query::QueryGraph;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// An optimizer outcome: the chosen tree and its `C_out` cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,8 +130,7 @@ pub fn greedy_goo(graph: &QueryGraph) -> PlanResult {
     let n = graph.n_relations();
     assert!(n >= 1);
     let cm = CostModel::new(graph);
-    let mut forest: Vec<(JoinTree, u64)> =
-        (0..n).map(|r| (JoinTree::Leaf(r), 1u64 << r)).collect();
+    let mut forest: Vec<(JoinTree, u64)> = (0..n).map(|r| (JoinTree::Leaf(r), 1u64 << r)).collect();
     let mut total = 0.0;
     while forest.len() > 1 {
         let mut best = (0usize, 1usize, f64::INFINITY);
@@ -190,8 +189,7 @@ pub fn quickpick(graph: &QueryGraph, samples: usize, rng: &mut impl Rng) -> Plan
         }
         // If the graph is disconnected, cross-join remaining roots.
         if merged < n {
-            let mut roots: Vec<usize> =
-                (0..n).filter(|&r| find(&mut parent, r) == r).collect();
+            let mut roots: Vec<usize> = (0..n).filter(|&r| find(&mut parent, r) == r).collect();
             while roots.len() > 1 {
                 let rb = roots.pop().expect("len > 1");
                 let ra = roots[0];

@@ -138,8 +138,7 @@ impl<'a> CostModel<'a> {
     /// is connected to the prefix).
     pub fn order_avoids_cross_products(&self, order: &[usize]) -> bool {
         for (k, &r) in order.iter().enumerate().skip(1) {
-            let connected =
-                order[..k].iter().any(|&p| self.graph.connected(p, r));
+            let connected = order[..k].iter().any(|&p| self.graph.connected(p, r));
             if !connected {
                 return false;
             }
@@ -176,14 +175,8 @@ mod tests {
     #[test]
     fn bushy_tree_is_not_left_deep() {
         let t = JoinTree::Join(
-            Box::new(JoinTree::Join(
-                Box::new(JoinTree::Leaf(0)),
-                Box::new(JoinTree::Leaf(1)),
-            )),
-            Box::new(JoinTree::Join(
-                Box::new(JoinTree::Leaf(2)),
-                Box::new(JoinTree::Leaf(3)),
-            )),
+            Box::new(JoinTree::Join(Box::new(JoinTree::Leaf(0)), Box::new(JoinTree::Leaf(1)))),
+            Box::new(JoinTree::Join(Box::new(JoinTree::Leaf(2)), Box::new(JoinTree::Leaf(3)))),
         );
         assert!(!t.is_left_deep());
         assert_eq!(t.n_leaves(), 4);
@@ -207,10 +200,7 @@ mod tests {
         let cm = CostModel::new(&g);
         for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [0, 2, 1]] {
             let tree = JoinTree::left_deep(&order);
-            assert!(
-                (cm.cost(&tree) - cm.cost_left_deep(&order)).abs() < 1e-9,
-                "order {order:?}"
-            );
+            assert!((cm.cost(&tree) - cm.cost_left_deep(&order)).abs() < 1e-9, "order {order:?}");
         }
     }
 

@@ -6,7 +6,7 @@
 //! benchmark shapes — chain, star, cycle, clique — used by the join-ordering
 //! literature the paper surveys (\[23\]–\[26\], and the classics \[55\]–\[57\]).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A join predicate between two relations with estimated selectivity.
@@ -156,7 +156,11 @@ impl QueryGraph {
         // Random spanning tree: connect each new node to a random earlier one.
         for i in 1..n {
             let j = rng.random_range(0..i);
-            edges.push(JoinEdge { a: j, b: i, selectivity: 10f64.powf(rng.random_range(-3.0..-1.0)) });
+            edges.push(JoinEdge {
+                a: j,
+                b: i,
+                selectivity: 10f64.powf(rng.random_range(-3.0..-1.0)),
+            });
         }
         for i in 0..n {
             for j in (i + 1)..n {

@@ -8,7 +8,7 @@
 //! for its whole duration (conservative 2PL), so two transactions conflict
 //! iff they touch a common item and at least one writes it.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashSet;
 
 /// A transaction: read set, write set, and duration in time slots.
@@ -79,12 +79,7 @@ pub struct TxnSchedule {
 impl TxnSchedule {
     /// Completion time of the whole schedule.
     pub fn makespan(&self, txns: &[Transaction]) -> usize {
-        self.start
-            .iter()
-            .zip(txns)
-            .map(|(&s, t)| s + t.duration)
-            .max()
-            .unwrap_or(0)
+        self.start.iter().zip(txns).map(|(&s, t)| s + t.duration).max().unwrap_or(0)
     }
 
     /// True when no pair of conflicting transactions overlaps in time —
@@ -326,12 +321,7 @@ mod tests {
     #[test]
     fn serializable_history_detected() {
         let h = History {
-            events: vec![
-                (0, Op::Read(1)),
-                (0, Op::Write(1)),
-                (1, Op::Read(1)),
-                (1, Op::Write(2)),
-            ],
+            events: vec![(0, Op::Read(1)), (0, Op::Write(1)), (1, Op::Read(1)), (1, Op::Write(2))],
         };
         assert!(h.is_conflict_serializable());
     }
@@ -341,12 +331,7 @@ mod tests {
         // Classic lost-update cycle: t0 reads x, t1 reads x, t0 writes x,
         // t1 writes x  =>  t0 -> t1 (r0 before w1) and t1 -> t0 (r1 before w0).
         let h = History {
-            events: vec![
-                (0, Op::Read(0)),
-                (1, Op::Read(0)),
-                (0, Op::Write(0)),
-                (1, Op::Write(0)),
-            ],
+            events: vec![(0, Op::Read(0)), (1, Op::Read(0)), (0, Op::Write(0)), (1, Op::Write(0))],
         };
         assert!(!h.is_conflict_serializable());
     }

@@ -33,10 +33,7 @@ pub struct NoCloningViolation;
 
 impl fmt::Display for NoCloningViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "the no-cloning theorem forbids copying an arbitrary quantum state"
-        )
+        write!(f, "the no-cloning theorem forbids copying an arbitrary quantum state")
     }
 }
 
@@ -191,10 +188,7 @@ impl QuantumTable {
         let record = self.take(key)?;
         let needed = record.n_qubits();
         if pair_bank.len() < needed {
-            let err = TableError::InsufficientEntanglement {
-                needed,
-                available: pair_bank.len(),
-            };
+            let err = TableError::InsufficientEntanglement { needed, available: pair_bank.len() };
             // Put the record back; the operation must be atomic.
             self.records.insert(key, record);
             return Err(err);
@@ -209,8 +203,7 @@ impl QuantumTable {
             let resource = bell_state(BellState::PhiPlus);
             let outcome = teleport_over(&payload, &resource, rng);
             // Werner-pair quality degrades delivered fidelity analytically.
-            fidelity = pair.teleportation_fidelity()
-                * outcome.delivered.fidelity(&payload);
+            fidelity = pair.teleportation_fidelity() * outcome.delivered.fidelity(&payload);
             destination.records.insert(key, QuantumRecord::new(key, outcome.delivered));
         } else {
             for _ in 0..needed {

@@ -14,7 +14,7 @@ use crate::data::{QuantumRecord, QuantumTable, TableError};
 use crate::link::LinkModel;
 use crate::qkd::{run_bb84, Bb84Params};
 use crate::werner::WernerPair;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -137,10 +137,8 @@ impl QuantumNetwork {
         max_attempts: u64,
         rng: &mut impl Rng,
     ) -> Result<u64, NetError> {
-        let link = *self
-            .links
-            .get(&edge(a, b))
-            .ok_or_else(|| NetError::NoLink(a.into(), b.into()))?;
+        let link =
+            *self.links.get(&edge(a, b)).ok_or_else(|| NetError::NoLink(a.into(), b.into()))?;
         let mut total_attempts = 0u64;
         let bank = self.pair_banks.entry(edge(a, b)).or_default();
         for _ in 0..count {
@@ -350,11 +348,9 @@ mod tests {
     fn record_teleportation_consumes_entanglement() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut net = two_node_net();
-        net.generate_entanglement("amsterdam", "delft", 3, 100_000, &mut rng)
-            .expect("generation");
+        net.generate_entanglement("amsterdam", "delft", 3, 100_000, &mut rng).expect("generation");
         net.store("amsterdam", QuantumRecord::from_classical(7, 1, 1)).expect("store");
-        let fidelity =
-            net.teleport_record("amsterdam", "delft", 7, &mut rng).expect("teleport");
+        let fidelity = net.teleport_record("amsterdam", "delft", 7, &mut rng).expect("teleport");
         assert!(fidelity > 0.9);
         assert_eq!(net.entanglement_available("amsterdam", "delft"), 2);
         assert!(net.node_mut("amsterdam").unwrap().table.is_empty());
@@ -367,10 +363,7 @@ mod tests {
         let mut net = two_node_net();
         net.store("amsterdam", QuantumRecord::from_classical(9, 1, 0)).expect("store");
         let err = net.teleport_record("amsterdam", "delft", 9, &mut rng);
-        assert!(matches!(
-            err,
-            Err(NetError::Table(TableError::InsufficientEntanglement { .. }))
-        ));
+        assert!(matches!(err, Err(NetError::Table(TableError::InsufficientEntanglement { .. }))));
         assert_eq!(net.node_mut("amsterdam").unwrap().table.keys(), vec![9]);
     }
 
@@ -378,8 +371,7 @@ mod tests {
     fn aging_degrades_and_purges_pairs() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut net = two_node_net();
-        net.generate_entanglement("amsterdam", "delft", 4, 100_000, &mut rng)
-            .expect("generation");
+        net.generate_entanglement("amsterdam", "delft", 4, 100_000, &mut rng).expect("generation");
         net.age_entanglement(0.1, 1.0);
         assert_eq!(net.entanglement_available("amsterdam", "delft"), 4);
         // Long decoherence wipes the bank.
@@ -415,9 +407,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut net = two_node_net();
         net.establish_key("amsterdam", "delft", 64, &mut rng).expect("key");
-        let out = net
-            .two_phase_commit("amsterdam", &["delft"], 0.0, &mut rng)
-            .expect("protocol runs");
+        let out =
+            net.two_phase_commit("amsterdam", &["delft"], 0.0, &mut rng).expect("protocol runs");
         assert!(matches!(out, CommitOutcome::Aborted { .. }));
     }
 
@@ -428,9 +419,8 @@ mod tests {
         net.establish_key("amsterdam", "delft", 512, &mut rng).expect("key");
         net.message_loss = 0.3;
         net.max_retries = 50;
-        let out = net
-            .two_phase_commit("amsterdam", &["delft"], 1.0, &mut rng)
-            .expect("protocol runs");
+        let out =
+            net.two_phase_commit("amsterdam", &["delft"], 1.0, &mut rng).expect("protocol runs");
         match out {
             CommitOutcome::Committed { retries } => {
                 // With 30% loss some retries are overwhelmingly likely ...
@@ -445,9 +435,8 @@ mod tests {
     fn commit_without_key_material_aborts() {
         let mut rng = StdRng::seed_from_u64(10);
         let mut net = two_node_net();
-        let out = net
-            .two_phase_commit("amsterdam", &["delft"], 1.0, &mut rng)
-            .expect("protocol runs");
+        let out =
+            net.two_phase_commit("amsterdam", &["delft"], 1.0, &mut rng).expect("protocol runs");
         assert!(matches!(out, CommitOutcome::Aborted { .. }));
     }
 }

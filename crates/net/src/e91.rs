@@ -12,7 +12,7 @@
 use qdm_sim::gates;
 use qdm_sim::state::StateVector;
 use qdm_sim::states::{bell_state, BellState};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Parameters of one E91 session.
 #[derive(Debug, Clone, Copy)]
@@ -148,11 +148,7 @@ mod tests {
     fn honest_session_violates_bell_and_yields_key() {
         let mut rng = StdRng::seed_from_u64(1);
         let out = run_e91(&E91Params::default(), &mut rng);
-        assert!(
-            (out.chsh_s - 2.0 * std::f64::consts::SQRT_2).abs() < 0.15,
-            "S = {}",
-            out.chsh_s
-        );
+        assert!((out.chsh_s - 2.0 * std::f64::consts::SQRT_2).abs() < 0.15, "S = {}", out.chsh_s);
         assert!(!out.aborted);
         assert!(out.qber < 0.01, "QBER {}", out.qber);
         assert!(!out.key.is_empty());

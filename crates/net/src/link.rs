@@ -3,7 +3,7 @@
 //! (248 km transnational fiber \[5\], 1203 km via satellite \[6\]).
 
 use crate::werner::WernerPair;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A point-to-point entanglement-generation link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,17 +84,12 @@ impl LinkModel {
     /// small length-dependent dephasing.
     pub fn fresh_fidelity(&self) -> f64 {
         let depolarization = 1.0 - (-self.length_km() / 10_000.0).exp();
-        (FRESH_PAIR_FIDELITY * (1.0 - depolarization) + 0.25 * depolarization)
-            .clamp(0.25, 1.0)
+        (FRESH_PAIR_FIDELITY * (1.0 - depolarization) + 0.25 * depolarization).clamp(0.25, 1.0)
     }
 
     /// Runs attempts until a pair is delivered (or `max_attempts` is
     /// exhausted). Returns `(attempts_used, pair)` on success.
-    pub fn try_generate(
-        &self,
-        max_attempts: u64,
-        rng: &mut impl Rng,
-    ) -> Option<(u64, WernerPair)> {
+    pub fn try_generate(&self, max_attempts: u64, rng: &mut impl Rng) -> Option<(u64, WernerPair)> {
         let p = self.attempt_success_probability();
         for attempt in 1..=max_attempts {
             if rng.random::<f64>() < p {
@@ -164,12 +159,8 @@ mod tests {
         assert!(x > 50.0 && x < 500.0, "crossover {x} km");
         let before = x - 30.0;
         let after = x + 30.0;
-        assert!(
-            LinkModel::fiber(before).pair_rate() > LinkModel::satellite(before).pair_rate()
-        );
-        assert!(
-            LinkModel::satellite(after).pair_rate() > LinkModel::fiber(after).pair_rate()
-        );
+        assert!(LinkModel::fiber(before).pair_rate() > LinkModel::satellite(before).pair_rate());
+        assert!(LinkModel::satellite(after).pair_rate() > LinkModel::fiber(after).pair_rate());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use qdm_sim::gates;
 
 use qdm_sim::states::{bell_state, ghz_state, BellState};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Measurement angles (radians, Z–X plane) for each input bit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,12 +105,8 @@ pub fn chsh_classical_optimum() -> f64 {
 }
 
 /// The four promise inputs of the GHZ game: `x ^ y ^ z == 0`.
-pub const GHZ_INPUTS: [(bool, bool, bool); 4] = [
-    (false, false, false),
-    (true, true, false),
-    (true, false, true),
-    (false, true, true),
-];
+pub const GHZ_INPUTS: [(bool, bool, bool); 4] =
+    [(false, false, false), (true, true, false), (true, false, true), (false, true, true)];
 
 /// Exact GHZ winning probability of the standard quantum strategy
 /// (X-basis measurement on input 0, Y-basis on input 1). Win condition:
@@ -143,7 +139,7 @@ pub fn ghz_quantum_value() -> f64 {
 pub fn ghz_sampled(rounds: usize, rng: &mut impl Rng) -> f64 {
     let mut wins = 0usize;
     for _ in 0..rounds {
-        let (x, y, z) = GHZ_INPUTS[rng.random_range(0..4)];
+        let (x, y, z) = GHZ_INPUTS[rng.random_range(0..4usize)];
         let mut state = ghz_state(3);
         for (q, input) in [(0usize, x), (1, y), (2, z)] {
             if input {
@@ -205,10 +201,7 @@ mod tests {
     fn chsh_quantum_beats_classical_in_samples() {
         let mut rng = StdRng::seed_from_u64(7);
         let sampled = chsh_sampled(&ChshStrategy::optimal(), 20_000, &mut rng);
-        assert!(
-            sampled > 0.83 && sampled < 0.875,
-            "sampled CHSH win rate {sampled}"
-        );
+        assert!(sampled > 0.83 && sampled < 0.875, "sampled CHSH win rate {sampled}");
         assert!(sampled > chsh_classical_optimum());
     }
 

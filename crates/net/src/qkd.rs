@@ -9,7 +9,7 @@
 
 use qdm_sim::gates;
 use qdm_sim::state::StateVector;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Parameters of one BB84 session.
 #[derive(Debug, Clone, Copy)]
@@ -113,8 +113,7 @@ pub fn run_bb84(params: &Bb84Params, rng: &mut impl Rng) -> Bb84Outcome {
     }
 
     // Sacrifice a sample for error estimation.
-    let sample_n =
-        ((sifted.len() as f64) * params.sample_fraction).round() as usize;
+    let sample_n = ((sifted.len() as f64) * params.sample_fraction).round() as usize;
     let mut errors = 0usize;
     for &(a, b) in sifted.iter().take(sample_n) {
         if a != b {
@@ -123,11 +122,8 @@ pub fn run_bb84(params: &Bb84Params, rng: &mut impl Rng) -> Bb84Outcome {
     }
     let qber = if sample_n > 0 { errors as f64 / sample_n as f64 } else { 0.0 };
     let aborted = qber > params.qber_threshold;
-    let key: Vec<bool> = if aborted {
-        Vec::new()
-    } else {
-        sifted.iter().skip(sample_n).map(|&(a, _)| a).collect()
-    };
+    let key: Vec<bool> =
+        if aborted { Vec::new() } else { sifted.iter().skip(sample_n).map(|&(a, _)| a).collect() };
     Bb84Outcome {
         sifted_bits: sifted.len(),
         qber,
@@ -170,11 +166,7 @@ mod tests {
     #[test]
     fn mild_noise_survives_with_reduced_rate() {
         let mut rng = StdRng::seed_from_u64(3);
-        let params = Bb84Params {
-            channel_flip: 0.03,
-            n_qubits: 4096,
-            ..Default::default()
-        };
+        let params = Bb84Params { channel_flip: 0.03, n_qubits: 4096, ..Default::default() };
         let out = run_bb84(&params, &mut rng);
         assert!(!out.aborted, "3% noise is under the 11% threshold");
         assert!(out.qber > 0.005 && out.qber < 0.08, "qber {}", out.qber);
@@ -184,11 +176,7 @@ mod tests {
     #[test]
     fn heavy_noise_aborts() {
         let mut rng = StdRng::seed_from_u64(4);
-        let params = Bb84Params {
-            channel_flip: 0.2,
-            n_qubits: 2048,
-            ..Default::default()
-        };
+        let params = Bb84Params { channel_flip: 0.2, n_qubits: 2048, ..Default::default() };
         let out = run_bb84(&params, &mut rng);
         assert!(out.aborted);
     }

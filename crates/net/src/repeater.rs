@@ -146,7 +146,8 @@ mod tests {
 
     #[test]
     fn purification_recovers_fidelity_at_rate_cost() {
-        let plain = RepeaterChain { purification_rounds: 0, ..RepeaterChain::with_segments(500.0, 8) };
+        let plain =
+            RepeaterChain { purification_rounds: 0, ..RepeaterChain::with_segments(500.0, 8) };
         let pumped = RepeaterChain { purification_rounds: 2, ..plain };
         let p0 = plain.performance();
         let p2 = pumped.performance();

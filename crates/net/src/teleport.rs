@@ -12,7 +12,7 @@ use qdm_sim::complex::{Complex64, C_ZERO};
 use qdm_sim::gates;
 use qdm_sim::state::StateVector;
 use qdm_sim::states::{bell_state, BellState};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Outcome of one teleportation: Bob's reconstructed qubit and Alice's two
 /// classical correction bits.
@@ -61,10 +61,9 @@ pub fn teleport_over(
     amps[0] = a0;
     amps[1] = a1;
     let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
-    let delivered = StateVector::from_amplitudes(
-        amps.into_iter().map(|a| a.scale(1.0 / norm)).collect(),
-    )
-    .expect("post-measurement state is a valid qubit");
+    let delivered =
+        StateVector::from_amplitudes(amps.into_iter().map(|a| a.scale(1.0 / norm)).collect())
+            .expect("post-measurement state is a valid qubit");
     TeleportOutcome { delivered, m_payload, m_pair }
 }
 
@@ -77,11 +76,7 @@ pub fn teleport(payload: &StateVector, rng: &mut impl Rng) -> TeleportOutcome {
 /// the resource collapses to `|Phi+>` with probability `F` and to each
 /// other Bell state with probability `(1-F)/3`. Returns the fidelity of
 /// the delivered state against the payload.
-pub fn teleport_over_werner(
-    payload: &StateVector,
-    pair: WernerPair,
-    rng: &mut impl Rng,
-) -> f64 {
+pub fn teleport_over_werner(payload: &StateVector, pair: WernerPair, rng: &mut impl Rng) -> f64 {
     let f = pair.fidelity;
     let r: f64 = rng.random::<f64>();
     let which = if r < f {
@@ -100,11 +95,7 @@ pub fn teleport_over_werner(
 /// Monte-Carlo estimate of the average teleportation fidelity over a
 /// Werner pair, sampling Haar-ish random payloads. Converges to
 /// `(2F + 1)/3`.
-pub fn average_werner_fidelity(
-    pair: WernerPair,
-    samples: usize,
-    rng: &mut impl Rng,
-) -> f64 {
+pub fn average_werner_fidelity(pair: WernerPair, samples: usize, rng: &mut impl Rng) -> f64 {
     let mut total = 0.0;
     for _ in 0..samples {
         let payload = random_qubit(rng);
@@ -117,10 +108,8 @@ pub fn average_werner_fidelity(
 pub fn random_qubit(rng: &mut impl Rng) -> StateVector {
     let theta = (1.0 - 2.0 * rng.random::<f64>()).acos();
     let phi = rng.random::<f64>() * std::f64::consts::TAU;
-    let amps = vec![
-        Complex64::real((theta / 2.0).cos()),
-        Complex64::from_polar((theta / 2.0).sin(), phi),
-    ];
+    let amps =
+        vec![Complex64::real((theta / 2.0).cos()), Complex64::from_polar((theta / 2.0).sin(), phi)];
     StateVector::from_amplitudes(amps).expect("Bloch-sphere point is normalized")
 }
 

@@ -169,7 +169,9 @@ mod tests {
     #[test]
     fn chsh_violation_threshold() {
         assert!(WernerPair::perfect().chsh_value() > 2.0);
-        assert!((WernerPair::perfect().chsh_value() - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(
+            (WernerPair::perfect().chsh_value() - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-12
+        );
         assert!(WernerPair::new(0.7).chsh_value() < 2.0);
     }
 

@@ -45,10 +45,7 @@ pub fn balanced_template(n: usize) -> JoinTree {
             [s] => JoinTree::Leaf(*s),
             _ => {
                 let mid = slots.len() / 2;
-                JoinTree::Join(
-                    Box::new(build(&slots[..mid])),
-                    Box::new(build(&slots[mid..])),
-                )
+                JoinTree::Join(Box::new(build(&slots[..mid])), Box::new(build(&slots[mid..])))
             }
         }
     }
@@ -171,6 +168,7 @@ impl DmProblem for JoinOrderProblem {
         n * n
     }
 
+    #[allow(clippy::needless_range_loop)] // index math mirrors the paper's QUBO sums
     fn to_qubo(&self) -> QuboModel {
         let n = self.n_relations();
         let mut q = QuboModel::new(n * n);
@@ -241,8 +239,7 @@ impl DmProblem for JoinOrderProblem {
         let mut used = vec![false; n];
         // Keep unambiguous claims.
         for l in 0..n {
-            let claims: Vec<usize> =
-                (0..n).filter(|&r| bits[self.var(r, l)] && !used[r]).collect();
+            let claims: Vec<usize> = (0..n).filter(|&r| bits[self.var(r, l)] && !used[r]).collect();
             if let [r] = claims[..] {
                 relation_of_slot[l] = r;
                 used[r] = true;

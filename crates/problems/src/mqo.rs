@@ -15,7 +15,7 @@
 use qdm_core::problem::{Decoded, DmProblem};
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::penalty;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// An MQO instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,8 +45,7 @@ impl MqoInstance {
         assert!(n_queries >= 1 && plans_per_query >= 1);
         let n_plans = n_queries * plans_per_query;
         let plan_query: Vec<usize> = (0..n_plans).map(|p| p / plans_per_query).collect();
-        let plan_cost: Vec<f64> =
-            (0..n_plans).map(|_| rng.random_range(10.0..100.0)).collect();
+        let plan_cost: Vec<f64> = (0..n_plans).map(|_| rng.random_range(10.0..100.0)).collect();
         let mut savings = Vec::new();
         for p in 0..n_plans {
             for q in (p + 1)..n_plans {
@@ -119,9 +118,7 @@ impl MqoInstance {
             .map(|q| {
                 self.plans_of(q)
                     .into_iter()
-                    .min_by(|&a, &b| {
-                        self.plan_cost[a].total_cmp(&self.plan_cost[b])
-                    })
+                    .min_by(|&a, &b| self.plan_cost[a].total_cmp(&self.plan_cost[b]))
                     .expect("query has plans")
             })
             .collect();
@@ -173,12 +170,8 @@ impl MqoProblem {
     pub fn selection(&self, bits: &[bool]) -> Option<Vec<usize>> {
         let mut selection = Vec::with_capacity(self.instance.n_queries);
         for q in 0..self.instance.n_queries {
-            let chosen: Vec<usize> = self
-                .instance
-                .plans_of(q)
-                .into_iter()
-                .filter(|&p| bits[p])
-                .collect();
+            let chosen: Vec<usize> =
+                self.instance.plans_of(q).into_iter().filter(|&p| bits[p]).collect();
             if chosen.len() != 1 {
                 return None;
             }
@@ -240,12 +233,16 @@ impl DmProblem for MqoProblem {
                 0 => plans
                     .iter()
                     .copied()
-                    .min_by(|&a, &b| self.instance.plan_cost[a].total_cmp(&self.instance.plan_cost[b]))
+                    .min_by(|&a, &b| {
+                        self.instance.plan_cost[a].total_cmp(&self.instance.plan_cost[b])
+                    })
                     .expect("query has plans"),
                 _ => chosen
                     .iter()
                     .copied()
-                    .min_by(|&a, &b| self.instance.plan_cost[a].total_cmp(&self.instance.plan_cost[b]))
+                    .min_by(|&a, &b| {
+                        self.instance.plan_cost[a].total_cmp(&self.instance.plan_cost[b])
+                    })
                     .expect("nonempty"),
             };
             out[keep] = true;

@@ -11,7 +11,7 @@
 use qdm_core::problem::{Decoded, DmProblem};
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::penalty;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// An attribute: name plus a coarse data type.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,8 +132,7 @@ impl MatchingInstance {
                     .attributes
                     .iter()
                     .map(|ta| {
-                        (sa.data_type == ta.data_type)
-                            .then(|| name_similarity(&sa.name, &ta.name))
+                        (sa.data_type == ta.data_type).then(|| name_similarity(&sa.name, &ta.name))
                     })
                     .collect()
             })
@@ -160,6 +159,7 @@ impl MatchingInstance {
 
     /// Exact maximum-weight one-to-one matching via DP over target subsets
     /// (`O(n_source * 2^n_target)`); targets capped at 20 attributes.
+    #[allow(clippy::needless_range_loop)] // bitmask DP indexes two tables in lockstep
     pub fn exact_matching(&self) -> (Vec<Option<usize>>, f64) {
         let nt = self.target.len();
         assert!(nt <= 20, "exact matching caps at 20 target attributes");
@@ -248,15 +248,8 @@ impl MatchingInstance {
 }
 
 /// Precision / recall of a predicted matching against ground truth.
-pub fn precision_recall(
-    predicted: &[Option<usize>],
-    truth: &[Option<usize>],
-) -> (f64, f64) {
-    let tp = predicted
-        .iter()
-        .zip(truth)
-        .filter(|(p, t)| p.is_some() && p == t)
-        .count() as f64;
+pub fn precision_recall(predicted: &[Option<usize>], truth: &[Option<usize>]) -> (f64, f64) {
+    let tp = predicted.iter().zip(truth).filter(|(p, t)| p.is_some() && p == t).count() as f64;
     let predicted_n = predicted.iter().filter(|p| p.is_some()).count() as f64;
     let truth_n = truth.iter().filter(|t| t.is_some()).count() as f64;
     let precision = if predicted_n > 0.0 { tp / predicted_n } else { 1.0 };
@@ -301,10 +294,8 @@ pub fn generate_benchmark(
         target_attrs.push(Attribute { name: renamed, data_type: *ty });
     }
     for k in 0..noise {
-        target_attrs.push(Attribute {
-            name: format!("unrelated_column_{k}"),
-            data_type: DataType::Text,
-        });
+        target_attrs
+            .push(Attribute { name: format!("unrelated_column_{k}"), data_type: DataType::Text });
     }
     let target = Schema { attributes: target_attrs };
     (MatchingInstance::new(source, target), truth)
@@ -355,11 +346,7 @@ impl SchemaMatchingProblem {
 
 impl DmProblem for SchemaMatchingProblem {
     fn name(&self) -> String {
-        format!(
-            "SchemaMatching({}x{})",
-            self.instance.source.len(),
-            self.instance.target.len()
-        )
+        format!("SchemaMatching({}x{})", self.instance.source.len(), self.instance.target.len())
     }
 
     fn n_vars(&self) -> usize {

@@ -51,8 +51,7 @@ impl TxnScheduleProblem {
     pub fn schedule(&self, bits: &[bool]) -> Option<TxnSchedule> {
         let mut start = vec![0usize; self.txns.len()];
         for (t, s) in start.iter_mut().enumerate() {
-            let slots: Vec<usize> =
-                (0..self.horizon).filter(|&sl| bits[self.var(t, sl)]).collect();
+            let slots: Vec<usize> = (0..self.horizon).filter(|&sl| bits[self.var(t, sl)]).collect();
             if slots.len() != 1 {
                 return None;
             }
@@ -102,11 +101,7 @@ impl DmProblem for TxnScheduleProblem {
                     for sb in 0..self.horizon {
                         let overlap = sa < sb + tb.duration && sb < sa + ta.duration;
                         if overlap {
-                            q.add_quadratic(
-                                self.var(a, sa),
-                                self.var(b, sb),
-                                self.penalty_weight,
-                            );
+                            q.add_quadratic(self.var(a, sa), self.var(b, sb), self.penalty_weight);
                         }
                     }
                 }
@@ -148,9 +143,8 @@ impl DmProblem for TxnScheduleProblem {
         // earliest claimed slot first, unplaced transactions last.
         let mut priority: Vec<(usize, usize)> = (0..self.txns.len())
             .map(|t| {
-                let first = (0..self.horizon)
-                    .find(|&s| bits[self.var(t, s)])
-                    .unwrap_or(self.horizon);
+                let first =
+                    (0..self.horizon).find(|&s| bits[self.var(t, s)]).unwrap_or(self.horizon);
                 (first, t)
             })
             .collect();
@@ -191,9 +185,8 @@ pub fn grover_schedule_search(
     assert!(n_qubits <= 20, "Grover register too wide ({n_qubits} qubits)");
     let horizon = 1usize << bits_per_txn;
     let decode = |index: usize| -> TxnSchedule {
-        let start = (0..txns.len())
-            .map(|t| (index >> (t * bits_per_txn)) & (horizon - 1))
-            .collect();
+        let start =
+            (0..txns.len()).map(|t| (index >> (t * bits_per_txn)) & (horizon - 1)).collect();
         TxnSchedule { start }
     };
     let total: usize = txns.iter().map(|t| t.duration).sum();
@@ -243,11 +236,7 @@ mod tests {
 
     /// Two conflicting transactions and one independent one.
     fn workload() -> Vec<Transaction> {
-        vec![
-            txn(0, &[], &[0], 2),
-            txn(1, &[0], &[], 2),
-            txn(2, &[], &[5], 1),
-        ]
+        vec![txn(0, &[], &[0], 2), txn(1, &[0], &[], 2), txn(2, &[], &[5], 1)]
     }
 
     #[test]
@@ -262,8 +251,7 @@ mod tests {
 
     #[test]
     fn qubo_beats_serial_when_parallelism_exists() {
-        let txns =
-            vec![txn(0, &[], &[0], 2), txn(1, &[], &[1], 2), txn(2, &[], &[2], 2)];
+        let txns = vec![txn(0, &[], &[0], 2), txn(1, &[], &[1], 2), txn(2, &[], &[2], 2)];
         let serial = serial_schedule(&txns).makespan(&txns);
         let problem = TxnScheduleProblem::new(txns, 3);
         let res = solve_exact(&problem.to_qubo());
@@ -307,9 +295,8 @@ mod tests {
 
     #[test]
     fn horizon_validation() {
-        let result = std::panic::catch_unwind(|| {
-            TxnScheduleProblem::new(vec![txn(0, &[], &[0], 5)], 3)
-        });
+        let result =
+            std::panic::catch_unwind(|| TxnScheduleProblem::new(vec![txn(0, &[], &[0], 5)], 3));
         assert!(result.is_err());
     }
 }

@@ -11,7 +11,7 @@
 use qdm_algos::vqc::Vqc;
 use qdm_db::plan::CostModel;
 use qdm_db::query::QueryGraph;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A Q-learning agent whose Q-function is a variational quantum circuit.
 #[derive(Debug, Clone)]
@@ -79,9 +79,7 @@ impl VqcJoinAgent {
             let best = self
                 .legal_actions(mask)
                 .into_iter()
-                .max_by(|&a, &b| {
-                    self.q_value(mask, a).total_cmp(&self.q_value(mask, b))
-                })
+                .max_by(|&a, &b| self.q_value(mask, a).total_cmp(&self.q_value(mask, b)))
                 .expect("legal actions remain");
             order.push(best);
             mask |= 1u64 << best;
@@ -104,12 +102,7 @@ impl VqcJoinAgent {
 
     /// Runs one epsilon-greedy training episode; returns the mean squared
     /// TD error.
-    pub fn train_episode(
-        &mut self,
-        graph: &QueryGraph,
-        epsilon: f64,
-        rng: &mut impl Rng,
-    ) -> f64 {
+    pub fn train_episode(&mut self, graph: &QueryGraph, epsilon: f64, rng: &mut impl Rng) -> f64 {
         let cm = CostModel::new(graph);
         let start = rng.random_range(0..self.n_relations);
         let mut mask = 1u64 << start;

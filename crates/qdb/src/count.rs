@@ -29,13 +29,8 @@ impl QuantumDatabase {
         runs: usize,
         rng: &mut impl Rng,
     ) -> SelectivityEstimate {
-        let counting = quantum_count_median(
-            self.n_qubits(),
-            t_bits,
-            runs,
-            |x| pred(self.record(x)),
-            rng,
-        );
+        let counting =
+            quantum_count_median(self.n_qubits(), t_bits, runs, |x| pred(self.record(x)), rng);
         SelectivityEstimate {
             selectivity: counting.estimate / self.len() as f64,
             cardinality: counting.estimate,

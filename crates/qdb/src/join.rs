@@ -36,8 +36,7 @@ pub fn quantum_join(
     let mut quantum = 0u64;
     let mut classical = 0u64;
     loop {
-        let exclude: Vec<usize> =
-            pairs.iter().map(|&(i, j)| i | (j << n1_qubits)).collect();
+        let exclude: Vec<usize> = pairs.iter().map(|&(i, j)| i | (j << n1_qubits)).collect();
         let mut oracle = OracleCounter::new(|x: usize| {
             let (i, j) = decode(x);
             left_key(i) == right_key(j) && !exclude.contains(&x)

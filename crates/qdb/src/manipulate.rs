@@ -60,12 +60,8 @@ impl SuperposedDatabase {
         for &id in &set {
             assert!(id < cap, "label {id} out of range");
         }
-        let mut db = Self {
-            n_qubits,
-            ids: set,
-            state: StateVector::new(n_qubits),
-            gate_estimate: 0,
-        };
+        let mut db =
+            Self { n_qubits, ids: set, state: StateVector::new(n_qubits), gate_estimate: 0 };
         db.resynthesize();
         // Initial load: one multi-controlled rotation per record (Younes-
         // style synthesis is linear in the records loaded).

@@ -54,11 +54,7 @@ impl QuantumDatabase {
     /// A database of single-field records from raw values.
     pub fn from_values(values: Vec<i64>) -> Self {
         Self::new(
-            values
-                .into_iter()
-                .enumerate()
-                .map(|(id, v)| Record { id, fields: vec![v] })
-                .collect(),
+            values.into_iter().enumerate().map(|(id, v)| Record { id, fields: vec![v] }).collect(),
         )
     }
 
@@ -130,9 +126,8 @@ impl QuantumDatabase {
         let mut classical = 0u64;
         loop {
             let exclude = found.clone();
-            let mut oracle = OracleCounter::new(|x: usize| {
-                pred(&records[x]) && !exclude.contains(&x)
-            });
+            let mut oracle =
+                OracleCounter::new(|x: usize| pred(&records[x]) && !exclude.contains(&x));
             match bbht_search(self.n_qubits, &mut oracle, rng) {
                 Some(id) => {
                     quantum += oracle.quantum_queries;
@@ -160,11 +155,7 @@ impl QuantumDatabase {
         let records = &self.records;
         let mut oracle = OracleCounter::new(move |x: usize| pred(&records[x]));
         let found = classical_linear_search(self.len(), &mut oracle);
-        SearchReport {
-            found,
-            quantum_queries: 0,
-            classical_probes: oracle.classical_queries,
-        }
+        SearchReport { found, quantum_queries: 0, classical_probes: oracle.classical_queries }
     }
 
     /// The theoretical optimal Grover iteration count for `m` matches.
@@ -185,8 +176,7 @@ mod tests {
 
     #[test]
     fn construction_validates_shape() {
-        assert!(std::panic::catch_unwind(|| QuantumDatabase::from_values(vec![1, 2, 3]))
-            .is_err());
+        assert!(std::panic::catch_unwind(|| QuantumDatabase::from_values(vec![1, 2, 3])).is_err());
         let d = db(4);
         assert_eq!(d.len(), 16);
         assert_eq!(d.n_qubits(), 4);
@@ -208,7 +198,7 @@ mod tests {
     fn quantum_beats_classical_on_queries() {
         let mut rng = StdRng::seed_from_u64(2);
         let d = db(8); // 256 records
-        // A unique late record so the classical scan pays ~N.
+                       // A unique late record so the classical scan pays ~N.
         let report_q = d.search_known(|r| r.id == 251, 1, &mut rng);
         let report_c = d.classical_search(|r| r.id == 251);
         assert_eq!(report_q.found, Some(251));

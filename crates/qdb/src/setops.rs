@@ -52,8 +52,7 @@ pub fn quantum_set_op(
     let mut classical = 0u64;
     loop {
         let exclude = elements.clone();
-        let mut oracle =
-            OracleCounter::new(|x: usize| composed(x) && !exclude.contains(&x));
+        let mut oracle = OracleCounter::new(|x: usize| composed(x) && !exclude.contains(&x));
         let found = bbht_search(n_qubits, &mut oracle, rng);
         quantum += oracle.quantum_queries;
         classical += oracle.classical_queries;
@@ -144,14 +143,9 @@ mod tests {
     fn sparse_result_uses_fewer_queries_than_classical_scan() {
         // 10-qubit universe (1024 labels), tiny result set.
         let mut rng = StdRng::seed_from_u64(5);
-        let q = quantum_set_op(
-            10,
-            SetOp::Intersection,
-            |x| x % 97 == 0,
-            |x| x % 2 == 0,
-            &mut rng,
-        );
-        let (c, probes) = classical_set_op(10, SetOp::Intersection, |x| x % 97 == 0, |x| x % 2 == 0);
+        let q = quantum_set_op(10, SetOp::Intersection, |x| x % 97 == 0, |x| x % 2 == 0, &mut rng);
+        let (c, probes) =
+            classical_set_op(10, SetOp::Intersection, |x| x % 97 == 0, |x| x % 2 == 0);
         assert_eq!(q.elements, c);
         assert!(
             q.quantum_queries < probes / 2,

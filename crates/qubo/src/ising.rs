@@ -169,10 +169,7 @@ mod tests {
         for idx in 0..16 {
             let bits = bits_from_index(idx, 4);
             let spins = IsingModel::spins_from_bits(&bits);
-            assert!(
-                (q.energy(&bits) - ising.energy(&spins)).abs() < 1e-12,
-                "mismatch at {idx}"
-            );
+            assert!((q.energy(&bits) - ising.energy(&spins)).abs() < 1e-12, "mismatch at {idx}");
         }
     }
 

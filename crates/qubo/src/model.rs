@@ -196,6 +196,41 @@ impl QuboModel {
         models.into_iter().zip(var_maps).collect()
     }
 
+    /// A canonical 64-bit fingerprint of the model: FNV-1a over the variable
+    /// count, every linear coefficient, the sorted non-zero couplings, and
+    /// the offset (all `f64`s hashed by IEEE-754 bit pattern, `-0.0`
+    /// normalized to `0.0`).
+    ///
+    /// Two models built through any sequence of `add_*` calls that produce
+    /// the same coefficients fingerprint identically, because storage is
+    /// already canonical: upper-triangular sorted keys with zero couplings
+    /// pruned. `qdm-runtime` keys its result cache on this, so repeated
+    /// encodings of the same MQO / join-ordering instance are served without
+    /// re-solving.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let f64_bits = |x: f64| if x == 0.0 { 0u64 } else { x.to_bits() };
+        eat(self.n_vars as u64);
+        for &w in &self.linear {
+            eat(f64_bits(w));
+        }
+        for (&(i, j), &w) in &self.quadratic {
+            eat(i as u64);
+            eat(j as u64);
+            eat(f64_bits(w));
+        }
+        eat(f64_bits(self.offset));
+        h
+    }
+
     /// A lower bound on the energy: offset plus all negative coefficients.
     pub fn naive_lower_bound(&self) -> f64 {
         let mut b = self.offset;
@@ -308,6 +343,48 @@ mod tests {
         let adj = q.neighbor_lists();
         assert_eq!(adj[0], vec![(2, 2.5)]);
         assert_eq!(adj[2], vec![(0, 2.5), (1, -1.0)]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_canonical() {
+        let mut a = QuboModel::new(4);
+        a.add_linear(0, 1.5).add_quadratic(0, 1, 2.0).add_quadratic(2, 3, -1.0);
+        let mut b = QuboModel::new(4);
+        b.add_quadratic(3, 2, -1.0).add_quadratic(1, 0, 2.0).add_linear(0, 1.5);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Cancelled couplings are pruned, so they do not perturb the hash.
+        let mut c = QuboModel::new(4);
+        c.add_linear(0, 1.5)
+            .add_quadratic(0, 1, 2.0)
+            .add_quadratic(2, 3, -1.0)
+            .add_quadratic(1, 3, 4.0)
+            .add_quadratic(1, 3, -4.0);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_models() {
+        let mut a = QuboModel::new(3);
+        a.add_linear(0, 1.0);
+        let mut b = QuboModel::new(3);
+        b.add_linear(1, 1.0);
+        let mut c = QuboModel::new(3);
+        c.add_linear(0, 1.0 + 1e-12);
+        let mut d = QuboModel::new(4);
+        d.add_linear(0, 1.0);
+        let prints = [a.fingerprint(), b.fingerprint(), c.fingerprint(), d.fingerprint()];
+        for (i, x) in prints.iter().enumerate() {
+            for y in &prints[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+        // Signed zero must not split cache keys.
+        let mut z1 = QuboModel::new(1);
+        z1.add_linear(0, 0.0);
+        let mut z2 = QuboModel::new(1);
+        z2.add_linear(0, -0.0);
+        assert_eq!(z1.fingerprint(), z2.fingerprint());
     }
 
     #[test]

@@ -71,10 +71,7 @@ pub fn penalty_weight(objective: &QuboModel) -> f64 {
 
 /// Counts how many of the `exactly_one` groups are violated by `x`.
 pub fn count_one_hot_violations(groups: &[Vec<usize>], x: &[bool]) -> usize {
-    groups
-        .iter()
-        .filter(|g| g.iter().filter(|&&i| x[i]).count() != 1)
-        .count()
+    groups.iter().filter(|g| g.iter().filter(|&&i| x[i]).count() != 1).count()
 }
 
 #[cfg(test)]

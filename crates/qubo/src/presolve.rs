@@ -53,16 +53,10 @@ pub fn presolve(q: &QuboModel) -> Presolved {
                 continue;
             }
             let lin = work.linear(i);
-            let neg: f64 = adj[i]
-                .iter()
-                .filter(|(j, _)| fixed[*j].is_none())
-                .map(|&(_, w)| w.min(0.0))
-                .sum();
-            let pos: f64 = adj[i]
-                .iter()
-                .filter(|(j, _)| fixed[*j].is_none())
-                .map(|&(_, w)| w.max(0.0))
-                .sum();
+            let neg: f64 =
+                adj[i].iter().filter(|(j, _)| fixed[*j].is_none()).map(|&(_, w)| w.min(0.0)).sum();
+            let pos: f64 =
+                adj[i].iter().filter(|(j, _)| fixed[*j].is_none()).map(|&(_, w)| w.max(0.0)).sum();
             // Note: couplings to already-fixed variables were folded into the
             // linear term when the partner was fixed, so they are excluded.
             let value = if lin + neg >= 0.0 {
@@ -113,11 +107,7 @@ pub fn presolve(q: &QuboModel) -> Presolved {
     Presolved {
         reduced,
         free_vars,
-        fixed: fixed
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.map(|b| (i, b)))
-            .collect(),
+        fixed: fixed.iter().enumerate().filter_map(|(i, v)| v.map(|b| (i, b))).collect(),
     }
 }
 

@@ -2,7 +2,7 @@
 //! [`SolveResult`] record every solver in the workspace reports.
 
 use crate::model::{bits_from_index, QuboModel};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::time::Instant;
 
 /// Outcome of a QUBO solve: best assignment found plus solver telemetry.

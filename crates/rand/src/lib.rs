@@ -1,0 +1,287 @@
+//! # rand (workspace shim)
+//!
+//! A minimal, dependency-free, fully deterministic reimplementation of the
+//! `rand` API surface used by this workspace. The build environment has no
+//! access to crates.io, so the workspace vendors its own generator instead:
+//! [`rngs::StdRng`] is xoshiro256++ seeded via SplitMix64, which passes the
+//! usual statistical smoke tests and — more importantly for this repo —
+//! guarantees bit-identical streams across platforms and runs for the same
+//! `seed_from_u64` seed. Every experiment and test in the workspace relies on
+//! that reproducibility contract.
+//!
+//! Exposed surface (matching the call sites across the workspace):
+//!
+//! - `rand::rngs::StdRng` + [`SeedableRng::seed_from_u64`];
+//! - [`RngExt::random::<T>()`](RngExt::random) for `bool`, floats, ints;
+//! - [`RngExt::random_range(a..b)`](RngExt::random_range) for int and float
+//!   ranges (half-open and inclusive);
+//! - `Rng` as an alias of [`RngExt`] so both import styles work.
+
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a generator.
+pub trait Random: Sized {
+    /// Draws a uniform value.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Convenience methods available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random_from(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// The historical name for the extension trait; same trait, either import
+/// style (`use rand::Rng;` or `use rand::RngExt;`) works.
+pub use RngExt as Rng;
+
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! int_random {
+    ($($t:ty),* $(,)?) => {$(
+        impl Random for $t {
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_random!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                let span = (e as i128 - s as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (s as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = Random::random_from(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                let unit: $t = Random::random_from(rng);
+                s + (e - s) * unit
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
+    /// seeded through SplitMix64. Deterministic across platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut state);
+            }
+            // All-zero state is the one invalid xoshiro state.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = <StdRng as SeedableRng>::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_cover() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            lo |= x < 0.1;
+            hi |= x > 0.9;
+        }
+        assert!(lo && hi, "both tails should be hit in 10k draws");
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut seen_incl = [false; 4];
+        for _ in 0..1_000 {
+            seen_incl[rng.random_range(0..=3usize)] = true;
+        }
+        assert!(seen_incl.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn negative_int_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let v: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_scale() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1_000 {
+            let v = rng.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let heads = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "heads: {heads}");
+    }
+}

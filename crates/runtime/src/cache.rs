@@ -1,0 +1,186 @@
+//! The result cache: completed [`PipelineReport`]s keyed by a canonical
+//! fingerprint of the *work*, so repeated submissions of the same encoding —
+//! the common case when the same MQO or join-ordering instance arrives again
+//! — are served without re-solving.
+//!
+//! The key combines the QUBO's canonical fingerprint
+//! ([`qdm_qubo::model::QuboModel::fingerprint`]) with the pipeline options,
+//! the job seed, and the requested backend. Under fixed seeds every pipeline
+//! stage is deterministic, so a hit returns a **bit-identical** report to
+//! what re-solving would have produced; the cache trades memory for latency
+//! without changing any observable result.
+
+use qdm_core::pipeline::{PipelineOptions, PipelineReport};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Cache key: canonical work identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The problem's [`qdm_core::problem::DmProblem::name`]. Two different
+    /// problem types can encode to coefficient-identical QUBOs while
+    /// decoding/repairing differently; the name keeps their entries apart.
+    pub problem: String,
+    /// Canonical QUBO fingerprint.
+    pub qubo_fingerprint: u64,
+    /// Pipeline options, packed (presolve | decompose<<1 | repair<<2).
+    pub options_bits: u8,
+    /// Per-job RNG seed.
+    pub seed: u64,
+    /// Requested backend name, or `None` for portfolio ("auto") routing.
+    pub backend: Option<String>,
+}
+
+impl CacheKey {
+    /// Builds a key from job parameters.
+    pub fn new(
+        problem: String,
+        qubo_fingerprint: u64,
+        options: &PipelineOptions,
+        seed: u64,
+        backend: Option<&str>,
+    ) -> Self {
+        let options_bits = (options.presolve as u8)
+            | ((options.decompose as u8) << 1)
+            | ((options.repair as u8) << 2);
+        Self { problem, qubo_fingerprint, options_bits, seed, backend: backend.map(str::to_string) }
+    }
+}
+
+/// A cached completed job.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The full pipeline report served to repeated submissions.
+    pub report: PipelineReport,
+    /// Name of the backend that produced it.
+    pub backend: String,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, CachedResult>,
+    /// Insertion order for FIFO eviction (deterministic, no clocks).
+    order: VecDeque<CacheKey>,
+}
+
+/// A bounded, thread-safe result cache with FIFO eviction.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a completed result.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
+        self.inner.lock().expect("cache lock").map.get(key).cloned()
+    }
+
+    /// Inserts a completed result, evicting the oldest entry when full.
+    /// First-writer-wins on races: a duplicate insert (two workers solving
+    /// the same key concurrently) keeps the existing entry so later hits stay
+    /// consistent with earlier responses.
+    pub fn insert(&self, key: CacheKey, value: CachedResult) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, value);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdm_core::problem::Decoded;
+
+    fn report(tag: &str) -> PipelineReport {
+        PipelineReport {
+            problem: tag.to_string(),
+            solver: "exact".to_string(),
+            n_vars: 2,
+            max_subproblem_vars: 2,
+            components: 1,
+            presolve_fixed: 0,
+            bits: vec![true, false],
+            energy: -1.0,
+            decoded: Decoded { feasible: true, objective: -1.0, summary: tag.into() },
+            evaluations: 4,
+            seconds: 0.0,
+        }
+    }
+
+    fn key(fp: u64) -> CacheKey {
+        CacheKey::new("p".into(), fp, &PipelineOptions::default(), 7, None)
+    }
+
+    #[test]
+    fn hit_returns_inserted_report() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), CachedResult { report: report("a"), backend: "exact".into() });
+        let hit = cache.get(&key(1)).expect("hit");
+        assert_eq!(hit.report.problem, "a");
+        assert_eq!(hit.backend, "exact");
+    }
+
+    #[test]
+    fn distinct_options_seeds_and_backends_do_not_collide() {
+        let opts = PipelineOptions::default();
+        let presolve = PipelineOptions { presolve: true, ..Default::default() };
+        let a = CacheKey::new("mqo".into(), 1, &opts, 7, None);
+        let b = CacheKey::new("mqo".into(), 1, &presolve, 7, None);
+        let c = CacheKey::new("mqo".into(), 1, &opts, 8, None);
+        let d = CacheKey::new("mqo".into(), 1, &opts, 7, Some("tabu"));
+        let e = CacheKey::new("join".into(), 1, &opts, 7, None);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(a, e, "same QUBO, different problem type: distinct entries");
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_size() {
+        let cache = ResultCache::new(2);
+        for fp in 0..5u64 {
+            cache.insert(key(fp), CachedResult { report: report("r"), backend: "e".into() });
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(0)).is_none(), "oldest entries evicted");
+        assert!(cache.get(&key(4)).is_some(), "newest entry retained");
+    }
+
+    #[test]
+    fn first_writer_wins_on_duplicate_insert() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1), CachedResult { report: report("first"), backend: "e".into() });
+        cache.insert(key(1), CachedResult { report: report("second"), backend: "e".into() });
+        assert_eq!(cache.get(&key(1)).unwrap().report.problem, "first");
+        assert_eq!(cache.len(), 1);
+    }
+}

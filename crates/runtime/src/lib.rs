@@ -1,0 +1,49 @@
+//! # qdm-runtime — the concurrent solver service
+//!
+//! The paper's Fig. 2 roadmap ends at a single reformulate-solve-decode
+//! pass; this crate is what a *system* wraps around that pass, following the
+//! hybrid serving architecture of Zajac & Störl ("Hybrid Data Management
+//! Architecture for Present Quantum Computing", 2024) and the quantum-data-
+//! center framing of Liu & Jiang (2023): classical orchestration in front of
+//! a portfolio of (simulated) quantum and classical backends.
+//!
+//! - [`registry`] — every [`qdm_core::solver::QuboSolver`] backend with its
+//!   capability snapshot ([`registry::SolverSpec`]): `max_vars`, Fig. 2
+//!   branch, static cost prior;
+//! - [`service`] — the job queue + worker pool ([`service::SolverService`]):
+//!   batches of [`qdm_core::problem::DmProblem`]s run through
+//!   [`qdm_core::pipeline::run_pipeline`] concurrently, each job under its
+//!   own seeded RNG so results are reproducible regardless of scheduling;
+//! - [`cache`] — the result cache keyed by canonical QUBO fingerprint
+//!   ([`qdm_qubo::model::QuboModel::fingerprint`]) + options + seed, serving
+//!   repeated instances bit-identically without re-solving;
+//! - [`portfolio`] — the adaptive scheduler routing each job by size and
+//!   observed latency/energy-quality telemetry;
+//! - [`metrics`] — counters, a log-scale latency histogram, and the
+//!   [`metrics::RuntimeReport`] snapshot.
+//!
+//! See `examples/solver_service.rs` at the workspace root for the
+//! end-to-end tour: a mixed MQO / join-ordering / transaction-scheduling
+//! batch fanned out across backends, then resubmitted to show cache hits.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod portfolio;
+pub mod registry;
+pub mod service;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::cache::{CacheKey, CachedResult, ResultCache};
+    pub use crate::metrics::{Metrics, RuntimeReport};
+    pub use crate::portfolio::{BackendStats, PortfolioScheduler};
+    pub use crate::registry::{RegisteredSolver, SolverRegistry, SolverSpec};
+    pub use crate::service::{
+        BackendChoice, JobError, JobOutcome, JobResult, JobSpec, ServiceConfig, SharedProblem,
+        SolverService,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,196 @@
+//! Runtime telemetry: lock-free counters, a log-scale latency histogram,
+//! and the [`RuntimeReport`] snapshot the service surfaces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of power-of-two latency buckets: bucket `i` counts solves whose
+/// wall time fell in `[2^i, 2^(i+1))` microseconds; the last bucket is
+/// open-ended.
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// Thread-safe runtime counters, updated by workers as jobs complete.
+#[derive(Default)]
+pub struct Metrics {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    solve_seconds_total_micros: AtomicU64,
+    per_backend: Mutex<Vec<(String, u64)>>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` newly submitted jobs.
+    pub fn on_submit(&self, n: u64) {
+        self.jobs_submitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a job served from the result cache.
+    pub fn on_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job that missed the cache and was solved on `backend` in
+    /// `seconds` of wall time.
+    pub fn on_solved(&self, backend: &str, seconds: f64) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        let micros = (seconds * 1e6).max(0.0) as u64;
+        self.solve_seconds_total_micros.fetch_add(micros, Ordering::Relaxed);
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        let mut per = self.per_backend.lock().expect("metrics lock");
+        match per.iter_mut().find(|(name, _)| name == backend) {
+            Some((_, count)) => *count += 1,
+            None => per.push((backend.to_string(), 1)),
+        }
+    }
+
+    /// Records a job that could not be placed on any backend.
+    pub fn on_failed(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter into an immutable report.
+    pub fn report(&self) -> RuntimeReport {
+        let mut per_backend = self.per_backend.lock().expect("metrics lock").clone();
+        per_backend.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        RuntimeReport {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            solve_seconds_total: self.solve_seconds_total_micros.load(Ordering::Relaxed) as f64
+                / 1e6,
+            latency_histogram: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
+            per_backend,
+        }
+    }
+}
+
+/// An immutable snapshot of the service's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs answered (solved or served from cache).
+    pub jobs_completed: u64,
+    /// Jobs that failed routing (no eligible backend).
+    pub jobs_failed: u64,
+    /// Jobs served from the result cache.
+    pub cache_hits: u64,
+    /// Jobs that had to be solved.
+    pub cache_misses: u64,
+    /// Total backend wall time spent solving (cache hits cost none).
+    pub solve_seconds_total: f64,
+    /// Solve-latency histogram; bucket `i` counts solves in
+    /// `[2^i, 2^(i+1))` µs.
+    pub latency_histogram: [u64; LATENCY_BUCKETS],
+    /// `(backend, jobs solved)` sorted by count descending.
+    pub per_backend: Vec<(String, u64)>,
+}
+
+impl RuntimeReport {
+    /// Fraction of answered jobs served from cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let answered = self.cache_hits + self.cache_misses;
+        if answered == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / answered as f64
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "runtime: {} submitted, {} completed, {} failed",
+            self.jobs_submitted, self.jobs_completed, self.jobs_failed
+        )?;
+        writeln!(
+            f,
+            "cache:   {} hits / {} misses (hit rate {:.1}%)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(f, "solve:   {:.3}s total backend time", self.solve_seconds_total)?;
+        for (name, count) in &self.per_backend {
+            writeln!(f, "backend: {name:<28} {count} jobs")?;
+        }
+        let total: u64 = self.latency_histogram.iter().sum();
+        if total > 0 {
+            write!(f, "latency:")?;
+            for (i, &count) in self.latency_histogram.iter().enumerate() {
+                if count > 0 {
+                    let lo = 1u64 << i;
+                    let unit = if lo >= 1_000_000 {
+                        format!("{}s", lo / 1_000_000)
+                    } else if lo >= 1_000 {
+                        format!("{}ms", lo / 1_000)
+                    } else {
+                        format!("{lo}µs")
+                    };
+                    write!(f, " [≥{unit}: {count}]")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.on_submit(3);
+        m.on_cache_hit();
+        m.on_solved("tabu", 0.001);
+        m.on_solved("tabu", 0.002);
+        let r = m.report();
+        assert_eq!(r.jobs_submitted, 3);
+        assert_eq!(r.jobs_completed, 3);
+        assert_eq!(r.cache_hits, 1);
+        assert_eq!(r.cache_misses, 2);
+        assert_eq!(r.per_backend, vec![("tabu".to_string(), 2)]);
+        assert!((r.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.latency_histogram.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn latency_buckets_are_log_scale() {
+        let m = Metrics::new();
+        m.on_solved("a", 3e-6); // ~3µs → bucket 1 ([2,4)µs)
+        m.on_solved("a", 1.0); // 1s = 1e6µs → bucket 19 ([524288, ...)µs)
+        let r = m.report();
+        assert_eq!(r.latency_histogram[1], 1);
+        assert_eq!(r.latency_histogram[19], 1);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let m = Metrics::new();
+        m.on_submit(2);
+        m.on_cache_hit();
+        m.on_solved("exact", 0.5);
+        let text = m.report().to_string();
+        assert!(text.contains("hit rate 50.0%"), "{text}");
+        assert!(text.contains("exact"), "{text}");
+    }
+}

@@ -1,0 +1,171 @@
+//! The adaptive portfolio scheduler: decides which registered backend gets
+//! each job.
+//!
+//! Routing starts from each backend's static [`SolverSpec::prior_cost`]
+//! curve, then blends in live telemetry — an exponentially-weighted moving
+//! average of observed solve latency and of energy quality (how far above
+//! the model's naive lower bound the returned assignment landed, plus a
+//! penalty for infeasible decodes). Backends that answer fast and well pull
+//! traffic; backends that stall or return poor assignments shed it. This is
+//! the serving-tier half of the hybrid orchestration the Zajac & Störl
+//! architecture calls for: classical control choosing among quantum(-like)
+//! backends per request.
+
+use crate::registry::{SolverRegistry, SolverSpec};
+use std::sync::Mutex;
+
+/// Live routing statistics for one backend.
+#[derive(Debug, Clone, Default)]
+pub struct BackendStats {
+    /// Jobs routed here so far.
+    pub observations: u64,
+    /// EWMA of solve latency in seconds.
+    pub ewma_latency: f64,
+    /// EWMA of energy quality (0 = at the naive lower bound; higher is
+    /// worse; infeasible decodes add a fixed penalty).
+    pub ewma_quality: f64,
+}
+
+/// EWMA smoothing factor: each new observation carries 20% weight.
+const ALPHA: f64 = 0.2;
+
+/// Extra quality penalty for an infeasible decoded assignment.
+const INFEASIBLE_PENALTY: f64 = 4.0;
+
+/// Weight of the quality term relative to latency when scoring.
+const QUALITY_WEIGHT: f64 = 0.5;
+
+/// The adaptive router.
+pub struct PortfolioScheduler {
+    stats: Mutex<Vec<BackendStats>>,
+}
+
+impl PortfolioScheduler {
+    /// A scheduler tracking `n_backends` backends.
+    pub fn new(n_backends: usize) -> Self {
+        Self { stats: Mutex::new(vec![BackendStats::default(); n_backends]) }
+    }
+
+    /// Picks a backend index for an `n_vars`-variable job, or `None` when no
+    /// registered backend admits the model.
+    ///
+    /// Score = expected latency (observed EWMA once available, static prior
+    /// before that) × a quality multiplier; lowest score wins, ties broken
+    /// by registration order, so routing is deterministic for a given
+    /// telemetry state.
+    pub fn route(&self, registry: &SolverRegistry, n_vars: usize) -> Option<usize> {
+        let eligible = registry.eligible(n_vars);
+        let stats = self.stats.lock().expect("portfolio lock");
+        eligible
+            .into_iter()
+            .map(|i| {
+                let spec = &registry.get(i).spec;
+                (i, Self::score(spec, &stats[i], n_vars))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+    }
+
+    fn score(spec: &SolverSpec, stats: &BackendStats, n_vars: usize) -> f64 {
+        let expected_cost = if stats.observations == 0 {
+            spec.prior_cost(n_vars)
+        } else {
+            // Rescale observed seconds into prior-comparable units so a
+            // backend with telemetry competes fairly against one without.
+            stats.ewma_latency * 1e6
+        };
+        expected_cost * (1.0 + QUALITY_WEIGHT * stats.ewma_quality)
+    }
+
+    /// Feeds one completed solve back into the router.
+    ///
+    /// `quality` should be the normalized energy gap produced by
+    /// [`energy_quality`]; `feasible` is the decoded assignment's
+    /// feasibility.
+    pub fn record(&self, backend: usize, latency_seconds: f64, quality: f64, feasible: bool) {
+        let mut stats = self.stats.lock().expect("portfolio lock");
+        let s = &mut stats[backend];
+        let q = quality + if feasible { 0.0 } else { INFEASIBLE_PENALTY };
+        if s.observations == 0 {
+            s.ewma_latency = latency_seconds;
+            s.ewma_quality = q;
+        } else {
+            s.ewma_latency = (1.0 - ALPHA) * s.ewma_latency + ALPHA * latency_seconds;
+            s.ewma_quality = (1.0 - ALPHA) * s.ewma_quality + ALPHA * q;
+        }
+        s.observations += 1;
+    }
+
+    /// Snapshot of per-backend statistics, indexed like the registry.
+    pub fn stats(&self) -> Vec<BackendStats> {
+        self.stats.lock().expect("portfolio lock").clone()
+    }
+}
+
+/// Normalized energy quality of a solve: how far `energy` sits above the
+/// model's naive lower bound, scaled by the bound's magnitude. 0 is ideal;
+/// the scale-free form keeps 5-variable and 500-variable jobs comparable.
+pub fn energy_quality(energy: f64, naive_lower_bound: f64) -> f64 {
+    (energy - naive_lower_bound).max(0.0) / (naive_lower_bound.abs() + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SolverRegistry;
+
+    #[test]
+    fn routing_respects_max_vars() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        // 30 variables: only large-capacity heuristics are eligible.
+        let chosen = sched.route(&reg, 30).expect("someone can take 30 vars");
+        assert!(reg.get(chosen).spec.max_vars >= 30);
+        // Beyond every backend's cap: unroutable.
+        assert!(sched.route(&reg, 2_000_000).is_none());
+    }
+
+    #[test]
+    fn small_jobs_route_to_exact() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        let chosen = sched.route(&reg, 6).expect("routable");
+        assert_eq!(reg.get(chosen).spec.name, "exact");
+    }
+
+    #[test]
+    fn telemetry_shifts_routing() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        let exact = reg.find("exact").unwrap();
+        let first = sched.route(&reg, 6).unwrap();
+        assert_eq!(first, exact);
+        // Exact turns out to be slow and SA answers instantly and optimally:
+        // traffic must move off exact.
+        let sa = reg.find("simulated-annealing").unwrap();
+        for _ in 0..5 {
+            sched.record(exact, 10.0, 0.0, true);
+            sched.record(sa, 1e-6, 0.0, true);
+        }
+        let rerouted = sched.route(&reg, 6).unwrap();
+        assert_eq!(rerouted, sa);
+    }
+
+    #[test]
+    fn infeasible_results_penalize_a_backend() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        let a = 0;
+        sched.record(a, 0.001, 0.0, false);
+        let stats = sched.stats();
+        assert!(stats[a].ewma_quality >= INFEASIBLE_PENALTY);
+    }
+
+    #[test]
+    fn energy_quality_is_normalized() {
+        assert_eq!(energy_quality(-10.0, -10.0), 0.0);
+        assert!(energy_quality(-5.0, -10.0) > 0.0);
+        // Better-than-bound (impossible, but numerically) clamps to 0.
+        assert_eq!(energy_quality(-11.0, -10.0), 0.0);
+    }
+}

@@ -1,0 +1,612 @@
+//! The concurrent solver service: a job queue feeding a pool of worker
+//! threads, each running the Fig. 2 pipeline end to end — cache lookup,
+//! portfolio routing, `run_pipeline`, telemetry — for every submitted
+//! data-management problem.
+//!
+//! Concurrency model: plain `std::thread` workers draining a shared
+//! `Mutex<VecDeque>` under a condvar (no external dependencies). Every job
+//! carries its own RNG seed, so results are reproducible regardless of
+//! which worker picks the job up or in what order the batch executes.
+
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::metrics::{Metrics, RuntimeReport};
+use crate::portfolio::{energy_quality, PortfolioScheduler};
+use crate::registry::SolverRegistry;
+use qdm_core::pipeline::{run_pipeline_with_qubo, PipelineOptions, PipelineReport};
+use qdm_core::problem::DmProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A shareable data-management problem: the trait object the service queues.
+pub type SharedProblem = Arc<dyn DmProblem + Send + Sync>;
+
+/// How a job picks its backend.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Let the adaptive portfolio scheduler route the job.
+    #[default]
+    Auto,
+    /// Pin the job to a named backend (e.g. `"simulated-annealing"`).
+    Named(String),
+}
+
+/// One unit of work for the service.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// The problem to encode and solve.
+    pub problem: SharedProblem,
+    /// Pipeline stages to apply around the solver call.
+    pub options: PipelineOptions,
+    /// Seed for the job's private RNG; fixes the full solve trajectory.
+    pub seed: u64,
+    /// Backend selection policy.
+    pub backend: BackendChoice,
+}
+
+impl JobSpec {
+    /// An auto-routed job with default pipeline options.
+    pub fn new(problem: SharedProblem, seed: u64) -> Self {
+        Self { problem, options: PipelineOptions::default(), seed, backend: BackendChoice::Auto }
+    }
+
+    /// Sets the pipeline options.
+    pub fn with_options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Pins the job to a named backend.
+    pub fn on_backend(mut self, name: &str) -> Self {
+        self.backend = BackendChoice::Named(name.to_string());
+        self
+    }
+}
+
+/// A completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Submission-order id within the service (monotonically increasing).
+    pub job_id: u64,
+    /// Full pipeline telemetry and decoded solution.
+    pub report: PipelineReport,
+    /// The backend that produced (or originally produced, for cache hits)
+    /// the result.
+    pub backend: String,
+    /// Whether the result was served from the result cache.
+    pub from_cache: bool,
+}
+
+/// Why a job could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The requested backend name is not registered.
+    UnknownBackend(String),
+    /// The pinned backend cannot take a model this large.
+    BackendTooSmall {
+        /// Requested backend.
+        backend: String,
+        /// The backend's capacity.
+        max_vars: usize,
+        /// The model's variable count.
+        n_vars: usize,
+    },
+    /// No registered backend admits a model this large.
+    NoEligibleBackend {
+        /// The model's variable count.
+        n_vars: usize,
+    },
+    /// The job panicked inside encoding, solving, or decoding. The worker
+    /// survives; the panic payload (if it was a string) is carried here.
+    Panicked(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::UnknownBackend(name) => write!(f, "unknown backend {name:?}"),
+            JobError::BackendTooSmall { backend, max_vars, n_vars } => {
+                write!(f, "backend {backend:?} caps at {max_vars} vars but the model has {n_vars}")
+            }
+            JobError::NoEligibleBackend { n_vars } => {
+                write!(f, "no registered backend admits {n_vars} variables")
+            }
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Result of one job: completed or failed routing.
+pub type JobOutcome = Result<JobResult, JobError>;
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    reply: Sender<(u64, JobOutcome)>,
+}
+
+struct Shared {
+    registry: SolverRegistry,
+    cache: ResultCache,
+    portfolio: PortfolioScheduler,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    job_ready: Condvar,
+    shutting_down: AtomicBool,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self { workers, cache_capacity: 4096 }
+    }
+}
+
+/// The concurrent solver service.
+///
+/// ```
+/// use qdm_runtime::prelude::*;
+/// use qdm_core::prelude::*;
+/// use qdm_qubo::penalty;
+/// use qdm_qubo::model::QuboModel;
+/// use std::sync::Arc;
+///
+/// // Any DmProblem works; a 3-way pick-one as a stand-in.
+/// struct PickOne;
+/// impl DmProblem for PickOne {
+///     fn name(&self) -> String { "pick-one".into() }
+///     fn n_vars(&self) -> usize { 3 }
+///     fn to_qubo(&self) -> QuboModel {
+///         let mut q = QuboModel::new(3);
+///         q.add_linear(0, 3.0).add_linear(1, 1.0).add_linear(2, 2.0);
+///         penalty::exactly_one(&mut q, &[0, 1, 2], 10.0);
+///         q
+///     }
+///     fn decode(&self, bits: &[bool]) -> Decoded {
+///         let n = bits.iter().filter(|&&b| b).count();
+///         Decoded { feasible: n == 1, objective: 0.0, summary: format!("{bits:?}") }
+///     }
+/// }
+///
+/// let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+/// let job = JobSpec::new(Arc::new(PickOne), 7);
+/// let outcomes = service.run_batch(vec![job.clone(), job]);
+/// assert!(outcomes[0].as_ref().unwrap().report.decoded.feasible);
+/// // Same work twice: the repeat is a cache hit with an identical answer.
+/// assert!(outcomes[1].as_ref().unwrap().from_cache);
+/// assert_eq!(service.report().cache_hits, 1);
+/// ```
+pub struct SolverService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_job_id: AtomicU64,
+}
+
+impl SolverService {
+    /// Starts a service over the standard Fig. 2 backend portfolio.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::with_registry(SolverRegistry::standard(), config)
+    }
+
+    /// Starts a service over a custom registry.
+    pub fn with_registry(registry: SolverRegistry, config: ServiceConfig) -> Self {
+        let n_backends = registry.len();
+        let shared = Arc::new(Shared {
+            registry,
+            cache: ResultCache::new(config.cache_capacity),
+            portfolio: PortfolioScheduler::new(n_backends),
+            metrics: Metrics::new(),
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qdm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, workers, next_job_id: AtomicU64::new(0) }
+    }
+
+    /// Submits a batch and blocks until every job is answered, returning
+    /// outcomes in submission order.
+    pub fn run_batch(&self, specs: Vec<JobSpec>) -> Vec<JobOutcome> {
+        let n = specs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.shared.metrics.on_submit(n as u64);
+        let base = self.next_job_id.fetch_add(n as u64, Ordering::Relaxed);
+        let (tx, rx) = std::sync::mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            for (offset, spec) in specs.into_iter().enumerate() {
+                queue.push_back(QueuedJob { id: base + offset as u64, spec, reply: tx.clone() });
+            }
+        }
+        self.shared.job_ready.notify_all();
+        drop(tx);
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
+        for (id, outcome) in rx {
+            outcomes[(id - base) as usize] = Some(outcome);
+        }
+        outcomes
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .expect("every queued job sends exactly one outcome")
+    }
+
+    /// Submits one job and blocks for its outcome.
+    pub fn run(&self, spec: JobSpec) -> JobOutcome {
+        self.run_batch(vec![spec]).pop().expect("one outcome for one job")
+    }
+
+    /// Snapshot of runtime counters, cache behavior, and backend usage.
+    pub fn report(&self) -> RuntimeReport {
+        self.shared.metrics.report()
+    }
+
+    /// The backend registry the service dispatches over.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.shared.registry
+    }
+
+    /// Live result-cache size (entries).
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.job_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.job_ready.wait(queue).expect("queue lock");
+            }
+        };
+        // A panicking job (user-supplied to_qubo/decode/repair, or a solver
+        // bug) must neither kill the worker nor leave the batch owner
+        // waiting on a reply that never comes.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process(shared, &job.spec)))
+                .unwrap_or_else(|payload| {
+                    shared.metrics.on_failed();
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(JobError::Panicked(msg))
+                })
+                .map(|mut result| {
+                    result.job_id = job.id;
+                    result
+                });
+        // The batch owner may have gone away; nothing to do then.
+        let _ = job.reply.send((job.id, outcome));
+    }
+}
+
+fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
+    let qubo = spec.problem.to_qubo();
+    let n_vars = qubo.n_vars();
+    let requested = match &spec.backend {
+        BackendChoice::Auto => None,
+        BackendChoice::Named(name) => Some(name.as_str()),
+    };
+    let key =
+        CacheKey::new(spec.problem.name(), qubo.fingerprint(), &spec.options, spec.seed, requested);
+    if let Some(cached) = shared.cache.get(&key) {
+        shared.metrics.on_cache_hit();
+        return Ok(JobResult {
+            job_id: 0, // stamped with the queue id by the worker loop
+            report: cached.report,
+            backend: cached.backend,
+            from_cache: true,
+        });
+    }
+
+    let backend_idx = match &spec.backend {
+        BackendChoice::Named(name) => {
+            let Some(idx) = shared.registry.find(name) else {
+                shared.metrics.on_failed();
+                return Err(JobError::UnknownBackend(name.clone()));
+            };
+            let max_vars = shared.registry.get(idx).spec.max_vars;
+            if max_vars < n_vars {
+                shared.metrics.on_failed();
+                return Err(JobError::BackendTooSmall { backend: name.clone(), max_vars, n_vars });
+            }
+            idx
+        }
+        BackendChoice::Auto => match shared.portfolio.route(&shared.registry, n_vars) {
+            Some(idx) => idx,
+            None => {
+                shared.metrics.on_failed();
+                return Err(JobError::NoEligibleBackend { n_vars });
+            }
+        },
+    };
+
+    let backend = shared.registry.get(backend_idx);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let naive_lower_bound = qubo.naive_lower_bound();
+    let start = Instant::now();
+    let report =
+        run_pipeline_with_qubo(&*spec.problem, qubo, backend.solver(), &spec.options, &mut rng);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    shared.metrics.on_solved(&backend.spec.name, elapsed);
+    shared.portfolio.record(
+        backend_idx,
+        elapsed,
+        energy_quality(report.energy, naive_lower_bound),
+        report.decoded.feasible,
+    );
+    shared
+        .cache
+        .insert(key, CachedResult { report: report.clone(), backend: backend.spec.name.clone() });
+    Ok(JobResult {
+        job_id: 0, // stamped with the queue id by the worker loop
+        report,
+        backend: backend.spec.name.clone(),
+        from_cache: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdm_core::problem::Decoded;
+    use qdm_qubo::model::QuboModel;
+    use qdm_qubo::penalty;
+
+    /// Pick-one-of-n with per-option costs; n scales to test routing.
+    struct PickOne {
+        costs: Vec<f64>,
+    }
+
+    impl DmProblem for PickOne {
+        fn name(&self) -> String {
+            format!("pick-one-of-{}", self.costs.len())
+        }
+        fn n_vars(&self) -> usize {
+            self.costs.len()
+        }
+        fn to_qubo(&self) -> QuboModel {
+            let mut q = QuboModel::new(self.costs.len());
+            for (i, &c) in self.costs.iter().enumerate() {
+                q.add_linear(i, c);
+            }
+            let vars: Vec<usize> = (0..self.costs.len()).collect();
+            let weight = penalty::penalty_weight(&q);
+            penalty::exactly_one(&mut q, &vars, weight);
+            q
+        }
+        fn decode(&self, bits: &[bool]) -> Decoded {
+            let chosen: Vec<usize> =
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            Decoded {
+                feasible: chosen.len() == 1,
+                objective: chosen.iter().map(|&i| self.costs[i]).sum(),
+                summary: format!("chose {chosen:?}"),
+            }
+        }
+    }
+
+    fn pick(n: usize) -> SharedProblem {
+        Arc::new(PickOne { costs: (0..n).map(|i| ((i * 7) % 5) as f64 + 1.0).collect() })
+    }
+
+    #[test]
+    fn single_job_solves_and_decodes() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let result = service.run(JobSpec::new(pick(4), 1)).expect("solvable");
+        assert!(result.report.decoded.feasible);
+        assert!(!result.from_cache);
+        assert_eq!(service.report().jobs_completed, 1);
+    }
+
+    #[test]
+    fn repeat_submission_hits_cache_with_identical_result() {
+        let service = SolverService::new(ServiceConfig { workers: 3, cache_capacity: 16 });
+        let first = service.run(JobSpec::new(pick(5), 9)).expect("ok");
+        let second = service.run(JobSpec::new(pick(5), 9)).expect("ok");
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(first.report.bits, second.report.bits);
+        assert_eq!(first.report.energy, second.report.energy);
+        assert_eq!(first.backend, second.backend);
+        let report = service.report();
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.cache_misses, 1);
+        assert!(report.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn different_seeds_do_not_share_cache_entries() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let a = service.run(JobSpec::new(pick(4), 1)).expect("ok");
+        let b = service.run(JobSpec::new(pick(4), 2)).expect("ok");
+        assert!(!a.from_cache);
+        assert!(!b.from_cache);
+        assert_eq!(service.cache_len(), 2);
+    }
+
+    #[test]
+    fn batch_outcomes_preserve_submission_order() {
+        let service = SolverService::new(ServiceConfig { workers: 4, cache_capacity: 64 });
+        let batch: Vec<JobSpec> =
+            (0..12).map(|i| JobSpec::new(pick(3 + (i % 4)), i as u64)).collect();
+        let sizes: Vec<usize> = batch.iter().map(|j| j.problem.n_vars()).collect();
+        let outcomes = service.run_batch(batch);
+        assert_eq!(outcomes.len(), 12);
+        for (outcome, want_n) in outcomes.iter().zip(sizes) {
+            let result = outcome.as_ref().expect("solvable");
+            assert_eq!(result.report.n_vars, want_n, "order preserved by problem size");
+            assert!(result.report.decoded.feasible);
+        }
+    }
+
+    #[test]
+    fn pinned_backend_is_honored() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let result =
+            service.run(JobSpec::new(pick(4), 3).on_backend("tabu")).expect("tabu handles 4");
+        assert_eq!(result.backend, "tabu");
+        assert_eq!(result.report.solver, "tabu");
+    }
+
+    #[test]
+    fn pinned_backend_too_small_fails_cleanly() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        // QAOA caps at 20 variables.
+        let err = service.run(JobSpec::new(pick(24), 3).on_backend("qaoa")).unwrap_err();
+        match err {
+            JobError::BackendTooSmall { backend, max_vars, n_vars } => {
+                assert_eq!(backend, "qaoa");
+                assert!(max_vars < n_vars);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = service.run(JobSpec::new(pick(4), 3).on_backend("warp-drive")).unwrap_err();
+        assert_eq!(err, JobError::UnknownBackend("warp-drive".into()));
+    }
+
+    #[test]
+    fn auto_routing_respects_capacity() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        // 30 variables exceeds exact (26) and every gate-based route (<= 20).
+        let result = service.run(JobSpec::new(pick(30), 5)).expect("heuristics take it");
+        let idx = service.registry().find(&result.backend).expect("known backend");
+        assert!(service.registry().get(idx).spec.max_vars >= 30);
+    }
+
+    /// Same QUBO as `PickOne` but a different problem type with its own
+    /// decode — must not share `PickOne`'s cache entries.
+    struct PickOneRelabeled {
+        inner: PickOne,
+    }
+
+    impl DmProblem for PickOneRelabeled {
+        fn name(&self) -> String {
+            "pick-one-relabeled".into()
+        }
+        fn n_vars(&self) -> usize {
+            self.inner.n_vars()
+        }
+        fn to_qubo(&self) -> QuboModel {
+            self.inner.to_qubo()
+        }
+        fn decode(&self, bits: &[bool]) -> Decoded {
+            let mut d = self.inner.decode(bits);
+            d.summary = format!("relabeled: {}", d.summary);
+            d
+        }
+    }
+
+    #[test]
+    fn identical_qubos_from_different_problem_types_do_not_share_cache() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let a = service.run(JobSpec::new(pick(4), 5)).expect("ok");
+        let costs = (0..4).map(|i| ((i * 7) % 5) as f64 + 1.0).collect();
+        let relabeled = Arc::new(PickOneRelabeled { inner: PickOne { costs } });
+        let b = service.run(JobSpec::new(relabeled, 5)).expect("ok");
+        assert!(!b.from_cache, "coefficient-identical QUBO of another type must re-solve");
+        assert_eq!(b.report.problem, "pick-one-relabeled");
+        assert!(b.report.decoded.summary.starts_with("relabeled:"));
+        assert_ne!(a.report.decoded.summary, b.report.decoded.summary);
+    }
+
+    /// A problem whose encoding panics, for worker-survival tests.
+    struct Explosive;
+
+    impl DmProblem for Explosive {
+        fn name(&self) -> String {
+            "explosive".into()
+        }
+        fn n_vars(&self) -> usize {
+            2
+        }
+        fn to_qubo(&self) -> QuboModel {
+            panic!("boom: bad encoding");
+        }
+        fn decode(&self, _bits: &[bool]) -> Decoded {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn panicking_job_fails_cleanly_and_pool_survives() {
+        let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        // With a single worker, the pool only survives the panic if the
+        // worker caught it.
+        let err = service.run(JobSpec::new(Arc::new(Explosive), 1)).unwrap_err();
+        match err {
+            JobError::Panicked(msg) => assert!(msg.contains("boom"), "payload: {msg}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The same worker must still answer normal jobs afterwards.
+        let ok = service.run(JobSpec::new(pick(4), 2)).expect("pool survived the panic");
+        assert!(ok.report.decoded.feasible);
+        let report = service.report();
+        assert_eq!(report.jobs_failed, 1);
+        assert_eq!(report.jobs_completed, 1);
+    }
+
+    #[test]
+    fn failed_routing_is_counted_in_the_ledger() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let _ = service.run(JobSpec::new(pick(4), 3).on_backend("warp-drive")).unwrap_err();
+        let _ = service.run(JobSpec::new(pick(24), 3).on_backend("qaoa")).unwrap_err();
+        let report = service.report();
+        assert_eq!(report.jobs_submitted, 2);
+        assert_eq!(report.jobs_failed, 2, "unknown + undersized backends both count");
+        assert_eq!(report.jobs_completed, 0);
+    }
+
+    #[test]
+    fn service_shuts_down_cleanly_with_queued_work_done() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let outcomes = service.run_batch((0..6).map(|i| JobSpec::new(pick(4), i)).collect());
+        assert_eq!(outcomes.len(), 6);
+        drop(service); // must not hang or panic
+    }
+}

@@ -1,0 +1,20 @@
+//! # serde (workspace shim)
+//!
+//! The workspace annotates a handful of model types with
+//! `#[derive(Serialize, Deserialize)]` to document their
+//! serialization-worthiness, but nothing in-tree serializes them yet and the
+//! build environment has no crates.io access. This facade keeps those
+//! annotations compiling by re-exporting **no-op** derive macros from
+//! `serde_derive` alongside empty marker traits. When real serialization
+//! lands (e.g. a wire format for the runtime service), this shim is the seam
+//! to replace with the real `serde`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait DeserializeMarker {}

@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros: they accept any item and
+//! emit nothing, so `#[derive(Serialize, Deserialize)]` annotations across
+//! the workspace compile without the real serde (unavailable offline).
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -144,10 +144,7 @@ impl Mul for Complex64 {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Self {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Self { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 
@@ -233,8 +230,8 @@ mod tests {
         let a = Complex64::new(2.0, 3.0);
         let b = Complex64::new(-1.0, 4.0);
         let p = a * b;
-        assert!((p.re - (2.0 * -1.0 - 3.0 * 4.0)).abs() < EPS);
-        assert!((p.im - (2.0 * 4.0 + 3.0 * -1.0)).abs() < EPS);
+        assert!((p.re - (-2.0 - 3.0 * 4.0)).abs() < EPS);
+        assert!((p.im - (2.0 * 4.0 + -3.0)).abs() < EPS);
     }
 
     #[test]
@@ -279,8 +276,7 @@ mod tests {
 
     #[test]
     fn sum_folds_components() {
-        let s: Complex64 =
-            [Complex64::new(1.0, 1.0), Complex64::new(2.0, -3.0)].into_iter().sum();
+        let s: Complex64 = [Complex64::new(1.0, 1.0), Complex64::new(2.0, -3.0)].into_iter().sum();
         assert!(s.approx_eq(Complex64::new(3.0, -2.0), EPS));
     }
 

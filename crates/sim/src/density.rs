@@ -136,8 +136,7 @@ impl DensityMatrix {
                     let a = self.elems[row * dim + j];
                     let b = self.elems[row * dim + j + step];
                     self.elems[row * dim + j] = a * m[0][0].conj() + b * m[0][1].conj();
-                    self.elems[row * dim + j + step] =
-                        a * m[1][0].conj() + b * m[1][1].conj();
+                    self.elems[row * dim + j + step] = a * m[1][0].conj() + b * m[1][1].conj();
                 }
                 base += step << 1;
             }
@@ -182,8 +181,7 @@ impl DensityMatrix {
         }
         let k = keep.len();
         let kd = 1usize << k;
-        let traced: Vec<usize> =
-            (0..self.n_qubits).filter(|q| !keep.contains(q)).collect();
+        let traced: Vec<usize> = (0..self.n_qubits).filter(|q| !keep.contains(q)).collect();
         let td = 1usize << traced.len();
         let expand = |kept_bits: usize, traced_bits: usize| -> usize {
             let mut idx = 0usize;

@@ -88,10 +88,7 @@ pub fn ry(theta: f64) -> Matrix2 {
 /// Rotation about the Z axis by angle `theta` (symmetric-phase convention).
 #[inline]
 pub fn rz(theta: f64) -> Matrix2 {
-    [
-        [Complex64::cis(-theta / 2.0), C_ZERO],
-        [C_ZERO, Complex64::cis(theta / 2.0)],
-    ]
+    [[Complex64::cis(-theta / 2.0), C_ZERO], [C_ZERO, Complex64::cis(theta / 2.0)]]
 }
 
 /// Phase gate diag(1, e^{i phi}).
@@ -132,9 +129,9 @@ pub fn mat2_dagger(m: &Matrix2) -> Matrix2 {
 pub fn is_unitary2(m: &Matrix2, eps: f64) -> bool {
     let p = mat2_mul(m, &mat2_dagger(m));
     let id = identity();
-    p.iter().zip(id.iter()).all(|(pr, ir)| {
-        pr.iter().zip(ir.iter()).all(|(a, b)| a.approx_eq(*b, eps))
-    })
+    p.iter()
+        .zip(id.iter())
+        .all(|(pr, ir)| pr.iter().zip(ir.iter()).all(|(a, b)| a.approx_eq(*b, eps)))
 }
 
 /// SWAP gate over basis ordering `|q2 q1>` (index = 2*b2 + b1).

@@ -115,8 +115,7 @@ pub fn apply_noisy(
 ) {
     for gate in circuit.gates() {
         gate.apply(state);
-        let channel =
-            if gate.is_multi_qubit() { model.multi_qubit } else { model.single_qubit };
+        let channel = if gate.is_multi_qubit() { model.multi_qubit } else { model.single_qubit };
         if !matches!(channel, NoiseChannel::Ideal) {
             let kraus = channel.kraus();
             for q in gate.qubits() {

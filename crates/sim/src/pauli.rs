@@ -41,11 +41,8 @@ impl PauliString {
     /// Panics if a qubit appears twice.
     pub fn new(coefficient: f64, factors: &[(usize, Pauli)]) -> Self {
         let mut seen = std::collections::HashSet::new();
-        let factors: Vec<(usize, Pauli)> = factors
-            .iter()
-            .copied()
-            .filter(|(_, p)| *p != Pauli::I)
-            .collect();
+        let factors: Vec<(usize, Pauli)> =
+            factors.iter().copied().filter(|(_, p)| *p != Pauli::I).collect();
         for (q, _) in &factors {
             assert!(seen.insert(*q), "qubit {q} repeated in Pauli string");
         }
@@ -78,7 +75,7 @@ impl PauliString {
             zmask |= 1 << q;
         }
         let z = rotated.expectation_diagonal(|i| {
-            if (i & zmask).count_ones() % 2 == 0 {
+            if (i & zmask).count_ones().is_multiple_of(2) {
                 1.0
             } else {
                 -1.0
@@ -164,8 +161,7 @@ pub fn apply_pauli_rotation(state: &mut StateVector, term: &PauliString, angle: 
     if term.factors.is_empty() {
         // Global phase only.
         let phase = Complex64::cis(-theta);
-        let amps: Vec<Complex64> =
-            state.amplitudes().iter().map(|a| *a * phase).collect();
+        let amps: Vec<Complex64> = state.amplitudes().iter().map(|a| *a * phase).collect();
         *state = StateVector::from_amplitudes(amps).expect("phase preserves norm");
         return;
     }
@@ -182,7 +178,7 @@ pub fn apply_pauli_rotation(state: &mut StateVector, term: &PauliString, angle: 
         zmask |= 1 << q;
     }
     state.apply_diagonal_phase(|i| {
-        if (i & zmask).count_ones() % 2 == 0 {
+        if (i & zmask).count_ones().is_multiple_of(2) {
             -theta
         } else {
             theta
@@ -213,8 +209,7 @@ mod tests {
         assert!((PauliString::new(1.0, &[(0, Pauli::Z)]).expectation(&s) + 1.0).abs() < EPS);
         assert!((PauliString::new(1.0, &[(1, Pauli::Z)]).expectation(&s) - 1.0).abs() < EPS);
         assert!(
-            (PauliString::new(2.0, &[(0, Pauli::Z), (1, Pauli::Z)]).expectation(&s) + 2.0)
-                .abs()
+            (PauliString::new(2.0, &[(0, Pauli::Z), (1, Pauli::Z)]).expectation(&s) + 2.0).abs()
                 < EPS
         );
     }
@@ -286,11 +281,7 @@ mod tests {
     #[test]
     fn rotation_preserves_norm() {
         let mut s = bell_state(BellState::PsiMinus);
-        apply_pauli_rotation(
-            &mut s,
-            &PauliString::new(0.8, &[(0, Pauli::Y), (1, Pauli::X)]),
-            1.3,
-        );
+        apply_pauli_rotation(&mut s, &PauliString::new(0.8, &[(0, Pauli::Y), (1, Pauli::X)]), 1.3);
         assert!((s.norm_sqr() - 1.0).abs() < EPS);
     }
 

@@ -7,7 +7,7 @@
 use crate::complex::{Complex64, C_ONE, C_ZERO};
 use crate::error::SimError;
 use crate::gates::{Matrix2, Matrix4};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// Hard cap on dense simulation width; 2^26 amplitudes = 1 GiB of `Complex64`.
@@ -129,11 +129,7 @@ impl StateVector {
 
     #[inline]
     fn check_qubit(&self, q: usize) {
-        assert!(
-            q < self.n_qubits,
-            "qubit {q} out of range for {}-qubit register",
-            self.n_qubits
-        );
+        assert!(q < self.n_qubits, "qubit {q} out of range for {}-qubit register", self.n_qubits);
     }
 
     /// Applies a single-qubit gate to qubit `q`.
@@ -252,11 +248,8 @@ impl StateVector {
     /// Grover diffusion: reflection about the uniform superposition,
     /// `2|s><s| - I`.
     pub fn invert_about_mean(&mut self) {
-        let mean = self
-            .amps
-            .iter()
-            .fold(C_ZERO, |acc, a| acc + *a)
-            .scale(1.0 / self.amps.len() as f64);
+        let mean =
+            self.amps.iter().fold(C_ZERO, |acc, a| acc + *a).scale(1.0 / self.amps.len() as f64);
         for a in &mut self.amps {
             *a = mean.scale(2.0) - *a;
         }
@@ -301,12 +294,7 @@ impl StateVector {
     pub fn probability_qubit_one(&self, q: usize) -> f64 {
         self.check_qubit(q);
         let bit = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.amps.iter().enumerate().filter(|(i, _)| i & bit != 0).map(|(_, a)| a.norm_sqr()).sum()
     }
 
     /// Measures the full register, collapsing the state onto the sampled
@@ -378,10 +366,7 @@ impl StateVector {
     /// Panics if register widths differ.
     pub fn inner_product(&self, other: &Self) -> Complex64 {
         assert_eq!(self.n_qubits, other.n_qubits, "register width mismatch");
-        self.amps
-            .iter()
-            .zip(other.amps.iter())
-            .fold(C_ZERO, |acc, (a, b)| acc + a.conj() * *b)
+        self.amps.iter().zip(other.amps.iter()).fold(C_ZERO, |acc, (a, b)| acc + a.conj() * *b)
     }
 
     /// Fidelity `|<self|other>|^2` between two pure states.

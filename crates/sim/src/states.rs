@@ -81,7 +81,8 @@ mod tests {
 
     #[test]
     fn bell_states_are_mutually_orthogonal() {
-        let all = [BellState::PhiPlus, BellState::PhiMinus, BellState::PsiPlus, BellState::PsiMinus];
+        let all =
+            [BellState::PhiPlus, BellState::PhiMinus, BellState::PsiPlus, BellState::PsiMinus];
         for (i, &a) in all.iter().enumerate() {
             for (j, &b) in all.iter().enumerate() {
                 let f = bell_state(a).fidelity(&bell_state(b));

@@ -34,10 +34,7 @@ fn main() {
     println!("## Quantum set operations over a 256-label universe");
     let in_a = |x: usize| x.is_multiple_of(17);
     let in_b = |x: usize| x.is_multiple_of(2);
-    for (name, op) in [
-        ("A ∩ B", SetOp::Intersection),
-        ("A \\ B", SetOp::Difference),
-    ] {
+    for (name, op) in [("A ∩ B", SetOp::Intersection), ("A \\ B", SetOp::Difference)] {
         let res = quantum_set_op(8, op, in_a, in_b, &mut rng);
         let (classical, probes) = classical_set_op(8, op, in_a, in_b);
         assert_eq!(res.elements, classical);
@@ -76,6 +73,9 @@ fn main() {
     sdb.delete(2).expect("delete");
     println!("  after delete(2): ids {:?}", sdb.ids());
     println!("  cumulative synthesis gate estimate: {}", sdb.gate_estimate);
-    println!("  sampling 5 retrievals: {:?}", (0..5).map(|_| sdb.sample(&mut rng)).collect::<Vec<_>>());
+    println!(
+        "  sampling 5 retrievals: {:?}",
+        (0..5).map(|_| sdb.sample(&mut rng)).collect::<Vec<_>>()
+    );
     println!("  duplicate insert: {:?}", sdb.insert(9).expect_err("refused"));
 }

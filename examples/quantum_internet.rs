@@ -27,10 +27,7 @@ fn main() {
             chain.segments, perf.rate_hz, perf.fidelity
         );
     }
-    println!(
-        "  fiber/satellite crossover: ~{:.0} km\n",
-        fiber_satellite_crossover_km()
-    );
+    println!("  fiber/satellite crossover: ~{:.0} km\n", fiber_satellite_crossover_km());
 
     // ------------------------------------------------------------------
     // 2. Nonlocality: the CHSH and GHZ games (Sec. IV-A).
@@ -85,14 +82,10 @@ fn main() {
     // Quantum-authenticated 2PC with 20% message loss.
     net.message_loss = 0.2;
     net.max_retries = 20;
-    let outcome = net
-        .two_phase_commit("amsterdam", &["delft"], 1.0, &mut rng)
-        .expect("protocol runs");
+    let outcome =
+        net.two_phase_commit("amsterdam", &["delft"], 1.0, &mut rng).expect("protocol runs");
     println!("  2PC under 20% message loss: {outcome:?}");
-    println!(
-        "  key material left: {} bits",
-        net.key_available("amsterdam", "delft")
-    );
+    println!("  key material left: {} bits", net.key_available("amsterdam", "delft"));
 
     // ------------------------------------------------------------------
     // 4. Eavesdropping is detected.
@@ -102,8 +95,5 @@ fn main() {
         &Bb84Params { n_qubits: 2048, eavesdropper: true, ..Default::default() },
         &mut rng,
     );
-    println!(
-        "  QBER {:.3} (expected ~0.25) -> aborted: {} (no key leaked)",
-        out.qber, out.aborted
-    );
+    println!("  QBER {:.3} (expected ~0.25) -> aborted: {} (no key leaked)", out.qber, out.aborted);
 }

@@ -60,9 +60,7 @@ fn main() {
     let report = run_pipeline(&bushy_problem, &TabuSolver::default(), &opts, &mut rng);
     println!(
         "  {:<28} cost {:>14.1}   {}",
-        "bushy template + tabu",
-        report.decoded.objective,
-        report.decoded.summary
+        "bushy template + tabu", report.decoded.objective, report.decoded.summary
     );
 
     // ------------------------------------------------------------------

@@ -32,18 +32,13 @@ fn main() {
     ]);
     println!("## Schemas");
     println!("  CRM:       {:?}", crm.attributes.iter().map(|a| &a.name).collect::<Vec<_>>());
-    println!(
-        "  Warehouse: {:?}",
-        warehouse.attributes.iter().map(|a| &a.name).collect::<Vec<_>>()
-    );
+    println!("  Warehouse: {:?}", warehouse.attributes.iter().map(|a| &a.name).collect::<Vec<_>>());
 
     let inst = MatchingInstance::new(crm, warehouse);
     println!("\n## Similarity matrix (— marks type-incompatible pairs)");
     for (i, row) in inst.similarity.iter().enumerate() {
-        let cells: Vec<String> = row
-            .iter()
-            .map(|s| s.map_or("  —  ".to_string(), |v| format!("{v:.3}")))
-            .collect();
+        let cells: Vec<String> =
+            row.iter().map(|s| s.map_or("  —  ".to_string(), |v| format!("{v:.3}"))).collect();
         println!("  {} | {}", inst.source.attributes[i].name, cells.join("  "));
     }
 
@@ -75,11 +70,7 @@ fn main() {
         &mut rng,
     );
     let matching = problem.matching(&report.bits).expect("feasible");
-    println!(
-        "  QUBO+SA (score {:.3}): {:?}",
-        -report.decoded.objective,
-        render(&matching)
-    );
+    println!("  QUBO+SA (score {:.3}): {:?}", -report.decoded.objective, render(&matching));
 
     // Synthetic benchmark with known ground truth.
     println!("\n## Seeded benchmark (8 attributes + 3 noise columns)");

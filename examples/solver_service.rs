@@ -1,0 +1,91 @@
+//! The concurrent solver service end to end: a mixed batch of Table I
+//! problems — MQO, join ordering, transaction scheduling — fanned out over
+//! several Fig. 2 backends by the worker pool, then resubmitted to show the
+//! result cache serving repeats bit-identically.
+//!
+//! Run with: `cargo run --release --example solver_service`
+
+use qdm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let service = SolverService::new(ServiceConfig { workers: 4, cache_capacity: 1024 });
+    println!("solver service up: {} workers over {} backends\n", 4, service.registry().len());
+
+    // --- Build the mixed workload: three problem families, seeded. -------
+    let mut problems: Vec<(String, SharedProblem)> = Vec::new();
+    for seed in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = MqoInstance::generate(3, 2, 0.3, &mut rng);
+        problems.push((format!("mqo-{seed}"), Arc::new(MqoProblem::new(inst))));
+
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let graph = QueryGraph::generate_random(4, 0.3, &mut rng);
+        problems.push((format!("join-{seed}"), Arc::new(JoinOrderProblem::left_deep(graph))));
+
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let txns = random_workload(4, 3, 2, 0.5, &mut rng);
+        let horizon = txns.iter().map(|t| t.duration).sum();
+        problems.push((format!("txn-{seed}"), Arc::new(TxnScheduleProblem::new(txns, horizon))));
+    }
+
+    // Fan each problem out across three annealing/classical backends, plus
+    // one auto-routed job that lets the portfolio scheduler decide.
+    let backends = ["simulated-annealing", "simulated-quantum-annealing", "tabu"];
+    let options = PipelineOptions { repair: true, ..Default::default() };
+    let mut batch: Vec<JobSpec> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for (i, (label, problem)) in problems.iter().enumerate() {
+        for backend in backends {
+            batch.push(
+                JobSpec::new(Arc::clone(problem), 1000 + i as u64)
+                    .with_options(options)
+                    .on_backend(backend),
+            );
+            labels.push(label.clone());
+        }
+        batch.push(JobSpec::new(Arc::clone(problem), 1000 + i as u64).with_options(options));
+        labels.push(format!("{label} (auto)"));
+    }
+
+    // --- First pass: everything is a cache miss and actually solves. -----
+    println!(
+        "submitting {} jobs ({} problems x {} routes)...",
+        batch.len(),
+        problems.len(),
+        backends.len() + 1
+    );
+    let first = service.run_batch(batch.clone());
+    println!("{:<14} {:<28} {:>9} {:>10}  summary", "job", "backend", "energy", "feasible");
+    for (label, outcome) in labels.iter().zip(&first) {
+        let r = outcome.as_ref().expect("every job routes");
+        let summary: String = r.report.decoded.summary.chars().take(34).collect();
+        println!(
+            "{:<14} {:<28} {:>9.3} {:>10}  {}",
+            label, r.backend, r.report.energy, r.report.decoded.feasible, summary
+        );
+        assert!(!r.from_cache, "first pass must solve, not hit the cache");
+    }
+
+    // --- Second pass: the identical batch is served from the cache. ------
+    println!("\nresubmitting the same batch...");
+    let second = service.run_batch(batch);
+    let mut hits = 0;
+    for (a, b) in first.iter().zip(&second) {
+        let a = a.as_ref().unwrap();
+        let b = b.as_ref().unwrap();
+        assert!(b.from_cache, "repeat submission must be a cache hit");
+        assert_eq!(a.report.bits, b.report.bits, "cached result must be bit-identical");
+        assert_eq!(a.report.energy, b.report.energy);
+        hits += 1;
+    }
+    println!("{hits}/{} repeats served from cache, all bit-identical", second.len());
+
+    // --- Telemetry. ------------------------------------------------------
+    let report = service.report();
+    println!("\n{report}");
+    assert!(report.cache_hit_rate() > 0.0, "repeat batch must produce cache hits");
+    assert!(report.per_backend.len() >= 3, "work must have been spread across at least 3 backends");
+}

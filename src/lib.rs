@@ -19,6 +19,7 @@
 //! | [`problems`] | Table I encodings: MQO, join ordering, schema matching, 2PL |
 //! | [`qdb`] | Grover database search, quantum set ops/join, DB manipulation |
 //! | [`net`] | quantum internet: links, repeaters, teleportation, CHSH/GHZ, BB84, no-cloning tables |
+//! | [`runtime`] | concurrent solver service: job queue + worker pool, result cache, adaptive backend portfolio, telemetry |
 //!
 //! ## Quickstart
 //! ```
@@ -51,6 +52,7 @@ pub use qdm_net as net;
 pub use qdm_problems as problems;
 pub use qdm_qdb as qdb;
 pub use qdm_qubo as qubo;
+pub use qdm_runtime as runtime;
 pub use qdm_sim as sim;
 
 /// One-stop prelude combining the preludes of every crate in the workspace.
@@ -63,5 +65,6 @@ pub mod prelude {
     pub use qdm_problems::prelude::*;
     pub use qdm_qdb::prelude::*;
     pub use qdm_qubo::prelude::*;
+    pub use qdm_runtime::prelude::*;
     pub use qdm_sim::prelude::*;
 }

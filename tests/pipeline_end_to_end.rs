@@ -86,10 +86,9 @@ fn txn_scheduling_beats_serial_under_every_strong_solver() {
     let serial = serial_schedule(&txns).makespan(&txns);
     assert_eq!(serial, 8);
     let problem = TxnScheduleProblem::new(txns, 4);
-    for solver in [
-        Box::new(SaSolver::default()) as Box<dyn QuboSolver>,
-        Box::new(TabuSolver::default()),
-    ] {
+    for solver in
+        [Box::new(SaSolver::default()) as Box<dyn QuboSolver>, Box::new(TabuSolver::default())]
+    {
         let mut srng = StdRng::seed_from_u64(5);
         let report = run_pipeline(&problem, solver.as_ref(), &opts(), &mut srng);
         assert!(report.decoded.feasible);

@@ -121,10 +121,8 @@ fn e91_links_nonlocality_to_security() {
     let mut rng = StdRng::seed_from_u64(8);
     let honest = run_e91(&E91Params { rounds: 6000, ..Default::default() }, &mut rng);
     assert!(honest.chsh_s > 2.5 && !honest.aborted && !honest.key.is_empty());
-    let tapped = run_e91(
-        &E91Params { rounds: 6000, eavesdropper: true, ..Default::default() },
-        &mut rng,
-    );
+    let tapped =
+        run_e91(&E91Params { rounds: 6000, eavesdropper: true, ..Default::default() }, &mut rng);
     assert!(tapped.chsh_s < 2.0 && tapped.aborted && tapped.key.is_empty());
 }
 

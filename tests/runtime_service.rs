@@ -1,0 +1,165 @@
+//! Cross-crate integration tests for the `qdm-runtime` solver service:
+//! cache determinism, batch ordering, portfolio capacity routing, and the
+//! presolve+decompose pipeline regression the runtime relies on.
+
+use qdm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn mqo(seed: u64) -> Arc<MqoProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(MqoProblem::new(MqoInstance::generate(3, 2, 0.3, &mut rng)))
+}
+
+fn joinorder(seed: u64) -> Arc<JoinOrderProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(JoinOrderProblem::left_deep(QueryGraph::generate_random(4, 0.3, &mut rng)))
+}
+
+fn txn_schedule(seed: u64) -> Arc<TxnScheduleProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let txns = random_workload(4, 3, 2, 0.5, &mut rng);
+    let horizon = txns.iter().map(|t| t.duration).sum();
+    Arc::new(TxnScheduleProblem::new(txns, horizon))
+}
+
+fn repair() -> PipelineOptions {
+    PipelineOptions { repair: true, ..Default::default() }
+}
+
+#[test]
+fn repeated_batch_is_served_from_cache_bit_identically() {
+    let service = SolverService::new(ServiceConfig { workers: 3, cache_capacity: 256 });
+    let batch: Vec<JobSpec> = vec![
+        JobSpec::new(mqo(1), 11).with_options(repair()),
+        JobSpec::new(joinorder(2), 12).with_options(repair()),
+        JobSpec::new(txn_schedule(3), 13).with_options(repair()),
+    ];
+    let first = service.run_batch(batch.clone());
+    let second = service.run_batch(batch);
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        let a = a.as_ref().expect("solvable");
+        let b = b.as_ref().expect("solvable");
+        assert!(!a.from_cache, "first pass must solve");
+        assert!(b.from_cache, "second pass must hit the cache");
+        assert_eq!(a.report.bits, b.report.bits, "cached bits must be identical");
+        assert_eq!(a.report.energy, b.report.energy, "cached energy must be identical");
+        assert_eq!(a.backend, b.backend);
+    }
+    let report = service.report();
+    assert_eq!(report.cache_hits, 3);
+    assert_eq!(report.cache_misses, 3);
+    assert!((report.cache_hit_rate() - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn same_seed_same_job_is_deterministic_even_without_cache() {
+    // Two *separate services* (so no shared cache): fixed seeds alone must
+    // reproduce bits and energy exactly.
+    let run = || {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let out = service
+            .run(JobSpec::new(mqo(5), 77).with_options(repair()).on_backend("simulated-annealing"))
+            .expect("solvable");
+        (out.report.bits.clone(), out.report.energy)
+    };
+    let (bits_a, energy_a) = run();
+    let (bits_b, energy_b) = run();
+    assert_eq!(bits_a, bits_b);
+    assert_eq!(energy_a, energy_b);
+}
+
+#[test]
+fn mixed_batch_preserves_submission_order_across_workers() {
+    let service = SolverService::new(ServiceConfig { workers: 4, cache_capacity: 256 });
+    // Interleave the three problem families; seeds make each job unique.
+    let mut batch = Vec::new();
+    let mut expected_names = Vec::new();
+    for i in 0..4u64 {
+        batch.push(JobSpec::new(mqo(10 + i), 100 + i).with_options(repair()));
+        expected_names.push(mqo(10 + i).name());
+        batch.push(JobSpec::new(joinorder(20 + i), 200 + i).with_options(repair()));
+        expected_names.push(joinorder(20 + i).name());
+        batch.push(JobSpec::new(txn_schedule(30 + i), 300 + i).with_options(repair()));
+        expected_names.push(txn_schedule(30 + i).name());
+    }
+    let outcomes = service.run_batch(batch);
+    assert_eq!(outcomes.len(), 12);
+    for (k, (outcome, want)) in outcomes.iter().zip(&expected_names).enumerate() {
+        let result = outcome.as_ref().expect("solvable");
+        assert_eq!(&result.report.problem, want, "slot {k} out of order");
+        assert!(result.report.decoded.feasible, "slot {k} infeasible");
+    }
+    // Job ids are the submission order.
+    for (k, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome.as_ref().unwrap().job_id, k as u64);
+    }
+}
+
+#[test]
+fn portfolio_routing_respects_backend_capacity() {
+    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    // A 5-table left-deep join-order encoding is 25 variables: beyond every
+    // gate-based route (<= 20 qubits) but fine for annealing/classical.
+    let mut rng = StdRng::seed_from_u64(41);
+    let big = Arc::new(JoinOrderProblem::left_deep(QueryGraph::generate_random(5, 0.4, &mut rng)));
+    let n_vars = big.n_vars();
+    assert!(n_vars > 20, "intended to exceed gate-based capacity, got {n_vars}");
+    let result = service.run(JobSpec::new(big, 7).with_options(repair())).expect("routable");
+    let idx = service.registry().find(&result.backend).expect("known backend");
+    assert!(
+        service.registry().get(idx).spec.max_vars >= n_vars,
+        "portfolio must never route past a backend's max_vars"
+    );
+    // Pinning the same job to an undersized backend fails loudly instead.
+    let mut rng = StdRng::seed_from_u64(41);
+    let big = Arc::new(JoinOrderProblem::left_deep(QueryGraph::generate_random(5, 0.4, &mut rng)));
+    let err = service.run(JobSpec::new(big, 7).on_backend("qaoa")).unwrap_err();
+    assert!(matches!(err, JobError::BackendTooSmall { .. }));
+}
+
+#[test]
+fn presolve_and_decompose_match_undecomposed_energy_on_mqo() {
+    // Regression for the hybrid stages of Sec. III-C.2: with a certified
+    // exact solver, presolve + connected-component decomposition must reach
+    // exactly the energy of the undecomposed solve.
+    for seed in [1u64, 2, 3, 4, 5] {
+        let problem = mqo(seed);
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let plain =
+            run_pipeline(problem.as_ref(), &ExactSolver, &PipelineOptions::default(), &mut rng);
+        let hybrid = run_pipeline(
+            problem.as_ref(),
+            &ExactSolver,
+            &PipelineOptions { presolve: true, decompose: true, repair: false },
+            &mut rng,
+        );
+        assert!(
+            (plain.energy - hybrid.energy).abs() < 1e-9,
+            "seed {seed}: undecomposed {} vs presolve+decompose {}",
+            plain.energy,
+            hybrid.energy
+        );
+        assert!(hybrid.max_subproblem_vars <= plain.max_subproblem_vars);
+    }
+}
+
+#[test]
+fn runtime_report_accounts_for_every_job() {
+    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    let batch: Vec<JobSpec> =
+        (0..6).map(|i| JobSpec::new(mqo(60 + i), 600 + i).with_options(repair())).collect();
+    let outcomes = service.run_batch(batch);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+    let report = service.report();
+    assert_eq!(report.jobs_submitted, 6);
+    assert_eq!(report.jobs_completed, 6);
+    assert_eq!(report.jobs_failed, 0);
+    assert_eq!(report.cache_hits + report.cache_misses, 6);
+    let routed: u64 = report.per_backend.iter().map(|(_, n)| n).sum();
+    assert_eq!(routed, report.cache_misses, "every miss is attributed to a backend");
+    assert!(report.solve_seconds_total >= 0.0);
+    assert!(!report.to_string().is_empty());
+}
