@@ -83,19 +83,33 @@ mod tests {
         assert!(dist[5] >= 4.0 / std::f64::consts::PI.powi(2));
     }
 
+    /// Mean circular error of 20 QPE draws with `t` counting qubits, under
+    /// one seed.
+    fn mean_error(t: usize, phi: f64, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        for _ in 0..20 {
+            let e = estimate_phase(t, phi, &mut rng);
+            sum += (e.phase - phi).abs().min(1.0 - (e.phase - phi).abs());
+        }
+        sum / 20.0
+    }
+
     #[test]
     fn more_counting_qubits_tighten_estimate() {
-        let mut rng = StdRng::seed_from_u64(1);
+        // Median of 5 independently seeded runs: a distribution-level bound
+        // that no single unlucky seed can break, unlike the single-seed mean
+        // this test previously asserted on.
         let phi = 0.7131;
-        let coarse = estimate_phase(3, phi, &mut rng);
-        let mut fine_err_sum = 0.0;
-        for _ in 0..20 {
-            let e = estimate_phase(8, phi, &mut rng);
-            let err = (e.phase - phi).abs().min(1.0 - (e.phase - phi).abs());
-            fine_err_sum += err;
-        }
-        let coarse_err = (coarse.phase - phi).abs().min(1.0 - (coarse.phase - phi).abs());
-        assert!(fine_err_sum / 20.0 <= coarse_err + 1.0 / 8.0);
-        assert!(fine_err_sum / 20.0 < 0.01);
+        let median = |mut errs: Vec<f64>| -> f64 {
+            errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+            errs[errs.len() / 2]
+        };
+        let coarse = median((0..5).map(|s| mean_error(3, phi, s)).collect());
+        let fine = median((0..5).map(|s| mean_error(8, phi, 100 + s)).collect());
+        // 3 counting qubits resolve phi to at best |0.7131 - 0.75| ≈ 0.037,
+        // so the 8-qubit estimator must come out strictly tighter.
+        assert!(fine < coarse, "8-qubit median error {fine} vs 3-qubit {coarse}");
+        assert!(fine < 0.01, "8-qubit median-of-means error too large: {fine}");
     }
 }

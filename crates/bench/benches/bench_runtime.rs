@@ -5,6 +5,12 @@
 //! bench measures the cache-hit path separately. On a multi-core runner the
 //! pooled batch completes ≥ 2× faster than the sequential loop (the printed
 //! `runtime/speedup` line reports the measured ratio).
+//!
+//! A fourth group compares synchronous `run_batch` against session
+//! submission with `completions()` streaming: the streaming consumer starts
+//! post-processing each result the moment it finishes instead of waiting
+//! for the whole batch (the printed `runtime/streaming` line reports the
+//! measured ratio of the two).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdm_core::pipeline::{run_pipeline, PipelineOptions};
@@ -96,6 +102,84 @@ fn bench_throughput(c: &mut Criterion) {
     );
 }
 
+/// Per-result post-processing a streaming consumer can overlap with
+/// solving: a pass over the decoded summary stands in for decode work.
+fn postprocess(outcome: &JobOutcome) -> usize {
+    let result = outcome.as_ref().expect("solvable");
+    std::hint::black_box(result.report.decoded.summary.len() + result.report.bits.len())
+}
+
+fn run_streaming(service: &SolverService, problems: &[Arc<MqoProblem>]) {
+    let options = opts();
+    let session = service.session(SessionConfig { queue_capacity: N_JOBS, ..Default::default() });
+    for problem in problems {
+        let seed = SEED.fetch_add(1, Ordering::Relaxed);
+        let spec = JobSpec::new(Arc::clone(problem) as SharedProblem, seed)
+            .with_options(options)
+            .on_backend("simulated-annealing");
+        session.submit(spec);
+    }
+    // Post-process each completion as it lands, overlapping with the
+    // still-running remainder of the batch.
+    let mut consumed = 0;
+    for completion in session.completions() {
+        consumed += postprocess(&completion.outcome).min(1);
+    }
+    assert_eq!(consumed, N_JOBS);
+}
+
+fn run_batched(service: &SolverService, problems: &[Arc<MqoProblem>]) {
+    let options = opts();
+    let batch: Vec<JobSpec> = problems
+        .iter()
+        .map(|p| {
+            let seed = SEED.fetch_add(1, Ordering::Relaxed);
+            JobSpec::new(Arc::clone(p) as SharedProblem, seed)
+                .with_options(options)
+                .on_backend("simulated-annealing")
+        })
+        .collect();
+    // The synchronous wrapper only hands results back once the whole batch
+    // resolved; post-processing is serialized behind the slowest job.
+    let outcomes = service.run_batch(batch);
+    let consumed: usize = outcomes.iter().map(|o| postprocess(o).min(1)).sum();
+    assert_eq!(consumed, N_JOBS);
+}
+
+fn bench_streaming_completions(c: &mut Criterion) {
+    let problems = workload();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let service = SolverService::new(ServiceConfig { workers, cache_capacity: 8 });
+
+    let mut group = c.benchmark_group("runtime/streaming");
+    group.sample_size(10);
+    group.bench_function("run_batch_then_decode", |b| b.iter(|| run_batched(&service, &problems)));
+    group.bench_function("session_stream_decode", |b| {
+        b.iter(|| run_streaming(&service, &problems));
+    });
+    group.finish();
+
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_batched(&service, &problems);
+    }
+    let batched = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        run_streaming(&service, &problems);
+    }
+    let streaming = t1.elapsed().as_secs_f64();
+    println!(
+        "runtime/streaming: {:.2}x ({} jobs/batch, {} workers, batch {:.3}s vs stream {:.3}s)",
+        batched / streaming,
+        N_JOBS,
+        workers,
+        batched / reps as f64,
+        streaming / reps as f64
+    );
+}
+
 fn bench_cache_hit_path(c: &mut Criterion) {
     let problems = workload();
     let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 1024 });
@@ -119,5 +203,5 @@ fn bench_cache_hit_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_throughput, bench_cache_hit_path);
+criterion_group!(benches, bench_throughput, bench_streaming_completions, bench_cache_hit_path);
 criterion_main!(benches);

@@ -33,7 +33,7 @@ pub mod prelude {
     pub use crate::device::{Connectivity, Device, DeviceKind, Fit};
     pub use crate::pipeline::{
         run_pipeline, run_pipeline_on_chimera, run_pipeline_with_qubo, EmbeddedPipelineReport,
-        PipelineOptions, PipelineReport,
+        JobPriority, PipelineOptions, PipelineReport,
     };
     pub use crate::problem::{Decoded, DmProblem};
     pub use crate::roadmap::{

@@ -14,6 +14,23 @@ use qdm_qubo::presolve::presolve;
 use rand::rngs::StdRng;
 use std::time::Instant;
 
+/// Scheduling priority of a job carrying these options.
+///
+/// Priority is a *scheduling* hint only: the `qdm-runtime` job queue serves
+/// higher-priority jobs first (FIFO within a level), but a job's result is
+/// identical at every level — priority is therefore excluded from result
+/// identity (cache keys).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JobPriority {
+    /// Served after everything else: bulk/backfill work.
+    Low,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Jumps every queued `Normal`/`Low` job: interactive traffic.
+    High,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PipelineOptions {
@@ -23,6 +40,8 @@ pub struct PipelineOptions {
     pub decompose: bool,
     /// Apply the problem's repair hook to the decoded assignment.
     pub repair: bool,
+    /// Queue priority (scheduling only; never affects the computed result).
+    pub priority: JobPriority,
 }
 
 /// Telemetry and results from one pipeline run.
@@ -279,7 +298,12 @@ mod tests {
         let report = run_pipeline(
             &TwoGroups,
             &SaSolver::default(),
-            &PipelineOptions { decompose: true, presolve: true, repair: true },
+            &PipelineOptions {
+                decompose: true,
+                presolve: true,
+                repair: true,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert!(report.decoded.feasible, "report: {report:?}");

@@ -294,6 +294,37 @@ mod tests {
     }
 
     #[test]
+    fn permuted_instance_has_same_canonical_fingerprint() {
+        // The same MQO instance with its plan variables enumerated in
+        // reverse order: the label-sensitive fingerprint differs, the
+        // canonical fingerprint — the runtime's cache key — does not.
+        let inst = instance(3, 3, 2);
+        let n = inst.n_plans();
+        let to: Vec<usize> = (0..n).rev().collect();
+        let mut plan_query = vec![0usize; n];
+        let mut plan_cost = vec![0.0f64; n];
+        for (p, &t) in to.iter().enumerate() {
+            plan_query[t] = inst.plan_query[p];
+            plan_cost[t] = inst.plan_cost[p];
+        }
+        let savings =
+            inst.savings.iter().map(|&(p, q, s)| (to[p].min(to[q]), to[p].max(to[q]), s)).collect();
+        let permuted = MqoInstance { n_queries: inst.n_queries, plan_query, plan_cost, savings };
+        let original_qubo = MqoProblem::new(inst).to_qubo();
+        let permuted_qubo = MqoProblem::new(permuted).to_qubo();
+        assert_ne!(
+            original_qubo.fingerprint(),
+            permuted_qubo.fingerprint(),
+            "plain fingerprint is label-sensitive"
+        );
+        assert_eq!(
+            original_qubo.canonical_fingerprint(),
+            permuted_qubo.canonical_fingerprint(),
+            "canonical fingerprint must be invariant under plan relabeling"
+        );
+    }
+
+    #[test]
     fn qubo_energy_equals_objective_on_feasible_assignments() {
         let inst = instance(7, 3, 2);
         let problem = MqoProblem::new(inst.clone());

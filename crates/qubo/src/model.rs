@@ -231,6 +231,96 @@ impl QuboModel {
         h
     }
 
+    /// A variable-permutation-invariant fingerprint: two models that differ
+    /// only by a relabeling of their variables hash identically (whenever the
+    /// signature refinement below separates the variables, which it does for
+    /// any model without non-trivial coefficient symmetries).
+    ///
+    /// `qdm-runtime` keys its result cache on this, so the same MQO /
+    /// join-ordering instance encoded with plans or relations enumerated in a
+    /// different order is still served from cache. See [`Self::canonical_form`]
+    /// for the permutation needed to translate cached assignments back.
+    pub fn canonical_fingerprint(&self) -> u64 {
+        self.canonical_form().0
+    }
+
+    /// Computes the canonical relabeling of the model and the fingerprint of
+    /// the relabeled coefficients: returns `(fingerprint, perm)` with
+    /// `perm[original_index] = canonical_index`.
+    ///
+    /// Variables are sorted by a coefficient signature — FNV-1a over the
+    /// linear term, refined twice over the sorted `(coupling weight,
+    /// neighbor signature)` multiset, a Weisfeiler-Lehman-style pass — and
+    /// the relabeled coefficient stream is hashed exactly as
+    /// [`Self::fingerprint`] would hash the relabeled model (without
+    /// materializing it). Ties (signature-identical variables) break by
+    /// original index, so genuinely symmetric variables may canonicalize
+    /// differently across permutations; that costs a cache hit, never
+    /// correctness.
+    pub fn canonical_form(&self) -> (u64, Vec<usize>) {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mix = |mut h: u64, word: u64| -> u64 {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        };
+        let f64_bits = |x: f64| if x == 0.0 { 0u64 } else { x.to_bits() };
+
+        let adj = self.neighbor_lists();
+        let mut sig: Vec<u64> = self.linear.iter().map(|&w| mix(FNV_OFFSET, f64_bits(w))).collect();
+        for _round in 0..2 {
+            let refined: Vec<u64> = (0..self.n_vars)
+                .map(|i| {
+                    let mut tokens: Vec<(u64, u64)> =
+                        adj[i].iter().map(|&(j, w)| (f64_bits(w), sig[j])).collect();
+                    tokens.sort_unstable();
+                    let mut h = mix(FNV_OFFSET, sig[i]);
+                    for (w, s) in tokens {
+                        h = mix(mix(h, w), s);
+                    }
+                    h
+                })
+                .collect();
+            sig = refined;
+        }
+
+        let mut order: Vec<usize> = (0..self.n_vars).collect();
+        order.sort_by_key(|&i| (sig[i], i));
+        let mut perm = vec![0usize; self.n_vars];
+        for (canonical, &original) in order.iter().enumerate() {
+            perm[original] = canonical;
+        }
+
+        // Hash the relabeled coefficient stream in [`Self::fingerprint`]'s
+        // exact byte order — variable count, linear terms by canonical
+        // index, couplings by sorted canonical key, offset — without
+        // building the relabeled model.
+        let mut h = FNV_OFFSET;
+        h = mix(h, self.n_vars as u64);
+        for &original in &order {
+            h = mix(h, f64_bits(self.linear[original]));
+        }
+        let mut couplings: Vec<(usize, usize, u64)> = self
+            .quadratic
+            .iter()
+            .map(|(&(i, j), &w)| {
+                let (a, b) = (perm[i].min(perm[j]), perm[i].max(perm[j]));
+                (a, b, f64_bits(w))
+            })
+            .collect();
+        couplings.sort_unstable();
+        for (a, b, w) in couplings {
+            h = mix(h, a as u64);
+            h = mix(h, b as u64);
+            h = mix(h, w);
+        }
+        h = mix(h, f64_bits(self.offset));
+        (h, perm)
+    }
+
     /// A lower bound on the energy: offset plus all negative coefficients.
     pub fn naive_lower_bound(&self) -> f64 {
         let mut b = self.offset;
@@ -385,6 +475,86 @@ mod tests {
         let mut z2 = QuboModel::new(1);
         z2.add_linear(0, -0.0);
         assert_eq!(z1.fingerprint(), z2.fingerprint());
+    }
+
+    #[test]
+    fn canonical_fingerprint_is_permutation_invariant() {
+        // A model with distinct coefficients and its image under the
+        // permutation 0→2, 1→0, 2→3, 3→1.
+        let mut a = QuboModel::new(4);
+        a.add_linear(0, 1.5)
+            .add_linear(1, -2.0)
+            .add_linear(2, 3.25)
+            .add_linear(3, 0.5)
+            .add_quadratic(0, 1, 2.0)
+            .add_quadratic(1, 2, -1.0)
+            .add_quadratic(0, 3, 4.0)
+            .add_offset(0.75);
+        let to = [2usize, 0, 3, 1];
+        let mut b = QuboModel::new(4);
+        for (i, &t) in to.iter().enumerate() {
+            b.add_linear(t, a.linear(i));
+        }
+        for ((i, j), w) in a.quadratic_iter() {
+            b.add_quadratic(to[i], to[j], w);
+        }
+        b.add_offset(a.offset());
+
+        assert_ne!(a.fingerprint(), b.fingerprint(), "plain fingerprint is label-sensitive");
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+
+        // The permutations translate assignments between the two labelings:
+        // bits agreeing in canonical positions have equal energies.
+        let (_, perm_a) = a.canonical_form();
+        let (_, perm_b) = b.canonical_form();
+        for idx in 0..16 {
+            let bits_a = bits_from_index(idx, 4);
+            let mut bits_b = vec![false; 4];
+            for i in 0..4 {
+                // canonical position of a's var i holds bits_a[i]; find b's
+                // variable at the same canonical position.
+                let canonical = perm_a[i];
+                let j = perm_b.iter().position(|&c| c == canonical).unwrap();
+                bits_b[j] = bits_a[i];
+            }
+            assert!((a.energy(&bits_a) - b.energy(&bits_b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn canonical_fingerprint_equals_fingerprint_of_relabeled_model() {
+        let mut q = QuboModel::new(4);
+        q.add_linear(0, 1.5)
+            .add_linear(2, -2.0)
+            .add_quadratic(0, 1, 2.0)
+            .add_quadratic(1, 3, -1.0)
+            .add_offset(0.25);
+        let (fp, perm) = q.canonical_form();
+        let mut relabeled = QuboModel::new(4);
+        for (i, &p) in perm.iter().enumerate() {
+            relabeled.add_linear(p, q.linear(i));
+        }
+        for ((i, j), w) in q.quadratic_iter() {
+            relabeled.add_quadratic(perm[i], perm[j], w);
+        }
+        relabeled.add_offset(q.offset());
+        assert_eq!(fp, relabeled.fingerprint(), "streamed hash must match the relabeled model");
+    }
+
+    #[test]
+    fn canonical_fingerprint_still_distinguishes_different_models() {
+        let mut a = QuboModel::new(3);
+        a.add_linear(0, 1.0).add_quadratic(0, 1, 2.0);
+        let mut b = QuboModel::new(3);
+        b.add_linear(0, 1.0).add_quadratic(0, 1, 2.5);
+        let mut c = QuboModel::new(3);
+        c.add_linear(0, 1.0).add_quadratic(0, 2, 2.0);
+        assert_ne!(a.canonical_fingerprint(), b.canonical_fingerprint());
+        // a and c ARE permutations of each other (swap vars 1 and 2).
+        assert_eq!(a.canonical_fingerprint(), c.canonical_fingerprint());
+        let mut d = QuboModel::new(4);
+        d.add_linear(0, 1.0).add_quadratic(0, 1, 2.0);
+        assert_ne!(a.canonical_fingerprint(), d.canonical_fingerprint());
     }
 
     #[test]

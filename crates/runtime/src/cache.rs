@@ -3,16 +3,34 @@
 //! the common case when the same MQO or join-ordering instance arrives again
 //! — are served without re-solving.
 //!
-//! The key combines the QUBO's canonical fingerprint
-//! ([`qdm_qubo::model::QuboModel::fingerprint`]) with the pipeline options,
-//! the job seed, and the requested backend. Under fixed seeds every pipeline
-//! stage is deterministic, so a hit returns a **bit-identical** report to
-//! what re-solving would have produced; the cache trades memory for latency
-//! without changing any observable result.
+//! The key combines the QUBO's permutation-invariant canonical fingerprint
+//! ([`qdm_qubo::model::QuboModel::canonical_fingerprint`]) with the pipeline
+//! options, the job seed, and the requested backend, so even the same
+//! instance encoded with its variables enumerated in a different order hits.
+//! Entries store the solved assignment in *canonical* variable order
+//! ([`CachedResult::canonical_bits`]); the service translates it back into
+//! the requester's labeling on every hit. Under fixed seeds every pipeline
+//! stage is deterministic, so an identically-labeled hit returns a
+//! **bit-identical** report to what re-solving would have produced; the
+//! cache trades memory for latency without changing any observable result.
+//!
+//! Storage is sharded: `min(capacity, MAX_SHARDS)` independently locked
+//! shards selected by the canonical fingerprint, so concurrent workers
+//! rarely contend on the same mutex at high worker counts. Each shard
+//! evicts FIFO independently; the total never exceeds the configured
+//! capacity.
 
 use qdm_core::pipeline::{PipelineOptions, PipelineReport};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
+
+/// Upper bound on the number of independently locked cache shards.
+pub const MAX_SHARDS: usize = 16;
+
+/// Minimum capacity a shard is worth: small caches stay unsharded so
+/// fingerprint collisions between a handful of entries cannot evict each
+/// other prematurely.
+pub const SHARD_MIN_CAPACITY: usize = 64;
 
 /// Cache key: canonical work identity.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -21,9 +39,11 @@ pub struct CacheKey {
     /// problem types can encode to coefficient-identical QUBOs while
     /// decoding/repairing differently; the name keeps their entries apart.
     pub problem: String,
-    /// Canonical QUBO fingerprint.
+    /// Permutation-invariant canonical QUBO fingerprint.
     pub qubo_fingerprint: u64,
     /// Pipeline options, packed (presolve | decompose<<1 | repair<<2).
+    /// Priority is scheduling-only and deliberately excluded: a job's result
+    /// is identical at every priority level.
     pub options_bits: u8,
     /// Per-job RNG seed.
     pub seed: u64,
@@ -50,8 +70,13 @@ impl CacheKey {
 /// A cached completed job.
 #[derive(Debug, Clone)]
 pub struct CachedResult {
-    /// The full pipeline report served to repeated submissions.
+    /// The full pipeline report as produced by the original solve (its
+    /// `bits` are in the *original submitter's* variable order).
     pub report: PipelineReport,
+    /// The solved assignment permuted into canonical variable order, so a
+    /// hit from a permuted-but-identical encoding can translate it into its
+    /// own labeling (`bits[i] = canonical_bits[perm[i]]`).
+    pub canonical_bits: Vec<bool>,
     /// Name of the backend that produced it.
     pub backend: String,
 }
@@ -62,36 +87,52 @@ struct CacheInner {
     order: VecDeque<CacheKey>,
 }
 
-/// A bounded, thread-safe result cache with FIFO eviction.
+/// A bounded, thread-safe result cache: fingerprint-sharded with per-shard
+/// FIFO eviction.
 pub struct ResultCache {
-    inner: Mutex<CacheInner>,
-    capacity: usize,
+    shards: Vec<Mutex<CacheInner>>,
+    per_shard_capacity: usize,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results (at least 1).
+    /// A cache holding at most `capacity` results (at least 1). The shard
+    /// count scales with capacity — one shard per [`SHARD_MIN_CAPACITY`]
+    /// entries, capped at [`MAX_SHARDS`] — so the default service cache gets
+    /// full sharding while tiny test caches keep single-FIFO semantics.
     pub fn new(capacity: usize) -> Self {
-        Self {
-            inner: Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }),
-            capacity: capacity.max(1),
-        }
+        let capacity = capacity.max(1);
+        let n_shards = (capacity / SHARD_MIN_CAPACITY).clamp(1, MAX_SHARDS);
+        let per_shard_capacity = (capacity / n_shards).max(1);
+        let shards = (0..n_shards)
+            .map(|_| Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }))
+            .collect();
+        Self { shards, per_shard_capacity }
+    }
+
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<CacheInner> {
+        &self.shards[(key.qubo_fingerprint as usize) % self.shards.len()]
     }
 
     /// Looks up a completed result.
     pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
-        self.inner.lock().expect("cache lock").map.get(key).cloned()
+        self.shard(key).lock().expect("cache lock").map.get(key).cloned()
     }
 
-    /// Inserts a completed result, evicting the oldest entry when full.
-    /// First-writer-wins on races: a duplicate insert (two workers solving
-    /// the same key concurrently) keeps the existing entry so later hits stay
-    /// consistent with earlier responses.
+    /// Inserts a completed result, evicting the shard's oldest entry when
+    /// the shard is full. First-writer-wins on races: a duplicate insert
+    /// (two workers solving the same key concurrently) keeps the existing
+    /// entry so later hits stay consistent with earlier responses.
     pub fn insert(&self, key: CacheKey, value: CachedResult) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.shard(&key).lock().expect("cache lock");
         if inner.map.contains_key(&key) {
             return;
         }
-        while inner.map.len() >= self.capacity {
+        while inner.map.len() >= self.per_shard_capacity {
             match inner.order.pop_front() {
                 Some(oldest) => {
                     inner.map.remove(&oldest);
@@ -103,9 +144,9 @@ impl ResultCache {
         inner.map.insert(key, value);
     }
 
-    /// Number of live entries.
+    /// Number of live entries, summed over shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.shards.iter().map(|s| s.lock().expect("cache lock").map.len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -135,6 +176,11 @@ mod tests {
         }
     }
 
+    fn entry(tag: &str, backend: &str) -> CachedResult {
+        let report = report(tag);
+        CachedResult { canonical_bits: report.bits.clone(), report, backend: backend.into() }
+    }
+
     fn key(fp: u64) -> CacheKey {
         CacheKey::new("p".into(), fp, &PipelineOptions::default(), 7, None)
     }
@@ -143,10 +189,11 @@ mod tests {
     fn hit_returns_inserted_report() {
         let cache = ResultCache::new(4);
         assert!(cache.get(&key(1)).is_none());
-        cache.insert(key(1), CachedResult { report: report("a"), backend: "exact".into() });
+        cache.insert(key(1), entry("a", "exact"));
         let hit = cache.get(&key(1)).expect("hit");
         assert_eq!(hit.report.problem, "a");
         assert_eq!(hit.backend, "exact");
+        assert_eq!(hit.canonical_bits, vec![true, false]);
     }
 
     #[test]
@@ -165,10 +212,23 @@ mod tests {
     }
 
     #[test]
+    fn priority_does_not_split_cache_keys() {
+        use qdm_core::pipeline::JobPriority;
+        let normal = PipelineOptions::default();
+        let high = PipelineOptions { priority: JobPriority::High, ..Default::default() };
+        assert_eq!(
+            CacheKey::new("mqo".into(), 1, &normal, 7, None),
+            CacheKey::new("mqo".into(), 1, &high, 7, None),
+            "priority is scheduling-only; results are identical across levels"
+        );
+    }
+
+    #[test]
     fn fifo_eviction_bounds_size() {
         let cache = ResultCache::new(2);
+        assert_eq!(cache.shard_count(), 1, "tiny caches stay unsharded");
         for fp in 0..5u64 {
-            cache.insert(key(fp), CachedResult { report: report("r"), backend: "e".into() });
+            cache.insert(key(fp), entry("r", "e"));
         }
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&key(0)).is_none(), "oldest entries evicted");
@@ -176,10 +236,29 @@ mod tests {
     }
 
     #[test]
+    fn sharding_caps_at_max_shards_and_preserves_total_capacity() {
+        let cache = ResultCache::new(1024);
+        assert_eq!(cache.shard_count(), MAX_SHARDS);
+        // 1024 entries spread over 16 shards of 64: nothing evicted yet.
+        for fp in 0..1024u64 {
+            cache.insert(key(fp), entry("r", "e"));
+        }
+        assert_eq!(cache.len(), 1024);
+        // One more per shard rolls the oldest of each shard out.
+        for fp in 1024..1040u64 {
+            cache.insert(key(fp), entry("r", "e"));
+        }
+        assert_eq!(cache.len(), 1024, "total stays at capacity");
+        for fp in 0..16u64 {
+            assert!(cache.get(&key(fp)).is_none(), "fp {fp} was each shard's oldest");
+        }
+    }
+
+    #[test]
     fn first_writer_wins_on_duplicate_insert() {
         let cache = ResultCache::new(4);
-        cache.insert(key(1), CachedResult { report: report("first"), backend: "e".into() });
-        cache.insert(key(1), CachedResult { report: report("second"), backend: "e".into() });
+        cache.insert(key(1), entry("first", "e"));
+        cache.insert(key(1), entry("second", "e"));
         assert_eq!(cache.get(&key(1)).unwrap().report.problem, "first");
         assert_eq!(cache.len(), 1);
     }

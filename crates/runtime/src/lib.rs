@@ -10,33 +10,62 @@
 //! - [`registry`] — every [`qdm_core::solver::QuboSolver`] backend with its
 //!   capability snapshot ([`registry::SolverSpec`]): `max_vars`, Fig. 2
 //!   branch, static cost prior;
-//! - [`service`] — the job queue + worker pool ([`service::SolverService`]):
-//!   batches of [`qdm_core::problem::DmProblem`]s run through
-//!   [`qdm_core::pipeline::run_pipeline`] concurrently, each job under its
-//!   own seeded RNG so results are reproducible regardless of scheduling;
-//! - [`cache`] — the result cache keyed by canonical QUBO fingerprint
-//!   ([`qdm_qubo::model::QuboModel::fingerprint`]) + options + seed, serving
-//!   repeated instances bit-identically without re-solving;
+//! - [`service`] — the worker pool and priority-laned job queue
+//!   ([`service::SolverService`]): each job runs
+//!   [`qdm_core::pipeline::run_pipeline`] under its own seeded RNG, so
+//!   results are reproducible regardless of scheduling;
+//! - [`submit`] — the asynchronous client API ([`submit::Session`]):
+//!   `submit(JobSpec) -> JobHandle` against a **bounded** per-session queue
+//!   with two backpressure modes ([`submit::Session::try_submit`] returns
+//!   [`submit::SubmitError::QueueFull`]; [`submit::Session::submit`] blocks
+//!   under a condvar), a finish-order completion stream
+//!   ([`submit::Session::completions`]), and graceful teardown
+//!   ([`submit::Session::drain`] / [`submit::Session::shutdown`]);
+//! - [`handle`] — per-job completion slots ([`handle::JobHandle`]):
+//!   non-blocking [`handle::JobHandle::try_result`], blocking
+//!   [`handle::JobHandle::wait`], and [`handle::JobHandle::cancel`] (a
+//!   queued job is removed before any worker picks it up; a running job
+//!   completes but reports [`service::JobError::Cancelled`] to late
+//!   waiters);
+//! - [`cache`] — the fingerprint-sharded result cache keyed by the
+//!   permutation-invariant canonical QUBO fingerprint
+//!   ([`qdm_qubo::model::QuboModel::canonical_fingerprint`]) + options +
+//!   seed, serving repeated instances bit-identically — and permuted
+//!   re-encodings of the same instance via canonical-assignment
+//!   translation — without re-solving;
 //! - [`portfolio`] — the adaptive scheduler routing each job by size and
 //!   observed latency/energy-quality telemetry;
-//! - [`metrics`] — counters, a log-scale latency histogram, and the
+//! - [`metrics`] — counters (including queue depth, backpressure, and
+//!   cancellations), a log-scale latency histogram, and the
 //!   [`metrics::RuntimeReport`] snapshot.
+//!
+//! The synchronous [`service::SolverService::run_batch`] /
+//! [`service::SolverService::run`] survive as thin compatibility wrappers
+//! implemented on top of the session API (one session sized to the batch,
+//! every handle waited in submission order), so existing callers see no
+//! behavior change. Determinism is preserved across entry points: per-job
+//! seeded RNGs make a job's result bit-identical whether obtained via
+//! `run_batch`, `JobHandle::wait`, or a cache hit.
 //!
 //! See `examples/solver_service.rs` at the workspace root for the
 //! end-to-end tour: a mixed MQO / join-ordering / transaction-scheduling
-//! batch fanned out across backends, then resubmitted to show cache hits.
+//! batch fanned out across backends, an async session streaming
+//! completions, then resubmission showing cache hits.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod handle;
 pub mod metrics;
 pub mod portfolio;
 pub mod registry;
 pub mod service;
+pub mod submit;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::cache::{CacheKey, CachedResult, ResultCache};
+    pub use crate::handle::{CancelStatus, Completion, JobHandle};
     pub use crate::metrics::{Metrics, RuntimeReport};
     pub use crate::portfolio::{BackendStats, PortfolioScheduler};
     pub use crate::registry::{RegisteredSolver, SolverRegistry, SolverSpec};
@@ -44,6 +73,7 @@ pub mod prelude {
         BackendChoice, JobError, JobOutcome, JobResult, JobSpec, ServiceConfig, SharedProblem,
         SolverService,
     };
+    pub use crate::submit::{Completions, Session, SessionConfig, SubmitError};
 }
 
 pub use prelude::*;

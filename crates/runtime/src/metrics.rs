@@ -15,8 +15,13 @@ pub struct Metrics {
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    backpressure_rejections: AtomicU64,
+    backpressure_waits: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
     solve_seconds_total_micros: AtomicU64,
     per_backend: Mutex<Vec<(String, u64)>>,
@@ -60,6 +65,33 @@ impl Metrics {
         self.jobs_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a job entering the service queue, tracking the depth peak.
+    pub fn on_enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a job leaving the service queue (picked up or cancelled).
+    pub fn on_dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a `try_submit` rejected by a full session queue.
+    pub fn on_backpressure_rejection(&self) {
+        self.backpressure_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a blocking `submit` that had to wait for queue space.
+    pub fn on_backpressure_wait(&self) {
+        self.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cancellation that took effect (queued job removed, or a
+    /// running job marked to report `Cancelled`).
+    pub fn on_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshots every counter into an immutable report.
     pub fn report(&self) -> RuntimeReport {
         let mut per_backend = self.per_backend.lock().expect("metrics lock").clone();
@@ -68,8 +100,13 @@ impl Metrics {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            backpressure_rejections: self.backpressure_rejections.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
             solve_seconds_total: self.solve_seconds_total_micros.load(Ordering::Relaxed) as f64
                 / 1e6,
             latency_histogram: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
@@ -87,10 +124,21 @@ pub struct RuntimeReport {
     pub jobs_completed: u64,
     /// Jobs that failed routing (no eligible backend).
     pub jobs_failed: u64,
+    /// Cancellations that took effect (queued jobs removed before a worker
+    /// picked them up, plus running jobs marked to report `Cancelled`).
+    pub jobs_cancelled: u64,
     /// Jobs served from the result cache.
     pub cache_hits: u64,
     /// Jobs that had to be solved.
     pub cache_misses: u64,
+    /// Jobs sitting in the service queue right now.
+    pub queue_depth: u64,
+    /// Deepest the queue has ever been.
+    pub queue_depth_peak: u64,
+    /// `Session::try_submit` calls rejected with `QueueFull`.
+    pub backpressure_rejections: u64,
+    /// Blocking `Session::submit` calls that had to wait for queue space.
+    pub backpressure_waits: u64,
     /// Total backend wall time spent solving (cache hits cost none).
     pub solve_seconds_total: f64,
     /// Solve-latency histogram; bucket `i` counts solves in
@@ -125,6 +173,15 @@ impl std::fmt::Display for RuntimeReport {
             self.cache_hits,
             self.cache_misses,
             100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "queue:   depth {} (peak {}), {} rejected, {} waited, {} cancelled",
+            self.queue_depth,
+            self.queue_depth_peak,
+            self.backpressure_rejections,
+            self.backpressure_waits,
+            self.jobs_cancelled
         )?;
         writeln!(f, "solve:   {:.3}s total backend time", self.solve_seconds_total)?;
         for (name, count) in &self.per_backend {
@@ -181,6 +238,24 @@ mod tests {
         let r = m.report();
         assert_eq!(r.latency_histogram[1], 1);
         assert_eq!(r.latency_histogram[19], 1);
+    }
+
+    #[test]
+    fn queue_and_backpressure_counters_accumulate() {
+        let m = Metrics::new();
+        m.on_enqueue();
+        m.on_enqueue();
+        m.on_dequeue();
+        m.on_backpressure_rejection();
+        m.on_backpressure_wait();
+        m.on_cancelled();
+        let r = m.report();
+        assert_eq!(r.queue_depth, 1);
+        assert_eq!(r.queue_depth_peak, 2);
+        assert_eq!(r.backpressure_rejections, 1);
+        assert_eq!(r.backpressure_waits, 1);
+        assert_eq!(r.jobs_cancelled, 1);
+        assert!(r.to_string().contains("depth 1 (peak 2)"));
     }
 
     #[test]

@@ -1,24 +1,30 @@
-//! The concurrent solver service: a job queue feeding a pool of worker
-//! threads, each running the Fig. 2 pipeline end to end — cache lookup,
-//! portfolio routing, `run_pipeline`, telemetry — for every submitted
-//! data-management problem.
+//! The concurrent solver service: a priority-laned job queue feeding a pool
+//! of worker threads, each running the Fig. 2 pipeline end to end — cache
+//! lookup, portfolio routing, `run_pipeline`, telemetry — for every
+//! submitted data-management problem.
 //!
 //! Concurrency model: plain `std::thread` workers draining a shared
-//! `Mutex<VecDeque>` under a condvar (no external dependencies). Every job
-//! carries its own RNG seed, so results are reproducible regardless of
-//! which worker picks the job up or in what order the batch executes.
+//! `Mutex`-guarded queue under a condvar (no external dependencies). Every
+//! job resolves through its own `CompletionSlot` (see [`crate::handle`]) rather
+//! than a per-batch channel, which is what lets the [`crate::submit`] layer
+//! hand out independent [`crate::handle::JobHandle`]s, cancel queued jobs,
+//! and stream completions. Every job carries its own RNG seed, so results
+//! are reproducible regardless of which worker picks the job up or in what
+//! order anything executes.
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::handle::{Completion, CompletionSlot};
 use crate::metrics::{Metrics, RuntimeReport};
 use crate::portfolio::{energy_quality, PortfolioScheduler};
 use crate::registry::SolverRegistry;
-use qdm_core::pipeline::{run_pipeline_with_qubo, PipelineOptions, PipelineReport};
+use crate::submit::SessionCore;
+use qdm_core::pipeline::{run_pipeline_with_qubo, JobPriority, PipelineOptions, PipelineReport};
 use qdm_core::problem::DmProblem;
+use qdm_qubo::model::QuboModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -58,6 +64,13 @@ impl JobSpec {
     /// Sets the pipeline options.
     pub fn with_options(mut self, options: PipelineOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Sets the queue priority (scheduling only; the result is identical at
+    /// every priority level and cache entries are shared across levels).
+    pub fn with_priority(mut self, priority: JobPriority) -> Self {
+        self.options.priority = priority;
         self
     }
 
@@ -101,6 +114,10 @@ pub enum JobError {
         /// The model's variable count.
         n_vars: usize,
     },
+    /// The job was cancelled through its [`crate::handle::JobHandle`]: either
+    /// removed from the queue before a worker picked it up, or cancelled
+    /// mid-run (the solve completed and was cached, but waiters see this).
+    Cancelled,
     /// The job panicked inside encoding, solving, or decoding. The worker
     /// survives; the panic payload (if it was a string) is carried here.
     Panicked(String),
@@ -116,6 +133,7 @@ impl std::fmt::Display for JobError {
             JobError::NoEligibleBackend { n_vars } => {
                 write!(f, "no registered backend admits {n_vars} variables")
             }
+            JobError::Cancelled => write!(f, "job cancelled"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }
     }
@@ -126,20 +144,65 @@ impl std::error::Error for JobError {}
 /// Result of one job: completed or failed routing.
 pub type JobOutcome = Result<JobResult, JobError>;
 
-struct QueuedJob {
-    id: u64,
-    spec: JobSpec,
-    reply: Sender<(u64, JobOutcome)>,
+/// A job sitting in the service queue, waiting for a worker.
+pub(crate) struct QueuedJob {
+    pub(crate) id: u64,
+    pub(crate) spec: JobSpec,
+    pub(crate) slot: Arc<CompletionSlot>,
+    pub(crate) session: Arc<SessionCore>,
 }
 
-struct Shared {
-    registry: SolverRegistry,
-    cache: ResultCache,
-    portfolio: PortfolioScheduler,
-    metrics: Metrics,
-    queue: Mutex<VecDeque<QueuedJob>>,
-    job_ready: Condvar,
-    shutting_down: AtomicBool,
+/// The service queue: one FIFO lane per [`JobPriority`], popped
+/// highest-priority-first.
+pub(crate) struct JobQueues {
+    lanes: [VecDeque<QueuedJob>; 3],
+}
+
+impl JobQueues {
+    fn new() -> Self {
+        Self { lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()] }
+    }
+
+    /// High → 0, Normal → 1, Low → 2: pop order.
+    fn lane(priority: JobPriority) -> usize {
+        match priority {
+            JobPriority::High => 0,
+            JobPriority::Normal => 1,
+            JobPriority::Low => 2,
+        }
+    }
+
+    pub(crate) fn push(&mut self, job: QueuedJob) {
+        self.lanes[Self::lane(job.spec.options.priority)].push_back(job);
+    }
+
+    fn pop(&mut self) -> Option<QueuedJob> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Removes a queued job by id (for cancellation); `None` if a worker
+    /// already picked it up or it never existed.
+    pub(crate) fn remove(&mut self, id: u64) -> Option<QueuedJob> {
+        for lane in &mut self.lanes {
+            if let Some(pos) = lane.iter().position(|job| job.id == id) {
+                return lane.remove(pos);
+            }
+        }
+        None
+    }
+}
+
+/// Service internals shared between the owner, sessions, handles, and
+/// workers.
+pub(crate) struct Shared {
+    pub(crate) registry: SolverRegistry,
+    pub(crate) cache: ResultCache,
+    pub(crate) portfolio: PortfolioScheduler,
+    pub(crate) metrics: Metrics,
+    pub(crate) queue: Mutex<JobQueues>,
+    pub(crate) job_ready: Condvar,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) next_job_id: AtomicU64,
 }
 
 /// Service configuration.
@@ -159,6 +222,11 @@ impl Default for ServiceConfig {
 }
 
 /// The concurrent solver service.
+///
+/// The synchronous entry points below ([`Self::run_batch`], [`Self::run`])
+/// are thin wrappers over the handle-based asynchronous API — see
+/// [`SolverService::session`] for submission with backpressure, per-job
+/// [`crate::handle::JobHandle`]s, cancellation, and streaming completions.
 ///
 /// ```
 /// use qdm_runtime::prelude::*;
@@ -186,16 +254,22 @@ impl Default for ServiceConfig {
 ///
 /// let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
 /// let job = JobSpec::new(Arc::new(PickOne), 7);
-/// let outcomes = service.run_batch(vec![job.clone(), job]);
-/// assert!(outcomes[0].as_ref().unwrap().report.decoded.feasible);
-/// // Same work twice: the repeat is a cache hit with an identical answer.
-/// assert!(outcomes[1].as_ref().unwrap().from_cache);
+///
+/// // Asynchronous path: submit, keep working, then wait the handle.
+/// let session = service.session(SessionConfig::default());
+/// let handle = session.submit(job.clone());
+/// let first = handle.wait().unwrap();
+/// assert!(first.report.decoded.feasible);
+///
+/// // Synchronous wrapper: same work resubmitted is a bit-identical cache hit.
+/// let again = service.run(job).unwrap();
+/// assert!(again.from_cache);
+/// assert_eq!(again.report.bits, first.report.bits);
 /// assert_eq!(service.report().cache_hits, 1);
 /// ```
 pub struct SolverService {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    next_job_id: AtomicU64,
 }
 
 impl SolverService {
@@ -212,9 +286,10 @@ impl SolverService {
             cache: ResultCache::new(config.cache_capacity),
             portfolio: PortfolioScheduler::new(n_backends),
             metrics: Metrics::new(),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(JobQueues::new()),
             job_ready: Condvar::new(),
             shutting_down: AtomicBool::new(false),
+            next_job_id: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -225,35 +300,15 @@ impl SolverService {
                     .expect("spawn worker")
             })
             .collect();
-        Self { shared, workers, next_job_id: AtomicU64::new(0) }
+        Self { shared, workers }
     }
 
     /// Submits a batch and blocks until every job is answered, returning
-    /// outcomes in submission order.
+    /// outcomes in submission order. A compatibility wrapper over the
+    /// session API: one session sized to the batch, every spec submitted,
+    /// every handle waited in order.
     pub fn run_batch(&self, specs: Vec<JobSpec>) -> Vec<JobOutcome> {
-        let n = specs.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        self.shared.metrics.on_submit(n as u64);
-        let base = self.next_job_id.fetch_add(n as u64, Ordering::Relaxed);
-        let (tx, rx) = std::sync::mpsc::channel();
-        {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
-            for (offset, spec) in specs.into_iter().enumerate() {
-                queue.push_back(QueuedJob { id: base + offset as u64, spec, reply: tx.clone() });
-            }
-        }
-        self.shared.job_ready.notify_all();
-        drop(tx);
-        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
-        for (id, outcome) in rx {
-            outcomes[(id - base) as usize] = Some(outcome);
-        }
-        outcomes
-            .into_iter()
-            .collect::<Option<Vec<_>>>()
-            .expect("every queued job sends exactly one outcome")
+        crate::submit::run_batch_via_session(self, specs)
     }
 
     /// Submits one job and blocks for its outcome.
@@ -271,7 +326,7 @@ impl SolverService {
         &self.shared.registry
     }
 
-    /// Live result-cache size (entries).
+    /// Live result-cache size (entries, summed over shards).
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
     }
@@ -292,7 +347,7 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -301,9 +356,13 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.job_ready.wait(queue).expect("queue lock");
             }
         };
+        // The job left the queue: free its session's backpressure slot so
+        // blocked submitters make progress while this worker solves.
+        shared.metrics.on_dequeue();
+        job.session.on_dequeue();
         // A panicking job (user-supplied to_qubo/decode/repair, or a solver
-        // bug) must neither kill the worker nor leave the batch owner
-        // waiting on a reply that never comes.
+        // bug) must neither kill the worker nor leave a handle waiting on a
+        // slot that never resolves.
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process(shared, &job.spec)))
                 .unwrap_or_else(|payload| {
@@ -319,8 +378,11 @@ fn worker_loop(shared: &Shared) {
                     result.job_id = job.id;
                     result
                 });
-        // The batch owner may have gone away; nothing to do then.
-        let _ = job.reply.send((job.id, outcome));
+        // Resolve the handle's slot first (so `wait()` never lags the
+        // stream), then feed the session's completion stream the exact
+        // outcome the slot delivered (cancellation-converted if needed).
+        let delivered = job.slot.resolve(outcome);
+        job.session.on_complete(Completion { id: job.id, outcome: delivered });
     }
 }
 
@@ -331,16 +393,11 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
         BackendChoice::Auto => None,
         BackendChoice::Named(name) => Some(name.as_str()),
     };
-    let key =
-        CacheKey::new(spec.problem.name(), qubo.fingerprint(), &spec.options, spec.seed, requested);
+    let (canonical_fp, perm) = qubo.canonical_form();
+    let key = CacheKey::new(spec.problem.name(), canonical_fp, &spec.options, spec.seed, requested);
     if let Some(cached) = shared.cache.get(&key) {
         shared.metrics.on_cache_hit();
-        return Ok(JobResult {
-            job_id: 0, // stamped with the queue id by the worker loop
-            report: cached.report,
-            backend: cached.backend,
-            from_cache: true,
-        });
+        return Ok(serve_cached(spec, &qubo, &perm, cached));
     }
 
     let backend_idx = match &spec.backend {
@@ -380,15 +437,55 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
         energy_quality(report.energy, naive_lower_bound),
         report.decoded.feasible,
     );
-    shared
-        .cache
-        .insert(key, CachedResult { report: report.clone(), backend: backend.spec.name.clone() });
+    let mut canonical_bits = vec![false; report.bits.len()];
+    for (i, &bit) in report.bits.iter().enumerate() {
+        canonical_bits[perm[i]] = bit;
+    }
+    shared.cache.insert(
+        key,
+        CachedResult { report: report.clone(), canonical_bits, backend: backend.spec.name.clone() },
+    );
     Ok(JobResult {
         job_id: 0, // stamped with the queue id by the worker loop
         report,
         backend: backend.spec.name.clone(),
         from_cache: false,
     })
+}
+
+/// Serves a cache hit. The common case — the requester's encoding is
+/// labeled exactly like the original submitter's — returns the stored
+/// report bit-identically. A permuted-but-identical encoding instead gets
+/// the canonical assignment translated into its own variable order, with
+/// the label-dependent fields (bits, energy, decode) re-derived; energy and
+/// feasibility are preserved by construction.
+fn serve_cached(
+    spec: &JobSpec,
+    qubo: &QuboModel,
+    perm: &[usize],
+    cached: CachedResult,
+) -> JobResult {
+    let mut bits = vec![false; perm.len()];
+    for (i, slot) in bits.iter_mut().enumerate() {
+        *slot = cached.canonical_bits[perm[i]];
+    }
+    if bits == cached.report.bits {
+        return JobResult {
+            job_id: 0, // stamped with the queue id by the worker loop
+            report: cached.report,
+            backend: cached.backend,
+            from_cache: true,
+        };
+    }
+    let energy = qubo.energy(&bits);
+    let decoded = spec.problem.decode(&bits);
+    let report = PipelineReport { bits, energy, decoded, ..cached.report };
+    JobResult {
+        job_id: 0, // stamped with the queue id by the worker loop
+        report,
+        backend: cached.backend,
+        from_cache: true,
+    }
 }
 
 #[cfg(test)]
@@ -608,5 +705,15 @@ mod tests {
         let outcomes = service.run_batch((0..6).map(|i| JobSpec::new(pick(4), i)).collect());
         assert_eq!(outcomes.len(), 6);
         drop(service); // must not hang or panic
+    }
+
+    #[test]
+    fn queue_depth_metrics_track_batch_traffic() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let _ = service.run_batch((0..4).map(|i| JobSpec::new(pick(4), i)).collect());
+        let report = service.report();
+        assert_eq!(report.queue_depth, 0, "all jobs drained");
+        assert!(report.queue_depth_peak >= 1);
+        assert_eq!(report.jobs_cancelled, 0);
     }
 }

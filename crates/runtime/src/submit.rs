@@ -1,0 +1,328 @@
+//! Asynchronous job submission: [`Session`]s over the
+//! [`crate::service::SolverService`] worker pool.
+//!
+//! A session is a client-side view of the service with its own **bounded**
+//! admission queue — the broker layer the hybrid architectures of Zajac &
+//! Störl (2024) and Liu & Jiang (2023) put between classical clients and
+//! quantum resources. Submission has two backpressure modes:
+//!
+//! - [`Session::try_submit`] never blocks: a full queue returns
+//!   [`SubmitError::QueueFull`] carrying the spec back to the caller;
+//! - [`Session::submit`] blocks under a condvar until a worker drains
+//!   enough of this session's queued jobs to make space.
+//!
+//! Each accepted job yields a [`crate::handle::JobHandle`] (poll / block /
+//! cancel per job), [`Session::completions`] streams finished jobs in
+//! finish order so decode work pipelines with solving, and
+//! [`Session::drain`] / [`Session::shutdown`] give graceful teardown with
+//! every in-flight handle resolved. The bound covers *queued* jobs of this
+//! session only: once a worker picks a job up, its slot frees, and other
+//! sessions on the same service are never throttled by this one.
+
+use crate::handle::{Completion, CompletionSlot, JobHandle};
+use crate::metrics::Metrics;
+use crate::service::{JobSpec, QueuedJob, SolverService};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Maximum number of this session's jobs waiting in the service queue
+    /// (at least 1). Jobs a worker has picked up no longer count.
+    pub queue_capacity: usize,
+    /// Maximum finished jobs buffered for [`Session::completions`] (at
+    /// least 1). A caller that only uses [`crate::handle::JobHandle`]s and
+    /// never consumes the stream would otherwise accumulate completions
+    /// without bound on a long-lived session; past this limit the *oldest*
+    /// unconsumed completion is dropped from the stream (handles still
+    /// resolve normally) and [`Session::completions_dropped`] counts it.
+    pub completion_buffer: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 64, completion_buffer: 4096 }
+    }
+}
+
+/// Why a non-blocking submission was not accepted.
+pub enum SubmitError {
+    /// The session's bounded queue is full; the spec is handed back so the
+    /// caller can retry, reroute, or shed the work.
+    QueueFull(JobSpec),
+}
+
+impl SubmitError {
+    /// Recovers the job spec for a retry.
+    pub fn into_spec(self) -> JobSpec {
+        match self {
+            SubmitError::QueueFull(spec) => spec,
+        }
+    }
+}
+
+impl std::fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => write!(f, "QueueFull(..)"),
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => write!(f, "session queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Default)]
+struct SessionInner {
+    /// This session's jobs currently sitting in the service queue.
+    queued: usize,
+    /// Submitted jobs whose slot has not resolved yet (queued + running).
+    unresolved: usize,
+    /// Finished jobs not yet consumed by the completion stream.
+    completions: VecDeque<Completion>,
+    /// Completions evicted because the buffer was full.
+    dropped: usize,
+}
+
+/// Shared bookkeeping between a [`Session`], its handles, and the workers.
+pub(crate) struct SessionCore {
+    capacity: usize,
+    completion_buffer: usize,
+    inner: Mutex<SessionInner>,
+    changed: Condvar,
+}
+
+impl SessionCore {
+    fn new(capacity: usize, completion_buffer: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            completion_buffer: completion_buffer.max(1),
+            inner: Mutex::new(SessionInner::default()),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Reserves a queue slot without blocking; `false` when full.
+    fn try_reserve(&self) -> bool {
+        let mut inner = self.inner.lock().expect("session lock");
+        if inner.queued >= self.capacity {
+            return false;
+        }
+        inner.queued += 1;
+        inner.unresolved += 1;
+        true
+    }
+
+    /// Reserves a queue slot, waiting under the condvar while the queue is
+    /// full; counts one backpressure wait if it had to sleep.
+    fn reserve_blocking(&self, metrics: &Metrics) {
+        let mut inner = self.inner.lock().expect("session lock");
+        let mut waited = false;
+        while inner.queued >= self.capacity {
+            if !waited {
+                metrics.on_backpressure_wait();
+                waited = true;
+            }
+            inner = self.changed.wait(inner).expect("session lock");
+        }
+        inner.queued += 1;
+        inner.unresolved += 1;
+    }
+
+    /// A queued job of this session left the queue (picked up or cancelled).
+    pub(crate) fn on_dequeue(&self) {
+        let mut inner = self.inner.lock().expect("session lock");
+        inner.queued -= 1;
+        self.changed.notify_all();
+    }
+
+    /// A job of this session resolved; feeds the completion stream,
+    /// evicting the oldest unconsumed completion when the buffer is full so
+    /// handle-only callers never accumulate an unbounded backlog.
+    pub(crate) fn on_complete(&self, completion: Completion) {
+        let mut inner = self.inner.lock().expect("session lock");
+        if inner.completions.len() >= self.completion_buffer {
+            inner.completions.pop_front();
+            inner.dropped += 1;
+        }
+        inner.completions.push_back(completion);
+        inner.unresolved -= 1;
+        self.changed.notify_all();
+    }
+
+    fn drain_wait(&self) {
+        let mut inner = self.inner.lock().expect("session lock");
+        while inner.unresolved > 0 {
+            inner = self.changed.wait(inner).expect("session lock");
+        }
+    }
+
+    fn next_completion(&self) -> Option<Completion> {
+        let mut inner = self.inner.lock().expect("session lock");
+        loop {
+            if let Some(completion) = inner.completions.pop_front() {
+                return Some(completion);
+            }
+            if inner.unresolved == 0 {
+                return None;
+            }
+            inner = self.changed.wait(inner).expect("session lock");
+        }
+    }
+
+    fn unresolved(&self) -> usize {
+        self.inner.lock().expect("session lock").unresolved
+    }
+
+    fn take_completions(&self) -> Vec<Completion> {
+        self.inner.lock().expect("session lock").completions.drain(..).collect()
+    }
+
+    fn dropped(&self) -> usize {
+        self.inner.lock().expect("session lock").dropped
+    }
+}
+
+/// An asynchronous submission session over a [`SolverService`].
+///
+/// Created by [`SolverService::session`]; borrows the service, so sessions
+/// (and therefore submissions) cannot outlive the worker pool. Multiple
+/// sessions can run concurrently over one service, each with its own bound,
+/// handles, and completion stream. `&Session` is `Sync`: scoped threads can
+/// share one session to submit and consume completions concurrently.
+pub struct Session<'a> {
+    service: &'a SolverService,
+    core: Arc<SessionCore>,
+}
+
+impl SolverService {
+    /// Opens an asynchronous submission session with its own bounded queue.
+    pub fn session(&self, config: SessionConfig) -> Session<'_> {
+        Session {
+            service: self,
+            core: Arc::new(SessionCore::new(config.queue_capacity, config.completion_buffer)),
+        }
+    }
+}
+
+impl Session<'_> {
+    /// Submits a job, blocking under a condvar while the session queue is
+    /// full, and returns its handle.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        self.core.reserve_blocking(&self.service.shared.metrics);
+        self.enqueue(spec)
+    }
+
+    /// Submits a job without blocking: a full session queue returns
+    /// [`SubmitError::QueueFull`] with the spec handed back.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        if !self.core.try_reserve() {
+            self.service.shared.metrics.on_backpressure_rejection();
+            return Err(SubmitError::QueueFull(spec));
+        }
+        Ok(self.enqueue(spec))
+    }
+
+    /// Enqueues a job whose slot has already been reserved.
+    fn enqueue(&self, spec: JobSpec) -> JobHandle {
+        let shared = &self.service.shared;
+        shared.metrics.on_submit(1);
+        shared.metrics.on_enqueue();
+        let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(CompletionSlot::new());
+        {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            queue.push(QueuedJob {
+                id,
+                spec,
+                slot: Arc::clone(&slot),
+                session: Arc::clone(&self.core),
+            });
+        }
+        shared.job_ready.notify_one();
+        JobHandle::new(id, slot, Arc::clone(shared), Arc::clone(&self.core))
+    }
+
+    /// Streams finished jobs in finish order. The iterator blocks while work
+    /// is in flight and ends (`None`) once every job submitted so far has
+    /// been consumed — callers can pipeline decode work against it while
+    /// other threads keep submitting. If the buffer overflowed before the
+    /// stream was consumed ([`SessionConfig::completion_buffer`]), the
+    /// oldest completions are missing from it; see
+    /// [`Session::completions_dropped`].
+    pub fn completions(&self) -> Completions<'_> {
+        Completions { core: &self.core }
+    }
+
+    /// Jobs submitted through this session that have not resolved yet.
+    pub fn in_flight(&self) -> usize {
+        self.core.unresolved()
+    }
+
+    /// Completions evicted from the stream because the buffer overflowed
+    /// ([`SessionConfig::completion_buffer`]); their handles still resolved
+    /// normally.
+    pub fn completions_dropped(&self) -> usize {
+        self.core.dropped()
+    }
+
+    /// Blocks until every job submitted through this session has resolved
+    /// (completed, failed, or been cancelled). Completions stay available to
+    /// [`Session::completions`] afterwards.
+    pub fn drain(&self) {
+        self.core.drain_wait();
+    }
+
+    /// Graceful teardown: drains the session and returns any completions the
+    /// stream has not consumed, in finish order. Consuming `self` makes
+    /// submit-after-shutdown unrepresentable.
+    pub fn shutdown(self) -> Vec<Completion> {
+        self.core.drain_wait();
+        self.core.take_completions()
+    }
+}
+
+/// Blocking iterator over a session's finished jobs, in finish order.
+/// Created by [`Session::completions`].
+pub struct Completions<'s> {
+    core: &'s SessionCore,
+}
+
+impl Iterator for Completions<'_> {
+    type Item = Completion;
+
+    fn next(&mut self) -> Option<Completion> {
+        self.core.next_completion()
+    }
+}
+
+/// Convenience: a one-shot session sized for `specs`, submitted and waited
+/// in order — the building block [`SolverService::run_batch`] wraps.
+pub(crate) fn run_batch_via_session(
+    service: &SolverService,
+    specs: Vec<JobSpec>,
+) -> Vec<crate::service::JobOutcome> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let session = service
+        .session(SessionConfig { queue_capacity: specs.len(), completion_buffer: specs.len() });
+    let handles: Vec<JobHandle> = specs
+        .into_iter()
+        .map(|spec| {
+            session.try_submit(spec).unwrap_or_else(|_| {
+                unreachable!("session capacity equals batch size; the queue cannot fill")
+            })
+        })
+        .collect();
+    handles.iter().map(JobHandle::wait).collect()
+}

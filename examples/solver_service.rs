@@ -1,7 +1,9 @@
 //! The concurrent solver service end to end: a mixed batch of Table I
 //! problems — MQO, join ordering, transaction scheduling — fanned out over
-//! several Fig. 2 backends by the worker pool, then resubmitted to show the
-//! result cache serving repeats bit-identically.
+//! several Fig. 2 backends by the worker pool, resubmitted to show the
+//! result cache serving repeats bit-identically, then driven through the
+//! asynchronous session API (bounded-queue submission, per-job handles,
+//! streaming completions in finish order).
 //!
 //! Run with: `cargo run --release --example solver_service`
 
@@ -83,9 +85,37 @@ fn main() {
     }
     println!("{hits}/{} repeats served from cache, all bit-identical", second.len());
 
+    // --- Third pass: the asynchronous session API. -----------------------
+    // A bounded session queue (4 slots): `submit` blocks under backpressure
+    // instead of buffering without limit, each job returns a handle, and
+    // `completions()` streams results in finish order so decode work can
+    // pipeline with solving.
+    println!("\nasync session: resubmitting {} auto-routed jobs...", problems.len());
+    let session = service.session(SessionConfig { queue_capacity: 4, ..Default::default() });
+    let mut handles = Vec::new();
+    for (i, (label, problem)) in problems.iter().enumerate() {
+        let spec = JobSpec::new(Arc::clone(problem), 1000 + i as u64).with_options(options);
+        handles.push((label.clone(), session.submit(spec)));
+    }
+    let mut streamed = 0;
+    for completion in session.completions() {
+        let r = completion.outcome.expect("every job routes");
+        streamed += 1;
+        println!(
+            "  finished #{streamed}: job {:>2} on {:<28} energy {:>9.3} (cache hit: {})",
+            completion.id, r.backend, r.report.energy, r.from_cache
+        );
+    }
+    assert_eq!(streamed, problems.len(), "the stream covers every submitted job");
+    for (label, handle) in &handles {
+        let r = handle.wait().expect("solvable");
+        assert!(r.from_cache, "{label}: auto-routed resubmission must hit the cache");
+    }
+
     // --- Telemetry. ------------------------------------------------------
     let report = service.report();
     println!("\n{report}");
     assert!(report.cache_hit_rate() > 0.0, "repeat batch must produce cache hits");
     assert!(report.per_backend.len() >= 3, "work must have been spread across at least 3 backends");
+    assert_eq!(report.queue_depth, 0, "graceful teardown leaves no queued work");
 }

@@ -112,7 +112,7 @@ fn decomposition_and_presolve_preserve_feasibility_and_quality() {
         let report = run_pipeline(
             &problem,
             &ExactSolver,
-            &PipelineOptions { presolve, decompose, repair: true },
+            &PipelineOptions { presolve, decompose, repair: true, ..Default::default() },
             &mut srng,
         );
         assert!(report.decoded.feasible, "presolve={presolve} decompose={decompose}");

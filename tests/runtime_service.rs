@@ -133,7 +133,7 @@ fn presolve_and_decompose_match_undecomposed_energy_on_mqo() {
         let hybrid = run_pipeline(
             problem.as_ref(),
             &ExactSolver,
-            &PipelineOptions { presolve: true, decompose: true, repair: false },
+            &PipelineOptions { presolve: true, decompose: true, ..Default::default() },
             &mut rng,
         );
         assert!(
