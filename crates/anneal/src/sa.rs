@@ -3,10 +3,23 @@
 //! The classical reference point for the annealing-based rows of Table I:
 //! single-flip Metropolis dynamics with a cooling schedule, incremental
 //! local-field bookkeeping (O(deg) per flip), and independent restarts.
+//!
+//! Two entry points share one hot loop over the compiled CSR form
+//! ([`CompiledQubo`]):
+//!
+//! - [`simulated_annealing`] — the historical API: one caller-threaded RNG,
+//!   restarts run back to back on the calling thread;
+//! - [`simulated_annealing_parallel`] — restarts fan out across a scoped
+//!   thread pool with per-restart SplitMix64-derived seeds and a
+//!   deterministic index-ordered best-pick, so the returned assignment,
+//!   energy, and evaluation count are bit-identical at any thread count
+//!   (including 1, the serial reference the tests compare against).
 
+use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::solve::SolveResult;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Cooling schedule for the Metropolis temperature.
@@ -58,53 +71,159 @@ impl SaParams {
     }
 }
 
+/// One annealing restart on the compiled form: random init, Metropolis
+/// sweeps with incremental local fields, best-seen tracking. Reuses the
+/// caller's `x` / `local` buffers; updates `best` / `best_bits` in place and
+/// returns the number of energy evaluations performed.
+fn anneal_restart(
+    c: &CompiledQubo,
+    params: &SaParams,
+    rng: &mut impl Rng,
+    x: &mut [bool],
+    local: &mut [f64],
+    best: &mut f64,
+    best_bits: &mut [bool],
+) -> u64 {
+    let n = c.n_vars();
+    let mut evals: u64 = 1; // the full energy evaluation below
+    for b in x.iter_mut() {
+        *b = rng.random::<bool>();
+    }
+    let mut energy = c.energy(x);
+    c.local_fields_into(x, local);
+    let total_sweeps = params.sweeps.max(1);
+    for sweep in 0..total_sweeps {
+        let frac = sweep as f64 / total_sweeps as f64;
+        let t = params.schedule.temperature(params.t_start, params.t_end, frac).max(1e-12);
+        for i in 0..n {
+            let delta = if x[i] { -local[i] } else { local[i] };
+            let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp();
+            evals += 1;
+            if accept {
+                energy += c.apply_flip(x, local, i);
+                if energy < *best {
+                    *best = energy;
+                    best_bits.copy_from_slice(x);
+                }
+            }
+        }
+    }
+    evals
+}
+
 /// Runs simulated annealing and returns the best assignment found.
+///
+/// Compiles the model once and runs every restart on the CSR hot loop; the
+/// RNG stream consumed is identical to the historical implementation, so
+/// fixed-seed callers get the same trajectories as before the compilation
+/// layer existed.
 pub fn simulated_annealing(q: &QuboModel, params: &SaParams, rng: &mut impl Rng) -> SolveResult {
     let start = Instant::now();
-    let n = q.n_vars();
-    let adj = q.neighbor_lists();
+    let c = q.compile();
+    let n = c.n_vars();
     let mut best_bits = vec![false; n];
-    let mut best = q.energy(&best_bits);
+    let mut best = c.energy(&best_bits);
     let mut evals: u64 = 1;
 
     let mut x = vec![false; n];
     let mut local = vec![0.0f64; n];
     for _ in 0..params.restarts.max(1) {
-        // Random start.
-        for b in &mut x {
-            *b = rng.random::<bool>();
+        evals += anneal_restart(&c, params, rng, &mut x, &mut local, &mut best, &mut best_bits);
+    }
+    SolveResult {
+        bits: best_bits,
+        energy: best,
+        evaluations: evals,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: false,
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates the per-restart seeds derived from
+/// one base seed, so restart streams are independent regardless of how the
+/// restarts are distributed over threads.
+fn restart_seed(base: u64, restart: u64) -> u64 {
+    let mut z = base ^ restart.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Simulated annealing with restarts fanned out across `threads` scoped
+/// worker threads.
+///
+/// Each restart runs on its own `StdRng` seeded by a SplitMix64 mix of
+/// `seed` and the restart index. Restarts are partitioned into contiguous
+/// ascending-index chunks, one per thread; each chunk tracks its running
+/// best with strict `<` (so the lowest restart index wins ties), and the
+/// final pick scans chunks in index order with strict `<` again — the
+/// composition selects the globally lowest-index minimum regardless of how
+/// the restarts were partitioned. That makes the returned bits, energy, and
+/// evaluation count **bit-identical for any `threads` value** — `threads =
+/// 1` is the serial reference. Only `seconds` varies with the machine.
+/// Evaluation counts are directly comparable to [`simulated_annealing`]
+/// with the same params (one shared baseline plus the per-restart sweeps).
+///
+/// Restart trajectories differ from [`simulated_annealing`] (which threads
+/// one RNG through all restarts and therefore cannot be order-independent);
+/// solution quality is statistically the same.
+pub fn simulated_annealing_parallel(
+    q: &QuboModel,
+    params: &SaParams,
+    seed: u64,
+    threads: usize,
+) -> SolveResult {
+    let start = Instant::now();
+    let c = q.compile();
+    let n = c.n_vars();
+    let restarts = params.restarts.max(1);
+    let threads = threads.clamp(1, restarts);
+    let chunk = restarts.div_ceil(threads);
+    let n_chunks = restarts.div_ceil(chunk);
+
+    // All-false baseline, evaluated once and shared by every chunk.
+    let baseline_bits = vec![false; n];
+    let baseline = c.energy(&baseline_bits);
+
+    // One chunk per thread: the scratch buffers are allocated per thread
+    // and reused across that chunk's restarts; `anneal_restart` keeps
+    // updating the chunk's running best in place (strict `<`, ascending
+    // restart order), so the chunk result is its lowest-index minimum.
+    let run_chunk = |k: usize| -> (Vec<bool>, f64, u64) {
+        let mut x = vec![false; n];
+        let mut local = vec![0.0f64; n];
+        let mut best_bits = baseline_bits.clone();
+        let mut best = baseline;
+        let mut evals: u64 = 0;
+        for r in (k * chunk)..((k + 1) * chunk).min(restarts) {
+            let mut rng = StdRng::seed_from_u64(restart_seed(seed, r as u64));
+            evals +=
+                anneal_restart(&c, params, &mut rng, &mut x, &mut local, &mut best, &mut best_bits);
         }
-        let mut energy = q.energy(&x);
-        evals += 1;
-        for i in 0..n {
-            local[i] = q.linear(i);
-            for &(nb, w) in &adj[i] {
-                if x[nb] {
-                    local[i] += w;
-                }
+        (best_bits, best, evals)
+    };
+
+    let mut outcomes: Vec<Option<(Vec<bool>, f64, u64)>> = vec![None; n_chunks];
+    if threads == 1 {
+        outcomes[0] = Some(run_chunk(0));
+    } else {
+        std::thread::scope(|scope| {
+            for (k, slot) in outcomes.iter_mut().enumerate() {
+                let run_chunk = &run_chunk;
+                scope.spawn(move || *slot = Some(run_chunk(k)));
             }
-        }
-        let total_sweeps = params.sweeps.max(1);
-        for sweep in 0..total_sweeps {
-            let frac = sweep as f64 / total_sweeps as f64;
-            let t = params.schedule.temperature(params.t_start, params.t_end, frac).max(1e-12);
-            for i in 0..n {
-                let delta = if x[i] { -local[i] } else { local[i] };
-                let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp();
-                evals += 1;
-                if accept {
-                    let sign = if x[i] { -1.0 } else { 1.0 };
-                    x[i] = !x[i];
-                    energy += delta;
-                    for &(nb, w) in &adj[i] {
-                        local[nb] += sign * w;
-                    }
-                    if energy < best {
-                        best = energy;
-                        best_bits.copy_from_slice(&x);
-                    }
-                }
-            }
+        });
+    }
+
+    let mut best_bits = baseline_bits;
+    let mut best = baseline;
+    let mut evals: u64 = 1; // the shared baseline evaluation
+    for outcome in outcomes {
+        let (bits, energy, chunk_evals) = outcome.expect("every chunk ran");
+        evals += chunk_evals;
+        if energy < best {
+            best = energy;
+            best_bits = bits;
         }
     }
     SolveResult {
@@ -187,5 +306,29 @@ mod tests {
             &mut rng2,
         );
         assert!(long.energy <= short.energy + 1e-9);
+    }
+
+    #[test]
+    fn parallel_sa_finds_optimum_on_small_models() {
+        for seed in 0..5 {
+            let q = hard_model(seed, 12);
+            let exact = solve_exact(&q);
+            let res = simulated_annealing_parallel(&q, &SaParams::scaled_to(&q), seed + 200, 2);
+            assert!(
+                (res.energy - exact.energy).abs() < 1e-9,
+                "seed {seed}: parallel SA {} vs exact {}",
+                res.energy,
+                exact.energy
+            );
+            assert!((q.energy(&res.bits) - res.energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_sa_handles_empty_model() {
+        let q = QuboModel::new(0);
+        let res = simulated_annealing_parallel(&q, &SaParams::default(), 1, 4);
+        assert_eq!(res.energy, 0.0);
+        assert!(res.bits.is_empty());
     }
 }

@@ -9,6 +9,7 @@
 //! `J_perp = -(P*T/2) * ln tanh(Gamma / (P*T))` that strengthens as the
 //! transverse field `Gamma` anneals towards zero.
 
+use qdm_qubo::compiled::build_symmetric_csr;
 use qdm_qubo::ising::IsingModel;
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::solve::SolveResult;
@@ -73,25 +74,38 @@ pub fn simulated_quantum_annealing(
         };
     }
 
-    // Adjacency of the classical Ising couplings.
-    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for ((i, j), w) in ising.couplings_iter() {
-        adj[i].push((j, w));
-        adj[j].push((i, w));
-    }
+    // Flat CSR adjacency of the classical Ising couplings, built once: the
+    // sweep loop below runs entirely on these arrays, never touching the
+    // model's BTreeMap. Rows come out ascending because `couplings_iter`
+    // yields sorted keys, so float summation orders match the model's.
+    let (row_offsets, neighbors, weights) = build_symmetric_csr(n, || ising.couplings_iter());
+    let fields: Vec<f64> = (0..n).map(|i| ising.field(i)).collect();
+    let row = |i: usize| {
+        let span = row_offsets[i]..row_offsets[i + 1];
+        (&neighbors[span.clone()], &weights[span])
+    };
 
     // spins[r][i] in {-1.0, +1.0}, replicated random init.
     let mut spins: Vec<Vec<f64>> = (0..p)
         .map(|_| (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect())
         .collect();
 
+    let constant = ising.constant();
     let classical_energy = |s: &[f64]| -> f64 {
-        let mut e = ising.constant();
-        for (i, &si) in s.iter().enumerate() {
-            e += ising.field(i) * si;
+        let mut e = constant;
+        for (&hi, &si) in fields.iter().zip(s) {
+            e += hi * si;
         }
-        for ((i, j), w) in ising.couplings_iter() {
-            e += w * s[i] * s[j];
+        // Upper-triangular half only: each pair counted once, ascending
+        // (i, j) order as in the model's own energy sum.
+        for (i, &si) in s.iter().enumerate() {
+            let (nbrs, ws) = row(i);
+            for (&j, &w) in nbrs.iter().zip(ws) {
+                let j = j as usize;
+                if j > i {
+                    e += w * si * s[j];
+                }
+            }
         }
         e
     };
@@ -129,9 +143,10 @@ pub fn simulated_quantum_annealing(
             for i in 0..n {
                 let si = spins[r][i];
                 // Local classical field (per-replica weight 1/P).
-                let mut h_local = ising.field(i);
-                for &(nb, w) in &adj[i] {
-                    h_local += w * spins[r][nb];
+                let mut h_local = fields[i];
+                let (nbrs, ws) = row(i);
+                for (&nb, &w) in nbrs.iter().zip(ws) {
+                    h_local += w * spins[r][nb as usize];
                 }
                 let classical_delta = -2.0 * si * h_local / p as f64;
                 // Inter-replica ferromagnetic term: -j_perp * s_{r,i} * (s_{up,i} + s_{down,i}).

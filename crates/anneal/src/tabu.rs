@@ -28,10 +28,10 @@ impl Default for TabuParams {
 /// allowed when it improves the global best).
 pub fn tabu_search(q: &QuboModel, params: &TabuParams, rng: &mut impl Rng) -> SolveResult {
     let start = Instant::now();
-    let n = q.n_vars();
-    let adj = q.neighbor_lists();
+    let c = q.compile();
+    let n = c.n_vars();
     let mut best_bits = vec![false; n];
-    let mut best = q.energy(&best_bits);
+    let mut best = c.energy(&best_bits);
     let mut evals: u64 = 1;
 
     if n == 0 {
@@ -51,16 +51,9 @@ pub fn tabu_search(q: &QuboModel, params: &TabuParams, rng: &mut impl Rng) -> So
         for b in &mut x {
             *b = rng.random::<bool>();
         }
-        let mut energy = q.energy(&x);
+        let mut energy = c.energy(&x);
         evals += 1;
-        for i in 0..n {
-            local[i] = q.linear(i);
-            for &(nb, w) in &adj[i] {
-                if x[nb] {
-                    local[i] += w;
-                }
-            }
-        }
+        c.local_fields_into(&x, &mut local);
         tabu_until.fill(0);
         for iter in 1..=params.iterations {
             // Select the best admissible flip.
@@ -78,15 +71,9 @@ pub fn tabu_search(q: &QuboModel, params: &TabuParams, rng: &mut impl Rng) -> So
             if chosen == usize::MAX {
                 break; // everything tabu and nothing aspires
             }
-            let was = x[chosen];
-            x[chosen] = !was;
-            energy += chosen_delta;
+            energy += c.apply_flip(&mut x, &mut local, chosen);
             evals += 1;
             tabu_until[chosen] = iter + params.tenure;
-            let sign = if was { -1.0 } else { 1.0 };
-            for &(nb, w) in &adj[chosen] {
-                local[nb] += sign * w;
-            }
             if energy < best {
                 best = energy;
                 best_bits.copy_from_slice(&x);

@@ -8,12 +8,13 @@
 use qdm_algos::grover::durr_hoyer_minimum;
 use qdm_algos::qaoa::{qaoa_optimize, EnergyTable, QaoaParams};
 use qdm_algos::vqe::{vqe_optimize, VqeParams};
-use qdm_anneal::sa::{simulated_annealing, SaParams};
+use qdm_anneal::sa::{simulated_annealing, simulated_annealing_parallel, SaParams};
 use qdm_anneal::sqa::{simulated_quantum_annealing, SqaParams};
 use qdm_anneal::tabu::{tabu_search, TabuParams};
 use qdm_qubo::model::{bits_from_index, QuboModel};
 use qdm_qubo::solve::{solve_exact, solve_random, SolveResult, MAX_EXACT_VARS};
 use rand::rngs::StdRng;
+use rand::RngCore;
 use std::time::Instant;
 
 /// Which branch of Fig. 2 a solver belongs to.
@@ -83,6 +84,42 @@ impl QuboSolver for SaSolver {
     fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
         let params = self.params.unwrap_or_else(|| SaParams::scaled_to(q));
         simulated_annealing(q, &params, rng)
+    }
+}
+
+/// Classical simulated annealing with restarts fanned out across a scoped
+/// thread pool (`qdm_anneal::sa::simulated_annealing_parallel`).
+///
+/// Results are bit-identical at any thread count: each restart runs on its
+/// own SplitMix64-derived seed and the best pick scans restarts in index
+/// order. The job's RNG contributes exactly one `u64` (the base seed), so
+/// the runtime's fixed-seed reproducibility contract holds here too.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SaParallelSolver {
+    /// Optional fixed parameters; auto-scaled to the model when `None`.
+    pub params: Option<SaParams>,
+    /// Worker threads for the restart fan-out; hardware parallelism when
+    /// `None` (capped at the restart count either way).
+    pub threads: Option<usize>,
+}
+
+impl QuboSolver for SaParallelSolver {
+    fn name(&self) -> &str {
+        "simulated-annealing-parallel"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Annealing
+    }
+    fn max_vars(&self) -> usize {
+        100_000
+    }
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SaParams::scaled_to(q));
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let seed = rng.next_u64();
+        simulated_annealing_parallel(q, &params, seed, threads)
     }
 }
 
@@ -265,6 +302,7 @@ pub fn full_registry() -> Vec<Box<dyn QuboSolver + Send + Sync>> {
     vec![
         Box::new(ExactSolver),
         Box::new(SaSolver::default()),
+        Box::new(SaParallelSolver::default()),
         Box::new(SqaSolver::default()),
         Box::new(AdiabaticSolver::default()),
         Box::new(TabuSolver::default()),
@@ -321,6 +359,7 @@ mod tests {
         let exact = solve_exact(&q);
         for solver in [
             Box::new(SaSolver::default()) as Box<dyn QuboSolver>,
+            Box::new(SaParallelSolver::default()),
             Box::new(SqaSolver::default()),
             Box::new(TabuSolver::default()),
             Box::new(GroverMinSolver),

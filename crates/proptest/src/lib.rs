@@ -160,7 +160,9 @@ pub mod collection {
 /// Everything a property-test file needs.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{any, case_rng, prop_assert, proptest, Any, ProptestConfig, Strategy};
+    pub use crate::{
+        any, case_rng, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy,
+    };
 }
 
 /// Asserts inside a property; identical to `assert!` in this shim.

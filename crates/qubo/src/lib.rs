@@ -7,6 +7,8 @@
 //!
 //! - [`model`] — sparse QUBO models with incremental flip deltas and
 //!   connected-component decomposition (the hybrid step of Sec. III-C.2);
+//! - [`compiled`] — build-once flat CSR compilation ([`CompiledQubo`]) that
+//!   every solver hot loop in the workspace runs on;
 //! - [`ising`] — lossless QUBO ⇄ Ising conversion for annealers and QAOA;
 //! - [`penalty`] — constraint-to-penalty builders (exactly-one, at-most-one,
 //!   weighted equality, implication, conflict);
@@ -27,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod ising;
 pub mod model;
 pub mod penalty;
@@ -35,6 +38,7 @@ pub mod solve;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
+    pub use crate::compiled::CompiledQubo;
     pub use crate::ising::IsingModel;
     pub use crate::model::{bits_from_index, index_from_bits, QuboModel};
     pub use crate::penalty;

@@ -105,8 +105,7 @@ impl QuboModel {
     pub fn energy(&self, x: &[bool]) -> f64 {
         assert_eq!(x.len(), self.n_vars, "assignment length mismatch");
         let mut e = self.offset;
-        for (i, (&w, &xi)) in self.linear.iter().zip(x.iter()).enumerate() {
-            let _ = i;
+        for (&w, &xi) in self.linear.iter().zip(x.iter()) {
             if xi {
                 e += w;
             }
@@ -120,8 +119,16 @@ impl QuboModel {
     }
 
     /// Energy change from flipping variable `i` in assignment `x`
-    /// (`x` is the state *before* the flip). `O(deg(i))` given the neighbor
-    /// list; this generic version scans the coupling map.
+    /// (`x` is the state *before* the flip).
+    ///
+    /// This is the slow generic path: it scans the whole coupling map in
+    /// `O(m)` per call. It exists for one-off checks and tests. Anything
+    /// evaluating flips repeatedly — every solver hot loop — should call
+    /// [`Self::compile`] once and use
+    /// [`CompiledQubo::flip_delta`](crate::compiled::CompiledQubo::flip_delta)
+    /// (`O(deg(i))`) or the incremental
+    /// [`local_fields`](crate::compiled::CompiledQubo::local_fields)
+    /// bookkeeping instead.
     pub fn flip_delta(&self, x: &[bool], i: usize) -> f64 {
         let mut local = self.linear[i];
         for (&(a, b), &w) in &self.quadratic {
@@ -137,7 +144,11 @@ impl QuboModel {
     }
 
     /// Adjacency lists: for each variable the `(neighbor, weight)` pairs of
-    /// its non-zero couplings. Solvers use this for O(deg) flip deltas.
+    /// its non-zero couplings.
+    ///
+    /// Solver hot loops should prefer [`Self::compile`]: the flat CSR form
+    /// avoids the per-row `Vec` allocations and pointer chasing this
+    /// materialization pays.
     pub fn neighbor_lists(&self) -> Vec<Vec<(usize, f64)>> {
         let mut adj = vec![Vec::new(); self.n_vars];
         for (&(i, j), &w) in &self.quadratic {
@@ -155,7 +166,7 @@ impl QuboModel {
     /// The full offset is carried by the first component (or lost if there
     /// are none).
     pub fn connected_components(&self) -> Vec<(QuboModel, Vec<usize>)> {
-        let adj = self.neighbor_lists();
+        let csr = self.compile();
         let mut comp = vec![usize::MAX; self.n_vars];
         let mut n_comps = 0;
         let mut stack = Vec::new();
@@ -166,7 +177,9 @@ impl QuboModel {
             stack.push(start);
             comp[start] = n_comps;
             while let Some(v) = stack.pop() {
-                for &(u, _) in &adj[v] {
+                let (nbrs, _) = csr.row(v);
+                for &u in nbrs {
+                    let u = u as usize;
                     if comp[u] == usize::MAX {
                         comp[u] = n_comps;
                         stack.push(u);
@@ -269,13 +282,17 @@ impl QuboModel {
         };
         let f64_bits = |x: f64| if x == 0.0 { 0u64 } else { x.to_bits() };
 
-        let adj = self.neighbor_lists();
+        let csr = self.compile();
         let mut sig: Vec<u64> = self.linear.iter().map(|&w| mix(FNV_OFFSET, f64_bits(w))).collect();
         for _round in 0..2 {
             let refined: Vec<u64> = (0..self.n_vars)
                 .map(|i| {
-                    let mut tokens: Vec<(u64, u64)> =
-                        adj[i].iter().map(|&(j, w)| (f64_bits(w), sig[j])).collect();
+                    let (nbrs, ws) = csr.row(i);
+                    let mut tokens: Vec<(u64, u64)> = nbrs
+                        .iter()
+                        .zip(ws)
+                        .map(|(&j, &w)| (f64_bits(w), sig[j as usize]))
+                        .collect();
                     tokens.sort_unstable();
                     let mut h = mix(FNV_OFFSET, sig[i]);
                     for (w, s) in tokens {

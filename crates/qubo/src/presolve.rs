@@ -46,19 +46,30 @@ pub fn presolve(q: &QuboModel) -> Presolved {
     let mut fixed: Vec<Option<bool>> = vec![None; n];
     let mut work = q.clone();
     loop {
-        let adj = work.neighbor_lists();
+        // One O(n + m) CSR compile per round replaces the per-row Vec
+        // allocations of `neighbor_lists`. The rows are a snapshot of the
+        // round's start state: the fixing branch below mutates `work`
+        // mid-round, and reads of the stale rows stay correct only because
+        // couplings to fixed partners are filtered via `fixed[..]` (the
+        // same invariant the original adjacency-list code relied on).
+        let csr = work.compile();
         let mut changed = false;
         for i in 0..n {
             if fixed[i].is_some() {
                 continue;
             }
             let lin = work.linear(i);
-            let neg: f64 =
-                adj[i].iter().filter(|(j, _)| fixed[*j].is_none()).map(|&(_, w)| w.min(0.0)).sum();
-            let pos: f64 =
-                adj[i].iter().filter(|(j, _)| fixed[*j].is_none()).map(|&(_, w)| w.max(0.0)).sum();
-            // Note: couplings to already-fixed variables were folded into the
-            // linear term when the partner was fixed, so they are excluded.
+            let (nbrs, ws) = csr.row(i);
+            let mut neg = 0.0f64;
+            let mut pos = 0.0f64;
+            for (&j, &w) in nbrs.iter().zip(ws) {
+                // Couplings to already-fixed variables were folded into the
+                // linear term when the partner was fixed, so exclude them.
+                if fixed[j as usize].is_none() {
+                    neg += w.min(0.0);
+                    pos += w.max(0.0);
+                }
+            }
             let value = if lin + neg >= 0.0 {
                 Some(false)
             } else if lin + pos <= 0.0 {
@@ -73,7 +84,8 @@ pub fn presolve(q: &QuboModel) -> Presolved {
                 if v {
                     work.add_offset(work.linear(i));
                 }
-                let neighbors: Vec<(usize, f64)> = adj[i].clone();
+                let neighbors: Vec<(usize, f64)> =
+                    nbrs.iter().zip(ws).map(|(&j, &w)| (j as usize, w)).collect();
                 for (j, w) in neighbors {
                     // Remove coupling; if v = 1 it becomes linear on j.
                     work.add_quadratic(i, j, -w);

@@ -40,10 +40,11 @@ pub fn solve_exact(q: &QuboModel) -> SolveResult {
             certified_optimal: true,
         };
     }
-    // Gray-code walk with incremental deltas: each step flips one variable.
-    let adj = q.neighbor_lists();
+    // Gray-code walk with incremental deltas: each step flips one variable,
+    // evaluated in O(deg) on the compiled CSR form.
+    let c = q.compile();
     let mut x = vec![false; n];
-    let mut energy = q.energy(&x);
+    let mut energy = c.energy(&x);
     let mut best = energy;
     let mut best_index = 0usize;
     let total = 1usize << n;
@@ -52,14 +53,7 @@ pub fn solve_exact(q: &QuboModel) -> SolveResult {
         let gray = k ^ (k >> 1);
         let flipped = (gray ^ gray_prev).trailing_zeros() as usize;
         gray_prev = gray;
-        // Incremental delta for flipping `flipped`.
-        let mut local = q.linear(flipped);
-        for &(nb, w) in &adj[flipped] {
-            if x[nb] {
-                local += w;
-            }
-        }
-        energy += if x[flipped] { -local } else { local };
+        energy += c.flip_delta(&x, flipped);
         x[flipped] = !x[flipped];
         if energy < best {
             best = energy;
@@ -79,14 +73,15 @@ pub fn solve_exact(q: &QuboModel) -> SolveResult {
 pub fn solve_random(q: &QuboModel, samples: u64, rng: &mut impl Rng) -> SolveResult {
     let start = Instant::now();
     let n = q.n_vars();
+    let c = q.compile();
     let mut best_bits = vec![false; n];
-    let mut best = q.energy(&best_bits);
+    let mut best = c.energy(&best_bits);
     let mut x = vec![false; n];
     for _ in 0..samples {
         for b in &mut x {
             *b = rng.random::<bool>();
         }
-        let e = q.energy(&x);
+        let e = c.energy(&x);
         if e < best {
             best = e;
             best_bits.copy_from_slice(&x);
@@ -106,9 +101,9 @@ pub fn solve_random(q: &QuboModel, samples: u64, rng: &mut impl Rng) -> SolveRes
 pub fn solve_greedy_descent(q: &QuboModel, restarts: usize, rng: &mut impl Rng) -> SolveResult {
     let start = Instant::now();
     let n = q.n_vars();
-    let adj = q.neighbor_lists();
+    let c = q.compile();
     let mut best_bits = vec![false; n];
-    let mut best = q.energy(&best_bits);
+    let mut best = c.energy(&best_bits);
     let mut evals = 1u64;
     let mut x = vec![false; n];
     // `local[i]` = energy delta contribution sum of active neighbors + linear.
@@ -117,17 +112,9 @@ pub fn solve_greedy_descent(q: &QuboModel, restarts: usize, rng: &mut impl Rng) 
         for b in &mut x {
             *b = rng.random::<bool>();
         }
-        let mut energy = q.energy(&x);
+        let mut energy = c.energy(&x);
         evals += 1;
-        // Initialize local fields.
-        for i in 0..n {
-            local[i] = q.linear(i);
-            for &(nb, w) in &adj[i] {
-                if x[nb] {
-                    local[i] += w;
-                }
-            }
-        }
+        c.local_fields_into(&x, &mut local);
         loop {
             // Find best improving flip.
             let mut best_i = usize::MAX;
@@ -143,14 +130,8 @@ pub fn solve_greedy_descent(q: &QuboModel, restarts: usize, rng: &mut impl Rng) 
                 break;
             }
             // Apply flip and update local fields of neighbors.
-            let was = x[best_i];
-            x[best_i] = !was;
-            energy += best_delta;
+            energy += c.apply_flip(&mut x, &mut local, best_i);
             evals += 1;
-            let sign = if was { -1.0 } else { 1.0 };
-            for &(nb, w) in &adj[best_i] {
-                local[nb] += sign * w;
-            }
         }
         if energy < best {
             best = energy;

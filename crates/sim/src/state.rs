@@ -138,18 +138,7 @@ impl StateVector {
     /// Panics if `q` is out of range.
     pub fn apply_single(&mut self, q: usize, m: &Matrix2) {
         self.check_qubit(q);
-        let step = 1usize << q;
-        let len = self.amps.len();
-        let mut base = 0;
-        while base < len {
-            for j in base..base + step {
-                let a = self.amps[j];
-                let b = self.amps[j + step];
-                self.amps[j] = m[0][0] * a + m[0][1] * b;
-                self.amps[j + step] = m[1][0] * a + m[1][1] * b;
-            }
-            base += step << 1;
-        }
+        apply_single_to(&mut self.amps, q, m);
     }
 
     /// Applies a single-qubit gate to the target qubit, controlled on all
@@ -391,25 +380,47 @@ impl StateVector {
     /// Applies one branch of a single-qubit Kraus channel chosen according
     /// to the Born probabilities (Monte-Carlo trajectory / quantum-jump
     /// method), renormalizing the survivor.
+    ///
+    /// The candidate-branch amplitudes are built in a thread-local scratch
+    /// buffer that is swapped (not copied) into the state on selection, so a
+    /// trajectory applying noise after every gate performs zero allocations
+    /// after the first call.
     pub fn apply_kraus_single(&mut self, q: usize, kraus: &[Matrix2], rng: &mut impl Rng) {
         self.check_qubit(q);
         debug_assert!(!kraus.is_empty());
         // Compute branch probabilities p_k = || K_k |psi> ||^2 lazily by
-        // applying each operator to a scratch copy.
+        // applying each operator to the scratch copy.
         let r: f64 = rng.random::<f64>();
         let mut acc = 0.0;
-        let mut scratch = self.clone();
-        for (k, m) in kraus.iter().enumerate() {
-            scratch.amps.copy_from_slice(&self.amps);
-            scratch.apply_single(q, m);
-            let p = scratch.norm_sqr();
-            acc += p;
-            if r < acc || k == kraus.len() - 1 {
-                scratch.normalize();
-                *self = scratch;
-                return;
+        KRAUS_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            // Bound retention: a past call on a much larger register must
+            // not pin its allocation for the thread's lifetime. Same-size
+            // reuse (the hot trajectory-simulation pattern) never shrinks.
+            if scratch.capacity() > 2 * self.amps.len() {
+                scratch.truncate(self.amps.len());
+                scratch.shrink_to_fit();
             }
-        }
+            scratch.resize(self.amps.len(), C_ZERO);
+            for (k, m) in kraus.iter().enumerate() {
+                scratch.copy_from_slice(&self.amps);
+                apply_single_to(&mut scratch, q, m);
+                let p: f64 = scratch.iter().map(|a| a.norm_sqr()).sum();
+                acc += p;
+                if r < acc || k == kraus.len() - 1 {
+                    let norm = p.sqrt();
+                    if norm > 0.0 {
+                        let inv = 1.0 / norm;
+                        for a in scratch.iter_mut() {
+                            *a = a.scale(inv);
+                        }
+                    }
+                    // The old amplitudes become the next call's scratch.
+                    std::mem::swap(&mut self.amps, &mut *scratch);
+                    return;
+                }
+            }
+        });
     }
 
     /// Returns the `k` most probable basis states as `(index, probability)`
@@ -420,6 +431,31 @@ impl StateVector {
         probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         probs.truncate(k);
         probs
+    }
+}
+
+thread_local! {
+    /// Reusable amplitude buffer for [`StateVector::apply_kraus_single`]:
+    /// noise-heavy trajectory simulations call it once per gate, and cloning
+    /// the full state every call dominated their runtime.
+    static KRAUS_SCRATCH: std::cell::RefCell<Vec<Complex64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// [`StateVector::apply_single`] on a raw amplitude slice; shared by the
+/// in-place gate path and the Kraus scratch-buffer path.
+fn apply_single_to(amps: &mut [Complex64], q: usize, m: &Matrix2) {
+    let step = 1usize << q;
+    let len = amps.len();
+    let mut base = 0;
+    while base < len {
+        for j in base..base + step {
+            let a = amps[j];
+            let b = amps[j + step];
+            amps[j] = m[0][0] * a + m[0][1] * b;
+            amps[j + step] = m[1][0] * a + m[1][1] * b;
+        }
+        base += step << 1;
     }
 }
 
