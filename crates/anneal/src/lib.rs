@@ -37,9 +37,15 @@ pub mod prelude {
         chain_strength, clique_embedding, embed_ising, find_embedding, find_embedding_auto,
         solve_on_chimera, unembed, ChimeraGraph, EmbedError, Embedding, UnembedStats,
     };
-    pub use crate::sa::{simulated_annealing, SaParams, Schedule};
-    pub use crate::sqa::{simulated_quantum_annealing, SqaParams};
-    pub use crate::tabu::{tabu_search, TabuParams};
+    pub use crate::sa::{
+        simulated_annealing, simulated_annealing_colored, simulated_annealing_compiled,
+        simulated_annealing_parallel, simulated_annealing_parallel_compiled, SaParams, Schedule,
+        COLORED_SWEEP_MIN_VARS,
+    };
+    pub use crate::sqa::{
+        simulated_quantum_annealing, simulated_quantum_annealing_compiled, SqaParams,
+    };
+    pub use crate::tabu::{tabu_search, tabu_search_compiled, TabuParams};
 }
 
 pub use prelude::*;

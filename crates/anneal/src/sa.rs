@@ -4,8 +4,10 @@
 //! single-flip Metropolis dynamics with a cooling schedule, incremental
 //! local-field bookkeeping (O(deg) per flip), and independent restarts.
 //!
-//! Two entry points share one hot loop over the compiled CSR form
-//! ([`CompiledQubo`]):
+//! Three entry points share one hot loop over the compiled CSR form
+//! ([`CompiledQubo`]), each also available as a `*_compiled` variant that
+//! accepts an existing compilation (the runtime compiles each job once and
+//! every solver runs on the shared form):
 //!
 //! - [`simulated_annealing`] — the historical API: one caller-threaded RNG,
 //!   restarts run back to back on the calling thread;
@@ -13,9 +15,14 @@
 //!   thread pool with per-restart SplitMix64-derived seeds and a
 //!   deterministic index-ordered best-pick, so the returned assignment,
 //!   energy, and evaluation count are bit-identical at any thread count
-//!   (including 1, the serial reference the tests compare against).
+//!   (including 1, the serial reference the tests compare against);
+//! - [`simulated_annealing_colored`] — parallelism *inside* one restart for
+//!   large instances: a greedy graph coloring of the interaction graph
+//!   partitions each sweep into independence classes whose proposals are
+//!   evaluated concurrently, with the same bit-identical-at-any-thread-count
+//!   discipline.
 
-use qdm_qubo::compiled::CompiledQubo;
+use qdm_qubo::compiled::{Coloring, CompiledQubo};
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::solve::SolveResult;
 use rand::rngs::StdRng;
@@ -69,7 +76,21 @@ impl SaParams {
         let scale = q.max_abs_coefficient().max(1e-9);
         Self { t_start: 2.0 * scale, t_end: 0.01 * scale, ..Self::default() }
     }
+
+    /// [`Self::scaled_to`] from an existing compilation (same scale value:
+    /// `max_abs_coefficient` agrees between the two forms exactly).
+    pub fn scaled_to_compiled(c: &CompiledQubo) -> Self {
+        let scale = c.max_abs_coefficient().max(1e-9);
+        Self { t_start: 2.0 * scale, t_end: 0.01 * scale, ..Self::default() }
+    }
 }
+
+/// Variable count at which annealing backends switch from restart fan-out to
+/// graph-colored within-restart sweeps ([`simulated_annealing_colored`]).
+/// Below it the sequential sweep's incremental O(1)-per-rejection bookkeeping
+/// wins; above it a sweep is wide enough for color classes to amortize the
+/// per-class coordination.
+pub const COLORED_SWEEP_MIN_VARS: usize = 512;
 
 /// One annealing restart on the compiled form: random init, Metropolis
 /// sweeps with incremental local fields, best-seen tracking. Reuses the
@@ -118,8 +139,18 @@ fn anneal_restart(
 /// fixed-seed callers get the same trajectories as before the compilation
 /// layer existed.
 pub fn simulated_annealing(q: &QuboModel, params: &SaParams, rng: &mut impl Rng) -> SolveResult {
+    simulated_annealing_compiled(&q.compile(), params, rng)
+}
+
+/// [`simulated_annealing`] on an existing compilation — the primary entry
+/// point for compile-once callers; the RNG stream and result are identical
+/// to the model-accepting wrapper.
+pub fn simulated_annealing_compiled(
+    c: &CompiledQubo,
+    params: &SaParams,
+    rng: &mut impl Rng,
+) -> SolveResult {
     let start = Instant::now();
-    let c = q.compile();
     let n = c.n_vars();
     let mut best_bits = vec![false; n];
     let mut best = c.energy(&best_bits);
@@ -128,7 +159,7 @@ pub fn simulated_annealing(q: &QuboModel, params: &SaParams, rng: &mut impl Rng)
     let mut x = vec![false; n];
     let mut local = vec![0.0f64; n];
     for _ in 0..params.restarts.max(1) {
-        evals += anneal_restart(&c, params, rng, &mut x, &mut local, &mut best, &mut best_bits);
+        evals += anneal_restart(c, params, rng, &mut x, &mut local, &mut best, &mut best_bits);
     }
     SolveResult {
         bits: best_bits,
@@ -173,8 +204,19 @@ pub fn simulated_annealing_parallel(
     seed: u64,
     threads: usize,
 ) -> SolveResult {
+    simulated_annealing_parallel_compiled(&q.compile(), params, seed, threads)
+}
+
+/// [`simulated_annealing_parallel`] on an existing compilation — the primary
+/// entry point for compile-once callers; results are identical to the
+/// model-accepting wrapper.
+pub fn simulated_annealing_parallel_compiled(
+    c: &CompiledQubo,
+    params: &SaParams,
+    seed: u64,
+    threads: usize,
+) -> SolveResult {
     let start = Instant::now();
-    let c = q.compile();
     let n = c.n_vars();
     let restarts = params.restarts.max(1);
     let threads = threads.clamp(1, restarts);
@@ -198,7 +240,7 @@ pub fn simulated_annealing_parallel(
         for r in (k * chunk)..((k + 1) * chunk).min(restarts) {
             let mut rng = StdRng::seed_from_u64(restart_seed(seed, r as u64));
             evals +=
-                anneal_restart(&c, params, &mut rng, &mut x, &mut local, &mut best, &mut best_bits);
+                anneal_restart(c, params, &mut rng, &mut x, &mut local, &mut best, &mut best_bits);
         }
         (best_bits, best, evals)
     };
@@ -224,6 +266,136 @@ pub fn simulated_annealing_parallel(
         if energy < best {
             best = energy;
             best_bits = bits;
+        }
+    }
+    SolveResult {
+        bits: best_bits,
+        energy: best,
+        evaluations: evals,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: false,
+    }
+}
+
+/// Minimum proposals each scoped thread must have before [`decide_class`]
+/// fans a color class out: below this the per-class spawn/join cost dwarfs
+/// the O(deg) delta evaluations, so the class runs inline. Gating on size
+/// cannot change any value — decisions are chunking-invariant — it only
+/// decides who computes them.
+const MIN_CLASS_CHUNK: usize = 128;
+
+/// Evaluates one color class's flip proposals against the frozen pre-class
+/// state `x`, splitting the class into up to `threads` contiguous chunks
+/// evaluated on scoped threads (classes smaller than [`MIN_CLASS_CHUNK`]
+/// per thread run inline). `decisions[k]` receives `(delta, accept)` for
+/// the class's k-th member. Each decision is a pure function of
+/// `(x, u[k], t)` — chunk boundaries cannot change any value — so the
+/// filled decisions are bit-identical at every `threads` value.
+fn decide_class(
+    c: &CompiledQubo,
+    x: &[bool],
+    class: &[u32],
+    u: &[f64],
+    t: f64,
+    threads: usize,
+    decisions: &mut [(f64, bool)],
+) {
+    let eval = |members: &[u32], u: &[f64], decisions: &mut [(f64, bool)]| {
+        for (k, &i) in members.iter().enumerate() {
+            let d = c.flip_delta(x, i as usize);
+            decisions[k] = (d, d <= 0.0 || u[k] < (-d / t).exp());
+        }
+    };
+    let threads = threads.min(class.len() / MIN_CLASS_CHUNK).max(1);
+    if threads == 1 {
+        eval(class, u, decisions);
+        return;
+    }
+    let chunk = class.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for ((members, u), decisions) in
+            class.chunks(chunk).zip(u.chunks(chunk)).zip(decisions.chunks_mut(chunk))
+        {
+            let eval = &eval;
+            scope.spawn(move || eval(members, u, decisions));
+        }
+    });
+}
+
+/// Simulated annealing with graph-colored sweep parallelism *inside* each
+/// restart, for instances too large for restart fan-out alone.
+///
+/// A greedy coloring of the interaction graph (precomputed once from the
+/// compilation) partitions every sweep into independence classes. Within a
+/// class no two variables are coupled, so all proposals are evaluated
+/// against the same frozen state, concurrently, and every accepted flip's
+/// delta stays exact when applied together. Determinism discipline, same as
+/// [`simulated_annealing_parallel`]:
+///
+/// - restart RNGs are SplitMix64-derived from `seed` by restart index;
+/// - one uniform draw per proposal happens *on the calling thread* in class
+///   order (unconditionally — unlike the sequential sweep, which skips the
+///   draw for downhill moves; the two entry points are therefore distinct
+///   trajectories of the same dynamics);
+/// - decisions are evaluated in parallel chunks (pure per-proposal
+///   functions, so chunking is invisible);
+/// - accepted flips are applied and the running energy accumulated in
+///   ascending index order.
+///
+/// The returned bits, energy, and evaluation count are **bit-identical for
+/// any `threads` value**; `threads = 1` is the serial reference the tests
+/// compare against.
+pub fn simulated_annealing_colored(
+    c: &CompiledQubo,
+    params: &SaParams,
+    seed: u64,
+    threads: usize,
+) -> SolveResult {
+    let start = Instant::now();
+    let n = c.n_vars();
+    let coloring: Coloring = c.greedy_coloring();
+    let max_class = coloring.max_class_len();
+
+    let mut best_bits = vec![false; n];
+    let mut best = c.energy(&best_bits);
+    let mut evals: u64 = 1;
+    let mut x = vec![false; n];
+    let mut u = vec![0.0f64; max_class];
+    let mut decisions = vec![(0.0f64, false); max_class];
+
+    let total_sweeps = params.sweeps.max(1);
+    for r in 0..params.restarts.max(1) {
+        let mut rng = StdRng::seed_from_u64(restart_seed(seed, r as u64));
+        for b in x.iter_mut() {
+            *b = rng.random::<bool>();
+        }
+        let mut energy = c.energy(&x);
+        evals += 1;
+        for sweep in 0..total_sweeps {
+            let frac = sweep as f64 / total_sweeps as f64;
+            let t = params.schedule.temperature(params.t_start, params.t_end, frac).max(1e-12);
+            for class in &coloring.classes {
+                let len = class.len();
+                for slot in u[..len].iter_mut() {
+                    *slot = rng.random::<f64>();
+                }
+                decide_class(c, &x, class, &u[..len], t, threads, &mut decisions[..len]);
+                evals += len as u64;
+                // Class members are pairwise non-adjacent: each accepted
+                // delta remains the exact energy difference even after
+                // earlier members of the class flipped.
+                for (k, &i) in class.iter().enumerate() {
+                    let (delta, accept) = decisions[k];
+                    if accept {
+                        x[i as usize] = !x[i as usize];
+                        energy += delta;
+                        if energy < best {
+                            best = energy;
+                            best_bits.copy_from_slice(&x);
+                        }
+                    }
+                }
+            }
         }
     }
     SolveResult {
@@ -330,5 +502,38 @@ mod tests {
         let res = simulated_annealing_parallel(&q, &SaParams::default(), 1, 4);
         assert_eq!(res.energy, 0.0);
         assert!(res.bits.is_empty());
+    }
+
+    #[test]
+    fn colored_sa_finds_optimum_on_small_models() {
+        for seed in 0..5 {
+            let q = hard_model(seed, 12);
+            let exact = solve_exact(&q);
+            let c = q.compile();
+            let res = simulated_annealing_colored(&c, &SaParams::scaled_to(&q), seed + 300, 2);
+            assert!(
+                (res.energy - exact.energy).abs() < 1e-9,
+                "seed {seed}: colored SA {} vs exact {}",
+                res.energy,
+                exact.energy
+            );
+            assert!((q.energy(&res.bits) - res.energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn colored_sa_handles_empty_and_coupling_free_models() {
+        let res =
+            simulated_annealing_colored(&QuboModel::new(0).compile(), &SaParams::default(), 1, 4);
+        assert_eq!(res.energy, 0.0);
+        assert!(res.bits.is_empty());
+
+        let mut lin = QuboModel::new(6);
+        for i in 0..6 {
+            lin.add_linear(i, if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        // No couplings: a single color class proposes every variable at once.
+        let res = simulated_annealing_colored(&lin.compile(), &SaParams::scaled_to(&lin), 2, 3);
+        assert_eq!(res.energy, -3.0);
     }
 }

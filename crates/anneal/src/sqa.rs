@@ -9,8 +9,7 @@
 //! `J_perp = -(P*T/2) * ln tanh(Gamma / (P*T))` that strengthens as the
 //! transverse field `Gamma` anneals towards zero.
 
-use qdm_qubo::compiled::build_symmetric_csr;
-use qdm_qubo::ising::IsingModel;
+use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::solve::SolveResult;
 use rand::Rng;
@@ -49,6 +48,17 @@ impl SqaParams {
             ..Self::default()
         }
     }
+
+    /// [`Self::scaled_to`] from an existing compilation (same scale value).
+    pub fn scaled_to_compiled(c: &CompiledQubo) -> Self {
+        let scale = c.max_abs_coefficient().max(1e-9);
+        Self {
+            gamma_start: 3.0 * scale,
+            gamma_end: 1e-3 * scale,
+            temperature: 0.05 * scale,
+            ..Self::default()
+        }
+    }
 }
 
 /// Runs path-integral simulated quantum annealing on a QUBO and returns the
@@ -58,31 +68,63 @@ pub fn simulated_quantum_annealing(
     params: &SqaParams,
     rng: &mut impl Rng,
 ) -> SolveResult {
+    simulated_quantum_annealing_compiled(&q.compile(), params, rng)
+}
+
+/// [`simulated_quantum_annealing`] on an existing compilation — the primary
+/// entry point for compile-once callers.
+///
+/// The transverse-field Ising form is derived *directly from the shared
+/// [`CompiledQubo`]*: the Ising coupling graph has exactly the QUBO's
+/// sparsity with `J_ij = w_ij / 4` (an exact power-of-two scale), so the
+/// compiled CSR adjacency is reused as-is with a rescaled weight array
+/// instead of re-deriving a second flat CSR from an intermediate
+/// `IsingModel`. Field and constant accumulations visit terms in the same
+/// order `IsingModel::from_qubo` does, so the dynamics (and the RNG stream)
+/// are bit-identical to the historical model-based path.
+pub fn simulated_quantum_annealing_compiled(
+    c: &CompiledQubo,
+    params: &SqaParams,
+    rng: &mut impl Rng,
+) -> SolveResult {
     let start = Instant::now();
-    let ising = IsingModel::from_qubo(q);
-    let n = ising.n_spins();
+    let n = c.n_vars();
     let p = params.replicas.max(2);
     let pt = p as f64 * params.temperature;
 
     if n == 0 {
         return SolveResult {
             bits: Vec::new(),
-            energy: q.offset(),
+            energy: c.offset(),
             evaluations: 1,
             seconds: start.elapsed().as_secs_f64(),
             certified_optimal: false,
         };
     }
 
-    // Flat CSR adjacency of the classical Ising couplings, built once: the
-    // sweep loop below runs entirely on these arrays, never touching the
-    // model's BTreeMap. Rows come out ascending because `couplings_iter`
-    // yields sorted keys, so float summation orders match the model's.
-    let (row_offsets, neighbors, weights) = build_symmetric_csr(n, || ising.couplings_iter());
-    let fields: Vec<f64> = (0..n).map(|i| ising.field(i)).collect();
+    // QUBO → Ising under x = (1 - s)/2, accumulated term-by-term in the
+    // same order as `IsingModel::from_qubo` (linear terms by index, then
+    // couplings by sorted key) so every float matches that path bit-for-bit.
+    let mut constant = c.offset();
+    let mut fields = vec![0.0f64; n];
+    for (i, field) in fields.iter_mut().enumerate() {
+        let a = c.linear(i);
+        constant += a / 2.0;
+        *field -= a / 2.0;
+    }
+    for ((i, j), w) in c.couplings_iter() {
+        constant += w / 4.0;
+        fields[i] -= w / 4.0;
+        fields[j] -= w / 4.0;
+    }
+    // The Ising coupling CSR is the QUBO CSR with weights divided by 4:
+    // same row offsets, same ascending neighbor order, exactly scaled
+    // weights — no second CSR derivation.
+    let j_weights: Vec<f64> = c.weights().iter().map(|&w| w / 4.0).collect();
+    let row_offsets = c.row_offsets();
     let row = |i: usize| {
         let span = row_offsets[i]..row_offsets[i + 1];
-        (&neighbors[span.clone()], &weights[span])
+        (&c.neighbors()[span.clone()], &j_weights[span])
     };
 
     // spins[r][i] in {-1.0, +1.0}, replicated random init.
@@ -90,7 +132,6 @@ pub fn simulated_quantum_annealing(
         .map(|_| (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect())
         .collect();
 
-    let constant = ising.constant();
     let classical_energy = |s: &[f64]| -> f64 {
         let mut e = constant;
         for (&hi, &si) in fields.iter().zip(s) {

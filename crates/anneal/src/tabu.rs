@@ -2,6 +2,7 @@
 //! baseline in this crate (tabu solvers are also what D-Wave's own hybrid
 //! tooling uses classically).
 
+use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::solve::SolveResult;
 use rand::Rng;
@@ -27,8 +28,18 @@ impl Default for TabuParams {
 /// Runs single-flip tabu search with an aspiration criterion (a tabu move is
 /// allowed when it improves the global best).
 pub fn tabu_search(q: &QuboModel, params: &TabuParams, rng: &mut impl Rng) -> SolveResult {
+    tabu_search_compiled(&q.compile(), params, rng)
+}
+
+/// [`tabu_search`] on an existing compilation — the primary entry point for
+/// compile-once callers; the RNG stream and result are identical to the
+/// model-accepting wrapper.
+pub fn tabu_search_compiled(
+    c: &CompiledQubo,
+    params: &TabuParams,
+    rng: &mut impl Rng,
+) -> SolveResult {
     let start = Instant::now();
-    let c = q.compile();
     let n = c.n_vars();
     let mut best_bits = vec![false; n];
     let mut best = c.energy(&best_bits);

@@ -11,11 +11,25 @@
 //! post-processing each result the moment it finishes instead of waiting
 //! for the whole batch (the printed `runtime/streaming` line reports the
 //! measured ratio of the two).
+//!
+//! The `runtime/compile_once` group measures the compile-amortization win
+//! of the shared-`CompiledQubo` pipeline on the 256-var/5% acceptance
+//! instance — what a cache-miss 4-backend race used to pay in compiles
+//! (one per backend plus one for fingerprinting) versus the single shared
+//! compile it pays now — plus race-vs-best-single latency, and writes the
+//! `BENCH_runtime.json` baseline at the workspace root. CI runs just this
+//! group via `cargo bench --bench bench_runtime -- runtime/compile_once`
+//! (the criterion shim treats positional args as id filters).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use qdm_anneal::sa::SaParams;
+use qdm_anneal::sqa::SqaParams;
+use qdm_anneal::tabu::TabuParams;
 use qdm_core::pipeline::{run_pipeline, PipelineOptions};
-use qdm_core::solver::SaSolver;
+use qdm_core::problem::{Decoded, DmProblem};
+use qdm_core::solver::{SaParallelSolver, SaSolver, SqaSolver, TabuSolver};
 use qdm_problems::mqo::{MqoInstance, MqoProblem};
+use qdm_qubo::model::QuboModel;
 use qdm_runtime::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,6 +81,9 @@ fn run_pooled(service: &SolverService, problems: &[Arc<MqoProblem>]) {
 }
 
 fn bench_throughput(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/throughput") {
+        return;
+    }
     let problems = workload();
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let service = SolverService::new(ServiceConfig { workers, cache_capacity: 8 });
@@ -147,6 +164,9 @@ fn run_batched(service: &SolverService, problems: &[Arc<MqoProblem>]) {
 }
 
 fn bench_streaming_completions(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/streaming") {
+        return;
+    }
     let problems = workload();
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let service = SolverService::new(ServiceConfig { workers, cache_capacity: 8 });
@@ -181,6 +201,9 @@ fn bench_streaming_completions(c: &mut Criterion) {
 }
 
 fn bench_cache_hit_path(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/cache") {
+        return;
+    }
     let problems = workload();
     let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 1024 });
     let options = opts();
@@ -203,5 +226,151 @@ fn bench_cache_hit_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_throughput, bench_streaming_completions, bench_cache_hit_path);
+/// The dense instance wrapped as a service-submittable problem.
+struct DenseProblem {
+    qubo: QuboModel,
+}
+
+impl DmProblem for DenseProblem {
+    fn name(&self) -> String {
+        "bench-compile-once-256".into()
+    }
+    fn n_vars(&self) -> usize {
+        self.qubo.n_vars()
+    }
+    fn to_qubo(&self) -> QuboModel {
+        self.qubo.clone()
+    }
+    fn decode(&self, bits: &[bool]) -> Decoded {
+        let ones = bits.iter().filter(|&&b| b).count();
+        Decoded { feasible: true, objective: 0.0, summary: format!("{ones} set") }
+    }
+}
+
+/// A 4-backend registry with effort trimmed so the race-latency comparison
+/// finishes in smoke-test time; the compile-amortization numbers are
+/// measured on the raw compiles and independent of these parameters.
+fn race_registry(q: &QuboModel) -> SolverRegistry {
+    let sa = SaParams { sweeps: 60, restarts: 2, ..SaParams::scaled_to(q) };
+    let sqa = SqaParams { replicas: 6, sweeps: 40, ..SqaParams::scaled_to(q) };
+    let mut reg = SolverRegistry::new();
+    reg.register(Box::new(SaSolver { params: Some(sa) }));
+    reg.register(Box::new(SaParallelSolver { params: Some(sa), threads: None }));
+    reg.register(Box::new(TabuSolver {
+        params: Some(TabuParams { iterations: 400, restarts: 1, tenure: 10 }),
+    }));
+    reg.register(Box::new(SqaSolver { params: Some(sqa) }));
+    reg
+}
+
+fn bench_compile_once(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/compile_once") {
+        return;
+    }
+    const RACE_K: usize = 4;
+    let q = qdm_bench::exp_meta::dense_acceptance_instance();
+    let compiled = q.compile();
+
+    let mut group = c.benchmark_group("runtime/compile_once");
+    group.sample_size(10);
+    group.bench_function("compile", |b| b.iter(|| std::hint::black_box(q.compile())));
+    group.bench_function("canonical_fingerprint_on_compiled", |b| {
+        b.iter(|| std::hint::black_box(compiled.canonical_form().0))
+    });
+    group.finish();
+
+    // What one cache-miss race job pays in compilation. Old scheme: the
+    // fingerprint compiled, then each of the k racing backends compiled its
+    // own CSR — (k + 1) compiles per job. Compile-once: exactly one, shared
+    // through an Arc. Timed directly on real compiles so the printed ratio
+    // is measured, not inferred.
+    let time_per = |f: &mut dyn FnMut(), reps: usize| -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / reps as f64
+    };
+    let per_stage_ns = time_per(
+        &mut || {
+            for _ in 0..(RACE_K + 1) {
+                std::hint::black_box(q.compile());
+            }
+        },
+        50,
+    );
+    let once_ns = time_per(
+        &mut || {
+            std::hint::black_box(q.compile());
+        },
+        50,
+    );
+    let amortization = per_stage_ns / once_ns;
+    println!(
+        "runtime/compile_once: {amortization:.2}x amortization (256 vars, {}-backend race: {} \
+         compiles -> 1; {:.1} µs/job -> {:.1} µs/job)",
+        RACE_K,
+        RACE_K + 1,
+        per_stage_ns / 1e3,
+        once_ns / 1e3,
+    );
+
+    // Race-vs-best-single latency on a live service over the shared
+    // compilation (fresh seeds per repetition: every job is a cache miss).
+    // On a single-core runner the race serializes its participants, so the
+    // ratio only drops below the participant-count there — the same caveat
+    // as `runtime/speedup`.
+    let problem: SharedProblem = Arc::new(DenseProblem { qubo: q.clone() });
+    let service = SolverService::with_registry(
+        race_registry(&q),
+        ServiceConfig { workers: 1, cache_capacity: 8 },
+    );
+    let ranked = PortfolioScheduler::new(service.registry().len()).rank(service.registry(), 256);
+    let best_single = service.registry().get(ranked[0]).spec.name.clone();
+    let reps = 3u64;
+    let seed = AtomicU64::new(77_000_000);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let spec = JobSpec::new(Arc::clone(&problem), seed.fetch_add(1, Ordering::Relaxed))
+            .on_backend(&best_single);
+        service.run(spec).expect("single-backend job solves");
+    }
+    let single_seconds = t0.elapsed().as_secs_f64() / reps as f64;
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        let spec =
+            JobSpec::new(Arc::clone(&problem), seed.fetch_add(1, Ordering::Relaxed)).racing(RACE_K);
+        service.run(spec).expect("race job solves");
+    }
+    let race_seconds = t1.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "runtime/race: {RACE_K}-way race {race_seconds:.3}s vs best-single ({best_single}) \
+         {single_seconds:.3}s ({:.2}x)",
+        race_seconds / single_seconds,
+    );
+
+    // Machine-readable baseline next to BENCH_solvers.json; hand-rolled
+    // because the serde shim has no serializer.
+    let json = format!(
+        "{{\n  \"bench\": \"runtime\",\n  \"instance\": {{\"n_vars\": 256, \"density\": 0.05, \
+         \"n_interactions\": {m}}},\n  \"race_k\": {RACE_K},\n  \"compile_ns\": {{\
+         \"per_solve\": {per_stage_ns:.0}, \"compile_once\": {once_ns:.0}}},\n  \
+         \"compile_amortization\": {amortization:.2},\n  \"latency_seconds\": {{\
+         \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}\n}}\n",
+        m = q.n_interactions(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("runtime/baseline written to BENCH_runtime.json"),
+        Err(e) => println!("runtime/baseline NOT written ({e})"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_throughput,
+    bench_streaming_completions,
+    bench_cache_hit_path,
+    bench_compile_once
+);
 criterion_main!(benches);

@@ -53,19 +53,10 @@ fn bench_annealer_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// The acceptance-criteria instance: 256 variables at 5% coupling density.
+/// The acceptance-criteria instance: 256 variables at 5% coupling density,
+/// shared with `bench_runtime` so both baselines measure the same model.
 fn dense_instance() -> QuboModel {
-    let mut rng = StdRng::seed_from_u64(256);
-    let mut q = QuboModel::new(256);
-    for i in 0..256 {
-        q.add_linear(i, rng.random_range(-3.0..3.0));
-        for j in (i + 1)..256 {
-            if rng.random::<f64>() < 0.05 {
-                q.add_quadratic(i, j, rng.random_range(-2.0..2.0));
-            }
-        }
-    }
-    q
+    qdm_bench::exp_meta::dense_acceptance_instance()
 }
 
 fn random_assignment(n: usize, rng: &mut StdRng) -> Vec<bool> {

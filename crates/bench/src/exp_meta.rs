@@ -40,6 +40,24 @@ pub fn random_qubo(n: usize, seed: u64) -> QuboModel {
     q
 }
 
+/// The perf-acceptance instance both solver and runtime benches measure
+/// against: 256 variables at 5% coupling density, fixed seed. One
+/// definition so `BENCH_solvers.json` and `BENCH_runtime.json` are always
+/// numbers about the *same* model.
+pub fn dense_acceptance_instance() -> QuboModel {
+    let mut rng = StdRng::seed_from_u64(256);
+    let mut q = QuboModel::new(256);
+    for i in 0..256 {
+        q.add_linear(i, rng.random_range(-3.0..3.0));
+        for j in (i + 1)..256 {
+            if rng.random::<f64>() < 0.05 {
+                q.add_quadratic(i, j, rng.random_range(-2.0..2.0));
+            }
+        }
+    }
+    q
+}
+
 /// E1 — Table I coverage: every surveyed (problem, formulation, algorithm,
 /// machine) row runs end-to-end in this workspace and yields a feasible
 /// solution.

@@ -32,8 +32,9 @@ pub mod solver;
 pub mod prelude {
     pub use crate::device::{Connectivity, Device, DeviceKind, Fit};
     pub use crate::pipeline::{
-        run_pipeline, run_pipeline_on_chimera, run_pipeline_with_qubo, EmbeddedPipelineReport,
-        JobPriority, PipelineOptions, PipelineReport,
+        prepare_pipeline, run_pipeline, run_pipeline_compiled, run_pipeline_on_chimera,
+        run_pipeline_with_qubo, run_prepared, EmbeddedPipelineReport, JobPriority, PipelineOptions,
+        PipelineReport, PreparedPipeline,
     };
     pub use crate::problem::{Decoded, DmProblem};
     pub use crate::roadmap::{
@@ -42,7 +43,7 @@ pub mod prelude {
     };
     pub use crate::solver::{
         full_registry, AdiabaticSolver, ExactSolver, GroverMinSolver, QaoaSolver, QuboSolver,
-        RandomSolver, SaSolver, SolverKind, SqaSolver, TabuSolver, VqeSolver,
+        RandomSolver, SaParallelSolver, SaSolver, SolverKind, SqaSolver, TabuSolver, VqeSolver,
     };
 }
 

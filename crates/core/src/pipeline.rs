@@ -9,9 +9,11 @@
 
 use crate::problem::{Decoded, DmProblem};
 use crate::solver::QuboSolver;
+use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
-use qdm_qubo::presolve::presolve;
+use qdm_qubo::presolve::presolve_with;
 use rand::rngs::StdRng;
+use std::borrow::Cow;
 use std::time::Instant;
 
 /// Scheduling priority of a job carrying these options.
@@ -83,9 +85,9 @@ pub fn run_pipeline(
 }
 
 /// [`run_pipeline`] with the problem's QUBO already built. Callers that need
-/// the encoding for their own bookkeeping (e.g. the `qdm-runtime` cache
-/// fingerprints it before dispatch) hand it in instead of paying
+/// the encoding for their own bookkeeping hand it in instead of paying
 /// [`DmProblem::to_qubo`] twice; `qubo` must be exactly `problem.to_qubo()`.
+/// Compiles once and delegates to [`run_pipeline_compiled`].
 pub fn run_pipeline_with_qubo(
     problem: &dyn DmProblem,
     qubo: QuboModel,
@@ -93,43 +95,153 @@ pub fn run_pipeline_with_qubo(
     options: &PipelineOptions,
     rng: &mut StdRng,
 ) -> PipelineReport {
+    let compiled = qubo.compile();
+    run_pipeline_compiled(problem, &qubo, &compiled, solver, options, rng)
+}
+
+/// The compile-once pipeline: every stage — presolve's first fixpoint
+/// round, connected-component discovery, the solver's hot loop, and the
+/// final energy check — runs on the *same* `compiled` form, so a job
+/// compiles exactly once on the fast path (no presolve/decompose). This is
+/// the entry point `qdm-runtime` drives: it compiles each cache-miss job
+/// into one `Arc<CompiledQubo>`, fingerprints it, and hands the same
+/// compilation to every backend (including all participants of a portfolio
+/// race).
+///
+/// `compiled` must be the compilation of exactly `qubo`, which must be
+/// exactly `problem.to_qubo()`. Results are bit-identical to the historical
+/// model-driven pipeline.
+pub fn run_pipeline_compiled(
+    problem: &dyn DmProblem,
+    qubo: &QuboModel,
+    compiled: &CompiledQubo,
+    solver: &dyn QuboSolver,
+    options: &PipelineOptions,
+    rng: &mut StdRng,
+) -> PipelineReport {
+    let prepared = prepare_pipeline(qubo, compiled, options);
+    run_prepared(problem, &prepared, solver, options, rng)
+}
+
+/// The deterministic, seed-independent front half of the compiled pipeline
+/// — presolve and connected-component decomposition — computed **once per
+/// job** and shared by every backend that solves it. A portfolio race hands
+/// the same `PreparedPipeline` to all k participants, so the fixpoint
+/// rounds, component extraction, and the reduced/component compilations are
+/// paid once instead of k times; a single-backend job goes through the same
+/// type via [`run_pipeline_compiled`].
+pub struct PreparedPipeline<'a> {
+    /// The full-model compilation (final energies are evaluated on it).
+    compiled: &'a CompiledQubo,
+    n_vars: usize,
+    /// Assignment template with presolve-fixed variables already set.
+    base_bits: Vec<bool>,
+    presolve_fixed: usize,
+    /// `free_map[local] = global` over the working model's variables.
+    free_map: Vec<usize>,
+    /// Working compilation the solver runs on when not decomposing.
+    work_compiled: Cow<'a, CompiledQubo>,
+    /// Pre-extracted, pre-compiled components (with their local→working
+    /// variable maps) when decomposing.
+    comps: Option<Vec<(CompiledQubo, Vec<usize>)>>,
+    max_sub: usize,
+    components: usize,
+    /// Wall time the preparation itself took, folded into every
+    /// participant's reported `seconds`.
+    prepare_seconds: f64,
+}
+
+/// Builds the shared front half of the pipeline: presolve (reusing the
+/// job's compilation for its first round) and component
+/// discovery/compilation. `compiled` must be the compilation of exactly
+/// `qubo`. Deterministic — no RNG is consumed — so the result is
+/// participant-independent by construction.
+pub fn prepare_pipeline<'a>(
+    qubo: &'a QuboModel,
+    compiled: &'a CompiledQubo,
+    options: &PipelineOptions,
+) -> PreparedPipeline<'a> {
     let start = Instant::now();
     let n = qubo.n_vars();
-    let mut bits = vec![false; n];
-    let mut evaluations = 0u64;
-    let mut components = 1usize;
-    let mut presolve_fixed = 0usize;
-    let mut max_sub = 0usize;
+    let mut base_bits = vec![false; n];
 
-    // Stage 1: presolve.
-    let (work_qubo, free_map): (QuboModel, Vec<usize>) = if options.presolve {
-        let p = presolve(&qubo);
-        presolve_fixed = p.fixed.len();
+    // Stage 1: presolve. Without it the working model *is* the input —
+    // borrow it, no clone, no recompile.
+    let (work_qubo, work_compiled, free_map, presolve_fixed): (
+        Cow<QuboModel>,
+        Cow<CompiledQubo>,
+        Vec<usize>,
+        usize,
+    ) = if options.presolve {
+        let p = presolve_with(qubo, compiled);
         for &(g, v) in &p.fixed {
-            bits[g] = v;
+            base_bits[g] = v;
         }
-        (p.reduced.clone(), p.free_vars)
+        let reduced_compiled = p.reduced.compile();
+        (Cow::Owned(p.reduced), Cow::Owned(reduced_compiled), p.free_vars, p.fixed.len())
     } else {
-        (qubo.clone(), (0..n).collect())
+        (Cow::Borrowed(qubo), Cow::Borrowed(compiled), (0..n).collect(), 0)
     };
 
-    // Stage 2: decomposition + solve.
-    if options.decompose {
-        let comps = work_qubo.connected_components();
-        components = comps.len();
-        for (sub, local_map) in comps {
-            max_sub = max_sub.max(sub.n_vars());
-            let res = solver.solve(&sub, rng);
+    // Stage 2a: decomposition. Component models are fresh extractions;
+    // each compiles once here and every participant solves the shared
+    // compilation.
+    let (comps, max_sub, components) = if options.decompose {
+        let comps: Vec<(CompiledQubo, Vec<usize>)> = work_qubo
+            .connected_components_with(&work_compiled)
+            .into_iter()
+            .map(|(sub, local_map)| (sub.compile(), local_map))
+            .collect();
+        let max_sub = comps.iter().map(|(c, _)| c.n_vars()).max().unwrap_or(0);
+        let n_comps = comps.len();
+        (Some(comps), max_sub, n_comps)
+    } else {
+        (None, work_compiled.n_vars(), 1)
+    };
+
+    PreparedPipeline {
+        compiled,
+        n_vars: n,
+        base_bits,
+        presolve_fixed,
+        free_map,
+        work_compiled,
+        comps,
+        max_sub,
+        components,
+        prepare_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The per-participant back half: solve (the only stage that consumes the
+/// RNG), repair, decode. `options` must be the same options the
+/// preparation was built with. Results are bit-identical to the historical
+/// single-pass pipeline — component solves run on compilations of exactly
+/// the models the solver used to compile itself.
+pub fn run_prepared(
+    problem: &dyn DmProblem,
+    prepared: &PreparedPipeline<'_>,
+    solver: &dyn QuboSolver,
+    options: &PipelineOptions,
+    rng: &mut StdRng,
+) -> PipelineReport {
+    let start = Instant::now();
+    let mut bits = prepared.base_bits.clone();
+    let mut evaluations = 0u64;
+
+    // Stage 2b: solve.
+    if let Some(comps) = &prepared.comps {
+        for (sub_compiled, local_map) in comps {
+            let res = solver.solve_compiled(sub_compiled, rng);
             evaluations += res.evaluations;
             for (local, &within_work) in local_map.iter().enumerate() {
-                bits[free_map[within_work]] = res.bits[local];
+                bits[prepared.free_map[within_work]] = res.bits[local];
             }
         }
     } else {
-        max_sub = work_qubo.n_vars();
-        let res = solver.solve(&work_qubo, rng);
+        let res = solver.solve_compiled(&prepared.work_compiled, rng);
         evaluations += res.evaluations;
-        for (local, &global) in free_map.iter().enumerate() {
+        for (local, &global) in prepared.free_map.iter().enumerate() {
             bits[global] = res.bits[local];
         }
     }
@@ -138,20 +250,20 @@ pub fn run_pipeline_with_qubo(
     if options.repair {
         bits = problem.repair(&bits);
     }
-    let energy = qubo.energy(&bits);
+    let energy = prepared.compiled.energy(&bits);
     let decoded = problem.decode(&bits);
     PipelineReport {
         problem: problem.name(),
         solver: solver.name().to_string(),
-        n_vars: n,
-        max_subproblem_vars: max_sub,
-        components,
-        presolve_fixed,
+        n_vars: prepared.n_vars,
+        max_subproblem_vars: prepared.max_sub,
+        components: prepared.components,
+        presolve_fixed: prepared.presolve_fixed,
         bits,
         energy,
         decoded,
         evaluations,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: prepared.prepare_seconds + start.elapsed().as_secs_f64(),
     }
 }
 

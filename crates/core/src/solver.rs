@@ -8,11 +8,17 @@
 use qdm_algos::grover::durr_hoyer_minimum;
 use qdm_algos::qaoa::{qaoa_optimize, EnergyTable, QaoaParams};
 use qdm_algos::vqe::{vqe_optimize, VqeParams};
-use qdm_anneal::sa::{simulated_annealing, simulated_annealing_parallel, SaParams};
-use qdm_anneal::sqa::{simulated_quantum_annealing, SqaParams};
-use qdm_anneal::tabu::{tabu_search, TabuParams};
+use qdm_anneal::sa::{
+    simulated_annealing_colored, simulated_annealing_compiled,
+    simulated_annealing_parallel_compiled, SaParams, COLORED_SWEEP_MIN_VARS,
+};
+use qdm_anneal::sqa::{simulated_quantum_annealing_compiled, SqaParams};
+use qdm_anneal::tabu::{tabu_search_compiled, TabuParams};
+use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::{bits_from_index, QuboModel};
-use qdm_qubo::solve::{solve_exact, solve_random, SolveResult, MAX_EXACT_VARS};
+use qdm_qubo::solve::{
+    solve_exact, solve_exact_compiled, solve_random_compiled, SolveResult, MAX_EXACT_VARS,
+};
 use rand::rngs::StdRng;
 use rand::RngCore;
 use std::time::Instant;
@@ -34,6 +40,14 @@ pub enum SolverKind {
 /// one registered instance across worker threads. Every solver here is a
 /// small parameter struct with no interior mutability (all run state lives in
 /// the caller-provided RNG), so the bound is free.
+///
+/// [`QuboSolver::solve_compiled`] is the **primary** entry point: it accepts
+/// an existing [`CompiledQubo`], which is what lets the runtime compile each
+/// job exactly once and dispatch the same shared compilation to many
+/// backends (a portfolio race solves one `Arc<CompiledQubo>` k ways).
+/// [`QuboSolver::solve`] is a convenience wrapper that compiles and
+/// delegates, so `solve(q, rng)` and `solve_compiled(&q.compile(), rng)` are
+/// bit-identical by construction.
 pub trait QuboSolver: Send + Sync {
     /// Display name.
     fn name(&self) -> &str;
@@ -41,8 +55,13 @@ pub trait QuboSolver: Send + Sync {
     fn kind(&self) -> SolverKind;
     /// Largest variable count the solver accepts.
     fn max_vars(&self) -> usize;
-    /// Solves the model.
-    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult;
+    /// Solves an existing compilation without recompiling — the hot path.
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult;
+    /// Solves the model: compiles once and delegates to
+    /// [`Self::solve_compiled`].
+    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
+        self.solve_compiled(&q.compile(), rng)
+    }
 }
 
 /// Certified exact enumeration (classical).
@@ -59,8 +78,8 @@ impl QuboSolver for ExactSolver {
     fn max_vars(&self) -> usize {
         MAX_EXACT_VARS
     }
-    fn solve(&self, q: &QuboModel, _rng: &mut StdRng) -> SolveResult {
-        solve_exact(q)
+    fn solve_compiled(&self, c: &CompiledQubo, _rng: &mut StdRng) -> SolveResult {
+        solve_exact_compiled(c)
     }
 }
 
@@ -81,19 +100,26 @@ impl QuboSolver for SaSolver {
     fn max_vars(&self) -> usize {
         100_000
     }
-    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
-        let params = self.params.unwrap_or_else(|| SaParams::scaled_to(q));
-        simulated_annealing(q, &params, rng)
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SaParams::scaled_to_compiled(c));
+        simulated_annealing_compiled(c, &params, rng)
     }
 }
 
-/// Classical simulated annealing with restarts fanned out across a scoped
-/// thread pool (`qdm_anneal::sa::simulated_annealing_parallel`).
+/// Classical simulated annealing with two parallelism axes, chosen by
+/// instance size:
 ///
-/// Results are bit-identical at any thread count: each restart runs on its
-/// own SplitMix64-derived seed and the best pick scans restarts in index
-/// order. The job's RNG contributes exactly one `u64` (the base seed), so
-/// the runtime's fixed-seed reproducibility contract holds here too.
+/// - below [`COLORED_SWEEP_MIN_VARS`]: restarts fan out across a scoped
+///   thread pool (`qdm_anneal::sa::simulated_annealing_parallel`);
+/// - at/above it: graph-colored sweep parallelism *inside* each restart
+///   (`qdm_anneal::sa::simulated_annealing_colored`) — one huge restart
+///   parallelizes even when there are few restarts to fan out.
+///
+/// Both paths are bit-identical at any thread count: restart seeds are
+/// SplitMix64-derived by index, color-class decisions are pure per-proposal
+/// functions, and every best-pick runs in index order. The job's RNG
+/// contributes exactly one `u64` (the base seed), so the runtime's
+/// fixed-seed reproducibility contract holds here too.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SaParallelSolver {
     /// Optional fixed parameters; auto-scaled to the model when `None`.
@@ -113,13 +139,17 @@ impl QuboSolver for SaParallelSolver {
     fn max_vars(&self) -> usize {
         100_000
     }
-    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
-        let params = self.params.unwrap_or_else(|| SaParams::scaled_to(q));
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SaParams::scaled_to_compiled(c));
         let threads = self
             .threads
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
         let seed = rng.next_u64();
-        simulated_annealing_parallel(q, &params, seed, threads)
+        if c.n_vars() >= COLORED_SWEEP_MIN_VARS {
+            simulated_annealing_colored(c, &params, seed, threads)
+        } else {
+            simulated_annealing_parallel_compiled(c, &params, seed, threads)
+        }
     }
 }
 
@@ -141,9 +171,9 @@ impl QuboSolver for SqaSolver {
     fn max_vars(&self) -> usize {
         10_000
     }
-    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
-        let params = self.params.unwrap_or_else(|| SqaParams::scaled_to(q));
-        simulated_quantum_annealing(q, &params, rng)
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SqaParams::scaled_to_compiled(c));
+        simulated_quantum_annealing_compiled(c, &params, rng)
     }
 }
 
@@ -164,8 +194,8 @@ impl QuboSolver for TabuSolver {
     fn max_vars(&self) -> usize {
         100_000
     }
-    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
-        tabu_search(q, &self.params.unwrap_or_default(), rng)
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        tabu_search_compiled(c, &self.params.unwrap_or_default(), rng)
     }
 }
 
@@ -192,8 +222,8 @@ impl QuboSolver for RandomSolver {
     fn max_vars(&self) -> usize {
         1_000_000
     }
-    fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
-        solve_random(q, self.samples, rng)
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        solve_random_compiled(c, self.samples, rng)
     }
 }
 
@@ -213,6 +243,13 @@ impl QuboSolver for QaoaSolver {
     }
     fn max_vars(&self) -> usize {
         20
+    }
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        // Gate-based routes build state-vector Hamiltonians from the model
+        // form; compilation is lossless, so decompiling reproduces it
+        // exactly (and these routes cap at ~20 variables, so the rebuild is
+        // noise next to the exponential simulation).
+        self.solve(&c.to_model(), rng)
     }
     fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
         qaoa_optimize(q, &self.params.unwrap_or_default(), rng).solve
@@ -236,6 +273,11 @@ impl QuboSolver for VqeSolver {
     fn max_vars(&self) -> usize {
         16
     }
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        // See `QaoaSolver::solve_compiled`: lossless decompile for the
+        // model-form Hamiltonian construction.
+        self.solve(&c.to_model(), rng)
+    }
     fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
         vqe_optimize(q, &self.params.unwrap_or_default(), rng).solve
     }
@@ -255,6 +297,11 @@ impl QuboSolver for GroverMinSolver {
     }
     fn max_vars(&self) -> usize {
         16
+    }
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        // See `QaoaSolver::solve_compiled`: lossless decompile for the
+        // model-form energy table.
+        self.solve(&c.to_model(), rng)
     }
     fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
         let start = Instant::now();
@@ -291,6 +338,11 @@ impl QuboSolver for AdiabaticSolver {
     }
     fn max_vars(&self) -> usize {
         16
+    }
+    fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
+        // See `QaoaSolver::solve_compiled`: lossless decompile for the
+        // model-form Hamiltonian construction.
+        self.solve(&c.to_model(), rng)
     }
     fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
         qdm_algos::adiabatic::adiabatic_evolve(q, &self.params.unwrap_or_default(), rng).solve

@@ -1,0 +1,74 @@
+//! The `QuboSolver` compiled-vs-model contract: for every registered
+//! backend, `solve(q, rng)` and `solve_compiled(&q.compile(), rng)` are
+//! bit-identical under the same seed. The default `solve` wrapper
+//! guarantees this by construction; the gate-based routes override both
+//! methods (direct model path vs. lossless decompile), so the equivalence
+//! is worth proving rather than assuming.
+
+use qdm_core::solver::full_registry;
+use qdm_qubo::model::QuboModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn model(seed: u64, n: usize) -> QuboModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut q = QuboModel::new(n);
+    for i in 0..n {
+        q.add_linear(i, rng.random_range(-2.0..2.0));
+        for j in (i + 1)..n {
+            if rng.random::<f64>() < 0.4 {
+                q.add_quadratic(i, j, rng.random_range(-2.0..2.0));
+            }
+        }
+    }
+    q.add_offset(0.5);
+    q
+}
+
+#[test]
+fn every_backend_solves_model_and_compilation_identically() {
+    let q = model(3, 8);
+    let c = q.compile();
+    for solver in full_registry() {
+        let mut rng_model = StdRng::seed_from_u64(17);
+        let mut rng_compiled = StdRng::seed_from_u64(17);
+        let via_model = solver.solve(&q, &mut rng_model);
+        let via_compiled = solver.solve_compiled(&c, &mut rng_compiled);
+        assert_eq!(via_model.bits, via_compiled.bits, "{}: bits differ", solver.name());
+        assert_eq!(
+            via_model.energy.to_bits(),
+            via_compiled.energy.to_bits(),
+            "{}: energy differs",
+            solver.name()
+        );
+        assert_eq!(
+            via_model.evaluations,
+            via_compiled.evaluations,
+            "{}: evaluation counts differ",
+            solver.name()
+        );
+        assert_eq!(
+            via_model.certified_optimal,
+            via_compiled.certified_optimal,
+            "{}",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn one_shared_compilation_serves_many_backends() {
+    // The compile-once shape the runtime relies on: one compilation, every
+    // backend solving it, each agreeing with its own model-path result.
+    let q = model(11, 8);
+    let c = q.compile();
+    for solver in full_registry() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let res = solver.solve_compiled(&c, &mut rng);
+        assert!(
+            (q.energy(&res.bits) - res.energy).abs() < 1e-9,
+            "{}: inconsistent energy on the shared compilation",
+            solver.name()
+        );
+    }
+}

@@ -11,7 +11,27 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Positional CLI arguments (everything not starting with `-`), parsed
+/// once. Like real Criterion, they act as substring filters over benchmark
+/// ids: `cargo bench --bench bench_runtime -- runtime/compile_once` runs
+/// only the matching benchmarks. Flags (including the `--bench` cargo
+/// appends) are ignored.
+fn filters() -> &'static [String] {
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect())
+}
+
+/// Whether `name` (a benchmark or group id) matches the CLI filter. True
+/// when no filter was given. Bench functions with expensive setup or
+/// direct-timing sections outside [`Bencher::iter`] should gate on this so
+/// a filtered run (CI smoke mode) skips their work entirely.
+pub fn filter_allows(name: &str) -> bool {
+    let fs = filters();
+    fs.is_empty() || fs.iter().any(|f| name.contains(f.as_str()) || f.contains(name))
+}
 
 /// Identifier for a parameterized benchmark, rendered as `name/param`.
 #[derive(Debug, Clone)]
@@ -101,6 +121,9 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 fn run_one(full_id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if !filter_allows(full_id) {
+        return;
+    }
     let mut b = Bencher { samples, results_ns: Vec::new() };
     f(&mut b);
     if b.results_ns.is_empty() {

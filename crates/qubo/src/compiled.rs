@@ -22,6 +22,23 @@
 //! are bit-identical to the model-backed slow path, not merely close.
 
 use crate::model::QuboModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`CompiledQubo`] constructions.
+///
+/// This is the compile-once observability hook: `qdm-runtime` compiles each
+/// cache-miss job exactly once and shares the compilation across
+/// fingerprinting, presolve, and every racing backend, and its tests assert
+/// that invariant by diffing this counter around a solve. A relaxed atomic
+/// increment per compilation is far below measurement noise.
+static COMPILATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of [`CompiledQubo`] constructions in this process so far.
+/// Intended for tests and benchmarks asserting compile-once behavior, not
+/// for application logic.
+pub fn compilation_count() -> u64 {
+    COMPILATIONS.load(Ordering::Relaxed)
+}
 
 /// A [`QuboModel`] compiled to flat CSR form for fast repeated evaluation.
 ///
@@ -108,6 +125,7 @@ impl CompiledQubo {
                 row_offsets[i] + row.partition_point(|&j| (j as usize) < i)
             })
             .collect();
+        COMPILATIONS.fetch_add(1, Ordering::Relaxed);
         Self {
             n_vars: n,
             offset: q.offset(),
@@ -254,6 +272,75 @@ impl CompiledQubo {
         }
     }
 
+    /// CSR row-offset array: variable `i`'s neighbors span
+    /// `neighbors()[row_offsets()[i]..row_offsets()[i + 1]]`.
+    #[inline]
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_offsets
+    }
+
+    /// Flat neighbor-index array, parallel to [`Self::weights`].
+    #[inline]
+    pub fn neighbors(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// Flat coupling-weight array, parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Iterates the upper-triangular couplings as `((i, j), w)` with
+    /// `i < j`, in exactly the sorted key order
+    /// [`QuboModel::quadratic_iter`] yields — so float accumulations driven
+    /// by this iterator are bit-identical to model-driven ones.
+    pub fn couplings_iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        (0..self.n_vars).flat_map(move |i| {
+            let span = self.upper_starts[i]..self.row_offsets[i + 1];
+            self.neighbors[span.clone()]
+                .iter()
+                .zip(&self.weights[span])
+                .map(move |(&j, &w)| ((i, j as usize), w))
+        })
+    }
+
+    /// Reconstructs the source [`QuboModel`]. Compilation is lossless, so
+    /// the result is coefficient-identical (`==`) to the compiled model;
+    /// gate-based solvers that need the model form (energy tables,
+    /// Hamiltonian construction) use this to serve `solve_compiled` calls.
+    pub fn to_model(&self) -> QuboModel {
+        let mut q = QuboModel::new(self.n_vars);
+        q.add_offset(self.offset);
+        for (i, &w) in self.linear.iter().enumerate() {
+            q.add_linear(i, w);
+        }
+        for ((i, j), w) in self.couplings_iter() {
+            q.add_quadratic(i, j, w);
+        }
+        q
+    }
+
+    /// Maximum absolute coefficient, matching
+    /// [`QuboModel::max_abs_coefficient`] exactly (`max` is
+    /// order-insensitive). Used by parameter-scaling heuristics.
+    pub fn max_abs_coefficient(&self) -> f64 {
+        let l = self.linear.iter().fold(0.0f64, |m, w| m.max(w.abs()));
+        let q = self.weights.iter().fold(0.0f64, |m, w| m.max(w.abs()));
+        l.max(q)
+    }
+
+    /// A lower bound on the energy: offset plus all negative coefficients.
+    /// Visits terms in the same order as [`QuboModel::naive_lower_bound`]
+    /// (linear by index, couplings by sorted key), so the sum is
+    /// bit-identical to the model's.
+    pub fn naive_lower_bound(&self) -> f64 {
+        let mut b = self.offset;
+        b += self.linear.iter().filter(|w| **w < 0.0).sum::<f64>();
+        b += self.couplings_iter().map(|(_, w)| w).filter(|w| *w < 0.0).sum::<f64>();
+        b
+    }
+
     /// Applies the flip of variable `i` to the incremental state: toggles
     /// `x[i]` and folds the coupling weights into the neighbors' local
     /// fields. Returns the energy delta the flip contributed (callers track
@@ -269,6 +356,138 @@ impl CompiledQubo {
             fields[j as usize] += sign * w;
         }
         delta
+    }
+
+    /// Computes the canonical relabeling and permutation-invariant
+    /// fingerprint of the compiled model: returns `(fingerprint, perm)` with
+    /// `perm[original_index] = canonical_index`, exactly as
+    /// [`QuboModel::canonical_form`] does (that method now delegates here).
+    ///
+    /// Having this on the compiled form lets `qdm-runtime` derive the cache
+    /// fingerprint from the *same* compilation every backend solves, instead
+    /// of paying a second compile for fingerprinting.
+    pub fn canonical_form(&self) -> (u64, Vec<usize>) {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mix = |mut h: u64, word: u64| -> u64 {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        };
+        let f64_bits = |x: f64| if x == 0.0 { 0u64 } else { x.to_bits() };
+
+        // Weisfeiler-Lehman-style signature refinement: seed each variable
+        // with its linear coefficient, refine twice over the sorted
+        // (coupling weight, neighbor signature) multiset.
+        let mut sig: Vec<u64> = self.linear.iter().map(|&w| mix(FNV_OFFSET, f64_bits(w))).collect();
+        for _round in 0..2 {
+            let refined: Vec<u64> = (0..self.n_vars)
+                .map(|i| {
+                    let (nbrs, ws) = self.row(i);
+                    let mut tokens: Vec<(u64, u64)> = nbrs
+                        .iter()
+                        .zip(ws)
+                        .map(|(&j, &w)| (f64_bits(w), sig[j as usize]))
+                        .collect();
+                    tokens.sort_unstable();
+                    let mut h = mix(FNV_OFFSET, sig[i]);
+                    for (w, s) in tokens {
+                        h = mix(mix(h, w), s);
+                    }
+                    h
+                })
+                .collect();
+            sig = refined;
+        }
+
+        let mut order: Vec<usize> = (0..self.n_vars).collect();
+        order.sort_by_key(|&i| (sig[i], i));
+        let mut perm = vec![0usize; self.n_vars];
+        for (canonical, &original) in order.iter().enumerate() {
+            perm[original] = canonical;
+        }
+
+        // Hash the relabeled coefficient stream in `QuboModel::fingerprint`'s
+        // exact byte order — variable count, linear terms by canonical
+        // index, couplings by sorted canonical key, offset — without
+        // building the relabeled model.
+        let mut h = FNV_OFFSET;
+        h = mix(h, self.n_vars as u64);
+        for &original in &order {
+            h = mix(h, f64_bits(self.linear[original]));
+        }
+        let mut couplings: Vec<(usize, usize, u64)> = self
+            .couplings_iter()
+            .map(|((i, j), w)| {
+                let (a, b) = (perm[i].min(perm[j]), perm[i].max(perm[j]));
+                (a, b, f64_bits(w))
+            })
+            .collect();
+        couplings.sort_unstable();
+        for (a, b, w) in couplings {
+            h = mix(h, a as u64);
+            h = mix(h, b as u64);
+            h = mix(h, w);
+        }
+        h = mix(h, f64_bits(self.offset));
+        (h, perm)
+    }
+
+    /// Greedy graph coloring of the interaction graph in ascending variable
+    /// order: variables sharing a color are pairwise non-adjacent, so one
+    /// annealing sweep can evaluate (and flip) a whole color class
+    /// concurrently — the within-restart parallelism axis
+    /// `qdm_anneal::sa::simulated_annealing_colored` runs on.
+    ///
+    /// Uses at most `max_degree + 1` colors. Deterministic: depends only on
+    /// the compiled structure.
+    pub fn greedy_coloring(&self) -> Coloring {
+        let n = self.n_vars;
+        let mut color = vec![usize::MAX; n];
+        // `forbidden[c] == i` marks color c as used by a neighbor of i; the
+        // stamp trick avoids clearing the array between variables.
+        let mut forbidden = vec![usize::MAX; self.max_degree + 2];
+        let mut n_colors = 0usize;
+        for i in 0..n {
+            let (nbrs, _) = self.row(i);
+            for &j in nbrs {
+                let cj = color[j as usize];
+                if cj != usize::MAX && cj < forbidden.len() {
+                    forbidden[cj] = i;
+                }
+            }
+            let c = (0..forbidden.len()).find(|&c| forbidden[c] != i).expect("degree+2 colors");
+            color[i] = c;
+            n_colors = n_colors.max(c + 1);
+        }
+        let mut classes: Vec<Vec<u32>> = vec![Vec::new(); n_colors];
+        for (i, &c) in color.iter().enumerate() {
+            classes[c].push(i as u32);
+        }
+        Coloring { classes }
+    }
+}
+
+/// A partition of the variables into independence classes (see
+/// [`CompiledQubo::greedy_coloring`]): within a class no two variables are
+/// coupled, so their flip deltas are mutually independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// `classes[c]` holds the ascending variable indices with color `c`.
+    pub classes: Vec<Vec<u32>>,
+}
+
+impl Coloring {
+    /// Number of colors used.
+    pub fn n_colors(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Size of the largest color class.
+    pub fn max_class_len(&self) -> usize {
+        self.classes.iter().map(Vec::len).max().unwrap_or(0)
     }
 }
 
@@ -368,6 +587,65 @@ mod tests {
                 assert!((fields[v] - fresh[v]).abs() < 1e-9, "field {v} after flip {i}");
             }
         }
+    }
+
+    #[test]
+    fn to_model_roundtrips_exactly() {
+        let q = sample_model();
+        assert_eq!(q.compile().to_model(), q);
+        let empty = QuboModel::new(0);
+        assert_eq!(empty.compile().to_model(), empty);
+    }
+
+    #[test]
+    fn derived_scalars_match_model() {
+        let q = sample_model();
+        let c = q.compile();
+        assert_eq!(c.max_abs_coefficient(), q.max_abs_coefficient());
+        assert_eq!(c.naive_lower_bound().to_bits(), q.naive_lower_bound().to_bits());
+        let pairs: Vec<_> = c.couplings_iter().collect();
+        let want: Vec<_> = q.quadratic_iter().collect();
+        assert_eq!(pairs, want, "couplings_iter must match the model's sorted key order");
+    }
+
+    #[test]
+    fn canonical_form_matches_model_delegation() {
+        let q = sample_model();
+        let c = q.compile();
+        assert_eq!(c.canonical_form(), q.canonical_form());
+    }
+
+    #[test]
+    fn greedy_coloring_is_a_proper_partition() {
+        let q = sample_model();
+        let c = q.compile();
+        let coloring = c.greedy_coloring();
+        // Every variable appears exactly once.
+        let mut seen = vec![0usize; c.n_vars()];
+        for class in &coloring.classes {
+            for &i in class {
+                seen[i as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "classes must partition the variables");
+        // No class contains an adjacent pair.
+        for class in &coloring.classes {
+            for &i in class {
+                let (nbrs, _) = c.row(i as usize);
+                for &j in nbrs {
+                    assert!(!class.contains(&j), "vars {i} and {j} are coupled but share a color");
+                }
+            }
+        }
+        assert!(coloring.n_colors() <= c.max_degree() + 1);
+        assert!(coloring.max_class_len() >= 1);
+    }
+
+    #[test]
+    fn compilation_counter_increments() {
+        let before = compilation_count();
+        let _ = sample_model().compile();
+        assert!(compilation_count() > before);
     }
 
     #[test]

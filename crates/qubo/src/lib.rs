@@ -38,13 +38,14 @@ pub mod solve;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
-    pub use crate::compiled::CompiledQubo;
+    pub use crate::compiled::{compilation_count, Coloring, CompiledQubo};
     pub use crate::ising::IsingModel;
     pub use crate::model::{bits_from_index, index_from_bits, QuboModel};
     pub use crate::penalty;
-    pub use crate::presolve::{presolve, Presolved};
+    pub use crate::presolve::{presolve, presolve_with, Presolved};
     pub use crate::solve::{
-        solve_exact, solve_greedy_descent, solve_random, SolveResult, MAX_EXACT_VARS,
+        solve_exact, solve_exact_compiled, solve_greedy_descent, solve_greedy_descent_compiled,
+        solve_random, solve_random_compiled, SolveResult, MAX_EXACT_VARS,
     };
 }
 

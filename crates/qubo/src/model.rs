@@ -166,7 +166,17 @@ impl QuboModel {
     /// The full offset is carried by the first component (or lost if there
     /// are none).
     pub fn connected_components(&self) -> Vec<(QuboModel, Vec<usize>)> {
-        let csr = self.compile();
+        self.connected_components_with(&self.compile())
+    }
+
+    /// [`Self::connected_components`] over an existing compilation of this
+    /// exact model, so pipeline callers that already compiled (the
+    /// `qdm-runtime` compile-once path) don't pay a second CSR build.
+    pub fn connected_components_with(
+        &self,
+        csr: &crate::compiled::CompiledQubo,
+    ) -> Vec<(QuboModel, Vec<usize>)> {
+        debug_assert_eq!(csr.n_vars(), self.n_vars, "compilation belongs to another model");
         let mut comp = vec![usize::MAX; self.n_vars];
         let mut n_comps = 0;
         let mut stack = Vec::new();
@@ -270,72 +280,13 @@ impl QuboModel {
     /// original index, so genuinely symmetric variables may canonicalize
     /// differently across permutations; that costs a cache hit, never
     /// correctness.
+    /// The implementation lives on [`crate::compiled::CompiledQubo`] (the
+    /// signature refinement walks CSR rows anyway); callers that already
+    /// hold a compilation — the `qdm-runtime` compile-once path — call
+    /// `CompiledQubo::canonical_form` directly and skip this wrapper's
+    /// compile.
     pub fn canonical_form(&self) -> (u64, Vec<usize>) {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mix = |mut h: u64, word: u64| -> u64 {
-            for byte in word.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-            h
-        };
-        let f64_bits = |x: f64| if x == 0.0 { 0u64 } else { x.to_bits() };
-
-        let csr = self.compile();
-        let mut sig: Vec<u64> = self.linear.iter().map(|&w| mix(FNV_OFFSET, f64_bits(w))).collect();
-        for _round in 0..2 {
-            let refined: Vec<u64> = (0..self.n_vars)
-                .map(|i| {
-                    let (nbrs, ws) = csr.row(i);
-                    let mut tokens: Vec<(u64, u64)> = nbrs
-                        .iter()
-                        .zip(ws)
-                        .map(|(&j, &w)| (f64_bits(w), sig[j as usize]))
-                        .collect();
-                    tokens.sort_unstable();
-                    let mut h = mix(FNV_OFFSET, sig[i]);
-                    for (w, s) in tokens {
-                        h = mix(mix(h, w), s);
-                    }
-                    h
-                })
-                .collect();
-            sig = refined;
-        }
-
-        let mut order: Vec<usize> = (0..self.n_vars).collect();
-        order.sort_by_key(|&i| (sig[i], i));
-        let mut perm = vec![0usize; self.n_vars];
-        for (canonical, &original) in order.iter().enumerate() {
-            perm[original] = canonical;
-        }
-
-        // Hash the relabeled coefficient stream in [`Self::fingerprint`]'s
-        // exact byte order — variable count, linear terms by canonical
-        // index, couplings by sorted canonical key, offset — without
-        // building the relabeled model.
-        let mut h = FNV_OFFSET;
-        h = mix(h, self.n_vars as u64);
-        for &original in &order {
-            h = mix(h, f64_bits(self.linear[original]));
-        }
-        let mut couplings: Vec<(usize, usize, u64)> = self
-            .quadratic
-            .iter()
-            .map(|(&(i, j), &w)| {
-                let (a, b) = (perm[i].min(perm[j]), perm[i].max(perm[j]));
-                (a, b, f64_bits(w))
-            })
-            .collect();
-        couplings.sort_unstable();
-        for (a, b, w) in couplings {
-            h = mix(h, a as u64);
-            h = mix(h, b as u64);
-            h = mix(h, w);
-        }
-        h = mix(h, f64_bits(self.offset));
-        (h, perm)
+        self.compile().canonical_form()
     }
 
     /// A lower bound on the energy: offset plus all negative coefficients.

@@ -6,6 +6,7 @@
 //! linear coefficient dominates the total weight of its couplings can be
 //! fixed without losing the optimum.
 
+use crate::compiled::CompiledQubo;
 use crate::model::QuboModel;
 
 /// Result of a presolve pass.
@@ -42,17 +43,38 @@ impl Presolved {
 /// - if `linear[i] + sum(max(0, w_ij)) <= 0`, setting `x_i = 1` is never
 ///   worse — fix to 1.
 pub fn presolve(q: &QuboModel) -> Presolved {
+    presolve_with(q, &q.compile())
+}
+
+/// [`presolve`] over an existing compilation of `q`, so compile-once
+/// callers (the `qdm-runtime` pipeline) reuse the job's shared CSR for the
+/// first fixpoint round instead of paying a fresh compile. Later rounds
+/// operate on the mutated working model and must recompile regardless.
+///
+/// `compiled` must be the compilation of exactly `q`.
+pub fn presolve_with(q: &QuboModel, compiled: &CompiledQubo) -> Presolved {
+    debug_assert_eq!(compiled.n_vars(), q.n_vars(), "compilation belongs to another model");
     let n = q.n_vars();
     let mut fixed: Vec<Option<bool>> = vec![None; n];
     let mut work = q.clone();
+    let mut first_round = true;
     loop {
         // One O(n + m) CSR compile per round replaces the per-row Vec
-        // allocations of `neighbor_lists`. The rows are a snapshot of the
-        // round's start state: the fixing branch below mutates `work`
-        // mid-round, and reads of the stale rows stay correct only because
-        // couplings to fixed partners are filtered via `fixed[..]` (the
-        // same invariant the original adjacency-list code relied on).
-        let csr = work.compile();
+        // allocations of `neighbor_lists` (the first round reuses the
+        // caller's compilation — `work` is still an untouched clone of `q`
+        // there). The rows are a snapshot of the round's start state: the
+        // fixing branch below mutates `work` mid-round, and reads of the
+        // stale rows stay correct only because couplings to fixed partners
+        // are filtered via `fixed[..]` (the same invariant the original
+        // adjacency-list code relied on).
+        let recompiled;
+        let csr = if first_round {
+            first_round = false;
+            compiled
+        } else {
+            recompiled = work.compile();
+            &recompiled
+        };
         let mut changed = false;
         for i in 0..n {
             if fixed[i].is_some() {

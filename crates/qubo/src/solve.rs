@@ -1,6 +1,7 @@
 //! Exact and baseline solvers over QUBO models, plus the shared
 //! [`SolveResult`] record every solver in the workspace reports.
 
+use crate::compiled::CompiledQubo;
 use crate::model::{bits_from_index, QuboModel};
 use rand::Rng;
 use std::time::Instant;
@@ -28,13 +29,22 @@ pub const MAX_EXACT_VARS: usize = 26;
 /// # Panics
 /// Panics if the model has more than [`MAX_EXACT_VARS`] variables.
 pub fn solve_exact(q: &QuboModel) -> SolveResult {
-    let n = q.n_vars();
+    solve_exact_compiled(&q.compile())
+}
+
+/// [`solve_exact`] on an existing compilation — the primary entry point for
+/// compile-once callers.
+///
+/// # Panics
+/// Panics if the compilation has more than [`MAX_EXACT_VARS`] variables.
+pub fn solve_exact_compiled(c: &CompiledQubo) -> SolveResult {
+    let n = c.n_vars();
     assert!(n <= MAX_EXACT_VARS, "{n} variables exceeds exact-solver cap {MAX_EXACT_VARS}");
     let start = Instant::now();
     if n == 0 {
         return SolveResult {
             bits: Vec::new(),
-            energy: q.offset(),
+            energy: c.offset(),
             evaluations: 1,
             seconds: start.elapsed().as_secs_f64(),
             certified_optimal: true,
@@ -42,7 +52,6 @@ pub fn solve_exact(q: &QuboModel) -> SolveResult {
     }
     // Gray-code walk with incremental deltas: each step flips one variable,
     // evaluated in O(deg) on the compiled CSR form.
-    let c = q.compile();
     let mut x = vec![false; n];
     let mut energy = c.energy(&x);
     let mut best = energy;
@@ -71,9 +80,13 @@ pub fn solve_exact(q: &QuboModel) -> SolveResult {
 
 /// Uniform random search baseline: evaluates `samples` random assignments.
 pub fn solve_random(q: &QuboModel, samples: u64, rng: &mut impl Rng) -> SolveResult {
+    solve_random_compiled(&q.compile(), samples, rng)
+}
+
+/// [`solve_random`] on an existing compilation.
+pub fn solve_random_compiled(c: &CompiledQubo, samples: u64, rng: &mut impl Rng) -> SolveResult {
     let start = Instant::now();
-    let n = q.n_vars();
-    let c = q.compile();
+    let n = c.n_vars();
     let mut best_bits = vec![false; n];
     let mut best = c.energy(&best_bits);
     let mut x = vec![false; n];
@@ -99,9 +112,17 @@ pub fn solve_random(q: &QuboModel, samples: u64, rng: &mut impl Rng) -> SolveRes
 /// Steepest-descent local search from a random start: flips the best
 /// improving variable until a local minimum, restarting `restarts` times.
 pub fn solve_greedy_descent(q: &QuboModel, restarts: usize, rng: &mut impl Rng) -> SolveResult {
+    solve_greedy_descent_compiled(&q.compile(), restarts, rng)
+}
+
+/// [`solve_greedy_descent`] on an existing compilation.
+pub fn solve_greedy_descent_compiled(
+    c: &CompiledQubo,
+    restarts: usize,
+    rng: &mut impl Rng,
+) -> SolveResult {
     let start = Instant::now();
-    let n = q.n_vars();
-    let c = q.compile();
+    let n = c.n_vars();
     let mut best_bits = vec![false; n];
     let mut best = c.energy(&best_bits);
     let mut evals = 1u64;

@@ -17,11 +17,16 @@
 //! Storage is sharded: `min(capacity, MAX_SHARDS)` independently locked
 //! shards selected by the canonical fingerprint, so concurrent workers
 //! rarely contend on the same mutex at high worker counts. Each shard
-//! evicts FIFO independently; the total never exceeds the configured
-//! capacity.
+//! evicts independently with a **second-chance (CLOCK)** policy: every
+//! entry carries a referenced bit that hits set; the eviction hand clears
+//! set bits as it sweeps and evicts the first entry it finds unreferenced.
+//! A hot fingerprint that keeps hitting therefore survives churn that plain
+//! FIFO insertion order would have evicted it under, at FIFO's O(1) cost
+//! and with none of LRU's per-hit list surgery. The total never exceeds the
+//! configured capacity.
 
 use qdm_core::pipeline::{PipelineOptions, PipelineReport};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// Upper bound on the number of independently locked cache shards.
@@ -81,14 +86,44 @@ pub struct CachedResult {
     pub backend: String,
 }
 
+/// One ring slot of a shard's CLOCK: the entry plus its referenced bit.
+struct Slot {
+    key: CacheKey,
+    value: CachedResult,
+    referenced: bool,
+}
+
 struct CacheInner {
-    map: HashMap<CacheKey, CachedResult>,
-    /// Insertion order for FIFO eviction (deterministic, no clocks).
-    order: VecDeque<CacheKey>,
+    /// Key → ring index of the live entry.
+    map: HashMap<CacheKey, usize>,
+    /// The CLOCK ring, filled up to the shard capacity and then recycled in
+    /// place (deterministic, no clocks-the-time-kind).
+    ring: Vec<Slot>,
+    /// Next ring position the eviction hand examines.
+    hand: usize,
+}
+
+impl CacheInner {
+    /// Second-chance sweep: clears referenced bits until it lands on an
+    /// unreferenced entry, evicts it, and returns its ring index for reuse.
+    /// Terminates within two laps (after one lap every bit is clear).
+    fn evict_one(&mut self) -> usize {
+        loop {
+            let h = self.hand;
+            self.hand = (self.hand + 1) % self.ring.len();
+            let slot = &mut self.ring[h];
+            if slot.referenced {
+                slot.referenced = false;
+            } else {
+                self.map.remove(&slot.key);
+                return h;
+            }
+        }
+    }
 }
 
 /// A bounded, thread-safe result cache: fingerprint-sharded with per-shard
-/// FIFO eviction.
+/// second-chance (CLOCK) eviction.
 pub struct ResultCache {
     shards: Vec<Mutex<CacheInner>>,
     per_shard_capacity: usize,
@@ -104,7 +139,7 @@ impl ResultCache {
         let n_shards = (capacity / SHARD_MIN_CAPACITY).clamp(1, MAX_SHARDS);
         let per_shard_capacity = (capacity / n_shards).max(1);
         let shards = (0..n_shards)
-            .map(|_| Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }))
+            .map(|_| Mutex::new(CacheInner { map: HashMap::new(), ring: Vec::new(), hand: 0 }))
             .collect();
         Self { shards, per_shard_capacity }
     }
@@ -118,30 +153,36 @@ impl ResultCache {
         &self.shards[(key.qubo_fingerprint as usize) % self.shards.len()]
     }
 
-    /// Looks up a completed result.
+    /// Looks up a completed result, marking the entry referenced so the
+    /// CLOCK hand grants it a second chance on its next sweep.
     pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
-        self.shard(key).lock().expect("cache lock").map.get(key).cloned()
+        let mut inner = self.shard(key).lock().expect("cache lock");
+        let &slot = inner.map.get(key)?;
+        inner.ring[slot].referenced = true;
+        Some(inner.ring[slot].value.clone())
     }
 
-    /// Inserts a completed result, evicting the shard's oldest entry when
-    /// the shard is full. First-writer-wins on races: a duplicate insert
-    /// (two workers solving the same key concurrently) keeps the existing
-    /// entry so later hits stay consistent with earlier responses.
+    /// Inserts a completed result; when the shard is full the CLOCK hand
+    /// evicts the first entry it finds whose referenced bit is clear
+    /// (clearing set bits as it sweeps). New entries start unreferenced —
+    /// they earn their second chance by being hit. First-writer-wins on
+    /// races: a duplicate insert (two workers solving the same key
+    /// concurrently) keeps the existing entry so later hits stay consistent
+    /// with earlier responses.
     pub fn insert(&self, key: CacheKey, value: CachedResult) {
         let mut inner = self.shard(&key).lock().expect("cache lock");
         if inner.map.contains_key(&key) {
             return;
         }
-        while inner.map.len() >= self.per_shard_capacity {
-            match inner.order.pop_front() {
-                Some(oldest) => {
-                    inner.map.remove(&oldest);
-                }
-                None => break,
-            }
+        if inner.ring.len() < self.per_shard_capacity {
+            let slot = inner.ring.len();
+            inner.ring.push(Slot { key: key.clone(), value, referenced: false });
+            inner.map.insert(key, slot);
+        } else {
+            let slot = inner.evict_one();
+            inner.ring[slot] = Slot { key: key.clone(), value, referenced: false };
+            inner.map.insert(key, slot);
         }
-        inner.order.push_back(key.clone());
-        inner.map.insert(key, value);
     }
 
     /// Number of live entries, summed over shards.
@@ -224,15 +265,35 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_bounds_size() {
+    fn clock_eviction_bounds_size() {
         let cache = ResultCache::new(2);
         assert_eq!(cache.shard_count(), 1, "tiny caches stay unsharded");
         for fp in 0..5u64 {
             cache.insert(key(fp), entry("r", "e"));
         }
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&key(0)).is_none(), "oldest entries evicted");
+        assert!(cache.get(&key(0)).is_none(), "untouched entries evicted in insertion order");
         assert!(cache.get(&key(4)).is_some(), "newest entry retained");
+    }
+
+    #[test]
+    fn hot_entry_survives_an_eviction_cycle_fifo_would_drop_it_in() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1), entry("hot", "e"));
+        cache.insert(key(2), entry("cold", "e"));
+        // The hot fingerprint keeps hitting; under FIFO that would not
+        // matter — key(1) is the oldest insertion and the next insert would
+        // evict it.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), entry("new", "e"));
+        assert!(cache.get(&key(1)).is_some(), "second chance must spare the hot entry");
+        assert!(cache.get(&key(2)).is_none(), "the unreferenced entry is evicted instead");
+        assert!(cache.get(&key(3)).is_some());
+        // The spared entry's second chance is spent: with no further hits it
+        // is next out.
+        cache.insert(key(4), entry("newer", "e"));
+        assert!(cache.get(&key(1)).is_none(), "a second chance is not immortality");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -11,9 +11,14 @@
 //!   capability snapshot ([`registry::SolverSpec`]): `max_vars`, Fig. 2
 //!   branch, static cost prior;
 //! - [`service`] — the worker pool and priority-laned job queue
-//!   ([`service::SolverService`]): each job runs
-//!   [`qdm_core::pipeline::run_pipeline`] under its own seeded RNG, so
-//!   results are reproducible regardless of scheduling;
+//!   ([`service::SolverService`]): each cache-miss job compiles its QUBO
+//!   **exactly once** into a shared `Arc<CompiledQubo>` — fingerprinting,
+//!   presolve, and every dispatched backend run on that one compilation
+//!   via [`qdm_core::pipeline::run_pipeline_compiled`] — and each job runs
+//!   under its own seeded RNG, so results are reproducible regardless of
+//!   scheduling. [`service::BackendChoice::Race`] races the portfolio's
+//!   top-k backends on the shared compilation with a deterministic
+//!   energy-then-rank winner pick;
 //! - [`submit`] — the asynchronous client API ([`submit::Session`]):
 //!   `submit(JobSpec) -> JobHandle` against a **bounded** per-session queue
 //!   with two backpressure modes ([`submit::Session::try_submit`] returns
@@ -28,16 +33,19 @@
 //!   completes but reports [`service::JobError::Cancelled`] to late
 //!   waiters);
 //! - [`cache`] — the fingerprint-sharded result cache keyed by the
-//!   permutation-invariant canonical QUBO fingerprint
-//!   ([`qdm_qubo::model::QuboModel::canonical_fingerprint`]) + options +
-//!   seed, serving repeated instances bit-identically — and permuted
-//!   re-encodings of the same instance via canonical-assignment
-//!   translation — without re-solving;
-//! - [`portfolio`] — the adaptive scheduler routing each job by size and
-//!   observed latency/energy-quality telemetry;
-//! - [`metrics`] — counters (including queue depth, backpressure, and
-//!   cancellations), a log-scale latency histogram, and the
-//!   [`metrics::RuntimeReport`] snapshot.
+//!   permutation-invariant canonical QUBO fingerprint (computed on the
+//!   job's shared compilation) + options + seed, serving repeated
+//!   instances bit-identically — and permuted re-encodings of the same
+//!   instance via canonical-assignment translation — without re-solving;
+//!   per-shard eviction is second-chance (CLOCK), so hot fingerprints
+//!   survive churn plain FIFO would evict them under;
+//! - [`portfolio`] — the adaptive scheduler routing (and, for races,
+//!   ranking) each job by size and observed latency/energy-quality
+//!   telemetry, including per-backend race entries/wins;
+//! - [`metrics`] — counters (including queue depth, backpressure,
+//!   cancellations, compile time saved by sharing, and race wins), a
+//!   log-scale latency histogram, and the [`metrics::RuntimeReport`]
+//!   snapshot.
 //!
 //! The synchronous [`service::SolverService::run_batch`] /
 //! [`service::SolverService::run`] survive as thin compatibility wrappers

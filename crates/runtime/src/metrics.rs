@@ -24,7 +24,10 @@ pub struct Metrics {
     backpressure_waits: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
     solve_seconds_total_micros: AtomicU64,
+    compile_saved_nanos: AtomicU64,
+    race_jobs: AtomicU64,
     per_backend: Mutex<Vec<(String, u64)>>,
+    race_wins: Mutex<Vec<(String, u64)>>,
 }
 
 impl Metrics {
@@ -92,10 +95,40 @@ impl Metrics {
         self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records compile time the compile-once pipeline avoided: a job whose
+    /// single compilation (taking `compile_seconds`) served `consumers`
+    /// stages/backends would have compiled `consumers` times under the old
+    /// per-stage scheme, so `(consumers - 1) × compile_seconds` was saved.
+    pub fn on_compile_shared(&self, compile_seconds: f64, consumers: u64) {
+        let saved = compile_seconds * consumers.saturating_sub(1) as f64;
+        self.compile_saved_nanos.fetch_add((saved * 1e9).max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Records backend wall time burned by a race's *non-winning*
+    /// participants (the winner's time arrives via [`Self::on_solved`]), so
+    /// [`RuntimeReport::solve_seconds_total`] stays an honest sum of all
+    /// backend work instead of under-reporting races k-fold.
+    pub fn on_race_participant_time(&self, seconds: f64) {
+        let micros = (seconds * 1e6).max(0.0) as u64;
+        self.solve_seconds_total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records a completed portfolio race and its winning backend.
+    pub fn on_race(&self, winner: &str) {
+        self.race_jobs.fetch_add(1, Ordering::Relaxed);
+        let mut wins = self.race_wins.lock().expect("metrics lock");
+        match wins.iter_mut().find(|(name, _)| name == winner) {
+            Some((_, count)) => *count += 1,
+            None => wins.push((winner.to_string(), 1)),
+        }
+    }
+
     /// Snapshots every counter into an immutable report.
     pub fn report(&self) -> RuntimeReport {
         let mut per_backend = self.per_backend.lock().expect("metrics lock").clone();
         per_backend.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut race_wins = self.race_wins.lock().expect("metrics lock").clone();
+        race_wins.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         RuntimeReport {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
@@ -109,8 +142,11 @@ impl Metrics {
             backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
             solve_seconds_total: self.solve_seconds_total_micros.load(Ordering::Relaxed) as f64
                 / 1e6,
+            compile_seconds_saved: self.compile_saved_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            race_jobs: self.race_jobs.load(Ordering::Relaxed),
             latency_histogram: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
             per_backend,
+            race_wins,
         }
     }
 }
@@ -139,13 +175,22 @@ pub struct RuntimeReport {
     pub backpressure_rejections: u64,
     /// Blocking `Session::submit` calls that had to wait for queue space.
     pub backpressure_waits: u64,
-    /// Total backend wall time spent solving (cache hits cost none).
+    /// Total backend wall time spent solving (cache hits cost none; race
+    /// jobs include every participant's time, not just the winner's).
     pub solve_seconds_total: f64,
+    /// Compile time avoided by sharing one compilation per job across
+    /// fingerprinting and every dispatched backend (races amortize it k
+    /// ways). See [`Metrics::on_compile_shared`].
+    pub compile_seconds_saved: f64,
+    /// Portfolio-race jobs completed ([`crate::service::BackendChoice::Race`]).
+    pub race_jobs: u64,
     /// Solve-latency histogram; bucket `i` counts solves in
     /// `[2^i, 2^(i+1))` µs.
     pub latency_histogram: [u64; LATENCY_BUCKETS],
     /// `(backend, jobs solved)` sorted by count descending.
     pub per_backend: Vec<(String, u64)>,
+    /// `(backend, races won)` sorted by wins descending.
+    pub race_wins: Vec<(String, u64)>,
 }
 
 impl RuntimeReport {
@@ -184,6 +229,14 @@ impl std::fmt::Display for RuntimeReport {
             self.jobs_cancelled
         )?;
         writeln!(f, "solve:   {:.3}s total backend time", self.solve_seconds_total)?;
+        writeln!(f, "compile: {:.6}s saved by compile-once sharing", self.compile_seconds_saved)?;
+        if self.race_jobs > 0 {
+            write!(f, "races:   {} jobs; wins:", self.race_jobs)?;
+            for (name, wins) in &self.race_wins {
+                write!(f, " {name} x{wins}")?;
+            }
+            writeln!(f)?;
+        }
         for (name, count) in &self.per_backend {
             writeln!(f, "backend: {name:<28} {count} jobs")?;
         }
@@ -256,6 +309,26 @@ mod tests {
         assert_eq!(r.backpressure_waits, 1);
         assert_eq!(r.jobs_cancelled, 1);
         assert!(r.to_string().contains("depth 1 (peak 2)"));
+    }
+
+    #[test]
+    fn compile_and_race_counters_accumulate() {
+        let m = Metrics::new();
+        m.on_compile_shared(0.001, 5); // one compile served 5 consumers: 4ms saved
+        m.on_compile_shared(0.002, 1); // sole consumer: nothing saved
+        m.on_race("tabu");
+        m.on_race("tabu");
+        m.on_race("simulated-annealing");
+        m.on_race_participant_time(0.25); // a losing participant's solve time
+        let r = m.report();
+        assert!((r.compile_seconds_saved - 0.004).abs() < 1e-6, "{}", r.compile_seconds_saved);
+        assert!((r.solve_seconds_total - 0.25).abs() < 1e-6, "{}", r.solve_seconds_total);
+        assert_eq!(r.race_jobs, 3);
+        assert_eq!(r.race_wins[0], ("tabu".to_string(), 2));
+        assert_eq!(r.race_wins[1], ("simulated-annealing".to_string(), 1));
+        let text = r.to_string();
+        assert!(text.contains("races:   3 jobs"), "{text}");
+        assert!(text.contains("compile:"), "{text}");
     }
 
     #[test]

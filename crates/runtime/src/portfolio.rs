@@ -24,6 +24,11 @@ pub struct BackendStats {
     /// EWMA of energy quality (0 = at the naive lower bound; higher is
     /// worse; infeasible decodes add a fixed penalty).
     pub ewma_quality: f64,
+    /// Portfolio races this backend participated in.
+    pub race_entries: u64,
+    /// Races this backend won (best energy, ties to the higher-ranked
+    /// participant).
+    pub race_wins: u64,
 }
 
 /// EWMA smoothing factor: each new observation carries 20% weight.
@@ -52,18 +57,28 @@ impl PortfolioScheduler {
     /// Score = expected latency (observed EWMA once available, static prior
     /// before that) × a quality multiplier; lowest score wins, ties broken
     /// by registration order, so routing is deterministic for a given
-    /// telemetry state.
+    /// telemetry state. Equivalent to `rank(..).first()`.
     pub fn route(&self, registry: &SolverRegistry, n_vars: usize) -> Option<usize> {
+        self.rank(registry, n_vars).first().copied()
+    }
+
+    /// Ranks every eligible backend for an `n_vars`-variable job, best
+    /// first: ascending score, ties broken by registration order. The
+    /// prefix of this ranking is what a [`crate::service::BackendChoice::Race`]
+    /// job's participants are drawn from, so the order is deterministic for
+    /// a given telemetry state.
+    pub fn rank(&self, registry: &SolverRegistry, n_vars: usize) -> Vec<usize> {
         let eligible = registry.eligible(n_vars);
         let stats = self.stats.lock().expect("portfolio lock");
-        eligible
+        let mut scored: Vec<(usize, f64)> = eligible
             .into_iter()
             .map(|i| {
                 let spec = &registry.get(i).spec;
                 (i, Self::score(spec, &stats[i], n_vars))
             })
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(i, _)| i)
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.into_iter().map(|(i, _)| i).collect()
     }
 
     fn score(spec: &SolverSpec, stats: &BackendStats, n_vars: usize) -> f64 {
@@ -94,6 +109,20 @@ impl PortfolioScheduler {
             s.ewma_quality = (1.0 - ALPHA) * s.ewma_quality + ALPHA * q;
         }
         s.observations += 1;
+    }
+
+    /// Records one backend's participation in a portfolio race and whether
+    /// it produced the winning result. Solve telemetry (latency/quality) is
+    /// fed separately through [`Self::record`] for every participant, so a
+    /// race teaches the router about k backends at once — the
+    /// compile-once/race-many feedback loop.
+    pub fn record_race_outcome(&self, backend: usize, won: bool) {
+        let mut stats = self.stats.lock().expect("portfolio lock");
+        let s = &mut stats[backend];
+        s.race_entries += 1;
+        if won {
+            s.race_wins += 1;
+        }
     }
 
     /// Snapshot of per-backend statistics, indexed like the registry.
@@ -149,6 +178,34 @@ mod tests {
         }
         let rerouted = sched.route(&reg, 6).unwrap();
         assert_eq!(rerouted, sa);
+    }
+
+    #[test]
+    fn rank_is_deterministic_and_route_is_its_head() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        for n_vars in [4usize, 6, 30] {
+            let ranked = sched.rank(&reg, n_vars);
+            assert!(!ranked.is_empty());
+            assert_eq!(sched.route(&reg, n_vars), Some(ranked[0]));
+            for &i in &ranked {
+                assert!(reg.get(i).spec.max_vars >= n_vars);
+            }
+            assert_eq!(ranked, sched.rank(&reg, n_vars), "ranking must be stable");
+        }
+        assert!(sched.rank(&reg, 2_000_000).is_empty());
+    }
+
+    #[test]
+    fn race_outcomes_accumulate_per_backend() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        sched.record_race_outcome(0, true);
+        sched.record_race_outcome(0, false);
+        sched.record_race_outcome(1, false);
+        let stats = sched.stats();
+        assert_eq!((stats[0].race_entries, stats[0].race_wins), (2, 1));
+        assert_eq!((stats[1].race_entries, stats[1].race_wins), (1, 0));
     }
 
     #[test]

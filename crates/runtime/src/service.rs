@@ -18,9 +18,11 @@ use crate::metrics::{Metrics, RuntimeReport};
 use crate::portfolio::{energy_quality, PortfolioScheduler};
 use crate::registry::SolverRegistry;
 use crate::submit::SessionCore;
-use qdm_core::pipeline::{run_pipeline_with_qubo, JobPriority, PipelineOptions, PipelineReport};
+use qdm_core::pipeline::{
+    prepare_pipeline, run_prepared, JobPriority, PipelineOptions, PipelineReport, PreparedPipeline,
+};
 use qdm_core::problem::DmProblem;
-use qdm_qubo::model::QuboModel;
+use qdm_qubo::compiled::CompiledQubo;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -40,6 +42,19 @@ pub enum BackendChoice {
     Auto,
     /// Pin the job to a named backend (e.g. `"simulated-annealing"`).
     Named(String),
+    /// Race the portfolio's top-`k` admissible backends against each other
+    /// on scoped threads, every participant solving the job's **single
+    /// shared compilation**. The winner is picked deterministically — best
+    /// energy, ties to the higher-ranked participant, scanning in ranking
+    /// order — so the result is bit-identical at any thread count and
+    /// `Race { k: 1 }` reproduces `Auto`'s result exactly. Every
+    /// participant's latency/quality and the race outcome feed the
+    /// portfolio scheduler.
+    Race {
+        /// How many of the top-ranked eligible backends race (clamped to
+        /// `1..=eligible`).
+        k: usize,
+    },
 }
 
 /// One unit of work for the service.
@@ -77,6 +92,13 @@ impl JobSpec {
     /// Pins the job to a named backend.
     pub fn on_backend(mut self, name: &str) -> Self {
         self.backend = BackendChoice::Named(name.to_string());
+        self
+    }
+
+    /// Races the portfolio's top-`k` admissible backends on the job's
+    /// shared compilation (see [`BackendChoice::Race`]).
+    pub fn racing(mut self, k: usize) -> Self {
+        self.backend = BackendChoice::Race { k };
         self
     }
 }
@@ -389,18 +411,36 @@ fn worker_loop(shared: &Shared) {
 fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
     let qubo = spec.problem.to_qubo();
     let n_vars = qubo.n_vars();
+    // THE compile of this job: every downstream consumer — canonical
+    // fingerprinting, presolve, and each dispatched backend (all k of a
+    // race) — shares this one `Arc<CompiledQubo>`. No other stage on the
+    // service path compiles.
+    let compile_start = Instant::now();
+    let compiled = Arc::new(qubo.compile());
+    let compile_seconds = compile_start.elapsed().as_secs_f64();
+
+    let race_marker;
     let requested = match &spec.backend {
         BackendChoice::Auto => None,
         BackendChoice::Named(name) => Some(name.as_str()),
+        BackendChoice::Race { k } => {
+            // The marker carries the *clamped* k: `racing(999)` and
+            // `racing(<eligible count>)` run the identical participant set
+            // and must share a cache entry. Registered backend names never
+            // contain ':', so the marker cannot collide with a pinned name.
+            let eligible = shared.registry.eligible(n_vars).len();
+            race_marker = format!("race:{}", (*k).clamp(1, eligible.max(1)));
+            Some(race_marker.as_str())
+        }
     };
-    let (canonical_fp, perm) = qubo.canonical_form();
+    let (canonical_fp, perm) = compiled.canonical_form();
     let key = CacheKey::new(spec.problem.name(), canonical_fp, &spec.options, spec.seed, requested);
     if let Some(cached) = shared.cache.get(&key) {
         shared.metrics.on_cache_hit();
-        return Ok(serve_cached(spec, &qubo, &perm, cached));
+        return Ok(serve_cached(spec, &compiled, &perm, cached));
     }
 
-    let backend_idx = match &spec.backend {
+    let participants: Vec<usize> = match &spec.backend {
         BackendChoice::Named(name) => {
             let Some(idx) = shared.registry.find(name) else {
                 shared.metrics.on_failed();
@@ -411,46 +451,126 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
                 shared.metrics.on_failed();
                 return Err(JobError::BackendTooSmall { backend: name.clone(), max_vars, n_vars });
             }
-            idx
+            vec![idx]
         }
         BackendChoice::Auto => match shared.portfolio.route(&shared.registry, n_vars) {
-            Some(idx) => idx,
+            Some(idx) => vec![idx],
             None => {
                 shared.metrics.on_failed();
                 return Err(JobError::NoEligibleBackend { n_vars });
             }
         },
+        BackendChoice::Race { k } => {
+            let ranked = shared.portfolio.rank(&shared.registry, n_vars);
+            if ranked.is_empty() {
+                shared.metrics.on_failed();
+                return Err(JobError::NoEligibleBackend { n_vars });
+            }
+            let k = (*k).clamp(1, ranked.len());
+            ranked[..k].to_vec()
+        }
     };
+    // One compile served the fingerprint stage plus every participant;
+    // under the old compile-per-stage scheme each would have compiled.
+    shared.metrics.on_compile_shared(compile_seconds, 1 + participants.len() as u64);
 
-    let backend = shared.registry.get(backend_idx);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let naive_lower_bound = qubo.naive_lower_bound();
-    let start = Instant::now();
-    let report =
-        run_pipeline_with_qubo(&*spec.problem, qubo, backend.solver(), &spec.options, &mut rng);
-    let elapsed = start.elapsed().as_secs_f64();
+    let naive_lower_bound = compiled.naive_lower_bound();
+    // Prepare the seed-independent pipeline front half — presolve and
+    // component extraction/compilation — exactly once; every participant
+    // of a race reuses it instead of re-running the fixpoint k times.
+    let prepared = prepare_pipeline(&qubo, &compiled, &spec.options);
+    // Solve: every participant runs the back half on the *same* shared
+    // preparation (and therefore the same shared compilation), each under
+    // its own RNG seeded from the job seed, so a single-backend job is
+    // just a race of one. Scoped threads let the participants borrow the
+    // preparation without refcount churn; results land in per-participant
+    // slots, so completion order is irrelevant.
+    let mut outcomes: Vec<Option<(PipelineReport, f64)>> = vec![None; participants.len()];
+    if participants.len() == 1 {
+        // Fast path: no spawn for the common non-race job.
+        outcomes[0] = Some(run_participant(shared, spec, &prepared, participants[0]));
+    } else {
+        std::thread::scope(|scope| {
+            for (slot, &idx) in outcomes.iter_mut().zip(&participants) {
+                let prepared = &prepared;
+                scope.spawn(move || {
+                    *slot = Some(run_participant(shared, spec, prepared, idx));
+                });
+            }
+        });
+    }
 
-    shared.metrics.on_solved(&backend.spec.name, elapsed);
-    shared.portfolio.record(
-        backend_idx,
-        elapsed,
-        energy_quality(report.energy, naive_lower_bound),
-        report.decoded.feasible,
-    );
+    // Deterministic winner pick: scan in ranking order with strict `<`, so
+    // the best energy wins and ties go to the higher-ranked backend —
+    // independent of which thread finished first.
+    let mut winner: Option<usize> = None;
+    let mut winner_energy = f64::INFINITY;
+    for (slot, outcome) in outcomes.iter().enumerate() {
+        let (report, _) = outcome.as_ref().expect("every participant ran");
+        if report.energy < winner_energy {
+            winner_energy = report.energy;
+            winner = Some(slot);
+        }
+    }
+    let winner_slot = winner.expect("at least one participant");
+    let is_race = matches!(spec.backend, BackendChoice::Race { .. });
+    for (slot, (&idx, outcome)) in participants.iter().zip(&outcomes).enumerate() {
+        let (report, elapsed) = outcome.as_ref().expect("every participant ran");
+        let won = slot == winner_slot;
+        shared.portfolio.record(
+            idx,
+            *elapsed,
+            energy_quality(report.energy, naive_lower_bound),
+            report.decoded.feasible,
+        );
+        if is_race {
+            shared.portfolio.record_race_outcome(idx, won);
+            if !won {
+                // The winner's wall time flows through `on_solved` below;
+                // losers' time must still land in the solve-time total or
+                // race workloads under-report backend cost k-fold.
+                shared.metrics.on_race_participant_time(*elapsed);
+            }
+        }
+    }
+    let backend_name = shared.registry.get(participants[winner_slot]).spec.name.clone();
+    let (report, elapsed) = outcomes.swap_remove(winner_slot).expect("winner ran");
+    shared.metrics.on_solved(&backend_name, elapsed);
+    if is_race {
+        shared.metrics.on_race(&backend_name);
+    }
+
     let mut canonical_bits = vec![false; report.bits.len()];
     for (i, &bit) in report.bits.iter().enumerate() {
         canonical_bits[perm[i]] = bit;
     }
     shared.cache.insert(
         key,
-        CachedResult { report: report.clone(), canonical_bits, backend: backend.spec.name.clone() },
+        CachedResult { report: report.clone(), canonical_bits, backend: backend_name.clone() },
     );
     Ok(JobResult {
         job_id: 0, // stamped with the queue id by the worker loop
         report,
-        backend: backend.spec.name.clone(),
+        backend: backend_name,
         from_cache: false,
     })
+}
+
+/// Runs one backend over the job's shared pipeline preparation, returning
+/// its pipeline report and wall time. Each participant seeds its own RNG
+/// from the job seed, so results do not depend on scheduling and
+/// `Race { k: 1 }` reproduces the auto-routed result bit-for-bit.
+fn run_participant(
+    shared: &Shared,
+    spec: &JobSpec,
+    prepared: &PreparedPipeline<'_>,
+    backend_idx: usize,
+) -> (PipelineReport, f64) {
+    let backend = shared.registry.get(backend_idx);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let start = Instant::now();
+    let report = run_prepared(&*spec.problem, prepared, backend.solver(), &spec.options, &mut rng);
+    (report, start.elapsed().as_secs_f64())
 }
 
 /// Serves a cache hit. The common case — the requester's encoding is
@@ -461,7 +581,7 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
 /// feasibility are preserved by construction.
 fn serve_cached(
     spec: &JobSpec,
-    qubo: &QuboModel,
+    compiled: &CompiledQubo,
     perm: &[usize],
     cached: CachedResult,
 ) -> JobResult {
@@ -477,7 +597,7 @@ fn serve_cached(
             from_cache: true,
         };
     }
-    let energy = qubo.energy(&bits);
+    let energy = compiled.energy(&bits);
     let decoded = spec.problem.decode(&bits);
     let report = PipelineReport { bits, energy, decoded, ..cached.report };
     JobResult {
@@ -705,6 +825,64 @@ mod tests {
         let outcomes = service.run_batch((0..6).map(|i| JobSpec::new(pick(4), i)).collect());
         assert_eq!(outcomes.len(), 6);
         drop(service); // must not hang or panic
+    }
+
+    #[test]
+    fn race_of_one_matches_auto_routing_bit_for_bit() {
+        let auto_service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let race_service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let a = auto_service.run(JobSpec::new(pick(6), 11)).expect("ok");
+        let b = race_service.run(JobSpec::new(pick(6), 11).racing(1)).expect("ok");
+        assert_eq!(a.backend, b.backend);
+        assert_eq!(a.report.bits, b.report.bits);
+        assert_eq!(a.report.energy.to_bits(), b.report.energy.to_bits());
+    }
+
+    #[test]
+    fn race_runs_top_k_and_records_outcomes() {
+        let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let result = service.run(JobSpec::new(pick(6), 3).racing(3)).expect("ok");
+        assert!(result.report.decoded.feasible);
+        // 6 vars routes exact into the field; nothing can beat a certified
+        // optimum, and exact ranks first, so it wins the tie.
+        assert_eq!(result.backend, "exact");
+        let report = service.report();
+        assert_eq!(report.race_jobs, 1);
+        assert_eq!(report.race_wins, vec![("exact".to_string(), 1)]);
+        assert!((report.compile_seconds_saved) >= 0.0);
+        let entries: u64 = service.shared.portfolio.stats().iter().map(|s| s.race_entries).sum();
+        assert_eq!(entries, 3, "every participant's outcome is recorded");
+        let observations: u64 =
+            service.shared.portfolio.stats().iter().map(|s| s.observations).sum();
+        assert_eq!(observations, 3, "every participant feeds latency/quality telemetry");
+    }
+
+    #[test]
+    fn race_repeat_is_a_cache_hit_and_distinct_from_other_choices() {
+        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let first = service.run(JobSpec::new(pick(5), 9).racing(2)).expect("ok");
+        let again = service.run(JobSpec::new(pick(5), 9).racing(2)).expect("ok");
+        assert!(!first.from_cache);
+        assert!(again.from_cache, "identical race jobs share a cache entry");
+        assert_eq!(first.report.bits, again.report.bits);
+        // Same work under Auto or a different k is a different cache row.
+        let auto = service.run(JobSpec::new(pick(5), 9)).expect("ok");
+        assert!(!auto.from_cache, "race and auto results are keyed separately");
+    }
+
+    #[test]
+    fn race_with_zero_k_clamps_and_oversized_k_uses_all_eligible() {
+        let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let zero = service.run(JobSpec::new(pick(4), 1).racing(0)).expect("k clamps to 1");
+        assert!(zero.report.decoded.feasible);
+        let huge = service.run(JobSpec::new(pick(4), 2).racing(999)).expect("k caps at eligible");
+        assert!(huge.report.decoded.feasible);
+        // The cache key carries the clamped k: any oversized k that clamps
+        // to the same participant set shares the entry.
+        let same_clamp =
+            service.run(JobSpec::new(pick(4), 2).racing(10_000)).expect("k caps at eligible");
+        assert!(same_clamp.from_cache, "clamp-equal oversized races must share a cache entry");
+        assert_eq!(same_clamp.report.bits, huge.report.bits);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Portfolio-race determinism: a `BackendChoice::Race { k }` job returns a
+//! bit-identical winner — same backend, same assignment, same energy — at
+//! every worker-pool size and every admissible `k`, and that winner is
+//! exactly what the deterministic prediction says: solve the top-k ranked
+//! backends independently, pick the lowest energy, break ties toward the
+//! higher-ranked participant.
+
+use qdm::prelude::*;
+use qdm::qubo::model::QuboModel;
+use qdm::qubo::penalty;
+use std::sync::Arc;
+
+/// A knapsack-flavoured pick-some problem: enough structure that different
+/// backends can genuinely disagree on the best assignment.
+struct PickSome {
+    costs: Vec<f64>,
+}
+
+impl DmProblem for PickSome {
+    fn name(&self) -> String {
+        format!("race-pick-some-{}", self.costs.len())
+    }
+    fn n_vars(&self) -> usize {
+        self.costs.len()
+    }
+    fn to_qubo(&self) -> QuboModel {
+        let n = self.costs.len();
+        let mut q = QuboModel::new(n);
+        for (i, &c) in self.costs.iter().enumerate() {
+            q.add_linear(i, c);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (i + j) % 3 == 0 {
+                    q.add_quadratic(i, j, ((i * 5 + j) % 4) as f64 - 1.5);
+                }
+            }
+        }
+        let weight = penalty::penalty_weight(&q);
+        penalty::at_most_one(&mut q, &[0, 1, 2], weight);
+        q
+    }
+    fn decode(&self, bits: &[bool]) -> Decoded {
+        let head = bits[..3].iter().filter(|&&b| b).count();
+        let chosen = bits.iter().filter(|&&b| b).count();
+        Decoded {
+            feasible: head <= 1,
+            objective: bits.iter().zip(&self.costs).filter(|(&b, _)| b).map(|(_, &c)| c).sum(),
+            summary: format!("{chosen} picked"),
+        }
+    }
+}
+
+fn problem(n: usize) -> SharedProblem {
+    Arc::new(PickSome { costs: (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect() })
+}
+
+fn fresh_service(workers: usize) -> SolverService {
+    SolverService::new(ServiceConfig { workers, cache_capacity: 64 })
+}
+
+#[test]
+fn race_winner_is_bit_identical_across_worker_counts_and_k() {
+    for k in 1..=4usize {
+        let reference =
+            fresh_service(1).run(JobSpec::new(problem(12), 42).racing(k)).expect("solvable");
+        for workers in [2usize, 4] {
+            let other = fresh_service(workers)
+                .run(JobSpec::new(problem(12), 42).racing(k))
+                .expect("solvable");
+            assert_eq!(reference.backend, other.backend, "k={k}, workers={workers}");
+            assert_eq!(reference.report.bits, other.report.bits, "k={k}, workers={workers}");
+            assert_eq!(
+                reference.report.energy.to_bits(),
+                other.report.energy.to_bits(),
+                "k={k}, workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn race_winner_matches_the_solo_run_prediction() {
+    let n = 12usize;
+    let seed = 9u64;
+    // Rank exactly as a fresh service's scheduler would (static priors, no
+    // telemetry yet).
+    let probe = fresh_service(1);
+    let ranking = PortfolioScheduler::new(probe.registry().len()).rank(probe.registry(), n);
+    let k = ranking.len().min(4);
+
+    // Solo-solve each participant on its own pinned job (cache keys are
+    // per-backend, so one service is fine) and predict the winner:
+    // index-ordered scan, strict `<` — energy first, rank as tiebreak.
+    let mut expected_backend = String::new();
+    let mut expected_energy = f64::INFINITY;
+    let mut expected_bits = Vec::new();
+    for &idx in &ranking[..k] {
+        let name = probe.registry().get(idx).spec.name.clone();
+        let solo = probe
+            .run(JobSpec::new(problem(n), seed).on_backend(&name))
+            .expect("every ranked backend admits the model");
+        if solo.report.energy < expected_energy {
+            expected_energy = solo.report.energy;
+            expected_backend = name;
+            expected_bits = solo.report.bits.clone();
+        }
+    }
+
+    let raced = fresh_service(1).run(JobSpec::new(problem(n), seed).racing(k)).expect("solvable");
+    assert_eq!(raced.backend, expected_backend);
+    assert_eq!(raced.report.bits, expected_bits);
+    assert_eq!(raced.report.energy.to_bits(), expected_energy.to_bits());
+}
+
+#[test]
+fn race_resubmission_is_served_from_cache_bit_identically() {
+    let service = fresh_service(2);
+    let first = service.run(JobSpec::new(problem(10), 5).racing(3)).expect("solvable");
+    let second = service.run(JobSpec::new(problem(10), 5).racing(3)).expect("solvable");
+    assert!(!first.from_cache);
+    assert!(second.from_cache);
+    assert_eq!(first.report.bits, second.report.bits);
+    assert_eq!(first.backend, second.backend);
+    assert_eq!(service.report().race_jobs, 1, "the cache hit runs no second race");
+}
