@@ -12,20 +12,29 @@
 //! for the whole batch (the printed `runtime/streaming` line reports the
 //! measured ratio of the two).
 //!
+//! The `runtime/fairness` group measures what the fair scheduler buys a
+//! starved-priority mix: a single worker, a sustained flood of High jobs,
+//! and a handful of Low jobs submitted early. Under the legacy
+//! strict-priority drain the Low jobs complete dead last; under fair-share
+//! scheduling (pop-counted aging) each is served within a bounded number
+//! of pops. The printed `runtime/fairness` lines report the Low-lane p99
+//! (tail) latency under both policies and the tail-cut ratio.
+//!
 //! The `runtime/compile_once` group measures the compile-amortization win
 //! of the shared-`CompiledQubo` pipeline on the 256-var/5% acceptance
 //! instance — what a cache-miss 4-backend race used to pay in compiles
 //! (one per backend plus one for fingerprinting) versus the single shared
 //! compile it pays now — plus race-vs-best-single latency, and writes the
-//! `BENCH_runtime.json` baseline at the workspace root. CI runs just this
-//! group via `cargo bench --bench bench_runtime -- runtime/compile_once`
-//! (the criterion shim treats positional args as id filters).
+//! `BENCH_runtime.json` baseline (including the fairness numbers when that
+//! group ran) at the workspace root. CI runs both via `cargo bench --bench
+//! bench_runtime -- runtime/fairness runtime/compile_once` (the criterion
+//! shim treats positional args as id filters).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdm_anneal::sa::SaParams;
 use qdm_anneal::sqa::SqaParams;
 use qdm_anneal::tabu::TabuParams;
-use qdm_core::pipeline::{run_pipeline, PipelineOptions};
+use qdm_core::pipeline::{run_pipeline, JobPriority, PipelineOptions};
 use qdm_core::problem::{Decoded, DmProblem};
 use qdm_core::solver::{SaParallelSolver, SaSolver, SqaSolver, TabuSolver};
 use qdm_problems::mqo::{MqoInstance, MqoProblem};
@@ -34,7 +43,7 @@ use qdm_runtime::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 const N_JOBS: usize = 16;
@@ -86,7 +95,8 @@ fn bench_throughput(c: &mut Criterion) {
     }
     let problems = workload();
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let service = SolverService::new(ServiceConfig { workers, cache_capacity: 8 });
+    let service =
+        SolverService::new(ServiceConfig { workers, cache_capacity: 8, ..Default::default() });
 
     let mut group = c.benchmark_group("runtime/throughput");
     group.sample_size(10);
@@ -169,7 +179,8 @@ fn bench_streaming_completions(c: &mut Criterion) {
     }
     let problems = workload();
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let service = SolverService::new(ServiceConfig { workers, cache_capacity: 8 });
+    let service =
+        SolverService::new(ServiceConfig { workers, cache_capacity: 8, ..Default::default() });
 
     let mut group = c.benchmark_group("runtime/streaming");
     group.sample_size(10);
@@ -205,7 +216,11 @@ fn bench_cache_hit_path(c: &mut Criterion) {
         return;
     }
     let problems = workload();
-    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 1024 });
+    let service = SolverService::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 1024,
+        ..Default::default()
+    });
     let options = opts();
     // Warm the cache once with a fixed seed, then measure pure hits.
     let batch: Vec<JobSpec> = problems
@@ -224,6 +239,131 @@ fn bench_cache_hit_path(c: &mut Criterion) {
         });
     });
     group.finish();
+}
+
+/// High-priority jobs sustaining the flood in the fairness mix.
+const FAIR_HIGH_JOBS: usize = 200;
+/// Low-priority jobs drowning in it (submitted after the first few Highs).
+const FAIR_LOW_JOBS: usize = 4;
+
+/// Low-lane latency stats of one starved-mix run, in seconds.
+struct FairnessNumbers {
+    strict_mean: f64,
+    strict_p99: f64,
+    fair_mean: f64,
+    fair_p99: f64,
+}
+
+/// Stashed by `bench_fairness` for `bench_compile_once`'s JSON writer.
+static FAIRNESS: OnceLock<FairnessNumbers> = OnceLock::new();
+
+/// A single fast-SA backend so each job costs tens of microseconds and the
+/// mix exercises queueing, not solver effort.
+fn fairness_registry() -> SolverRegistry {
+    let mut reg = SolverRegistry::new();
+    reg.register(Box::new(SaSolver {
+        params: Some(SaParams { sweeps: 30, restarts: 1, ..SaParams::default() }),
+    }));
+    reg
+}
+
+/// Runs the starved-priority mix on a single worker under `policy` and
+/// returns the per-job latencies (submit → completion, seconds) of the
+/// Low-lane jobs. One session floods High traffic; a second session's few
+/// Low jobs are submitted early and must survive it.
+fn starved_mix(policy: SchedulerPolicy, problems: &[Arc<MqoProblem>]) -> Vec<f64> {
+    let service = SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig { workers: 1, cache_capacity: 8, scheduling: policy },
+    );
+    let options = opts();
+    let high =
+        service.session(SessionConfig { queue_capacity: FAIR_HIGH_JOBS + 1, ..Default::default() });
+    let low =
+        service.session(SessionConfig { queue_capacity: FAIR_LOW_JOBS + 1, ..Default::default() });
+    let spec = |p: &Arc<MqoProblem>, priority: JobPriority| {
+        JobSpec::new(Arc::clone(p) as SharedProblem, SEED.fetch_add(1, Ordering::Relaxed))
+            .with_options(options)
+            .with_priority(priority)
+            .on_backend("simulated-annealing")
+    };
+    let mut low_ids = Vec::new();
+    let mut low_submitted = Vec::new();
+    for i in 0..FAIR_HIGH_JOBS {
+        if i == 8 {
+            // The worker is busy and a backlog exists: the Low jobs now
+            // queue behind it and the flood keeps arriving after them.
+            for j in 0..FAIR_LOW_JOBS {
+                let handle = low.submit(spec(&problems[j % problems.len()], JobPriority::Low));
+                low_ids.push(handle.id());
+                low_submitted.push(Instant::now());
+            }
+        }
+        high.submit(spec(&problems[i % problems.len()], JobPriority::High));
+    }
+    // Consume the Low session's finish-order stream so each latency is
+    // stamped at completion time, while the flood is still being served.
+    let mut latencies = vec![0.0; FAIR_LOW_JOBS];
+    for completion in low.completions() {
+        let now = Instant::now();
+        let slot = low_ids.iter().position(|&id| id == completion.id).expect("a Low job");
+        latencies[slot] = (now - low_submitted[slot]).as_secs_f64();
+        assert!(completion.outcome.is_ok());
+    }
+    high.drain();
+    latencies
+}
+
+/// p99 by nearest-rank; with a handful of jobs this is the max — exactly
+/// the tail job the starved lane cares about.
+fn p99(latencies: &[f64]) -> f64 {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn mean(latencies: &[f64]) -> f64 {
+    latencies.iter().sum::<f64>() / latencies.len().max(1) as f64
+}
+
+fn bench_fairness(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/fairness") {
+        return;
+    }
+    let problems = workload();
+
+    let mut group = c.benchmark_group("runtime/fairness");
+    group.sample_size(10);
+    group.bench_function("strict_priority_mix", |b| {
+        b.iter(|| starved_mix(SchedulerPolicy::StrictPriority, &problems));
+    });
+    group.bench_function("fair_share_mix", |b| {
+        b.iter(|| starved_mix(SchedulerPolicy::FairShare, &problems));
+    });
+    group.finish();
+
+    // Headline numbers: one measured mix per policy, Low-lane tail latency.
+    let strict = starved_mix(SchedulerPolicy::StrictPriority, &problems);
+    let fair = starved_mix(SchedulerPolicy::FairShare, &problems);
+    let numbers = FairnessNumbers {
+        strict_mean: mean(&strict),
+        strict_p99: p99(&strict),
+        fair_mean: mean(&fair),
+        fair_p99: p99(&fair),
+    };
+    println!(
+        "runtime/fairness: low-lane p99 {:.1} ms (strict) -> {:.1} ms (fair-share), {:.2}x tail \
+         cut ({} high / {} low jobs, 1 worker; means {:.1} -> {:.1} ms)",
+        numbers.strict_p99 * 1e3,
+        numbers.fair_p99 * 1e3,
+        numbers.strict_p99 / numbers.fair_p99.max(1e-12),
+        FAIR_HIGH_JOBS,
+        FAIR_LOW_JOBS,
+        numbers.strict_mean * 1e3,
+        numbers.fair_mean * 1e3,
+    );
+    let _ = FAIRNESS.set(numbers);
 }
 
 /// The dense instance wrapped as a service-submittable problem.
@@ -323,7 +463,7 @@ fn bench_compile_once(c: &mut Criterion) {
     let problem: SharedProblem = Arc::new(DenseProblem { qubo: q.clone() });
     let service = SolverService::with_registry(
         race_registry(&q),
-        ServiceConfig { workers: 1, cache_capacity: 8 },
+        ServiceConfig { workers: 1, cache_capacity: 8, ..Default::default() },
     );
     let ranked = PortfolioScheduler::new(service.registry().len()).rank(service.registry(), 256);
     let best_single = service.registry().get(ranked[0]).spec.name.clone();
@@ -350,13 +490,28 @@ fn bench_compile_once(c: &mut Criterion) {
     );
 
     // Machine-readable baseline next to BENCH_solvers.json; hand-rolled
-    // because the serde shim has no serializer.
+    // because the serde shim has no serializer. The fairness block is
+    // present when the `runtime/fairness` group ran in the same invocation.
+    let fairness = match FAIRNESS.get() {
+        Some(f) => format!(
+            ",\n  \"fairness\": {{\"high_jobs\": {FAIR_HIGH_JOBS}, \"low_jobs\": \
+             {FAIR_LOW_JOBS}, \"low_latency_seconds\": {{\"strict_mean\": {:.6}, \
+             \"strict_p99\": {:.6}, \"fair_mean\": {:.6}, \"fair_p99\": {:.6}}}, \
+             \"tail_cut\": {:.2}}}",
+            f.strict_mean,
+            f.strict_p99,
+            f.fair_mean,
+            f.fair_p99,
+            f.strict_p99 / f.fair_p99.max(1e-12),
+        ),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"runtime\",\n  \"instance\": {{\"n_vars\": 256, \"density\": 0.05, \
          \"n_interactions\": {m}}},\n  \"race_k\": {RACE_K},\n  \"compile_ns\": {{\
          \"per_solve\": {per_stage_ns:.0}, \"compile_once\": {once_ns:.0}}},\n  \
          \"compile_amortization\": {amortization:.2},\n  \"latency_seconds\": {{\
-         \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}\n}}\n",
+         \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}{fairness}\n}}\n",
         m = q.n_interactions(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
@@ -371,6 +526,7 @@ criterion_group!(
     bench_throughput,
     bench_streaming_completions,
     bench_cache_hit_path,
+    bench_fairness,
     bench_compile_once
 );
 criterion_main!(benches);

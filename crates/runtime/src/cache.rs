@@ -22,12 +22,28 @@
 //! set bits as it sweeps and evicts the first entry it finds unreferenced.
 //! A hot fingerprint that keeps hitting therefore survives churn that plain
 //! FIFO insertion order would have evicted it under, at FIFO's O(1) cost
-//! and with none of LRU's per-hit list surgery. The total never exceeds the
-//! configured capacity.
+//! and with none of LRU's per-hit list surgery. The per-shard capacities sum
+//! to **exactly** the configured capacity (the division remainder is spread
+//! one entry each across the first shards), and the total never exceeds it.
+//!
+//! This module also hosts the `FlightTable`: the single-flight table the
+//! service consults *before* the cache can answer. Two concurrent
+//! submissions of the same work both miss the cache (the entry only appears
+//! after the first solve completes), and without coordination both would
+//! solve — the thundering-herd re-solve. The table registers one leader per
+//! in-flight key; duplicates park on the leader's `Flight` and are served
+//! its completed result through the same canonical-bit translation a cache
+//! hit uses. Keys exist at two granularities (`FlightKey`): the exact
+//! (label-order) model fingerprint, checked before compiling so an exact
+//! duplicate never pays a compilation, and the canonical [`CacheKey`],
+//! which additionally coalesces permuted-but-identical encodings.
 
+use crate::service::JobError;
 use qdm_core::pipeline::{PipelineOptions, PipelineReport};
+use qdm_qubo::compiled::CompiledQubo;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Upper bound on the number of independently locked cache shards.
 pub const MAX_SHARDS: usize = 16;
@@ -65,11 +81,20 @@ impl CacheKey {
         seed: u64,
         backend: Option<&str>,
     ) -> Self {
-        let options_bits = (options.presolve as u8)
-            | ((options.decompose as u8) << 1)
-            | ((options.repair as u8) << 2);
-        Self { problem, qubo_fingerprint, options_bits, seed, backend: backend.map(str::to_string) }
+        Self {
+            problem,
+            qubo_fingerprint,
+            options_bits: pack_options(options),
+            seed,
+            backend: backend.map(str::to_string),
+        }
     }
+}
+
+/// Packs the result-affecting pipeline options into the byte cache and
+/// flight keys carry (priority is scheduling-only and excluded).
+pub(crate) fn pack_options(options: &PipelineOptions) -> u8 {
+    (options.presolve as u8) | ((options.decompose as u8) << 1) | ((options.repair as u8) << 2)
 }
 
 /// A cached completed job.
@@ -101,6 +126,9 @@ struct CacheInner {
     ring: Vec<Slot>,
     /// Next ring position the eviction hand examines.
     hand: usize,
+    /// This shard's entry budget. Shards differ by at most one entry so the
+    /// budgets sum to exactly the configured cache capacity.
+    capacity: usize,
 }
 
 impl CacheInner {
@@ -126,7 +154,6 @@ impl CacheInner {
 /// second-chance (CLOCK) eviction.
 pub struct ResultCache {
     shards: Vec<Mutex<CacheInner>>,
-    per_shard_capacity: usize,
 }
 
 impl ResultCache {
@@ -134,19 +161,37 @@ impl ResultCache {
     /// count scales with capacity — one shard per [`SHARD_MIN_CAPACITY`]
     /// entries, capped at [`MAX_SHARDS`] — so the default service cache gets
     /// full sharding while tiny test caches keep single-FIFO semantics.
+    /// The division remainder is distributed one entry each across the
+    /// first `capacity % n_shards` shards, so the per-shard budgets sum to
+    /// exactly `capacity` (a flat `capacity / n_shards` would silently
+    /// shrink a 1000-entry cache to 990).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         let n_shards = (capacity / SHARD_MIN_CAPACITY).clamp(1, MAX_SHARDS);
-        let per_shard_capacity = (capacity / n_shards).max(1);
+        let base = capacity / n_shards;
+        let remainder = capacity % n_shards;
         let shards = (0..n_shards)
-            .map(|_| Mutex::new(CacheInner { map: HashMap::new(), ring: Vec::new(), hand: 0 }))
+            .map(|i| {
+                Mutex::new(CacheInner {
+                    map: HashMap::new(),
+                    ring: Vec::new(),
+                    hand: 0,
+                    capacity: base + usize::from(i < remainder),
+                })
+            })
             .collect();
-        Self { shards, per_shard_capacity }
+        Self { shards }
     }
 
     /// Number of independently locked shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total entry budget: the sum of per-shard capacities, exactly the
+    /// `capacity` the cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache lock").capacity).sum()
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<CacheInner> {
@@ -174,7 +219,7 @@ impl ResultCache {
         if inner.map.contains_key(&key) {
             return;
         }
-        if inner.ring.len() < self.per_shard_capacity {
+        if inner.ring.len() < inner.capacity {
             let slot = inner.ring.len();
             inner.ring.push(Slot { key: key.clone(), value, referenced: false });
             inner.map.insert(key, slot);
@@ -193,6 +238,216 @@ impl ResultCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight: in-flight duplicate suppression ahead of the cache.
+// ---------------------------------------------------------------------------
+
+/// Identity of an in-flight solve in the [`FlightTable`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum FlightKey {
+    /// Pre-compilation identity: the exact (label-order-sensitive)
+    /// [`qdm_qubo::model::QuboModel::fingerprint`] plus everything else a
+    /// [`CacheKey`] carries. Checked before the job compiles, so an exact
+    /// concurrent duplicate coalesces without paying a compilation.
+    Exact {
+        /// The problem's `DmProblem::name`.
+        problem: String,
+        /// Label-order-sensitive model fingerprint (no compile needed).
+        raw_fingerprint: u64,
+        /// Packed result-affecting pipeline options ([`pack_options`]).
+        options_bits: u8,
+        /// Per-job RNG seed.
+        seed: u64,
+        /// Requested backend marker, `None` for auto routing.
+        backend: Option<String>,
+    },
+    /// Post-compilation identity: the canonical cache key, which
+    /// additionally coalesces permuted-but-identical encodings.
+    Canonical(CacheKey),
+}
+
+impl FlightKey {
+    /// Builds the pre-compilation exact key.
+    pub(crate) fn exact(
+        problem: String,
+        raw_fingerprint: u64,
+        options: &PipelineOptions,
+        seed: u64,
+        backend: Option<&str>,
+    ) -> Self {
+        Self::Exact {
+            problem,
+            raw_fingerprint,
+            options_bits: pack_options(options),
+            seed,
+            backend: backend.map(str::to_string),
+        }
+    }
+}
+
+/// What a completed leader hands its parked followers: the same
+/// [`CachedResult`] it inserted into the cache, plus its compilation and
+/// canonical permutation so exact followers (who skipped compiling) can run
+/// the standard cache-hit translation.
+#[derive(Clone)]
+pub(crate) struct FlightOutput {
+    pub(crate) cached: CachedResult,
+    pub(crate) compiled: Arc<CompiledQubo>,
+    pub(crate) perm: Arc<Vec<usize>>,
+}
+
+/// How a follower's park resolved.
+pub(crate) enum FlightResolution {
+    /// The leader finished; serve its result.
+    Served(FlightOutput),
+    /// The leader failed deterministically (routing error); the duplicate
+    /// would have failed identically.
+    Failed(JobError),
+    /// The leader disappeared without publishing (it panicked); the
+    /// follower must retry from the top — it may become the new leader.
+    Abandoned,
+}
+
+enum FlightState {
+    Pending,
+    /// Boxed: the output dwarfs the other variants and most flights spend
+    /// their lifetime `Pending`.
+    Done(Box<Result<FlightOutput, JobError>>),
+    Abandoned,
+}
+
+/// One in-flight solve: the completion cell duplicates park on.
+pub(crate) struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self { state: Mutex::new(FlightState::Pending), done: Condvar::new() }
+    }
+
+    /// Parks until the leader publishes or abandons.
+    pub(crate) fn wait(&self) -> FlightResolution {
+        let mut state = self.state.lock().expect("flight lock");
+        loop {
+            match &*state {
+                FlightState::Pending => state = self.done.wait(state).expect("flight lock"),
+                FlightState::Done(outcome) => {
+                    return match outcome.as_ref() {
+                        Ok(output) => FlightResolution::Served(output.clone()),
+                        Err(err) => FlightResolution::Failed(err.clone()),
+                    }
+                }
+                FlightState::Abandoned => return FlightResolution::Abandoned,
+            }
+        }
+    }
+
+    fn publish(&self, state: FlightState) {
+        *self.state.lock().expect("flight lock") = state;
+        self.done.notify_all();
+    }
+}
+
+/// Whether a job leads its flight or coalesces onto an existing one.
+pub(crate) enum FlightRole<'t> {
+    /// First arrival: the caller must solve and then
+    /// [`FlightLease::publish`] (or drop the lease on panic, which wakes
+    /// followers with [`FlightResolution::Abandoned`]).
+    Leader(FlightLease<'t>),
+    /// A leader is already solving this key: park on its flight.
+    Follower(Arc<Flight>),
+}
+
+/// The in-flight table: at most one leader per [`FlightKey`].
+pub(crate) struct FlightTable {
+    map: Mutex<HashMap<FlightKey, Arc<Flight>>>,
+}
+
+impl FlightTable {
+    pub(crate) fn new() -> Self {
+        Self { map: Mutex::new(HashMap::new()) }
+    }
+
+    /// Registers the caller as the leader for `key`, or returns the
+    /// existing in-flight [`Flight`] to park on.
+    pub(crate) fn join_or_lead(&self, key: FlightKey) -> FlightRole<'_> {
+        let mut map = self.map.lock().expect("flight table lock");
+        match map.entry(key.clone()) {
+            Entry::Occupied(entry) => FlightRole::Follower(Arc::clone(entry.get())),
+            Entry::Vacant(entry) => {
+                let flight = Arc::new(Flight::new());
+                entry.insert(Arc::clone(&flight));
+                FlightRole::Leader(FlightLease {
+                    table: self,
+                    flight,
+                    keys: vec![key],
+                    resolved: false,
+                })
+            }
+        }
+    }
+}
+
+/// A leader's registration in the [`FlightTable`]. Publishing (or dropping,
+/// for the panic path) removes every registered key and wakes all parked
+/// followers exactly once.
+pub(crate) struct FlightLease<'t> {
+    table: &'t FlightTable,
+    flight: Arc<Flight>,
+    keys: Vec<FlightKey>,
+    resolved: bool,
+}
+
+impl FlightLease<'_> {
+    /// Tries to also lead `key` (the canonical key, learned after
+    /// compiling). Returns `None` on success; if a *different* leader
+    /// already holds it, returns that flight so the caller can demote to a
+    /// follower of it.
+    pub(crate) fn extend(&mut self, key: FlightKey) -> Option<Arc<Flight>> {
+        let mut map = self.table.map.lock().expect("flight table lock");
+        match map.entry(key.clone()) {
+            Entry::Occupied(entry) => Some(Arc::clone(entry.get())),
+            Entry::Vacant(entry) => {
+                entry.insert(Arc::clone(&self.flight));
+                self.keys.push(key);
+                None
+            }
+        }
+    }
+
+    /// Publishes the flight's outcome to every parked follower and
+    /// deregisters its keys. Call *after* inserting a successful result into
+    /// the cache, so a duplicate arriving post-deregistration hits the cache.
+    pub(crate) fn publish(mut self, outcome: Result<FlightOutput, JobError>) {
+        self.resolve(FlightState::Done(Box::new(outcome)));
+    }
+
+    fn resolve(&mut self, state: FlightState) {
+        if self.resolved {
+            return;
+        }
+        self.resolved = true;
+        {
+            let mut map = self.table.map.lock().expect("flight table lock");
+            for key in &self.keys {
+                map.remove(key);
+            }
+        }
+        self.flight.publish(state);
+    }
+}
+
+impl Drop for FlightLease<'_> {
+    /// A lease dropped without publishing means the leader panicked
+    /// mid-solve: followers wake with [`FlightResolution::Abandoned`] and
+    /// retry instead of parking forever.
+    fn drop(&mut self) {
+        self.resolve(FlightState::Abandoned);
     }
 }
 
@@ -322,5 +577,110 @@ mod tests {
         cache.insert(key(1), entry("second", "e"));
         assert_eq!(cache.get(&key(1)).unwrap().report.problem, "first");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_exactly_the_configured_capacity() {
+        // 1000 / 64 → 15 shards; a flat 1000/15 = 66 per shard would hold
+        // only 990 entries. The remainder must be spread across shards.
+        for capacity in [1, 2, 17, 63, 64, 100, 777, 1000, 1024, 4096, 4099] {
+            let cache = ResultCache::new(capacity);
+            assert_eq!(cache.capacity(), capacity, "capacity {capacity} must round-trip");
+        }
+    }
+
+    #[test]
+    fn a_1000_entry_cache_actually_holds_1000_entries() {
+        let cache = ResultCache::new(1000);
+        assert_eq!(cache.shard_count(), 15);
+        for fp in 0..1000u64 {
+            cache.insert(key(fp), entry("r", "e"));
+        }
+        // Sequential fingerprints land `fp % 15` and fill shard s with 67
+        // entries for s < 10 and 66 for s ≥ 10 — exactly the remainder
+        // distribution — so nothing may have been evicted.
+        assert_eq!(cache.len(), 1000, "no entry of the first 1000 may be evicted");
+        for fp in 1000..3000u64 {
+            cache.insert(key(fp), entry("r", "e"));
+        }
+        assert_eq!(cache.len(), 1000, "the total stays pinned at capacity under churn");
+    }
+
+    #[test]
+    fn flight_table_has_one_leader_per_key_and_reopens_after_publish() {
+        let table = FlightTable::new();
+        let fk = || FlightKey::Canonical(key(7));
+        let lease = match table.join_or_lead(fk()) {
+            FlightRole::Leader(lease) => lease,
+            FlightRole::Follower(_) => panic!("first arrival must lead"),
+        };
+        let follower = match table.join_or_lead(fk()) {
+            FlightRole::Follower(flight) => flight,
+            FlightRole::Leader(_) => panic!("second arrival must coalesce"),
+        };
+        let output = FlightOutput {
+            cached: entry("led", "e"),
+            compiled: Arc::new(qdm_qubo::model::QuboModel::new(2).compile()),
+            perm: Arc::new(vec![0, 1]),
+        };
+        lease.publish(Ok(output));
+        match follower.wait() {
+            FlightResolution::Served(out) => assert_eq!(out.cached.report.problem, "led"),
+            _ => panic!("published flight must serve its followers"),
+        }
+        // The key is deregistered: the next arrival leads a fresh flight.
+        assert!(matches!(table.join_or_lead(fk()), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn dropping_a_lease_without_publishing_abandons_followers() {
+        let table = FlightTable::new();
+        let fk = || FlightKey::Canonical(key(9));
+        let lease = match table.join_or_lead(fk()) {
+            FlightRole::Leader(lease) => lease,
+            FlightRole::Follower(_) => panic!("first arrival must lead"),
+        };
+        let follower = match table.join_or_lead(fk()) {
+            FlightRole::Follower(flight) => flight,
+            FlightRole::Leader(_) => panic!("second arrival must coalesce"),
+        };
+        drop(lease); // the panic path: no publish
+        assert!(matches!(follower.wait(), FlightResolution::Abandoned));
+        assert!(matches!(table.join_or_lead(fk()), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn extend_registers_a_second_key_or_demotes_on_collision() {
+        let table = FlightTable::new();
+        let exact =
+            || FlightKey::exact("p".into(), 1, &PipelineOptions::default(), 7, Some("tabu"));
+        let canonical = || FlightKey::Canonical(key(5));
+        let mut lease_a = match table.join_or_lead(exact()) {
+            FlightRole::Leader(lease) => lease,
+            FlightRole::Follower(_) => panic!("must lead"),
+        };
+        assert!(lease_a.extend(canonical()).is_none(), "free canonical key extends the lease");
+        // A different leader holding the canonical key demotes the caller.
+        let mut lease_b = match table.join_or_lead(FlightKey::exact(
+            "p".into(),
+            2,
+            &PipelineOptions::default(),
+            7,
+            None,
+        )) {
+            FlightRole::Leader(lease) => lease,
+            FlightRole::Follower(_) => panic!("distinct exact key must lead"),
+        };
+        assert!(lease_b.extend(canonical()).is_some(), "occupied canonical key demotes");
+        drop(lease_b);
+        // Publishing lease A clears both of its keys.
+        let output = FlightOutput {
+            cached: entry("a", "e"),
+            compiled: Arc::new(qdm_qubo::model::QuboModel::new(2).compile()),
+            perm: Arc::new(vec![0, 1]),
+        };
+        lease_a.publish(Ok(output));
+        assert!(matches!(table.join_or_lead(exact()), FlightRole::Leader(_)));
+        assert!(matches!(table.join_or_lead(canonical()), FlightRole::Leader(_)));
     }
 }

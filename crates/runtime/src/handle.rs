@@ -9,6 +9,7 @@
 //! finish order, through the session's [`crate::submit::Session::completions`]
 //! iterator as [`Completion`] records.
 
+use crate::metrics::Metrics;
 use crate::service::{JobError, JobOutcome, Shared};
 use crate::submit::SessionCore;
 use std::sync::{Arc, Condvar, Mutex};
@@ -74,9 +75,31 @@ impl CompletionSlot {
     /// the job was cancelled while running), wakes every waiter, and returns
     /// the outcome as delivered — the same value the completion stream must
     /// carry so `wait()` and `completions()` always agree.
-    pub(crate) fn resolve(&self, outcome: JobOutcome) -> JobOutcome {
+    ///
+    /// When the conversion downgrades an outcome that `process` already
+    /// counted — completed for `Ok`, failed for any error other than
+    /// `Cancelled` itself — the ledger is reconciled here, under the slot
+    /// lock and **before** any waiter can observe the outcome: the cancel
+    /// call counted the job cancelled, so without the matching
+    /// [`Metrics::on_completion_converted_to_cancel`] /
+    /// [`Metrics::on_failure_converted_to_cancel`] one job would occupy two
+    /// ledger buckets.
+    pub(crate) fn resolve(&self, outcome: JobOutcome, metrics: &Metrics) -> JobOutcome {
+        let solved = outcome.is_ok();
+        // Every non-`Cancelled` error reaching a slot was counted by
+        // `on_failed` (routing, panic, or coalesced-failure path); a
+        // queued-job cancel resolves with `Err(Cancelled)` and was never
+        // counted failed.
+        let counted_failed = matches!(&outcome, Err(err) if *err != JobError::Cancelled);
         let mut inner = self.inner.lock().expect("slot lock");
         let delivered = if inner.cancelled { Err(JobError::Cancelled) } else { outcome };
+        if inner.cancelled {
+            if solved {
+                metrics.on_completion_converted_to_cancel();
+            } else if counted_failed {
+                metrics.on_failure_converted_to_cancel();
+            }
+        }
         inner.outcome = Some(delivered.clone());
         self.done.notify_all();
         delivered
@@ -166,8 +189,16 @@ impl JobHandle {
     ///   ([`CancelStatus::Cancelled`]).
     /// - Already running → the job completes (and still populates the result
     ///   cache), but the handle and the completion stream report
-    ///   [`JobError::Cancelled`] ([`CancelStatus::Running`]).
+    ///   [`JobError::Cancelled`] ([`CancelStatus::Running`]). In the ledger
+    ///   the job counts as cancelled, **not** completed — one job, one
+    ///   bucket.
     /// - Already resolved → no effect ([`CancelStatus::Finished`]).
+    ///
+    /// Cancellation is strictly per-handle. If this job coalesced onto a
+    /// concurrent in-flight duplicate (single-flight), cancelling it never
+    /// cancels the leader it parked on; conversely a cancelled leader still
+    /// finishes its solve and serves any followers — only its own handle
+    /// reports [`JobError::Cancelled`].
     pub fn cancel(&self) -> CancelStatus {
         let removed = {
             let mut queue = self.shared.queue.lock().expect("queue lock");
@@ -183,7 +214,7 @@ impl JobHandle {
             }
             self.shared.metrics.on_dequeue();
             self.session.on_dequeue();
-            let delivered = job.slot.resolve(Err(JobError::Cancelled));
+            let delivered = job.slot.resolve(Err(JobError::Cancelled), &self.shared.metrics);
             self.session.on_complete(Completion { id: self.id, outcome: delivered });
             return CancelStatus::Cancelled;
         }

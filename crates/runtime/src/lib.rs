@@ -10,7 +10,7 @@
 //! - [`registry`] — every [`qdm_core::solver::QuboSolver`] backend with its
 //!   capability snapshot ([`registry::SolverSpec`]): `max_vars`, Fig. 2
 //!   branch, static cost prior;
-//! - [`service`] — the worker pool and priority-laned job queue
+//! - [`service`] — the worker pool and fair-scheduled job queue
 //!   ([`service::SolverService`]): each cache-miss job compiles its QUBO
 //!   **exactly once** into a shared `Arc<CompiledQubo>` — fingerprinting,
 //!   presolve, and every dispatched backend run on that one compilation
@@ -18,7 +18,18 @@
 //!   under its own seeded RNG, so results are reproducible regardless of
 //!   scheduling. [`service::BackendChoice::Race`] races the portfolio's
 //!   top-k backends on the shared compilation with a deterministic
-//!   energy-then-rank winner pick;
+//!   energy-then-rank winner pick. Concurrent duplicates of the same work
+//!   identity **single-flight**: one leader solves, parked followers are
+//!   served its result through the cache-hit translation (counted as
+//!   `jobs_coalesced`, never as a second solve);
+//! - [`scheduler`] — the deterministic fair scheduler behind the queue:
+//!   priority lanes with pop-counted aging (sustained High traffic can no
+//!   longer starve Low — a bypassed lane is served after
+//!   [`scheduler::AGE_AFTER_POPS`] pops), per-session subqueues with
+//!   deficit-round-robin pickup inside each lane (a deep session cannot
+//!   monopolize the pool), and
+//!   [`scheduler::SchedulerPolicy::StrictPriority`] as the legacy
+//!   discipline for comparison;
 //! - [`submit`] — the asynchronous client API ([`submit::Session`]):
 //!   `submit(JobSpec) -> JobHandle` against a **bounded** per-session queue
 //!   with two backpressure modes ([`submit::Session::try_submit`] returns
@@ -67,6 +78,7 @@ pub mod handle;
 pub mod metrics;
 pub mod portfolio;
 pub mod registry;
+pub mod scheduler;
 pub mod service;
 pub mod submit;
 
@@ -77,6 +89,7 @@ pub mod prelude {
     pub use crate::metrics::{Metrics, RuntimeReport};
     pub use crate::portfolio::{BackendStats, PortfolioScheduler};
     pub use crate::registry::{RegisteredSolver, SolverRegistry, SolverSpec};
+    pub use crate::scheduler::{SchedulerPolicy, AGE_AFTER_POPS, DRR_QUANTUM};
     pub use crate::service::{
         BackendChoice, JobError, JobOutcome, JobResult, JobSpec, ServiceConfig, SharedProblem,
         SolverService,

@@ -16,6 +16,7 @@ pub struct Metrics {
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_cancelled: AtomicU64,
+    jobs_coalesced: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     queue_depth: AtomicU64,
@@ -95,6 +96,48 @@ impl Metrics {
         self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Reconciles the ledger for a job whose solve finished but whose
+    /// delivered outcome was converted to `Cancelled` (the cancel raced the
+    /// run). The work happened — cache, backend, and latency counters stand
+    /// — but the job already counts in `jobs_cancelled`, so leaving it in
+    /// `jobs_completed` too would double-count it: one submitted job must
+    /// land in exactly one of completed / failed / cancelled.
+    pub fn on_completion_converted_to_cancel(&self) {
+        self.jobs_completed.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The failure-side twin of
+    /// [`Self::on_completion_converted_to_cancel`]: the job's run *failed*
+    /// (routing error or panic, already counted by [`Self::on_failed`]) but
+    /// the delivered outcome was converted to `Cancelled` — it must count
+    /// cancelled, not failed.
+    pub fn on_failure_converted_to_cancel(&self) {
+        self.jobs_failed.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a job that parked on another in-flight job with the same
+    /// work identity (single-flight duplicate suppression) instead of
+    /// solving or missing the cache itself. Counted at park time (tests use
+    /// it as the "the duplicate has coalesced" signal) and netted back out
+    /// by [`Self::on_coalesce_abandoned`] if the leader vanished and the
+    /// park produced nothing.
+    pub fn on_coalesced(&self) {
+        self.jobs_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reverses one [`Self::on_coalesced`]: the parked job's leader
+    /// panicked without publishing, so the job retries (possibly solving
+    /// itself) and its park suppressed no duplicate work after all.
+    pub fn on_coalesce_abandoned(&self) {
+        self.jobs_coalesced.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a coalesced job served from its leader's published result
+    /// (neither a cache hit nor a miss: the cache was never consulted).
+    pub fn on_coalesced_served(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records compile time the compile-once pipeline avoided: a job whose
     /// single compilation (taking `compile_seconds`) served `consumers`
     /// stages/backends would have compiled `consumers` times under the old
@@ -134,6 +177,7 @@ impl Metrics {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_coalesced: self.jobs_coalesced.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -162,7 +206,13 @@ pub struct RuntimeReport {
     pub jobs_failed: u64,
     /// Cancellations that took effect (queued jobs removed before a worker
     /// picked them up, plus running jobs marked to report `Cancelled`).
+    /// A job cancelled mid-run counts here and **not** in `jobs_completed`,
+    /// even though its solve finished and populated the cache.
     pub jobs_cancelled: u64,
+    /// Jobs that coalesced onto a concurrent in-flight duplicate
+    /// (single-flight): served from the leader's result without compiling,
+    /// solving, or touching the hit/miss counters.
+    pub jobs_coalesced: u64,
     /// Jobs served from the result cache.
     pub cache_hits: u64,
     /// Jobs that had to be solved.
@@ -214,10 +264,11 @@ impl std::fmt::Display for RuntimeReport {
         )?;
         writeln!(
             f,
-            "cache:   {} hits / {} misses (hit rate {:.1}%)",
+            "cache:   {} hits / {} misses (hit rate {:.1}%), {} coalesced in flight",
             self.cache_hits,
             self.cache_misses,
-            100.0 * self.cache_hit_rate()
+            100.0 * self.cache_hit_rate(),
+            self.jobs_coalesced
         )?;
         writeln!(
             f,
@@ -329,6 +380,33 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("races:   3 jobs"), "{text}");
         assert!(text.contains("compile:"), "{text}");
+    }
+
+    #[test]
+    fn coalesced_and_cancel_conversion_keep_the_ledger_consistent() {
+        let m = Metrics::new();
+        m.on_submit(3);
+        // Job 1: solved normally. Job 2: coalesced onto job 1. Job 3:
+        // solved, but its cancel raced the run and won.
+        m.on_solved("tabu", 0.001);
+        m.on_coalesced();
+        m.on_coalesced_served();
+        m.on_solved("tabu", 0.002);
+        m.on_cancelled();
+        m.on_completion_converted_to_cancel();
+        let r = m.report();
+        assert_eq!(r.jobs_submitted, 3);
+        assert_eq!(r.jobs_completed, 2, "the cancelled job must not stay counted completed");
+        assert_eq!(r.jobs_cancelled, 1);
+        assert_eq!(r.jobs_coalesced, 1);
+        assert_eq!(r.cache_misses, 2, "coalescing never consults the cache");
+        assert_eq!(r.cache_hits, 0);
+        assert_eq!(
+            r.jobs_completed + r.jobs_failed + r.jobs_cancelled,
+            r.jobs_submitted,
+            "every job lands in exactly one ledger bucket"
+        );
+        assert!(r.to_string().contains("1 coalesced in flight"), "{r}");
     }
 
     #[test]

@@ -1,31 +1,52 @@
-//! The concurrent solver service: a priority-laned job queue feeding a pool
+//! The concurrent solver service: a fair-scheduled job queue feeding a pool
 //! of worker threads, each running the Fig. 2 pipeline end to end — cache
 //! lookup, portfolio routing, `run_pipeline`, telemetry — for every
 //! submitted data-management problem.
 //!
 //! Concurrency model: plain `std::thread` workers draining a shared
-//! `Mutex`-guarded queue under a condvar (no external dependencies). Every
+//! `Mutex`-guarded `JobScheduler` under a condvar (no
+//! external dependencies). The scheduler serves priority lanes with
+//! deterministic pop-counted aging (no lane starves) and per-session
+//! deficit-round-robin subqueues (no session monopolizes the pool). Every
 //! job resolves through its own `CompletionSlot` (see [`crate::handle`]) rather
 //! than a per-batch channel, which is what lets the [`crate::submit`] layer
 //! hand out independent [`crate::handle::JobHandle`]s, cancel queued jobs,
 //! and stream completions. Every job carries its own RNG seed, so results
 //! are reproducible regardless of which worker picks the job up or in what
 //! order anything executes.
+//!
+//! Ahead of the result cache sits the single-flight table
+//! (`FlightTable`): concurrent submissions of the same work
+//! identity coalesce onto one leader instead of both missing the cache and
+//! both solving (the thundering-herd re-solve). Followers park on the
+//! leader's completion and are served its result through the same
+//! canonical-bit translation a cache hit uses; cancelling a follower never
+//! cancels the leader, and a leader that panics wakes its followers to
+//! retry rather than stranding them. A parked follower does occupy its
+//! worker thread for the leader's remaining solve time — the deliberate
+//! simple design (followers need their own post-translation decode and
+//! slot resolution anyway); progress is always guaranteed because a leader
+//! is by construction actively solving on another worker, and the parked
+//! time is bounded by that one solve.
 
-use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::cache::{
+    CacheKey, CachedResult, FlightKey, FlightOutput, FlightResolution, FlightRole, FlightTable,
+    ResultCache,
+};
 use crate::handle::{Completion, CompletionSlot};
 use crate::metrics::{Metrics, RuntimeReport};
 use crate::portfolio::{energy_quality, PortfolioScheduler};
 use crate::registry::SolverRegistry;
+use crate::scheduler::{JobScheduler, SchedulerPolicy};
 use crate::submit::SessionCore;
 use qdm_core::pipeline::{
     prepare_pipeline, run_prepared, JobPriority, PipelineOptions, PipelineReport, PreparedPipeline,
 };
 use qdm_core::problem::DmProblem;
 use qdm_qubo::compiled::CompiledQubo;
+use qdm_qubo::model::QuboModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -110,11 +131,15 @@ pub struct JobResult {
     pub job_id: u64,
     /// Full pipeline telemetry and decoded solution.
     pub report: PipelineReport,
-    /// The backend that produced (or originally produced, for cache hits)
-    /// the result.
+    /// The backend that produced (or originally produced, for cache hits
+    /// and coalesced jobs) the result.
     pub backend: String,
     /// Whether the result was served from the result cache.
     pub from_cache: bool,
+    /// Whether the result was served by coalescing onto a concurrent
+    /// in-flight duplicate (single-flight) instead of solving or hitting
+    /// the cache.
+    pub coalesced: bool,
 }
 
 /// Why a job could not be answered.
@@ -169,49 +194,12 @@ pub type JobOutcome = Result<JobResult, JobError>;
 /// A job sitting in the service queue, waiting for a worker.
 pub(crate) struct QueuedJob {
     pub(crate) id: u64,
+    /// Deficit-round-robin cost: the problem's variable count (≥ 1), spent
+    /// from the owning session's per-lane scheduling credit when served.
+    pub(crate) cost: u64,
     pub(crate) spec: JobSpec,
     pub(crate) slot: Arc<CompletionSlot>,
     pub(crate) session: Arc<SessionCore>,
-}
-
-/// The service queue: one FIFO lane per [`JobPriority`], popped
-/// highest-priority-first.
-pub(crate) struct JobQueues {
-    lanes: [VecDeque<QueuedJob>; 3],
-}
-
-impl JobQueues {
-    fn new() -> Self {
-        Self { lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()] }
-    }
-
-    /// High → 0, Normal → 1, Low → 2: pop order.
-    fn lane(priority: JobPriority) -> usize {
-        match priority {
-            JobPriority::High => 0,
-            JobPriority::Normal => 1,
-            JobPriority::Low => 2,
-        }
-    }
-
-    pub(crate) fn push(&mut self, job: QueuedJob) {
-        self.lanes[Self::lane(job.spec.options.priority)].push_back(job);
-    }
-
-    fn pop(&mut self) -> Option<QueuedJob> {
-        self.lanes.iter_mut().find_map(VecDeque::pop_front)
-    }
-
-    /// Removes a queued job by id (for cancellation); `None` if a worker
-    /// already picked it up or it never existed.
-    pub(crate) fn remove(&mut self, id: u64) -> Option<QueuedJob> {
-        for lane in &mut self.lanes {
-            if let Some(pos) = lane.iter().position(|job| job.id == id) {
-                return lane.remove(pos);
-            }
-        }
-        None
-    }
 }
 
 /// Service internals shared between the owner, sessions, handles, and
@@ -219,12 +207,14 @@ impl JobQueues {
 pub(crate) struct Shared {
     pub(crate) registry: SolverRegistry,
     pub(crate) cache: ResultCache,
+    pub(crate) inflight: FlightTable,
     pub(crate) portfolio: PortfolioScheduler,
     pub(crate) metrics: Metrics,
-    pub(crate) queue: Mutex<JobQueues>,
+    pub(crate) queue: Mutex<JobScheduler>,
     pub(crate) job_ready: Condvar,
     pub(crate) shutting_down: AtomicBool,
     pub(crate) next_job_id: AtomicU64,
+    pub(crate) next_session_id: AtomicU64,
 }
 
 /// Service configuration.
@@ -234,12 +224,16 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Result-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Queueing discipline (default: [`SchedulerPolicy::FairShare`] —
+    /// priority lanes with deterministic aging plus per-session
+    /// deficit-round-robin; see [`crate::scheduler`]).
+    pub scheduling: SchedulerPolicy,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Self { workers, cache_capacity: 4096 }
+        Self { workers, cache_capacity: 4096, scheduling: SchedulerPolicy::default() }
     }
 }
 
@@ -274,7 +268,8 @@ impl Default for ServiceConfig {
 ///     }
 /// }
 ///
-/// let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+/// let service =
+///     SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64, ..Default::default() });
 /// let job = JobSpec::new(Arc::new(PickOne), 7);
 ///
 /// // Asynchronous path: submit, keep working, then wait the handle.
@@ -306,12 +301,14 @@ impl SolverService {
         let shared = Arc::new(Shared {
             registry,
             cache: ResultCache::new(config.cache_capacity),
+            inflight: FlightTable::new(),
             portfolio: PortfolioScheduler::new(n_backends),
             metrics: Metrics::new(),
-            queue: Mutex::new(JobQueues::new()),
+            queue: Mutex::new(JobScheduler::new(config.scheduling)),
             job_ready: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             next_job_id: AtomicU64::new(0),
+            next_session_id: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -401,9 +398,10 @@ fn worker_loop(shared: &Shared) {
                     result
                 });
         // Resolve the handle's slot first (so `wait()` never lags the
-        // stream), then feed the session's completion stream the exact
-        // outcome the slot delivered (cancellation-converted if needed).
-        let delivered = job.slot.resolve(outcome);
+        // stream; the slot also reconciles the completed/cancelled ledger
+        // if the cancel raced the run), then feed the session's completion
+        // stream the exact outcome the slot delivered.
+        let delivered = job.slot.resolve(outcome, &shared.metrics);
         job.session.on_complete(Completion { id: job.id, outcome: delivered });
     }
 }
@@ -411,14 +409,6 @@ fn worker_loop(shared: &Shared) {
 fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
     let qubo = spec.problem.to_qubo();
     let n_vars = qubo.n_vars();
-    // THE compile of this job: every downstream consumer — canonical
-    // fingerprinting, presolve, and each dispatched backend (all k of a
-    // race) — shares this one `Arc<CompiledQubo>`. No other stage on the
-    // service path compiles.
-    let compile_start = Instant::now();
-    let compiled = Arc::new(qubo.compile());
-    let compile_seconds = compile_start.elapsed().as_secs_f64();
-
     let race_marker;
     let requested = match &spec.backend {
         BackendChoice::Auto => None,
@@ -433,41 +423,151 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
             Some(race_marker.as_str())
         }
     };
+    // Single-flight, level 1: the exact (label-order) fingerprint, checked
+    // *before* compiling. Two concurrent submissions of the same spec both
+    // reach this point cache-cold; without it both would compile and solve
+    // — the thundering-herd re-solve the cache alone cannot prevent,
+    // because its entry only appears after the first solve finishes.
+    let exact_key = FlightKey::exact(
+        spec.problem.name(),
+        qubo.fingerprint(),
+        &spec.options,
+        spec.seed,
+        requested,
+    );
+    loop {
+        match shared.inflight.join_or_lead(exact_key.clone()) {
+            FlightRole::Leader(lease) => {
+                return lead(shared, spec, &qubo, n_vars, requested, lease)
+            }
+            FlightRole::Follower(flight) => {
+                shared.metrics.on_coalesced();
+                match flight.wait() {
+                    FlightResolution::Served(out) => {
+                        // An exact duplicate shares the leader's labeling,
+                        // so the leader's compilation and canonical
+                        // permutation translate its bits verbatim — this
+                        // job never compiled.
+                        shared.metrics.on_coalesced_served();
+                        return Ok(serve_coalesced(spec, &out.compiled, &out.perm, out.cached));
+                    }
+                    FlightResolution::Failed(err) => {
+                        // The leader failed routing deterministically; an
+                        // identical spec fails identically.
+                        shared.metrics.on_failed();
+                        return Err(err);
+                    }
+                    // The leader panicked without publishing: retry from
+                    // the top — this job may become the new leader. The
+                    // park suppressed nothing, so net it back out.
+                    FlightResolution::Abandoned => {
+                        shared.metrics.on_coalesce_abandoned();
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs a job that leads its single-flight: compile once, check the cache,
+/// coalesce onto a permuted-identical in-flight duplicate if one exists,
+/// else solve — and publish whatever happened to any parked followers.
+fn lead(
+    shared: &Shared,
+    spec: &JobSpec,
+    qubo: &QuboModel,
+    n_vars: usize,
+    requested: Option<&str>,
+    mut lease: crate::cache::FlightLease<'_>,
+) -> JobOutcome {
+    // THE compile of this job: every downstream consumer — canonical
+    // fingerprinting, presolve, each dispatched backend (all k of a race),
+    // and any exact-duplicate followers — shares this one
+    // `Arc<CompiledQubo>`. No other stage on the service path compiles.
+    let compile_start = Instant::now();
+    let compiled = Arc::new(qubo.compile());
+    let compile_seconds = compile_start.elapsed().as_secs_f64();
+
     let (canonical_fp, perm) = compiled.canonical_form();
+    let perm = Arc::new(perm);
     let key = CacheKey::new(spec.problem.name(), canonical_fp, &spec.options, spec.seed, requested);
     if let Some(cached) = shared.cache.get(&key) {
         shared.metrics.on_cache_hit();
-        return Ok(serve_cached(spec, &compiled, &perm, cached));
+        let result = serve_cached(spec, &compiled, &perm, cached.clone());
+        lease.publish(Ok(FlightOutput { cached, compiled, perm }));
+        return Ok(result);
     }
 
-    let participants: Vec<usize> = match &spec.backend {
-        BackendChoice::Named(name) => {
-            let Some(idx) = shared.registry.find(name) else {
-                shared.metrics.on_failed();
-                return Err(JobError::UnknownBackend(name.clone()));
-            };
-            let max_vars = shared.registry.get(idx).spec.max_vars;
-            if max_vars < n_vars {
-                shared.metrics.on_failed();
-                return Err(JobError::BackendTooSmall { backend: name.clone(), max_vars, n_vars });
+    // Single-flight, level 2: the canonical key. A permuted-but-identical
+    // encoding may already be solving under a different exact key; coalesce
+    // onto it and translate its canonical assignment through *this* job's
+    // own permutation — the same machinery a permuted cache hit uses.
+    // An `extend` returning `None` means this job now leads the canonical
+    // flight too and proceeds to solve; `Abandoned` retries the extend (the
+    // canonical leader panicked and its key was removed).
+    while let Some(flight) = lease.extend(FlightKey::Canonical(key.clone())) {
+        shared.metrics.on_coalesced();
+        match flight.wait() {
+            FlightResolution::Served(out) => {
+                shared.metrics.on_coalesced_served();
+                let result = serve_coalesced(spec, &compiled, &perm, out.cached.clone());
+                // Publish through to this flight's own exact followers with
+                // *this* labeling's compilation and permutation, which is
+                // the one that translates their bits correctly.
+                lease.publish(Ok(FlightOutput { cached: out.cached, compiled, perm }));
+                return Ok(result);
             }
-            vec![idx]
+            FlightResolution::Failed(err) => {
+                shared.metrics.on_failed();
+                lease.publish(Err(err.clone()));
+                return Err(err);
+            }
+            FlightResolution::Abandoned => {
+                // The canonical leader panicked; its key is gone, so the
+                // extend retries (and may succeed, making this job the
+                // solver). The park suppressed nothing.
+                shared.metrics.on_coalesce_abandoned();
+                continue;
+            }
         }
-        BackendChoice::Auto => match shared.portfolio.route(&shared.registry, n_vars) {
-            Some(idx) => vec![idx],
-            None => {
-                shared.metrics.on_failed();
-                return Err(JobError::NoEligibleBackend { n_vars });
+    }
+
+    let routed: Result<Vec<usize>, JobError> = match &spec.backend {
+        BackendChoice::Named(name) => match shared.registry.find(name) {
+            None => Err(JobError::UnknownBackend(name.clone())),
+            Some(idx) => {
+                let max_vars = shared.registry.get(idx).spec.max_vars;
+                if max_vars < n_vars {
+                    Err(JobError::BackendTooSmall { backend: name.clone(), max_vars, n_vars })
+                } else {
+                    Ok(vec![idx])
+                }
             }
+        },
+        BackendChoice::Auto => match shared.portfolio.route(&shared.registry, n_vars) {
+            Some(idx) => Ok(vec![idx]),
+            None => Err(JobError::NoEligibleBackend { n_vars }),
         },
         BackendChoice::Race { k } => {
             let ranked = shared.portfolio.rank(&shared.registry, n_vars);
             if ranked.is_empty() {
-                shared.metrics.on_failed();
-                return Err(JobError::NoEligibleBackend { n_vars });
+                Err(JobError::NoEligibleBackend { n_vars })
+            } else {
+                let k = (*k).clamp(1, ranked.len());
+                Ok(ranked[..k].to_vec())
             }
-            let k = (*k).clamp(1, ranked.len());
-            ranked[..k].to_vec()
+        }
+    };
+    let participants = match routed {
+        Ok(participants) => participants,
+        Err(err) => {
+            // Routing errors are deterministic functions of the spec, so
+            // publishing the error serves parked duplicates the exact
+            // outcome they would have computed.
+            shared.metrics.on_failed();
+            lease.publish(Err(err.clone()));
+            return Err(err);
         }
     };
     // One compile served the fingerprint stage plus every participant;
@@ -478,7 +578,7 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
     // Prepare the seed-independent pipeline front half — presolve and
     // component extraction/compilation — exactly once; every participant
     // of a race reuses it instead of re-running the fixpoint k times.
-    let prepared = prepare_pipeline(&qubo, &compiled, &spec.options);
+    let prepared = prepare_pipeline(qubo, &compiled, &spec.options);
     // Solve: every participant runs the back half on the *same* shared
     // preparation (and therefore the same shared compilation), each under
     // its own RNG seeded from the job seed, so a single-backend job is
@@ -544,16 +644,33 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
     for (i, &bit) in report.bits.iter().enumerate() {
         canonical_bits[perm[i]] = bit;
     }
-    shared.cache.insert(
-        key,
-        CachedResult { report: report.clone(), canonical_bits, backend: backend_name.clone() },
-    );
+    let cached =
+        CachedResult { report: report.clone(), canonical_bits, backend: backend_name.clone() };
+    // Insert into the cache *before* publishing/deregistering the flight:
+    // a duplicate arriving after the flight closes must find the entry.
+    shared.cache.insert(key, cached.clone());
+    lease.publish(Ok(FlightOutput { cached, compiled, perm }));
     Ok(JobResult {
         job_id: 0, // stamped with the queue id by the worker loop
         report,
         backend: backend_name,
         from_cache: false,
+        coalesced: false,
     })
+}
+
+/// Serves a follower that coalesced onto an in-flight leader: the standard
+/// cache-hit translation, re-flagged as a coalesced (not cached) result.
+fn serve_coalesced(
+    spec: &JobSpec,
+    compiled: &CompiledQubo,
+    perm: &[usize],
+    cached: CachedResult,
+) -> JobResult {
+    let mut result = serve_cached(spec, compiled, perm, cached);
+    result.from_cache = false;
+    result.coalesced = true;
+    result
 }
 
 /// Runs one backend over the job's shared pipeline preparation, returning
@@ -595,6 +712,7 @@ fn serve_cached(
             report: cached.report,
             backend: cached.backend,
             from_cache: true,
+            coalesced: false,
         };
     }
     let energy = compiled.energy(&bits);
@@ -605,6 +723,7 @@ fn serve_cached(
         report,
         backend: cached.backend,
         from_cache: true,
+        coalesced: false,
     }
 }
 
@@ -654,7 +773,11 @@ mod tests {
 
     #[test]
     fn single_job_solves_and_decodes() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let result = service.run(JobSpec::new(pick(4), 1)).expect("solvable");
         assert!(result.report.decoded.feasible);
         assert!(!result.from_cache);
@@ -663,7 +786,11 @@ mod tests {
 
     #[test]
     fn repeat_submission_hits_cache_with_identical_result() {
-        let service = SolverService::new(ServiceConfig { workers: 3, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 3,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let first = service.run(JobSpec::new(pick(5), 9)).expect("ok");
         let second = service.run(JobSpec::new(pick(5), 9)).expect("ok");
         assert!(!first.from_cache);
@@ -679,7 +806,11 @@ mod tests {
 
     #[test]
     fn different_seeds_do_not_share_cache_entries() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let a = service.run(JobSpec::new(pick(4), 1)).expect("ok");
         let b = service.run(JobSpec::new(pick(4), 2)).expect("ok");
         assert!(!a.from_cache);
@@ -689,7 +820,11 @@ mod tests {
 
     #[test]
     fn batch_outcomes_preserve_submission_order() {
-        let service = SolverService::new(ServiceConfig { workers: 4, cache_capacity: 64 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 4,
+            cache_capacity: 64,
+            ..Default::default()
+        });
         let batch: Vec<JobSpec> =
             (0..12).map(|i| JobSpec::new(pick(3 + (i % 4)), i as u64)).collect();
         let sizes: Vec<usize> = batch.iter().map(|j| j.problem.n_vars()).collect();
@@ -704,7 +839,11 @@ mod tests {
 
     #[test]
     fn pinned_backend_is_honored() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let result =
             service.run(JobSpec::new(pick(4), 3).on_backend("tabu")).expect("tabu handles 4");
         assert_eq!(result.backend, "tabu");
@@ -713,7 +852,11 @@ mod tests {
 
     #[test]
     fn pinned_backend_too_small_fails_cleanly() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         // QAOA caps at 20 variables.
         let err = service.run(JobSpec::new(pick(24), 3).on_backend("qaoa")).unwrap_err();
         match err {
@@ -729,7 +872,11 @@ mod tests {
 
     #[test]
     fn auto_routing_respects_capacity() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         // 30 variables exceeds exact (26) and every gate-based route (<= 20).
         let result = service.run(JobSpec::new(pick(30), 5)).expect("heuristics take it");
         let idx = service.registry().find(&result.backend).expect("known backend");
@@ -761,7 +908,11 @@ mod tests {
 
     #[test]
     fn identical_qubos_from_different_problem_types_do_not_share_cache() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let a = service.run(JobSpec::new(pick(4), 5)).expect("ok");
         let costs = (0..4).map(|i| ((i * 7) % 5) as f64 + 1.0).collect();
         let relabeled = Arc::new(PickOneRelabeled { inner: PickOne { costs } });
@@ -792,7 +943,11 @@ mod tests {
 
     #[test]
     fn panicking_job_fails_cleanly_and_pool_survives() {
-        let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         // With a single worker, the pool only survives the panic if the
         // worker caught it.
         let err = service.run(JobSpec::new(Arc::new(Explosive), 1)).unwrap_err();
@@ -810,7 +965,11 @@ mod tests {
 
     #[test]
     fn failed_routing_is_counted_in_the_ledger() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let _ = service.run(JobSpec::new(pick(4), 3).on_backend("warp-drive")).unwrap_err();
         let _ = service.run(JobSpec::new(pick(24), 3).on_backend("qaoa")).unwrap_err();
         let report = service.report();
@@ -821,7 +980,11 @@ mod tests {
 
     #[test]
     fn service_shuts_down_cleanly_with_queued_work_done() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let outcomes = service.run_batch((0..6).map(|i| JobSpec::new(pick(4), i)).collect());
         assert_eq!(outcomes.len(), 6);
         drop(service); // must not hang or panic
@@ -829,8 +992,16 @@ mod tests {
 
     #[test]
     fn race_of_one_matches_auto_routing_bit_for_bit() {
-        let auto_service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
-        let race_service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let auto_service = SolverService::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 16,
+            ..Default::default()
+        });
+        let race_service = SolverService::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let a = auto_service.run(JobSpec::new(pick(6), 11)).expect("ok");
         let b = race_service.run(JobSpec::new(pick(6), 11).racing(1)).expect("ok");
         assert_eq!(a.backend, b.backend);
@@ -840,7 +1011,11 @@ mod tests {
 
     #[test]
     fn race_runs_top_k_and_records_outcomes() {
-        let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let result = service.run(JobSpec::new(pick(6), 3).racing(3)).expect("ok");
         assert!(result.report.decoded.feasible);
         // 6 vars routes exact into the field; nothing can beat a certified
@@ -859,7 +1034,11 @@ mod tests {
 
     #[test]
     fn race_repeat_is_a_cache_hit_and_distinct_from_other_choices() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let first = service.run(JobSpec::new(pick(5), 9).racing(2)).expect("ok");
         let again = service.run(JobSpec::new(pick(5), 9).racing(2)).expect("ok");
         assert!(!first.from_cache);
@@ -872,7 +1051,11 @@ mod tests {
 
     #[test]
     fn race_with_zero_k_clamps_and_oversized_k_uses_all_eligible() {
-        let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let zero = service.run(JobSpec::new(pick(4), 1).racing(0)).expect("k clamps to 1");
         assert!(zero.report.decoded.feasible);
         let huge = service.run(JobSpec::new(pick(4), 2).racing(999)).expect("k caps at eligible");
@@ -887,7 +1070,11 @@ mod tests {
 
     #[test]
     fn queue_depth_metrics_track_batch_traffic() {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let _ = service.run_batch((0..4).map(|i| JobSpec::new(pick(4), i)).collect());
         let report = service.report();
         assert_eq!(report.queue_depth, 0, "all jobs drained");

@@ -95,6 +95,9 @@ struct SessionInner {
 
 /// Shared bookkeeping between a [`Session`], its handles, and the workers.
 pub(crate) struct SessionCore {
+    /// Service-wide session id: the identity the fair scheduler keys its
+    /// per-session subqueues on ([`crate::scheduler`]).
+    id: u64,
     capacity: usize,
     completion_buffer: usize,
     inner: Mutex<SessionInner>,
@@ -102,13 +105,19 @@ pub(crate) struct SessionCore {
 }
 
 impl SessionCore {
-    fn new(capacity: usize, completion_buffer: usize) -> Self {
+    pub(crate) fn new(id: u64, capacity: usize, completion_buffer: usize) -> Self {
         Self {
+            id,
             capacity: capacity.max(1),
             completion_buffer: completion_buffer.max(1),
             inner: Mutex::new(SessionInner::default()),
             changed: Condvar::new(),
         }
+    }
+
+    /// The scheduler identity of this session.
+    pub(crate) fn id(&self) -> u64 {
+        self.id
     }
 
     /// Reserves a queue slot without blocking; `false` when full.
@@ -206,10 +215,14 @@ pub struct Session<'a> {
 
 impl SolverService {
     /// Opens an asynchronous submission session with its own bounded queue.
+    /// Each session gets its own subqueue in the fair scheduler, so one
+    /// session's backlog cannot monopolize the worker pool
+    /// ([`crate::scheduler`]).
     pub fn session(&self, config: SessionConfig) -> Session<'_> {
+        let id = self.shared.next_session_id.fetch_add(1, Ordering::Relaxed);
         Session {
             service: self,
-            core: Arc::new(SessionCore::new(config.queue_capacity, config.completion_buffer)),
+            core: Arc::new(SessionCore::new(id, config.queue_capacity, config.completion_buffer)),
         }
     }
 }
@@ -239,10 +252,15 @@ impl Session<'_> {
         shared.metrics.on_enqueue();
         let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(CompletionSlot::new());
+        // The job's deficit-round-robin cost: its variable count, so a
+        // session submitting big models spends its scheduling credit faster
+        // than one submitting small ones.
+        let cost = spec.problem.n_vars().max(1) as u64;
         {
             let mut queue = shared.queue.lock().expect("queue lock");
             queue.push(QueuedJob {
                 id,
+                cost,
                 spec,
                 slot: Arc::clone(&slot),
                 session: Arc::clone(&self.core),
@@ -255,12 +273,15 @@ impl Session<'_> {
     /// Streams finished jobs in finish order. The iterator blocks while work
     /// is in flight and ends (`None`) once every job submitted so far has
     /// been consumed — callers can pipeline decode work against it while
-    /// other threads keep submitting. If the buffer overflowed before the
-    /// stream was consumed ([`SessionConfig::completion_buffer`]), the
-    /// oldest completions are missing from it; see
-    /// [`Session::completions_dropped`].
+    /// other threads keep submitting. The end state is **latched** (the
+    /// iterator is fused): once it has returned `None` it stays exhausted
+    /// even if more jobs are submitted afterwards — call
+    /// [`Session::completions`] again for a fresh stream over the new work.
+    /// If the buffer overflowed before the stream was consumed
+    /// ([`SessionConfig::completion_buffer`]), the oldest completions are
+    /// missing from it; see [`Session::completions_dropped`].
     pub fn completions(&self) -> Completions<'_> {
-        Completions { core: &self.core }
+        Completions { core: &self.core, finished: false }
     }
 
     /// Jobs submitted through this session that have not resolved yet.
@@ -293,17 +314,33 @@ impl Session<'_> {
 
 /// Blocking iterator over a session's finished jobs, in finish order.
 /// Created by [`Session::completions`].
+///
+/// The iterator is **fused**: after it first returns `None` (all work
+/// submitted so far consumed), it latches the end state and never yields
+/// again, even if the session submits more jobs — per the [`Iterator`]
+/// convention that `next()` keeps returning `None` after exhaustion. Take a
+/// fresh iterator from [`Session::completions`] to stream later work.
 pub struct Completions<'s> {
     core: &'s SessionCore,
+    finished: bool,
 }
 
 impl Iterator for Completions<'_> {
     type Item = Completion;
 
     fn next(&mut self) -> Option<Completion> {
-        self.core.next_completion()
+        if self.finished {
+            return None;
+        }
+        let next = self.core.next_completion();
+        if next.is_none() {
+            self.finished = true;
+        }
+        next
     }
 }
+
+impl std::iter::FusedIterator for Completions<'_> {}
 
 /// Convenience: a one-shot session sized for `specs`, submitted and waited
 /// in order — the building block [`SolverService::run_batch`] wraps.

@@ -13,7 +13,11 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
-    let service = SolverService::new(ServiceConfig { workers: 4, cache_capacity: 1024 });
+    let service = SolverService::new(ServiceConfig {
+        workers: 4,
+        cache_capacity: 1024,
+        ..Default::default()
+    });
     println!("solver service up: {} workers over {} backends\n", 4, service.registry().len());
 
     // --- Build the mixed workload: three problem families, seeded. -------
@@ -142,6 +146,33 @@ fn main() {
         let r = handle.wait().expect("solvable");
         assert!(r.from_cache, "{label}: auto-routed resubmission must hit the cache");
     }
+
+    // --- Fifth pass: thundering-herd suppression. -------------------------
+    // Four copies of one brand-new job submitted at once: all four miss the
+    // cache, but the single-flight table guarantees exactly one actually
+    // compiles and solves — the duplicates either coalesce onto the leader
+    // in flight or (if they arrive after it finished) hit the fresh cache
+    // entry. Either way: one solve, four bit-identical answers.
+    println!("\nsubmitting 4 concurrent copies of one new job...");
+    let misses_before = service.report().cache_misses;
+    let herd_problem = Arc::clone(&problems[0].1);
+    let herd = service.session(SessionConfig { queue_capacity: 4, ..Default::default() });
+    let herd_handles: Vec<_> = (0..4)
+        .map(|_| herd.submit(JobSpec::new(Arc::clone(&herd_problem), 9000).with_options(options)))
+        .collect();
+    let herd_results: Vec<_> =
+        herd_handles.iter().map(|h| h.wait().expect("every copy resolves")).collect();
+    for pair in herd_results.windows(2) {
+        assert_eq!(pair[0].report.bits, pair[1].report.bits, "herd answers must be bit-identical");
+    }
+    let solves = service.report().cache_misses - misses_before;
+    assert_eq!(solves, 1, "4 concurrent identical submissions, exactly 1 solve");
+    println!(
+        "  4 copies -> {} solve, {} coalesced in flight, {} served from cache, all bit-identical",
+        solves,
+        herd_results.iter().filter(|r| r.coalesced).count(),
+        herd_results.iter().filter(|r| r.from_cache).count(),
+    );
 
     // --- Telemetry. ------------------------------------------------------
     let report = service.report();

@@ -111,10 +111,12 @@ fn handle_results_are_bit_identical_to_run_batch() {
         specs
     };
 
-    let batch_service = SolverService::new(ServiceConfig { workers: 3, cache_capacity: 64 });
+    let batch_service =
+        SolverService::new(ServiceConfig { workers: 3, cache_capacity: 64, ..Default::default() });
     let batch_outcomes = batch_service.run_batch(specs());
 
-    let session_service = SolverService::new(ServiceConfig { workers: 3, cache_capacity: 64 });
+    let session_service =
+        SolverService::new(ServiceConfig { workers: 3, cache_capacity: 64, ..Default::default() });
     let session =
         session_service.session(SessionConfig { queue_capacity: 16, ..Default::default() });
     let handles: Vec<JobHandle> = specs().into_iter().map(|s| session.submit(s)).collect();
@@ -131,7 +133,8 @@ fn handle_results_are_bit_identical_to_run_batch() {
 
 #[test]
 fn bounded_queue_rejects_and_blocks_under_slow_solver() {
-    let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() });
     let session = service.session(SessionConfig { queue_capacity: 2, ..Default::default() });
     let gate = Arc::new(Gate::default());
 
@@ -174,7 +177,8 @@ fn bounded_queue_rejects_and_blocks_under_slow_solver() {
 
 #[test]
 fn cancelling_a_queued_job_removes_it_before_any_worker() {
-    let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() });
     let session = service.session(SessionConfig { queue_capacity: 8, ..Default::default() });
     let gate = Arc::new(Gate::default());
 
@@ -208,7 +212,8 @@ fn cancelling_a_queued_job_removes_it_before_any_worker() {
 
 #[test]
 fn completions_stream_in_finish_order_and_match_handle_waits() {
-    let service = SolverService::new(ServiceConfig { workers: 4, cache_capacity: 64 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 4, cache_capacity: 64, ..Default::default() });
     let session = service.session(SessionConfig { queue_capacity: 16, ..Default::default() });
     let handles: Vec<JobHandle> = (0..8).map(|i| session.submit(quick(300 + i))).collect();
 
@@ -233,7 +238,8 @@ fn completions_stream_in_finish_order_and_match_handle_waits() {
 
 #[test]
 fn high_priority_jobs_jump_the_queue() {
-    let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() });
     let session = service.session(SessionConfig { queue_capacity: 8, ..Default::default() });
     let gate = Arc::new(Gate::default());
 
@@ -255,7 +261,8 @@ fn high_priority_jobs_jump_the_queue() {
 
 #[test]
 fn repeated_cancel_of_a_running_job_counts_once() {
-    let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() });
     let session = service.session(SessionConfig { queue_capacity: 8, ..Default::default() });
     let gate = Arc::new(Gate::default());
 
@@ -271,14 +278,105 @@ fn repeated_cancel_of_a_running_job_counts_once() {
     gate.open();
     assert!(matches!(blocker.wait(), Err(JobError::Cancelled)));
     assert_eq!(blocker.cancel(), CancelStatus::Finished);
-    assert_eq!(service.report().jobs_cancelled, 1);
-    // The solve itself completed and was counted + cached.
-    assert_eq!(service.report().jobs_completed, 1);
+    let report = service.report();
+    assert_eq!(report.jobs_cancelled, 1);
+    // The solve itself ran to completion (and was cached), but the job's
+    // delivered outcome is `Cancelled`: it must count in exactly one ledger
+    // bucket, not both (the old double-count listed it completed too).
+    assert_eq!(report.jobs_completed, 0);
+    assert_eq!(
+        report.jobs_submitted,
+        report.jobs_completed + report.jobs_failed + report.jobs_cancelled
+    );
+}
+
+#[test]
+fn job_cancelled_mid_run_counts_cancelled_not_completed_yet_still_caches() {
+    let service =
+        SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() });
+    let session = service.session(SessionConfig { queue_capacity: 8, ..Default::default() });
+    let gate = Arc::new(Gate::default());
+
+    let blocker = session.submit(JobSpec::new(Arc::new(Blocker { gate: Arc::clone(&gate) }), 1));
+    gate.wait_started();
+    assert_eq!(blocker.cancel(), CancelStatus::Running);
+    gate.open();
+    assert!(matches!(blocker.wait(), Err(JobError::Cancelled)));
+
+    let report = service.report();
+    assert_eq!(report.jobs_submitted, 1);
+    assert_eq!(report.jobs_cancelled, 1);
+    assert_eq!(report.jobs_completed, 0, "a cancelled job must not also count completed");
+    assert_eq!(report.cache_misses, 1, "the solve itself really happened");
+
+    // The finished solve populated the cache: resubmitting the identical
+    // spec (the gate is open now) is served as a hit and counts completed.
+    let gate2 = Arc::clone(&gate);
+    let again = session.submit(JobSpec::new(Arc::new(Blocker { gate: gate2 }), 1));
+    let result = again.wait().expect("uncancelled resubmission succeeds");
+    assert!(result.from_cache, "the cancelled run's solve must have been cached");
+    let report = service.report();
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.cache_hits, 1);
+    assert_eq!(report.jobs_cancelled, 1, "the earlier cancellation stays counted once");
+}
+
+#[test]
+fn job_cancelled_mid_run_that_fails_routing_counts_cancelled_not_failed() {
+    let service =
+        SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() });
+    let session = service.session(SessionConfig { queue_capacity: 8, ..Default::default() });
+    let gate = Arc::new(Gate::default());
+
+    // The job blocks in `to_qubo`, is cancelled while running, and then
+    // fails routing (unknown backend). `on_failed` fired, the cancel fired
+    // — the conversion must give back the failed count so the job lands in
+    // exactly one ledger bucket.
+    let doomed = session.submit(
+        JobSpec::new(Arc::new(Blocker { gate: Arc::clone(&gate) }), 1).on_backend("warp-drive"),
+    );
+    gate.wait_started();
+    assert_eq!(doomed.cancel(), CancelStatus::Running);
+    gate.open();
+    assert!(matches!(doomed.wait(), Err(JobError::Cancelled)));
+
+    let report = service.report();
+    assert_eq!(report.jobs_submitted, 1);
+    assert_eq!(report.jobs_cancelled, 1);
+    assert_eq!(report.jobs_failed, 0, "the failure was superseded by the cancellation");
+    assert_eq!(report.jobs_completed, 0);
+    assert_eq!(
+        report.jobs_submitted,
+        report.jobs_completed + report.jobs_failed + report.jobs_cancelled
+    );
+}
+
+#[test]
+fn completions_iterator_is_fused_across_later_submissions() {
+    let service =
+        SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64, ..Default::default() });
+    let session = service.session(SessionConfig { queue_capacity: 8, ..Default::default() });
+    let first = session.submit(quick(700));
+    let mut stream = session.completions();
+    assert_eq!(stream.next().map(|c| c.id), Some(first.id()));
+    assert!(stream.next().is_none(), "all submitted work consumed: the stream ends");
+
+    // New work after exhaustion must NOT revive a finished iterator — the
+    // end state is latched, per the Iterator fusion convention.
+    let second = session.submit(quick(701));
+    assert!(second.wait().is_ok());
+    assert!(stream.next().is_none(), "a fused iterator never yields again");
+    assert!(stream.next().is_none());
+
+    // A *fresh* iterator sees the later job.
+    let ids: Vec<u64> = session.completions().map(|c| c.id).collect();
+    assert_eq!(ids, vec![second.id()]);
 }
 
 #[test]
 fn completion_buffer_bounds_handle_only_sessions() {
-    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64, ..Default::default() });
     let session = service.session(SessionConfig { queue_capacity: 8, completion_buffer: 2 });
     let handles: Vec<JobHandle> = (0..5).map(|i| session.submit(quick(600 + i))).collect();
     session.drain();
@@ -293,7 +391,8 @@ fn completion_buffer_bounds_handle_only_sessions() {
 
 #[test]
 fn drain_and_shutdown_resolve_all_in_flight_handles() {
-    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64, ..Default::default() });
     let session = service.session(SessionConfig { queue_capacity: 16, ..Default::default() });
     let handles: Vec<JobHandle> = (0..6).map(|i| session.submit(quick(500 + i))).collect();
     assert!(session.in_flight() <= 6);
@@ -346,7 +445,8 @@ impl DmProblem for Menu {
 
 #[test]
 fn permuted_encoding_is_served_from_cache_with_translated_bits() {
-    let service = SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() });
     let costs = vec![5.0, 1.0, 3.0, 4.0];
     let reversed: Vec<f64> = costs.iter().rev().copied().collect();
     let first = service

@@ -53,7 +53,8 @@ fn pick(n: usize) -> SharedProblem {
 
 #[test]
 fn service_path_compiles_each_job_exactly_once() {
-    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64, ..Default::default() });
 
     // Cache miss, pinned single backend: one compile, shared by the
     // canonical fingerprint and the SA hot loop.

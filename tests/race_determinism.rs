@@ -56,7 +56,7 @@ fn problem(n: usize) -> SharedProblem {
 }
 
 fn fresh_service(workers: usize) -> SolverService {
-    SolverService::new(ServiceConfig { workers, cache_capacity: 64 })
+    SolverService::new(ServiceConfig { workers, cache_capacity: 64, ..Default::default() })
 }
 
 #[test]

@@ -30,7 +30,8 @@ fn repair() -> PipelineOptions {
 
 #[test]
 fn repeated_batch_is_served_from_cache_bit_identically() {
-    let service = SolverService::new(ServiceConfig { workers: 3, cache_capacity: 256 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 3, cache_capacity: 256, ..Default::default() });
     let batch: Vec<JobSpec> = vec![
         JobSpec::new(mqo(1), 11).with_options(repair()),
         JobSpec::new(joinorder(2), 12).with_options(repair()),
@@ -59,7 +60,11 @@ fn same_seed_same_job_is_deterministic_even_without_cache() {
     // Two *separate services* (so no shared cache): fixed seeds alone must
     // reproduce bits and energy exactly.
     let run = || {
-        let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 16 });
+        let service = SolverService::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        });
         let out = service
             .run(JobSpec::new(mqo(5), 77).with_options(repair()).on_backend("simulated-annealing"))
             .expect("solvable");
@@ -73,7 +78,8 @@ fn same_seed_same_job_is_deterministic_even_without_cache() {
 
 #[test]
 fn mixed_batch_preserves_submission_order_across_workers() {
-    let service = SolverService::new(ServiceConfig { workers: 4, cache_capacity: 256 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 4, cache_capacity: 256, ..Default::default() });
     // Interleave the three problem families; seeds make each job unique.
     let mut batch = Vec::new();
     let mut expected_names = Vec::new();
@@ -100,7 +106,8 @@ fn mixed_batch_preserves_submission_order_across_workers() {
 
 #[test]
 fn portfolio_routing_respects_backend_capacity() {
-    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64, ..Default::default() });
     // A 5-table left-deep join-order encoding is 25 variables: beyond every
     // gate-based route (<= 20 qubits) but fine for annealing/classical.
     let mut rng = StdRng::seed_from_u64(41);
@@ -148,7 +155,8 @@ fn presolve_and_decompose_match_undecomposed_energy_on_mqo() {
 
 #[test]
 fn runtime_report_accounts_for_every_job() {
-    let service = SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    let service =
+        SolverService::new(ServiceConfig { workers: 2, cache_capacity: 64, ..Default::default() });
     let batch: Vec<JobSpec> =
         (0..6).map(|i| JobSpec::new(mqo(60 + i), 600 + i).with_options(repair())).collect();
     let outcomes = service.run_batch(batch);
