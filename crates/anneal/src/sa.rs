@@ -24,6 +24,7 @@
 
 use qdm_qubo::compiled::{Coloring, CompiledQubo};
 use qdm_qubo::model::QuboModel;
+use qdm_qubo::probe::{NoProbe, RestartStats, StageProbe};
 use qdm_qubo::solve::SolveResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -95,7 +96,9 @@ pub const COLORED_SWEEP_MIN_VARS: usize = 512;
 /// One annealing restart on the compiled form: random init, Metropolis
 /// sweeps with incremental local fields, best-seen tracking. Reuses the
 /// caller's `x` / `local` buffers; updates `best` / `best_bits` in place and
-/// returns the number of energy evaluations performed.
+/// returns `(evaluations, accepted_flips)`. The acceptance counter is a
+/// plain local increment on a branch already taken, so profiling adds no
+/// RNG draws and no extra work to the hot loop.
 fn anneal_restart(
     c: &CompiledQubo,
     params: &SaParams,
@@ -104,9 +107,10 @@ fn anneal_restart(
     local: &mut [f64],
     best: &mut f64,
     best_bits: &mut [bool],
-) -> u64 {
+) -> (u64, u64) {
     let n = c.n_vars();
     let mut evals: u64 = 1; // the full energy evaluation below
+    let mut accepted: u64 = 0;
     for b in x.iter_mut() {
         *b = rng.random::<bool>();
     }
@@ -121,6 +125,7 @@ fn anneal_restart(
             let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp();
             evals += 1;
             if accept {
+                accepted += 1;
                 energy += c.apply_flip(x, local, i);
                 if energy < *best {
                     *best = energy;
@@ -129,7 +134,7 @@ fn anneal_restart(
             }
         }
     }
-    evals
+    (evals, accepted)
 }
 
 /// Runs simulated annealing and returns the best assignment found.
@@ -150,6 +155,19 @@ pub fn simulated_annealing_compiled(
     params: &SaParams,
     rng: &mut impl Rng,
 ) -> SolveResult {
+    simulated_annealing_probed(c, params, rng, &NoProbe)
+}
+
+/// [`simulated_annealing_compiled`] reporting per-restart counters (sweeps,
+/// proposals, accepted flips) to `probe`. The RNG stream and result are
+/// bit-identical to the unprobed entry point: profiling only reads local
+/// counters the hot loop already maintains.
+pub fn simulated_annealing_probed(
+    c: &CompiledQubo,
+    params: &SaParams,
+    rng: &mut impl Rng,
+    probe: &dyn StageProbe,
+) -> SolveResult {
     let start = Instant::now();
     let n = c.n_vars();
     let mut best_bits = vec![false; n];
@@ -158,8 +176,17 @@ pub fn simulated_annealing_compiled(
 
     let mut x = vec![false; n];
     let mut local = vec![0.0f64; n];
-    for _ in 0..params.restarts.max(1) {
-        evals += anneal_restart(c, params, rng, &mut x, &mut local, &mut best, &mut best_bits);
+    for r in 0..params.restarts.max(1) {
+        let (restart_evals, accepted) =
+            anneal_restart(c, params, rng, &mut x, &mut local, &mut best, &mut best_bits);
+        evals += restart_evals;
+        probe.on_restart(&RestartStats {
+            solver: "sa",
+            restart: r as u64,
+            sweeps: params.sweeps.max(1) as u64,
+            proposals: restart_evals - 1,
+            accepted,
+        });
     }
     SolveResult {
         bits: best_bits,
@@ -216,6 +243,20 @@ pub fn simulated_annealing_parallel_compiled(
     seed: u64,
     threads: usize,
 ) -> SolveResult {
+    simulated_annealing_parallel_probed(c, params, seed, threads, &NoProbe)
+}
+
+/// [`simulated_annealing_parallel_compiled`] reporting per-restart counters
+/// to `probe`. Restarts run on scoped worker threads, so the probe sees
+/// events concurrently and in no guaranteed order; the solve result stays
+/// bit-identical to the unprobed entry point at any thread count.
+pub fn simulated_annealing_parallel_probed(
+    c: &CompiledQubo,
+    params: &SaParams,
+    seed: u64,
+    threads: usize,
+    probe: &(dyn StageProbe + '_),
+) -> SolveResult {
     let start = Instant::now();
     let n = c.n_vars();
     let restarts = params.restarts.max(1);
@@ -239,8 +280,16 @@ pub fn simulated_annealing_parallel_compiled(
         let mut evals: u64 = 0;
         for r in (k * chunk)..((k + 1) * chunk).min(restarts) {
             let mut rng = StdRng::seed_from_u64(restart_seed(seed, r as u64));
-            evals +=
+            let (restart_evals, accepted) =
                 anneal_restart(c, params, &mut rng, &mut x, &mut local, &mut best, &mut best_bits);
+            evals += restart_evals;
+            probe.on_restart(&RestartStats {
+                solver: "sa-parallel",
+                restart: r as u64,
+                sweeps: params.sweeps.max(1) as u64,
+                proposals: restart_evals - 1,
+                accepted,
+            });
         }
         (best_bits, best, evals)
     };
@@ -351,6 +400,19 @@ pub fn simulated_annealing_colored(
     seed: u64,
     threads: usize,
 ) -> SolveResult {
+    simulated_annealing_colored_probed(c, params, seed, threads, &NoProbe)
+}
+
+/// [`simulated_annealing_colored`] reporting per-restart counters to
+/// `probe`. The probe fires once per restart from the calling thread; the
+/// solve result stays bit-identical to the unprobed entry point.
+pub fn simulated_annealing_colored_probed(
+    c: &CompiledQubo,
+    params: &SaParams,
+    seed: u64,
+    threads: usize,
+    probe: &dyn StageProbe,
+) -> SolveResult {
     let start = Instant::now();
     let n = c.n_vars();
     let coloring: Coloring = c.greedy_coloring();
@@ -371,6 +433,8 @@ pub fn simulated_annealing_colored(
         }
         let mut energy = c.energy(&x);
         evals += 1;
+        let mut proposals: u64 = 0;
+        let mut accepted: u64 = 0;
         for sweep in 0..total_sweeps {
             let frac = sweep as f64 / total_sweeps as f64;
             let t = params.schedule.temperature(params.t_start, params.t_end, frac).max(1e-12);
@@ -381,12 +445,14 @@ pub fn simulated_annealing_colored(
                 }
                 decide_class(c, &x, class, &u[..len], t, threads, &mut decisions[..len]);
                 evals += len as u64;
+                proposals += len as u64;
                 // Class members are pairwise non-adjacent: each accepted
                 // delta remains the exact energy difference even after
                 // earlier members of the class flipped.
                 for (k, &i) in class.iter().enumerate() {
                     let (delta, accept) = decisions[k];
                     if accept {
+                        accepted += 1;
                         x[i as usize] = !x[i as usize];
                         energy += delta;
                         if energy < best {
@@ -397,6 +463,13 @@ pub fn simulated_annealing_colored(
                 }
             }
         }
+        probe.on_restart(&RestartStats {
+            solver: "sa-colored",
+            restart: r as u64,
+            sweeps: total_sweeps as u64,
+            proposals,
+            accepted,
+        });
     }
     SolveResult {
         bits: best_bits,
@@ -519,6 +592,55 @@ mod tests {
             );
             assert!((q.energy(&res.bits) - res.energy).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn probed_sa_matches_unprobed_and_counts_restarts() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Collect(Mutex<Vec<RestartStats>>);
+        impl StageProbe for Collect {
+            fn on_restart(&self, stats: &RestartStats) {
+                self.0.lock().unwrap().push(*stats);
+            }
+        }
+
+        let q = hard_model(2, 18);
+        let c = q.compile();
+        let params = SaParams::scaled_to(&q);
+        let mut rng1 = StdRng::seed_from_u64(8);
+        let mut rng2 = StdRng::seed_from_u64(8);
+        let plain = simulated_annealing_compiled(&c, &params, &mut rng1);
+        let probe = Collect::default();
+        let probed = simulated_annealing_probed(&c, &params, &mut rng2, &probe);
+        assert_eq!(plain.bits, probed.bits, "probing must not perturb the anneal");
+        assert_eq!(plain.energy, probed.energy);
+        assert_eq!(plain.evaluations, probed.evaluations);
+
+        let stats = probe.0.lock().unwrap().clone();
+        assert_eq!(stats.len(), params.restarts);
+        for (r, s) in stats.iter().enumerate() {
+            assert_eq!(s.solver, "sa");
+            assert_eq!(s.restart, r as u64);
+            assert_eq!(s.sweeps, params.sweeps as u64);
+            assert_eq!(s.proposals, (params.sweeps * 18) as u64);
+            assert!(s.accepted <= s.proposals);
+            assert!(s.accepted > 0, "a hot anneal accepts something");
+        }
+
+        // The parallel and colored variants report through the same hook.
+        let par_probe = Collect::default();
+        let par = simulated_annealing_parallel_probed(&c, &params, 99, 2, &par_probe);
+        assert_eq!(par.bits, simulated_annealing_parallel_compiled(&c, &params, 99, 2).bits);
+        assert_eq!(par_probe.0.lock().unwrap().len(), params.restarts);
+
+        let col_probe = Collect::default();
+        let col = simulated_annealing_colored_probed(&c, &params, 99, 2, &col_probe);
+        assert_eq!(col.bits, simulated_annealing_colored(&c, &params, 99, 2).bits);
+        let col_stats = col_probe.0.lock().unwrap().clone();
+        assert_eq!(col_stats.len(), params.restarts);
+        assert!(col_stats.iter().all(|s| s.solver == "sa-colored"));
     }
 
     #[test]

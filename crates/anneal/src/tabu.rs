@@ -4,6 +4,7 @@
 
 use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
+use qdm_qubo::probe::{NoProbe, RestartStats, StageProbe};
 use qdm_qubo::solve::SolveResult;
 use rand::Rng;
 use std::time::Instant;
@@ -39,6 +40,20 @@ pub fn tabu_search_compiled(
     params: &TabuParams,
     rng: &mut impl Rng,
 ) -> SolveResult {
+    tabu_search_probed(c, params, rng, &NoProbe)
+}
+
+/// [`tabu_search_compiled`] reporting per-restart counters to `probe`:
+/// iterations run before convergence (as `sweeps`), candidate scans (as
+/// `proposals`, one per variable per iteration), and moves taken (as
+/// `accepted`). The RNG stream and result are bit-identical to the unprobed
+/// entry point.
+pub fn tabu_search_probed(
+    c: &CompiledQubo,
+    params: &TabuParams,
+    rng: &mut impl Rng,
+    probe: &dyn StageProbe,
+) -> SolveResult {
     let start = Instant::now();
     let n = c.n_vars();
     let mut best_bits = vec![false; n];
@@ -58,7 +73,7 @@ pub fn tabu_search_compiled(
     let mut x = vec![false; n];
     let mut local = vec![0.0f64; n];
     let mut tabu_until = vec![0usize; n];
-    for _ in 0..params.restarts.max(1) {
+    for restart in 0..params.restarts.max(1) {
         for b in &mut x {
             *b = rng.random::<bool>();
         }
@@ -66,7 +81,10 @@ pub fn tabu_search_compiled(
         evals += 1;
         c.local_fields_into(&x, &mut local);
         tabu_until.fill(0);
+        let mut iters_run: u64 = 0;
+        let mut moves: u64 = 0;
         for iter in 1..=params.iterations {
+            iters_run += 1;
             // Select the best admissible flip.
             let mut chosen = usize::MAX;
             let mut chosen_delta = f64::INFINITY;
@@ -84,12 +102,20 @@ pub fn tabu_search_compiled(
             }
             energy += c.apply_flip(&mut x, &mut local, chosen);
             evals += 1;
+            moves += 1;
             tabu_until[chosen] = iter + params.tenure;
             if energy < best {
                 best = energy;
                 best_bits.copy_from_slice(&x);
             }
         }
+        probe.on_restart(&RestartStats {
+            solver: "tabu",
+            restart: restart as u64,
+            sweeps: iters_run,
+            proposals: iters_run * n as u64,
+            accepted: moves,
+        });
     }
     SolveResult {
         bits: best_bits,
@@ -143,6 +169,41 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let res = tabu_search(&q, &TabuParams::default(), &mut rng);
         assert!((q.energy(&res.bits) - res.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probed_tabu_matches_unprobed_and_reports_restarts() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Collect(Mutex<Vec<RestartStats>>);
+        impl StageProbe for Collect {
+            fn on_restart(&self, stats: &RestartStats) {
+                self.0.lock().unwrap().push(*stats);
+            }
+        }
+
+        let q = random_model(11, 16);
+        let c = q.compile();
+        let params = TabuParams::default();
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let plain = tabu_search_compiled(&c, &params, &mut rng1);
+        let probe = Collect::default();
+        let probed = tabu_search_probed(&c, &params, &mut rng2, &probe);
+        assert_eq!(plain.bits, probed.bits, "probing must not perturb the search");
+        assert_eq!(plain.energy, probed.energy);
+        assert_eq!(plain.evaluations, probed.evaluations);
+
+        let stats = probe.0.lock().unwrap().clone();
+        assert_eq!(stats.len(), params.restarts);
+        for (r, s) in stats.iter().enumerate() {
+            assert_eq!(s.solver, "tabu");
+            assert_eq!(s.restart, r as u64);
+            assert!(s.sweeps >= 1 && s.sweeps <= params.iterations as u64);
+            assert_eq!(s.proposals, s.sweeps * 16);
+            assert!(s.accepted <= s.sweeps, "at most one move per iteration");
+        }
     }
 
     #[test]

@@ -20,15 +20,24 @@
 //! of pops. The printed `runtime/fairness` lines report the Low-lane p99
 //! (tail) latency under both policies and the tail-cut ratio.
 //!
+//! The `runtime/observability` group measures what the default-on tracing
+//! substrate costs: the same cache-miss batch through two otherwise
+//! identical services, one with the ring-buffer `TraceSink` and stage
+//! probes active (`TraceConfig::Ring`) and one with
+//! `TraceConfig::Disabled`. Samples alternate between the two services so
+//! machine drift hits both equally; the printed `runtime/observability`
+//! line reports the median overhead, gated below 5%.
+//!
 //! The `runtime/compile_once` group measures the compile-amortization win
 //! of the shared-`CompiledQubo` pipeline on the 256-var/5% acceptance
 //! instance — what a cache-miss 4-backend race used to pay in compiles
 //! (one per backend plus one for fingerprinting) versus the single shared
 //! compile it pays now — plus race-vs-best-single latency, and writes the
-//! `BENCH_runtime.json` baseline (including the fairness numbers when that
-//! group ran) at the workspace root. CI runs both via `cargo bench --bench
-//! bench_runtime -- runtime/fairness runtime/compile_once` (the criterion
-//! shim treats positional args as id filters).
+//! `BENCH_runtime.json` baseline (including the fairness and observability
+//! numbers when those groups ran) at the workspace root. CI runs the smoke
+//! set via `cargo bench --bench bench_runtime -- runtime/fairness
+//! runtime/observability runtime/compile_once` (the criterion shim treats
+//! positional args as id filters).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdm_anneal::sa::SaParams;
@@ -81,7 +90,7 @@ fn run_pooled(service: &SolverService, problems: &[Arc<MqoProblem>]) {
         .map(|p| {
             let seed = SEED.fetch_add(1, Ordering::Relaxed);
             JobSpec::new(Arc::clone(p) as SharedProblem, seed)
-                .with_options(options)
+                .with_options(options.clone())
                 .on_backend("simulated-annealing")
         })
         .collect();
@@ -142,7 +151,7 @@ fn run_streaming(service: &SolverService, problems: &[Arc<MqoProblem>]) {
     for problem in problems {
         let seed = SEED.fetch_add(1, Ordering::Relaxed);
         let spec = JobSpec::new(Arc::clone(problem) as SharedProblem, seed)
-            .with_options(options)
+            .with_options(options.clone())
             .on_backend("simulated-annealing");
         session.submit(spec);
     }
@@ -162,7 +171,7 @@ fn run_batched(service: &SolverService, problems: &[Arc<MqoProblem>]) {
         .map(|p| {
             let seed = SEED.fetch_add(1, Ordering::Relaxed);
             JobSpec::new(Arc::clone(p) as SharedProblem, seed)
-                .with_options(options)
+                .with_options(options.clone())
                 .on_backend("simulated-annealing")
         })
         .collect();
@@ -225,7 +234,7 @@ fn bench_cache_hit_path(c: &mut Criterion) {
     // Warm the cache once with a fixed seed, then measure pure hits.
     let batch: Vec<JobSpec> = problems
         .iter()
-        .map(|p| JobSpec::new(Arc::clone(p) as SharedProblem, 42).with_options(options))
+        .map(|p| JobSpec::new(Arc::clone(p) as SharedProblem, 42).with_options(options.clone()))
         .collect();
     let warm = service.run_batch(batch.clone());
     assert!(warm.iter().all(|o| o.is_ok()));
@@ -274,7 +283,7 @@ fn fairness_registry() -> SolverRegistry {
 fn starved_mix(policy: SchedulerPolicy, problems: &[Arc<MqoProblem>]) -> Vec<f64> {
     let service = SolverService::with_registry(
         fairness_registry(),
-        ServiceConfig { workers: 1, cache_capacity: 8, scheduling: policy },
+        ServiceConfig { workers: 1, cache_capacity: 8, scheduling: policy, ..Default::default() },
     );
     let options = opts();
     let high =
@@ -283,7 +292,7 @@ fn starved_mix(policy: SchedulerPolicy, problems: &[Arc<MqoProblem>]) -> Vec<f64
         service.session(SessionConfig { queue_capacity: FAIR_LOW_JOBS + 1, ..Default::default() });
     let spec = |p: &Arc<MqoProblem>, priority: JobPriority| {
         JobSpec::new(Arc::clone(p) as SharedProblem, SEED.fetch_add(1, Ordering::Relaxed))
-            .with_options(options)
+            .with_options(options.clone())
             .with_priority(priority)
             .on_backend("simulated-annealing")
     };
@@ -364,6 +373,92 @@ fn bench_fairness(c: &mut Criterion) {
         numbers.fair_mean * 1e3,
     );
     let _ = FAIRNESS.set(numbers);
+}
+
+/// Jobs per measured batch in the observability-overhead comparison.
+const OBS_JOBS: usize = 8;
+
+/// Measured tracing overhead of one run, stashed by `bench_observability`
+/// for `bench_compile_once`'s JSON writer.
+struct ObservabilityNumbers {
+    traced_seconds: f64,
+    disabled_seconds: f64,
+    overhead_pct: f64,
+}
+
+static OBSERVABILITY: OnceLock<ObservabilityNumbers> = OnceLock::new();
+
+/// A service over the 4-backend race registry with the given trace
+/// configuration; everything else identical between the two under test.
+fn obs_service(q: &QuboModel, tracing: TraceConfig) -> SolverService {
+    SolverService::with_registry(
+        race_registry(q),
+        ServiceConfig { workers: 2, cache_capacity: 8, tracing, ..Default::default() },
+    )
+}
+
+/// One cache-miss batch (fresh seeds) of millisecond-scale solves; the
+/// per-job work dwarfs the clock reads so the measured delta is the
+/// tracing substrate itself, not timer noise.
+fn obs_batch(service: &SolverService, problem: &SharedProblem) -> f64 {
+    let batch: Vec<JobSpec> = (0..OBS_JOBS)
+        .map(|_| {
+            JobSpec::new(Arc::clone(problem), SEED.fetch_add(1, Ordering::Relaxed))
+                .on_backend("simulated-annealing")
+        })
+        .collect();
+    let t0 = Instant::now();
+    let outcomes = service.run_batch(batch);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+    t0.elapsed().as_secs_f64()
+}
+
+fn bench_observability(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/observability") {
+        return;
+    }
+    let q = qdm_bench::exp_meta::dense_acceptance_instance();
+    let problem: SharedProblem = Arc::new(DenseProblem { qubo: q.clone() });
+    let traced = obs_service(&q, TraceConfig::Ring);
+    let disabled = obs_service(&q, TraceConfig::Disabled);
+
+    let mut group = c.benchmark_group("runtime/observability");
+    group.sample_size(10);
+    group.bench_function("traced_batch", |b| b.iter(|| obs_batch(&traced, &problem)));
+    group.bench_function("disabled_batch", |b| b.iter(|| obs_batch(&disabled, &problem)));
+    group.finish();
+
+    // Headline overhead: alternating reps so drift hits both services
+    // equally, medians so a single descheduled batch cannot tip the gate.
+    obs_batch(&traced, &problem);
+    obs_batch(&disabled, &problem);
+    let reps = 9;
+    let mut traced_samples = Vec::with_capacity(reps);
+    let mut disabled_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        traced_samples.push(obs_batch(&traced, &problem));
+        disabled_samples.push(obs_batch(&disabled, &problem));
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let traced_seconds = median(traced_samples);
+    let disabled_seconds = median(disabled_samples);
+    let overhead_pct = (traced_seconds - disabled_seconds) / disabled_seconds * 100.0;
+    println!(
+        "runtime/observability: {overhead_pct:+.2}% tracing overhead ({OBS_JOBS} jobs/batch, \
+         traced {:.3} ms vs disabled {:.3} ms medians over {reps} alternating reps)",
+        traced_seconds * 1e3,
+        disabled_seconds * 1e3,
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "tracing overhead gate: {overhead_pct:.2}% >= 5% (traced {traced_seconds:.6}s vs \
+         disabled {disabled_seconds:.6}s)"
+    );
+    let _ =
+        OBSERVABILITY.set(ObservabilityNumbers { traced_seconds, disabled_seconds, overhead_pct });
 }
 
 /// The dense instance wrapped as a service-submittable problem.
@@ -506,12 +601,22 @@ fn bench_compile_once(c: &mut Criterion) {
         ),
         None => String::new(),
     };
+    let observability = match OBSERVABILITY.get() {
+        Some(o) => format!(
+            ",\n  \"observability\": {{\"jobs_per_batch\": {OBS_JOBS}, \"batch_seconds\": {{\
+             \"traced\": {:.6}, \"disabled\": {:.6}}}, \"overhead_pct\": {:.2}, \
+             \"gate_pct\": 5.0}}",
+            o.traced_seconds, o.disabled_seconds, o.overhead_pct,
+        ),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"runtime\",\n  \"instance\": {{\"n_vars\": 256, \"density\": 0.05, \
          \"n_interactions\": {m}}},\n  \"race_k\": {RACE_K},\n  \"compile_ns\": {{\
          \"per_solve\": {per_stage_ns:.0}, \"compile_once\": {once_ns:.0}}},\n  \
          \"compile_amortization\": {amortization:.2},\n  \"latency_seconds\": {{\
-         \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}{fairness}\n}}\n",
+         \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}{fairness}\
+         {observability}\n}}\n",
         m = q.n_interactions(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
@@ -527,6 +632,7 @@ criterion_group!(
     bench_streaming_completions,
     bench_cache_hit_path,
     bench_fairness,
+    bench_observability,
     bench_compile_once
 );
 criterion_main!(benches);

@@ -11,9 +11,11 @@ use crate::problem::{Decoded, DmProblem};
 use crate::solver::QuboSolver;
 use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
-use qdm_qubo::presolve::presolve_with;
+use qdm_qubo::presolve::presolve_probed;
+use qdm_qubo::probe::{NoProbe, StageProbe};
 use rand::rngs::StdRng;
 use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scheduling priority of a job carrying these options.
@@ -34,7 +36,7 @@ pub enum JobPriority {
 }
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Clone, Default)]
 pub struct PipelineOptions {
     /// Fix dominated variables classically before solving.
     pub presolve: bool,
@@ -44,6 +46,23 @@ pub struct PipelineOptions {
     pub repair: bool,
     /// Queue priority (scheduling only; never affects the computed result).
     pub priority: JobPriority,
+    /// Optional stage profiling probe: presolve fixpoint rounds and solver
+    /// restart counters are reported through it when set. Observation only
+    /// — results are bit-identical with or without a probe — so, like
+    /// `priority`, it is excluded from result identity (cache keys).
+    pub probe: Option<Arc<dyn StageProbe>>,
+}
+
+impl std::fmt::Debug for PipelineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineOptions")
+            .field("presolve", &self.presolve)
+            .field("decompose", &self.decompose)
+            .field("repair", &self.repair)
+            .field("priority", &self.priority)
+            .field("probe", &self.probe.as_ref().map(|_| "<probe>"))
+            .finish()
+    }
 }
 
 /// Telemetry and results from one pipeline run.
@@ -173,7 +192,8 @@ pub fn prepare_pipeline<'a>(
         Vec<usize>,
         usize,
     ) = if options.presolve {
-        let p = presolve_with(qubo, compiled);
+        let probe: &dyn StageProbe = options.probe.as_deref().unwrap_or(&NoProbe);
+        let p = presolve_probed(qubo, compiled, probe);
         for &(g, v) in &p.fixed {
             base_bits[g] = v;
         }
@@ -229,17 +249,24 @@ pub fn run_prepared(
     let mut bits = prepared.base_bits.clone();
     let mut evaluations = 0u64;
 
-    // Stage 2b: solve.
+    // Stage 2b: solve. With a probe attached the solver's observed entry
+    // point reports restart counters through it; without one the plain
+    // compiled path runs — both produce bit-identical results.
+    let probe: Option<&dyn StageProbe> = options.probe.as_deref();
+    let solve = |c: &CompiledQubo, rng: &mut StdRng| match probe {
+        Some(p) => solver.solve_observed(c, rng, p),
+        None => solver.solve_compiled(c, rng),
+    };
     if let Some(comps) = &prepared.comps {
         for (sub_compiled, local_map) in comps {
-            let res = solver.solve_compiled(sub_compiled, rng);
+            let res = solve(sub_compiled, rng);
             evaluations += res.evaluations;
             for (local, &within_work) in local_map.iter().enumerate() {
                 bits[prepared.free_map[within_work]] = res.bits[local];
             }
         }
     } else {
-        let res = solver.solve_compiled(&prepared.work_compiled, rng);
+        let res = solve(&prepared.work_compiled, rng);
         evaluations += res.evaluations;
         for (local, &global) in prepared.free_map.iter().enumerate() {
             bits[global] = res.bits[local];

@@ -9,13 +9,15 @@ use qdm_algos::grover::durr_hoyer_minimum;
 use qdm_algos::qaoa::{qaoa_optimize, EnergyTable, QaoaParams};
 use qdm_algos::vqe::{vqe_optimize, VqeParams};
 use qdm_anneal::sa::{
-    simulated_annealing_colored, simulated_annealing_compiled,
-    simulated_annealing_parallel_compiled, SaParams, COLORED_SWEEP_MIN_VARS,
+    simulated_annealing_colored, simulated_annealing_colored_probed, simulated_annealing_compiled,
+    simulated_annealing_parallel_compiled, simulated_annealing_parallel_probed,
+    simulated_annealing_probed, SaParams, COLORED_SWEEP_MIN_VARS,
 };
 use qdm_anneal::sqa::{simulated_quantum_annealing_compiled, SqaParams};
-use qdm_anneal::tabu::{tabu_search_compiled, TabuParams};
+use qdm_anneal::tabu::{tabu_search_compiled, tabu_search_probed, TabuParams};
 use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::{bits_from_index, QuboModel};
+use qdm_qubo::probe::StageProbe;
 use qdm_qubo::solve::{
     solve_exact, solve_exact_compiled, solve_random_compiled, SolveResult, MAX_EXACT_VARS,
 };
@@ -62,6 +64,20 @@ pub trait QuboSolver: Send + Sync {
     fn solve(&self, q: &QuboModel, rng: &mut StdRng) -> SolveResult {
         self.solve_compiled(&q.compile(), rng)
     }
+    /// [`Self::solve_compiled`] reporting solver-internal progress (restart
+    /// counters, acceptance rates) to `probe`. The default ignores the probe
+    /// and delegates, so solvers without internal instrumentation still
+    /// satisfy the interface; instrumented solvers override this with a
+    /// probed run that is bit-identical to the unprobed one.
+    fn solve_observed(
+        &self,
+        c: &CompiledQubo,
+        rng: &mut StdRng,
+        probe: &dyn StageProbe,
+    ) -> SolveResult {
+        let _ = probe;
+        self.solve_compiled(c, rng)
+    }
 }
 
 /// Certified exact enumeration (classical).
@@ -103,6 +119,15 @@ impl QuboSolver for SaSolver {
     fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
         let params = self.params.unwrap_or_else(|| SaParams::scaled_to_compiled(c));
         simulated_annealing_compiled(c, &params, rng)
+    }
+    fn solve_observed(
+        &self,
+        c: &CompiledQubo,
+        rng: &mut StdRng,
+        probe: &dyn StageProbe,
+    ) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SaParams::scaled_to_compiled(c));
+        simulated_annealing_probed(c, &params, rng, probe)
     }
 }
 
@@ -151,6 +176,23 @@ impl QuboSolver for SaParallelSolver {
             simulated_annealing_parallel_compiled(c, &params, seed, threads)
         }
     }
+    fn solve_observed(
+        &self,
+        c: &CompiledQubo,
+        rng: &mut StdRng,
+        probe: &dyn StageProbe,
+    ) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SaParams::scaled_to_compiled(c));
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let seed = rng.next_u64();
+        if c.n_vars() >= COLORED_SWEEP_MIN_VARS {
+            simulated_annealing_colored_probed(c, &params, seed, threads, probe)
+        } else {
+            simulated_annealing_parallel_probed(c, &params, seed, threads, probe)
+        }
+    }
 }
 
 /// Simulated *quantum* annealing (path-integral transverse-field Monte
@@ -196,6 +238,14 @@ impl QuboSolver for TabuSolver {
     }
     fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
         tabu_search_compiled(c, &self.params.unwrap_or_default(), rng)
+    }
+    fn solve_observed(
+        &self,
+        c: &CompiledQubo,
+        rng: &mut StdRng,
+        probe: &dyn StageProbe,
+    ) -> SolveResult {
+        tabu_search_probed(c, &self.params.unwrap_or_default(), rng, probe)
     }
 }
 

@@ -14,7 +14,9 @@
 //!   weighted equality, implication, conflict);
 //! - [`solve`] — certified exact enumeration plus random/greedy baselines and
 //!   the shared [`solve::SolveResult`] telemetry record;
-//! - [`presolve`](mod@presolve) — first-order persistency variable fixing.
+//! - [`presolve`](mod@presolve) — first-order persistency variable fixing;
+//! - [`probe`] — stage profiling hooks ([`StageProbe`]) solver loops report
+//!   restart/round progress through.
 //!
 //! ```
 //! use qdm_qubo::prelude::*;
@@ -34,6 +36,7 @@ pub mod ising;
 pub mod model;
 pub mod penalty;
 pub mod presolve;
+pub mod probe;
 pub mod solve;
 
 /// Convenient re-exports of the most used items.
@@ -42,7 +45,8 @@ pub mod prelude {
     pub use crate::ising::IsingModel;
     pub use crate::model::{bits_from_index, index_from_bits, QuboModel};
     pub use crate::penalty;
-    pub use crate::presolve::{presolve, presolve_with, Presolved};
+    pub use crate::presolve::{presolve, presolve_probed, presolve_with, Presolved};
+    pub use crate::probe::{NoProbe, RestartStats, StageProbe, TeeProbe};
     pub use crate::solve::{
         solve_exact, solve_exact_compiled, solve_greedy_descent, solve_greedy_descent_compiled,
         solve_random, solve_random_compiled, SolveResult, MAX_EXACT_VARS,

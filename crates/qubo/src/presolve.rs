@@ -8,6 +8,7 @@
 
 use crate::compiled::CompiledQubo;
 use crate::model::QuboModel;
+use crate::probe::{NoProbe, StageProbe};
 
 /// Result of a presolve pass.
 #[derive(Debug, Clone)]
@@ -53,11 +54,24 @@ pub fn presolve(q: &QuboModel) -> Presolved {
 ///
 /// `compiled` must be the compilation of exactly `q`.
 pub fn presolve_with(q: &QuboModel, compiled: &CompiledQubo) -> Presolved {
+    presolve_probed(q, compiled, &NoProbe)
+}
+
+/// [`presolve_with`] reporting each fixpoint round to `probe` — round index
+/// and the number of variables fixed that round (the final, converged round
+/// reports 0). The probe fires once per round, outside the per-variable
+/// scan, so profiling adds no per-variable cost.
+pub fn presolve_probed(
+    q: &QuboModel,
+    compiled: &CompiledQubo,
+    probe: &dyn StageProbe,
+) -> Presolved {
     debug_assert_eq!(compiled.n_vars(), q.n_vars(), "compilation belongs to another model");
     let n = q.n_vars();
     let mut fixed: Vec<Option<bool>> = vec![None; n];
     let mut work = q.clone();
     let mut first_round = true;
+    let mut round: u64 = 0;
     loop {
         // One O(n + m) CSR compile per round replaces the per-row Vec
         // allocations of `neighbor_lists` (the first round reuses the
@@ -75,7 +89,7 @@ pub fn presolve_with(q: &QuboModel, compiled: &CompiledQubo) -> Presolved {
             recompiled = work.compile();
             &recompiled
         };
-        let mut changed = false;
+        let mut fixed_this_round: u64 = 0;
         for i in 0..n {
             if fixed[i].is_some() {
                 continue;
@@ -101,7 +115,7 @@ pub fn presolve_with(q: &QuboModel, compiled: &CompiledQubo) -> Presolved {
             };
             if let Some(v) = value {
                 fixed[i] = Some(v);
-                changed = true;
+                fixed_this_round += 1;
                 // Fold x_i = v into the model.
                 if v {
                     work.add_offset(work.linear(i));
@@ -120,7 +134,9 @@ pub fn presolve_with(q: &QuboModel, compiled: &CompiledQubo) -> Presolved {
                 work.add_linear(i, -l);
             }
         }
-        if !changed {
+        probe.on_presolve_round(round, fixed_this_round);
+        round += 1;
+        if fixed_this_round == 0 {
             break;
         }
     }
@@ -194,6 +210,37 @@ mod tests {
         let p = presolve(&q);
         assert_eq!(p.reduced.n_vars(), 2);
         assert!(p.fixed.is_empty());
+    }
+
+    #[test]
+    fn probed_presolve_reports_rounds_and_matches_unprobed() {
+        use crate::probe::StageProbe;
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Rounds(Mutex<Vec<(u64, u64)>>);
+        impl StageProbe for Rounds {
+            fn on_presolve_round(&self, round: u64, fixed: u64) {
+                self.0.lock().unwrap().push((round, fixed));
+            }
+        }
+
+        let mut q = QuboModel::new(3);
+        q.add_linear(0, 10.0).add_linear(1, -10.0).add_quadratic(0, 1, 1.0);
+        q.add_linear(2, 0.5).add_quadratic(1, 2, -2.0);
+        let compiled = q.compile();
+        let probe = Rounds::default();
+        let probed = presolve_probed(&q, &compiled, &probe);
+        let plain = presolve_with(&q, &compiled);
+        assert_eq!(probed.fixed, plain.fixed, "probing must not change the result");
+        let rounds = probe.0.lock().unwrap().clone();
+        assert!(rounds.len() >= 2, "at least one fixing round plus the converged round");
+        assert_eq!(rounds.last().unwrap().1, 0, "final round is the converged one");
+        let total: u64 = rounds.iter().map(|&(_, f)| f).sum();
+        assert_eq!(total as usize, probed.fixed.len());
+        for (i, &(round, _)) in rounds.iter().enumerate() {
+            assert_eq!(round, i as u64, "rounds are reported in order");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::metrics::Metrics;
 use crate::service::{JobError, JobOutcome, Shared};
 use crate::submit::SessionCore;
+use crate::trace::{JobTrace, Span, Stage, StageStats, TraceOutcome};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// One finished job as streamed by
@@ -214,6 +215,28 @@ impl JobHandle {
             }
             self.shared.metrics.on_dequeue();
             self.session.on_dequeue();
+            // A queue-removed job never reaches a worker, so its trace is
+            // recorded here: just the queue-wait span, outcome `cancelled`.
+            if let Some(sink) = self.shared.sink.as_ref() {
+                sink.record(JobTrace {
+                    job_id: job.id,
+                    session: job.session.id(),
+                    problem: job.spec.problem.name(),
+                    lane: job.spec.options.priority,
+                    fingerprint: 0,
+                    seed: job.spec.seed,
+                    outcome: TraceOutcome::Cancelled,
+                    backend: None,
+                    spans: vec![Span {
+                        stage: Stage::Queued,
+                        backend: None,
+                        winner: false,
+                        start_ns: job.queued_ns,
+                        end_ns: self.shared.now_ns(),
+                        stats: StageStats::default(),
+                    }],
+                });
+            }
             let delivered = job.slot.resolve(Err(JobError::Cancelled), &self.shared.metrics);
             self.session.on_complete(Completion { id: self.id, outcome: delivered });
             return CancelStatus::Cancelled;

@@ -54,9 +54,18 @@
 //!   ranking) each job by size and observed latency/energy-quality
 //!   telemetry, including per-backend race entries/wins;
 //! - [`metrics`] — counters (including queue depth, backpressure,
-//!   cancellations, compile time saved by sharing, and race wins), a
-//!   log-scale latency histogram, and the [`metrics::RuntimeReport`]
-//!   snapshot.
+//!   cancellations, compile time saved by sharing, and race wins),
+//!   log-scale latency histograms (solve time and caller-observed serve
+//!   time) with quantile estimation, and the [`metrics::RuntimeReport`]
+//!   snapshot with Prometheus text exposition
+//!   ([`metrics::RuntimeReport::render_prometheus`]);
+//! - [`trace`] — structured per-job span timelines
+//!   (`queued → compiled → presolved → backend solve → served`, with race
+//!   participants as winner/loser child spans) recorded into a bounded
+//!   drop-counting ring ([`trace::TraceRing`]) and exported as Chrome
+//!   `trace_event` JSON via [`service::SolverService::export_traces`];
+//!   solver-internal stage counters flow in through
+//!   [`qdm_qubo::probe::StageProbe`] hooks.
 //!
 //! The synchronous [`service::SolverService::run_batch`] /
 //! [`service::SolverService::run`] survive as thin compatibility wrappers
@@ -81,6 +90,7 @@ pub mod registry;
 pub mod scheduler;
 pub mod service;
 pub mod submit;
+pub mod trace;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
@@ -95,6 +105,10 @@ pub mod prelude {
         SolverService,
     };
     pub use crate::submit::{Completions, Session, SessionConfig, SubmitError};
+    pub use crate::trace::{
+        JobTrace, Span, Stage, StageProfile, StageStats, TraceConfig, TraceOutcome, TraceRing,
+        TraceSink, DEFAULT_TRACE_CAPACITY,
+    };
 }
 
 pub use prelude::*;

@@ -1,6 +1,10 @@
-//! Runtime telemetry: lock-free counters, a log-scale latency histogram,
-//! and the [`RuntimeReport`] snapshot the service surfaces.
+//! Runtime telemetry: lock-free counters, log-scale latency histograms
+//! (backend solve time and caller-observed serve time), quantile
+//! estimation, and the [`RuntimeReport`] snapshot the service surfaces —
+//! renderable as Prometheus text exposition via
+//! [`RuntimeReport::render_prometheus`].
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -8,6 +12,39 @@ use std::sync::Mutex;
 /// wall time fell in `[2^i, 2^(i+1))` microseconds; the last bucket is
 /// open-ended.
 pub const LATENCY_BUCKETS: usize = 24;
+
+fn latency_bucket(seconds: f64) -> (u64, usize) {
+    let micros = (seconds * 1e6).max(0.0) as u64;
+    let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+    (micros, bucket)
+}
+
+/// Estimates quantile `q` (in `[0, 1]`) from a log-scale latency histogram,
+/// in **seconds**. Returns the conservative upper bound `2^(i+1)` µs of the
+/// bucket holding the rank-`⌈q·n⌉` observation; the open-ended last bucket
+/// reports its lower bound `2^i` µs (there is no finite upper bound).
+/// `None` when the histogram is empty.
+pub fn histogram_quantile(histogram: &[u64; LATENCY_BUCKETS], q: f64) -> Option<f64> {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &count) in histogram.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            let micros = if i == LATENCY_BUCKETS - 1 {
+                1u64 << i // open-ended: lower bound is all we can say
+            } else {
+                1u64 << (i + 1)
+            };
+            return Some(micros as f64 / 1e6);
+        }
+    }
+    unreachable!("rank <= total, so the scan always lands in a bucket")
+}
 
 /// Thread-safe runtime counters, updated by workers as jobs complete.
 #[derive(Default)]
@@ -24,11 +61,13 @@ pub struct Metrics {
     backpressure_rejections: AtomicU64,
     backpressure_waits: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
+    served_latency: [AtomicU64; LATENCY_BUCKETS],
     solve_seconds_total_micros: AtomicU64,
+    served_seconds_total_micros: AtomicU64,
     compile_saved_nanos: AtomicU64,
     race_jobs: AtomicU64,
-    per_backend: Mutex<Vec<(String, u64)>>,
-    race_wins: Mutex<Vec<(String, u64)>>,
+    per_backend: Mutex<BTreeMap<String, u64>>,
+    race_wins: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Metrics {
@@ -53,15 +92,22 @@ impl Metrics {
     pub fn on_solved(&self, backend: &str, seconds: f64) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
-        let micros = (seconds * 1e6).max(0.0) as u64;
+        let (micros, bucket) = latency_bucket(seconds);
         self.solve_seconds_total_micros.fetch_add(micros, Ordering::Relaxed);
-        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
-        let mut per = self.per_backend.lock().expect("metrics lock");
-        match per.iter_mut().find(|(name, _)| name == backend) {
-            Some((_, count)) => *count += 1,
-            None => per.push((backend.to_string(), 1)),
-        }
+        *self.per_backend.lock().expect("metrics lock").entry(backend.to_string()).or_insert(0) +=
+            1;
+    }
+
+    /// Records the end-to-end latency a *caller* observed for one delivered
+    /// job: enqueue → result, regardless of how it resolved (solved, cache
+    /// hit, or coalesced). The solve histogram only sees cache misses, so
+    /// its quantiles describe backend cost; this series describes what
+    /// callers actually wait.
+    pub fn on_served(&self, seconds: f64) {
+        let (micros, bucket) = latency_bucket(seconds);
+        self.served_seconds_total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.served_latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a job that could not be placed on any backend.
@@ -159,19 +205,28 @@ impl Metrics {
     /// Records a completed portfolio race and its winning backend.
     pub fn on_race(&self, winner: &str) {
         self.race_jobs.fetch_add(1, Ordering::Relaxed);
-        let mut wins = self.race_wins.lock().expect("metrics lock");
-        match wins.iter_mut().find(|(name, _)| name == winner) {
-            Some((_, count)) => *count += 1,
-            None => wins.push((winner.to_string(), 1)),
-        }
+        *self.race_wins.lock().expect("metrics lock").entry(winner.to_string()).or_insert(0) += 1;
     }
 
-    /// Snapshots every counter into an immutable report.
+    /// Snapshots every counter into an immutable report. Map-like fields
+    /// come out sorted by backend name, so equal states always produce
+    /// equal reports. The portfolio-telemetry and trace fields are empty
+    /// here — [`crate::service::SolverService::report`] fills them in.
     pub fn report(&self) -> RuntimeReport {
-        let mut per_backend = self.per_backend.lock().expect("metrics lock").clone();
-        per_backend.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let mut race_wins = self.race_wins.lock().expect("metrics lock").clone();
-        race_wins.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let per_backend: Vec<(String, u64)> = self
+            .per_backend
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, &count)| (name.clone(), count))
+            .collect();
+        let race_wins: Vec<(String, u64)> = self
+            .race_wins
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, &count)| (name.clone(), count))
+            .collect();
         RuntimeReport {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
@@ -186,13 +241,40 @@ impl Metrics {
             backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
             solve_seconds_total: self.solve_seconds_total_micros.load(Ordering::Relaxed) as f64
                 / 1e6,
+            served_seconds_total: self.served_seconds_total_micros.load(Ordering::Relaxed) as f64
+                / 1e6,
             compile_seconds_saved: self.compile_saved_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             race_jobs: self.race_jobs.load(Ordering::Relaxed),
             latency_histogram: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
+            served_latency_histogram: std::array::from_fn(|i| {
+                self.served_latency[i].load(Ordering::Relaxed)
+            }),
             per_backend,
             race_wins,
+            backend_telemetry: Vec::new(),
+            traces_recorded: 0,
+            traces_dropped: 0,
         }
     }
+}
+
+/// Per-backend portfolio telemetry as exposed in [`RuntimeReport`]: the
+/// EWMA latency/quality estimates the adaptive router actually routes on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendTelemetry {
+    /// Backend name.
+    pub backend: String,
+    /// Solve observations folded into the EWMAs.
+    pub observations: u64,
+    /// Exponentially-weighted moving average solve latency, seconds.
+    pub ewma_latency_seconds: f64,
+    /// Exponentially-weighted moving average solution quality (lower is
+    /// better; infeasible results are penalized).
+    pub ewma_quality: f64,
+    /// Races this backend was entered into.
+    pub race_entries: u64,
+    /// Races this backend won.
+    pub race_wins: u64,
 }
 
 /// An immutable snapshot of the service's counters.
@@ -228,6 +310,9 @@ pub struct RuntimeReport {
     /// Total backend wall time spent solving (cache hits cost none; race
     /// jobs include every participant's time, not just the winner's).
     pub solve_seconds_total: f64,
+    /// Total caller-observed enqueue→result time across delivered jobs
+    /// (cache hits and coalesced followers included).
+    pub served_seconds_total: f64,
     /// Compile time avoided by sharing one compilation per job across
     /// fingerprinting and every dispatched backend (races amortize it k
     /// ways). See [`Metrics::on_compile_shared`].
@@ -235,12 +320,27 @@ pub struct RuntimeReport {
     /// Portfolio-race jobs completed ([`crate::service::BackendChoice::Race`]).
     pub race_jobs: u64,
     /// Solve-latency histogram; bucket `i` counts solves in
-    /// `[2^i, 2^(i+1))` µs.
+    /// `[2^i, 2^(i+1))` µs. Cache hits and coalesced followers are *not* in
+    /// here — see [`Self::served_latency_histogram`].
     pub latency_histogram: [u64; LATENCY_BUCKETS],
-    /// `(backend, jobs solved)` sorted by count descending.
+    /// Caller-observed serve-latency histogram (same bucketing): one entry
+    /// per delivered job — solved, cache hit, or coalesced — measuring
+    /// enqueue→result, so its p99 reflects what callers actually wait.
+    pub served_latency_histogram: [u64; LATENCY_BUCKETS],
+    /// `(backend, jobs solved)` sorted by backend name.
     pub per_backend: Vec<(String, u64)>,
-    /// `(backend, races won)` sorted by wins descending.
+    /// `(backend, races won)` sorted by backend name.
     pub race_wins: Vec<(String, u64)>,
+    /// Per-backend EWMA latency/quality telemetry from the portfolio
+    /// router, sorted by backend name; backends with zero observations are
+    /// omitted. Empty on bare [`Metrics::report`] snapshots — populated by
+    /// [`crate::service::SolverService::report`].
+    pub backend_telemetry: Vec<BackendTelemetry>,
+    /// Job traces recorded over the service's lifetime (retained or
+    /// dropped). Zero on bare [`Metrics::report`] snapshots.
+    pub traces_recorded: u64,
+    /// Job traces lost to ring wraparound or slot contention.
+    pub traces_dropped: u64,
 }
 
 impl RuntimeReport {
@@ -253,6 +353,177 @@ impl RuntimeReport {
             self.cache_hits as f64 / answered as f64
         }
     }
+
+    /// Estimated solve-latency quantile in seconds (e.g. `0.5` → p50,
+    /// `0.99` → p99) from [`Self::latency_histogram`]; `None` when nothing
+    /// has been solved. See [`histogram_quantile`] for bound semantics.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        histogram_quantile(&self.latency_histogram, q)
+    }
+
+    /// Estimated caller-observed serve-latency quantile in seconds from
+    /// [`Self::served_latency_histogram`]; `None` when nothing has been
+    /// delivered.
+    pub fn served_latency_quantile(&self, q: f64) -> Option<f64> {
+        histogram_quantile(&self.served_latency_histogram, q)
+    }
+
+    /// Renders the report in Prometheus text exposition format (version
+    /// 0.0.4): every counter as a `qdm_`-prefixed series with `# HELP` /
+    /// `# TYPE` headers, both latency histograms as native cumulative
+    /// `_bucket{le="..."}` series in seconds, per-backend job/win counters
+    /// as labelled series, and the portfolio's per-backend EWMA
+    /// latency/quality gauges.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, value: f64| {
+            out.push_str(&format!(
+                "# HELP qdm_{name} {help}\n# TYPE qdm_{name} counter\nqdm_{name} {value}\n"
+            ));
+        };
+        counter(
+            "jobs_submitted_total",
+            "Jobs accepted into the queue.",
+            self.jobs_submitted as f64,
+        );
+        counter(
+            "jobs_completed_total",
+            "Jobs answered (solved or served from cache).",
+            self.jobs_completed as f64,
+        );
+        counter(
+            "jobs_failed_total",
+            "Jobs that failed routing (no eligible backend).",
+            self.jobs_failed as f64,
+        );
+        counter(
+            "jobs_cancelled_total",
+            "Cancellations that took effect.",
+            self.jobs_cancelled as f64,
+        );
+        counter(
+            "jobs_coalesced_total",
+            "Jobs coalesced onto a concurrent in-flight duplicate.",
+            self.jobs_coalesced as f64,
+        );
+        counter("cache_hits_total", "Jobs served from the result cache.", self.cache_hits as f64);
+        counter("cache_misses_total", "Jobs that had to be solved.", self.cache_misses as f64);
+        counter(
+            "backpressure_rejections_total",
+            "try_submit calls rejected by a full session queue.",
+            self.backpressure_rejections as f64,
+        );
+        counter(
+            "backpressure_waits_total",
+            "Blocking submit calls that waited for queue space.",
+            self.backpressure_waits as f64,
+        );
+        counter("race_jobs_total", "Portfolio-race jobs completed.", self.race_jobs as f64);
+        counter(
+            "compile_seconds_saved_total",
+            "Compile time avoided by compile-once sharing.",
+            self.compile_seconds_saved,
+        );
+        counter(
+            "traces_recorded_total",
+            "Job traces recorded (retained or dropped).",
+            self.traces_recorded as f64,
+        );
+        counter(
+            "traces_dropped_total",
+            "Job traces lost to ring wraparound or slot contention.",
+            self.traces_dropped as f64,
+        );
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            out.push_str(&format!(
+                "# HELP qdm_{name} {help}\n# TYPE qdm_{name} gauge\nqdm_{name} {value}\n"
+            ));
+        };
+        gauge(
+            "queue_depth",
+            "Jobs sitting in the service queue right now.",
+            self.queue_depth as f64,
+        );
+        gauge("queue_depth_peak", "Deepest the queue has ever been.", self.queue_depth_peak as f64);
+
+        render_prom_histogram(
+            &mut out,
+            "solve_latency_seconds",
+            "Backend solve wall time per cache-missing job.",
+            &self.latency_histogram,
+            self.solve_seconds_total,
+        );
+        render_prom_histogram(
+            &mut out,
+            "served_latency_seconds",
+            "Caller-observed enqueue-to-result time per delivered job.",
+            &self.served_latency_histogram,
+            self.served_seconds_total,
+        );
+
+        out.push_str("# HELP qdm_backend_jobs_total Jobs solved per backend.\n");
+        out.push_str("# TYPE qdm_backend_jobs_total counter\n");
+        for (name, count) in &self.per_backend {
+            out.push_str(&format!("qdm_backend_jobs_total{{backend=\"{name}\"}} {count}\n"));
+        }
+        out.push_str("# HELP qdm_race_wins_total Races won per backend.\n");
+        out.push_str("# TYPE qdm_race_wins_total counter\n");
+        for (name, count) in &self.race_wins {
+            out.push_str(&format!("qdm_race_wins_total{{backend=\"{name}\"}} {count}\n"));
+        }
+
+        let telemetry = [
+            (
+                "backend_observations_total",
+                "counter",
+                "Solve observations folded into the backend's EWMAs.",
+            ),
+            (
+                "backend_ewma_latency_seconds",
+                "gauge",
+                "EWMA solve latency the portfolio router routes on.",
+            ),
+            (
+                "backend_ewma_quality",
+                "gauge",
+                "EWMA solution quality (lower is better) the router routes on.",
+            ),
+            ("backend_race_entries_total", "counter", "Races the backend was entered into."),
+        ];
+        for (name, kind, help) in telemetry {
+            out.push_str(&format!("# HELP qdm_{name} {help}\n# TYPE qdm_{name} {kind}\n"));
+            for t in &self.backend_telemetry {
+                let value = match name {
+                    "backend_observations_total" => t.observations as f64,
+                    "backend_ewma_latency_seconds" => t.ewma_latency_seconds,
+                    "backend_ewma_quality" => t.ewma_quality,
+                    _ => t.race_entries as f64,
+                };
+                out.push_str(&format!("qdm_{name}{{backend=\"{}\"}} {value}\n", t.backend));
+            }
+        }
+        out
+    }
+}
+
+fn render_prom_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    histogram: &[u64; LATENCY_BUCKETS],
+    sum_seconds: f64,
+) {
+    out.push_str(&format!("# HELP qdm_{name} {help}\n# TYPE qdm_{name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, &count) in histogram.iter().enumerate().take(LATENCY_BUCKETS - 1) {
+        cumulative += count;
+        let le = (1u64 << (i + 1)) as f64 / 1e6;
+        out.push_str(&format!("qdm_{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    let total = cumulative + histogram[LATENCY_BUCKETS - 1];
+    out.push_str(&format!("qdm_{name}_bucket{{le=\"+Inf\"}} {total}\n"));
+    out.push_str(&format!("qdm_{name}_sum {sum_seconds}\n"));
+    out.push_str(&format!("qdm_{name}_count {total}\n"));
 }
 
 impl std::fmt::Display for RuntimeReport {
@@ -281,6 +552,13 @@ impl std::fmt::Display for RuntimeReport {
         )?;
         writeln!(f, "solve:   {:.3}s total backend time", self.solve_seconds_total)?;
         writeln!(f, "compile: {:.6}s saved by compile-once sharing", self.compile_seconds_saved)?;
+        if self.traces_recorded > 0 {
+            writeln!(
+                f,
+                "traces:  {} recorded, {} dropped",
+                self.traces_recorded, self.traces_dropped
+            )?;
+        }
         if self.race_jobs > 0 {
             write!(f, "races:   {} jobs; wins:", self.race_jobs)?;
             for (name, wins) in &self.race_wins {
@@ -290,6 +568,13 @@ impl std::fmt::Display for RuntimeReport {
         }
         for (name, count) in &self.per_backend {
             writeln!(f, "backend: {name:<28} {count} jobs")?;
+        }
+        for t in &self.backend_telemetry {
+            writeln!(
+                f,
+                "ewma:    {:<28} latency {:.6}s quality {:.4} ({} obs)",
+                t.backend, t.ewma_latency_seconds, t.ewma_quality, t.observations
+            )?;
         }
         let total: u64 = self.latency_histogram.iter().sum();
         if total > 0 {
@@ -345,6 +630,70 @@ mod tests {
     }
 
     #[test]
+    fn served_latency_tracks_every_delivery_separately_from_solves() {
+        let m = Metrics::new();
+        // One real solve, one cache hit, one coalesced follower — but all
+        // three were *delivered*, so all three land in the served series.
+        m.on_solved("tabu", 0.004);
+        m.on_served(0.004);
+        m.on_cache_hit();
+        m.on_served(3e-6);
+        m.on_coalesced();
+        m.on_coalesced_served();
+        m.on_served(5e-6);
+        let r = m.report();
+        assert_eq!(r.latency_histogram.iter().sum::<u64>(), 1, "only the miss hit a backend");
+        assert_eq!(r.served_latency_histogram.iter().sum::<u64>(), 3);
+        assert_eq!(r.served_latency_histogram[1], 1); // 3µs cache hit
+        assert_eq!(r.served_latency_histogram[2], 1); // 5µs coalesced
+        assert_eq!(r.served_latency_histogram[11], 1); // 4ms solve
+        assert!((r.served_seconds_total - 0.004008).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_pin_bucket_boundary_math() {
+        // A single 1µs observation: micros=1 → bucket 0 ([1,2)µs); every
+        // quantile reports the bucket's upper bound 2µs.
+        let m = Metrics::new();
+        m.on_solved("a", 1e-6);
+        let r = m.report();
+        assert_eq!(r.latency_quantile(0.5), Some(2e-6));
+        assert_eq!(r.latency_quantile(0.99), Some(2e-6));
+
+        // Exact powers of two land in the bucket they open: 2^11 µs = 2048µs
+        // → bucket 11 ([2048, 4096)µs) → upper bound 4096µs.
+        let m = Metrics::new();
+        m.on_solved("a", 2048e-6);
+        assert_eq!(m.report().latency_quantile(0.5), Some(4096e-6));
+
+        // The open-ended last bucket reports its *lower* bound: anything
+        // ≥ 2^23 µs (= 8.388608s) has no finite upper bound.
+        let m = Metrics::new();
+        m.on_solved("a", 3600.0);
+        assert_eq!(m.report().latency_quantile(0.99), Some((1u64 << 23) as f64 / 1e6));
+
+        // Rank math across buckets: 9 fast (bucket 0) + 1 slow (bucket 11).
+        // p50 rank = ceil(0.5*10) = 5 → bucket 0; p99 rank = 10 → bucket 11.
+        let m = Metrics::new();
+        for _ in 0..9 {
+            m.on_solved("a", 1e-6);
+        }
+        m.on_solved("a", 3000e-6);
+        let r = m.report();
+        assert_eq!(r.latency_quantile(0.5), Some(2e-6));
+        assert_eq!(r.latency_quantile(0.90), Some(2e-6), "rank 9 is still the fast bucket");
+        assert_eq!(r.latency_quantile(0.99), Some(4096e-6));
+
+        // Degenerate q values clamp instead of panicking.
+        assert_eq!(r.latency_quantile(-1.0), Some(2e-6), "q<0 clamps to min rank");
+        assert_eq!(r.latency_quantile(2.0), Some(4096e-6), "q>1 clamps to max rank");
+
+        // Empty histograms have no quantiles.
+        assert_eq!(Metrics::new().report().latency_quantile(0.5), None);
+        assert_eq!(Metrics::new().report().served_latency_quantile(0.5), None);
+    }
+
+    #[test]
     fn queue_and_backpressure_counters_accumulate() {
         let m = Metrics::new();
         m.on_enqueue();
@@ -375,11 +724,28 @@ mod tests {
         assert!((r.compile_seconds_saved - 0.004).abs() < 1e-6, "{}", r.compile_seconds_saved);
         assert!((r.solve_seconds_total - 0.25).abs() < 1e-6, "{}", r.solve_seconds_total);
         assert_eq!(r.race_jobs, 3);
-        assert_eq!(r.race_wins[0], ("tabu".to_string(), 2));
-        assert_eq!(r.race_wins[1], ("simulated-annealing".to_string(), 1));
+        // Name-sorted snapshot: "simulated-annealing" < "tabu".
+        assert_eq!(r.race_wins[0], ("simulated-annealing".to_string(), 1));
+        assert_eq!(r.race_wins[1], ("tabu".to_string(), 2));
         let text = r.to_string();
         assert!(text.contains("races:   3 jobs"), "{text}");
         assert!(text.contains("compile:"), "{text}");
+    }
+
+    #[test]
+    fn snapshots_are_deterministically_name_sorted() {
+        let m = Metrics::new();
+        for backend in ["zeta", "alpha", "mid", "alpha"] {
+            m.on_solved(backend, 1e-3);
+            m.on_race(backend);
+        }
+        let r = m.report();
+        let names: Vec<&str> = r.per_backend.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(r.per_backend[0].1, 2);
+        let win_names: Vec<&str> = r.race_wins.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(win_names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(m.report(), r, "repeated snapshots of the same state are identical");
     }
 
     #[test]
@@ -410,13 +776,80 @@ mod tests {
     }
 
     #[test]
-    fn display_is_human_readable() {
+    fn prometheus_rendering_parses_line_by_line() {
         let m = Metrics::new();
-        m.on_submit(2);
+        m.on_submit(4);
         m.on_cache_hit();
-        m.on_solved("exact", 0.5);
-        let text = m.report().to_string();
-        assert!(text.contains("hit rate 50.0%"), "{text}");
-        assert!(text.contains("exact"), "{text}");
+        m.on_served(1e-6);
+        m.on_solved("tabu", 0.004);
+        m.on_served(0.004);
+        m.on_race("tabu");
+        let mut r = m.report();
+        r.backend_telemetry = vec![BackendTelemetry {
+            backend: "tabu".to_string(),
+            observations: 1,
+            ewma_latency_seconds: 0.004,
+            ewma_quality: 0.25,
+            race_entries: 1,
+            race_wins: 1,
+        }];
+        r.traces_recorded = 2;
+        let text = r.render_prometheus();
+
+        let mut samples = 0usize;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP qdm_") || rest.starts_with("TYPE qdm_"),
+                    "bad comment line: {line}"
+                );
+                if let Some(type_line) = rest.strip_prefix("TYPE qdm_") {
+                    let kind = type_line.split_whitespace().nth(1).unwrap();
+                    assert!(
+                        ["counter", "gauge", "histogram"].contains(&kind),
+                        "bad metric type: {line}"
+                    );
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("unparsable value in: {line}"));
+            let name = name_part.split('{').next().unwrap();
+            assert!(name.starts_with("qdm_"), "unprefixed metric: {line}");
+            if let Some(labels) = name_part.strip_prefix(name) {
+                if !labels.is_empty() {
+                    assert!(labels.starts_with('{') && labels.ends_with('}'), "bad labels: {line}");
+                }
+            }
+            samples += 1;
+        }
+        assert!(samples > 40, "expected a full exposition, got {samples} samples");
+
+        // The specific series the scrape must carry.
+        assert!(text.contains("qdm_jobs_submitted_total 4\n"), "{text}");
+        assert!(text.contains("qdm_cache_hits_total 1\n"), "{text}");
+        assert!(text.contains("qdm_backend_jobs_total{backend=\"tabu\"} 1\n"), "{text}");
+        assert!(text.contains("qdm_race_wins_total{backend=\"tabu\"} 1\n"), "{text}");
+        assert!(text.contains("qdm_backend_ewma_latency_seconds{backend=\"tabu\"} 0.004\n"));
+        assert!(text.contains("qdm_backend_ewma_quality{backend=\"tabu\"} 0.25\n"));
+        assert!(text.contains("qdm_traces_recorded_total 2\n"));
+
+        // Histogram shape: cumulative buckets ending in +Inf == _count.
+        let inf_solve: u64 = text
+            .lines()
+            .find(|l| l.starts_with("qdm_solve_latency_seconds_bucket{le=\"+Inf\"}"))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap();
+        assert_eq!(inf_solve, 1);
+        assert!(text.contains("qdm_solve_latency_seconds_count 1\n"));
+        assert!(text.contains("qdm_served_latency_seconds_count 2\n"));
+        // 4ms solve: cumulative count reaches 1 by the le="0.008192" bucket.
+        assert!(text.contains("qdm_solve_latency_seconds_bucket{le=\"0.008192\"} 1\n"), "{text}");
+        // Buckets are cumulative: the le="0.000002" served bucket already
+        // holds the 1µs cache hit.
+        assert!(text.contains("qdm_served_latency_seconds_bucket{le=\"0.000002\"} 1\n"), "{text}");
     }
 }

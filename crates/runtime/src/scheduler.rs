@@ -320,6 +320,7 @@ mod tests {
         QueuedJob {
             id,
             cost: n_vars.max(1) as u64,
+            queued_ns: 0,
             spec: JobSpec::new(problem, id).with_priority(priority),
             slot: Arc::new(CompletionSlot::new()),
             session: Arc::clone(session),

@@ -34,17 +34,22 @@ use crate::cache::{
     ResultCache,
 };
 use crate::handle::{Completion, CompletionSlot};
-use crate::metrics::{Metrics, RuntimeReport};
+use crate::metrics::{BackendTelemetry, Metrics, RuntimeReport};
 use crate::portfolio::{energy_quality, PortfolioScheduler};
 use crate::registry::SolverRegistry;
 use crate::scheduler::{JobScheduler, SchedulerPolicy};
 use crate::submit::SessionCore;
+use crate::trace::{
+    JobTrace, Span, Stage, StageProfile, StageStats, TraceConfig, TraceOutcome, TraceRing,
+    TraceSink, DEFAULT_TRACE_CAPACITY,
+};
 use qdm_core::pipeline::{
     prepare_pipeline, run_prepared, JobPriority, PipelineOptions, PipelineReport, PreparedPipeline,
 };
 use qdm_core::problem::DmProblem;
 use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
+use qdm_qubo::probe::{StageProbe, TeeProbe};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -197,6 +202,10 @@ pub(crate) struct QueuedJob {
     /// Deficit-round-robin cost: the problem's variable count (≥ 1), spent
     /// from the owning session's per-lane scheduling credit when served.
     pub(crate) cost: u64,
+    /// Enqueue timestamp, nanoseconds since the service epoch: the start of
+    /// the job's `queued` trace span and of its caller-observed serve
+    /// latency.
+    pub(crate) queued_ns: u64,
     pub(crate) spec: JobSpec,
     pub(crate) slot: Arc<CompletionSlot>,
     pub(crate) session: Arc<SessionCore>,
@@ -215,6 +224,22 @@ pub(crate) struct Shared {
     pub(crate) shutting_down: AtomicBool,
     pub(crate) next_job_id: AtomicU64,
     pub(crate) next_session_id: AtomicU64,
+    /// The service's private monotonic epoch; every trace timestamp is
+    /// nanoseconds since this instant.
+    pub(crate) epoch: Instant,
+    /// Where finished job traces go; `None` disables tracing entirely.
+    pub(crate) sink: Option<Arc<dyn TraceSink>>,
+    /// The in-service ring behind [`TraceConfig::Ring`] — kept alongside
+    /// `sink` so snapshots/exports can read it back; `None` for disabled or
+    /// custom-sink configurations.
+    pub(crate) ring: Option<Arc<TraceRing>>,
+}
+
+impl Shared {
+    /// Nanoseconds since the service epoch (monotonic).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
 }
 
 /// Service configuration.
@@ -228,12 +253,20 @@ pub struct ServiceConfig {
     /// priority lanes with deterministic aging plus per-session
     /// deficit-round-robin; see [`crate::scheduler`]).
     pub scheduling: SchedulerPolicy,
+    /// Job tracing (default: a bounded in-service ring of
+    /// [`DEFAULT_TRACE_CAPACITY`] traces; see [`crate::trace`]).
+    pub tracing: TraceConfig,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Self { workers, cache_capacity: 4096, scheduling: SchedulerPolicy::default() }
+        Self {
+            workers,
+            cache_capacity: 4096,
+            scheduling: SchedulerPolicy::default(),
+            tracing: TraceConfig::default(),
+        }
     }
 }
 
@@ -298,6 +331,19 @@ impl SolverService {
     /// Starts a service over a custom registry.
     pub fn with_registry(registry: SolverRegistry, config: ServiceConfig) -> Self {
         let n_backends = registry.len();
+        let (sink, ring): (Option<Arc<dyn TraceSink>>, Option<Arc<TraceRing>>) =
+            match config.tracing {
+                TraceConfig::Disabled => (None, None),
+                TraceConfig::Ring => {
+                    let ring = Arc::new(TraceRing::new(DEFAULT_TRACE_CAPACITY));
+                    (Some(Arc::clone(&ring) as Arc<dyn TraceSink>), Some(ring))
+                }
+                TraceConfig::RingWithCapacity(capacity) => {
+                    let ring = Arc::new(TraceRing::new(capacity));
+                    (Some(Arc::clone(&ring) as Arc<dyn TraceSink>), Some(ring))
+                }
+                TraceConfig::Custom(sink) => (Some(sink), None),
+            };
         let shared = Arc::new(Shared {
             registry,
             cache: ResultCache::new(config.cache_capacity),
@@ -309,6 +355,9 @@ impl SolverService {
             shutting_down: AtomicBool::new(false),
             next_job_id: AtomicU64::new(0),
             next_session_id: AtomicU64::new(0),
+            epoch: Instant::now(),
+            sink,
+            ring,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -335,9 +384,55 @@ impl SolverService {
         self.run_batch(vec![spec]).pop().expect("one outcome for one job")
     }
 
-    /// Snapshot of runtime counters, cache behavior, and backend usage.
+    /// Snapshot of runtime counters, cache behavior, and backend usage,
+    /// including the portfolio's per-backend EWMA latency/quality telemetry
+    /// (name-sorted, observed backends only) and trace-ring counters.
     pub fn report(&self) -> RuntimeReport {
-        self.shared.metrics.report()
+        let mut report = self.shared.metrics.report();
+        let mut telemetry: Vec<BackendTelemetry> = self
+            .shared
+            .portfolio
+            .stats()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.observations > 0)
+            .map(|(idx, s)| BackendTelemetry {
+                backend: self.shared.registry.get(idx).spec.name.clone(),
+                observations: s.observations,
+                ewma_latency_seconds: s.ewma_latency,
+                ewma_quality: s.ewma_quality,
+                race_entries: s.race_entries,
+                race_wins: s.race_wins,
+            })
+            .collect();
+        telemetry.sort_by(|a, b| a.backend.cmp(&b.backend));
+        report.backend_telemetry = telemetry;
+        if let Some(ring) = &self.shared.ring {
+            report.traces_recorded = ring.recorded();
+            report.traces_dropped = ring.dropped();
+        }
+        report
+    }
+
+    /// Snapshot of the retained job traces in completion order. Empty when
+    /// tracing is disabled or routed to a custom sink.
+    pub fn traces(&self) -> Vec<JobTrace> {
+        self.shared.ring.as_ref().map(|ring| ring.snapshot()).unwrap_or_default()
+    }
+
+    /// Traces lost to ring wraparound or slot contention.
+    pub fn trace_drops(&self) -> u64 {
+        self.shared.ring.as_ref().map(|ring| ring.dropped()).unwrap_or(0)
+    }
+
+    /// Exports the retained job traces as Chrome `trace_event` JSON — load
+    /// the string (saved as a `.json` file) in `about:tracing` or
+    /// [Perfetto](https://ui.perfetto.dev) to see per-job span timelines:
+    /// queue wait, the single compile, presolve, every race participant's
+    /// solve (winner marked), and serve. Each job renders as its own thread
+    /// lane (`tid = job_id·100`); race participants nest under it.
+    pub fn export_traces(&self) -> String {
+        render_chrome_trace(&self.traces())
     }
 
     /// The backend registry the service dispatches over.
@@ -379,34 +474,82 @@ fn worker_loop(shared: &Shared) {
         // blocked submitters make progress while this worker solves.
         shared.metrics.on_dequeue();
         job.session.on_dequeue();
+        // The trace is assembled worker-locally — the shared sink is only
+        // touched once, at the end — so tracing costs the solve path
+        // nothing but a few clock reads.
+        let mut trace = shared.sink.as_ref().map(|_| JobTrace {
+            job_id: job.id,
+            session: job.session.id(),
+            problem: job.spec.problem.name(),
+            lane: job.spec.options.priority,
+            fingerprint: 0,
+            seed: job.spec.seed,
+            outcome: TraceOutcome::Failed,
+            backend: None,
+            spans: vec![Span {
+                stage: Stage::Queued,
+                backend: None,
+                winner: false,
+                start_ns: job.queued_ns,
+                end_ns: shared.now_ns(),
+                stats: StageStats::default(),
+            }],
+        });
         // A panicking job (user-supplied to_qubo/decode/repair, or a solver
         // bug) must neither kill the worker nor leave a handle waiting on a
         // slot that never resolves.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process(shared, &job.spec)))
-                .unwrap_or_else(|payload| {
-                    shared.metrics.on_failed();
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    Err(JobError::Panicked(msg))
-                })
-                .map(|mut result| {
-                    result.job_id = job.id;
-                    result
-                });
-        // Resolve the handle's slot first (so `wait()` never lags the
-        // stream; the slot also reconciles the completed/cancelled ledger
-        // if the cancel raced the run), then feed the session's completion
-        // stream the exact outcome the slot delivered.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process(shared, &job.spec, &mut trace)
+        }))
+        .unwrap_or_else(|payload| {
+            shared.metrics.on_failed();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(JobError::Panicked(msg))
+        })
+        .map(|mut result| {
+            result.job_id = job.id;
+            result
+        });
+        if outcome.is_ok() {
+            // What the caller waited end to end — enqueue to delivery —
+            // regardless of whether the job solved, hit the cache, or
+            // coalesced. The solve histogram only sees backend time, so
+            // without this series cache hits would be invisible to p99.
+            let waited = shared.now_ns().saturating_sub(job.queued_ns);
+            shared.metrics.on_served(waited as f64 / 1e9);
+        }
+        // Telemetry is recorded *before* the slot resolves: `wait()` returns
+        // the instant the slot does, and a caller snapshotting metrics or
+        // traces right after must see this job. The one consequence: a
+        // cancel that races a finished run is traced by what the runtime
+        // did (solved), while the slot still delivers `Cancelled`.
+        if let (Some(sink), Some(mut trace)) = (shared.sink.as_ref(), trace) {
+            trace.outcome = match &outcome {
+                Ok(result) if result.from_cache => TraceOutcome::CacheHit,
+                Ok(result) if result.coalesced => TraceOutcome::Coalesced,
+                Ok(_) => TraceOutcome::Solved,
+                Err(JobError::Cancelled) => TraceOutcome::Cancelled,
+                Err(_) => TraceOutcome::Failed,
+            };
+            if let Ok(result) = &outcome {
+                trace.backend = Some(result.backend.clone());
+            }
+            sink.record(trace);
+        }
+        // Resolve the handle's slot (so `wait()` never lags the stream; the
+        // slot also reconciles the completed/cancelled ledger if the cancel
+        // raced the run), then feed the session's completion stream the
+        // exact outcome the slot delivered.
         let delivered = job.slot.resolve(outcome, &shared.metrics);
         job.session.on_complete(Completion { id: job.id, outcome: delivered });
     }
 }
 
-fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
+fn process(shared: &Shared, spec: &JobSpec, trace: &mut Option<JobTrace>) -> JobOutcome {
     let qubo = spec.problem.to_qubo();
     let n_vars = qubo.n_vars();
     let race_marker;
@@ -438,10 +581,11 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
     loop {
         match shared.inflight.join_or_lead(exact_key.clone()) {
             FlightRole::Leader(lease) => {
-                return lead(shared, spec, &qubo, n_vars, requested, lease)
+                return lead(shared, spec, &qubo, n_vars, requested, lease, trace)
             }
             FlightRole::Follower(flight) => {
                 shared.metrics.on_coalesced();
+                let park_start_ns = if trace.is_some() { shared.now_ns() } else { 0 };
                 match flight.wait() {
                     FlightResolution::Served(out) => {
                         // An exact duplicate shares the leader's labeling,
@@ -449,7 +593,18 @@ fn process(shared: &Shared, spec: &JobSpec) -> JobOutcome {
                         // permutation translate its bits verbatim — this
                         // job never compiled.
                         shared.metrics.on_coalesced_served();
-                        return Ok(serve_coalesced(spec, &out.compiled, &out.perm, out.cached));
+                        let result = serve_coalesced(spec, &out.compiled, &out.perm, out.cached);
+                        if let Some(t) = trace.as_mut() {
+                            t.spans.push(Span {
+                                stage: Stage::Serve,
+                                backend: Some(result.backend.clone()),
+                                winner: false,
+                                start_ns: park_start_ns,
+                                end_ns: shared.now_ns(),
+                                stats: StageStats::default(),
+                            });
+                        }
+                        return Ok(result);
                     }
                     FlightResolution::Failed(err) => {
                         // The leader failed routing deterministically; an
@@ -480,21 +635,46 @@ fn lead(
     n_vars: usize,
     requested: Option<&str>,
     mut lease: crate::cache::FlightLease<'_>,
+    trace: &mut Option<JobTrace>,
 ) -> JobOutcome {
+    let tracing = trace.is_some();
     // THE compile of this job: every downstream consumer — canonical
     // fingerprinting, presolve, each dispatched backend (all k of a race),
     // and any exact-duplicate followers — shares this one
     // `Arc<CompiledQubo>`. No other stage on the service path compiles.
+    let compile_start_ns = if tracing { shared.now_ns() } else { 0 };
     let compile_start = Instant::now();
     let compiled = Arc::new(qubo.compile());
     let compile_seconds = compile_start.elapsed().as_secs_f64();
 
     let (canonical_fp, perm) = compiled.canonical_form();
+    if let Some(t) = trace.as_mut() {
+        t.fingerprint = canonical_fp;
+        t.spans.push(Span {
+            stage: Stage::Compile,
+            backend: None,
+            winner: false,
+            start_ns: compile_start_ns,
+            end_ns: shared.now_ns(),
+            stats: StageStats::default(),
+        });
+    }
     let perm = Arc::new(perm);
     let key = CacheKey::new(spec.problem.name(), canonical_fp, &spec.options, spec.seed, requested);
     if let Some(cached) = shared.cache.get(&key) {
         shared.metrics.on_cache_hit();
+        let serve_start_ns = if tracing { shared.now_ns() } else { 0 };
         let result = serve_cached(spec, &compiled, &perm, cached.clone());
+        if let Some(t) = trace.as_mut() {
+            t.spans.push(Span {
+                stage: Stage::Serve,
+                backend: Some(result.backend.clone()),
+                winner: false,
+                start_ns: serve_start_ns,
+                end_ns: shared.now_ns(),
+                stats: StageStats::default(),
+            });
+        }
         lease.publish(Ok(FlightOutput { cached, compiled, perm }));
         return Ok(result);
     }
@@ -508,10 +688,21 @@ fn lead(
     // canonical leader panicked and its key was removed).
     while let Some(flight) = lease.extend(FlightKey::Canonical(key.clone())) {
         shared.metrics.on_coalesced();
+        let park_start_ns = if tracing { shared.now_ns() } else { 0 };
         match flight.wait() {
             FlightResolution::Served(out) => {
                 shared.metrics.on_coalesced_served();
                 let result = serve_coalesced(spec, &compiled, &perm, out.cached.clone());
+                if let Some(t) = trace.as_mut() {
+                    t.spans.push(Span {
+                        stage: Stage::Serve,
+                        backend: Some(result.backend.clone()),
+                        winner: false,
+                        start_ns: park_start_ns,
+                        end_ns: shared.now_ns(),
+                        stats: StageStats::default(),
+                    });
+                }
                 // Publish through to this flight's own exact followers with
                 // *this* labeling's compilation and permutation, which is
                 // the one that translates their bits correctly.
@@ -578,23 +769,42 @@ fn lead(
     // Prepare the seed-independent pipeline front half — presolve and
     // component extraction/compilation — exactly once; every participant
     // of a race reuses it instead of re-running the fixpoint k times.
-    let prepared = prepare_pipeline(qubo, &compiled, &spec.options);
+    // Traced jobs run it under a [`StageProfile`] so the presolve span
+    // carries fixpoint round counts; probing never perturbs the result.
+    let prepared = if tracing {
+        let (opts, profile) = profiled_options(&spec.options);
+        let presolve_start_ns = shared.now_ns();
+        let prepared = prepare_pipeline(qubo, &compiled, &opts);
+        if let Some(t) = trace.as_mut() {
+            t.spans.push(Span {
+                stage: Stage::Presolve,
+                backend: None,
+                winner: false,
+                start_ns: presolve_start_ns,
+                end_ns: shared.now_ns(),
+                stats: profile.snapshot(),
+            });
+        }
+        prepared
+    } else {
+        prepare_pipeline(qubo, &compiled, &spec.options)
+    };
     // Solve: every participant runs the back half on the *same* shared
     // preparation (and therefore the same shared compilation), each under
     // its own RNG seeded from the job seed, so a single-backend job is
     // just a race of one. Scoped threads let the participants borrow the
     // preparation without refcount churn; results land in per-participant
     // slots, so completion order is irrelevant.
-    let mut outcomes: Vec<Option<(PipelineReport, f64)>> = vec![None; participants.len()];
+    let mut outcomes: Vec<Option<ParticipantRun>> = (0..participants.len()).map(|_| None).collect();
     if participants.len() == 1 {
         // Fast path: no spawn for the common non-race job.
-        outcomes[0] = Some(run_participant(shared, spec, &prepared, participants[0]));
+        outcomes[0] = Some(run_participant(shared, spec, &prepared, participants[0], tracing));
     } else {
         std::thread::scope(|scope| {
             for (slot, &idx) in outcomes.iter_mut().zip(&participants) {
                 let prepared = &prepared;
                 scope.spawn(move || {
-                    *slot = Some(run_participant(shared, spec, prepared, idx));
+                    *slot = Some(run_participant(shared, spec, prepared, idx, tracing));
                 });
             }
         });
@@ -606,22 +816,22 @@ fn lead(
     let mut winner: Option<usize> = None;
     let mut winner_energy = f64::INFINITY;
     for (slot, outcome) in outcomes.iter().enumerate() {
-        let (report, _) = outcome.as_ref().expect("every participant ran");
-        if report.energy < winner_energy {
-            winner_energy = report.energy;
+        let run = outcome.as_ref().expect("every participant ran");
+        if run.report.energy < winner_energy {
+            winner_energy = run.report.energy;
             winner = Some(slot);
         }
     }
     let winner_slot = winner.expect("at least one participant");
     let is_race = matches!(spec.backend, BackendChoice::Race { .. });
     for (slot, (&idx, outcome)) in participants.iter().zip(&outcomes).enumerate() {
-        let (report, elapsed) = outcome.as_ref().expect("every participant ran");
+        let run = outcome.as_ref().expect("every participant ran");
         let won = slot == winner_slot;
         shared.portfolio.record(
             idx,
-            *elapsed,
-            energy_quality(report.energy, naive_lower_bound),
-            report.decoded.feasible,
+            run.seconds,
+            energy_quality(run.report.energy, naive_lower_bound),
+            run.report.decoded.feasible,
         );
         if is_race {
             shared.portfolio.record_race_outcome(idx, won);
@@ -629,12 +839,26 @@ fn lead(
                 // The winner's wall time flows through `on_solved` below;
                 // losers' time must still land in the solve-time total or
                 // race workloads under-report backend cost k-fold.
-                shared.metrics.on_race_participant_time(*elapsed);
+                shared.metrics.on_race_participant_time(run.seconds);
             }
+        }
+        if let Some(t) = trace.as_mut() {
+            // One solve child span per race participant, winner marked, so
+            // the exported timeline shows the whole field — including the
+            // losers' wall time a latency metric alone would hide.
+            t.spans.push(Span {
+                stage: Stage::Solve,
+                backend: Some(shared.registry.get(idx).spec.name.clone()),
+                winner: won,
+                start_ns: run.start_ns,
+                end_ns: run.end_ns,
+                stats: run.stats,
+            });
         }
     }
     let backend_name = shared.registry.get(participants[winner_slot]).spec.name.clone();
-    let (report, elapsed) = outcomes.swap_remove(winner_slot).expect("winner ran");
+    let ParticipantRun { report, seconds: elapsed, .. } =
+        outcomes.swap_remove(winner_slot).expect("winner ran");
     shared.metrics.on_solved(&backend_name, elapsed);
     if is_race {
         shared.metrics.on_race(&backend_name);
@@ -673,21 +897,140 @@ fn serve_coalesced(
     result
 }
 
-/// Runs one backend over the job's shared pipeline preparation, returning
-/// its pipeline report and wall time. Each participant seeds its own RNG
-/// from the job seed, so results do not depend on scheduling and
-/// `Race { k: 1 }` reproduces the auto-routed result bit-for-bit.
+/// Clones the job's options with a fresh [`StageProfile`] tee'd in front of
+/// any user-supplied probe, so traced runs collect per-stage counters
+/// without the user's hooks seeing anything different. Probes observe only
+/// — the probed solver paths are bit-identical to the unprobed ones — so
+/// injection never changes a result.
+fn profiled_options(options: &PipelineOptions) -> (PipelineOptions, Arc<StageProfile>) {
+    let profile = Arc::new(StageProfile::new());
+    let mut opts = options.clone();
+    opts.probe = Some(match &options.probe {
+        Some(user) => {
+            Arc::new(TeeProbe(Arc::clone(user), Arc::clone(&profile) as Arc<dyn StageProbe>))
+                as Arc<dyn StageProbe>
+        }
+        None => Arc::clone(&profile) as Arc<dyn StageProbe>,
+    });
+    (opts, profile)
+}
+
+/// One race participant's result: the pipeline report, its wall time, and —
+/// when the job is traced — the span endpoints and solver-internal counters
+/// its worker collected. Assembled on the participant's own thread; the
+/// leader folds these into the job trace after the scope joins, so racing
+/// threads never touch shared tracing state.
+struct ParticipantRun {
+    report: PipelineReport,
+    seconds: f64,
+    start_ns: u64,
+    end_ns: u64,
+    stats: StageStats,
+}
+
+/// Runs one backend over the job's shared pipeline preparation. Each
+/// participant seeds its own RNG from the job seed, so results do not
+/// depend on scheduling and `Race { k: 1 }` reproduces the auto-routed
+/// result bit-for-bit — traced or not.
 fn run_participant(
     shared: &Shared,
     spec: &JobSpec,
     prepared: &PreparedPipeline<'_>,
     backend_idx: usize,
-) -> (PipelineReport, f64) {
+    tracing: bool,
+) -> ParticipantRun {
     let backend = shared.registry.get(backend_idx);
     let mut rng = StdRng::seed_from_u64(spec.seed);
+    let profiled = tracing.then(|| profiled_options(&spec.options));
+    let options = profiled.as_ref().map(|(opts, _)| opts).unwrap_or(&spec.options);
+    let start_ns = if tracing { shared.now_ns() } else { 0 };
     let start = Instant::now();
-    let report = run_prepared(&*spec.problem, prepared, backend.solver(), &spec.options, &mut rng);
-    (report, start.elapsed().as_secs_f64())
+    let report = run_prepared(&*spec.problem, prepared, backend.solver(), options, &mut rng);
+    let seconds = start.elapsed().as_secs_f64();
+    let end_ns = if tracing { shared.now_ns() } else { 0 };
+    let stats = profiled.map(|(_, profile)| profile.snapshot()).unwrap_or_default();
+    ParticipantRun { report, seconds, start_ns, end_ns, stats }
+}
+
+/// Renders job traces as Chrome `trace_event` JSON (the "JSON Array
+/// Format" with a `traceEvents` wrapper): one complete (`"ph":"X"`) event
+/// per span, timestamps in fractional microseconds since the service
+/// epoch. Every job gets its own thread lane (`tid = job_id·100`); solve
+/// spans — which overlap each other during a race — fan out to
+/// `tid = job_id·100 + 1 + slot`. Hand-rolled because the workspace's
+/// serde shim has no serializer; the JSON-validity test in
+/// `tests/observability.rs` keeps it honest.
+fn render_chrome_trace(traces: &[JobTrace]) -> String {
+    fn escape(s: &str, out: &mut String) {
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+    }
+    let mut out = String::with_capacity(1024 + traces.len() * 512);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for trace in traces {
+        let base_tid = trace.job_id * 100;
+        let mut solve_slot = 0u64;
+        for span in &trace.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let tid = if span.stage == Stage::Solve {
+                solve_slot += 1;
+                base_tid + solve_slot
+            } else {
+                base_tid
+            };
+            out.push_str("{\"name\":\"");
+            escape(span.stage.name(), &mut out);
+            out.push_str("\",\"cat\":\"qdm\",\"ph\":\"X\",\"ts\":");
+            out.push_str(&format!("{:.3}", span.start_ns as f64 / 1e3));
+            out.push_str(",\"dur\":");
+            out.push_str(&format!("{:.3}", span.duration_ns() as f64 / 1e3));
+            out.push_str(&format!(",\"pid\":1,\"tid\":{tid},\"args\":{{"));
+            out.push_str(&format!("\"job\":{},\"session\":{}", trace.job_id, trace.session));
+            out.push_str(",\"problem\":\"");
+            escape(&trace.problem, &mut out);
+            out.push_str(&format!(
+                "\",\"lane\":\"{:?}\",\"seed\":{},\"fingerprint\":\"{:016x}\",\"outcome\":\"{}\"",
+                trace.lane,
+                trace.seed,
+                trace.fingerprint,
+                trace.outcome.name()
+            ));
+            if let Some(backend) = &span.backend {
+                out.push_str(",\"backend\":\"");
+                escape(backend, &mut out);
+                out.push('"');
+            }
+            if span.stage == Stage::Solve {
+                out.push_str(&format!(",\"winner\":{}", span.winner));
+            }
+            if !span.stats.is_empty() {
+                let s = &span.stats;
+                out.push_str(&format!(
+                    ",\"presolve_rounds\":{},\"presolve_fixed\":{},\"restarts\":{},\
+                     \"sweeps\":{},\"proposals\":{},\"accepted\":{}",
+                    s.presolve_rounds,
+                    s.presolve_fixed,
+                    s.restarts,
+                    s.sweeps,
+                    s.proposals,
+                    s.accepted
+                ));
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
 }
 
 /// Serves a cache hit. The common case — the requester's encoding is

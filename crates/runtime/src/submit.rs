@@ -261,6 +261,7 @@ impl Session<'_> {
             queue.push(QueuedJob {
                 id,
                 cost,
+                queued_ns: shared.now_ns(),
                 spec,
                 slot: Arc::clone(&slot),
                 session: Arc::clone(&self.core),

@@ -3,7 +3,11 @@
 //! several Fig. 2 backends by the worker pool, resubmitted to show the
 //! result cache serving repeats bit-identically, then driven through the
 //! asynchronous session API (bounded-queue submission, per-job handles,
-//! streaming completions in finish order).
+//! streaming completions in finish order). The final pass reads the
+//! always-on tracing substrate back out: a per-stage time breakdown
+//! aggregated from the span timelines, latency quantiles from the report
+//! histograms, a `trace.json` Chrome trace-event export, and a sample of
+//! the Prometheus text exposition.
 //!
 //! Run with: `cargo run --release --example solver_service`
 
@@ -47,12 +51,13 @@ fn main() {
         for backend in backends {
             batch.push(
                 JobSpec::new(Arc::clone(problem), 1000 + i as u64)
-                    .with_options(options)
+                    .with_options(options.clone())
                     .on_backend(backend),
             );
             labels.push(label.clone());
         }
-        batch.push(JobSpec::new(Arc::clone(problem), 1000 + i as u64).with_options(options));
+        batch
+            .push(JobSpec::new(Arc::clone(problem), 1000 + i as u64).with_options(options.clone()));
         labels.push(format!("{label} (auto)"));
     }
 
@@ -99,7 +104,9 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, (_, problem))| {
-            JobSpec::new(Arc::clone(problem), 2000 + i as u64).with_options(options).racing(3)
+            JobSpec::new(Arc::clone(problem), 2000 + i as u64)
+                .with_options(options.clone())
+                .racing(3)
         })
         .collect();
     let raced = service.run_batch(race_batch.clone());
@@ -129,7 +136,7 @@ fn main() {
     let session = service.session(SessionConfig { queue_capacity: 4, ..Default::default() });
     let mut handles = Vec::new();
     for (i, (label, problem)) in problems.iter().enumerate() {
-        let spec = JobSpec::new(Arc::clone(problem), 1000 + i as u64).with_options(options);
+        let spec = JobSpec::new(Arc::clone(problem), 1000 + i as u64).with_options(options.clone());
         handles.push((label.clone(), session.submit(spec)));
     }
     let mut streamed = 0;
@@ -158,7 +165,9 @@ fn main() {
     let herd_problem = Arc::clone(&problems[0].1);
     let herd = service.session(SessionConfig { queue_capacity: 4, ..Default::default() });
     let herd_handles: Vec<_> = (0..4)
-        .map(|_| herd.submit(JobSpec::new(Arc::clone(&herd_problem), 9000).with_options(options)))
+        .map(|_| {
+            herd.submit(JobSpec::new(Arc::clone(&herd_problem), 9000).with_options(options.clone()))
+        })
         .collect();
     let herd_results: Vec<_> =
         herd_handles.iter().map(|h| h.wait().expect("every copy resolves")).collect();
@@ -186,4 +195,58 @@ fn main() {
         report.compile_seconds_saved > 0.0,
         "compile-once sharing must be visible in the ledger"
     );
+
+    // --- Observability: stage breakdown, quantiles, trace export. ---------
+    // Tracing is on by default: every job above left a span timeline in the
+    // service's ring buffer. Aggregate them into a per-stage time breakdown,
+    // pull tail latencies straight from the report's histograms, and export
+    // the whole timeline as Chrome trace-event JSON for about:tracing or
+    // https://ui.perfetto.dev.
+    let traces = service.traces();
+    assert!(!traces.is_empty(), "default tracing must have recorded the jobs above");
+    assert_eq!(report.traces_dropped, 0, "the default ring holds this workload without drops");
+    let mut stage_ns: Vec<(&str, u64, u64)> = Vec::new();
+    for trace in &traces {
+        for span in &trace.spans {
+            match stage_ns.iter_mut().find(|(name, ..)| *name == span.stage.name()) {
+                Some((_, total, count)) => {
+                    *total += span.duration_ns();
+                    *count += 1;
+                }
+                None => stage_ns.push((span.stage.name(), span.duration_ns(), 1)),
+            }
+        }
+    }
+    println!("per-stage time across {} traced jobs:", traces.len());
+    println!("  {:<10} {:>6} {:>12} {:>12}", "stage", "spans", "total ms", "mean µs");
+    for (name, total, count) in &stage_ns {
+        println!(
+            "  {:<10} {:>6} {:>12.3} {:>12.1}",
+            name,
+            count,
+            *total as f64 / 1e6,
+            *total as f64 / 1e3 / *count as f64
+        );
+    }
+    if let (Some(p50), Some(p99)) = (report.latency_quantile(0.5), report.latency_quantile(0.99)) {
+        println!("solve latency: p50 <= {:.1} µs, p99 <= {:.1} µs", p50 * 1e6, p99 * 1e6);
+    }
+    if let Some(p99) = report.served_latency_quantile(0.99) {
+        println!("served latency (incl. cache hits): p99 <= {:.1} µs", p99 * 1e6);
+    }
+
+    let trace_json = service.export_traces();
+    std::fs::write("trace.json", &trace_json).expect("write trace.json");
+    println!(
+        "wrote trace.json ({} events, {} bytes) - load it in about:tracing or ui.perfetto.dev",
+        trace_json.matches("\"ph\":\"X\"").count(),
+        trace_json.len()
+    );
+
+    let exposition = service.report().render_prometheus();
+    let series = exposition.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+    println!("prometheus exposition: {series} samples, e.g.:");
+    for line in exposition.lines().filter(|l| l.starts_with("qdm_jobs_")).take(3) {
+        println!("  {line}");
+    }
 }

@@ -186,6 +186,7 @@ fn strict_priority_policy_preserves_the_legacy_drain_order() {
         workers: 1,
         cache_capacity: 256,
         scheduling: SchedulerPolicy::StrictPriority,
+        ..Default::default()
     });
     let deep = service.session(SessionConfig { queue_capacity: 32, ..Default::default() });
     let light = service.session(SessionConfig { queue_capacity: 8, ..Default::default() });
