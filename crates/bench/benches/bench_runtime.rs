@@ -28,16 +28,26 @@
 //! machine drift hits both equally; the printed `runtime/observability`
 //! line reports the median overhead, gated below 5%.
 //!
+//! The `runtime/cluster` group compares a 4×1-shard cluster against one
+//! 4-worker service at equal total worker count: aggregate batch
+//! throughput (parity is the goal — sharding should cost nothing when the
+//! load is uniform) and the Low-lane p99 under a High flood, plus a
+//! saturation run against a tight token bucket and shedding watermark
+//! that records the shed rate. On a single-CPU runner both arrangements
+//! serialize onto one core, so the parity ratio — not absolute
+//! throughput — is the signal.
+//!
 //! The `runtime/compile_once` group measures the compile-amortization win
 //! of the shared-`CompiledQubo` pipeline on the 256-var/5% acceptance
 //! instance — what a cache-miss 4-backend race used to pay in compiles
 //! (one per backend plus one for fingerprinting) versus the single shared
 //! compile it pays now — plus race-vs-best-single latency, and writes the
-//! `BENCH_runtime.json` baseline (including the fairness and observability
-//! numbers when those groups ran) at the workspace root. CI runs the smoke
-//! set via `cargo bench --bench bench_runtime -- runtime/fairness
-//! runtime/observability runtime/compile_once` (the criterion shim treats
-//! positional args as id filters).
+//! `BENCH_runtime.json` baseline (including the fairness, observability,
+//! and cluster numbers when those groups ran) at the workspace root. CI
+//! runs the smoke set via `cargo bench --bench bench_runtime --
+//! runtime/fairness runtime/observability runtime/cluster
+//! runtime/compile_once` (the criterion shim treats positional args as id
+//! filters).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdm_anneal::sa::SaParams;
@@ -461,6 +471,265 @@ fn bench_observability(c: &mut Criterion) {
         OBSERVABILITY.set(ObservabilityNumbers { traced_seconds, disabled_seconds, overhead_pct });
 }
 
+/// Shards in the cluster benches (each single-worker, so the cluster and
+/// the single service compare at equal total worker count).
+const CLUSTER_SHARDS: usize = 4;
+/// Jobs per measured batch in the cluster throughput comparison.
+const CLUSTER_JOBS: usize = 32;
+/// High-priority flood size in the cluster low-lane tail comparison.
+const CLUSTER_HIGH_JOBS: usize = 64;
+/// Low-priority jobs surviving the flood.
+const CLUSTER_LOW_JOBS: usize = 4;
+/// Jobs offered in the saturation run that records the shed rate.
+const SATURATION_JOBS: usize = 200;
+
+/// Headline numbers of one cluster run, stashed by `bench_cluster` for
+/// `bench_compile_once`'s JSON writer.
+struct ClusterNumbers {
+    cluster_seconds: f64,
+    single_seconds: f64,
+    cluster_low_p99: f64,
+    single_low_p99: f64,
+    saturation_shed: u64,
+    shed_rate: f64,
+}
+
+static CLUSTER: OnceLock<ClusterNumbers> = OnceLock::new();
+
+/// A 4-shard cluster over the fast-SA registry: same backend and total
+/// worker count as `single_service`, split across independent shards.
+fn bench_cluster_service() -> ClusterService {
+    let registries = (0..CLUSTER_SHARDS).map(|_| fairness_registry()).collect();
+    ClusterService::with_registries(
+        registries,
+        ClusterConfig {
+            service: ServiceConfig { workers: 1, cache_capacity: 8, ..Default::default() },
+            ..Default::default()
+        },
+    )
+}
+
+fn single_service() -> SolverService {
+    SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig { workers: CLUSTER_SHARDS, cache_capacity: 8, ..Default::default() },
+    )
+}
+
+/// One cache-miss batch through the cluster front-end, seconds per batch.
+fn cluster_batch(cluster: &ClusterService, problems: &[Arc<MqoProblem>]) -> f64 {
+    let options = opts();
+    let session = cluster
+        .session("bench", SessionConfig { queue_capacity: CLUSTER_JOBS, ..Default::default() });
+    let t0 = Instant::now();
+    let handles: Vec<JobHandle> = (0..CLUSTER_JOBS)
+        .map(|i| {
+            let spec = JobSpec::new(
+                Arc::clone(&problems[i % problems.len()]) as SharedProblem,
+                SEED.fetch_add(1, Ordering::Relaxed),
+            )
+            .with_options(options.clone())
+            .on_backend("simulated-annealing");
+            session.submit(spec).expect("throughput run has no admission limits")
+        })
+        .collect();
+    for handle in &handles {
+        assert!(handle.wait().is_ok());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// The same batch through one service with the same total worker count.
+fn single_batch(service: &SolverService, problems: &[Arc<MqoProblem>]) -> f64 {
+    let options = opts();
+    let session =
+        service.session(SessionConfig { queue_capacity: CLUSTER_JOBS, ..Default::default() });
+    let t0 = Instant::now();
+    let handles: Vec<JobHandle> = (0..CLUSTER_JOBS)
+        .map(|i| {
+            let spec = JobSpec::new(
+                Arc::clone(&problems[i % problems.len()]) as SharedProblem,
+                SEED.fetch_add(1, Ordering::Relaxed),
+            )
+            .with_options(options.clone())
+            .on_backend("simulated-annealing");
+            session.submit(spec)
+        })
+        .collect();
+    for handle in &handles {
+        assert!(handle.wait().is_ok());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Low-lane latencies under a High flood on the cluster: the cluster
+/// analogue of `starved_mix`, with the flood spread over the shards by
+/// content routing.
+fn cluster_starved(cluster: &ClusterService, problems: &[Arc<MqoProblem>]) -> Vec<f64> {
+    let options = opts();
+    let high = cluster.session(
+        "high",
+        SessionConfig { queue_capacity: CLUSTER_HIGH_JOBS + 1, ..Default::default() },
+    );
+    let low = cluster.session(
+        "low",
+        SessionConfig { queue_capacity: CLUSTER_LOW_JOBS + 1, ..Default::default() },
+    );
+    let spec = |p: &Arc<MqoProblem>, priority: JobPriority| {
+        JobSpec::new(Arc::clone(p) as SharedProblem, SEED.fetch_add(1, Ordering::Relaxed))
+            .with_options(options.clone())
+            .with_priority(priority)
+            .on_backend("simulated-annealing")
+    };
+    let mut low_ids = Vec::new();
+    let mut low_submitted = Vec::new();
+    for i in 0..CLUSTER_HIGH_JOBS {
+        if i == 8 {
+            for j in 0..CLUSTER_LOW_JOBS {
+                let handle = low
+                    .submit(spec(&problems[j % problems.len()], JobPriority::Low))
+                    .expect("admitted");
+                low_ids.push(handle.id());
+                low_submitted.push(Instant::now());
+            }
+        }
+        high.submit(spec(&problems[i % problems.len()], JobPriority::High)).expect("admitted");
+    }
+    let mut latencies = vec![0.0; CLUSTER_LOW_JOBS];
+    for completion in low.completions() {
+        let now = Instant::now();
+        let slot = low_ids.iter().position(|&id| id == completion.id).expect("a Low job");
+        latencies[slot] = (now - low_submitted[slot]).as_secs_f64();
+        assert!(completion.outcome.is_ok());
+    }
+    high.drain();
+    latencies
+}
+
+/// The same starved mix on one service with the same total worker count.
+fn single_starved(service: &SolverService, problems: &[Arc<MqoProblem>]) -> Vec<f64> {
+    let options = opts();
+    let high = service
+        .session(SessionConfig { queue_capacity: CLUSTER_HIGH_JOBS + 1, ..Default::default() });
+    let low = service
+        .session(SessionConfig { queue_capacity: CLUSTER_LOW_JOBS + 1, ..Default::default() });
+    let spec = |p: &Arc<MqoProblem>, priority: JobPriority| {
+        JobSpec::new(Arc::clone(p) as SharedProblem, SEED.fetch_add(1, Ordering::Relaxed))
+            .with_options(options.clone())
+            .with_priority(priority)
+            .on_backend("simulated-annealing")
+    };
+    let mut low_ids = Vec::new();
+    let mut low_submitted = Vec::new();
+    for i in 0..CLUSTER_HIGH_JOBS {
+        if i == 8 {
+            for j in 0..CLUSTER_LOW_JOBS {
+                let handle = low.submit(spec(&problems[j % problems.len()], JobPriority::Low));
+                low_ids.push(handle.id());
+                low_submitted.push(Instant::now());
+            }
+        }
+        high.submit(spec(&problems[i % problems.len()], JobPriority::High));
+    }
+    let mut latencies = vec![0.0; CLUSTER_LOW_JOBS];
+    for completion in low.completions() {
+        let now = Instant::now();
+        let slot = low_ids.iter().position(|&id| id == completion.id).expect("a Low job");
+        latencies[slot] = (now - low_submitted[slot]).as_secs_f64();
+        assert!(completion.outcome.is_ok());
+    }
+    high.drain();
+    latencies
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/cluster") {
+        return;
+    }
+    let problems = workload();
+    let cluster = bench_cluster_service();
+    let single = single_service();
+
+    let mut group = c.benchmark_group("runtime/cluster");
+    group.sample_size(10);
+    group.bench_function(format!("cluster_{CLUSTER_SHARDS}x1_batch"), |b| {
+        b.iter(|| cluster_batch(&cluster, &problems));
+    });
+    group.bench_function(format!("single_{CLUSTER_SHARDS}w_batch"), |b| {
+        b.iter(|| single_batch(&single, &problems));
+    });
+    group.finish();
+
+    // Headline numbers: aggregate throughput parity and the Low-lane tail
+    // under a High flood, cluster vs single service at equal total workers.
+    let reps = 5;
+    let cluster_seconds =
+        (0..reps).map(|_| cluster_batch(&cluster, &problems)).sum::<f64>() / reps as f64;
+    let single_seconds =
+        (0..reps).map(|_| single_batch(&single, &problems)).sum::<f64>() / reps as f64;
+    let cluster_low_p99 = p99(&cluster_starved(&cluster, &problems));
+    let single_low_p99 = p99(&single_starved(&single, &problems));
+    println!(
+        "runtime/cluster: {CLUSTER_SHARDS}x1-shard batch {:.3}s vs 1x{CLUSTER_SHARDS}-worker \
+         {:.3}s ({:.2}x parity, {CLUSTER_JOBS} jobs/batch); low-lane p99 {:.1} ms vs {:.1} ms",
+        cluster_seconds,
+        single_seconds,
+        cluster_seconds / single_seconds.max(1e-12),
+        cluster_low_p99 * 1e3,
+        single_low_p99 * 1e3,
+    );
+
+    // Saturation: a tight token bucket plus a queue-depth watermark against
+    // a burst far above capacity — the shed rate is the fraction of offered
+    // jobs turned away with a retry hint instead of queued unboundedly.
+    let saturated = ClusterService::with_registries(
+        (0..CLUSTER_SHARDS).map(|_| fairness_registry()).collect(),
+        ClusterConfig {
+            service: ServiceConfig { workers: 1, cache_capacity: 8, ..Default::default() },
+            admission: AdmissionConfig::default().with_default_bucket(TokenBucketConfig {
+                capacity: 32.0,
+                refill_per_second: 200.0,
+            }),
+            shed_watermark: Some(16),
+            ..Default::default()
+        },
+    );
+    let options = opts();
+    let session = saturated
+        .session("burst", SessionConfig { queue_capacity: SATURATION_JOBS, ..Default::default() });
+    let mut handles = Vec::new();
+    for i in 0..SATURATION_JOBS {
+        let spec = JobSpec::new(
+            Arc::clone(&problems[i % problems.len()]) as SharedProblem,
+            SEED.fetch_add(1, Ordering::Relaxed),
+        )
+        .with_options(options.clone())
+        .on_backend("simulated-annealing");
+        if let Ok(handle) = session.submit(spec) {
+            handles.push(handle);
+        }
+    }
+    for handle in &handles {
+        assert!(handle.wait().is_ok());
+    }
+    let saturation_shed = saturated.report().jobs_shed;
+    let shed_rate = saturation_shed as f64 / SATURATION_JOBS as f64;
+    println!(
+        "runtime/cluster saturation: {saturation_shed}/{SATURATION_JOBS} shed ({:.1}% of offered \
+         load) under a 32-token bucket + depth-16 watermark",
+        shed_rate * 100.0,
+    );
+
+    let _ = CLUSTER.set(ClusterNumbers {
+        cluster_seconds,
+        single_seconds,
+        cluster_low_p99,
+        single_low_p99,
+        saturation_shed,
+        shed_rate,
+    });
+}
+
 /// The dense instance wrapped as a service-submittable problem.
 struct DenseProblem {
     qubo: QuboModel,
@@ -610,13 +879,31 @@ fn bench_compile_once(c: &mut Criterion) {
         ),
         None => String::new(),
     };
+    let cluster = match CLUSTER.get() {
+        Some(cl) => format!(
+            ",\n  \"cluster\": {{\"shards\": {CLUSTER_SHARDS}, \"workers_per_shard\": 1, \
+             \"jobs_per_batch\": {CLUSTER_JOBS}, \"batch_seconds\": {{\"cluster\": {:.6}, \
+             \"single_service\": {:.6}}}, \"throughput_parity\": {:.2}, \
+             \"low_p99_seconds\": {{\"cluster\": {:.6}, \"single_service\": {:.6}}}, \
+             \"saturation\": {{\"offered\": {SATURATION_JOBS}, \"shed\": {}, \
+             \"shed_rate\": {:.3}}}}}",
+            cl.cluster_seconds,
+            cl.single_seconds,
+            cl.cluster_seconds / cl.single_seconds.max(1e-12),
+            cl.cluster_low_p99,
+            cl.single_low_p99,
+            cl.saturation_shed,
+            cl.shed_rate,
+        ),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"runtime\",\n  \"instance\": {{\"n_vars\": 256, \"density\": 0.05, \
          \"n_interactions\": {m}}},\n  \"race_k\": {RACE_K},\n  \"compile_ns\": {{\
          \"per_solve\": {per_stage_ns:.0}, \"compile_once\": {once_ns:.0}}},\n  \
          \"compile_amortization\": {amortization:.2},\n  \"latency_seconds\": {{\
          \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}{fairness}\
-         {observability}\n}}\n",
+         {observability}{cluster}\n}}\n",
         m = q.n_interactions(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
@@ -633,6 +920,7 @@ criterion_group!(
     bench_cache_hit_path,
     bench_fairness,
     bench_observability,
+    bench_cluster,
     bench_compile_once
 );
 criterion_main!(benches);

@@ -109,6 +109,103 @@ where
     (row_offsets, neighbors, weights)
 }
 
+/// The canonical-relabeling algorithm behind both
+/// [`QuboModel::canonical_form`] and [`CompiledQubo::canonical_form`],
+/// expressed over raw symmetric CSR arrays (what [`build_symmetric_csr`]
+/// returns) so callers can canonicalize a model *without* constructing a
+/// `CompiledQubo` — the [`compilation_count`] ledger stays untouched.
+/// Returns `(fingerprint, perm)` with `perm[original_index] =
+/// canonical_index`.
+///
+/// Variables are sorted by a coefficient signature — FNV-1a over the linear
+/// term, refined twice over the sorted `(coupling weight, neighbor
+/// signature)` multiset, a Weisfeiler-Lehman-style pass — and the relabeled
+/// coefficient stream is hashed exactly as [`QuboModel::fingerprint`] would
+/// hash the relabeled model, without materializing it.
+pub fn canonical_form_csr(
+    n_vars: usize,
+    offset: f64,
+    linear: &[f64],
+    row_offsets: &[usize],
+    neighbors: &[u32],
+    weights: &[f64],
+) -> (u64, Vec<usize>) {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mix = |mut h: u64, word: u64| -> u64 {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    };
+    let f64_bits = |x: f64| if x == 0.0 { 0u64 } else { x.to_bits() };
+    let row = |i: usize| {
+        let span = row_offsets[i]..row_offsets[i + 1];
+        (&neighbors[span.clone()], &weights[span])
+    };
+
+    // Weisfeiler-Lehman-style signature refinement: seed each variable
+    // with its linear coefficient, refine twice over the sorted
+    // (coupling weight, neighbor signature) multiset.
+    let mut sig: Vec<u64> = linear.iter().map(|&w| mix(FNV_OFFSET, f64_bits(w))).collect();
+    for _round in 0..2 {
+        let refined: Vec<u64> = (0..n_vars)
+            .map(|i| {
+                let (nbrs, ws) = row(i);
+                let mut tokens: Vec<(u64, u64)> =
+                    nbrs.iter().zip(ws).map(|(&j, &w)| (f64_bits(w), sig[j as usize])).collect();
+                tokens.sort_unstable();
+                let mut h = mix(FNV_OFFSET, sig[i]);
+                for (w, s) in tokens {
+                    h = mix(mix(h, w), s);
+                }
+                h
+            })
+            .collect();
+        sig = refined;
+    }
+
+    let mut order: Vec<usize> = (0..n_vars).collect();
+    order.sort_by_key(|&i| (sig[i], i));
+    let mut perm = vec![0usize; n_vars];
+    for (canonical, &original) in order.iter().enumerate() {
+        perm[original] = canonical;
+    }
+
+    // Hash the relabeled coefficient stream in `QuboModel::fingerprint`'s
+    // exact byte order — variable count, linear terms by canonical
+    // index, couplings by sorted canonical key, offset — without
+    // building the relabeled model. Each symmetric CSR edge is visited
+    // once via its upper-triangular (j > i) half.
+    let mut h = FNV_OFFSET;
+    h = mix(h, n_vars as u64);
+    for &original in &order {
+        h = mix(h, f64_bits(linear[original]));
+    }
+    let perm_ref = &perm;
+    let mut couplings: Vec<(usize, usize, u64)> = (0..n_vars)
+        .flat_map(|i| {
+            let (nbrs, ws) = row(i);
+            nbrs.iter().zip(ws).filter_map(move |(&j, &w)| {
+                let j = j as usize;
+                (j > i).then(|| {
+                    let (a, b) = (perm_ref[i].min(perm_ref[j]), perm_ref[i].max(perm_ref[j]));
+                    (a, b, f64_bits(w))
+                })
+            })
+        })
+        .collect();
+    couplings.sort_unstable();
+    for (a, b, w) in couplings {
+        h = mix(h, a as u64);
+        h = mix(h, b as u64);
+        h = mix(h, w);
+    }
+    h = mix(h, f64_bits(offset));
+    (h, perm)
+}
+
 impl CompiledQubo {
     /// Compiles a model. Prefer calling [`QuboModel::compile`].
     ///
@@ -361,78 +458,21 @@ impl CompiledQubo {
     /// Computes the canonical relabeling and permutation-invariant
     /// fingerprint of the compiled model: returns `(fingerprint, perm)` with
     /// `perm[original_index] = canonical_index`, exactly as
-    /// [`QuboModel::canonical_form`] does (that method now delegates here).
+    /// [`QuboModel::canonical_form`] does (both run the same CSR-level
+    /// algorithm, [`canonical_form_csr`]).
     ///
     /// Having this on the compiled form lets `qdm-runtime` derive the cache
     /// fingerprint from the *same* compilation every backend solves, instead
     /// of paying a second compile for fingerprinting.
     pub fn canonical_form(&self) -> (u64, Vec<usize>) {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mix = |mut h: u64, word: u64| -> u64 {
-            for byte in word.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-            h
-        };
-        let f64_bits = |x: f64| if x == 0.0 { 0u64 } else { x.to_bits() };
-
-        // Weisfeiler-Lehman-style signature refinement: seed each variable
-        // with its linear coefficient, refine twice over the sorted
-        // (coupling weight, neighbor signature) multiset.
-        let mut sig: Vec<u64> = self.linear.iter().map(|&w| mix(FNV_OFFSET, f64_bits(w))).collect();
-        for _round in 0..2 {
-            let refined: Vec<u64> = (0..self.n_vars)
-                .map(|i| {
-                    let (nbrs, ws) = self.row(i);
-                    let mut tokens: Vec<(u64, u64)> = nbrs
-                        .iter()
-                        .zip(ws)
-                        .map(|(&j, &w)| (f64_bits(w), sig[j as usize]))
-                        .collect();
-                    tokens.sort_unstable();
-                    let mut h = mix(FNV_OFFSET, sig[i]);
-                    for (w, s) in tokens {
-                        h = mix(mix(h, w), s);
-                    }
-                    h
-                })
-                .collect();
-            sig = refined;
-        }
-
-        let mut order: Vec<usize> = (0..self.n_vars).collect();
-        order.sort_by_key(|&i| (sig[i], i));
-        let mut perm = vec![0usize; self.n_vars];
-        for (canonical, &original) in order.iter().enumerate() {
-            perm[original] = canonical;
-        }
-
-        // Hash the relabeled coefficient stream in `QuboModel::fingerprint`'s
-        // exact byte order — variable count, linear terms by canonical
-        // index, couplings by sorted canonical key, offset — without
-        // building the relabeled model.
-        let mut h = FNV_OFFSET;
-        h = mix(h, self.n_vars as u64);
-        for &original in &order {
-            h = mix(h, f64_bits(self.linear[original]));
-        }
-        let mut couplings: Vec<(usize, usize, u64)> = self
-            .couplings_iter()
-            .map(|((i, j), w)| {
-                let (a, b) = (perm[i].min(perm[j]), perm[i].max(perm[j]));
-                (a, b, f64_bits(w))
-            })
-            .collect();
-        couplings.sort_unstable();
-        for (a, b, w) in couplings {
-            h = mix(h, a as u64);
-            h = mix(h, b as u64);
-            h = mix(h, w);
-        }
-        h = mix(h, f64_bits(self.offset));
-        (h, perm)
+        canonical_form_csr(
+            self.n_vars,
+            self.offset,
+            &self.linear,
+            &self.row_offsets,
+            &self.neighbors,
+            &self.weights,
+        )
     }
 
     /// Greedy graph coloring of the interaction graph in ascending variable

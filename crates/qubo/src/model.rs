@@ -280,13 +280,26 @@ impl QuboModel {
     /// original index, so genuinely symmetric variables may canonicalize
     /// differently across permutations; that costs a cache hit, never
     /// correctness.
-    /// The implementation lives on [`crate::compiled::CompiledQubo`] (the
-    /// signature refinement walks CSR rows anyway); callers that already
-    /// hold a compilation — the `qdm-runtime` compile-once path — call
-    /// `CompiledQubo::canonical_form` directly and skip this wrapper's
-    /// compile.
+    /// The implementation is [`crate::compiled::canonical_form_csr`] (the
+    /// signature refinement walks CSR rows anyway); this wrapper builds the
+    /// CSR arrays directly via [`crate::compiled::build_symmetric_csr`]
+    /// *without* constructing a [`crate::compiled::CompiledQubo`], so
+    /// canonicalizing a model for routing or cache lookups leaves the
+    /// [`crate::compiled::compilation_count`] ledger untouched. Callers that
+    /// already hold a compilation — the `qdm-runtime` compile-once path —
+    /// call `CompiledQubo::canonical_form` and share even the CSR build.
     pub fn canonical_form(&self) -> (u64, Vec<usize>) {
-        self.compile().canonical_form()
+        let (row_offsets, neighbors, weights) =
+            crate::compiled::build_symmetric_csr(self.n_vars(), || self.quadratic_iter());
+        let linear: Vec<f64> = (0..self.n_vars()).map(|i| self.linear(i)).collect();
+        crate::compiled::canonical_form_csr(
+            self.n_vars(),
+            self.offset(),
+            &linear,
+            &row_offsets,
+            &neighbors,
+            &weights,
+        )
     }
 
     /// A lower bound on the energy: offset plus all negative coefficients.

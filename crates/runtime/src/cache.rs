@@ -407,10 +407,13 @@ impl FlightLease<'_> {
     /// Tries to also lead `key` (the canonical key, learned after
     /// compiling). Returns `None` on success; if a *different* leader
     /// already holds it, returns that flight so the caller can demote to a
-    /// follower of it.
+    /// follower of it. Extending with a key this lease already leads is a
+    /// no-op success (the cluster-routed path registers the canonical key
+    /// *before* compiling, and the shared lead path re-derives it after).
     pub(crate) fn extend(&mut self, key: FlightKey) -> Option<Arc<Flight>> {
         let mut map = self.table.map.lock().expect("flight table lock");
         match map.entry(key.clone()) {
+            Entry::Occupied(entry) if Arc::ptr_eq(entry.get(), &self.flight) => None,
             Entry::Occupied(entry) => Some(Arc::clone(entry.get())),
             Entry::Vacant(entry) => {
                 entry.insert(Arc::clone(&self.flight));
@@ -647,6 +650,19 @@ mod tests {
         drop(lease); // the panic path: no publish
         assert!(matches!(follower.wait(), FlightResolution::Abandoned));
         assert!(matches!(table.join_or_lead(fk()), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn extend_with_an_already_held_key_is_a_noop_success() {
+        let table = FlightTable::new();
+        let canonical = || FlightKey::Canonical(key(11));
+        let mut lease = match table.join_or_lead(canonical()) {
+            FlightRole::Leader(lease) => lease,
+            FlightRole::Follower(_) => panic!("first arrival must lead"),
+        };
+        assert!(lease.extend(canonical()).is_none(), "own key must not demote the leader");
+        drop(lease);
+        assert!(matches!(table.join_or_lead(canonical()), FlightRole::Leader(_)));
     }
 
     #[test]

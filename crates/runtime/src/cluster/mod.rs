@@ -1,0 +1,587 @@
+//! Sharded multi-service front-end: admission control, load shedding, and
+//! cache-affine routing over N independent [`SolverService`] shards.
+//!
+//! A [`ClusterService`] owns a fixed set of solver shards and fronts them
+//! with the same session/handle API as a single service. Three mechanisms
+//! sit between a submission and a shard queue:
+//!
+//! - **Cache-affine routing** — every spec is encoded once at the front
+//!   door, its canonical (labeling-independent) fingerprint computed
+//!   *without compiling* ([`qdm_qubo::model::QuboModel::canonical_form`]),
+//!   and the job routed by consistent-hashing that fingerprint. Duplicates
+//!   of a hot QUBO — even relabeled ones — always land on the shard that
+//!   already has it cached and single-flight there, so a burst of
+//!   permuted duplicates compiles **once cluster-wide**.
+//! - **Admission control** — each tenant draws from a token bucket
+//!   ([`AdmissionConfig`]) refilled on an injectable [`Clock`]; an empty
+//!   bucket sheds the job with [`SubmitError::Overloaded`] carrying a
+//!   retry hint derived from the refill rate.
+//! - **Load shedding & migration** — a shard whose queue depth crosses
+//!   [`ClusterConfig::shed_watermark`] sheds new arrivals; when depths
+//!   diverge beyond [`ClusterConfig::migration_threshold`], queued jobs
+//!   migrate from the deepest to the shallowest shard in deterministic
+//!   order. A migrating job carries its precomputed route, so *where* it
+//!   runs never changes *what* it computes: per-job seeded RNGs keep
+//!   results bit-identical to a single-shard run.
+//!
+//! Observability spans shards: [`ClusterService::report`] merges per-shard
+//! [`RuntimeReport`]s ([`RuntimeReport::merge`]) with shard-tagged queue
+//! depth gauges, and every trace carries its shard id.
+
+pub mod admission;
+pub mod clock;
+mod ring;
+
+pub use admission::{AdmissionConfig, DepthProbe, TokenBucketConfig};
+pub use clock::{Clock, ManualClock, MonotonicClock};
+
+use crate::handle::{Completion, JobHandle};
+use crate::metrics::RuntimeReport;
+use crate::registry::SolverRegistry;
+use crate::service::{JobSpec, RouteInfo, ServiceConfig, SolverService};
+use crate::submit::{enqueue_reserved, Completions, SessionConfig, SessionCore, SubmitError};
+use crate::trace::JobTrace;
+use admission::AdmissionController;
+use ring::HashRing;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Base for cluster-issued job and session ids. Shard-local ids start at
+/// zero, so offsetting cluster ids keeps the two ranges disjoint — a
+/// cluster job never collides with a job submitted directly to a shard.
+const CLUSTER_ID_BASE: u64 = 1 << 32;
+
+/// Virtual nodes per shard on the consistent-hash ring.
+const RING_REPLICAS: usize = 64;
+
+/// Cluster configuration.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of solver shards (at least 1). Ignored by
+    /// [`ClusterService::with_registries`], where the registry list fixes
+    /// the shard count.
+    pub shards: usize,
+    /// Template for each shard's [`ServiceConfig`]. `shard` and `epoch`
+    /// are overridden per shard: every shard gets its own id and all
+    /// shards share one epoch so queue-wait timestamps stay valid when a
+    /// job migrates.
+    pub service: ServiceConfig,
+    /// Per-tenant token-bucket admission policy.
+    pub admission: AdmissionConfig,
+    /// Queue depth at which a shard sheds new arrivals with
+    /// [`SubmitError::Overloaded`]; `None` disables watermark shedding.
+    pub shed_watermark: Option<usize>,
+    /// Retry hint handed back with watermark sheds (how long the caller
+    /// should expect the shard to need to drain below the watermark).
+    pub shed_retry_hint: Duration,
+    /// Maximum tolerated queue-depth spread between the deepest and
+    /// shallowest shard before queued jobs migrate; `None` disables
+    /// migration.
+    pub migration_threshold: Option<usize>,
+    /// Time source for admission control; `None` uses a
+    /// [`MonotonicClock`]. Tests inject a [`ManualClock`] so token-bucket
+    /// behavior needs no sleeps.
+    pub clock: Option<Arc<dyn Clock>>,
+    /// Queue-depth source for shedding and migration; `None` reads each
+    /// shard's live queue-depth gauge. Tests inject fixed depths to
+    /// exercise watermark/migration logic without real backlogs.
+    pub depth_probe: Option<Arc<dyn DepthProbe>>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            service: ServiceConfig { workers: 1, ..ServiceConfig::default() },
+            admission: AdmissionConfig::default(),
+            shed_watermark: None,
+            shed_retry_hint: Duration::from_millis(50),
+            migration_threshold: None,
+            clock: None,
+            depth_probe: None,
+        }
+    }
+}
+
+/// A sharded front-end over N independent [`SolverService`]s.
+///
+/// Dropping the cluster drops every shard, which drains and joins their
+/// worker pools — same teardown contract as a standalone service.
+pub struct ClusterService {
+    shards: Vec<SolverService>,
+    ring: HashRing,
+    admission: AdmissionController,
+    clock: Arc<dyn Clock>,
+    depth_probe: Option<Arc<dyn DepthProbe>>,
+    shed_watermark: Option<usize>,
+    shed_retry_hint: Duration,
+    migration_threshold: Option<usize>,
+    next_job_id: AtomicU64,
+    next_session_id: AtomicU64,
+}
+
+impl ClusterService {
+    /// Starts a cluster of [`ClusterConfig::shards`] shards, each over the
+    /// standard backend portfolio.
+    pub fn new(config: ClusterConfig) -> Self {
+        let registries = (0..config.shards.max(1)).map(|_| SolverRegistry::standard()).collect();
+        Self::with_registries(registries, config)
+    }
+
+    /// Starts a cluster with one custom registry per shard (the registry
+    /// list fixes the shard count; [`ClusterConfig::shards`] is ignored).
+    pub fn with_registries(registries: Vec<SolverRegistry>, config: ClusterConfig) -> Self {
+        assert!(!registries.is_empty(), "a cluster needs at least one shard");
+        let epoch = config.service.epoch.unwrap_or_else(Instant::now);
+        let shards: Vec<SolverService> = registries
+            .into_iter()
+            .enumerate()
+            .map(|(i, registry)| {
+                SolverService::with_registry(
+                    registry,
+                    ServiceConfig {
+                        shard: Some(i as u64),
+                        epoch: Some(epoch),
+                        ..config.service.clone()
+                    },
+                )
+            })
+            .collect();
+        let ring = HashRing::new(shards.len(), RING_REPLICAS);
+        Self {
+            ring,
+            admission: AdmissionController::new(config.admission),
+            clock: config.clock.unwrap_or_else(|| Arc::new(MonotonicClock::new())),
+            depth_probe: config.depth_probe,
+            shed_watermark: config.shed_watermark,
+            shed_retry_hint: config.shed_retry_hint,
+            migration_threshold: config.migration_threshold,
+            next_job_id: AtomicU64::new(CLUSTER_ID_BASE),
+            next_session_id: AtomicU64::new(CLUSTER_ID_BASE),
+            shards,
+        }
+    }
+
+    /// Number of shards in the cluster.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a canonical fingerprint routes to. Pure function of the
+    /// shard count — every duplicate of a QUBO (however relabeled) routes
+    /// here, which is what makes the shard's cache and single-flight table
+    /// effective cluster-wide.
+    pub fn shard_for_fingerprint(&self, fingerprint: u64) -> usize {
+        self.ring.shard_for(fingerprint)
+    }
+
+    /// Opens a submission session for `tenant` with the same bounded-queue
+    /// semantics as [`SolverService::session`]. The tenant name selects
+    /// the admission token bucket; jobs fan out across shards by content,
+    /// while handles and the completion stream behave exactly as on a
+    /// single service.
+    pub fn session(&self, tenant: impl Into<String>, config: SessionConfig) -> ClusterSession<'_> {
+        let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
+        ClusterSession {
+            cluster: self,
+            tenant: tenant.into(),
+            core: Arc::new(SessionCore::new(id, config.queue_capacity, config.completion_buffer)),
+        }
+    }
+
+    /// The merged cluster-wide ledger: every per-shard
+    /// [`RuntimeReport`] summed via [`RuntimeReport::merge`], with
+    /// shard-tagged queue depth gauges. Per-shard ledgers do not
+    /// individually balance once jobs migrate (the donor counted the
+    /// submit, the recipient counts the completion) — the merged report is
+    /// the one that always does.
+    pub fn report(&self) -> RuntimeReport {
+        let reports = self.shard_reports();
+        RuntimeReport::merge(&reports)
+    }
+
+    /// Per-shard reports, indexed by shard id (each tagged with
+    /// [`RuntimeReport::shard`]).
+    pub fn shard_reports(&self) -> Vec<RuntimeReport> {
+        self.shards.iter().map(SolverService::report).collect()
+    }
+
+    /// Every shard's retained traces (each tagged with its shard id),
+    /// ordered by job id for a stable cross-shard view.
+    pub fn traces(&self) -> Vec<JobTrace> {
+        let mut traces: Vec<JobTrace> =
+            self.shards.iter().flat_map(SolverService::traces).collect();
+        traces.sort_by_key(|t| t.job_id);
+        traces
+    }
+
+    /// Current queue depth of `shard`, from the injected probe or the
+    /// shard's live gauge.
+    fn depth(&self, shard: usize) -> usize {
+        match &self.depth_probe {
+            Some(probe) => probe.queue_depth(shard),
+            None => self.shards[shard].shared.metrics.queue_depth() as usize,
+        }
+    }
+
+    /// Migrates queued jobs from the deepest to the shallowest shard while
+    /// the spread exceeds the threshold *and* moving a job strictly
+    /// shrinks it (a spread of 1 would only oscillate). Donor and
+    /// recipient selection break ties toward the lowest shard index and
+    /// each shard's scheduler pops in its deterministic order, so the
+    /// migration sequence is reproducible. The job moves with its
+    /// precomputed route and untouched completion slot/session — nothing
+    /// about its eventual result changes, only which worker pool runs it.
+    fn maybe_migrate(&self) {
+        let Some(threshold) = self.migration_threshold else { return };
+        if self.shards.len() < 2 {
+            return;
+        }
+        loop {
+            let depths: Vec<usize> = (0..self.shards.len()).map(|s| self.depth(s)).collect();
+            let mut donor = 0;
+            let mut recipient = 0;
+            for (i, &d) in depths.iter().enumerate() {
+                if d > depths[donor] {
+                    donor = i;
+                }
+                if d < depths[recipient] {
+                    recipient = i;
+                }
+            }
+            let spread = depths[donor] - depths[recipient];
+            if spread <= threshold || spread < 2 {
+                return;
+            }
+            // One queue lock at a time: pop from the donor, then push to
+            // the recipient. The job is invisible to cancel() in between,
+            // which is fine — cancel of a missing id degrades to the
+            // running-job path.
+            let popped = {
+                let mut queue = self.shards[donor].shared.queue.lock().expect("queue lock");
+                queue.pop()
+            };
+            let Some(job) = popped else { return };
+            let from = &self.shards[donor].shared;
+            let to = &self.shards[recipient].shared;
+            from.metrics.on_dequeue();
+            from.metrics.on_migrated();
+            to.metrics.on_enqueue();
+            {
+                let mut queue = to.queue.lock().expect("queue lock");
+                queue.push(job);
+            }
+            to.job_ready.notify_one();
+        }
+    }
+}
+
+/// An asynchronous submission session over a [`ClusterService`].
+///
+/// Same contract as [`crate::submit::Session`] — bounded queue, per-job
+/// [`JobHandle`]s, a finish-order completion stream, drain/shutdown — plus
+/// the cluster's admission checks: [`ClusterSession::submit`] can return
+/// [`SubmitError::Overloaded`] when the tenant's bucket is empty or the
+/// routed shard is past its shedding watermark. One session's jobs may
+/// execute on different shards; the handles and completion stream hide
+/// that entirely.
+pub struct ClusterSession<'a> {
+    cluster: &'a ClusterService,
+    tenant: String,
+    core: Arc<SessionCore>,
+}
+
+impl ClusterSession<'_> {
+    /// The tenant this session draws admission tokens for.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Encodes the spec once and picks its shard by canonical fingerprint.
+    fn route(&self, spec: &JobSpec) -> (usize, RouteInfo) {
+        let qubo = Arc::new(spec.problem.to_qubo());
+        let (canonical_fp, perm) = qubo.canonical_form();
+        let shard = self.cluster.ring.shard_for(canonical_fp);
+        (shard, RouteInfo { qubo, canonical_fp, perm: Arc::new(perm) })
+    }
+
+    /// Admission checks for an already-reserved slot: token bucket first,
+    /// then the routed shard's shedding watermark. On refusal the
+    /// reservation is unwound, the shed is counted against the routed
+    /// shard, and the spec is handed back inside the error.
+    fn admit_reserved(&self, shard: usize, spec: JobSpec) -> Result<JobSpec, SubmitError> {
+        let metrics = &self.cluster.shards[shard].shared.metrics;
+        if let Err(retry_after_hint) =
+            self.cluster.admission.try_admit(&self.tenant, self.cluster.clock.now_micros())
+        {
+            self.core.unreserve();
+            metrics.on_shed();
+            return Err(SubmitError::Overloaded { retry_after_hint, spec });
+        }
+        if let Some(watermark) = self.cluster.shed_watermark {
+            if self.cluster.depth(shard) >= watermark {
+                self.core.unreserve();
+                metrics.on_shed();
+                return Err(SubmitError::Overloaded {
+                    retry_after_hint: self.cluster.shed_retry_hint,
+                    spec,
+                });
+            }
+        }
+        metrics.on_admitted();
+        Ok(spec)
+    }
+
+    /// Submits a job, blocking while the session queue is full, then
+    /// applying admission control. Sheds return the spec with a backoff
+    /// hint; admitted jobs are enqueued on their fingerprint's shard and
+    /// may trigger queue rebalancing.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let (shard, route) = self.route(&spec);
+        let shared = &self.cluster.shards[shard].shared;
+        self.core.reserve_blocking(&shared.metrics);
+        let spec = self.admit_reserved(shard, spec)?;
+        let id = self.cluster.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let handle = enqueue_reserved(shared, &self.core, id, spec, Some(route));
+        self.cluster.maybe_migrate();
+        Ok(handle)
+    }
+
+    /// Non-blocking submit: a full session queue returns
+    /// [`SubmitError::QueueFull`] (no admission token consumed); otherwise
+    /// identical to [`ClusterSession::submit`].
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let (shard, route) = self.route(&spec);
+        let shared = &self.cluster.shards[shard].shared;
+        if !self.core.try_reserve() {
+            shared.metrics.on_backpressure_rejection();
+            return Err(SubmitError::QueueFull(spec));
+        }
+        let spec = self.admit_reserved(shard, spec)?;
+        let id = self.cluster.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let handle = enqueue_reserved(shared, &self.core, id, spec, Some(route));
+        self.cluster.maybe_migrate();
+        Ok(handle)
+    }
+
+    /// Streams finished jobs in finish order, across all shards. Same
+    /// fused-iterator contract as [`crate::submit::Session::completions`].
+    pub fn completions(&self) -> Completions<'_> {
+        Completions::new(&self.core)
+    }
+
+    /// Jobs submitted through this session that have not resolved yet.
+    pub fn in_flight(&self) -> usize {
+        self.core.unresolved()
+    }
+
+    /// Completions evicted because the stream buffer overflowed
+    /// ([`SessionConfig::completion_buffer`]).
+    pub fn completions_dropped(&self) -> usize {
+        self.core.dropped()
+    }
+
+    /// Blocks until every job submitted through this session has resolved,
+    /// wherever it migrated.
+    pub fn drain(&self) {
+        self.core.drain_wait();
+    }
+
+    /// Graceful teardown: drains and returns unconsumed completions in
+    /// finish order.
+    pub fn shutdown(self) -> Vec<Completion> {
+        self.core.drain_wait();
+        self.core.take_completions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SharedProblem;
+    use qdm_core::problem::{Decoded, DmProblem};
+    use qdm_qubo::model::QuboModel;
+    use qdm_qubo::penalty;
+
+    struct PickOne {
+        costs: Vec<f64>,
+    }
+
+    impl DmProblem for PickOne {
+        fn name(&self) -> String {
+            format!("cluster-pick-{}", self.costs.len())
+        }
+        fn n_vars(&self) -> usize {
+            self.costs.len()
+        }
+        fn to_qubo(&self) -> QuboModel {
+            let mut q = QuboModel::new(self.costs.len());
+            for (i, &c) in self.costs.iter().enumerate() {
+                q.add_linear(i, c);
+            }
+            let vars: Vec<usize> = (0..self.costs.len()).collect();
+            let weight = penalty::penalty_weight(&q);
+            penalty::exactly_one(&mut q, &vars, weight);
+            q
+        }
+        fn decode(&self, bits: &[bool]) -> Decoded {
+            let chosen: Vec<usize> =
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            Decoded {
+                feasible: chosen.len() == 1,
+                objective: chosen.iter().map(|&i| self.costs[i]).sum(),
+                summary: format!("chose {chosen:?}"),
+            }
+        }
+    }
+
+    fn pick(n: usize) -> SharedProblem {
+        Arc::new(PickOne { costs: (0..n).map(|i| ((i * 3) % 7) as f64 + 0.5).collect() })
+    }
+
+    fn small_cluster(shards: usize) -> ClusterService {
+        ClusterService::new(ClusterConfig {
+            shards,
+            service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn cluster_jobs_run_and_ids_stay_disjoint_from_shard_ids() {
+        let cluster = small_cluster(2);
+        let session = cluster.session("t", SessionConfig::default());
+        let handle = session.submit(JobSpec::new(pick(4), 7)).expect("admitted");
+        assert!(handle.id() >= CLUSTER_ID_BASE, "cluster ids live above the shard-local range");
+        let result = handle.wait().expect("solvable");
+        assert!(result.report.decoded.feasible);
+        session.drain();
+        let report = cluster.report();
+        assert_eq!(report.jobs_submitted, 1);
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_admitted, 1);
+    }
+
+    #[test]
+    fn token_bucket_sheds_and_manual_refill_readmits() {
+        let clock = Arc::new(ManualClock::new(0));
+        let cluster = ClusterService::new(ClusterConfig {
+            shards: 2,
+            service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+            admission: AdmissionConfig::default().with_tenant(
+                "metered",
+                TokenBucketConfig { capacity: 1.0, refill_per_second: 1.0 },
+            ),
+            clock: Some(clock.clone()),
+            ..Default::default()
+        });
+        let session = cluster.session("metered", SessionConfig::default());
+        let first = session.submit(JobSpec::new(pick(4), 1)).expect("burst token");
+        let err = session.submit(JobSpec::new(pick(4), 2)).unwrap_err();
+        let hint = err.retry_after_hint().expect("overloaded carries a hint");
+        assert_eq!(hint, Duration::from_secs(1));
+        // Advance the injected clock instead of sleeping: the bucket
+        // refills and the recovered spec resubmits cleanly.
+        clock.advance(1_000_000);
+        let retried = session.submit(err.into_spec()).expect("refilled");
+        assert!(first.wait().is_ok());
+        assert!(retried.wait().is_ok());
+        session.drain();
+        let report = cluster.report();
+        assert_eq!(report.jobs_shed, 1);
+        assert_eq!(report.jobs_admitted, 2);
+        assert_eq!(report.jobs_submitted, 2, "shed jobs never reach a queue");
+    }
+
+    #[test]
+    fn watermark_sheds_via_injected_depth_probe() {
+        struct Flooded;
+        impl DepthProbe for Flooded {
+            fn queue_depth(&self, _shard: usize) -> usize {
+                1000
+            }
+        }
+        let cluster = ClusterService::new(ClusterConfig {
+            shards: 2,
+            service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+            shed_watermark: Some(8),
+            shed_retry_hint: Duration::from_millis(250),
+            depth_probe: Some(Arc::new(Flooded)),
+            ..Default::default()
+        });
+        let session = cluster.session("t", SessionConfig::default());
+        let err = session.submit(JobSpec::new(pick(4), 1)).unwrap_err();
+        assert_eq!(err.retry_after_hint(), Some(Duration::from_millis(250)));
+        drop(session);
+        let report = cluster.report();
+        assert_eq!(report.jobs_shed, 1);
+        assert_eq!(report.jobs_submitted, 0);
+    }
+
+    #[test]
+    fn shed_submissions_release_their_queue_slot() {
+        struct Flooded;
+        impl DepthProbe for Flooded {
+            fn queue_depth(&self, _shard: usize) -> usize {
+                usize::MAX
+            }
+        }
+        let cluster = ClusterService::new(ClusterConfig {
+            shards: 1,
+            service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+            shed_watermark: Some(1),
+            depth_probe: Some(Arc::new(Flooded)),
+            ..Default::default()
+        });
+        // Capacity 1: if sheds leaked their reservation, the second submit
+        // would deadlock in reserve_blocking.
+        let session =
+            cluster.session("t", SessionConfig { queue_capacity: 1, completion_buffer: 4 });
+        for seed in 0..4 {
+            let err = session.submit(JobSpec::new(pick(4), seed)).unwrap_err();
+            assert!(matches!(err, SubmitError::Overloaded { .. }));
+        }
+        assert_eq!(session.in_flight(), 0);
+    }
+
+    #[test]
+    fn duplicate_fingerprints_route_to_one_shard() {
+        let cluster = small_cluster(4);
+        let qubo = pick(6).to_qubo();
+        let (fp, _) = qubo.canonical_form();
+        let home = cluster.shard_for_fingerprint(fp);
+        let session = cluster.session("t", SessionConfig::default());
+        for seed in 0..6 {
+            session.submit(JobSpec::new(pick(6), seed)).expect("admitted");
+        }
+        session.drain();
+        let reports = cluster.shard_reports();
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.shard, Some(i as u64));
+            let expected = if i == home { 6 } else { 0 };
+            assert_eq!(
+                report.jobs_submitted, expected,
+                "all duplicates of one fingerprint belong to shard {home}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_cluster_never_migrates() {
+        let cluster = ClusterService::new(ClusterConfig {
+            shards: 1,
+            service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+            migration_threshold: Some(0),
+            ..Default::default()
+        });
+        let session = cluster.session("t", SessionConfig::default());
+        for seed in 0..8 {
+            session.submit(JobSpec::new(pick(4), seed)).expect("admitted");
+        }
+        session.drain();
+        let report = cluster.report();
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.jobs_completed, 8);
+    }
+}

@@ -1,0 +1,99 @@
+//! Consistent-hash ring for fingerprint → shard routing.
+//!
+//! Each shard owns a fixed set of virtual nodes placed on a `u64` ring by
+//! an FNV-1a hash of `(shard, replica)`. A canonical fingerprint routes to
+//! the owner of the first ring point at or after its own hash (wrapping to
+//! the first point past the top). Two properties matter to the cluster:
+//!
+//! - **Determinism** — the ring is a pure function of the shard count, so
+//!   every process routes a fingerprint identically. Cache affinity and
+//!   the duplicate-coalescing proof in the cluster tests rely on this.
+//! - **Stability** — virtual nodes mean adding a shard moves only the keys
+//!   that fall into the new shard's arcs, instead of reshuffling all of
+//!   them as `fp % n` would.
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over the little-endian bytes of each word.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+/// Sorted ring of `(point, shard)` virtual nodes.
+pub(crate) struct HashRing {
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// A ring with `replicas` virtual nodes for each of `shards` shards.
+    pub(crate) fn new(shards: usize, replicas: usize) -> Self {
+        let mut points = Vec::with_capacity(shards * replicas);
+        for shard in 0..shards {
+            for replica in 0..replicas {
+                points.push((fnv1a(&[shard as u64, replica as u64]), shard));
+            }
+        }
+        points.sort_unstable();
+        Self { points }
+    }
+
+    /// The shard owning `fingerprint`: the first ring point clockwise from
+    /// the fingerprint's hash.
+    pub(crate) fn shard_for(&self, fingerprint: u64) -> usize {
+        let hash = fnv1a(&[fingerprint]);
+        let idx = self.points.partition_point(|&(point, _)| point < hash);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_single_shard_routes_everything_home() {
+        let ring = HashRing::new(4, 64);
+        let again = HashRing::new(4, 64);
+        for fp in 0..1000u64 {
+            assert_eq!(ring.shard_for(fp), again.shard_for(fp));
+        }
+        let solo = HashRing::new(1, 64);
+        for fp in 0..1000u64 {
+            assert_eq!(solo.shard_for(fp), 0);
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_keys_across_all_shards() {
+        let ring = HashRing::new(4, 64);
+        let mut counts = [0usize; 4];
+        for fp in 0..10_000u64 {
+            counts[ring.shard_for(fp)] += 1;
+        }
+        for (shard, count) in counts.iter().enumerate() {
+            assert!(
+                *count > 1000,
+                "shard {shard} owns only {count} of 10k keys — ring badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_a_fraction_of_keys() {
+        let four = HashRing::new(4, 64);
+        let five = HashRing::new(5, 64);
+        let moved = (0..10_000u64).filter(|&fp| four.shard_for(fp) != five.shard_for(fp)).count();
+        // Ideal is 1/5 of keys; allow generous slack while still ruling
+        // out a modulo-style full reshuffle (~80% moved).
+        assert!(moved < 5_000, "{moved} of 10k keys moved when adding one shard");
+    }
+}

@@ -149,6 +149,15 @@ pub struct JobHandle {
     session: Arc<SessionCore>,
 }
 
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("finished", &self.is_finished())
+            .finish_non_exhaustive()
+    }
+}
+
 impl JobHandle {
     pub(crate) fn new(
         id: u64,
@@ -227,6 +236,7 @@ impl JobHandle {
                     seed: job.spec.seed,
                     outcome: TraceOutcome::Cancelled,
                     backend: None,
+                    shard: self.shared.shard,
                     spans: vec![Span {
                         stage: Stage::Queued,
                         backend: None,

@@ -59,6 +59,15 @@
 //!   time) with quantile estimation, and the [`metrics::RuntimeReport`]
 //!   snapshot with Prometheus text exposition
 //!   ([`metrics::RuntimeReport::render_prometheus`]);
+//! - [`cluster`] — the sharded front-end ([`cluster::ClusterService`]):
+//!   N independent services behind one session API, jobs routed by
+//!   consistent-hashing the canonical fingerprint (duplicates of a hot
+//!   QUBO — even relabeled ones — land on the shard that has it cached
+//!   and single-flight there, compiling once cluster-wide), per-tenant
+//!   token-bucket admission control on an injectable [`cluster::Clock`],
+//!   watermark load shedding ([`submit::SubmitError::Overloaded`] with a
+//!   retry hint), and deterministic cross-shard queue migration — results
+//!   stay bit-identical to a single-shard run under fixed seeds;
 //! - [`trace`] — structured per-job span timelines
 //!   (`queued → compiled → presolved → backend solve → served`, with race
 //!   participants as winner/loser child spans) recorded into a bounded
@@ -83,6 +92,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cluster;
 pub mod handle;
 pub mod metrics;
 pub mod portfolio;
@@ -95,6 +105,10 @@ pub mod trace;
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::cache::{CacheKey, CachedResult, ResultCache};
+    pub use crate::cluster::{
+        AdmissionConfig, Clock, ClusterConfig, ClusterService, ClusterSession, DepthProbe,
+        ManualClock, MonotonicClock, TokenBucketConfig,
+    };
     pub use crate::handle::{CancelStatus, Completion, JobHandle};
     pub use crate::metrics::{Metrics, RuntimeReport};
     pub use crate::portfolio::{BackendStats, PortfolioScheduler};

@@ -66,6 +66,9 @@ pub struct Metrics {
     served_seconds_total_micros: AtomicU64,
     compile_saved_nanos: AtomicU64,
     race_jobs: AtomicU64,
+    jobs_admitted: AtomicU64,
+    jobs_shed: AtomicU64,
+    migrations: AtomicU64,
     per_backend: Mutex<BTreeMap<String, u64>>,
     race_wins: Mutex<BTreeMap<String, u64>>,
 }
@@ -208,6 +211,33 @@ impl Metrics {
         *self.race_wins.lock().expect("metrics lock").entry(winner.to_string()).or_insert(0) += 1;
     }
 
+    /// Records a job that passed cluster admission control (token bucket
+    /// and load-shedding watermark) and was enqueued on this shard.
+    pub fn on_admitted(&self) {
+        self.jobs_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job shed before enqueue — its tenant's token bucket was
+    /// empty or this shard's queue depth crossed the shedding watermark.
+    /// Shed jobs never enter the queue, so they appear in no other ledger
+    /// bucket.
+    pub fn on_shed(&self) {
+        self.jobs_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a queued job migrated between shards to rebalance queue
+    /// depths. Counted on the **donor** shard (the job left its queue).
+    pub fn on_migrated(&self) {
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current queue depth, as tracked by [`Self::on_enqueue`] /
+    /// [`Self::on_dequeue`]. The cluster's default depth probe reads this
+    /// for watermark and migration decisions.
+    pub(crate) fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
     /// Snapshots every counter into an immutable report. Map-like fields
     /// come out sorted by backend name, so equal states always produce
     /// equal reports. The portfolio-telemetry and trace fields are empty
@@ -245,6 +275,9 @@ impl Metrics {
                 / 1e6,
             compile_seconds_saved: self.compile_saved_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             race_jobs: self.race_jobs.load(Ordering::Relaxed),
+            jobs_admitted: self.jobs_admitted.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
             latency_histogram: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
             served_latency_histogram: std::array::from_fn(|i| {
                 self.served_latency[i].load(Ordering::Relaxed)
@@ -254,6 +287,8 @@ impl Metrics {
             backend_telemetry: Vec::new(),
             traces_recorded: 0,
             traces_dropped: 0,
+            shard: None,
+            shard_queue_depths: Vec::new(),
         }
     }
 }
@@ -319,6 +354,16 @@ pub struct RuntimeReport {
     pub compile_seconds_saved: f64,
     /// Portfolio-race jobs completed ([`crate::service::BackendChoice::Race`]).
     pub race_jobs: u64,
+    /// Jobs that passed cluster admission control and were enqueued here.
+    /// Zero outside a [`crate::cluster::ClusterService`].
+    pub jobs_admitted: u64,
+    /// Jobs shed before enqueue (empty tenant token bucket or queue depth
+    /// over the shedding watermark). Shed jobs were never submitted, so
+    /// they are in no other ledger bucket.
+    pub jobs_shed: u64,
+    /// Queued jobs migrated away from this shard to rebalance queue depths
+    /// (counted on the donor).
+    pub migrations: u64,
     /// Solve-latency histogram; bucket `i` counts solves in
     /// `[2^i, 2^(i+1))` µs. Cache hits and coalesced followers are *not* in
     /// here — see [`Self::served_latency_histogram`].
@@ -341,9 +386,121 @@ pub struct RuntimeReport {
     pub traces_recorded: u64,
     /// Job traces lost to ring wraparound or slot contention.
     pub traces_dropped: u64,
+    /// The shard this report describes: `Some(id)` for a shard inside a
+    /// [`crate::cluster::ClusterService`], `None` for a standalone service
+    /// or a merged cluster report.
+    pub shard: Option<u64>,
+    /// Per-shard `(shard id, current queue depth)` breakdown, sorted by
+    /// shard id. Empty except on reports produced by
+    /// [`RuntimeReport::merge`] over shard-tagged inputs.
+    pub shard_queue_depths: Vec<(u64, u64)>,
 }
 
 impl RuntimeReport {
+    /// Merges per-shard reports into one aggregate: counters and seconds
+    /// totals sum, histograms sum **bucket-wise** (so the quantile readers
+    /// keep working on the merged report), per-backend tables merge by
+    /// backend name (staying name-sorted), and EWMA telemetry merges as an
+    /// observation-weighted average. `queue_depth` sums; `queue_depth_peak`
+    /// also sums, which makes it an upper bound — the shards need not have
+    /// peaked simultaneously. The merged report carries `shard: None` and a
+    /// per-shard `(shard, queue_depth)` breakdown collected from every
+    /// input that was shard-tagged (nested breakdowns from already-merged
+    /// inputs are carried through).
+    pub fn merge<'a>(reports: impl IntoIterator<Item = &'a RuntimeReport>) -> RuntimeReport {
+        let mut merged = RuntimeReport {
+            jobs_submitted: 0,
+            jobs_completed: 0,
+            jobs_failed: 0,
+            jobs_cancelled: 0,
+            jobs_coalesced: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            queue_depth: 0,
+            queue_depth_peak: 0,
+            backpressure_rejections: 0,
+            backpressure_waits: 0,
+            solve_seconds_total: 0.0,
+            served_seconds_total: 0.0,
+            compile_seconds_saved: 0.0,
+            race_jobs: 0,
+            jobs_admitted: 0,
+            jobs_shed: 0,
+            migrations: 0,
+            latency_histogram: [0; LATENCY_BUCKETS],
+            served_latency_histogram: [0; LATENCY_BUCKETS],
+            per_backend: Vec::new(),
+            race_wins: Vec::new(),
+            backend_telemetry: Vec::new(),
+            traces_recorded: 0,
+            traces_dropped: 0,
+            shard: None,
+            shard_queue_depths: Vec::new(),
+        };
+        let mut per_backend: BTreeMap<String, u64> = BTreeMap::new();
+        let mut race_wins: BTreeMap<String, u64> = BTreeMap::new();
+        let mut telemetry: BTreeMap<String, BackendTelemetry> = BTreeMap::new();
+        for r in reports {
+            merged.jobs_submitted += r.jobs_submitted;
+            merged.jobs_completed += r.jobs_completed;
+            merged.jobs_failed += r.jobs_failed;
+            merged.jobs_cancelled += r.jobs_cancelled;
+            merged.jobs_coalesced += r.jobs_coalesced;
+            merged.cache_hits += r.cache_hits;
+            merged.cache_misses += r.cache_misses;
+            merged.queue_depth += r.queue_depth;
+            merged.queue_depth_peak += r.queue_depth_peak;
+            merged.backpressure_rejections += r.backpressure_rejections;
+            merged.backpressure_waits += r.backpressure_waits;
+            merged.solve_seconds_total += r.solve_seconds_total;
+            merged.served_seconds_total += r.served_seconds_total;
+            merged.compile_seconds_saved += r.compile_seconds_saved;
+            merged.race_jobs += r.race_jobs;
+            merged.jobs_admitted += r.jobs_admitted;
+            merged.jobs_shed += r.jobs_shed;
+            merged.migrations += r.migrations;
+            merged.traces_recorded += r.traces_recorded;
+            merged.traces_dropped += r.traces_dropped;
+            for i in 0..LATENCY_BUCKETS {
+                merged.latency_histogram[i] += r.latency_histogram[i];
+                merged.served_latency_histogram[i] += r.served_latency_histogram[i];
+            }
+            for (name, count) in &r.per_backend {
+                *per_backend.entry(name.clone()).or_insert(0) += count;
+            }
+            for (name, count) in &r.race_wins {
+                *race_wins.entry(name.clone()).or_insert(0) += count;
+            }
+            for t in &r.backend_telemetry {
+                telemetry
+                    .entry(t.backend.clone())
+                    .and_modify(|acc| {
+                        let (a, b) = (acc.observations as f64, t.observations as f64);
+                        if a + b > 0.0 {
+                            acc.ewma_latency_seconds = (acc.ewma_latency_seconds * a
+                                + t.ewma_latency_seconds * b)
+                                / (a + b);
+                            acc.ewma_quality =
+                                (acc.ewma_quality * a + t.ewma_quality * b) / (a + b);
+                        }
+                        acc.observations += t.observations;
+                        acc.race_entries += t.race_entries;
+                        acc.race_wins += t.race_wins;
+                    })
+                    .or_insert_with(|| t.clone());
+            }
+            if let Some(shard) = r.shard {
+                merged.shard_queue_depths.push((shard, r.queue_depth));
+            }
+            merged.shard_queue_depths.extend(r.shard_queue_depths.iter().copied());
+        }
+        merged.per_backend = per_backend.into_iter().collect();
+        merged.race_wins = race_wins.into_iter().collect();
+        merged.backend_telemetry = telemetry.into_values().collect();
+        merged.shard_queue_depths.sort_unstable();
+        merged
+    }
+
     /// Fraction of answered jobs served from cache, in `[0, 1]`.
     pub fn cache_hit_rate(&self) -> f64 {
         let answered = self.cache_hits + self.cache_misses;
@@ -445,6 +602,38 @@ impl RuntimeReport {
             self.queue_depth as f64,
         );
         gauge("queue_depth_peak", "Deepest the queue has ever been.", self.queue_depth_peak as f64);
+
+        // Cluster admission/shedding counters carry the shard id as a label
+        // when this report describes one shard of a cluster.
+        let shard_label = self.shard.map(|s| format!("{{shard=\"{s}\"}}")).unwrap_or_default();
+        for (name, help, value) in [
+            (
+                "jobs_admitted_total",
+                "Jobs that passed cluster admission control and were enqueued.",
+                self.jobs_admitted as f64,
+            ),
+            (
+                "jobs_shed_total",
+                "Jobs shed before enqueue (token bucket empty or queue over watermark).",
+                self.jobs_shed as f64,
+            ),
+            (
+                "migrations_total",
+                "Queued jobs migrated between shards to rebalance depth.",
+                self.migrations as f64,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP qdm_{name} {help}\n# TYPE qdm_{name} counter\nqdm_{name}{shard_label} {value}\n"
+            ));
+        }
+        if !self.shard_queue_depths.is_empty() {
+            out.push_str("# HELP qdm_shard_queue_depth Jobs queued on the shard right now.\n");
+            out.push_str("# TYPE qdm_shard_queue_depth gauge\n");
+            for (shard, depth) in &self.shard_queue_depths {
+                out.push_str(&format!("qdm_shard_queue_depth{{shard=\"{shard}\"}} {depth}\n"));
+            }
+        }
 
         render_prom_histogram(
             &mut out,
@@ -550,6 +739,20 @@ impl std::fmt::Display for RuntimeReport {
             self.backpressure_waits,
             self.jobs_cancelled
         )?;
+        if self.jobs_admitted > 0 || self.jobs_shed > 0 || self.migrations > 0 {
+            writeln!(
+                f,
+                "cluster: {} admitted, {} shed, {} migrations",
+                self.jobs_admitted, self.jobs_shed, self.migrations
+            )?;
+        }
+        if !self.shard_queue_depths.is_empty() {
+            write!(f, "shards: ")?;
+            for (shard, depth) in &self.shard_queue_depths {
+                write!(f, " [{shard}: depth {depth}]")?;
+            }
+            writeln!(f)?;
+        }
         writeln!(f, "solve:   {:.3}s total backend time", self.solve_seconds_total)?;
         writeln!(f, "compile: {:.6}s saved by compile-once sharing", self.compile_seconds_saved)?;
         if self.traces_recorded > 0 {
@@ -773,6 +976,155 @@ mod tests {
             "every job lands in exactly one ledger bucket"
         );
         assert!(r.to_string().contains("1 coalesced in flight"), "{r}");
+    }
+
+    #[test]
+    fn admission_counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.on_admitted();
+        m.on_admitted();
+        m.on_shed();
+        m.on_migrated();
+        let mut r = m.report();
+        assert_eq!(r.jobs_admitted, 2);
+        assert_eq!(r.jobs_shed, 1);
+        assert_eq!(r.migrations, 1);
+        assert_eq!(r.shard, None);
+        let text = r.render_prometheus();
+        assert!(text.contains("qdm_jobs_admitted_total 2\n"), "{text}");
+        assert!(text.contains("qdm_jobs_shed_total 1\n"), "{text}");
+        assert!(text.contains("qdm_migrations_total 1\n"), "{text}");
+        assert!(r.to_string().contains("cluster: 2 admitted, 1 shed, 1 migrations"), "{r}");
+
+        // Shard-tagged reports label the cluster counters.
+        r.shard = Some(3);
+        let text = r.render_prometheus();
+        assert!(text.contains("qdm_jobs_admitted_total{shard=\"3\"} 2\n"), "{text}");
+        assert!(text.contains("qdm_jobs_shed_total{shard=\"3\"} 1\n"), "{text}");
+        assert!(text.contains("qdm_migrations_total{shard=\"3\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn merge_sums_counters_histograms_and_tables() {
+        let a = Metrics::new();
+        a.on_submit(2);
+        a.on_solved("tabu", 1e-6); // bucket 0
+        a.on_served(1e-6);
+        a.on_cache_hit();
+        a.on_served(3e-6);
+        a.on_enqueue();
+        a.on_admitted();
+        a.on_admitted();
+        a.on_shed();
+        let b = Metrics::new();
+        b.on_submit(1);
+        b.on_solved("tabu", 3000e-6); // bucket 11
+        b.on_solved("simulated-annealing", 1e-6);
+        b.on_served(3000e-6);
+        b.on_migrated();
+        let mut ra = a.report();
+        ra.shard = Some(0);
+        let mut rb = b.report();
+        rb.shard = Some(1);
+
+        let merged = RuntimeReport::merge([&ra, &rb]);
+        assert_eq!(merged.jobs_submitted, 3);
+        assert_eq!(merged.jobs_completed, 4);
+        assert_eq!(merged.cache_hits, 1);
+        assert_eq!(merged.cache_misses, 3);
+        assert_eq!(merged.jobs_admitted, 2);
+        assert_eq!(merged.jobs_shed, 1);
+        assert_eq!(merged.migrations, 1);
+        assert_eq!(merged.queue_depth, 1);
+        assert_eq!(merged.shard, None);
+        assert_eq!(merged.shard_queue_depths, vec![(0, 1), (1, 0)]);
+        // Per-backend tables merge by name and stay name-sorted.
+        assert_eq!(
+            merged.per_backend,
+            vec![("simulated-annealing".to_string(), 1), ("tabu".to_string(), 2)]
+        );
+        // Histograms summed bucket-wise: the quantile readers keep working.
+        assert_eq!(merged.latency_histogram.iter().sum::<u64>(), 3);
+        assert_eq!(merged.latency_histogram[0], 2);
+        assert_eq!(merged.latency_histogram[11], 1);
+        // p50 rank = ceil(0.5*3) = 2 → bucket 0 (upper bound 2µs); p99 rank
+        // = 3 → bucket 11 (upper bound 4096µs). Neither shard alone has
+        // this shape, so these quantiles only come out of a correct merge.
+        assert_eq!(merged.latency_quantile(0.5), Some(2e-6));
+        assert_eq!(merged.latency_quantile(0.99), Some(4096e-6));
+        assert_eq!(merged.served_latency_histogram.iter().sum::<u64>(), 3);
+        assert_eq!(merged.served_latency_quantile(0.99), Some(4096e-6));
+
+        // A merged report can be merged again; the shard breakdown nests.
+        let rc = Metrics::new().report();
+        let twice = RuntimeReport::merge([&merged, &rc]);
+        assert_eq!(twice.jobs_submitted, 3);
+        assert_eq!(twice.shard_queue_depths, vec![(0, 1), (1, 0)]);
+
+        // Empty merge is the all-zero report.
+        assert_eq!(RuntimeReport::merge([]).jobs_submitted, 0);
+        assert_eq!(RuntimeReport::merge([]).latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_averages_telemetry_by_observations() {
+        let mut ra = Metrics::new().report();
+        ra.backend_telemetry = vec![BackendTelemetry {
+            backend: "tabu".to_string(),
+            observations: 3,
+            ewma_latency_seconds: 0.001,
+            ewma_quality: 1.0,
+            race_entries: 2,
+            race_wins: 1,
+        }];
+        let mut rb = Metrics::new().report();
+        rb.backend_telemetry = vec![
+            BackendTelemetry {
+                backend: "simulated-annealing".to_string(),
+                observations: 5,
+                ewma_latency_seconds: 0.004,
+                ewma_quality: 2.0,
+                race_entries: 0,
+                race_wins: 0,
+            },
+            BackendTelemetry {
+                backend: "tabu".to_string(),
+                observations: 1,
+                ewma_latency_seconds: 0.005,
+                ewma_quality: 3.0,
+                race_entries: 1,
+                race_wins: 1,
+            },
+        ];
+        let merged = RuntimeReport::merge([&ra, &rb]);
+        assert_eq!(merged.backend_telemetry.len(), 2);
+        let names: Vec<&str> =
+            merged.backend_telemetry.iter().map(|t| t.backend.as_str()).collect();
+        assert_eq!(names, vec!["simulated-annealing", "tabu"], "telemetry stays name-sorted");
+        let tabu = &merged.backend_telemetry[1];
+        assert_eq!(tabu.observations, 4);
+        assert_eq!(tabu.race_entries, 3);
+        assert_eq!(tabu.race_wins, 2);
+        // Observation-weighted: (0.001*3 + 0.005*1) / 4 = 0.002.
+        assert!((tabu.ewma_latency_seconds - 0.002).abs() < 1e-12);
+        assert!((tabu.ewma_quality - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_reports_render_shard_depth_gauges() {
+        let a = Metrics::new();
+        a.on_enqueue();
+        a.on_enqueue();
+        let mut ra = a.report();
+        ra.shard = Some(0);
+        let mut rb = Metrics::new().report();
+        rb.shard = Some(1);
+        let merged = RuntimeReport::merge([&ra, &rb]);
+        let text = merged.render_prometheus();
+        assert!(text.contains("qdm_shard_queue_depth{shard=\"0\"} 2\n"), "{text}");
+        assert!(text.contains("qdm_shard_queue_depth{shard=\"1\"} 0\n"), "{text}");
+        // The merged report's own cluster counters are unlabeled.
+        assert!(text.contains("qdm_jobs_shed_total 0\n"), "{text}");
     }
 
     #[test]

@@ -324,6 +324,7 @@ mod tests {
             spec: JobSpec::new(problem, id).with_priority(priority),
             slot: Arc::new(CompletionSlot::new()),
             session: Arc::clone(session),
+            route: None,
         }
     }
 

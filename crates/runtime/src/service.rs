@@ -47,7 +47,6 @@ use qdm_core::pipeline::{
     prepare_pipeline, run_prepared, JobPriority, PipelineOptions, PipelineReport, PreparedPipeline,
 };
 use qdm_core::problem::DmProblem;
-use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::probe::{StageProbe, TeeProbe};
 use rand::rngs::StdRng;
@@ -196,6 +195,21 @@ impl std::error::Error for JobError {}
 /// Result of one job: completed or failed routing.
 pub type JobOutcome = Result<JobResult, JobError>;
 
+/// Routing work the cluster front-end precomputed at submit time —
+/// compile-free: the QUBO is built once, canonically fingerprinted via
+/// [`qdm_qubo::model::QuboModel::canonical_form`], and carried to whichever
+/// shard (and worker) ends up running the job, so migration never changes
+/// what executes.
+pub(crate) struct RouteInfo {
+    /// The encoded model, built once at routing time; the worker reuses it
+    /// instead of calling `to_qubo` again.
+    pub(crate) qubo: Arc<QuboModel>,
+    /// Canonical (labeling-independent) fingerprint of `qubo`.
+    pub(crate) canonical_fp: u64,
+    /// This labeling's canonical permutation (`perm[original] = canonical`).
+    pub(crate) perm: Arc<Vec<usize>>,
+}
+
 /// A job sitting in the service queue, waiting for a worker.
 pub(crate) struct QueuedJob {
     pub(crate) id: u64,
@@ -209,6 +223,8 @@ pub(crate) struct QueuedJob {
     pub(crate) spec: JobSpec,
     pub(crate) slot: Arc<CompletionSlot>,
     pub(crate) session: Arc<SessionCore>,
+    /// Cluster-precomputed route; `None` for directly submitted jobs.
+    pub(crate) route: Option<RouteInfo>,
 }
 
 /// Service internals shared between the owner, sessions, handles, and
@@ -233,6 +249,9 @@ pub(crate) struct Shared {
     /// `sink` so snapshots/exports can read it back; `None` for disabled or
     /// custom-sink configurations.
     pub(crate) ring: Option<Arc<TraceRing>>,
+    /// This service's shard id inside a [`crate::cluster::ClusterService`];
+    /// `None` for a standalone service. Tags traces and reports.
+    pub(crate) shard: Option<u64>,
 }
 
 impl Shared {
@@ -256,6 +275,15 @@ pub struct ServiceConfig {
     /// Job tracing (default: a bounded in-service ring of
     /// [`DEFAULT_TRACE_CAPACITY`] traces; see [`crate::trace`]).
     pub tracing: TraceConfig,
+    /// Shard id this service runs as inside a
+    /// [`crate::cluster::ClusterService`] (tags traces, reports, and
+    /// Prometheus series); `None` — the default — for a standalone service.
+    pub shard: Option<u64>,
+    /// Trace/latency epoch override. A cluster passes one shared epoch to
+    /// every shard so queue-wait timestamps stay valid when a job migrates
+    /// between shards; `None` — the default — uses the service's own start
+    /// instant.
+    pub epoch: Option<Instant>,
 }
 
 impl Default for ServiceConfig {
@@ -266,6 +294,8 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             scheduling: SchedulerPolicy::default(),
             tracing: TraceConfig::default(),
+            shard: None,
+            epoch: None,
         }
     }
 }
@@ -355,9 +385,10 @@ impl SolverService {
             shutting_down: AtomicBool::new(false),
             next_job_id: AtomicU64::new(0),
             next_session_id: AtomicU64::new(0),
-            epoch: Instant::now(),
+            epoch: config.epoch.unwrap_or_else(Instant::now),
             sink,
             ring,
+            shard: config.shard,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -411,6 +442,7 @@ impl SolverService {
             report.traces_recorded = ring.recorded();
             report.traces_dropped = ring.dropped();
         }
+        report.shard = self.shared.shard;
         report
     }
 
@@ -486,6 +518,7 @@ fn worker_loop(shared: &Shared) {
             seed: job.spec.seed,
             outcome: TraceOutcome::Failed,
             backend: None,
+            shard: shared.shard,
             spans: vec![Span {
                 stage: Stage::Queued,
                 backend: None,
@@ -499,7 +532,7 @@ fn worker_loop(shared: &Shared) {
         // bug) must neither kill the worker nor leave a handle waiting on a
         // slot that never resolves.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process(shared, &job.spec, &mut trace)
+            process(shared, &job.spec, job.route.as_ref(), &mut trace)
         }))
         .unwrap_or_else(|payload| {
             shared.metrics.on_failed();
@@ -549,23 +582,38 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn process(shared: &Shared, spec: &JobSpec, trace: &mut Option<JobTrace>) -> JobOutcome {
+/// The cache/flight "requested backend" discriminator for a spec: the
+/// pinned name, the clamped race marker, or `None` for auto-routing. The
+/// marker carries the *clamped* k: `racing(999)` and
+/// `racing(<eligible count>)` run the identical participant set and must
+/// share a cache entry. Registered backend names never contain ':', so the
+/// marker cannot collide with a pinned name.
+fn requested_backend(shared: &Shared, spec: &JobSpec, n_vars: usize) -> Option<String> {
+    match &spec.backend {
+        BackendChoice::Auto => None,
+        BackendChoice::Named(name) => Some(name.clone()),
+        BackendChoice::Race { k } => {
+            let eligible = shared.registry.eligible(n_vars).len();
+            Some(format!("race:{}", (*k).clamp(1, eligible.max(1))))
+        }
+    }
+}
+
+fn process(
+    shared: &Shared,
+    spec: &JobSpec,
+    route: Option<&RouteInfo>,
+    trace: &mut Option<JobTrace>,
+) -> JobOutcome {
+    // A cluster-routed job arrives with its QUBO already built and
+    // canonically fingerprinted; it skips straight to the canonical path.
+    if let Some(route) = route {
+        return process_routed(shared, spec, route, trace);
+    }
     let qubo = spec.problem.to_qubo();
     let n_vars = qubo.n_vars();
-    let race_marker;
-    let requested = match &spec.backend {
-        BackendChoice::Auto => None,
-        BackendChoice::Named(name) => Some(name.as_str()),
-        BackendChoice::Race { k } => {
-            // The marker carries the *clamped* k: `racing(999)` and
-            // `racing(<eligible count>)` run the identical participant set
-            // and must share a cache entry. Registered backend names never
-            // contain ':', so the marker cannot collide with a pinned name.
-            let eligible = shared.registry.eligible(n_vars).len();
-            race_marker = format!("race:{}", (*k).clamp(1, eligible.max(1)));
-            Some(race_marker.as_str())
-        }
-    };
+    let requested = requested_backend(shared, spec, n_vars);
+    let requested = requested.as_deref();
     // Single-flight, level 1: the exact (label-order) fingerprint, checked
     // *before* compiling. Two concurrent submissions of the same spec both
     // reach this point cache-cold; without it both would compile and solve
@@ -593,7 +641,12 @@ fn process(shared: &Shared, spec: &JobSpec, trace: &mut Option<JobTrace>) -> Job
                         // permutation translate its bits verbatim — this
                         // job never compiled.
                         shared.metrics.on_coalesced_served();
-                        let result = serve_coalesced(spec, &out.compiled, &out.perm, out.cached);
+                        let result = serve_coalesced(
+                            spec,
+                            |bits| out.compiled.energy(bits),
+                            &out.perm,
+                            out.cached.clone(),
+                        );
                         if let Some(t) = trace.as_mut() {
                             t.spans.push(Span {
                                 stage: Stage::Serve,
@@ -615,6 +668,91 @@ fn process(shared: &Shared, spec: &JobSpec, trace: &mut Option<JobTrace>) -> Job
                     // The leader panicked without publishing: retry from
                     // the top — this job may become the new leader. The
                     // park suppressed nothing, so net it back out.
+                    FlightResolution::Abandoned => {
+                        shared.metrics.on_coalesce_abandoned();
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs a cluster-routed job. The cluster already built the QUBO and
+/// computed its canonical fingerprint (compile-free) to pick the shard, so
+/// the worker goes straight to the canonical cache key and the canonical
+/// single-flight — duplicates of a hot fingerprint all hash to this shard,
+/// land here, and coalesce regardless of variable labeling. A follower or
+/// cache hit translates the canonical assignment through *this* job's own
+/// permutation and scores bits with its own (uncompiled) model —
+/// [`qdm_qubo::model::QuboModel::energy`] is bit-identical to the compiled
+/// evaluation — so serving never costs a compilation. Only a flight leader
+/// compiles, inside [`lead`]: its `extend` with the canonical key this
+/// lease already holds is an idempotent no-op.
+fn process_routed(
+    shared: &Shared,
+    spec: &JobSpec,
+    route: &RouteInfo,
+    trace: &mut Option<JobTrace>,
+) -> JobOutcome {
+    let qubo = &route.qubo;
+    let n_vars = qubo.n_vars();
+    let requested = requested_backend(shared, spec, n_vars);
+    let requested = requested.as_deref();
+    if let Some(t) = trace.as_mut() {
+        t.fingerprint = route.canonical_fp;
+    }
+    let key =
+        CacheKey::new(spec.problem.name(), route.canonical_fp, &spec.options, spec.seed, requested);
+    if let Some(cached) = shared.cache.get(&key) {
+        shared.metrics.on_cache_hit();
+        let serve_start_ns = if trace.is_some() { shared.now_ns() } else { 0 };
+        let result = serve_cached(spec, |bits| qubo.energy(bits), &route.perm, cached);
+        if let Some(t) = trace.as_mut() {
+            t.spans.push(Span {
+                stage: Stage::Serve,
+                backend: Some(result.backend.clone()),
+                winner: false,
+                start_ns: serve_start_ns,
+                end_ns: shared.now_ns(),
+                stats: StageStats::default(),
+            });
+        }
+        return Ok(result);
+    }
+    loop {
+        match shared.inflight.join_or_lead(FlightKey::Canonical(key.clone())) {
+            FlightRole::Leader(lease) => {
+                return lead(shared, spec, qubo, n_vars, requested, lease, trace);
+            }
+            FlightRole::Follower(flight) => {
+                shared.metrics.on_coalesced();
+                let park_start_ns = if trace.is_some() { shared.now_ns() } else { 0 };
+                match flight.wait() {
+                    FlightResolution::Served(out) => {
+                        shared.metrics.on_coalesced_served();
+                        let result = serve_coalesced(
+                            spec,
+                            |bits| qubo.energy(bits),
+                            &route.perm,
+                            out.cached.clone(),
+                        );
+                        if let Some(t) = trace.as_mut() {
+                            t.spans.push(Span {
+                                stage: Stage::Serve,
+                                backend: Some(result.backend.clone()),
+                                winner: false,
+                                start_ns: park_start_ns,
+                                end_ns: shared.now_ns(),
+                                stats: StageStats::default(),
+                            });
+                        }
+                        return Ok(result);
+                    }
+                    FlightResolution::Failed(err) => {
+                        shared.metrics.on_failed();
+                        return Err(err);
+                    }
                     FlightResolution::Abandoned => {
                         shared.metrics.on_coalesce_abandoned();
                         continue;
@@ -664,7 +802,7 @@ fn lead(
     if let Some(cached) = shared.cache.get(&key) {
         shared.metrics.on_cache_hit();
         let serve_start_ns = if tracing { shared.now_ns() } else { 0 };
-        let result = serve_cached(spec, &compiled, &perm, cached.clone());
+        let result = serve_cached(spec, |bits| compiled.energy(bits), &perm, cached.clone());
         if let Some(t) = trace.as_mut() {
             t.spans.push(Span {
                 stage: Stage::Serve,
@@ -692,7 +830,8 @@ fn lead(
         match flight.wait() {
             FlightResolution::Served(out) => {
                 shared.metrics.on_coalesced_served();
-                let result = serve_coalesced(spec, &compiled, &perm, out.cached.clone());
+                let result =
+                    serve_coalesced(spec, |bits| compiled.energy(bits), &perm, out.cached.clone());
                 if let Some(t) = trace.as_mut() {
                     t.spans.push(Span {
                         stage: Stage::Serve,
@@ -887,11 +1026,11 @@ fn lead(
 /// cache-hit translation, re-flagged as a coalesced (not cached) result.
 fn serve_coalesced(
     spec: &JobSpec,
-    compiled: &CompiledQubo,
+    energy: impl Fn(&[bool]) -> f64,
     perm: &[usize],
     cached: CachedResult,
 ) -> JobResult {
-    let mut result = serve_cached(spec, compiled, perm, cached);
+    let mut result = serve_cached(spec, energy, perm, cached);
     result.from_cache = false;
     result.coalesced = true;
     result
@@ -996,6 +1135,9 @@ fn render_chrome_trace(traces: &[JobTrace]) -> String {
             out.push_str(&format!("{:.3}", span.duration_ns() as f64 / 1e3));
             out.push_str(&format!(",\"pid\":1,\"tid\":{tid},\"args\":{{"));
             out.push_str(&format!("\"job\":{},\"session\":{}", trace.job_id, trace.session));
+            if let Some(shard) = trace.shard {
+                out.push_str(&format!(",\"shard\":{shard}"));
+            }
             out.push_str(",\"problem\":\"");
             escape(&trace.problem, &mut out);
             out.push_str(&format!(
@@ -1038,10 +1180,13 @@ fn render_chrome_trace(traces: &[JobTrace]) -> String {
 /// report bit-identically. A permuted-but-identical encoding instead gets
 /// the canonical assignment translated into its own variable order, with
 /// the label-dependent fields (bits, energy, decode) re-derived; energy and
-/// feasibility are preserved by construction.
+/// feasibility are preserved by construction. `energy` scores a bit vector
+/// under the requester's labeling — either a compiled evaluation or
+/// [`qdm_qubo::model::QuboModel::energy`]; the two are bit-identical, so
+/// callers that never compiled (cluster-routed followers) pass the model's.
 fn serve_cached(
     spec: &JobSpec,
-    compiled: &CompiledQubo,
+    energy: impl Fn(&[bool]) -> f64,
     perm: &[usize],
     cached: CachedResult,
 ) -> JobResult {
@@ -1058,7 +1203,7 @@ fn serve_cached(
             coalesced: false,
         };
     }
-    let energy = compiled.energy(&bits);
+    let energy = energy(&bits);
     let decoded = spec.problem.decode(&bits);
     let report = PipelineReport { bits, energy, decoded, ..cached.report };
     JobResult {

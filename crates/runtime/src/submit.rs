@@ -21,10 +21,11 @@
 
 use crate::handle::{Completion, CompletionSlot, JobHandle};
 use crate::metrics::Metrics;
-use crate::service::{JobSpec, QueuedJob, SolverService};
+use crate::service::{JobSpec, QueuedJob, RouteInfo, Shared, SolverService};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Session configuration.
 #[derive(Debug, Clone)]
@@ -47,11 +48,23 @@ impl Default for SessionConfig {
     }
 }
 
-/// Why a non-blocking submission was not accepted.
+/// Why a submission was not accepted.
 pub enum SubmitError {
     /// The session's bounded queue is full; the spec is handed back so the
     /// caller can retry, reroute, or shed the work.
     QueueFull(JobSpec),
+    /// The cluster shed the job: the tenant's token bucket was empty or the
+    /// target shard's queue depth crossed the shedding watermark
+    /// ([`crate::cluster::ClusterSession::submit`]). The spec is handed
+    /// back, with a hint for how long to back off before retrying (how long
+    /// until the bucket refills one token, or the shard's configured
+    /// drain-retry interval).
+    Overloaded {
+        /// Suggested backoff before resubmitting.
+        retry_after_hint: Duration,
+        /// The rejected spec, handed back for the retry.
+        spec: JobSpec,
+    },
 }
 
 impl SubmitError {
@@ -59,6 +72,17 @@ impl SubmitError {
     pub fn into_spec(self) -> JobSpec {
         match self {
             SubmitError::QueueFull(spec) => spec,
+            SubmitError::Overloaded { spec, .. } => spec,
+        }
+    }
+
+    /// The backoff hint for [`SubmitError::Overloaded`]; `None` for
+    /// [`SubmitError::QueueFull`] (space frees as soon as a worker picks a
+    /// job up — block on [`Session::submit`] instead of sleeping).
+    pub fn retry_after_hint(&self) -> Option<Duration> {
+        match self {
+            SubmitError::QueueFull(_) => None,
+            SubmitError::Overloaded { retry_after_hint, .. } => Some(*retry_after_hint),
         }
     }
 }
@@ -67,6 +91,10 @@ impl std::fmt::Debug for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull(_) => write!(f, "QueueFull(..)"),
+            SubmitError::Overloaded { retry_after_hint, .. } => f
+                .debug_struct("Overloaded")
+                .field("retry_after_hint", retry_after_hint)
+                .finish_non_exhaustive(),
         }
     }
 }
@@ -75,6 +103,9 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull(_) => write!(f, "session queue is full"),
+            SubmitError::Overloaded { retry_after_hint, .. } => {
+                write!(f, "cluster overloaded; retry after {retry_after_hint:?}")
+            }
         }
     }
 }
@@ -121,7 +152,7 @@ impl SessionCore {
     }
 
     /// Reserves a queue slot without blocking; `false` when full.
-    fn try_reserve(&self) -> bool {
+    pub(crate) fn try_reserve(&self) -> bool {
         let mut inner = self.inner.lock().expect("session lock");
         if inner.queued >= self.capacity {
             return false;
@@ -133,7 +164,7 @@ impl SessionCore {
 
     /// Reserves a queue slot, waiting under the condvar while the queue is
     /// full; counts one backpressure wait if it had to sleep.
-    fn reserve_blocking(&self, metrics: &Metrics) {
+    pub(crate) fn reserve_blocking(&self, metrics: &Metrics) {
         let mut inner = self.inner.lock().expect("session lock");
         let mut waited = false;
         while inner.queued >= self.capacity {
@@ -145,6 +176,18 @@ impl SessionCore {
         }
         inner.queued += 1;
         inner.unresolved += 1;
+    }
+
+    /// Releases a slot that was reserved but never enqueued — the cluster
+    /// front-end reserves before its admission checks so a blocking reserve
+    /// can count backpressure against the routed shard, then unwinds here
+    /// when the job is shed. Undoes one [`SessionCore::try_reserve`] /
+    /// [`SessionCore::reserve_blocking`].
+    pub(crate) fn unreserve(&self) {
+        let mut inner = self.inner.lock().expect("session lock");
+        inner.queued -= 1;
+        inner.unresolved -= 1;
+        self.changed.notify_all();
     }
 
     /// A queued job of this session left the queue (picked up or cancelled).
@@ -168,14 +211,14 @@ impl SessionCore {
         self.changed.notify_all();
     }
 
-    fn drain_wait(&self) {
+    pub(crate) fn drain_wait(&self) {
         let mut inner = self.inner.lock().expect("session lock");
         while inner.unresolved > 0 {
             inner = self.changed.wait(inner).expect("session lock");
         }
     }
 
-    fn next_completion(&self) -> Option<Completion> {
+    pub(crate) fn next_completion(&self) -> Option<Completion> {
         let mut inner = self.inner.lock().expect("session lock");
         loop {
             if let Some(completion) = inner.completions.pop_front() {
@@ -188,15 +231,15 @@ impl SessionCore {
         }
     }
 
-    fn unresolved(&self) -> usize {
+    pub(crate) fn unresolved(&self) -> usize {
         self.inner.lock().expect("session lock").unresolved
     }
 
-    fn take_completions(&self) -> Vec<Completion> {
+    pub(crate) fn take_completions(&self) -> Vec<Completion> {
         self.inner.lock().expect("session lock").completions.drain(..).collect()
     }
 
-    fn dropped(&self) -> usize {
+    pub(crate) fn dropped(&self) -> usize {
         self.inner.lock().expect("session lock").dropped
     }
 }
@@ -248,27 +291,8 @@ impl Session<'_> {
     /// Enqueues a job whose slot has already been reserved.
     fn enqueue(&self, spec: JobSpec) -> JobHandle {
         let shared = &self.service.shared;
-        shared.metrics.on_submit(1);
-        shared.metrics.on_enqueue();
         let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-        let slot = Arc::new(CompletionSlot::new());
-        // The job's deficit-round-robin cost: its variable count, so a
-        // session submitting big models spends its scheduling credit faster
-        // than one submitting small ones.
-        let cost = spec.problem.n_vars().max(1) as u64;
-        {
-            let mut queue = shared.queue.lock().expect("queue lock");
-            queue.push(QueuedJob {
-                id,
-                cost,
-                queued_ns: shared.now_ns(),
-                spec,
-                slot: Arc::clone(&slot),
-                session: Arc::clone(&self.core),
-            });
-        }
-        shared.job_ready.notify_one();
-        JobHandle::new(id, slot, Arc::clone(shared), Arc::clone(&self.core))
+        enqueue_reserved(shared, &self.core, id, spec, None)
     }
 
     /// Streams finished jobs in finish order. The iterator blocks while work
@@ -313,6 +337,41 @@ impl Session<'_> {
     }
 }
 
+/// Enqueues a job on `shared`'s queue under an already-reserved session
+/// slot, with a caller-chosen job id and optional precomputed route. The
+/// shared submission path for [`Session::enqueue`] (shard-local ids, no
+/// route) and the cluster front-end (cluster-wide ids, canonical route
+/// computed before shard selection).
+pub(crate) fn enqueue_reserved(
+    shared: &Arc<Shared>,
+    core: &Arc<SessionCore>,
+    id: u64,
+    spec: JobSpec,
+    route: Option<RouteInfo>,
+) -> JobHandle {
+    shared.metrics.on_submit(1);
+    shared.metrics.on_enqueue();
+    let slot = Arc::new(CompletionSlot::new());
+    // The job's deficit-round-robin cost: its variable count, so a
+    // session submitting big models spends its scheduling credit faster
+    // than one submitting small ones.
+    let cost = spec.problem.n_vars().max(1) as u64;
+    {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        queue.push(QueuedJob {
+            id,
+            cost,
+            queued_ns: shared.now_ns(),
+            spec,
+            slot: Arc::clone(&slot),
+            session: Arc::clone(core),
+            route,
+        });
+    }
+    shared.job_ready.notify_one();
+    JobHandle::new(id, slot, Arc::clone(shared), Arc::clone(core))
+}
+
 /// Blocking iterator over a session's finished jobs, in finish order.
 /// Created by [`Session::completions`].
 ///
@@ -324,6 +383,12 @@ impl Session<'_> {
 pub struct Completions<'s> {
     core: &'s SessionCore,
     finished: bool,
+}
+
+impl<'s> Completions<'s> {
+    pub(crate) fn new(core: &'s SessionCore) -> Self {
+        Self { core, finished: false }
+    }
 }
 
 impl Iterator for Completions<'_> {

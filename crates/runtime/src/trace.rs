@@ -165,6 +165,9 @@ pub struct JobTrace {
     pub outcome: TraceOutcome,
     /// Backend that produced (or originally produced) the result, when any.
     pub backend: Option<String>,
+    /// The shard that ran the job inside a
+    /// [`crate::cluster::ClusterService`]; `None` on standalone services.
+    pub shard: Option<u64>,
     /// Stage spans in chronological order.
     pub spans: Vec<Span>,
 }
@@ -366,6 +369,7 @@ mod tests {
             seed: 7,
             outcome: TraceOutcome::Solved,
             backend: Some("tabu".into()),
+            shard: None,
             spans: vec![Span {
                 stage: Stage::Solve,
                 backend: Some("tabu".into()),

@@ -249,4 +249,82 @@ fn main() {
     for line in exposition.lines().filter(|l| l.starts_with("qdm_jobs_")).take(3) {
         println!("  {line}");
     }
+
+    // --- Cluster pass: sharded front-end with admission control. ----------
+    // Four single-worker shards behind one session API. Jobs route by their
+    // canonical QUBO fingerprint (duplicates stay cache-affine to one
+    // shard), tenant "burst" is throttled by a token bucket while tenant
+    // "steady" runs unlimited, and the merged report sums every shard's
+    // ledger.
+    println!("\ncluster: 4 shards, tenant 'burst' capped at 4 jobs of burst...");
+    let cluster = ClusterService::new(ClusterConfig {
+        shards: 4,
+        service: ServiceConfig { workers: 1, cache_capacity: 256, ..Default::default() },
+        admission: AdmissionConfig::default()
+            .with_tenant("burst", TokenBucketConfig { capacity: 4.0, refill_per_second: 0.5 }),
+        ..Default::default()
+    });
+
+    let steady =
+        cluster.session("steady", SessionConfig { queue_capacity: 32, ..Default::default() });
+    let mut steady_handles = Vec::new();
+    for (i, (_, problem)) in problems.iter().enumerate() {
+        let spec = JobSpec::new(Arc::clone(problem), 3000 + i as u64).with_options(options.clone());
+        steady_handles.push(steady.submit(spec).expect("unlimited tenant is always admitted"));
+    }
+
+    let burst =
+        cluster.session("burst", SessionConfig { queue_capacity: 32, ..Default::default() });
+    let mut admitted = 0usize;
+    let mut shed = 0usize;
+    let mut first_hint = None;
+    for (i, (_, problem)) in problems.iter().cycle().take(12).enumerate() {
+        let spec = JobSpec::new(Arc::clone(problem), 4000 + i as u64).with_options(options.clone());
+        match burst.submit(spec) {
+            Ok(_) => admitted += 1,
+            Err(err) => {
+                shed += 1;
+                first_hint.get_or_insert(err.retry_after_hint().expect("sheds carry a hint"));
+            }
+        }
+    }
+    println!(
+        "  tenant 'burst': {admitted} admitted, {shed} shed (first retry hint: {:?})",
+        first_hint.expect("a 12-job burst against a 4-token bucket must shed")
+    );
+    assert!(admitted >= 4, "the burst tenant's bucket admits at least its burst capacity");
+    assert!(shed >= 1, "a 12-job burst against a 4-token bucket must shed");
+
+    for handle in &steady_handles {
+        assert!(handle.wait().is_ok(), "throttling one tenant never fails another's jobs");
+    }
+    steady.drain();
+    burst.drain();
+
+    let merged = cluster.report();
+    println!("\nmerged cluster report:\n{merged}");
+    assert_eq!(merged.jobs_shed as usize, shed, "every shed is counted exactly once");
+    assert_eq!(
+        merged.jobs_completed as usize,
+        problems.len() + admitted,
+        "both tenants' admitted jobs all complete"
+    );
+    println!("  per-shard breakdown:");
+    for report in cluster.shard_reports() {
+        println!(
+            "    shard {}: {} submitted, {} completed, {} admitted, {} shed",
+            report.shard.expect("shard reports are tagged"),
+            report.jobs_submitted,
+            report.jobs_completed,
+            report.jobs_admitted,
+            report.jobs_shed
+        );
+    }
+    let cluster_series = merged.render_prometheus();
+    for line in cluster_series
+        .lines()
+        .filter(|l| l.starts_with("qdm_jobs_shed") || l.starts_with("qdm_jobs_admitted"))
+    {
+        println!("  {line}");
+    }
 }

@@ -148,6 +148,7 @@ fn bounded_queue_rejects_and_blocks_under_slow_solver() {
     let rejected = session.try_submit(quick(102));
     let spec = match rejected {
         Err(SubmitError::QueueFull(spec)) => spec,
+        Err(other) => panic!("expected QueueFull, got {other:?}"),
         Ok(_) => panic!("queue of capacity 2 with 2 queued jobs must reject"),
     };
     assert_eq!(service.report().backpressure_rejections, 1);

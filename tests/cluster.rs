@@ -1,0 +1,249 @@
+//! Integration tests for the sharded cluster front-end: shard-count
+//! invariance of results, token-bucket shedding with a manual clock (no
+//! sleeps), and cross-shard migration that never loses or duplicates a job.
+
+use qdm::prelude::*;
+use qdm::qubo::model::QuboModel;
+use qdm::qubo::penalty;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+fn mqo(seed: u64) -> Arc<MqoProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(MqoProblem::new(MqoInstance::generate(3, 2, 0.3, &mut rng)))
+}
+
+fn joinorder(seed: u64) -> Arc<JoinOrderProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(JoinOrderProblem::left_deep(QueryGraph::generate_random(4, 0.3, &mut rng)))
+}
+
+fn repair() -> PipelineOptions {
+    PipelineOptions { repair: true, ..Default::default() }
+}
+
+/// Backends pinned so the shard-local adaptive portfolio (whose telemetry
+/// is not shared between shards) cannot influence routing: under pinned
+/// backends and fixed seeds, results depend only on (problem, options,
+/// seed).
+fn pinned_specs() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for (i, backend) in
+        ["simulated-annealing", "tabu", "simulated-quantum-annealing"].iter().enumerate()
+    {
+        specs.push(
+            JobSpec::new(mqo(10 + i as u64), 70 + i as u64)
+                .with_options(repair())
+                .on_backend(backend),
+        );
+        specs.push(
+            JobSpec::new(joinorder(20 + i as u64), 80 + i as u64)
+                .with_options(repair())
+                .on_backend(backend),
+        );
+    }
+    specs
+}
+
+fn cluster_of(shards: usize) -> ClusterService {
+    ClusterService::new(ClusterConfig {
+        shards,
+        service: ServiceConfig { workers: 1, cache_capacity: 64, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+#[test]
+fn four_shard_results_are_bit_identical_to_single_shard() {
+    let run = |shards: usize| -> Vec<JobOutcome> {
+        let cluster = cluster_of(shards);
+        let session =
+            cluster.session("t", SessionConfig { queue_capacity: 16, ..Default::default() });
+        let handles: Vec<JobHandle> =
+            pinned_specs().into_iter().map(|s| session.submit(s).expect("admitted")).collect();
+        handles.iter().map(JobHandle::wait).collect()
+    };
+    let solo = run(1);
+    let sharded = run(4);
+    for (a, b) in solo.iter().zip(&sharded) {
+        let a = a.as_ref().expect("solvable");
+        let b = b.as_ref().expect("solvable");
+        assert_eq!(a.report.bits, b.report.bits, "placement must not change the solution");
+        assert_eq!(a.report.energy, b.report.energy);
+        assert_eq!(a.backend, b.backend);
+        assert_eq!(a.report.decoded.summary, b.report.decoded.summary);
+    }
+}
+
+#[test]
+fn shed_then_retry_resubmits_the_recovered_spec() {
+    let clock = Arc::new(ManualClock::new(0));
+    let cluster = ClusterService::new(ClusterConfig {
+        shards: 2,
+        service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+        admission: AdmissionConfig::default()
+            .with_tenant("burst", TokenBucketConfig { capacity: 2.0, refill_per_second: 4.0 }),
+        clock: Some(clock.clone()),
+        ..Default::default()
+    });
+    let session = cluster.session("burst", SessionConfig::default());
+
+    let a = session.submit(JobSpec::new(mqo(1), 1).with_options(repair())).expect("token 1");
+    let b = session.submit(JobSpec::new(mqo(2), 2).with_options(repair())).expect("token 2");
+    let err = session.submit(JobSpec::new(mqo(3), 3).with_options(repair())).unwrap_err();
+    let hint = err.retry_after_hint().expect("overloaded carries a retry hint");
+    // Empty bucket at 4 tokens/s: a quarter second to the next token.
+    assert_eq!(hint, Duration::from_millis(250));
+
+    // No sleeping: advance the injected clock by the hint and resubmit the
+    // spec recovered from the error.
+    clock.advance(hint.as_micros() as u64);
+    let c = session.submit(err.into_spec()).expect("bucket refilled");
+
+    for handle in [&a, &b, &c] {
+        assert!(handle.wait().is_ok());
+    }
+    session.drain();
+    let report = cluster.report();
+    assert_eq!(report.jobs_admitted, 3);
+    assert_eq!(report.jobs_shed, 1);
+    assert_eq!(report.jobs_completed, 3);
+}
+
+/// A pick-one problem whose `decode` parks the worker until the gate
+/// opens. Unlike the `to_qubo` blocker in the session tests, the cluster
+/// routes (and therefore encodes) on the *submitting* thread, so the park
+/// must sit in a stage only workers run — decode — to build a backlog
+/// deterministically.
+struct GatedPick {
+    costs: Vec<f64>,
+    gate: Arc<Gate>,
+}
+
+#[derive(Default)]
+struct Gate {
+    release: (Mutex<bool>, Condvar),
+}
+
+impl Gate {
+    fn block(&self) {
+        let (lock, cond) = &self.release;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cond.wait(open).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        let (lock, cond) = &self.release;
+        *lock.lock().unwrap() = true;
+        cond.notify_all();
+    }
+}
+
+impl DmProblem for GatedPick {
+    fn name(&self) -> String {
+        "gated-pick".into()
+    }
+    fn n_vars(&self) -> usize {
+        self.costs.len()
+    }
+    fn to_qubo(&self) -> QuboModel {
+        let mut q = QuboModel::new(self.costs.len());
+        for (i, &c) in self.costs.iter().enumerate() {
+            q.add_linear(i, c);
+        }
+        let vars: Vec<usize> = (0..self.costs.len()).collect();
+        let weight = penalty::penalty_weight(&q);
+        penalty::exactly_one(&mut q, &vars, weight);
+        q
+    }
+    fn decode(&self, bits: &[bool]) -> Decoded {
+        self.gate.block();
+        let chosen: Vec<usize> =
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        Decoded {
+            feasible: chosen.len() == 1,
+            objective: chosen.iter().map(|&i| self.costs[i]).sum(),
+            summary: format!("chose {chosen:?}"),
+        }
+    }
+}
+
+#[test]
+fn migration_never_loses_or_duplicates_a_job() {
+    const JOBS: u64 = 8;
+    let cluster = ClusterService::new(ClusterConfig {
+        shards: 2,
+        service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+        migration_threshold: Some(0),
+        ..Default::default()
+    });
+    let gate = Arc::new(Gate::default());
+    let session = cluster.session("t", SessionConfig { queue_capacity: 32, ..Default::default() });
+
+    // Every job shares one canonical fingerprint, so all of them route to
+    // the same home shard while its single worker is parked on the gate —
+    // a guaranteed backlog. With a migration threshold of 0, the submit
+    // path must rebalance that backlog onto the idle shard.
+    let handles: Vec<JobHandle> = (0..JOBS)
+        .map(|seed| {
+            let problem =
+                Arc::new(GatedPick { costs: vec![2.5, 0.5, 1.5, 3.5], gate: Arc::clone(&gate) });
+            session.submit(JobSpec::new(problem, seed)).expect("admitted")
+        })
+        .collect();
+
+    gate.open();
+    for handle in &handles {
+        assert!(handle.wait().is_ok(), "a migrated job must still resolve its handle");
+    }
+    let ids: HashSet<u64> = session.completions().map(|c| c.id).collect();
+    assert_eq!(ids.len(), JOBS as usize, "every job completes exactly once");
+
+    let merged = cluster.report();
+    assert!(merged.migrations >= 1, "a depth spread of {JOBS} vs 0 must migrate: {merged}");
+    assert_eq!(merged.jobs_submitted, JOBS);
+    assert_eq!(merged.jobs_completed, JOBS);
+    assert_eq!(merged.jobs_failed, 0);
+    assert_eq!(merged.jobs_cancelled, 0);
+
+    // Migration moves a job's execution, not its ledger entry: the donor
+    // counted the submit, the recipient counts the completion, so only the
+    // *merged* ledger balances — and completions spread across both shards.
+    let per_shard = cluster.shard_reports();
+    assert_eq!(per_shard.iter().map(|r| r.jobs_submitted).sum::<u64>(), JOBS);
+    assert_eq!(per_shard.iter().map(|r| r.jobs_completed).sum::<u64>(), JOBS);
+    assert!(
+        per_shard.iter().all(|r| r.jobs_completed >= 1),
+        "both shards should execute part of the backlog: {per_shard:?}"
+    );
+}
+
+#[test]
+fn watermark_shedding_uses_the_injected_depth_probe() {
+    struct Flooded;
+    impl DepthProbe for Flooded {
+        fn queue_depth(&self, _shard: usize) -> usize {
+            100
+        }
+    }
+    let cluster = ClusterService::new(ClusterConfig {
+        shards: 2,
+        service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+        shed_watermark: Some(10),
+        shed_retry_hint: Duration::from_millis(125),
+        depth_probe: Some(Arc::new(Flooded)),
+        ..Default::default()
+    });
+    let session = cluster.session("t", SessionConfig::default());
+    let err = session.submit(JobSpec::new(mqo(1), 1)).unwrap_err();
+    assert_eq!(err.retry_after_hint(), Some(Duration::from_millis(125)));
+    drop(session);
+    let merged = cluster.report();
+    assert_eq!(merged.jobs_shed, 1);
+    assert_eq!(merged.jobs_submitted, 0, "a shed job never occupies a queue");
+}

@@ -1,0 +1,126 @@
+//! Cache affinity across the cluster, proven with the process-wide
+//! compilation counter: concurrent *permuted* duplicates of one hot QUBO
+//! all route to the shard that holds its cached/in-flight result and
+//! compile **once cluster-wide** — routing itself is compile-free (the
+//! canonical fingerprint comes from the uncompiled model), so N shards see
+//! one compilation for N duplicates instead of N.
+//!
+//! Everything runs inside a single `#[test]` because the counter is global
+//! to the process: this file is its own test binary, and one test body is
+//! the only way to keep unrelated compilations out of the measured deltas
+//! (see `tests/compile_once.rs`).
+
+use qdm::prelude::*;
+use qdm::qubo::compiled::compilation_count;
+use qdm::qubo::model::QuboModel;
+use qdm::qubo::penalty;
+use std::sync::Arc;
+
+/// Pick-one-of-n whose per-option costs can be rotated: every rotation is
+/// a relabeling of the same instance (identical canonical fingerprint,
+/// different variable order), published under one problem name so all
+/// rotations share a work identity.
+struct RotatedPick {
+    costs: Vec<f64>,
+}
+
+impl DmProblem for RotatedPick {
+    fn name(&self) -> String {
+        "rotated-pick".into()
+    }
+    fn n_vars(&self) -> usize {
+        self.costs.len()
+    }
+    fn to_qubo(&self) -> QuboModel {
+        let mut q = QuboModel::new(self.costs.len());
+        for (i, &c) in self.costs.iter().enumerate() {
+            q.add_linear(i, c);
+        }
+        let vars: Vec<usize> = (0..self.costs.len()).collect();
+        let weight = penalty::penalty_weight(&q);
+        penalty::exactly_one(&mut q, &vars, weight);
+        q
+    }
+    fn decode(&self, bits: &[bool]) -> Decoded {
+        let chosen: Vec<usize> =
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        Decoded {
+            feasible: chosen.len() == 1,
+            objective: chosen.iter().map(|&i| self.costs[i]).sum(),
+            summary: format!("chose {chosen:?}"),
+        }
+    }
+}
+
+/// The base instance rotated by `k`: distinct costs, so the canonical
+/// signature refinement separates every variable and all rotations
+/// canonicalize identically.
+fn rotated(k: usize) -> SharedProblem {
+    let base = [0.5, 3.5, 6.5, 2.5, 5.5, 1.5];
+    let costs = (0..base.len()).map(|i| base[(i + k) % base.len()]).collect();
+    Arc::new(RotatedPick { costs })
+}
+
+#[test]
+fn hot_fingerprint_compiles_once_cluster_wide() {
+    const DUPLICATES: usize = 8;
+    let cluster = ClusterService::new(ClusterConfig {
+        shards: 4,
+        service: ServiceConfig { workers: 1, cache_capacity: 64, ..Default::default() },
+        ..Default::default()
+    });
+
+    // Every rotation canonicalizes to the same fingerprint, so the ring
+    // sends all of them to one home shard.
+    let (fp, _) = rotated(0).to_qubo().canonical_form();
+    let home = cluster.shard_for_fingerprint(fp);
+    for k in 1..DUPLICATES {
+        let (fp_k, _) = rotated(k).to_qubo().canonical_form();
+        assert_eq!(fp_k, fp, "rotation {k} must canonicalize like the base instance");
+    }
+
+    let before = compilation_count();
+    let session = cluster.session("t", SessionConfig { queue_capacity: 16, ..Default::default() });
+    // Same seed + same pinned backend + same name → one work identity.
+    // Concurrent submitters land the duplicates together: whichever
+    // arrives first leads the single solve, the rest coalesce in flight or
+    // hit the cache on the home shard.
+    let energies: Vec<f64> = std::thread::scope(|scope| {
+        let session = &session;
+        let workers: Vec<_> = (0..DUPLICATES)
+            .map(|k| {
+                scope.spawn(move || {
+                    let spec = JobSpec::new(rotated(k), 42).on_backend("simulated-annealing");
+                    let result = session.submit(spec).expect("admitted").wait().expect("solvable");
+                    assert!(result.report.decoded.feasible);
+                    result.report.energy
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("no panic")).collect()
+    });
+    let compiles = compilation_count() - before;
+    assert_eq!(
+        compiles, 1,
+        "{DUPLICATES} concurrent permuted duplicates across 4 shards must compile exactly once"
+    );
+    for energy in &energies {
+        assert_eq!(*energy, energies[0], "every duplicate must be served the same solution");
+    }
+
+    // Affinity in the ledger: only the home shard saw submissions, and the
+    // duplicates were served without extra solves (coalesced or cached).
+    session.drain();
+    let per_shard = cluster.shard_reports();
+    for (i, report) in per_shard.iter().enumerate() {
+        let expected = if i == home { DUPLICATES as u64 } else { 0 };
+        assert_eq!(report.jobs_submitted, expected, "shard {i} submissions");
+    }
+    let merged = cluster.report();
+    assert_eq!(merged.jobs_completed, DUPLICATES as u64);
+    assert_eq!(
+        merged.jobs_coalesced + merged.cache_hits,
+        DUPLICATES as u64 - 1,
+        "all but the leader must be served, not solved: {merged}"
+    );
+}
