@@ -43,7 +43,8 @@ pub mod prelude {
         COLORED_SWEEP_MIN_VARS,
     };
     pub use crate::sqa::{
-        simulated_quantum_annealing, simulated_quantum_annealing_compiled, SqaParams,
+        simulated_quantum_annealing, simulated_quantum_annealing_compiled,
+        simulated_quantum_annealing_probed, SqaParams,
     };
     pub use crate::tabu::{tabu_search, tabu_search_compiled, TabuParams};
 }

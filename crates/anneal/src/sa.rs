@@ -161,7 +161,10 @@ pub fn simulated_annealing_compiled(
 /// [`simulated_annealing_compiled`] reporting per-restart counters (sweeps,
 /// proposals, accepted flips) to `probe`. The RNG stream and result are
 /// bit-identical to the unprobed entry point: profiling only reads local
-/// counters the hot loop already maintains.
+/// counters the hot loop already maintains, and the
+/// [`StageProbe::should_stop`] checkpoint polled at each restart boundary
+/// consumes no randomness. A probe that stops early gets the best-so-far
+/// result of the restarts that completed.
 pub fn simulated_annealing_probed(
     c: &CompiledQubo,
     params: &SaParams,
@@ -177,6 +180,9 @@ pub fn simulated_annealing_probed(
     let mut x = vec![false; n];
     let mut local = vec![0.0f64; n];
     for r in 0..params.restarts.max(1) {
+        if probe.should_stop() {
+            break;
+        }
         let (restart_evals, accepted) =
             anneal_restart(c, params, rng, &mut x, &mut local, &mut best, &mut best_bits);
         evals += restart_evals;
@@ -279,6 +285,9 @@ pub fn simulated_annealing_parallel_probed(
         let mut best = baseline;
         let mut evals: u64 = 0;
         for r in (k * chunk)..((k + 1) * chunk).min(restarts) {
+            if probe.should_stop() {
+                break;
+            }
             let mut rng = StdRng::seed_from_u64(restart_seed(seed, r as u64));
             let (restart_evals, accepted) =
                 anneal_restart(c, params, &mut rng, &mut x, &mut local, &mut best, &mut best_bits);
@@ -427,6 +436,9 @@ pub fn simulated_annealing_colored_probed(
 
     let total_sweeps = params.sweeps.max(1);
     for r in 0..params.restarts.max(1) {
+        if probe.should_stop() {
+            break;
+        }
         let mut rng = StdRng::seed_from_u64(restart_seed(seed, r as u64));
         for b in x.iter_mut() {
             *b = rng.random::<bool>();

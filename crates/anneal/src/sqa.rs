@@ -11,6 +11,7 @@
 
 use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
+use qdm_qubo::probe::{NoProbe, RestartStats, StageProbe};
 use qdm_qubo::solve::SolveResult;
 use rand::Rng;
 use std::time::Instant;
@@ -86,6 +87,22 @@ pub fn simulated_quantum_annealing_compiled(
     c: &CompiledQubo,
     params: &SqaParams,
     rng: &mut impl Rng,
+) -> SolveResult {
+    simulated_quantum_annealing_probed(c, params, rng, &NoProbe)
+}
+
+/// [`simulated_quantum_annealing_compiled`] reporting aggregate Monte-Carlo
+/// counters to `probe` (SQA has no restarts, so the whole run reports as one
+/// `RestartStats` with the executed sweep count). The
+/// [`StageProbe::should_stop`] checkpoint is polled at each sweep boundary
+/// and consumes no randomness: probes that never stop leave the RNG stream
+/// and result bit-identical to the unprobed entry point, and a probe that
+/// stops early gets the best classical configuration seen so far.
+pub fn simulated_quantum_annealing_probed(
+    c: &CompiledQubo,
+    params: &SqaParams,
+    rng: &mut impl Rng,
+    probe: &dyn StageProbe,
 ) -> SolveResult {
     let start = Instant::now();
     let n = c.n_vars();
@@ -171,7 +188,13 @@ pub fn simulated_quantum_annealing_compiled(
     }
 
     let sweeps = params.sweeps.max(1);
+    let mut sweeps_done: u64 = 0;
+    let mut proposals: u64 = 0;
+    let mut accepted: u64 = 0;
     for sweep in 0..sweeps {
+        if probe.should_stop() {
+            break;
+        }
         let frac = sweep as f64 / sweeps as f64;
         // Linear annealing of the transverse field.
         let gamma = params.gamma_start + (params.gamma_end - params.gamma_start) * frac;
@@ -194,10 +217,12 @@ pub fn simulated_quantum_annealing_compiled(
                 let quantum_delta = 2.0 * j_perp * si * (spins[up][i] + spins[down][i]);
                 let delta = classical_delta + quantum_delta;
                 evals += 1;
+                proposals += 1;
                 if delta <= 0.0
                     || rng.random::<f64>() < (-delta / params.temperature.max(1e-12)).exp()
                 {
                     spins[r][i] = -si;
+                    accepted += 1;
                 }
             }
             // Track the best classical configuration of this replica.
@@ -205,7 +230,15 @@ pub fn simulated_quantum_annealing_compiled(
             evals += 1;
             record_best(&spins[r], &mut best, &mut best_bits, e);
         }
+        sweeps_done += 1;
     }
+    probe.on_restart(&RestartStats {
+        solver: "sqa",
+        restart: 0,
+        sweeps: sweeps_done,
+        proposals,
+        accepted,
+    });
 
     SolveResult {
         bits: best_bits,

@@ -74,6 +74,9 @@ pub fn tabu_search_probed(
     let mut local = vec![0.0f64; n];
     let mut tabu_until = vec![0usize; n];
     for restart in 0..params.restarts.max(1) {
+        if probe.should_stop() {
+            break;
+        }
         for b in &mut x {
             *b = rng.random::<bool>();
         }

@@ -37,17 +37,25 @@
 //! serialize onto one core, so the parity ratio — not absolute
 //! throughput — is the signal.
 //!
+//! The `runtime/robustness` group prices the fault-tolerance machinery:
+//! the retry path (a batch where every job's first solve attempt fails and
+//! its retry succeeds, against the same batch clean), time-to-recover
+//! after a backend dies (with a circuit breaker only the tripping job pays
+//! a retry; without one every job re-discovers the dead backend), and
+//! failover throughput (the 4×1 cluster batch with one shard reported
+//! dead, against the all-healthy cluster).
+//!
 //! The `runtime/compile_once` group measures the compile-amortization win
 //! of the shared-`CompiledQubo` pipeline on the 256-var/5% acceptance
 //! instance — what a cache-miss 4-backend race used to pay in compiles
 //! (one per backend plus one for fingerprinting) versus the single shared
 //! compile it pays now — plus race-vs-best-single latency, and writes the
 //! `BENCH_runtime.json` baseline (including the fairness, observability,
-//! and cluster numbers when those groups ran) at the workspace root. CI
-//! runs the smoke set via `cargo bench --bench bench_runtime --
+//! cluster, and robustness numbers when those groups ran) at the workspace
+//! root. CI runs the smoke set via `cargo bench --bench bench_runtime --
 //! runtime/fairness runtime/observability runtime/cluster
-//! runtime/compile_once` (the criterion shim treats positional args as id
-//! filters).
+//! runtime/robustness runtime/compile_once` (the criterion shim treats
+//! positional args as id filters).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdm_anneal::sa::SaParams;
@@ -730,6 +738,264 @@ fn bench_cluster(c: &mut Criterion) {
     });
 }
 
+/// Jobs per measured batch in the robustness benches.
+const ROBUST_JOBS: usize = 16;
+
+/// Headline numbers of one robustness run, stashed by `bench_robustness`
+/// for `bench_compile_once`'s JSON writer.
+struct RobustnessNumbers {
+    clean_seconds: f64,
+    retry_seconds: f64,
+    retry_overhead_pct: f64,
+    trip_seconds: f64,
+    recover_seconds: f64,
+    open_per_job: f64,
+    no_breaker_per_job: f64,
+    healthy_seconds: f64,
+    failover_seconds: f64,
+    failover_penalty: f64,
+}
+
+static ROBUSTNESS: OnceLock<RobustnessNumbers> = OnceLock::new();
+
+/// Minimal pick-one problem for the dead-backend scenario. Small `n` keeps
+/// the `exact` backend top-ranked by prior cost, and — failing every
+/// attempt — it never records telemetry that would demote it, so the
+/// faulted routing sequence is the same on every run.
+struct PickOne {
+    costs: Vec<f64>,
+}
+
+impl DmProblem for PickOne {
+    fn name(&self) -> String {
+        format!("bench-pick-{}", self.costs.len())
+    }
+    fn n_vars(&self) -> usize {
+        self.costs.len()
+    }
+    fn to_qubo(&self) -> QuboModel {
+        let mut q = QuboModel::new(self.costs.len());
+        for (i, &c) in self.costs.iter().enumerate() {
+            q.add_linear(i, c);
+        }
+        let vars: Vec<usize> = (0..self.costs.len()).collect();
+        let weight = qdm_qubo::penalty::penalty_weight(&q);
+        qdm_qubo::penalty::exactly_one(&mut q, &vars, weight);
+        q
+    }
+    fn decode(&self, bits: &[bool]) -> Decoded {
+        let ones = bits.iter().filter(|&&b| b).count();
+        Decoded { feasible: ones == 1, objective: 0.0, summary: format!("{ones} set") }
+    }
+}
+
+fn pick(n: usize) -> SharedProblem {
+    Arc::new(PickOne { costs: (0..n).map(|i| ((i * 5) % 11) as f64 + 0.5).collect() })
+}
+
+/// Fails every other `Solve` attempt: each job's first attempt errors and
+/// its retry succeeds, so a batch through this injector pays the full
+/// retry path — fault, child span, re-rank, second attempt — once per job.
+struct EveryOtherSolveFails(AtomicU64);
+
+impl FaultInjector for EveryOtherSolveFails {
+    fn inject(&self, site: FaultSite, _backend: Option<&str>) -> Option<FaultAction> {
+        if site != FaultSite::Solve {
+            return None;
+        }
+        self.0
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(2)
+            .then(|| FaultAction::Error("bench: transient backend failure".into()))
+    }
+}
+
+/// Zero-backoff retries so the benches measure the retry machinery, not
+/// configured sleeps.
+fn instant_retries() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 2,
+        backoff_base: std::time::Duration::ZERO,
+        backoff_cap: std::time::Duration::ZERO,
+    }
+}
+
+/// One cache-miss batch (fresh seeds, Auto routing), seconds per batch.
+fn robust_batch(service: &SolverService, problems: &[Arc<MqoProblem>]) -> f64 {
+    let options = opts();
+    let batch: Vec<JobSpec> = (0..ROBUST_JOBS)
+        .map(|i| {
+            JobSpec::new(
+                Arc::clone(&problems[i % problems.len()]) as SharedProblem,
+                SEED.fetch_add(1, Ordering::Relaxed),
+            )
+            .with_options(options.clone())
+        })
+        .collect();
+    let t0 = Instant::now();
+    let outcomes = service.run_batch(batch);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+    t0.elapsed().as_secs_f64()
+}
+
+/// One scripted dead-backend run over the standard registry: the top-ranked
+/// `exact` backend errors on every attempt. Returns the latency of the job
+/// that discovers the outage (and, with breakers on, trips one), the wall
+/// time from first submission until the service is serving normally again,
+/// the steady-state per-job latency after that, and how many retries the
+/// whole run paid.
+fn dead_backend_run(breaker: Option<BreakerConfig>) -> (f64, f64, f64, u64) {
+    let plan: Arc<dyn FaultInjector> = Arc::new(FaultPlan::new().fail_backend(
+        "exact",
+        FaultWhen::Always,
+        FaultAction::Error("bench: backend down".into()),
+    ));
+    let service = SolverService::new(ServiceConfig {
+        workers: 1,
+        cache_capacity: 4 * ROBUST_JOBS,
+        injector: Some(plan),
+        retry: instant_retries(),
+        breaker,
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    let first = service.run(JobSpec::new(pick(6), SEED.fetch_add(1, Ordering::Relaxed)));
+    assert!(first.is_ok(), "the tripping job must still resolve via fallback: {first:?}");
+    let trip = t0.elapsed().as_secs_f64();
+    let second = service.run(JobSpec::new(pick(6), SEED.fetch_add(1, Ordering::Relaxed)));
+    assert!(second.is_ok());
+    // Recovered: the first post-trip success has landed and every further
+    // job takes the steady-state path measured below.
+    let recover = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for _ in 0..ROBUST_JOBS {
+        let outcome = service.run(JobSpec::new(pick(6), SEED.fetch_add(1, Ordering::Relaxed)));
+        assert!(outcome.is_ok());
+    }
+    let steady = t1.elapsed().as_secs_f64() / ROBUST_JOBS as f64;
+    (trip, recover, steady, service.report().jobs_retried)
+}
+
+/// Health probe reporting one shard permanently dead.
+struct DeadShard(usize);
+
+impl HealthProbe for DeadShard {
+    fn is_healthy(&self, shard: usize) -> bool {
+        shard != self.0
+    }
+}
+
+fn bench_robustness(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/robustness") {
+        return;
+    }
+    let problems = workload();
+
+    // Retry-path overhead: the same single-worker fast-SA service, clean vs
+    // an injector that fails every job's first solve attempt.
+    let clean = SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig { workers: 1, cache_capacity: 8, ..Default::default() },
+    );
+    let retrying = SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            injector: Some(Arc::new(EveryOtherSolveFails(AtomicU64::new(0)))),
+            retry: instant_retries(),
+            ..Default::default()
+        },
+    );
+    // Failover throughput: the 4x1 cluster with one shard reported dead —
+    // its arcs re-route to healthy successors at submit time.
+    let healthy = bench_cluster_service();
+    let dead = ClusterService::with_registries(
+        (0..CLUSTER_SHARDS).map(|_| fairness_registry()).collect(),
+        ClusterConfig {
+            service: ServiceConfig { workers: 1, cache_capacity: 8, ..Default::default() },
+            health_probe: Some(Arc::new(DeadShard(0))),
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("runtime/robustness");
+    group.sample_size(10);
+    group.bench_function("clean_batch", |b| b.iter(|| robust_batch(&clean, &problems)));
+    group
+        .bench_function("retry_every_job_batch", |b| b.iter(|| robust_batch(&retrying, &problems)));
+    group.bench_function("failover_one_dead_shard_batch", |b| {
+        b.iter(|| cluster_batch(&dead, &problems));
+    });
+    group.finish();
+
+    // Headline 1: per-batch retry overhead, clean vs one retry per job.
+    let reps = 5;
+    let clean_seconds =
+        (0..reps).map(|_| robust_batch(&clean, &problems)).sum::<f64>() / reps as f64;
+    let retry_seconds =
+        (0..reps).map(|_| robust_batch(&retrying, &problems)).sum::<f64>() / reps as f64;
+    let retry_overhead_pct = (retry_seconds - clean_seconds) / clean_seconds.max(1e-12) * 100.0;
+    println!(
+        "runtime/robustness retry: {retry_overhead_pct:+.1}% batch overhead with one retry per \
+         job ({ROBUST_JOBS} jobs/batch, clean {:.3} ms vs retrying {:.3} ms)",
+        clean_seconds * 1e3,
+        retry_seconds * 1e3,
+    );
+
+    // Headline 2: time-to-recover after a backend dies, breakers on vs off.
+    // With a breaker (threshold 1, long cooldown) only the tripping job
+    // pays a retry; without one every job re-discovers the dead backend.
+    let (trip_seconds, recover_seconds, open_per_job, breaker_retried) =
+        dead_backend_run(Some(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: std::time::Duration::from_secs(3600),
+            clock: None,
+        }));
+    let (_, _, no_breaker_per_job, no_breaker_retried) = dead_backend_run(None);
+    assert!(breaker_retried >= 1 && no_breaker_retried >= 1, "the dead backend must be tried");
+    println!(
+        "runtime/robustness breaker: trip {:.3} ms, recovered by {:.3} ms; steady-state {:.1} \
+         µs/job open-breaker vs {:.1} µs/job retrying ({:.2}x, {} vs {} retries paid)",
+        trip_seconds * 1e3,
+        recover_seconds * 1e3,
+        open_per_job * 1e6,
+        no_breaker_per_job * 1e6,
+        no_breaker_per_job / open_per_job.max(1e-12),
+        breaker_retried,
+        no_breaker_retried,
+    );
+
+    // Headline 3: failover throughput, all-healthy vs one dead shard at
+    // equal offered load (the dead shard's workers are lost, its keys
+    // spread over the survivors).
+    let healthy_seconds =
+        (0..reps).map(|_| cluster_batch(&healthy, &problems)).sum::<f64>() / reps as f64;
+    let failover_seconds =
+        (0..reps).map(|_| cluster_batch(&dead, &problems)).sum::<f64>() / reps as f64;
+    let failover_penalty = failover_seconds / healthy_seconds.max(1e-12);
+    let failovers = dead.report().failovers;
+    println!(
+        "runtime/robustness failover: {CLUSTER_SHARDS}x1 healthy {:.3}s vs one-dead-shard {:.3}s \
+         ({failover_penalty:.2}x penalty, {CLUSTER_JOBS} jobs/batch, {failovers} submissions \
+         re-routed)",
+        healthy_seconds, failover_seconds,
+    );
+
+    let _ = ROBUSTNESS.set(RobustnessNumbers {
+        clean_seconds,
+        retry_seconds,
+        retry_overhead_pct,
+        trip_seconds,
+        recover_seconds,
+        open_per_job,
+        no_breaker_per_job,
+        healthy_seconds,
+        failover_seconds,
+        failover_penalty,
+    });
+}
+
 /// The dense instance wrapped as a service-submittable problem.
 struct DenseProblem {
     qubo: QuboModel,
@@ -897,13 +1163,36 @@ fn bench_compile_once(c: &mut Criterion) {
         ),
         None => String::new(),
     };
+    let robustness = match ROBUSTNESS.get() {
+        Some(r) => format!(
+            ",\n  \"robustness\": {{\"jobs_per_batch\": {ROBUST_JOBS}, \"retry\": {{\
+             \"clean_batch_seconds\": {:.6}, \"retry_batch_seconds\": {:.6}, \
+             \"overhead_pct\": {:.2}}}, \"breaker\": {{\"trip_seconds\": {:.6}, \
+             \"recover_seconds\": {:.6}, \"open_per_job_seconds\": {:.6}, \
+             \"no_breaker_per_job_seconds\": {:.6}, \"retry_cut\": {:.2}}}, \
+             \"failover\": {{\"shards\": {CLUSTER_SHARDS}, \"healthy_batch_seconds\": {:.6}, \
+             \"one_dead_shard_batch_seconds\": {:.6}, \"penalty\": {:.2}}}}}",
+            r.clean_seconds,
+            r.retry_seconds,
+            r.retry_overhead_pct,
+            r.trip_seconds,
+            r.recover_seconds,
+            r.open_per_job,
+            r.no_breaker_per_job,
+            r.no_breaker_per_job / r.open_per_job.max(1e-12),
+            r.healthy_seconds,
+            r.failover_seconds,
+            r.failover_penalty,
+        ),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"runtime\",\n  \"instance\": {{\"n_vars\": 256, \"density\": 0.05, \
          \"n_interactions\": {m}}},\n  \"race_k\": {RACE_K},\n  \"compile_ns\": {{\
          \"per_solve\": {per_stage_ns:.0}, \"compile_once\": {once_ns:.0}}},\n  \
          \"compile_amortization\": {amortization:.2},\n  \"latency_seconds\": {{\
          \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}{fairness}\
-         {observability}{cluster}\n}}\n",
+         {observability}{cluster}{robustness}\n}}\n",
         m = q.n_interactions(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
@@ -921,6 +1210,7 @@ criterion_group!(
     bench_fairness,
     bench_observability,
     bench_cluster,
+    bench_robustness,
     bench_compile_once
 );
 criterion_main!(benches);

@@ -13,7 +13,9 @@ use qdm_anneal::sa::{
     simulated_annealing_parallel_compiled, simulated_annealing_parallel_probed,
     simulated_annealing_probed, SaParams, COLORED_SWEEP_MIN_VARS,
 };
-use qdm_anneal::sqa::{simulated_quantum_annealing_compiled, SqaParams};
+use qdm_anneal::sqa::{
+    simulated_quantum_annealing_compiled, simulated_quantum_annealing_probed, SqaParams,
+};
 use qdm_anneal::tabu::{tabu_search_compiled, tabu_search_probed, TabuParams};
 use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::{bits_from_index, QuboModel};
@@ -216,6 +218,15 @@ impl QuboSolver for SqaSolver {
     fn solve_compiled(&self, c: &CompiledQubo, rng: &mut StdRng) -> SolveResult {
         let params = self.params.unwrap_or_else(|| SqaParams::scaled_to_compiled(c));
         simulated_quantum_annealing_compiled(c, &params, rng)
+    }
+    fn solve_observed(
+        &self,
+        c: &CompiledQubo,
+        rng: &mut StdRng,
+        probe: &dyn StageProbe,
+    ) -> SolveResult {
+        let params = self.params.unwrap_or_else(|| SqaParams::scaled_to_compiled(c));
+        simulated_quantum_annealing_probed(c, &params, rng, probe)
     }
 }
 

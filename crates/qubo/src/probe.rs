@@ -45,6 +45,16 @@ pub trait StageProbe: Send + Sync {
     fn on_restart(&self, stats: &RestartStats) {
         let _ = stats;
     }
+
+    /// Cooperative stop checkpoint, polled by solver loops at restart and
+    /// sweep boundaries. Returning `true` asks the solver to stop early and
+    /// return its best-so-far result; the default never stops, and the
+    /// poll consumes no randomness, so probes that leave this alone keep
+    /// solver output bit-identical to an unprobed run. The runtime's
+    /// per-job deadline enforcement is built on this hook.
+    fn should_stop(&self) -> bool {
+        false
+    }
 }
 
 /// The no-op probe: every hook compiles to nothing.
@@ -66,6 +76,10 @@ impl StageProbe for TeeProbe {
     fn on_restart(&self, stats: &RestartStats) {
         self.0.on_restart(stats);
         self.1.on_restart(stats);
+    }
+
+    fn should_stop(&self) -> bool {
+        self.0.should_stop() || self.1.should_stop()
     }
 }
 

@@ -39,6 +39,7 @@
 //! which additionally coalesces permuted-but-identical encodings.
 
 use crate::service::JobError;
+use crate::sync::{CondvarExt, LockExt};
 use qdm_core::pipeline::{PipelineOptions, PipelineReport};
 use qdm_qubo::compiled::CompiledQubo;
 use std::collections::hash_map::Entry;
@@ -191,7 +192,7 @@ impl ResultCache {
     /// Total entry budget: the sum of per-shard capacities, exactly the
     /// `capacity` the cache was built with.
     pub fn capacity(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache lock").capacity).sum()
+        self.shards.iter().map(|s| s.lock_unpoisoned().capacity).sum()
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<CacheInner> {
@@ -201,7 +202,7 @@ impl ResultCache {
     /// Looks up a completed result, marking the entry referenced so the
     /// CLOCK hand grants it a second chance on its next sweep.
     pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
-        let mut inner = self.shard(key).lock().expect("cache lock");
+        let mut inner = self.shard(key).lock_unpoisoned();
         let &slot = inner.map.get(key)?;
         inner.ring[slot].referenced = true;
         Some(inner.ring[slot].value.clone())
@@ -215,7 +216,7 @@ impl ResultCache {
     /// concurrently) keeps the existing entry so later hits stay consistent
     /// with earlier responses.
     pub fn insert(&self, key: CacheKey, value: CachedResult) {
-        let mut inner = self.shard(&key).lock().expect("cache lock");
+        let mut inner = self.shard(&key).lock_unpoisoned();
         if inner.map.contains_key(&key) {
             return;
         }
@@ -232,7 +233,7 @@ impl ResultCache {
 
     /// Number of live entries, summed over shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache lock").map.len()).sum()
+        self.shards.iter().map(|s| s.lock_unpoisoned().map.len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -332,10 +333,10 @@ impl Flight {
 
     /// Parks until the leader publishes or abandons.
     pub(crate) fn wait(&self) -> FlightResolution {
-        let mut state = self.state.lock().expect("flight lock");
+        let mut state = self.state.lock_unpoisoned();
         loop {
             match &*state {
-                FlightState::Pending => state = self.done.wait(state).expect("flight lock"),
+                FlightState::Pending => state = self.done.wait_unpoisoned(state),
                 FlightState::Done(outcome) => {
                     return match outcome.as_ref() {
                         Ok(output) => FlightResolution::Served(output.clone()),
@@ -348,7 +349,7 @@ impl Flight {
     }
 
     fn publish(&self, state: FlightState) {
-        *self.state.lock().expect("flight lock") = state;
+        *self.state.lock_unpoisoned() = state;
         self.done.notify_all();
     }
 }
@@ -376,7 +377,7 @@ impl FlightTable {
     /// Registers the caller as the leader for `key`, or returns the
     /// existing in-flight [`Flight`] to park on.
     pub(crate) fn join_or_lead(&self, key: FlightKey) -> FlightRole<'_> {
-        let mut map = self.map.lock().expect("flight table lock");
+        let mut map = self.map.lock_unpoisoned();
         match map.entry(key.clone()) {
             Entry::Occupied(entry) => FlightRole::Follower(Arc::clone(entry.get())),
             Entry::Vacant(entry) => {
@@ -411,7 +412,7 @@ impl FlightLease<'_> {
     /// no-op success (the cluster-routed path registers the canonical key
     /// *before* compiling, and the shared lead path re-derives it after).
     pub(crate) fn extend(&mut self, key: FlightKey) -> Option<Arc<Flight>> {
-        let mut map = self.table.map.lock().expect("flight table lock");
+        let mut map = self.table.map.lock_unpoisoned();
         match map.entry(key.clone()) {
             Entry::Occupied(entry) if Arc::ptr_eq(entry.get(), &self.flight) => None,
             Entry::Occupied(entry) => Some(Arc::clone(entry.get())),
@@ -436,7 +437,7 @@ impl FlightLease<'_> {
         }
         self.resolved = true;
         {
-            let mut map = self.table.map.lock().expect("flight table lock");
+            let mut map = self.table.map.lock_unpoisoned();
             for key in &self.keys {
                 map.remove(key);
             }

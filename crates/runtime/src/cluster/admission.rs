@@ -11,6 +11,7 @@
 //! in by the cluster, so tests drive admission with a
 //! [`super::ManualClock`] and never sleep.
 
+use crate::sync::LockExt;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -101,7 +102,7 @@ impl AdmissionController {
         let Some(bucket) = self.config.bucket_for(tenant) else {
             return Ok(());
         };
-        let mut buckets = self.buckets.lock().expect("admission lock");
+        let mut buckets = self.buckets.lock_unpoisoned();
         let state = buckets
             .entry(tenant.to_string())
             .or_insert(BucketState { tokens: bucket.capacity, last_micros: now_micros });

@@ -23,6 +23,14 @@
 //!   order. A migrating job carries its precomputed route, so *where* it
 //!   runs never changes *what* it computes: per-job seeded RNGs keep
 //!   results bit-identical to a single-shard run.
+//! - **Shard failover** — an injectable [`HealthProbe`] marks shards
+//!   healthy or dead. New submissions whose ring owner is dead re-route
+//!   to the next healthy shard clockwise (each dead arc re-routes to one
+//!   deterministic successor, preserving cache affinity), and
+//!   [`ClusterService::failover_drain`] moves queued-but-unclaimed jobs
+//!   off dead shards through the same accounting path as migration.
+//!   Because a failed-over job travels with its precomputed route and
+//!   seed, results stay bit-identical to a healthy cluster's.
 //!
 //! Observability spans shards: [`ClusterService::report`] merges per-shard
 //! [`RuntimeReport`]s ([`RuntimeReport::merge`]) with shard-tagged queue
@@ -40,6 +48,7 @@ use crate::metrics::RuntimeReport;
 use crate::registry::SolverRegistry;
 use crate::service::{JobSpec, RouteInfo, ServiceConfig, SolverService};
 use crate::submit::{enqueue_reserved, Completions, SessionConfig, SessionCore, SubmitError};
+use crate::sync::LockExt;
 use crate::trace::JobTrace;
 use admission::AdmissionController;
 use ring::HashRing;
@@ -54,6 +63,21 @@ const CLUSTER_ID_BASE: u64 = 1 << 32;
 
 /// Virtual nodes per shard on the consistent-hash ring.
 const RING_REPLICAS: usize = 64;
+
+/// Injectable shard-health source driving failover.
+///
+/// The cluster consults the probe at routing time (a dead ring owner's
+/// range re-routes clockwise to the next healthy shard) and during
+/// [`ClusterService::failover_drain`] (queued jobs leave dead shards).
+/// Health is polled, never cached, so flipping a probe's answer takes
+/// effect on the very next submission. Production deployments would back
+/// this with heartbeats; tests flip an `AtomicBool` to kill a shard
+/// mid-run deterministically — the same injectable-seam pattern as
+/// [`Clock`] and [`DepthProbe`].
+pub trait HealthProbe: Send + Sync {
+    /// Whether `shard` can currently accept and run work.
+    fn is_healthy(&self, shard: usize) -> bool;
+}
 
 /// Cluster configuration.
 #[derive(Clone)]
@@ -87,6 +111,9 @@ pub struct ClusterConfig {
     /// shard's live queue-depth gauge. Tests inject fixed depths to
     /// exercise watermark/migration logic without real backlogs.
     pub depth_probe: Option<Arc<dyn DepthProbe>>,
+    /// Shard-health source for failover; `None` treats every shard as
+    /// permanently healthy (no routing change, no drains).
+    pub health_probe: Option<Arc<dyn HealthProbe>>,
 }
 
 impl Default for ClusterConfig {
@@ -100,6 +127,7 @@ impl Default for ClusterConfig {
             migration_threshold: None,
             clock: None,
             depth_probe: None,
+            health_probe: None,
         }
     }
 }
@@ -114,6 +142,7 @@ pub struct ClusterService {
     admission: AdmissionController,
     clock: Arc<dyn Clock>,
     depth_probe: Option<Arc<dyn DepthProbe>>,
+    health_probe: Option<Arc<dyn HealthProbe>>,
     shed_watermark: Option<usize>,
     shed_retry_hint: Duration,
     migration_threshold: Option<usize>,
@@ -154,6 +183,7 @@ impl ClusterService {
             admission: AdmissionController::new(config.admission),
             clock: config.clock.unwrap_or_else(|| Arc::new(MonotonicClock::new())),
             depth_probe: config.depth_probe,
+            health_probe: config.health_probe,
             shed_watermark: config.shed_watermark,
             shed_retry_hint: config.shed_retry_hint,
             migration_threshold: config.migration_threshold,
@@ -168,12 +198,91 @@ impl ClusterService {
         self.shards.len()
     }
 
-    /// The shard a canonical fingerprint routes to. Pure function of the
-    /// shard count — every duplicate of a QUBO (however relabeled) routes
-    /// here, which is what makes the shard's cache and single-flight table
-    /// effective cluster-wide.
+    /// The shard a canonical fingerprint routes to when every shard is
+    /// healthy. Pure function of the shard count — every duplicate of a
+    /// QUBO (however relabeled) routes here, which is what makes the
+    /// shard's cache and single-flight table effective cluster-wide.
     pub fn shard_for_fingerprint(&self, fingerprint: u64) -> usize {
         self.ring.shard_for(fingerprint)
+    }
+
+    /// Whether `shard` is currently healthy. No probe means always yes.
+    fn healthy(&self, shard: usize) -> bool {
+        match &self.health_probe {
+            Some(probe) => probe.is_healthy(shard),
+            None => true,
+        }
+    }
+
+    /// The shard `fingerprint` actually routes to right now: the
+    /// health-blind ring owner when healthy, otherwise the first healthy
+    /// shard clockwise (counted as a failover on the recipient's ledger).
+    /// When no shard is healthy the dead owner is returned unchanged —
+    /// jobs queue there and survive until the shard recovers or a drain
+    /// finds somewhere better.
+    fn route_shard(&self, fingerprint: u64) -> usize {
+        let primary = self.ring.shard_for(fingerprint);
+        if self.healthy(primary) {
+            return primary;
+        }
+        let shard = self.ring.shard_for_healthy(fingerprint, |s| self.healthy(s));
+        if shard != primary {
+            self.shards[shard].shared.metrics.on_failover();
+        }
+        shard
+    }
+
+    /// Evacuates queued-but-unclaimed jobs from unhealthy shards.
+    ///
+    /// Runs automatically after every cluster submission and may be called
+    /// directly when a probe flips with no traffic to piggyback on. Each
+    /// drained job re-routes by its precomputed canonical fingerprint to
+    /// the next healthy shard clockwise and moves through the same
+    /// pop/push accounting as load-balancing migration (donor counts the
+    /// dequeue + migration, recipient counts the enqueue + failover), so
+    /// the merged ledger stays balanced and no job is lost or duplicated.
+    /// Jobs a dead shard's worker already claimed are out of reach —
+    /// "dead" here means the shard stopped making progress, and the retry
+    /// layer inside each shard handles in-flight failures. A no-op
+    /// without a [`HealthProbe`] or when no healthy shard exists.
+    pub fn failover_drain(&self) {
+        let Some(probe) = &self.health_probe else { return };
+        if !(0..self.shards.len()).any(|s| probe.is_healthy(s)) {
+            return;
+        }
+        for donor in 0..self.shards.len() {
+            if probe.is_healthy(donor) {
+                continue;
+            }
+            loop {
+                let popped = {
+                    let mut queue = self.shards[donor].shared.queue.lock_unpoisoned();
+                    queue.pop()
+                };
+                let Some(job) = popped else { break };
+                let recipient = match job.route.as_ref() {
+                    Some(route) => {
+                        self.ring.shard_for_healthy(route.canonical_fp, |s| probe.is_healthy(s))
+                    }
+                    // Jobs enqueued directly on the shard carry no route:
+                    // send them to the lowest-indexed healthy shard.
+                    None => (0..self.shards.len())
+                        .find(|&s| probe.is_healthy(s))
+                        .expect("a healthy shard exists — checked above"),
+                };
+                let from = &self.shards[donor].shared;
+                let to = &self.shards[recipient].shared;
+                from.metrics.on_dequeue();
+                from.metrics.on_migrated();
+                to.metrics.on_enqueue();
+                to.metrics.on_failover();
+                {
+                    let mut queue = to.queue.lock_unpoisoned();
+                    queue.push(job);
+                }
+                to.job_ready.notify_one();
+            }
+        }
     }
 
     /// Opens a submission session for `tenant` with the same bounded-queue
@@ -259,7 +368,7 @@ impl ClusterService {
             // which is fine — cancel of a missing id degrades to the
             // running-job path.
             let popped = {
-                let mut queue = self.shards[donor].shared.queue.lock().expect("queue lock");
+                let mut queue = self.shards[donor].shared.queue.lock_unpoisoned();
                 queue.pop()
             };
             let Some(job) = popped else { return };
@@ -269,7 +378,7 @@ impl ClusterService {
             from.metrics.on_migrated();
             to.metrics.on_enqueue();
             {
-                let mut queue = to.queue.lock().expect("queue lock");
+                let mut queue = to.queue.lock_unpoisoned();
                 queue.push(job);
             }
             to.job_ready.notify_one();
@@ -298,11 +407,12 @@ impl ClusterSession<'_> {
         &self.tenant
     }
 
-    /// Encodes the spec once and picks its shard by canonical fingerprint.
+    /// Encodes the spec once and picks its shard by canonical fingerprint,
+    /// skipping past shards the health probe reports dead.
     fn route(&self, spec: &JobSpec) -> (usize, RouteInfo) {
         let qubo = Arc::new(spec.problem.to_qubo());
         let (canonical_fp, perm) = qubo.canonical_form();
-        let shard = self.cluster.ring.shard_for(canonical_fp);
+        let shard = self.cluster.route_shard(canonical_fp);
         (shard, RouteInfo { qubo, canonical_fp, perm: Arc::new(perm) })
     }
 
@@ -344,6 +454,7 @@ impl ClusterSession<'_> {
         let spec = self.admit_reserved(shard, spec)?;
         let id = self.cluster.next_job_id.fetch_add(1, Ordering::Relaxed);
         let handle = enqueue_reserved(shared, &self.core, id, spec, Some(route));
+        self.cluster.failover_drain();
         self.cluster.maybe_migrate();
         Ok(handle)
     }
@@ -361,6 +472,7 @@ impl ClusterSession<'_> {
         let spec = self.admit_reserved(shard, spec)?;
         let id = self.cluster.next_job_id.fetch_add(1, Ordering::Relaxed);
         let handle = enqueue_reserved(shared, &self.core, id, spec, Some(route));
+        self.cluster.failover_drain();
         self.cluster.maybe_migrate();
         Ok(handle)
     }

@@ -53,6 +53,30 @@ impl HashRing {
         let idx = if idx == self.points.len() { 0 } else { idx };
         self.points[idx].1
     }
+
+    /// [`Self::shard_for`] with failover: keeps walking the ring clockwise
+    /// past virtual nodes of unhealthy shards until it finds a healthy
+    /// owner. Deterministic for a fixed health assignment — every
+    /// fingerprint of a dead shard's arc re-routes to the *same* healthy
+    /// successor, preserving cache affinity under failover. When no shard
+    /// is healthy the primary owner is returned unchanged (routing
+    /// degrades to health-blind rather than refusing service).
+    pub(crate) fn shard_for_healthy(
+        &self,
+        fingerprint: u64,
+        healthy: impl Fn(usize) -> bool,
+    ) -> usize {
+        let hash = fnv1a(&[fingerprint]);
+        let start = self.points.partition_point(|&(point, _)| point < hash);
+        let n = self.points.len();
+        for step in 0..n {
+            let (_, shard) = self.points[(start + step) % n];
+            if healthy(shard) {
+                return shard;
+            }
+        }
+        self.points[if start == n { 0 } else { start }].1
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 use crate::metrics::Metrics;
 use crate::service::{JobError, JobOutcome, Shared};
 use crate::submit::SessionCore;
+use crate::sync::{CondvarExt, LockExt};
 use crate::trace::{JobTrace, Span, Stage, StageStats, TraceOutcome};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -92,7 +93,7 @@ impl CompletionSlot {
         // queued-job cancel resolves with `Err(Cancelled)` and was never
         // counted failed.
         let counted_failed = matches!(&outcome, Err(err) if *err != JobError::Cancelled);
-        let mut inner = self.inner.lock().expect("slot lock");
+        let mut inner = self.inner.lock_unpoisoned();
         let delivered = if inner.cancelled { Err(JobError::Cancelled) } else { outcome };
         if inner.cancelled {
             if solved {
@@ -109,7 +110,7 @@ impl CompletionSlot {
     /// Marks a still-running job as cancelled so [`Self::resolve`] delivers
     /// [`JobError::Cancelled`].
     fn mark_cancelled_if_pending(&self) -> MarkCancelled {
-        let mut inner = self.inner.lock().expect("slot lock");
+        let mut inner = self.inner.lock_unpoisoned();
         if inner.outcome.is_some() {
             MarkCancelled::Resolved
         } else if inner.cancelled {
@@ -121,16 +122,16 @@ impl CompletionSlot {
     }
 
     fn try_result(&self) -> Option<JobOutcome> {
-        self.inner.lock().expect("slot lock").outcome.clone()
+        self.inner.lock_unpoisoned().outcome.clone()
     }
 
     fn wait(&self) -> JobOutcome {
-        let mut inner = self.inner.lock().expect("slot lock");
+        let mut inner = self.inner.lock_unpoisoned();
         loop {
             if let Some(outcome) = &inner.outcome {
                 return outcome.clone();
             }
-            inner = self.done.wait(inner).expect("slot lock");
+            inner = self.done.wait_unpoisoned(inner);
         }
     }
 }
@@ -211,7 +212,7 @@ impl JobHandle {
     /// reports [`JobError::Cancelled`].
     pub fn cancel(&self) -> CancelStatus {
         let removed = {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = self.shared.queue.lock_unpoisoned();
             queue.remove(self.id)
         };
         if let Some(job) = removed {

@@ -91,8 +91,10 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod cluster;
+pub mod fault;
 pub mod handle;
 pub mod metrics;
 pub mod portfolio;
@@ -100,14 +102,19 @@ pub mod registry;
 pub mod scheduler;
 pub mod service;
 pub mod submit;
+mod sync;
 pub mod trace;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
+    pub use crate::breaker::BreakerConfig;
     pub use crate::cache::{CacheKey, CachedResult, ResultCache};
     pub use crate::cluster::{
         AdmissionConfig, Clock, ClusterConfig, ClusterService, ClusterSession, DepthProbe,
-        ManualClock, MonotonicClock, TokenBucketConfig,
+        HealthProbe, ManualClock, MonotonicClock, TokenBucketConfig,
+    };
+    pub use crate::fault::{
+        FaultAction, FaultInjector, FaultPlan, FaultSite, FaultWhen, NoFaults, RetryPolicy,
     };
     pub use crate::handle::{CancelStatus, Completion, JobHandle};
     pub use crate::metrics::{Metrics, RuntimeReport};
@@ -115,8 +122,8 @@ pub mod prelude {
     pub use crate::registry::{RegisteredSolver, SolverRegistry, SolverSpec};
     pub use crate::scheduler::{SchedulerPolicy, AGE_AFTER_POPS, DRR_QUANTUM};
     pub use crate::service::{
-        BackendChoice, JobError, JobOutcome, JobResult, JobSpec, ServiceConfig, SharedProblem,
-        SolverService,
+        BackendChoice, JobError, JobOutcome, JobResult, JobSpec, PartialSolution, ServiceConfig,
+        SharedProblem, SolverService,
     };
     pub use crate::submit::{Completions, Session, SessionConfig, SubmitError};
     pub use crate::trace::{

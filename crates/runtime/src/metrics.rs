@@ -4,6 +4,7 @@
 //! renderable as Prometheus text exposition via
 //! [`RuntimeReport::render_prometheus`].
 
+use crate::sync::LockExt;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -69,6 +70,13 @@ pub struct Metrics {
     jobs_admitted: AtomicU64,
     jobs_shed: AtomicU64,
     migrations: AtomicU64,
+    jobs_retried: AtomicU64,
+    retries_exhausted: AtomicU64,
+    deadlines_exceeded: AtomicU64,
+    breaker_opened: AtomicU64,
+    breaker_half_opened: AtomicU64,
+    breaker_closed: AtomicU64,
+    failovers: AtomicU64,
     per_backend: Mutex<BTreeMap<String, u64>>,
     race_wins: Mutex<BTreeMap<String, u64>>,
 }
@@ -98,8 +106,7 @@ impl Metrics {
         let (micros, bucket) = latency_bucket(seconds);
         self.solve_seconds_total_micros.fetch_add(micros, Ordering::Relaxed);
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
-        *self.per_backend.lock().expect("metrics lock").entry(backend.to_string()).or_insert(0) +=
-            1;
+        *self.per_backend.lock_unpoisoned().entry(backend.to_string()).or_insert(0) += 1;
     }
 
     /// Records the end-to-end latency a *caller* observed for one delivered
@@ -208,7 +215,7 @@ impl Metrics {
     /// Records a completed portfolio race and its winning backend.
     pub fn on_race(&self, winner: &str) {
         self.race_jobs.fetch_add(1, Ordering::Relaxed);
-        *self.race_wins.lock().expect("metrics lock").entry(winner.to_string()).or_insert(0) += 1;
+        *self.race_wins.lock_unpoisoned().entry(winner.to_string()).or_insert(0) += 1;
     }
 
     /// Records a job that passed cluster admission control (token bucket
@@ -229,6 +236,48 @@ impl Metrics {
     /// depths. Counted on the **donor** shard (the job left its queue).
     pub fn on_migrated(&self) {
         self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retry attempt: a job whose try failed retryably (panic
+    /// or injected error) and was put back through processing under the
+    /// service's [`crate::fault::RetryPolicy`].
+    pub fn on_retried(&self) {
+        self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job that failed retryably *after* exhausting its retry
+    /// budget — the failure the policy could not absorb.
+    pub fn on_retries_exhausted(&self) {
+        self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job that failed with
+    /// [`crate::service::JobError::DeadlineExceeded`].
+    pub fn on_deadline_exceeded(&self) {
+        self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a backend circuit breaker tripping open (consecutive
+    /// failures reached the threshold, or a half-open probe failed).
+    pub fn on_breaker_opened(&self) {
+        self.breaker_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an open breaker moving to half-open after its cooldown:
+    /// probe traffic is admitted again.
+    pub fn on_breaker_half_opened(&self) {
+        self.breaker_half_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a tripped breaker re-closing on a success.
+    pub fn on_breaker_closed(&self) {
+        self.breaker_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job routed (or drained) away from an unhealthy shard to
+    /// this shard. Counted on the **recipient** shard.
+    pub fn on_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current queue depth, as tracked by [`Self::on_enqueue`] /
@@ -278,6 +327,13 @@ impl Metrics {
             jobs_admitted: self.jobs_admitted.load(Ordering::Relaxed),
             jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
             migrations: self.migrations.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            retries_exhausted: self.retries_exhausted.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            breaker_half_opened: self.breaker_half_opened.load(Ordering::Relaxed),
+            breaker_closed: self.breaker_closed.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
             latency_histogram: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
             served_latency_histogram: std::array::from_fn(|i| {
                 self.served_latency[i].load(Ordering::Relaxed)
@@ -364,6 +420,26 @@ pub struct RuntimeReport {
     /// Queued jobs migrated away from this shard to rebalance queue depths
     /// (counted on the donor).
     pub migrations: u64,
+    /// Retry attempts: tries re-run after a retryable failure (panic or
+    /// injected error) under the service's [`crate::fault::RetryPolicy`].
+    pub jobs_retried: u64,
+    /// Jobs that still failed retryably after exhausting the retry budget.
+    pub retries_exhausted: u64,
+    /// Jobs that failed with
+    /// [`crate::service::JobError::DeadlineExceeded`].
+    pub deadlines_exceeded: u64,
+    /// Backend circuit breakers tripped open (threshold reached or a
+    /// half-open probe failed). Breaker state and the retry counters above
+    /// are the failure-cost telemetry the ROADMAP's cost-aware routing
+    /// (item 4) will fold into its per-backend cost model.
+    pub breaker_opened: u64,
+    /// Open breakers moved to half-open after their cooldown elapsed.
+    pub breaker_half_opened: u64,
+    /// Tripped breakers re-closed by a success.
+    pub breaker_closed: u64,
+    /// Jobs routed or drained to this shard because their home shard was
+    /// unhealthy (counted on the recipient).
+    pub failovers: u64,
     /// Solve-latency histogram; bucket `i` counts solves in
     /// `[2^i, 2^(i+1))` µs. Cache hits and coalesced followers are *not* in
     /// here — see [`Self::served_latency_histogram`].
@@ -427,6 +503,13 @@ impl RuntimeReport {
             jobs_admitted: 0,
             jobs_shed: 0,
             migrations: 0,
+            jobs_retried: 0,
+            retries_exhausted: 0,
+            deadlines_exceeded: 0,
+            breaker_opened: 0,
+            breaker_half_opened: 0,
+            breaker_closed: 0,
+            failovers: 0,
             latency_histogram: [0; LATENCY_BUCKETS],
             served_latency_histogram: [0; LATENCY_BUCKETS],
             per_backend: Vec::new(),
@@ -459,6 +542,13 @@ impl RuntimeReport {
             merged.jobs_admitted += r.jobs_admitted;
             merged.jobs_shed += r.jobs_shed;
             merged.migrations += r.migrations;
+            merged.jobs_retried += r.jobs_retried;
+            merged.retries_exhausted += r.retries_exhausted;
+            merged.deadlines_exceeded += r.deadlines_exceeded;
+            merged.breaker_opened += r.breaker_opened;
+            merged.breaker_half_opened += r.breaker_half_opened;
+            merged.breaker_closed += r.breaker_closed;
+            merged.failovers += r.failovers;
             merged.traces_recorded += r.traces_recorded;
             merged.traces_dropped += r.traces_dropped;
             for i in 0..LATENCY_BUCKETS {
@@ -577,6 +667,36 @@ impl RuntimeReport {
         );
         counter("race_jobs_total", "Portfolio-race jobs completed.", self.race_jobs as f64);
         counter(
+            "jobs_retried_total",
+            "Retry attempts after retryable failures (panics, injected errors).",
+            self.jobs_retried as f64,
+        );
+        counter(
+            "retries_exhausted_total",
+            "Jobs that failed retryably after exhausting the retry budget.",
+            self.retries_exhausted as f64,
+        );
+        counter(
+            "deadlines_exceeded_total",
+            "Jobs that missed their per-job deadline.",
+            self.deadlines_exceeded as f64,
+        );
+        counter(
+            "breaker_opened_total",
+            "Backend circuit breakers tripped open.",
+            self.breaker_opened as f64,
+        );
+        counter(
+            "breaker_half_opened_total",
+            "Open breakers moved to half-open after cooldown.",
+            self.breaker_half_opened as f64,
+        );
+        counter(
+            "breaker_closed_total",
+            "Tripped breakers re-closed by a success.",
+            self.breaker_closed as f64,
+        );
+        counter(
             "compile_seconds_saved_total",
             "Compile time avoided by compile-once sharing.",
             self.compile_seconds_saved,
@@ -621,6 +741,11 @@ impl RuntimeReport {
                 "migrations_total",
                 "Queued jobs migrated between shards to rebalance depth.",
                 self.migrations as f64,
+            ),
+            (
+                "failovers_total",
+                "Jobs routed or drained here because their home shard was unhealthy.",
+                self.failovers as f64,
             ),
         ] {
             out.push_str(&format!(
@@ -744,6 +869,20 @@ impl std::fmt::Display for RuntimeReport {
                 f,
                 "cluster: {} admitted, {} shed, {} migrations",
                 self.jobs_admitted, self.jobs_shed, self.migrations
+            )?;
+        }
+        if self.jobs_retried > 0 || self.retries_exhausted > 0 || self.deadlines_exceeded > 0 {
+            writeln!(
+                f,
+                "faults:  {} retries, {} exhausted, {} deadline-exceeded",
+                self.jobs_retried, self.retries_exhausted, self.deadlines_exceeded
+            )?;
+        }
+        if self.breaker_opened > 0 || self.failovers > 0 {
+            writeln!(
+                f,
+                "degrade: {} breaker opens, {} half-opens, {} closes, {} failovers",
+                self.breaker_opened, self.breaker_half_opened, self.breaker_closed, self.failovers
             )?;
         }
         if !self.shard_queue_depths.is_empty() {

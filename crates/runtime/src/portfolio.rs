@@ -12,6 +12,7 @@
 //! backends per request.
 
 use crate::registry::{SolverRegistry, SolverSpec};
+use crate::sync::LockExt;
 use std::sync::Mutex;
 
 /// Live routing statistics for one backend.
@@ -69,7 +70,7 @@ impl PortfolioScheduler {
     /// a given telemetry state.
     pub fn rank(&self, registry: &SolverRegistry, n_vars: usize) -> Vec<usize> {
         let eligible = registry.eligible(n_vars);
-        let stats = self.stats.lock().expect("portfolio lock");
+        let stats = self.stats.lock_unpoisoned();
         let mut scored: Vec<(usize, f64)> = eligible
             .into_iter()
             .map(|i| {
@@ -79,6 +80,26 @@ impl PortfolioScheduler {
             .collect();
         scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         scored.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// [`Self::rank`] with degraded backends removed: `exclude` is consulted
+    /// per candidate (open circuit breakers, backends that already failed
+    /// this job's earlier attempts). Never degrades to zero — when every
+    /// eligible backend is excluded, the best-ranked one stays in, so a
+    /// fully tripped portfolio still serves (its next answer is also the
+    /// half-open probe that can re-close a breaker).
+    pub fn rank_filtered(
+        &self,
+        registry: &SolverRegistry,
+        n_vars: usize,
+        exclude: impl Fn(usize) -> bool,
+    ) -> Vec<usize> {
+        let ranked = self.rank(registry, n_vars);
+        let filtered: Vec<usize> = ranked.iter().copied().filter(|&i| !exclude(i)).collect();
+        if filtered.is_empty() && !ranked.is_empty() {
+            return vec![ranked[0]];
+        }
+        filtered
     }
 
     fn score(spec: &SolverSpec, stats: &BackendStats, n_vars: usize) -> f64 {
@@ -98,7 +119,7 @@ impl PortfolioScheduler {
     /// [`energy_quality`]; `feasible` is the decoded assignment's
     /// feasibility.
     pub fn record(&self, backend: usize, latency_seconds: f64, quality: f64, feasible: bool) {
-        let mut stats = self.stats.lock().expect("portfolio lock");
+        let mut stats = self.stats.lock_unpoisoned();
         let s = &mut stats[backend];
         let q = quality + if feasible { 0.0 } else { INFEASIBLE_PENALTY };
         if s.observations == 0 {
@@ -117,7 +138,7 @@ impl PortfolioScheduler {
     /// race teaches the router about k backends at once — the
     /// compile-once/race-many feedback loop.
     pub fn record_race_outcome(&self, backend: usize, won: bool) {
-        let mut stats = self.stats.lock().expect("portfolio lock");
+        let mut stats = self.stats.lock_unpoisoned();
         let s = &mut stats[backend];
         s.race_entries += 1;
         if won {
@@ -127,7 +148,7 @@ impl PortfolioScheduler {
 
     /// Snapshot of per-backend statistics, indexed like the registry.
     pub fn stats(&self) -> Vec<BackendStats> {
-        self.stats.lock().expect("portfolio lock").clone()
+        self.stats.lock_unpoisoned().clone()
     }
 }
 

@@ -29,16 +29,19 @@
 //! is by construction actively solving on another worker, and the parked
 //! time is bounded by that one solve.
 
+use crate::breaker::{BreakerConfig, CircuitBreakers};
 use crate::cache::{
     CacheKey, CachedResult, FlightKey, FlightOutput, FlightResolution, FlightRole, FlightTable,
     ResultCache,
 };
+use crate::fault::{FaultAction, FaultInjector, FaultSite, RetryPolicy};
 use crate::handle::{Completion, CompletionSlot};
 use crate::metrics::{BackendTelemetry, Metrics, RuntimeReport};
 use crate::portfolio::{energy_quality, PortfolioScheduler};
 use crate::registry::SolverRegistry;
 use crate::scheduler::{JobScheduler, SchedulerPolicy};
 use crate::submit::SessionCore;
+use crate::sync::{CondvarExt, LockExt};
 use crate::trace::{
     JobTrace, Span, Stage, StageProfile, StageStats, TraceConfig, TraceOutcome, TraceRing,
     TraceSink, DEFAULT_TRACE_CAPACITY,
@@ -54,7 +57,7 @@ use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A shareable data-management problem: the trait object the service queues.
 pub type SharedProblem = Arc<dyn DmProblem + Send + Sync>;
@@ -93,12 +96,21 @@ pub struct JobSpec {
     pub seed: u64,
     /// Backend selection policy.
     pub backend: BackendChoice,
+    /// Optional deadline, measured from enqueue. `None` — the default —
+    /// never expires. See [`Self::deadline`].
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
     /// An auto-routed job with default pipeline options.
     pub fn new(problem: SharedProblem, seed: u64) -> Self {
-        Self { problem, options: PipelineOptions::default(), seed, backend: BackendChoice::Auto }
+        Self {
+            problem,
+            options: PipelineOptions::default(),
+            seed,
+            backend: BackendChoice::Auto,
+            deadline: None,
+        }
     }
 
     /// Sets the pipeline options.
@@ -126,6 +138,20 @@ impl JobSpec {
         self.backend = BackendChoice::Race { k };
         self
     }
+
+    /// Bounds how long the job may take, measured from enqueue. An expired
+    /// job fails with [`JobError::DeadlineExceeded`]: either fail-fast at
+    /// worker pickup (it expired while queued) or cooperatively — a
+    /// [`qdm_qubo::probe::StageProbe::should_stop`] checkpoint polled at
+    /// the solvers' restart/sweep boundaries stops the solve early, and the
+    /// best solution found so far is carried out as
+    /// [`PartialSolution`]. The deadline is scheduling-only state: it is
+    /// excluded from cache and single-flight identity, and jobs without one
+    /// run bit-identical to a runtime without deadline support.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// A completed job.
@@ -146,8 +172,21 @@ pub struct JobResult {
     pub coalesced: bool,
 }
 
+/// The best solution a deadline-expired job had found when it was stopped,
+/// carried in [`JobError::DeadlineExceeded`]. Bits are in the job's own
+/// variable labeling; the energy is exact for those bits — "partial" means
+/// the *search* was cut short, not that the assignment is incomplete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialSolution {
+    /// Best assignment found before the deadline checkpoint stopped the
+    /// solve.
+    pub bits: Vec<bool>,
+    /// Energy of `bits` under the job's QUBO.
+    pub energy: f64,
+}
+
 /// Why a job could not be answered.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobError {
     /// The requested backend name is not registered.
     UnknownBackend(String),
@@ -172,6 +211,18 @@ pub enum JobError {
     /// The job panicked inside encoding, solving, or decoding. The worker
     /// survives; the panic payload (if it was a string) is carried here.
     Panicked(String),
+    /// A [`crate::fault::FaultInjector`] forced a typed failure
+    /// ([`crate::fault::FaultAction::Error`]) at one of the processing
+    /// seams. Retryable, like [`Self::Panicked`].
+    Injected(String),
+    /// The job's [`JobSpec::deadline`] expired: while queued (`partial` is
+    /// `None` — nothing ran) or mid-solve (`partial` carries the best
+    /// solution found before the cooperative checkpoint stopped the
+    /// search).
+    DeadlineExceeded {
+        /// Best-so-far solution at the moment the solve was stopped.
+        partial: Option<PartialSolution>,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -186,6 +237,13 @@ impl std::fmt::Display for JobError {
             }
             JobError::Cancelled => write!(f, "job cancelled"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Injected(msg) => write!(f, "injected fault: {msg}"),
+            JobError::DeadlineExceeded { partial: Some(p) } => {
+                write!(f, "deadline exceeded (best-so-far energy {})", p.energy)
+            }
+            JobError::DeadlineExceeded { partial: None } => {
+                write!(f, "deadline exceeded while queued")
+            }
         }
     }
 }
@@ -252,6 +310,13 @@ pub(crate) struct Shared {
     /// This service's shard id inside a [`crate::cluster::ClusterService`];
     /// `None` for a standalone service. Tags traces and reports.
     pub(crate) shard: Option<u64>,
+    /// Fault-injection hook consulted at each processing seam; `None` (the
+    /// production default) skips even the virtual call.
+    pub(crate) injector: Option<Arc<dyn FaultInjector>>,
+    /// Bounds the worker retry loop for retryable failures.
+    pub(crate) retry: RetryPolicy,
+    /// Per-backend circuit breakers; `None` disables breaking entirely.
+    pub(crate) breakers: Option<CircuitBreakers>,
 }
 
 impl Shared {
@@ -262,7 +327,7 @@ impl Shared {
 }
 
 /// Service configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Worker threads in the pool.
     pub workers: usize,
@@ -284,6 +349,16 @@ pub struct ServiceConfig {
     /// between shards; `None` — the default — uses the service's own start
     /// instant.
     pub epoch: Option<Instant>,
+    /// Fault-injection hook consulted at the [`crate::fault::FaultSite`]
+    /// seams of every job; `None` — the default — injects nothing. Tests
+    /// arm a [`crate::fault::FaultPlan`] here.
+    pub injector: Option<Arc<dyn FaultInjector>>,
+    /// Retry policy for retryable failures (panics and injected errors).
+    /// The default disables retry, preserving single-attempt behavior.
+    pub retry: RetryPolicy,
+    /// Per-backend circuit-breaker policy; `None` — the default — disables
+    /// breakers.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -296,7 +371,26 @@ impl Default for ServiceConfig {
             tracing: TraceConfig::default(),
             shard: None,
             epoch: None,
+            injector: None,
+            retry: RetryPolicy::default(),
+            breaker: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("workers", &self.workers)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("scheduling", &self.scheduling)
+            .field("tracing", &self.tracing)
+            .field("shard", &self.shard)
+            .field("epoch", &self.epoch)
+            .field("injector", &self.injector.as_ref().map(|_| "<injector>"))
+            .field("retry", &self.retry)
+            .field("breaker", &self.breaker)
+            .finish()
     }
 }
 
@@ -389,6 +483,9 @@ impl SolverService {
             sink,
             ring,
             shard: config.shard,
+            injector: config.injector,
+            retry: config.retry,
+            breakers: config.breaker.as_ref().map(|b| CircuitBreakers::new(b, n_backends)),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -491,7 +588,7 @@ impl Drop for SolverService {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = shared.queue.lock_unpoisoned();
             loop {
                 if let Some(job) = queue.pop() {
                     break job;
@@ -499,7 +596,7 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.job_ready.wait(queue).expect("queue lock");
+                queue = shared.job_ready.wait_unpoisoned(queue);
             }
         };
         // The job left the queue: free its session's backpressure slot so
@@ -528,25 +625,96 @@ fn worker_loop(shared: &Shared) {
                 stats: StageStats::default(),
             }],
         });
-        // A panicking job (user-supplied to_qubo/decode/repair, or a solver
-        // bug) must neither kill the worker nor leave a handle waiting on a
-        // slot that never resolves.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process(shared, &job.spec, job.route.as_ref(), &mut trace)
-        }))
-        .unwrap_or_else(|payload| {
-            shared.metrics.on_failed();
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(JobError::Panicked(msg))
-        })
+        // The retry loop around job processing. A panicking job
+        // (user-supplied to_qubo/decode/repair, a solver bug, or an injected
+        // fault) must neither kill the worker nor leave a handle waiting on
+        // a slot that never resolves; retryable failures (panics, injected
+        // errors) are retried up to the policy's budget with deterministic
+        // backoff, each new attempt excluding the backends that failed the
+        // previous ones.
+        let mut ctx = AttemptCtx {
+            deadline_at_ns: job.spec.deadline.map(|d| {
+                job.queued_ns.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64)
+            }),
+            ..AttemptCtx::default()
+        };
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            // Fail-fast: a job whose deadline expired while queued (or
+            // while backing off between attempts) never starts an attempt.
+            if let Some(deadline_at_ns) = ctx.deadline_at_ns {
+                if shared.now_ns() >= deadline_at_ns {
+                    break Err(JobError::DeadlineExceeded { partial: None });
+                }
+            }
+            ctx.attempted.clear();
+            ctx.accounted = false;
+            let attempt_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                process(shared, &job.spec, job.route.as_ref(), &mut trace, &mut ctx)
+            }))
+            .unwrap_or_else(|payload| Err(JobError::Panicked(panic_message(payload.as_ref()))));
+            let err = match attempt_outcome {
+                Ok(result) => break Ok(result),
+                Err(err) => err,
+            };
+            let retryable = matches!(err, JobError::Panicked(_) | JobError::Injected(_));
+            if retryable {
+                // Breaker attribution for the panic path: `lead` accounts
+                // participant-level successes/failures itself and marks the
+                // context accounted; an unwound attempt never got there, so
+                // every backend it dispatched is charged here.
+                if !ctx.accounted {
+                    if let Some(breakers) = &shared.breakers {
+                        for &idx in &ctx.attempted {
+                            breakers.on_failure(idx, &shared.metrics);
+                        }
+                    }
+                }
+                // The next attempt routes around everything this one tried.
+                let attempted = std::mem::take(&mut ctx.attempted);
+                ctx.excluded.extend(attempted);
+            }
+            if retryable && attempt < shared.retry.max_retries {
+                attempt += 1;
+                shared.metrics.on_retried();
+                let backoff_start_ns = if trace.is_some() { shared.now_ns() } else { 0 };
+                let backoff = shared.retry.backoff(job.spec.seed, attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                if let Some(t) = trace.as_mut() {
+                    t.spans.push(Span {
+                        stage: Stage::Retry,
+                        backend: None,
+                        winner: false,
+                        start_ns: backoff_start_ns,
+                        end_ns: shared.now_ns(),
+                        stats: StageStats::default(),
+                    });
+                }
+                continue;
+            }
+            if retryable && shared.retry.max_retries > 0 {
+                shared.metrics.on_retries_exhausted();
+            }
+            break Err(err);
+        }
         .map(|mut result| {
             result.job_id = job.id;
             result
         });
+        // Terminal failure accounting. Routing errors were counted where
+        // they were decided (they are deterministic and get published to
+        // followers); retryable failures and deadline expiries are only
+        // terminal here, after the retry loop gave up.
+        match &outcome {
+            Err(JobError::Panicked(_)) | Err(JobError::Injected(_)) => shared.metrics.on_failed(),
+            Err(JobError::DeadlineExceeded { .. }) => {
+                shared.metrics.on_deadline_exceeded();
+                shared.metrics.on_failed();
+            }
+            _ => {}
+        }
         if outcome.is_ok() {
             // What the caller waited end to end — enqueue to delivery —
             // regardless of whether the job solved, hit the cache, or
@@ -582,6 +750,93 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Per-attempt state threaded from the worker's retry loop through
+/// [`process`] into [`lead`], connecting failure attribution (which
+/// backends does a panic charge?) and routing memory (which backends must
+/// the next attempt avoid?) across the `catch_unwind` boundary.
+#[derive(Default)]
+struct AttemptCtx {
+    /// Backends that failed earlier attempts of this job; routing for the
+    /// current attempt excludes them (never to zero — see
+    /// [`PortfolioScheduler::rank_filtered`]).
+    excluded: Vec<usize>,
+    /// Backends the current attempt dispatched, recorded right after
+    /// routing so a panic mid-solve can still be attributed.
+    attempted: Vec<usize>,
+    /// Set by [`lead`] once it has fed per-participant outcomes to the
+    /// circuit breakers, so the worker's panic path does not double-charge.
+    accounted: bool,
+    /// Absolute deadline (nanoseconds since the service epoch), from
+    /// [`JobSpec::deadline`] and the job's enqueue time.
+    deadline_at_ns: Option<u64>,
+}
+
+/// Extracts a human-readable message from a panic payload: the common
+/// `&str` / `String` payloads verbatim, a placeholder otherwise. Shared by
+/// the worker's `catch_unwind` handler and anything else that reports
+/// panics as [`JobError::Panicked`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Consults the service's fault injector at `site` and applies whatever it
+/// forces: `Delay` sleeps and proceeds, `Error` returns
+/// [`JobError::Injected`], `Panic` unwinds (caught by the worker's
+/// `catch_unwind` exactly like a real bug). A service without an injector
+/// pays only the `None` check.
+fn apply_fault(shared: &Shared, site: FaultSite, backend: Option<&str>) -> Result<(), JobError> {
+    let Some(injector) = &shared.injector else {
+        return Ok(());
+    };
+    match injector.inject(site, backend) {
+        None => Ok(()),
+        Some(FaultAction::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(FaultAction::Error(msg)) => Err(JobError::Injected(msg)),
+        Some(FaultAction::Panic(msg)) => panic!("{msg}"),
+    }
+}
+
+/// The cooperative deadline checkpoint: a [`StageProbe`] tee'd into every
+/// participant's pipeline options when the job has a deadline. Solver loops
+/// poll [`StageProbe::should_stop`] at restart/sweep boundaries; once the
+/// clock passes the absolute deadline the probe answers `true` (and
+/// remembers that it fired), the solvers return their best-so-far, and
+/// [`lead`] converts the truncated run into
+/// [`JobError::DeadlineExceeded`] with a [`PartialSolution`]. Jobs without
+/// a deadline never construct one, so the unprobed paths stay bit-identical.
+struct DeadlineProbe {
+    epoch: Instant,
+    deadline_at_ns: u64,
+    fired: AtomicBool,
+}
+
+impl DeadlineProbe {
+    fn new(epoch: Instant, deadline_at_ns: u64) -> Self {
+        Self { epoch, deadline_at_ns, fired: AtomicBool::new(false) }
+    }
+
+    fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+impl StageProbe for DeadlineProbe {
+    fn should_stop(&self) -> bool {
+        if self.epoch.elapsed().as_nanos() as u64 >= self.deadline_at_ns {
+            self.fired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
 /// The cache/flight "requested backend" discriminator for a spec: the
 /// pinned name, the clamped race marker, or `None` for auto-routing. The
 /// marker carries the *clamped* k: `racing(999)` and
@@ -604,11 +859,12 @@ fn process(
     spec: &JobSpec,
     route: Option<&RouteInfo>,
     trace: &mut Option<JobTrace>,
+    ctx: &mut AttemptCtx,
 ) -> JobOutcome {
     // A cluster-routed job arrives with its QUBO already built and
     // canonically fingerprinted; it skips straight to the canonical path.
     if let Some(route) = route {
-        return process_routed(shared, spec, route, trace);
+        return process_routed(shared, spec, route, trace, ctx);
     }
     let qubo = spec.problem.to_qubo();
     let n_vars = qubo.n_vars();
@@ -629,7 +885,7 @@ fn process(
     loop {
         match shared.inflight.join_or_lead(exact_key.clone()) {
             FlightRole::Leader(lease) => {
-                return lead(shared, spec, &qubo, n_vars, requested, lease, trace)
+                return lead(shared, spec, &qubo, n_vars, requested, lease, trace, ctx)
             }
             FlightRole::Follower(flight) => {
                 shared.metrics.on_coalesced();
@@ -694,6 +950,7 @@ fn process_routed(
     spec: &JobSpec,
     route: &RouteInfo,
     trace: &mut Option<JobTrace>,
+    ctx: &mut AttemptCtx,
 ) -> JobOutcome {
     let qubo = &route.qubo;
     let n_vars = qubo.n_vars();
@@ -723,7 +980,7 @@ fn process_routed(
     loop {
         match shared.inflight.join_or_lead(FlightKey::Canonical(key.clone())) {
             FlightRole::Leader(lease) => {
-                return lead(shared, spec, qubo, n_vars, requested, lease, trace);
+                return lead(shared, spec, qubo, n_vars, requested, lease, trace, ctx);
             }
             FlightRole::Follower(flight) => {
                 shared.metrics.on_coalesced();
@@ -766,6 +1023,7 @@ fn process_routed(
 /// Runs a job that leads its single-flight: compile once, check the cache,
 /// coalesce onto a permuted-identical in-flight duplicate if one exists,
 /// else solve — and publish whatever happened to any parked followers.
+#[allow(clippy::too_many_arguments)]
 fn lead(
     shared: &Shared,
     spec: &JobSpec,
@@ -774,8 +1032,14 @@ fn lead(
     requested: Option<&str>,
     mut lease: crate::cache::FlightLease<'_>,
     trace: &mut Option<JobTrace>,
+    ctx: &mut AttemptCtx,
 ) -> JobOutcome {
     let tracing = trace.is_some();
+    // Injected compile/presolve/serve faults return through `?`, dropping
+    // the lease unpublished: followers see `Abandoned` and retry from the
+    // top rather than being served an occurrence-dependent error as if it
+    // were deterministic.
+    apply_fault(shared, FaultSite::Compile, None)?;
     // THE compile of this job: every downstream consumer — canonical
     // fingerprinting, presolve, each dispatched backend (all k of a race),
     // and any exact-duplicate followers — shares this one
@@ -863,6 +1127,15 @@ fn lead(
         }
     }
 
+    // Degraded routing: skip backends that failed earlier attempts of this
+    // job and backends whose circuit breaker is open (the check also
+    // half-opens breakers whose cooldown elapsed, making this routing the
+    // probe). Pinned jobs keep their backend — a pin is an instruction, not
+    // a preference.
+    let excluded = |idx: usize| {
+        ctx.excluded.contains(&idx)
+            || shared.breakers.as_ref().is_some_and(|b| b.is_open(idx, &shared.metrics))
+    };
     let routed: Result<Vec<usize>, JobError> = match &spec.backend {
         BackendChoice::Named(name) => match shared.registry.find(name) {
             None => Err(JobError::UnknownBackend(name.clone())),
@@ -875,12 +1148,14 @@ fn lead(
                 }
             }
         },
-        BackendChoice::Auto => match shared.portfolio.route(&shared.registry, n_vars) {
-            Some(idx) => Ok(vec![idx]),
-            None => Err(JobError::NoEligibleBackend { n_vars }),
-        },
+        BackendChoice::Auto => {
+            match shared.portfolio.rank_filtered(&shared.registry, n_vars, excluded).first() {
+                Some(&idx) => Ok(vec![idx]),
+                None => Err(JobError::NoEligibleBackend { n_vars }),
+            }
+        }
         BackendChoice::Race { k } => {
-            let ranked = shared.portfolio.rank(&shared.registry, n_vars);
+            let ranked = shared.portfolio.rank_filtered(&shared.registry, n_vars, excluded);
             if ranked.is_empty() {
                 Err(JobError::NoEligibleBackend { n_vars })
             } else {
@@ -900,11 +1175,16 @@ fn lead(
             return Err(err);
         }
     };
+    // Record what this attempt dispatches *before* solving: a panic inside
+    // a participant unwinds straight past this function, and the worker
+    // loop charges exactly these indices to the circuit breakers.
+    ctx.attempted = participants.clone();
     // One compile served the fingerprint stage plus every participant;
     // under the old compile-per-stage scheme each would have compiled.
     shared.metrics.on_compile_shared(compile_seconds, 1 + participants.len() as u64);
 
     let naive_lower_bound = compiled.naive_lower_bound();
+    apply_fault(shared, FaultSite::Presolve, None)?;
     // Prepare the seed-independent pipeline front half — presolve and
     // component extraction/compilation — exactly once; every participant
     // of a race reuses it instead of re-running the fixpoint k times.
@@ -928,44 +1208,92 @@ fn lead(
     } else {
         prepare_pipeline(qubo, &compiled, &spec.options)
     };
+    // The cooperative deadline checkpoint, shared by every participant of
+    // the attempt; constructed only when the job has a deadline, so
+    // deadline-free jobs keep the exact pre-existing probe wiring.
+    let deadline_probe =
+        ctx.deadline_at_ns.map(|at| Arc::new(DeadlineProbe::new(shared.epoch, at)));
     // Solve: every participant runs the back half on the *same* shared
     // preparation (and therefore the same shared compilation), each under
     // its own RNG seeded from the job seed, so a single-backend job is
     // just a race of one. Scoped threads let the participants borrow the
     // preparation without refcount churn; results land in per-participant
     // slots, so completion order is irrelevant.
-    let mut outcomes: Vec<Option<ParticipantRun>> = (0..participants.len()).map(|_| None).collect();
+    let mut outcomes: Vec<Option<Result<ParticipantRun, JobError>>> =
+        (0..participants.len()).map(|_| None).collect();
     if participants.len() == 1 {
         // Fast path: no spawn for the common non-race job.
-        outcomes[0] = Some(run_participant(shared, spec, &prepared, participants[0], tracing));
+        outcomes[0] = Some(run_participant(
+            shared,
+            spec,
+            &prepared,
+            participants[0],
+            tracing,
+            deadline_probe.as_ref(),
+        ));
     } else {
         std::thread::scope(|scope| {
             for (slot, &idx) in outcomes.iter_mut().zip(&participants) {
                 let prepared = &prepared;
+                let deadline_probe = deadline_probe.as_ref();
                 scope.spawn(move || {
-                    *slot = Some(run_participant(shared, spec, prepared, idx, tracing));
+                    *slot =
+                        Some(run_participant(shared, spec, prepared, idx, tracing, deadline_probe));
                 });
             }
         });
     }
 
-    // Deterministic winner pick: scan in ranking order with strict `<`, so
-    // the best energy wins and ties go to the higher-ranked backend —
-    // independent of which thread finished first.
+    // Deterministic winner pick among the participants that produced a
+    // result: scan in ranking order with strict `<`, so the best energy
+    // wins and ties go to the higher-ranked backend — independent of which
+    // thread finished first. Participants felled by an injected fault
+    // simply drop out of the scan: a race degrades to its survivors.
     let mut winner: Option<usize> = None;
     let mut winner_energy = f64::INFINITY;
     for (slot, outcome) in outcomes.iter().enumerate() {
-        let run = outcome.as_ref().expect("every participant ran");
-        if run.report.energy < winner_energy {
-            winner_energy = run.report.energy;
-            winner = Some(slot);
+        if let Some(Ok(run)) = outcome {
+            if run.report.energy < winner_energy {
+                winner_energy = run.report.energy;
+                winner = Some(slot);
+            }
         }
     }
-    let winner_slot = winner.expect("at least one participant");
+    // A deadline that fired during the solve (or elapsed around it) turns
+    // the truncated best-so-far into a typed failure. The lease drops
+    // unpublished and nothing reaches the cache or the portfolio
+    // telemetry: a truncated result must never be served as the real
+    // answer, and its artificially short latency must not teach the router.
+    if let Some(deadline_at_ns) = ctx.deadline_at_ns {
+        if deadline_probe.as_ref().is_some_and(|p| p.fired()) || shared.now_ns() >= deadline_at_ns {
+            let partial = winner.and_then(|slot| match &outcomes[slot] {
+                Some(Ok(run)) => Some(PartialSolution {
+                    bits: run.report.bits.clone(),
+                    energy: run.report.energy,
+                }),
+                _ => None,
+            });
+            return Err(JobError::DeadlineExceeded { partial });
+        }
+    }
     let is_race = matches!(spec.backend, BackendChoice::Race { .. });
     for (slot, (&idx, outcome)) in participants.iter().zip(&outcomes).enumerate() {
-        let run = outcome.as_ref().expect("every participant ran");
-        let won = slot == winner_slot;
+        let run = match outcome.as_ref().expect("every participant ran") {
+            Ok(run) => run,
+            Err(_) => {
+                // An injected per-backend failure is attributed here, where
+                // the backend is known; the panic path attributes in the
+                // worker loop instead (see `AttemptCtx::accounted`).
+                if let Some(breakers) = &shared.breakers {
+                    breakers.on_failure(idx, &shared.metrics);
+                }
+                continue;
+            }
+        };
+        if let Some(breakers) = &shared.breakers {
+            breakers.on_success(idx, &shared.metrics);
+        }
+        let won = Some(slot) == winner;
         shared.portfolio.record(
             idx,
             run.seconds,
@@ -995,9 +1323,23 @@ fn lead(
             });
         }
     }
+    ctx.accounted = true;
+    let Some(winner_slot) = winner else {
+        // Every participant failed. Propagate the best-ranked failure and
+        // drop the lease unpublished: injected failures are
+        // occurrence-dependent, so a parked follower retrying from the top
+        // may well succeed where this attempt did not.
+        let err = outcomes
+            .into_iter()
+            .flatten()
+            .find_map(|outcome| outcome.err())
+            .expect("no winner means at least one participant failed");
+        return Err(err);
+    };
     let backend_name = shared.registry.get(participants[winner_slot]).spec.name.clone();
     let ParticipantRun { report, seconds: elapsed, .. } =
-        outcomes.swap_remove(winner_slot).expect("winner ran");
+        outcomes.swap_remove(winner_slot).expect("winner ran").expect("winner succeeded");
+    apply_fault(shared, FaultSite::Serve, Some(&backend_name))?;
     shared.metrics.on_solved(&backend_name, elapsed);
     if is_race {
         shared.metrics.on_race(&backend_name);
@@ -1070,25 +1412,41 @@ struct ParticipantRun {
 /// Runs one backend over the job's shared pipeline preparation. Each
 /// participant seeds its own RNG from the job seed, so results do not
 /// depend on scheduling and `Race { k: 1 }` reproduces the auto-routed
-/// result bit-for-bit — traced or not.
+/// result bit-for-bit — traced or not. The [`FaultSite::Solve`] seam fires
+/// here with the backend's name, so a plan can fell one participant of a
+/// race; a `deadline` probe, when present, is tee'd behind any
+/// tracing/user probes so solvers poll it at restart/sweep boundaries.
 fn run_participant(
     shared: &Shared,
     spec: &JobSpec,
     prepared: &PreparedPipeline<'_>,
     backend_idx: usize,
     tracing: bool,
-) -> ParticipantRun {
+    deadline: Option<&Arc<DeadlineProbe>>,
+) -> Result<ParticipantRun, JobError> {
     let backend = shared.registry.get(backend_idx);
+    apply_fault(shared, FaultSite::Solve, Some(&backend.spec.name))?;
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let profiled = tracing.then(|| profiled_options(&spec.options));
-    let options = profiled.as_ref().map(|(opts, _)| opts).unwrap_or(&spec.options);
+    let profile = profiled.as_ref().map(|(_, profile)| Arc::clone(profile));
+    let mut owned = profiled.map(|(opts, _)| opts);
+    if let Some(probe) = deadline {
+        let mut opts = owned.take().unwrap_or_else(|| spec.options.clone());
+        let deadline_probe = Arc::clone(probe) as Arc<dyn StageProbe>;
+        opts.probe = Some(match opts.probe.take() {
+            Some(existing) => Arc::new(TeeProbe(existing, deadline_probe)) as Arc<dyn StageProbe>,
+            None => deadline_probe,
+        });
+        owned = Some(opts);
+    }
+    let options = owned.as_ref().unwrap_or(&spec.options);
     let start_ns = if tracing { shared.now_ns() } else { 0 };
     let start = Instant::now();
     let report = run_prepared(&*spec.problem, prepared, backend.solver(), options, &mut rng);
     let seconds = start.elapsed().as_secs_f64();
     let end_ns = if tracing { shared.now_ns() } else { 0 };
-    let stats = profiled.map(|(_, profile)| profile.snapshot()).unwrap_or_default();
-    ParticipantRun { report, seconds, start_ns, end_ns, stats }
+    let stats = profile.map(|profile| profile.snapshot()).unwrap_or_default();
+    Ok(ParticipantRun { report, seconds, start_ns, end_ns, stats })
 }
 
 /// Renders job traces as Chrome `trace_event` JSON (the "JSON Array

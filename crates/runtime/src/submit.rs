@@ -22,6 +22,7 @@
 use crate::handle::{Completion, CompletionSlot, JobHandle};
 use crate::metrics::Metrics;
 use crate::service::{JobSpec, QueuedJob, RouteInfo, Shared, SolverService};
+use crate::sync::{CondvarExt, LockExt};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
@@ -153,7 +154,7 @@ impl SessionCore {
 
     /// Reserves a queue slot without blocking; `false` when full.
     pub(crate) fn try_reserve(&self) -> bool {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = self.inner.lock_unpoisoned();
         if inner.queued >= self.capacity {
             return false;
         }
@@ -165,14 +166,14 @@ impl SessionCore {
     /// Reserves a queue slot, waiting under the condvar while the queue is
     /// full; counts one backpressure wait if it had to sleep.
     pub(crate) fn reserve_blocking(&self, metrics: &Metrics) {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = self.inner.lock_unpoisoned();
         let mut waited = false;
         while inner.queued >= self.capacity {
             if !waited {
                 metrics.on_backpressure_wait();
                 waited = true;
             }
-            inner = self.changed.wait(inner).expect("session lock");
+            inner = self.changed.wait_unpoisoned(inner);
         }
         inner.queued += 1;
         inner.unresolved += 1;
@@ -184,7 +185,7 @@ impl SessionCore {
     /// when the job is shed. Undoes one [`SessionCore::try_reserve`] /
     /// [`SessionCore::reserve_blocking`].
     pub(crate) fn unreserve(&self) {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = self.inner.lock_unpoisoned();
         inner.queued -= 1;
         inner.unresolved -= 1;
         self.changed.notify_all();
@@ -192,7 +193,7 @@ impl SessionCore {
 
     /// A queued job of this session left the queue (picked up or cancelled).
     pub(crate) fn on_dequeue(&self) {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = self.inner.lock_unpoisoned();
         inner.queued -= 1;
         self.changed.notify_all();
     }
@@ -201,7 +202,7 @@ impl SessionCore {
     /// evicting the oldest unconsumed completion when the buffer is full so
     /// handle-only callers never accumulate an unbounded backlog.
     pub(crate) fn on_complete(&self, completion: Completion) {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = self.inner.lock_unpoisoned();
         if inner.completions.len() >= self.completion_buffer {
             inner.completions.pop_front();
             inner.dropped += 1;
@@ -212,14 +213,14 @@ impl SessionCore {
     }
 
     pub(crate) fn drain_wait(&self) {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = self.inner.lock_unpoisoned();
         while inner.unresolved > 0 {
-            inner = self.changed.wait(inner).expect("session lock");
+            inner = self.changed.wait_unpoisoned(inner);
         }
     }
 
     pub(crate) fn next_completion(&self) -> Option<Completion> {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = self.inner.lock_unpoisoned();
         loop {
             if let Some(completion) = inner.completions.pop_front() {
                 return Some(completion);
@@ -227,20 +228,20 @@ impl SessionCore {
             if inner.unresolved == 0 {
                 return None;
             }
-            inner = self.changed.wait(inner).expect("session lock");
+            inner = self.changed.wait_unpoisoned(inner);
         }
     }
 
     pub(crate) fn unresolved(&self) -> usize {
-        self.inner.lock().expect("session lock").unresolved
+        self.inner.lock_unpoisoned().unresolved
     }
 
     pub(crate) fn take_completions(&self) -> Vec<Completion> {
-        self.inner.lock().expect("session lock").completions.drain(..).collect()
+        self.inner.lock_unpoisoned().completions.drain(..).collect()
     }
 
     pub(crate) fn dropped(&self) -> usize {
-        self.inner.lock().expect("session lock").dropped
+        self.inner.lock_unpoisoned().dropped
     }
 }
 
@@ -357,7 +358,7 @@ pub(crate) fn enqueue_reserved(
     // than one submitting small ones.
     let cost = spec.problem.n_vars().max(1) as u64;
     {
-        let mut queue = shared.queue.lock().expect("queue lock");
+        let mut queue = shared.queue.lock_unpoisoned();
         queue.push(QueuedJob {
             id,
             cost,

@@ -1,0 +1,68 @@
+//! Poison-recovering lock helpers.
+//!
+//! Workers run jobs under `catch_unwind`, but a panic that fires while a
+//! worker holds one of the service's mutexes still poisons it. Before this
+//! module, every lock site used `lock().expect(..)`, so a single poisoned
+//! mutex — say the metrics table, poisoned mid-`on_solved` — would cascade:
+//! every later job touching that lock would panic too, and the service
+//! could never drain. None of the runtime's guarded states can be left
+//! logically torn by the panics we actually catch (counters are updated in
+//! single statements; queue and slot updates are one push/pop), so the
+//! right recovery is to take the guard anyway and keep serving.
+//!
+//! [`LockExt::lock_unpoisoned`] and [`CondvarExt::wait_unpoisoned`] do
+//! exactly that: on poison they recover the inner guard instead of
+//! propagating the panic. Sites whose `expect` guards a *logical* invariant
+//! (not poison) keep their documented `expect`s — see
+//! [`crate::scheduler`].
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Poison-recovering [`Mutex::lock`].
+pub(crate) trait LockExt<T> {
+    /// Locks the mutex, recovering the guard from a poisoned lock instead
+    /// of panicking: the poison only records that *some* thread panicked
+    /// while holding the guard, and every guarded state in this crate stays
+    /// consistent across the panics the workers catch.
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Poison-recovering [`Condvar::wait`].
+pub(crate) trait CondvarExt {
+    /// Waits on the condvar, recovering the reacquired guard from a
+    /// poisoned lock instead of panicking (see [`LockExt::lock_unpoisoned`]).
+    fn wait_unpoisoned<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T>;
+}
+
+impl CondvarExt for Condvar {
+    fn wait_unpoisoned<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn poisoned_mutex_still_yields_its_guard() {
+        let m = Arc::new(Mutex::new(7u64));
+        let poisoner = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "the lock must actually be poisoned");
+        assert_eq!(*m.lock_unpoisoned(), 7, "recovery sees the guarded state");
+        *m.lock_unpoisoned() = 8;
+        assert_eq!(*m.lock_unpoisoned(), 8);
+    }
+}

@@ -42,6 +42,9 @@ pub enum Stage {
     Solve,
     /// Serving a result that was not solved here: cache hit or coalesced.
     Serve,
+    /// A retry of a failed attempt: the span covers the backoff sleep and
+    /// ends when the next attempt starts.
+    Retry,
 }
 
 impl Stage {
@@ -53,6 +56,7 @@ impl Stage {
             Stage::Presolve => "presolve",
             Stage::Solve => "solve",
             Stage::Serve => "serve",
+            Stage::Retry => "retry",
         }
     }
 }

@@ -3,11 +3,19 @@
 //! several Fig. 2 backends by the worker pool, resubmitted to show the
 //! result cache serving repeats bit-identically, then driven through the
 //! asynchronous session API (bounded-queue submission, per-job handles,
-//! streaming completions in finish order). The final pass reads the
+//! streaming completions in finish order). A later pass reads the
 //! always-on tracing substrate back out: a per-stage time breakdown
 //! aggregated from the span timelines, latency quantiles from the report
 //! histograms, a `trace.json` Chrome trace-event export, and a sample of
 //! the Prometheus text exposition.
+//!
+//! The final chaos pass arms a scripted `FaultPlan` — the `exact` backend
+//! down for good, a presolve panic, an already-expired deadline — plus a
+//! health probe reporting one cluster shard dead, and shows the runtime
+//! absorbing all of it: retries with jittered backoff fall back to the
+//! next-ranked backend, the circuit breaker stops re-probing the dead
+//! one, the dead shard's keys fail over to healthy ring successors, and
+//! the merged report prints the retry/breaker/failover counters.
 //!
 //! Run with: `cargo run --release --example solver_service`
 
@@ -15,6 +23,16 @@ use qdm::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Health probe reporting one shard permanently dead.
+struct DeadShard(usize);
+
+impl HealthProbe for DeadShard {
+    fn is_healthy(&self, shard: usize) -> bool {
+        shard != self.0
+    }
+}
 
 fn main() {
     let service = SolverService::new(ServiceConfig {
@@ -327,4 +345,119 @@ fn main() {
     {
         println!("  {line}");
     }
+
+    // --- Chaos pass: faults, retries, breakers, deadlines, failover. ------
+    // A scripted fault plan kills the `exact` backend for good and panics
+    // one presolve; retries with jittered backoff re-route every job to the
+    // next-ranked backend and the circuit breaker stops re-probing the dead
+    // one after two consecutive failures. Every job still resolves.
+    println!("\nchaos: 'exact' backend down, one presolve panic, retries + breaker armed...");
+    let plan: Arc<dyn FaultInjector> = Arc::new(
+        FaultPlan::new()
+            .fail_backend(
+                "exact",
+                FaultWhen::Always,
+                FaultAction::Error("chaos: exact down".into()),
+            )
+            .fail_at(
+                FaultSite::Presolve,
+                FaultWhen::Nth(2),
+                FaultAction::Panic("chaos: presolve panic".into()),
+            ),
+    );
+    let chaotic = SolverService::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 256,
+        injector: Some(plan),
+        retry: RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(2),
+        },
+        breaker: Some(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(60),
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    for (i, (label, problem)) in problems.iter().enumerate() {
+        let r = chaotic
+            .run(JobSpec::new(Arc::clone(problem), 5000 + i as u64).with_options(options.clone()))
+            .expect("every job survives the chaos via retry and fallback");
+        println!("  {label:<10} served by {:<28} energy {:>9.3}", r.backend, r.report.energy);
+        assert_ne!(r.backend, "exact", "the dead backend can never serve a job");
+    }
+    let hopeless = chaotic.run(
+        JobSpec::new(Arc::clone(&problems[0].1), 6000)
+            .with_options(options.clone())
+            .deadline(Duration::ZERO),
+    );
+    assert!(
+        matches!(hopeless, Err(JobError::DeadlineExceeded { .. })),
+        "an already-expired deadline fails fast instead of solving"
+    );
+    let chaos_report = chaotic.report();
+    assert!(chaos_report.jobs_retried >= 1, "the dead backend must have cost at least one retry");
+    assert!(chaos_report.breaker_opened >= 1, "two consecutive failures must trip the breaker");
+    assert_eq!(chaos_report.deadlines_exceeded, 1, "exactly one deadline miss was provoked");
+    println!(
+        "  survived: {} completed, {} retries paid ({} exhausted), breaker opened {}x, \
+         {} deadline miss",
+        chaos_report.jobs_completed,
+        chaos_report.jobs_retried,
+        chaos_report.retries_exhausted,
+        chaos_report.breaker_opened,
+        chaos_report.deadlines_exceeded,
+    );
+    for line in chaos_report.render_prometheus().lines().filter(|l| {
+        l.starts_with("qdm_jobs_retried")
+            || l.starts_with("qdm_breaker")
+            || l.starts_with("qdm_deadlines")
+    }) {
+        println!("  {line}");
+    }
+
+    // Failover: kill the home shard of the first problem and push the whole
+    // workload through the degraded cluster — its keys re-route to the next
+    // healthy ring successor and nothing is lost.
+    let (fp, _) = problems[0].1.to_qubo().canonical_form();
+    let probe = ClusterService::new(ClusterConfig {
+        shards: 4,
+        service: ServiceConfig { workers: 1, cache_capacity: 64, ..Default::default() },
+        ..Default::default()
+    });
+    let dead_shard = probe.shard_for_fingerprint(fp);
+    drop(probe);
+    println!("\nchaos: shard {dead_shard} reported dead, resubmitting the workload...");
+    let degraded = ClusterService::new(ClusterConfig {
+        shards: 4,
+        service: ServiceConfig { workers: 1, cache_capacity: 64, ..Default::default() },
+        health_probe: Some(Arc::new(DeadShard(dead_shard))),
+        ..Default::default()
+    });
+    let chaos_session =
+        degraded.session("chaos", SessionConfig { queue_capacity: 32, ..Default::default() });
+    let chaos_handles: Vec<_> = problems
+        .iter()
+        .enumerate()
+        .map(|(i, (_, problem))| {
+            let spec =
+                JobSpec::new(Arc::clone(problem), 7000 + i as u64).with_options(options.clone());
+            chaos_session.submit(spec).expect("health routing never rejects a job")
+        })
+        .collect();
+    for handle in &chaos_handles {
+        assert!(handle.wait().is_ok(), "a dead shard loses no jobs");
+    }
+    chaos_session.drain();
+    let degraded_report = degraded.report();
+    assert_eq!(degraded_report.jobs_completed as usize, problems.len());
+    assert!(degraded_report.failovers >= 1, "the dead shard's keys must have re-routed");
+    println!(
+        "  shard {dead_shard} dead: {}/{} jobs completed, {} submissions failed over, 0 lost",
+        degraded_report.jobs_completed,
+        problems.len(),
+        degraded_report.failovers
+    );
 }
