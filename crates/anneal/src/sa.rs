@@ -24,7 +24,7 @@
 
 use qdm_qubo::compiled::{Coloring, CompiledQubo};
 use qdm_qubo::model::QuboModel;
-use qdm_qubo::probe::{NoProbe, RestartStats, StageProbe};
+use qdm_qubo::probe::{NoProbe, RestartStats, SolverCheckpoint, StageProbe};
 use qdm_qubo::solve::SolveResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -176,16 +176,45 @@ pub fn simulated_annealing_probed(
     let mut best_bits = vec![false; n];
     let mut best = c.energy(&best_bits);
     let mut evals: u64 = 1;
+    sa_restart_loop(c, params, rng, probe, 0, &mut best_bits, &mut best, &mut evals);
+    SolveResult {
+        bits: best_bits,
+        energy: best,
+        evaluations: evals,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: false,
+    }
+}
 
+/// The sequential restart loop shared by [`simulated_annealing_probed`] and
+/// [`simulated_annealing_resume`]: restarts `first..restarts`, threading one
+/// caller RNG through all of them, updating the running best in place.
+/// After each restart it reports [`RestartStats`] and — only for probes
+/// that opted in via [`StageProbe::wants_checkpoints`] — a resumable
+/// [`SolverCheckpoint`] carrying the RNG state at the boundary. Emitting a
+/// checkpoint consumes no randomness, so checkpointed runs are bit-identical
+/// to unobserved ones.
+#[allow(clippy::too_many_arguments)]
+fn sa_restart_loop(
+    c: &CompiledQubo,
+    params: &SaParams,
+    rng: &mut impl Rng,
+    probe: &dyn StageProbe,
+    first: usize,
+    best_bits: &mut [bool],
+    best: &mut f64,
+    evals: &mut u64,
+) {
+    let n = c.n_vars();
     let mut x = vec![false; n];
     let mut local = vec![0.0f64; n];
-    for r in 0..params.restarts.max(1) {
+    for r in first..params.restarts.max(1) {
         if probe.should_stop() {
             break;
         }
         let (restart_evals, accepted) =
-            anneal_restart(c, params, rng, &mut x, &mut local, &mut best, &mut best_bits);
-        evals += restart_evals;
+            anneal_restart(c, params, rng, &mut x, &mut local, best, best_bits);
+        *evals += restart_evals;
         probe.on_restart(&RestartStats {
             solver: "sa",
             restart: r as u64,
@@ -193,7 +222,58 @@ pub fn simulated_annealing_probed(
             proposals: restart_evals - 1,
             accepted,
         });
+        if probe.wants_checkpoints() {
+            probe.on_checkpoint(&SolverCheckpoint {
+                solver: "sa",
+                next_restart: r as u64 + 1,
+                evaluations: *evals,
+                best_bits: best_bits.to_vec(),
+                best_energy: *best,
+                rng_state: rng.checkpoint_state(),
+            });
+        }
     }
+}
+
+/// Resumes a sequential anneal from a [`SolverCheckpoint`] captured by a
+/// checkpoint-subscribed probe: the caller RNG is rebuilt from the recorded
+/// state, the running best and evaluation count continue from the recorded
+/// values, and the remaining restarts run exactly as the uninterrupted solve
+/// would have run them — the returned bits, energy, and evaluation count are
+/// bit-identical to never having stopped. `params` must be the params of the
+/// original run.
+///
+/// # Panics
+/// Panics if the checkpoint carries no RNG state (it came from a
+/// derived-seed solver loop, not `"sa"`) or if its assignment length does
+/// not match the model.
+pub fn simulated_annealing_resume(
+    c: &CompiledQubo,
+    params: &SaParams,
+    checkpoint: &SolverCheckpoint,
+    probe: &dyn StageProbe,
+) -> SolveResult {
+    let start = Instant::now();
+    assert_eq!(
+        checkpoint.best_bits.len(),
+        c.n_vars(),
+        "checkpoint assignment does not match the model"
+    );
+    let state = checkpoint.rng_state.expect("sequential SA checkpoints carry RNG state");
+    let mut rng = StdRng::from_state(state);
+    let mut best_bits = checkpoint.best_bits.clone();
+    let mut best = checkpoint.best_energy;
+    let mut evals = checkpoint.evaluations;
+    sa_restart_loop(
+        c,
+        params,
+        &mut rng,
+        probe,
+        checkpoint.next_restart as usize,
+        &mut best_bits,
+        &mut best,
+        &mut evals,
+    );
     SolveResult {
         bits: best_bits,
         energy: best,
@@ -482,6 +562,19 @@ pub fn simulated_annealing_colored_probed(
             proposals,
             accepted,
         });
+        if probe.wants_checkpoints() {
+            // Colored restarts derive their streams from (seed, restart
+            // index), so the checkpoint needs no RNG state: resuming is
+            // rerunning from `next_restart` with the same seed.
+            probe.on_checkpoint(&SolverCheckpoint {
+                solver: "sa-colored",
+                next_restart: r as u64 + 1,
+                evaluations: evals,
+                best_bits: best_bits.clone(),
+                best_energy: best,
+                rng_state: None,
+            });
+        }
     }
     SolveResult {
         bits: best_bits,
@@ -653,6 +746,100 @@ mod tests {
         let col_stats = col_probe.0.lock().unwrap().clone();
         assert_eq!(col_stats.len(), params.restarts);
         assert!(col_stats.iter().all(|s| s.solver == "sa-colored"));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+        use std::sync::Mutex;
+
+        /// Collects checkpoints and simulates a crash by stopping after
+        /// `halt_after` restarts.
+        struct Checkpointing {
+            seen: Mutex<Vec<SolverCheckpoint>>,
+            halt_after: u64,
+        }
+        impl StageProbe for Checkpointing {
+            fn wants_checkpoints(&self) -> bool {
+                true
+            }
+            fn on_checkpoint(&self, checkpoint: &SolverCheckpoint) {
+                self.seen.lock().unwrap().push(checkpoint.clone());
+            }
+            fn should_stop(&self) -> bool {
+                self.seen.lock().unwrap().len() as u64 >= self.halt_after
+            }
+        }
+
+        let q = hard_model(4, 16);
+        let c = q.compile();
+        let params = SaParams { restarts: 4, ..SaParams::scaled_to(&q) };
+
+        // Ground truth: the uninterrupted run.
+        let mut rng = StdRng::seed_from_u64(77);
+        let full = simulated_annealing_compiled(&c, &params, &mut rng);
+
+        // Crash after restart 1, resume from the captured checkpoint.
+        let probe = Checkpointing { seen: Mutex::new(Vec::new()), halt_after: 2 };
+        let mut rng = StdRng::seed_from_u64(77);
+        let _partial = simulated_annealing_probed(&c, &params, &mut rng, &probe);
+        let checkpoints = probe.seen.into_inner().unwrap();
+        assert_eq!(checkpoints.len(), 2);
+        let cp = checkpoints.last().unwrap();
+        assert_eq!(cp.solver, "sa");
+        assert_eq!(cp.next_restart, 2);
+        assert!(cp.rng_state.is_some(), "sequential SA must capture the caller-RNG state");
+        assert!(cp.evaluations < full.evaluations);
+
+        let resumed = simulated_annealing_resume(&c, &params, cp, &NoProbe);
+        assert_eq!(resumed.bits, full.bits, "resume must be bit-identical");
+        assert_eq!(resumed.energy, full.energy);
+        assert_eq!(resumed.evaluations, full.evaluations);
+
+        // Checkpoint emission must not perturb the stream: the interrupted-
+        // plus-resumed pair above already proves it, but also check a fully
+        // checkpointed run end to end.
+        let probe = Checkpointing { seen: Mutex::new(Vec::new()), halt_after: u64::MAX };
+        let mut rng = StdRng::seed_from_u64(77);
+        let observed = simulated_annealing_probed(&c, &params, &mut rng, &probe);
+        assert_eq!(observed.bits, full.bits);
+        assert_eq!(observed.evaluations, full.evaluations);
+        assert_eq!(probe.seen.into_inner().unwrap().len(), params.restarts);
+    }
+
+    #[test]
+    fn colored_checkpoints_resume_by_restart_index() {
+        use std::sync::Mutex;
+
+        struct Collect(Mutex<Vec<SolverCheckpoint>>);
+        impl StageProbe for Collect {
+            fn wants_checkpoints(&self) -> bool {
+                true
+            }
+            fn on_checkpoint(&self, checkpoint: &SolverCheckpoint) {
+                self.0.lock().unwrap().push(checkpoint.clone());
+            }
+        }
+
+        let q = hard_model(6, 14);
+        let c = q.compile();
+        let params = SaParams { restarts: 3, ..SaParams::scaled_to(&q) };
+        let full = simulated_annealing_colored(&c, &params, 55, 2);
+        let probe = Collect(Mutex::new(Vec::new()));
+        let observed = simulated_annealing_colored_probed(&c, &params, 55, 2, &probe);
+        assert_eq!(observed.bits, full.bits, "checkpointing must not perturb the solve");
+        let cps = probe.0.into_inner().unwrap();
+        assert_eq!(cps.len(), params.restarts);
+        for (r, cp) in cps.iter().enumerate() {
+            assert_eq!(cp.solver, "sa-colored");
+            assert_eq!(cp.next_restart, r as u64 + 1);
+            assert!(cp.rng_state.is_none(), "derived-seed restarts carry no RNG state");
+        }
+        // The final checkpoint is the full answer: derived seeds mean a
+        // resume is simply a rerun from next_restart, so the last boundary
+        // already holds the uninterrupted best.
+        let last = cps.last().unwrap();
+        assert_eq!(last.best_bits, full.bits);
+        assert_eq!(last.evaluations, full.evaluations);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 
 use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
-use qdm_qubo::probe::{NoProbe, RestartStats, StageProbe};
+use qdm_qubo::probe::{NoProbe, RestartStats, SolverCheckpoint, StageProbe};
 use qdm_qubo::solve::SolveResult;
+use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::Instant;
 
@@ -70,10 +71,79 @@ pub fn tabu_search_probed(
         };
     }
 
+    tabu_restart_loop(c, params, rng, probe, 0, &mut best_bits, &mut best, &mut evals);
+    SolveResult {
+        bits: best_bits,
+        energy: best,
+        evaluations: evals,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: false,
+    }
+}
+
+/// Resumes a tabu search from a [`SolverCheckpoint`] captured by a
+/// checkpoint-wanting probe during [`tabu_search_probed`]. With the same
+/// compiled model and params, running restarts `0..k`, checkpointing, and
+/// resuming here produces bits, energy, and evaluation counts identical to
+/// the uninterrupted run.
+///
+/// # Panics
+/// Panics if the checkpoint's assignment length does not match the model or
+/// if it carries no RNG state (tabu checkpoints always do).
+pub fn tabu_search_resume(
+    c: &CompiledQubo,
+    params: &TabuParams,
+    checkpoint: &SolverCheckpoint,
+    probe: &dyn StageProbe,
+) -> SolveResult {
+    let start = Instant::now();
+    let n = c.n_vars();
+    assert_eq!(checkpoint.best_bits.len(), n, "checkpoint assignment length must match the model");
+    let mut best_bits = checkpoint.best_bits.clone();
+    let mut best = checkpoint.best_energy;
+    let mut evals = checkpoint.evaluations;
+    let mut rng = StdRng::from_state(
+        checkpoint.rng_state.expect("tabu checkpoints carry the caller-RNG state"),
+    );
+    tabu_restart_loop(
+        c,
+        params,
+        &mut rng,
+        probe,
+        checkpoint.next_restart as usize,
+        &mut best_bits,
+        &mut best,
+        &mut evals,
+    );
+    SolveResult {
+        bits: best_bits,
+        energy: best,
+        evaluations: evals,
+        seconds: start.elapsed().as_secs_f64(),
+        certified_optimal: false,
+    }
+}
+
+/// The shared restart loop behind [`tabu_search_probed`] and
+/// [`tabu_search_resume`]: runs restarts `first..restarts`, updating the
+/// caller's best/evals accumulators in place, and emits a resumable
+/// checkpoint after each restart when the probe asks for them.
+#[allow(clippy::too_many_arguments)]
+fn tabu_restart_loop(
+    c: &CompiledQubo,
+    params: &TabuParams,
+    rng: &mut impl Rng,
+    probe: &dyn StageProbe,
+    first: usize,
+    best_bits: &mut [bool],
+    best: &mut f64,
+    evals: &mut u64,
+) {
+    let n = c.n_vars();
     let mut x = vec![false; n];
     let mut local = vec![0.0f64; n];
     let mut tabu_until = vec![0usize; n];
-    for restart in 0..params.restarts.max(1) {
+    for restart in first..params.restarts.max(1) {
         if probe.should_stop() {
             break;
         }
@@ -81,7 +151,7 @@ pub fn tabu_search_probed(
             *b = rng.random::<bool>();
         }
         let mut energy = c.energy(&x);
-        evals += 1;
+        *evals += 1;
         c.local_fields_into(&x, &mut local);
         tabu_until.fill(0);
         let mut iters_run: u64 = 0;
@@ -94,7 +164,7 @@ pub fn tabu_search_probed(
             for i in 0..n {
                 let delta = if x[i] { -local[i] } else { local[i] };
                 let is_tabu = tabu_until[i] > iter;
-                let aspires = energy + delta < best - 1e-12;
+                let aspires = energy + delta < *best - 1e-12;
                 if (!is_tabu || aspires) && delta < chosen_delta {
                     chosen_delta = delta;
                     chosen = i;
@@ -104,11 +174,11 @@ pub fn tabu_search_probed(
                 break; // everything tabu and nothing aspires
             }
             energy += c.apply_flip(&mut x, &mut local, chosen);
-            evals += 1;
+            *evals += 1;
             moves += 1;
             tabu_until[chosen] = iter + params.tenure;
-            if energy < best {
-                best = energy;
+            if energy < *best {
+                *best = energy;
                 best_bits.copy_from_slice(&x);
             }
         }
@@ -119,13 +189,16 @@ pub fn tabu_search_probed(
             proposals: iters_run * n as u64,
             accepted: moves,
         });
-    }
-    SolveResult {
-        bits: best_bits,
-        energy: best,
-        evaluations: evals,
-        seconds: start.elapsed().as_secs_f64(),
-        certified_optimal: false,
+        if probe.wants_checkpoints() {
+            probe.on_checkpoint(&SolverCheckpoint {
+                solver: "tabu",
+                next_restart: restart as u64 + 1,
+                evaluations: *evals,
+                best_bits: best_bits.to_vec(),
+                best_energy: *best,
+                rng_state: rng.checkpoint_state(),
+            });
+        }
     }
 }
 
@@ -207,6 +280,73 @@ mod tests {
             assert_eq!(s.proposals, s.sweeps * 16);
             assert!(s.accepted <= s.sweeps, "at most one move per iteration");
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+        use std::sync::Mutex;
+
+        /// Collects every checkpoint; optionally reports stop after `halt_after`
+        /// restarts to simulate a crash at a restart boundary.
+        struct Checkpointing {
+            seen: Mutex<Vec<SolverCheckpoint>>,
+            halt_after: Option<u64>,
+        }
+        impl StageProbe for Checkpointing {
+            fn wants_checkpoints(&self) -> bool {
+                true
+            }
+            fn on_checkpoint(&self, checkpoint: &SolverCheckpoint) {
+                self.seen.lock().unwrap().push(checkpoint.clone());
+            }
+            fn should_stop(&self) -> bool {
+                match self.halt_after {
+                    Some(k) => self.seen.lock().unwrap().len() as u64 >= k,
+                    None => false,
+                }
+            }
+        }
+
+        let q = random_model(3, 18);
+        let c = q.compile();
+        let params = TabuParams { restarts: 4, ..TabuParams::default() };
+
+        // Uninterrupted probed run: the ground truth.
+        let mut rng = StdRng::seed_from_u64(21);
+        let full = tabu_search_probed(&c, &params, &mut rng, &NoProbe);
+
+        // Interrupted run: stop after 2 restarts, then resume from the
+        // captured checkpoint.
+        let probe = Checkpointing { seen: Mutex::new(Vec::new()), halt_after: Some(2) };
+        let mut rng = StdRng::seed_from_u64(21);
+        let _partial = tabu_search_probed(&c, &params, &mut rng, &probe);
+        let checkpoints = probe.seen.into_inner().unwrap();
+        assert_eq!(checkpoints.len(), 2);
+        let cp = checkpoints.last().unwrap();
+        assert_eq!(cp.solver, "tabu");
+        assert_eq!(cp.next_restart, 2);
+        assert!(cp.rng_state.is_some(), "tabu threads one RNG, so state must be captured");
+
+        let resumed = tabu_search_resume(&c, &params, cp, &NoProbe);
+        assert_eq!(resumed.bits, full.bits, "resume must be bit-identical");
+        assert_eq!(resumed.energy, full.energy);
+        assert_eq!(resumed.evaluations, full.evaluations);
+    }
+
+    #[test]
+    fn checkpoints_are_skipped_without_a_wanting_probe() {
+        // NoProbe leaves wants_checkpoints() false; the probed path must be
+        // bit-identical to the plain path (no checkpoint construction, no
+        // extra randomness).
+        let q = random_model(8, 12);
+        let c = q.compile();
+        let params = TabuParams::default();
+        let mut rng1 = StdRng::seed_from_u64(2);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let plain = tabu_search_compiled(&c, &params, &mut rng1);
+        let probed = tabu_search_probed(&c, &params, &mut rng2, &NoProbe);
+        assert_eq!(plain.bits, probed.bits);
+        assert_eq!(plain.evaluations, probed.evaluations);
     }
 
     #[test]

@@ -45,17 +45,25 @@
 //! failover throughput (the 4×1 cluster batch with one shard reported
 //! dead, against the all-healthy cluster).
 //!
+//! The `runtime/recovery` group prices the crash-safety machinery: the
+//! durable job journal on the clean path (every job pays a `Submitted`
+//! append — QUBO serialization included — and a `Completed` one), replay
+//! throughput over a crashed backlog (journal scan plus full re-solve),
+//! snapshot save/load latency on a warm solution store, and the solver
+//! checkpoint-emission overhead, which is gated <5% — resumability must
+//! stay close to free.
+//!
 //! The `runtime/compile_once` group measures the compile-amortization win
 //! of the shared-`CompiledQubo` pipeline on the 256-var/5% acceptance
 //! instance — what a cache-miss 4-backend race used to pay in compiles
 //! (one per backend plus one for fingerprinting) versus the single shared
 //! compile it pays now — plus race-vs-best-single latency, and writes the
 //! `BENCH_runtime.json` baseline (including the fairness, observability,
-//! cluster, and robustness numbers when those groups ran) at the workspace
-//! root. CI runs the smoke set via `cargo bench --bench bench_runtime --
-//! runtime/fairness runtime/observability runtime/cluster
-//! runtime/robustness runtime/compile_once` (the criterion shim treats
-//! positional args as id filters).
+//! cluster, robustness, and recovery numbers when those groups ran) at the
+//! workspace root. CI runs the smoke set via `cargo bench --bench
+//! bench_runtime -- runtime/fairness runtime/observability runtime/cluster
+//! runtime/robustness runtime/recovery runtime/compile_once` (the
+//! criterion shim treats positional args as id filters).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdm_anneal::sa::SaParams;
@@ -66,6 +74,7 @@ use qdm_core::problem::{Decoded, DmProblem};
 use qdm_core::solver::{SaParallelSolver, SaSolver, SqaSolver, TabuSolver};
 use qdm_problems::mqo::{MqoInstance, MqoProblem};
 use qdm_qubo::model::QuboModel;
+use qdm_qubo::probe::{SolverCheckpoint, StageProbe};
 use qdm_runtime::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -996,6 +1005,247 @@ fn bench_robustness(c: &mut Criterion) {
     });
 }
 
+/// Jobs per measured batch in the recovery benches.
+const RECOVERY_JOBS: usize = 16;
+
+/// Headline numbers of one recovery run, stashed by `bench_recovery` for
+/// `bench_compile_once`'s JSON writer.
+struct RecoveryNumbers {
+    plain_batch_seconds: f64,
+    journaled_batch_seconds: f64,
+    journal_overhead_pct: f64,
+    replay_seconds: f64,
+    snapshot_entries: usize,
+    snapshot_save_seconds: f64,
+    snapshot_load_seconds: f64,
+    plain_per_job: f64,
+    checkpoint_per_job: f64,
+    checkpoint_overhead_pct: f64,
+    checkpoints_emitted: u64,
+}
+
+static RECOVERY: OnceLock<RecoveryNumbers> = OnceLock::new();
+
+/// Checkpoint-subscribed probe that only counts emissions: what it prices
+/// is the emission machinery itself (the best-assignment clone per restart
+/// boundary), not any consumer.
+struct CountCheckpoints(AtomicU64);
+
+impl StageProbe for CountCheckpoints {
+    fn wants_checkpoints(&self) -> bool {
+        true
+    }
+    fn on_checkpoint(&self, _checkpoint: &SolverCheckpoint) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A journal pre-loaded with `RECOVERY_JOBS` unfinished submissions — the
+/// backlog a crashed process leaves behind for `recover` to replay.
+fn crashed_journal(problems: &[Arc<MqoProblem>]) -> MemoryJournal {
+    let journal = MemoryJournal::new();
+    for i in 0..RECOVERY_JOBS {
+        let problem = &problems[i % problems.len()];
+        journal.append(JournalEvent::Submitted(SubmittedRecord {
+            job_id: i as u64,
+            problem: problem.name(),
+            qubo: problem.to_qubo(),
+            options_bits: 0,
+            priority: JobPriority::Normal,
+            seed: 600_000 + i as u64,
+            backend: BackendChoice::Auto,
+            tenant: None,
+            shard: None,
+        }));
+    }
+    journal
+}
+
+/// Replays the whole crashed backlog on a fresh service, seconds per
+/// backlog. The service carries no journal of its own, so the backlog
+/// stays unfinished and every call replays the same work.
+fn replay_batch(journal: &MemoryJournal) -> f64 {
+    let service = SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig { workers: 1, cache_capacity: 2 * RECOVERY_JOBS, ..Default::default() },
+    );
+    let t0 = Instant::now();
+    let handles = service.recover(journal);
+    assert_eq!(handles.len(), RECOVERY_JOBS);
+    for handle in &handles {
+        assert!(handle.wait().is_ok());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// One cache-miss batch with an optional per-job probe, seconds per batch.
+fn probed_batch(
+    service: &SolverService,
+    problems: &[Arc<MqoProblem>],
+    probe: Option<Arc<dyn StageProbe>>,
+) -> f64 {
+    let mut options = opts();
+    options.probe = probe;
+    let batch: Vec<JobSpec> = (0..RECOVERY_JOBS)
+        .map(|i| {
+            JobSpec::new(
+                Arc::clone(&problems[i % problems.len()]) as SharedProblem,
+                SEED.fetch_add(1, Ordering::Relaxed),
+            )
+            .with_options(options.clone())
+            .on_backend("simulated-annealing")
+        })
+        .collect();
+    let t0 = Instant::now();
+    let outcomes = service.run_batch(batch);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+    t0.elapsed().as_secs_f64()
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/recovery") {
+        return;
+    }
+    let problems = workload();
+
+    let plain = SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig { workers: 1, cache_capacity: 8, ..Default::default() },
+    );
+    let journaled = SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            journal: Some(Arc::new(MemoryJournal::new()) as _),
+            ..Default::default()
+        },
+    );
+    let backlog = crashed_journal(&problems);
+
+    let mut group = c.benchmark_group("runtime/recovery");
+    group.sample_size(10);
+    group.bench_function("plain_batch", |b| b.iter(|| robust_batch(&plain, &problems)));
+    group.bench_function("journaled_batch", |b| b.iter(|| robust_batch(&journaled, &problems)));
+    group.bench_function("replay_crashed_backlog", |b| b.iter(|| replay_batch(&backlog)));
+    group.finish();
+
+    // Headline 1: what the WAL costs on the clean path (every job appends
+    // a Submitted record — QUBO serialization included — and a Completed
+    // one).
+    let reps = 5;
+    let plain_batch_seconds =
+        (0..reps).map(|_| robust_batch(&plain, &problems)).sum::<f64>() / reps as f64;
+    let journaled_batch_seconds =
+        (0..reps).map(|_| robust_batch(&journaled, &problems)).sum::<f64>() / reps as f64;
+    let journal_overhead_pct =
+        (journaled_batch_seconds - plain_batch_seconds) / plain_batch_seconds.max(1e-12) * 100.0;
+    println!(
+        "runtime/recovery journal: {journal_overhead_pct:+.1}% batch overhead for the WAL \
+         ({RECOVERY_JOBS} jobs/batch, plain {:.3} ms vs journaled {:.3} ms)",
+        plain_batch_seconds * 1e3,
+        journaled_batch_seconds * 1e3,
+    );
+
+    // Headline 2: replay throughput — journal scan plus full re-solve of
+    // the crashed backlog.
+    let replay_seconds = (0..reps).map(|_| replay_batch(&backlog)).sum::<f64>() / reps as f64;
+    println!(
+        "runtime/recovery replay: {RECOVERY_JOBS}-job crashed backlog replayed in {:.3} ms \
+         ({:.0} jobs/s)",
+        replay_seconds * 1e3,
+        RECOVERY_JOBS as f64 / replay_seconds.max(1e-12),
+    );
+
+    // Headline 3: snapshot save/load latency on a warm solution store.
+    let store = SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig { workers: 1, cache_capacity: 2 * RECOVERY_JOBS, ..Default::default() },
+    );
+    for (i, problem) in problems.iter().enumerate() {
+        let spec = JobSpec::new(Arc::clone(problem) as SharedProblem, 700_000 + i as u64)
+            .with_options(opts())
+            .on_backend("simulated-annealing");
+        store.run(spec).expect("store warm-up job solves");
+    }
+    let snap_reps = 50;
+    let t0 = Instant::now();
+    let mut snapshot = store.save_snapshot();
+    for _ in 1..snap_reps {
+        snapshot = store.save_snapshot();
+    }
+    let snapshot_save_seconds = t0.elapsed().as_secs_f64() / snap_reps as f64;
+    let snapshot_entries = snapshot.len();
+    let loader = SolverService::with_registry(
+        fairness_registry(),
+        ServiceConfig { workers: 1, cache_capacity: 2 * RECOVERY_JOBS, ..Default::default() },
+    );
+    let t1 = Instant::now();
+    for _ in 0..snap_reps {
+        loader.load_snapshot(&snapshot);
+    }
+    let snapshot_load_seconds = t1.elapsed().as_secs_f64() / snap_reps as f64;
+    println!(
+        "runtime/recovery snapshot: {snapshot_entries} entries, save {:.1} µs, load {:.1} µs",
+        snapshot_save_seconds * 1e6,
+        snapshot_load_seconds * 1e6,
+    );
+
+    // Headline 4: checkpoint emission overhead on the solve path, gated
+    // <5% — resumability must stay close to free. Alternating reps so
+    // drift hits both modes equally, medians so one descheduled batch
+    // cannot tip the gate (same discipline as the observability gate).
+    let counter = Arc::new(CountCheckpoints(AtomicU64::new(0)));
+    probed_batch(&plain, &problems, None);
+    probed_batch(&plain, &problems, Some(Arc::clone(&counter) as _));
+    let cp_reps = 9;
+    let mut plain_samples = Vec::with_capacity(cp_reps);
+    let mut checkpoint_samples = Vec::with_capacity(cp_reps);
+    for _ in 0..cp_reps {
+        plain_samples.push(probed_batch(&plain, &problems, None));
+        checkpoint_samples.push(probed_batch(&plain, &problems, Some(Arc::clone(&counter) as _)));
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let plain_per_job = median(plain_samples) / RECOVERY_JOBS as f64;
+    let checkpoint_per_job = median(checkpoint_samples) / RECOVERY_JOBS as f64;
+    let checkpoint_overhead_pct =
+        (checkpoint_per_job - plain_per_job) / plain_per_job.max(1e-12) * 100.0;
+    let checkpoints_emitted = counter.0.load(Ordering::Relaxed);
+    assert!(
+        checkpoints_emitted >= (cp_reps * RECOVERY_JOBS) as u64,
+        "every probed job must emit at least one checkpoint"
+    );
+    println!(
+        "runtime/recovery checkpoint: {checkpoint_overhead_pct:+.1}% per-job overhead with \
+         checkpoints on ({checkpoints_emitted} emitted; {:.1} µs/job vs {:.1} µs/job medians \
+         over {cp_reps} alternating reps)",
+        plain_per_job * 1e6,
+        checkpoint_per_job * 1e6,
+    );
+    assert!(
+        checkpoint_overhead_pct < 5.0,
+        "checkpoint overhead gate: {checkpoint_overhead_pct:.2}% >= 5% \
+         (plain {plain_per_job:.9}s/job vs checkpointed {checkpoint_per_job:.9}s/job)"
+    );
+
+    let _ = RECOVERY.set(RecoveryNumbers {
+        plain_batch_seconds,
+        journaled_batch_seconds,
+        journal_overhead_pct,
+        replay_seconds,
+        snapshot_entries,
+        snapshot_save_seconds,
+        snapshot_load_seconds,
+        plain_per_job,
+        checkpoint_per_job,
+        checkpoint_overhead_pct,
+        checkpoints_emitted,
+    });
+}
+
 /// The dense instance wrapped as a service-submittable problem.
 struct DenseProblem {
     qubo: QuboModel,
@@ -1186,13 +1436,38 @@ fn bench_compile_once(c: &mut Criterion) {
         ),
         None => String::new(),
     };
+    let recovery = match RECOVERY.get() {
+        Some(r) => format!(
+            ",\n  \"recovery\": {{\"jobs_per_batch\": {RECOVERY_JOBS}, \"journal\": {{\
+             \"plain_batch_seconds\": {:.6}, \"journaled_batch_seconds\": {:.6}, \
+             \"overhead_pct\": {:.2}}}, \"replay\": {{\"jobs\": {RECOVERY_JOBS}, \
+             \"seconds\": {:.6}, \"jobs_per_second\": {:.1}}}, \"snapshot\": {{\
+             \"entries\": {}, \"save_seconds\": {:.6}, \"load_seconds\": {:.6}}}, \
+             \"checkpoint\": {{\"emitted\": {}, \"plain_per_job_seconds\": {:.6}, \
+             \"checkpoint_per_job_seconds\": {:.6}, \"overhead_pct\": {:.2}, \
+             \"gate_pct\": 5.0}}}}",
+            r.plain_batch_seconds,
+            r.journaled_batch_seconds,
+            r.journal_overhead_pct,
+            r.replay_seconds,
+            RECOVERY_JOBS as f64 / r.replay_seconds.max(1e-12),
+            r.snapshot_entries,
+            r.snapshot_save_seconds,
+            r.snapshot_load_seconds,
+            r.checkpoints_emitted,
+            r.plain_per_job,
+            r.checkpoint_per_job,
+            r.checkpoint_overhead_pct,
+        ),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"runtime\",\n  \"instance\": {{\"n_vars\": 256, \"density\": 0.05, \
          \"n_interactions\": {m}}},\n  \"race_k\": {RACE_K},\n  \"compile_ns\": {{\
          \"per_solve\": {per_stage_ns:.0}, \"compile_once\": {once_ns:.0}}},\n  \
          \"compile_amortization\": {amortization:.2},\n  \"latency_seconds\": {{\
          \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}{fairness}\
-         {observability}{cluster}{robustness}\n}}\n",
+         {observability}{cluster}{robustness}{recovery}\n}}\n",
         m = q.n_interactions(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
@@ -1211,6 +1486,7 @@ criterion_group!(
     bench_observability,
     bench_cluster,
     bench_robustness,
+    bench_recovery,
     bench_compile_once
 );
 criterion_main!(benches);

@@ -317,6 +317,96 @@ impl QuboModel {
         let q = self.quadratic.values().fold(0.0f64, |m, w| m.max(w.abs()));
         l.max(q)
     }
+
+    /// Serializes the model to a self-contained little-endian byte record:
+    /// version tag, `n_vars`, the dense linear vector, the sorted coupling
+    /// list, and the offset. The workspace's serde shim has no serializer,
+    /// so durability layers (the runtime's job journal) persist models
+    /// through this hand-rolled codec; [`QuboModel::from_bytes`] restores a
+    /// model that is `==` to the original and shares its
+    /// [`QuboModel::fingerprint`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 * self.linear.len() + 24 * self.quadratic.len());
+        out.push(QUBO_CODEC_VERSION);
+        out.extend_from_slice(&(self.n_vars as u64).to_le_bytes());
+        for &w in &self.linear {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.quadratic.len() as u64).to_le_bytes());
+        for (&(i, j), &w) in &self.quadratic {
+            out.extend_from_slice(&(i as u64).to_le_bytes());
+            out.extend_from_slice(&(j as u64).to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out
+    }
+
+    /// Decodes a record produced by [`QuboModel::to_bytes`]. Returns `None`
+    /// for a truncated, oversized, or differently-versioned record — the
+    /// torn-tail case a crashed writer leaves behind — never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut cur = Cursor { bytes, at: 0 };
+        if cur.u8()? != QUBO_CODEC_VERSION {
+            return None;
+        }
+        let n_vars = usize::try_from(cur.u64()?).ok()?;
+        // Defensive cap: a torn length prefix must not drive allocation.
+        if n_vars > bytes.len() / 8 {
+            return None;
+        }
+        let mut linear = Vec::with_capacity(n_vars);
+        for _ in 0..n_vars {
+            linear.push(cur.f64()?);
+        }
+        let n_quad = usize::try_from(cur.u64()?).ok()?;
+        if n_quad > bytes.len() / 24 {
+            return None;
+        }
+        let mut quadratic = BTreeMap::new();
+        for _ in 0..n_quad {
+            let i = usize::try_from(cur.u64()?).ok()?;
+            let j = usize::try_from(cur.u64()?).ok()?;
+            let w = cur.f64()?;
+            if i >= j || j >= n_vars {
+                return None;
+            }
+            quadratic.insert((i, j), w);
+        }
+        let offset = cur.f64()?;
+        if cur.at != bytes.len() {
+            return None;
+        }
+        Some(Self { n_vars, linear, quadratic, offset })
+    }
+}
+
+/// Version tag leading every [`QuboModel::to_bytes`] record.
+const QUBO_CODEC_VERSION: u8 = 1;
+
+/// Minimal forward-only byte reader behind [`QuboModel::from_bytes`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.at.checked_add(8)?;
+        let chunk = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(u64::from_le_bytes(chunk.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
 }
 
 /// Converts a bitmask index (bit `i` = variable `i`) to a boolean assignment.
@@ -546,5 +636,42 @@ mod tests {
         for idx in 0..8 {
             assert!(q.energy(&bits_from_index(idx, 3)) >= lb - 1e-12);
         }
+    }
+
+    #[test]
+    fn byte_codec_roundtrips_models_exactly() {
+        let mut q = QuboModel::new(5);
+        q.add_linear(0, -1.5)
+            .add_linear(3, 2.25)
+            .add_quadratic(0, 1, 3.0)
+            .add_quadratic(2, 4, -0.125)
+            .add_offset(7.5);
+        let restored = QuboModel::from_bytes(&q.to_bytes()).expect("decodes");
+        assert_eq!(restored, q);
+        assert_eq!(restored.fingerprint(), q.fingerprint());
+        assert_eq!(restored.canonical_fingerprint(), q.canonical_fingerprint());
+
+        // Degenerate models round-trip too.
+        let empty = QuboModel::new(0);
+        assert_eq!(QuboModel::from_bytes(&empty.to_bytes()), Some(empty));
+    }
+
+    #[test]
+    fn byte_codec_rejects_torn_and_corrupt_records() {
+        let mut q = QuboModel::new(3);
+        q.add_linear(1, 4.0).add_quadratic(0, 2, -1.0);
+        let bytes = q.to_bytes();
+        // Every strict prefix is a torn tail a crashed writer could leave.
+        for cut in 0..bytes.len() {
+            assert_eq!(QuboModel::from_bytes(&bytes[..cut]), None, "prefix of {cut} bytes");
+        }
+        // Trailing garbage is rejected, not silently ignored.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(QuboModel::from_bytes(&longer), None);
+        // A wrong version tag is rejected.
+        let mut wrong = bytes;
+        wrong[0] ^= 0xFF;
+        assert_eq!(QuboModel::from_bytes(&wrong), None);
     }
 }

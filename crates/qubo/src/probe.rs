@@ -29,6 +29,34 @@ pub struct RestartStats {
     pub accepted: u64,
 }
 
+/// A resumable solver checkpoint, emitted at restart boundaries through
+/// [`StageProbe::on_checkpoint`].
+///
+/// Carries everything a crashed solve needs to continue bit-identically:
+/// the next restart index, the best assignment/energy found so far, the
+/// evaluation count consumed, and — for solvers that thread one caller RNG
+/// through all restarts (`sa`, `tabu`) — the generator's captured state.
+/// Solvers that derive an independent per-restart seed (`sa-parallel`,
+/// `sa-colored`) leave `rng_state` as `None`: the restart index alone
+/// determines their streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverCheckpoint {
+    /// Static name of the emitting solver loop (e.g. `"sa"`, `"tabu"`).
+    pub solver: &'static str,
+    /// Restarts completed so far; a resume starts at this index.
+    pub next_restart: u64,
+    /// Solver evaluations consumed so far (including the baseline).
+    pub evaluations: u64,
+    /// Best assignment found across the completed restarts.
+    pub best_bits: Vec<bool>,
+    /// Energy of `best_bits`.
+    pub best_energy: f64,
+    /// Caller-RNG state captured at the restart boundary (xoshiro256++
+    /// words, see `rand::rngs::StdRng::state`); `None` when restart streams
+    /// are derived from the restart index instead.
+    pub rng_state: Option<[u64; 4]>,
+}
+
 /// Observer for solver-internal progress events.
 ///
 /// All methods have empty defaults so implementors opt into exactly the
@@ -44,6 +72,23 @@ pub trait StageProbe: Send + Sync {
     /// One solver restart finished with the given counters.
     fn on_restart(&self, stats: &RestartStats) {
         let _ = stats;
+    }
+
+    /// Whether this probe wants [`StageProbe::on_checkpoint`] payloads.
+    /// Building a [`SolverCheckpoint`] clones the best-so-far assignment,
+    /// so solver loops ask first and skip the construction entirely for
+    /// probes that leave this `false` — the default — keeping unobserved
+    /// runs exactly as cheap as before the hook existed.
+    fn wants_checkpoints(&self) -> bool {
+        false
+    }
+
+    /// A resumable checkpoint at a restart boundary, emitted only when
+    /// [`StageProbe::wants_checkpoints`] answered `true`. Observation only:
+    /// capturing the state consumes no randomness, so checkpointed runs
+    /// stay bit-identical to unobserved ones.
+    fn on_checkpoint(&self, checkpoint: &SolverCheckpoint) {
+        let _ = checkpoint;
     }
 
     /// Cooperative stop checkpoint, polled by solver loops at restart and
@@ -76,6 +121,15 @@ impl StageProbe for TeeProbe {
     fn on_restart(&self, stats: &RestartStats) {
         self.0.on_restart(stats);
         self.1.on_restart(stats);
+    }
+
+    fn wants_checkpoints(&self) -> bool {
+        self.0.wants_checkpoints() || self.1.wants_checkpoints()
+    }
+
+    fn on_checkpoint(&self, checkpoint: &SolverCheckpoint) {
+        self.0.on_checkpoint(checkpoint);
+        self.1.on_checkpoint(checkpoint);
     }
 
     fn should_stop(&self) -> bool {

@@ -240,6 +240,21 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every live `(key, result)` pair, in shard order then insertion/ring
+    /// order — the export [`crate::journal::SolutionSnapshot`] serializes.
+    /// A full-cache export clones every entry; snapshotting is expected at
+    /// checkpoint cadence, not per job.
+    pub fn entries(&self) -> Vec<(CacheKey, CachedResult)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let inner = shard.lock_unpoisoned();
+            for slot in &inner.ring {
+                out.push((slot.key.clone(), slot.value.clone()));
+            }
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------

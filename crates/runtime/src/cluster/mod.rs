@@ -114,6 +114,16 @@ pub struct ClusterConfig {
     /// Shard-health source for failover; `None` treats every shard as
     /// permanently healthy (no routing change, no drains).
     pub health_probe: Option<Arc<dyn HealthProbe>>,
+    /// One durable [`Journal`](crate::journal::Journal) per shard (the list
+    /// length must match the shard count). Each shard journals its own
+    /// submissions and completions; after a crash, a cluster reconstructed
+    /// over the *same* journal list replays every unfinished job on its
+    /// original shard via [`ClusterService::recover`] — the ring is a pure
+    /// function of the shard count, so affinity is preserved. `None` — the
+    /// default — disables journaling (any journal set on
+    /// [`ClusterConfig::service`] would be shared by all shards; prefer
+    /// this per-shard list for clusters).
+    pub journals: Option<Vec<Arc<dyn crate::journal::Journal>>>,
 }
 
 impl Default for ClusterConfig {
@@ -128,6 +138,7 @@ impl Default for ClusterConfig {
             clock: None,
             depth_probe: None,
             health_probe: None,
+            journals: None,
         }
     }
 }
@@ -162,16 +173,28 @@ impl ClusterService {
     /// list fixes the shard count; [`ClusterConfig::shards`] is ignored).
     pub fn with_registries(registries: Vec<SolverRegistry>, config: ClusterConfig) -> Self {
         assert!(!registries.is_empty(), "a cluster needs at least one shard");
+        if let Some(journals) = &config.journals {
+            assert_eq!(
+                journals.len(),
+                registries.len(),
+                "one journal per shard: journal list length must match the shard count"
+            );
+        }
         let epoch = config.service.epoch.unwrap_or_else(Instant::now);
         let shards: Vec<SolverService> = registries
             .into_iter()
             .enumerate()
             .map(|(i, registry)| {
+                let journal = match &config.journals {
+                    Some(journals) => Some(Arc::clone(&journals[i])),
+                    None => config.service.journal.clone(),
+                };
                 SolverService::with_registry(
                     registry,
                     ServiceConfig {
                         shard: Some(i as u64),
                         epoch: Some(epoch),
+                        journal,
                         ..config.service.clone()
                     },
                 )
@@ -384,6 +407,61 @@ impl ClusterService {
             to.job_ready.notify_one();
         }
     }
+
+    /// Replays every unfinished job from each shard's configured journal
+    /// (see [`ClusterConfig::journals`]) on that same shard, returning the
+    /// replay handles across all shards in shard order. Because each shard
+    /// keeps its own journal and the hash ring is a pure function of the
+    /// shard count, a reconstructed cluster of the same size replays every
+    /// lost job exactly where the original cluster would have run it —
+    /// cache affinity and bit-identical results included. The cluster's id
+    /// counter is bumped past every replayed id, so post-recovery traffic
+    /// never collides with replays. Shards without a journal contribute
+    /// nothing.
+    pub fn recover(&self) -> Vec<JobHandle> {
+        let mut handles = Vec::new();
+        for shard in &self.shards {
+            let Some(journal) = shard.shared.journal.clone() else { continue };
+            handles.extend(shard.recover(journal.as_ref()));
+        }
+        for handle in &handles {
+            let next = handle.id().saturating_add(1);
+            self.next_job_id.fetch_max(next, Ordering::Relaxed);
+        }
+        handles
+    }
+
+    /// Exports every shard's result cache as one snapshot per shard, in
+    /// shard order (see [`SolverService::save_snapshot`]). Load the list
+    /// into a same-sized reconstructed cluster with
+    /// [`ClusterService::load_snapshots`]: ring routing is a pure function
+    /// of the shard count, so each snapshot lands exactly where its
+    /// fingerprints route.
+    pub fn save_snapshots(&self) -> Vec<crate::journal::SolutionSnapshot> {
+        self.shards.iter().map(SolverService::save_snapshot).collect()
+    }
+
+    /// Seeds each shard's result cache from the matching snapshot (paired
+    /// by index; extra entries on either side are ignored). After a warm
+    /// restart, resubmissions of snapshotted work are served straight from
+    /// the shard caches — bit-identical, with no compile and no solve.
+    pub fn load_snapshots(&self, snapshots: &[crate::journal::SolutionSnapshot]) {
+        for (shard, snapshot) in self.shards.iter().zip(snapshots) {
+            shard.load_snapshot(snapshot);
+        }
+    }
+
+    /// Crashes every shard at once (see
+    /// [`SolverService::simulate_crash`]): queued and parked jobs vanish
+    /// without resolving, workers finish only what they already claimed.
+    /// Test-support API for whole-cluster crash-recovery drills; rebuild
+    /// the cluster over the same [`ClusterConfig::journals`] and call
+    /// [`ClusterService::recover`] to replay the lost work.
+    pub fn simulate_crash(self) {
+        for shard in self.shards {
+            shard.simulate_crash();
+        }
+    }
 }
 
 /// An asynchronous submission session over a [`ClusterService`].
@@ -453,7 +531,8 @@ impl ClusterSession<'_> {
         self.core.reserve_blocking(&shared.metrics);
         let spec = self.admit_reserved(shard, spec)?;
         let id = self.cluster.next_job_id.fetch_add(1, Ordering::Relaxed);
-        let handle = enqueue_reserved(shared, &self.core, id, spec, Some(route));
+        let handle =
+            enqueue_reserved(shared, &self.core, id, spec, Some(route), Some(&self.tenant), false);
         self.cluster.failover_drain();
         self.cluster.maybe_migrate();
         Ok(handle)
@@ -471,7 +550,8 @@ impl ClusterSession<'_> {
         }
         let spec = self.admit_reserved(shard, spec)?;
         let id = self.cluster.next_job_id.fetch_add(1, Ordering::Relaxed);
-        let handle = enqueue_reserved(shared, &self.core, id, spec, Some(route));
+        let handle =
+            enqueue_reserved(shared, &self.core, id, spec, Some(route), Some(&self.tenant), false);
         self.cluster.failover_drain();
         self.cluster.maybe_migrate();
         Ok(handle)

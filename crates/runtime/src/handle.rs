@@ -249,6 +249,13 @@ impl JobHandle {
                 });
             }
             let delivered = job.slot.resolve(Err(JobError::Cancelled), &self.shared.metrics);
+            // A queue-removed job resolves here, never on a worker, so its
+            // terminal journal record is appended here too — without it the
+            // cancelled job would look unfinished and recovery would
+            // resurrect it.
+            if let Some(journal) = &self.shared.journal {
+                journal.append(crate::journal::JournalEvent::Cancelled { job_id: self.id });
+            }
             self.session.on_complete(Completion { id: self.id, outcome: delivered });
             return CancelStatus::Cancelled;
         }

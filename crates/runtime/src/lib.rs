@@ -96,6 +96,7 @@ pub mod cache;
 pub mod cluster;
 pub mod fault;
 pub mod handle;
+pub mod journal;
 pub mod metrics;
 pub mod portfolio;
 pub mod registry;
@@ -117,6 +118,10 @@ pub mod prelude {
         FaultAction, FaultInjector, FaultPlan, FaultSite, FaultWhen, NoFaults, RetryPolicy,
     };
     pub use crate::handle::{CancelStatus, Completion, JobHandle};
+    pub use crate::journal::{
+        unfinished, FileJournal, Journal, JournalEvent, JournaledProblem, MemoryJournal,
+        SolutionSnapshot, SubmittedRecord,
+    };
     pub use crate::metrics::{Metrics, RuntimeReport};
     pub use crate::portfolio::{BackendStats, PortfolioScheduler};
     pub use crate::registry::{RegisteredSolver, SolverRegistry, SolverSpec};

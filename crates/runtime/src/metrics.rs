@@ -77,6 +77,9 @@ pub struct Metrics {
     breaker_half_opened: AtomicU64,
     breaker_closed: AtomicU64,
     failovers: AtomicU64,
+    jobs_recovered: AtomicU64,
+    snapshot_saved: AtomicU64,
+    snapshot_loaded: AtomicU64,
     per_backend: Mutex<BTreeMap<String, u64>>,
     race_wins: Mutex<BTreeMap<String, u64>>,
 }
@@ -280,6 +283,21 @@ impl Metrics {
         self.failovers.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a job replayed from a durable journal during crash recovery.
+    pub fn on_recovered(&self) {
+        self.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `entries` cache entries exported into a solution snapshot.
+    pub fn on_snapshot_saved(&self, entries: u64) {
+        self.snapshot_saved.fetch_add(entries, Ordering::Relaxed);
+    }
+
+    /// Records `entries` cache entries restored from a solution snapshot.
+    pub fn on_snapshot_loaded(&self, entries: u64) {
+        self.snapshot_loaded.fetch_add(entries, Ordering::Relaxed);
+    }
+
     /// Current queue depth, as tracked by [`Self::on_enqueue`] /
     /// [`Self::on_dequeue`]. The cluster's default depth probe reads this
     /// for watermark and migration decisions.
@@ -334,6 +352,9 @@ impl Metrics {
             breaker_half_opened: self.breaker_half_opened.load(Ordering::Relaxed),
             breaker_closed: self.breaker_closed.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
+            jobs_recovered: self.jobs_recovered.load(Ordering::Relaxed),
+            snapshot_saved: self.snapshot_saved.load(Ordering::Relaxed),
+            snapshot_loaded: self.snapshot_loaded.load(Ordering::Relaxed),
             latency_histogram: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
             served_latency_histogram: std::array::from_fn(|i| {
                 self.served_latency[i].load(Ordering::Relaxed)
@@ -440,6 +461,12 @@ pub struct RuntimeReport {
     /// Jobs routed or drained to this shard because their home shard was
     /// unhealthy (counted on the recipient).
     pub failovers: u64,
+    /// Jobs replayed from a durable journal during crash recovery.
+    pub jobs_recovered: u64,
+    /// Cache entries exported into solution snapshots.
+    pub snapshot_saved: u64,
+    /// Cache entries restored from solution snapshots.
+    pub snapshot_loaded: u64,
     /// Solve-latency histogram; bucket `i` counts solves in
     /// `[2^i, 2^(i+1))` µs. Cache hits and coalesced followers are *not* in
     /// here — see [`Self::served_latency_histogram`].
@@ -510,6 +537,9 @@ impl RuntimeReport {
             breaker_half_opened: 0,
             breaker_closed: 0,
             failovers: 0,
+            jobs_recovered: 0,
+            snapshot_saved: 0,
+            snapshot_loaded: 0,
             latency_histogram: [0; LATENCY_BUCKETS],
             served_latency_histogram: [0; LATENCY_BUCKETS],
             per_backend: Vec::new(),
@@ -549,6 +579,9 @@ impl RuntimeReport {
             merged.breaker_half_opened += r.breaker_half_opened;
             merged.breaker_closed += r.breaker_closed;
             merged.failovers += r.failovers;
+            merged.jobs_recovered += r.jobs_recovered;
+            merged.snapshot_saved += r.snapshot_saved;
+            merged.snapshot_loaded += r.snapshot_loaded;
             merged.traces_recorded += r.traces_recorded;
             merged.traces_dropped += r.traces_dropped;
             for i in 0..LATENCY_BUCKETS {
@@ -746,6 +779,21 @@ impl RuntimeReport {
                 "failovers_total",
                 "Jobs routed or drained here because their home shard was unhealthy.",
                 self.failovers as f64,
+            ),
+            (
+                "jobs_recovered_total",
+                "Jobs replayed from a durable journal during crash recovery.",
+                self.jobs_recovered as f64,
+            ),
+            (
+                "snapshot_saved_entries_total",
+                "Cache entries exported into solution snapshots.",
+                self.snapshot_saved as f64,
+            ),
+            (
+                "snapshot_loaded_entries_total",
+                "Cache entries restored from solution snapshots.",
+                self.snapshot_loaded as f64,
             ),
         ] {
             out.push_str(&format!(

@@ -325,6 +325,8 @@ mod tests {
             slot: Arc::new(CompletionSlot::new()),
             session: Arc::clone(session),
             route: None,
+            retry: None,
+            recovered: false,
         }
     }
 

@@ -34,8 +34,10 @@ use crate::cache::{
     CacheKey, CachedResult, FlightKey, FlightOutput, FlightResolution, FlightRole, FlightTable,
     ResultCache,
 };
+use crate::cluster::{Clock, MonotonicClock};
 use crate::fault::{FaultAction, FaultInjector, FaultSite, RetryPolicy};
-use crate::handle::{Completion, CompletionSlot};
+use crate::handle::{Completion, CompletionSlot, JobHandle};
+use crate::journal::{unfinished, Journal, JournalEvent, SolutionSnapshot, SubmittedRecord};
 use crate::metrics::{BackendTelemetry, Metrics, RuntimeReport};
 use crate::portfolio::{energy_quality, PortfolioScheduler};
 use crate::registry::SolverRegistry;
@@ -50,6 +52,7 @@ use qdm_core::pipeline::{
     prepare_pipeline, run_prepared, JobPriority, PipelineOptions, PipelineReport, PreparedPipeline,
 };
 use qdm_core::problem::DmProblem;
+use qdm_qubo::compiled::CompiledQubo;
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::probe::{StageProbe, TeeProbe};
 use rand::rngs::StdRng;
@@ -283,6 +286,42 @@ pub(crate) struct QueuedJob {
     pub(crate) session: Arc<SessionCore>,
     /// Cluster-precomputed route; `None` for directly submitted jobs.
     pub(crate) route: Option<RouteInfo>,
+    /// Mid-retry state carried across a backoff park (see [`RetryState`]);
+    /// `None` for a job that has not been parked.
+    pub(crate) retry: Option<Box<RetryState>>,
+    /// `true` for jobs re-enqueued by [`SolverService::recover`]: they keep
+    /// their journaled id, skip re-journaling their own `Submitted` record,
+    /// and open their trace with a [`Stage::Recover`] span.
+    pub(crate) recovered: bool,
+}
+
+/// Everything a parked retry needs to resume exactly where it left off.
+///
+/// When a retryable failure earns a non-zero backoff, the worker does not
+/// sleep through it: the job is parked in [`Shared::delayed`] with this
+/// state boxed onto it and the worker moves on to other queued work. The
+/// worker that picks the job back up (once its `not_before` passes on the
+/// service clock) restores the attempt counter, the accumulated
+/// [`AttemptCtx`] — including the backend-exclusion memory and the
+/// satellite compile caches — and the partially built trace, then re-enters
+/// the retry loop as if it had slept in place.
+pub(crate) struct RetryState {
+    /// The attempt number the resumed run is about to execute (1-based).
+    attempt: u32,
+    /// Cross-attempt context: exclusions, attribution, compile reuse.
+    ctx: AttemptCtx,
+    /// The trace built so far; the resume pushes the `Retry` span covering
+    /// the park.
+    trace: Option<JobTrace>,
+    /// When the backoff began (trace timebase), for the `Retry` span.
+    backoff_start_ns: u64,
+}
+
+/// A job parked until its retry backoff elapses on the service clock.
+pub(crate) struct DelayedJob {
+    /// Earliest pickup time, in [`Clock::now_micros`] units.
+    not_before_micros: u64,
+    job: QueuedJob,
 }
 
 /// Service internals shared between the owner, sessions, handles, and
@@ -317,6 +356,19 @@ pub(crate) struct Shared {
     pub(crate) retry: RetryPolicy,
     /// Per-backend circuit breakers; `None` disables breaking entirely.
     pub(crate) breakers: Option<CircuitBreakers>,
+    /// Time source for retry backoff and injected delays. The default
+    /// monotonic clock gives production behavior; tests inject a
+    /// [`crate::cluster::ManualClock`] so no robustness test ever sleeps
+    /// wall-clock time waiting for a backoff.
+    pub(crate) clock: Arc<dyn Clock>,
+    /// Durable job journal recording `Submitted`/`Completed`/`Cancelled`
+    /// at the submit and resolve seams; `None` — the production default
+    /// without durability — skips journaling entirely.
+    pub(crate) journal: Option<Arc<dyn Journal>>,
+    /// Jobs parked mid-retry until their backoff elapses on `clock`; kept
+    /// off the scheduler queue so they cost no scheduling credit and the
+    /// workers stay free for runnable work.
+    pub(crate) delayed: Mutex<Vec<DelayedJob>>,
 }
 
 impl Shared {
@@ -359,6 +411,16 @@ pub struct ServiceConfig {
     /// Per-backend circuit-breaker policy; `None` — the default — disables
     /// breakers.
     pub breaker: Option<BreakerConfig>,
+    /// Time source for retry backoff and injected delays; `None` — the
+    /// default — uses a monotonic wall clock. Tests inject a
+    /// [`crate::cluster::ManualClock`] to drive backoffs without sleeping.
+    pub clock: Option<Arc<dyn Clock>>,
+    /// Durable job journal. When set, every accepted job appends a
+    /// `Submitted` record at enqueue and a `Completed`/`Cancelled` record
+    /// when its slot resolves; jobs with no terminal record are replayed by
+    /// [`SolverService::recover`]. `None` — the default — disables
+    /// journaling.
+    pub journal: Option<Arc<dyn Journal>>,
 }
 
 impl Default for ServiceConfig {
@@ -374,6 +436,8 @@ impl Default for ServiceConfig {
             injector: None,
             retry: RetryPolicy::default(),
             breaker: None,
+            clock: None,
+            journal: None,
         }
     }
 }
@@ -390,6 +454,8 @@ impl std::fmt::Debug for ServiceConfig {
             .field("injector", &self.injector.as_ref().map(|_| "<injector>"))
             .field("retry", &self.retry)
             .field("breaker", &self.breaker)
+            .field("clock", &self.clock.as_ref().map(|_| "<clock>"))
+            .field("journal", &self.journal.as_ref().map(|_| "<journal>"))
             .finish()
     }
 }
@@ -486,6 +552,9 @@ impl SolverService {
             injector: config.injector,
             retry: config.retry,
             breakers: config.breaker.as_ref().map(|b| CircuitBreakers::new(b, n_backends)),
+            clock: config.clock.unwrap_or_else(|| Arc::new(MonotonicClock::new())),
+            journal: config.journal,
+            delayed: Mutex::new(Vec::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -573,6 +642,110 @@ impl SolverService {
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
     }
+
+    /// Replays every unfinished job recorded in `journal` — submitted but
+    /// neither completed nor cancelled, i.e. lost to a crash — through the
+    /// normal pipeline, returning one [`JobHandle`] per replayed job in the
+    /// original submission order.
+    ///
+    /// Replayed jobs keep their journaled ids (the service's id counter is
+    /// bumped past them), reuse their journaled seed, options, and backend
+    /// choice, and run the exact QUBO the journal captured, so with the
+    /// crash's fault condition gone the replay is bit-identical to what the
+    /// lost run would have produced. They do not re-append `Submitted`
+    /// records; their eventual `Completed`/`Cancelled` records converge the
+    /// journal, making recovery idempotent — a second recovery from the
+    /// same journal after the replays finish finds nothing to do.
+    ///
+    /// The replayed problems are [`crate::journal::JournaledProblem`]s
+    /// rebuilt from the captured QUBO: solver-visible behavior (encoding,
+    /// energies, bits) is exact, while `decode` reports a generic
+    /// journal-replay summary. Callers who need the original domain decode
+    /// can resupply their problem objects via [`Self::recover_with`].
+    pub fn recover(&self, journal: &dyn Journal) -> Vec<JobHandle> {
+        self.recover_with(journal, |_| None)
+    }
+
+    /// [`Self::recover`], with a resolver that can map a journaled record
+    /// back to the caller's own [`DmProblem`] (returning `None` falls back
+    /// to the journal's captured QUBO). Use this to restore full decode
+    /// fidelity when the problem objects are reconstructible after restart.
+    pub fn recover_with(
+        &self,
+        journal: &dyn Journal,
+        mut resolver: impl FnMut(&SubmittedRecord) -> Option<SharedProblem>,
+    ) -> Vec<JobHandle> {
+        let open = unfinished(&journal.events());
+        if open.is_empty() {
+            return Vec::new();
+        }
+        // Recovered jobs run under a private session sized to the backlog;
+        // the handles hold the session core alive, so the caller can wait
+        // them (or ignore them) like any other submission.
+        let session_id = self.shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(SessionCore::new(session_id, open.len(), open.len()));
+        let mut handles = Vec::with_capacity(open.len());
+        for record in open {
+            // Keep the id space monotone past every journaled id so new
+            // submissions never collide with a replayed one.
+            self.shared.next_job_id.fetch_max(record.job_id.saturating_add(1), Ordering::Relaxed);
+            let problem = resolver(&record).unwrap_or_else(|| record.fallback_problem());
+            let spec = record.to_spec(problem);
+            assert!(core.try_reserve(), "recovery session is sized to the backlog");
+            self.shared.metrics.on_recovered();
+            handles.push(crate::submit::enqueue_reserved(
+                &self.shared,
+                &core,
+                record.job_id,
+                spec,
+                None,
+                record.tenant.as_deref(),
+                true,
+            ));
+        }
+        handles
+    }
+
+    /// Exports the live result cache as a [`SolutionSnapshot`] (and counts
+    /// the exported entries in `snapshot_saved_entries_total`). Persist it
+    /// with [`SolutionSnapshot::write_to`]; a restarted service that loads
+    /// it serves previously solved work from the cache without recompiling.
+    pub fn save_snapshot(&self) -> SolutionSnapshot {
+        let entries = self.shared.cache.entries();
+        self.shared.metrics.on_snapshot_saved(entries.len() as u64);
+        SolutionSnapshot { entries }
+    }
+
+    /// Seeds the result cache from a snapshot taken by
+    /// [`Self::save_snapshot`] (typically before any traffic, right after
+    /// restart). Resubmissions of snapshotted work are served as ordinary
+    /// cache hits — bit-identical, with no compile and no solve.
+    pub fn load_snapshot(&self, snapshot: &SolutionSnapshot) {
+        for (key, value) in &snapshot.entries {
+            self.shared.cache.insert(key.clone(), value.clone());
+        }
+        self.shared.metrics.on_snapshot_loaded(snapshot.entries.len() as u64);
+    }
+
+    /// Tears the service down the way a crash would: every queued or parked
+    /// job is discarded *without resolving its completion slot* — exactly
+    /// what happens to in-memory state when a process dies — while workers
+    /// finish only the job they already claimed. Outstanding handles never
+    /// resolve (as after a real crash); a journal configured on the service
+    /// still holds the lost jobs' `Submitted` records, which is what
+    /// [`Self::recover`] replays on the replacement service. Test-support
+    /// API for crash-recovery drills; production teardown is `drop`, which
+    /// drains gracefully.
+    pub fn simulate_crash(self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let mut queue = self.shared.queue.lock_unpoisoned();
+            while queue.pop().is_some() {}
+        }
+        self.shared.delayed.lock_unpoisoned().clear();
+        self.shared.job_ready.notify_all();
+        // `drop(self)` joins the workers.
+    }
 }
 
 impl Drop for SolverService {
@@ -586,102 +759,173 @@ impl Drop for SolverService {
 }
 
 fn worker_loop(shared: &Shared) {
+    while let Some(job) = next_job(shared) {
+        run_job(shared, job);
+    }
+}
+
+/// Claims the next runnable job. A parked retry whose backoff has elapsed
+/// on the service clock takes precedence (it was dequeued long ago and owes
+/// the caller a resolution), then the scheduler queue. Blocks under the
+/// condvar when both are empty; while not-yet-due parked jobs exist the
+/// wait is sliced so their due times are re-checked without busy-spinning.
+/// Returns `None` at shutdown — after handing out any still-parked jobs,
+/// backoff forfeited, so graceful teardown resolves them instead of
+/// stranding their handles.
+fn next_job(shared: &Shared) -> Option<QueuedJob> {
     loop {
-        let job = {
-            let mut queue = shared.queue.lock_unpoisoned();
-            loop {
-                if let Some(job) = queue.pop() {
-                    break job;
-                }
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return;
-                }
-                queue = shared.job_ready.wait_unpoisoned(queue);
+        let now_micros = shared.clock.now_micros();
+        {
+            let mut delayed = shared.delayed.lock_unpoisoned();
+            if let Some(pos) = delayed.iter().position(|d| d.not_before_micros <= now_micros) {
+                return Some(delayed.remove(pos).job);
             }
-        };
+        }
+        let mut queue = shared.queue.lock_unpoisoned();
+        loop {
+            if let Some(job) = queue.pop() {
+                return Some(job);
+            }
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                drop(queue);
+                return shared.delayed.lock_unpoisoned().pop().map(|d| d.job);
+            }
+            if shared.delayed.lock_unpoisoned().is_empty() {
+                queue = shared.job_ready.wait_unpoisoned(queue);
+            } else {
+                // A parked job may come due before anything is enqueued;
+                // wake on a bounded slice and re-check its clock.
+                let (guard, _) = shared
+                    .job_ready
+                    .wait_timeout(queue, Duration::from_millis(1))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                drop(guard);
+                break;
+            }
+        }
+    }
+}
+
+/// Runs one claimed job to resolution — or parks it back into
+/// [`Shared::delayed`] when a retryable failure earns a non-zero backoff.
+fn run_job(shared: &Shared, mut job: QueuedJob) {
+    let resumed = job.retry.take();
+    if resumed.is_none() {
         // The job left the queue: free its session's backpressure slot so
-        // blocked submitters make progress while this worker solves.
+        // blocked submitters make progress while this worker solves. (A
+        // resumed park already freed it at its first pickup.)
         shared.metrics.on_dequeue();
         job.session.on_dequeue();
-        // The trace is assembled worker-locally — the shared sink is only
-        // touched once, at the end — so tracing costs the solve path
-        // nothing but a few clock reads.
-        let mut trace = shared.sink.as_ref().map(|_| JobTrace {
-            job_id: job.id,
-            session: job.session.id(),
-            problem: job.spec.problem.name(),
-            lane: job.spec.options.priority,
-            fingerprint: 0,
-            seed: job.spec.seed,
-            outcome: TraceOutcome::Failed,
-            backend: None,
-            shard: shared.shard,
-            spans: vec![Span {
-                stage: Stage::Queued,
+    }
+    // The trace is assembled worker-locally — the shared sink is only
+    // touched once, at the end — so tracing costs the solve path
+    // nothing but a few clock reads. A resumed park restores the trace,
+    // attempt counter, and cross-attempt context it was parked with.
+    let (mut trace, mut ctx, mut attempt) = match resumed {
+        Some(state) => {
+            let RetryState { attempt, ctx, mut trace, backoff_start_ns } = *state;
+            if let Some(t) = trace.as_mut() {
+                t.spans.push(Span {
+                    stage: Stage::Retry,
+                    backend: None,
+                    winner: false,
+                    start_ns: backoff_start_ns,
+                    end_ns: shared.now_ns(),
+                    stats: StageStats::default(),
+                });
+            }
+            (trace, ctx, attempt)
+        }
+        None => {
+            let mut trace = shared.sink.as_ref().map(|_| JobTrace {
+                job_id: job.id,
+                session: job.session.id(),
+                problem: job.spec.problem.name(),
+                lane: job.spec.options.priority,
+                fingerprint: 0,
+                seed: job.spec.seed,
+                outcome: TraceOutcome::Failed,
                 backend: None,
-                winner: false,
-                start_ns: job.queued_ns,
-                end_ns: shared.now_ns(),
-                stats: StageStats::default(),
-            }],
-        });
-        // The retry loop around job processing. A panicking job
-        // (user-supplied to_qubo/decode/repair, a solver bug, or an injected
-        // fault) must neither kill the worker nor leave a handle waiting on
-        // a slot that never resolves; retryable failures (panics, injected
-        // errors) are retried up to the policy's budget with deterministic
-        // backoff, each new attempt excluding the backends that failed the
-        // previous ones.
-        let mut ctx = AttemptCtx {
-            deadline_at_ns: job.spec.deadline.map(|d| {
-                job.queued_ns.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64)
-            }),
-            ..AttemptCtx::default()
-        };
-        let mut attempt: u32 = 0;
-        let outcome = loop {
-            // Fail-fast: a job whose deadline expired while queued (or
-            // while backing off between attempts) never starts an attempt.
-            if let Some(deadline_at_ns) = ctx.deadline_at_ns {
-                if shared.now_ns() >= deadline_at_ns {
-                    break Err(JobError::DeadlineExceeded { partial: None });
+                shard: shared.shard,
+                spans: vec![Span {
+                    stage: Stage::Queued,
+                    backend: None,
+                    winner: false,
+                    start_ns: job.queued_ns,
+                    end_ns: shared.now_ns(),
+                    stats: StageStats::default(),
+                }],
+            });
+            if job.recovered {
+                if let Some(t) = trace.as_mut() {
+                    t.spans.push(Span {
+                        stage: Stage::Recover,
+                        backend: None,
+                        winner: false,
+                        start_ns: job.queued_ns,
+                        end_ns: job.queued_ns,
+                        stats: StageStats::default(),
+                    });
                 }
             }
-            ctx.attempted.clear();
-            ctx.accounted = false;
-            let attempt_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                process(shared, &job.spec, job.route.as_ref(), &mut trace, &mut ctx)
-            }))
-            .unwrap_or_else(|payload| Err(JobError::Panicked(panic_message(payload.as_ref()))));
-            let err = match attempt_outcome {
-                Ok(result) => break Ok(result),
-                Err(err) => err,
+            let ctx = AttemptCtx {
+                deadline_at_ns: job.spec.deadline.map(|d| {
+                    job.queued_ns.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64)
+                }),
+                ..AttemptCtx::default()
             };
-            let retryable = matches!(err, JobError::Panicked(_) | JobError::Injected(_));
-            if retryable {
-                // Breaker attribution for the panic path: `lead` accounts
-                // participant-level successes/failures itself and marks the
-                // context accounted; an unwound attempt never got there, so
-                // every backend it dispatched is charged here.
-                if !ctx.accounted {
-                    if let Some(breakers) = &shared.breakers {
-                        for &idx in &ctx.attempted {
-                            breakers.on_failure(idx, &shared.metrics);
-                        }
+            (trace, ctx, 0u32)
+        }
+    };
+    // The retry loop around job processing. A panicking job
+    // (user-supplied to_qubo/decode/repair, a solver bug, or an injected
+    // fault) must neither kill the worker nor leave a handle waiting on
+    // a slot that never resolves; retryable failures (panics, injected
+    // errors) are retried up to the policy's budget with deterministic
+    // backoff, each new attempt excluding the backends that failed the
+    // previous ones.
+    let outcome = loop {
+        // Fail-fast: a job whose deadline expired while queued (or
+        // while backing off between attempts) never starts an attempt.
+        if let Some(deadline_at_ns) = ctx.deadline_at_ns {
+            if shared.now_ns() >= deadline_at_ns {
+                break Err(JobError::DeadlineExceeded { partial: None });
+            }
+        }
+        ctx.attempted.clear();
+        ctx.accounted = false;
+        let attempt_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process(shared, &job.spec, job.route.as_ref(), &mut trace, &mut ctx)
+        }))
+        .unwrap_or_else(|payload| Err(JobError::Panicked(panic_message(payload.as_ref()))));
+        let err = match attempt_outcome {
+            Ok(result) => break Ok(result),
+            Err(err) => err,
+        };
+        let retryable = matches!(err, JobError::Panicked(_) | JobError::Injected(_));
+        if retryable {
+            // Breaker attribution for the panic path: `lead` accounts
+            // participant-level successes/failures itself and marks the
+            // context accounted; an unwound attempt never got there, so
+            // every backend it dispatched is charged here.
+            if !ctx.accounted {
+                if let Some(breakers) = &shared.breakers {
+                    for &idx in &ctx.attempted {
+                        breakers.on_failure(idx, &shared.metrics);
                     }
                 }
-                // The next attempt routes around everything this one tried.
-                let attempted = std::mem::take(&mut ctx.attempted);
-                ctx.excluded.extend(attempted);
             }
-            if retryable && attempt < shared.retry.max_retries {
-                attempt += 1;
-                shared.metrics.on_retried();
-                let backoff_start_ns = if trace.is_some() { shared.now_ns() } else { 0 };
-                let backoff = shared.retry.backoff(job.spec.seed, attempt);
-                if !backoff.is_zero() {
-                    std::thread::sleep(backoff);
-                }
+            // The next attempt routes around everything this one tried.
+            let attempted = std::mem::take(&mut ctx.attempted);
+            ctx.excluded.extend(attempted);
+        }
+        if retryable && attempt < shared.retry.max_retries {
+            attempt += 1;
+            shared.metrics.on_retried();
+            let backoff_start_ns = if trace.is_some() { shared.now_ns() } else { 0 };
+            let backoff = shared.retry.backoff(job.spec.seed, attempt);
+            if backoff.is_zero() {
+                // Instant retry stays in-loop on this worker.
                 if let Some(t) = trace.as_mut() {
                     t.spans.push(Span {
                         stage: Stage::Retry,
@@ -694,60 +938,97 @@ fn worker_loop(shared: &Shared) {
                 }
                 continue;
             }
-            if retryable && shared.retry.max_retries > 0 {
-                shared.metrics.on_retries_exhausted();
-            }
-            break Err(err);
+            // A real backoff parks the job instead of sleeping through
+            // it: the job rejoins the workers once the backoff elapses
+            // on the service clock, and this worker is immediately free
+            // for other queued work. The Retry span is pushed at
+            // resume, covering the whole park.
+            let not_before_micros = shared
+                .clock
+                .now_micros()
+                .saturating_add(backoff.as_micros().min(u128::from(u64::MAX)) as u64);
+            job.retry = Some(Box::new(RetryState { attempt, ctx, trace, backoff_start_ns }));
+            shared.delayed.lock_unpoisoned().push(DelayedJob { not_before_micros, job });
+            // Move indefinitely-blocked waiters into the sliced wait
+            // that re-checks parked due times.
+            shared.job_ready.notify_all();
+            return;
         }
-        .map(|mut result| {
-            result.job_id = job.id;
-            result
-        });
-        // Terminal failure accounting. Routing errors were counted where
-        // they were decided (they are deterministic and get published to
-        // followers); retryable failures and deadline expiries are only
-        // terminal here, after the retry loop gave up.
-        match &outcome {
-            Err(JobError::Panicked(_)) | Err(JobError::Injected(_)) => shared.metrics.on_failed(),
-            Err(JobError::DeadlineExceeded { .. }) => {
-                shared.metrics.on_deadline_exceeded();
-                shared.metrics.on_failed();
-            }
-            _ => {}
+        if retryable && shared.retry.max_retries > 0 {
+            shared.metrics.on_retries_exhausted();
         }
-        if outcome.is_ok() {
-            // What the caller waited end to end — enqueue to delivery —
-            // regardless of whether the job solved, hit the cache, or
-            // coalesced. The solve histogram only sees backend time, so
-            // without this series cache hits would be invisible to p99.
-            let waited = shared.now_ns().saturating_sub(job.queued_ns);
-            shared.metrics.on_served(waited as f64 / 1e9);
-        }
-        // Telemetry is recorded *before* the slot resolves: `wait()` returns
-        // the instant the slot does, and a caller snapshotting metrics or
-        // traces right after must see this job. The one consequence: a
-        // cancel that races a finished run is traced by what the runtime
-        // did (solved), while the slot still delivers `Cancelled`.
-        if let (Some(sink), Some(mut trace)) = (shared.sink.as_ref(), trace) {
-            trace.outcome = match &outcome {
-                Ok(result) if result.from_cache => TraceOutcome::CacheHit,
-                Ok(result) if result.coalesced => TraceOutcome::Coalesced,
-                Ok(_) => TraceOutcome::Solved,
-                Err(JobError::Cancelled) => TraceOutcome::Cancelled,
-                Err(_) => TraceOutcome::Failed,
-            };
-            if let Ok(result) = &outcome {
-                trace.backend = Some(result.backend.clone());
-            }
-            sink.record(trace);
-        }
-        // Resolve the handle's slot (so `wait()` never lags the stream; the
-        // slot also reconciles the completed/cancelled ledger if the cancel
-        // raced the run), then feed the session's completion stream the
-        // exact outcome the slot delivered.
-        let delivered = job.slot.resolve(outcome, &shared.metrics);
-        job.session.on_complete(Completion { id: job.id, outcome: delivered });
+        break Err(err);
     }
+    .map(|mut result| {
+        result.job_id = job.id;
+        result
+    });
+    // Terminal failure accounting. Routing errors were counted where
+    // they were decided (they are deterministic and get published to
+    // followers); retryable failures and deadline expiries are only
+    // terminal here, after the retry loop gave up.
+    match &outcome {
+        Err(JobError::Panicked(_)) | Err(JobError::Injected(_)) => shared.metrics.on_failed(),
+        Err(JobError::DeadlineExceeded { .. }) => {
+            shared.metrics.on_deadline_exceeded();
+            shared.metrics.on_failed();
+        }
+        _ => {}
+    }
+    if outcome.is_ok() {
+        // What the caller waited end to end — enqueue to delivery —
+        // regardless of whether the job solved, hit the cache, or
+        // coalesced. The solve histogram only sees backend time, so
+        // without this series cache hits would be invisible to p99.
+        let waited = shared.now_ns().saturating_sub(job.queued_ns);
+        shared.metrics.on_served(waited as f64 / 1e9);
+    }
+    // Telemetry is recorded *before* the slot resolves: `wait()` returns
+    // the instant the slot does, and a caller snapshotting metrics or
+    // traces right after must see this job. The one consequence: a
+    // cancel that races a finished run is traced by what the runtime
+    // did (solved), while the slot still delivers `Cancelled`.
+    if let (Some(sink), Some(mut trace)) = (shared.sink.as_ref(), trace) {
+        trace.outcome = match &outcome {
+            Ok(result) if result.from_cache => TraceOutcome::CacheHit,
+            Ok(result) if result.coalesced => TraceOutcome::Coalesced,
+            Ok(_) => TraceOutcome::Solved,
+            Err(JobError::Cancelled) => TraceOutcome::Cancelled,
+            Err(_) => TraceOutcome::Failed,
+        };
+        if let Ok(result) = &outcome {
+            trace.backend = Some(result.backend.clone());
+        }
+        sink.record(trace);
+    }
+    // Resolve the handle's slot (so `wait()` never lags the stream; the
+    // slot also reconciles the completed/cancelled ledger if the cancel
+    // raced the run), then feed the session's completion stream the
+    // exact outcome the slot delivered.
+    let delivered = job.slot.resolve(outcome, &shared.metrics);
+    // Journal the terminal record *after* the slot resolved, matching
+    // what the caller observed: a delivered result is `Completed`, a
+    // delivered cancellation is `Cancelled`, and a terminal failure
+    // writes nothing — the job stays unfinished in the journal, which
+    // is exactly what makes [`SolverService::recover`] replay it.
+    if let Some(journal) = &shared.journal {
+        match &delivered {
+            Ok(_) => {
+                let fingerprint = ctx
+                    .canonical
+                    .as_ref()
+                    .map(|(fp, _)| *fp)
+                    .or_else(|| job.route.as_ref().map(|r| r.canonical_fp))
+                    .unwrap_or(0);
+                journal.append(JournalEvent::Completed { job_id: job.id, fingerprint });
+            }
+            Err(JobError::Cancelled) => {
+                journal.append(JournalEvent::Cancelled { job_id: job.id });
+            }
+            Err(_) => {}
+        }
+    }
+    job.session.on_complete(Completion { id: job.id, outcome: delivered });
 }
 
 /// Per-attempt state threaded from the worker's retry loop through
@@ -769,6 +1050,16 @@ struct AttemptCtx {
     /// Absolute deadline (nanoseconds since the service epoch), from
     /// [`JobSpec::deadline`] and the job's enqueue time.
     deadline_at_ns: Option<u64>,
+    /// The encoded model, kept across attempts so a retry never re-runs the
+    /// user's `to_qubo` (routed jobs carry theirs in [`RouteInfo`] instead).
+    qubo: Option<Arc<QuboModel>>,
+    /// The shared compilation, kept across attempts: a retry after a
+    /// mid-solve failure reuses it instead of recompiling, which is where
+    /// most of the per-retry overhead used to go.
+    compiled: Option<Arc<CompiledQubo>>,
+    /// The canonical fingerprint and permutation derived from `compiled`,
+    /// cached with it; also stamps the journal's `Completed` record.
+    canonical: Option<(u64, Arc<Vec<usize>>)>,
 }
 
 /// Extracts a human-readable message from a panic payload: the common
@@ -795,11 +1086,32 @@ fn apply_fault(shared: &Shared, site: FaultSite, backend: Option<&str>) -> Resul
     match injector.inject(site, backend) {
         None => Ok(()),
         Some(FaultAction::Delay(d)) => {
-            std::thread::sleep(d);
+            wait_on_clock(shared, d);
             Ok(())
         }
         Some(FaultAction::Error(msg)) => Err(JobError::Injected(msg)),
         Some(FaultAction::Panic(msg)) => panic!("{msg}"),
+    }
+}
+
+/// Waits until `duration` has elapsed on the service clock. Against the
+/// default monotonic clock this is an ordinary bounded wait; against an
+/// injected [`crate::cluster::ManualClock`] it returns as soon as the test
+/// advances the clock past the due time, polling in millisecond slices of
+/// real time — so a test can inject a ten-second delay fault and discharge
+/// it instantly. Shutdown cuts the wait short.
+fn wait_on_clock(shared: &Shared, duration: Duration) {
+    let due = shared
+        .clock
+        .now_micros()
+        .saturating_add(duration.as_micros().min(u128::from(u64::MAX)) as u64);
+    loop {
+        let now = shared.clock.now_micros();
+        if now >= due || shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let remaining = Duration::from_micros(due - now);
+        std::thread::sleep(remaining.min(Duration::from_millis(1)));
     }
 }
 
@@ -866,7 +1178,17 @@ fn process(
     if let Some(route) = route {
         return process_routed(shared, spec, route, trace, ctx);
     }
-    let qubo = spec.problem.to_qubo();
+    // The encoding is cached on the attempt context: a retry re-enters
+    // here, and the user's `to_qubo` is deterministic, so re-running it
+    // would buy nothing and cost the whole encode.
+    let qubo = match &ctx.qubo {
+        Some(qubo) => Arc::clone(qubo),
+        None => {
+            let qubo = Arc::new(spec.problem.to_qubo());
+            ctx.qubo = Some(Arc::clone(&qubo));
+            qubo
+        }
+    };
     let n_vars = qubo.n_vars();
     let requested = requested_backend(shared, spec, n_vars);
     let requested = requested.as_deref();
@@ -1045,11 +1367,29 @@ fn lead(
     // and any exact-duplicate followers — shares this one
     // `Arc<CompiledQubo>`. No other stage on the service path compiles.
     let compile_start_ns = if tracing { shared.now_ns() } else { 0 };
-    let compile_start = Instant::now();
-    let compiled = Arc::new(qubo.compile());
-    let compile_seconds = compile_start.elapsed().as_secs_f64();
-
-    let (canonical_fp, perm) = compiled.canonical_form();
+    // A retry after a mid-solve failure reuses the attempt context's
+    // compilation (`None` seconds — nothing was compiled, so nothing is
+    // reported as compile sharing); recompiling the bit-identical artifact
+    // on every attempt was the bulk of the per-retry overhead.
+    let (compiled, compile_seconds) = match &ctx.compiled {
+        Some(compiled) => (Arc::clone(compiled), None),
+        None => {
+            let compile_start = Instant::now();
+            let compiled = Arc::new(qubo.compile());
+            let seconds = compile_start.elapsed().as_secs_f64();
+            ctx.compiled = Some(Arc::clone(&compiled));
+            (compiled, Some(seconds))
+        }
+    };
+    let (canonical_fp, perm) = match &ctx.canonical {
+        Some((fp, perm)) => (*fp, Arc::clone(perm)),
+        None => {
+            let (fp, perm) = compiled.canonical_form();
+            let perm = Arc::new(perm);
+            ctx.canonical = Some((fp, Arc::clone(&perm)));
+            (fp, perm)
+        }
+    };
     if let Some(t) = trace.as_mut() {
         t.fingerprint = canonical_fp;
         t.spans.push(Span {
@@ -1061,7 +1401,6 @@ fn lead(
             stats: StageStats::default(),
         });
     }
-    let perm = Arc::new(perm);
     let key = CacheKey::new(spec.problem.name(), canonical_fp, &spec.options, spec.seed, requested);
     if let Some(cached) = shared.cache.get(&key) {
         shared.metrics.on_cache_hit();
@@ -1181,7 +1520,9 @@ fn lead(
     ctx.attempted = participants.clone();
     // One compile served the fingerprint stage plus every participant;
     // under the old compile-per-stage scheme each would have compiled.
-    shared.metrics.on_compile_shared(compile_seconds, 1 + participants.len() as u64);
+    if let Some(compile_seconds) = compile_seconds {
+        shared.metrics.on_compile_shared(compile_seconds, 1 + participants.len() as u64);
+    }
 
     let naive_lower_bound = compiled.naive_lower_bound();
     apply_fault(shared, FaultSite::Presolve, None)?;

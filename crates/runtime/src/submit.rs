@@ -20,6 +20,7 @@
 //! sessions on the same service are never throttled by this one.
 
 use crate::handle::{Completion, CompletionSlot, JobHandle};
+use crate::journal::{JournalEvent, SubmittedRecord};
 use crate::metrics::Metrics;
 use crate::service::{JobSpec, QueuedJob, RouteInfo, Shared, SolverService};
 use crate::sync::{CondvarExt, LockExt};
@@ -293,7 +294,7 @@ impl Session<'_> {
     fn enqueue(&self, spec: JobSpec) -> JobHandle {
         let shared = &self.service.shared;
         let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-        enqueue_reserved(shared, &self.core, id, spec, None)
+        enqueue_reserved(shared, &self.core, id, spec, None, None, false)
     }
 
     /// Streams finished jobs in finish order. The iterator blocks while work
@@ -341,17 +342,47 @@ impl Session<'_> {
 /// Enqueues a job on `shared`'s queue under an already-reserved session
 /// slot, with a caller-chosen job id and optional precomputed route. The
 /// shared submission path for [`Session::enqueue`] (shard-local ids, no
-/// route) and the cluster front-end (cluster-wide ids, canonical route
-/// computed before shard selection).
+/// route), the cluster front-end (cluster-wide ids, canonical route
+/// computed before shard selection, the tenant name for the journal), and
+/// crash recovery (journaled ids, `recovered` set so the replay does not
+/// re-append its own `Submitted` record).
 pub(crate) fn enqueue_reserved(
     shared: &Arc<Shared>,
     core: &Arc<SessionCore>,
     id: u64,
     spec: JobSpec,
     route: Option<RouteInfo>,
+    tenant: Option<&str>,
+    recovered: bool,
 ) -> JobHandle {
     shared.metrics.on_submit(1);
     shared.metrics.on_enqueue();
+    // Journal the submission *before* the job becomes runnable: once a
+    // worker can pick it up, a crash at any later point finds either this
+    // record alone (→ recovery replays the job) or this record plus a
+    // terminal one (→ nothing to do). Jobs without a precomputed route
+    // encode here, on the submitter thread — the journal must capture the
+    // exact QUBO so the replay is bit-identical even if the original
+    // problem object is gone after the crash.
+    if !recovered {
+        if let Some(journal) = &shared.journal {
+            let qubo = match &route {
+                Some(route) => (*route.qubo).clone(),
+                None => spec.problem.to_qubo(),
+            };
+            journal.append(JournalEvent::Submitted(SubmittedRecord {
+                job_id: id,
+                problem: spec.problem.name(),
+                qubo,
+                options_bits: crate::cache::pack_options(&spec.options),
+                priority: spec.options.priority,
+                seed: spec.seed,
+                backend: spec.backend.clone(),
+                tenant: tenant.map(str::to_string),
+                shard: shared.shard,
+            }));
+        }
+    }
     let slot = Arc::new(CompletionSlot::new());
     // The job's deficit-round-robin cost: its variable count, so a
     // session submitting big models spends its scheduling credit faster
@@ -367,6 +398,8 @@ pub(crate) fn enqueue_reserved(
             slot: Arc::clone(&slot),
             session: Arc::clone(core),
             route,
+            retry: None,
+            recovered,
         });
     }
     shared.job_ready.notify_one();

@@ -45,6 +45,9 @@ pub enum Stage {
     /// A retry of a failed attempt: the span covers the backoff sleep and
     /// ends when the next attempt starts.
     Retry,
+    /// The job was replayed from a durable journal after a crash; the span
+    /// marks the moment recovery re-enqueued it.
+    Recover,
 }
 
 impl Stage {
@@ -57,6 +60,7 @@ impl Stage {
             Stage::Solve => "solve",
             Stage::Serve => "serve",
             Stage::Retry => "retry",
+            Stage::Recover => "recover",
         }
     }
 }

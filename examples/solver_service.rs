@@ -254,9 +254,13 @@ fn main() {
     }
 
     let trace_json = service.export_traces();
-    std::fs::write("trace.json", &trace_json).expect("write trace.json");
+    // Build products belong under target/, not the repo root.
+    let trace_path = std::path::Path::new("target").join("trace.json");
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write(&trace_path, &trace_json).expect("write trace.json");
     println!(
-        "wrote trace.json ({} events, {} bytes) - load it in about:tracing or ui.perfetto.dev",
+        "wrote {} ({} events, {} bytes) - load it in about:tracing or ui.perfetto.dev",
+        trace_path.display(),
         trace_json.matches("\"ph\":\"X\"").count(),
         trace_json.len()
     );
