@@ -53,6 +53,14 @@
 //! checkpoint-emission overhead, which is gated <5% — resumability must
 //! stay close to free.
 //!
+//! The `runtime/cost` group scores the calibrated cost model itself: the
+//! predicted-vs-actual error factor across one backend per estimator
+//! family and a sweep of sizes (two warm-up solves calibrate, three
+//! measured solves score; the median is gated < 2×), and the race-loser
+//! waste a k=2 race pays under the legacy EWMA-only ranking (which
+//! happily extrapolates a tiny-job latency EWMA to a big job) versus the
+//! cost model's analytic-curve extrapolation.
+//!
 //! The `runtime/compile_once` group measures the compile-amortization win
 //! of the shared-`CompiledQubo` pipeline on the 256-var/5% acceptance
 //! instance — what a cache-miss 4-backend race used to pay in compiles
@@ -62,8 +70,8 @@
 //! cluster, robustness, and recovery numbers when those groups ran) at the
 //! workspace root. CI runs the smoke set via `cargo bench --bench
 //! bench_runtime -- runtime/fairness runtime/observability runtime/cluster
-//! runtime/robustness runtime/recovery runtime/compile_once` (the
-//! criterion shim treats positional args as id filters).
+//! runtime/robustness runtime/cost runtime/recovery runtime/compile_once`
+//! (the criterion shim treats positional args as id filters).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdm_anneal::sa::SaParams;
@@ -75,6 +83,7 @@ use qdm_core::solver::{SaParallelSolver, SaSolver, SqaSolver, TabuSolver};
 use qdm_problems::mqo::{MqoInstance, MqoProblem};
 use qdm_qubo::model::QuboModel;
 use qdm_qubo::probe::{SolverCheckpoint, StageProbe};
+use qdm_runtime::cost::CostModel;
 use qdm_runtime::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -1246,6 +1255,161 @@ fn bench_recovery(c: &mut Criterion) {
     });
 }
 
+/// Problem sizes in the cost-model prediction sweep: n ≥ 10 so per-state
+/// solver work dominates the fixed dispatch overhead the estimators also
+/// model.
+const COST_SIZES: [usize; 3] = [10, 12, 14];
+/// One backend per estimator family: exhaustive enumeration, sweep-based
+/// annealing, and gate-model evolution.
+const COST_BACKENDS: [&str; 3] = ["exact", "simulated-annealing", "adiabatic-evolution"];
+/// Job size of the race-loser-waste comparison.
+const COST_RACE_N: usize = 14;
+
+/// Headline numbers of one cost-model run, stashed by `bench_cost` for
+/// `bench_compile_once`'s JSON writer.
+struct CostNumbers {
+    prediction_solves: usize,
+    median_error: f64,
+    max_error: f64,
+    ewma_waste_seconds: f64,
+    cost_waste_seconds: f64,
+}
+
+static COST: OnceLock<CostNumbers> = OnceLock::new();
+
+fn bench_cost(c: &mut Criterion) {
+    if !criterion::filter_allows("runtime/cost") {
+        return;
+    }
+    let registry = SolverRegistry::standard();
+    let service =
+        SolverService::new(ServiceConfig { workers: 1, cache_capacity: 256, ..Default::default() });
+
+    // The routing decision itself: one full-information ranking with the
+    // calibrated model, against the EWMA-only baseline it replaced.
+    let portfolio = PortfolioScheduler::new(registry.len());
+    let race_shape = CostShape::from_n_vars(COST_RACE_N);
+    let mut group = c.benchmark_group("runtime/cost");
+    group.sample_size(10);
+    group.bench_function("rank_costed", |b| {
+        b.iter(|| {
+            std::hint::black_box(portfolio.rank_costed(&registry, race_shape, |_| false, |_| 1.0))
+        })
+    });
+    group.bench_function("rank_ewma_only", |b| {
+        b.iter(|| std::hint::black_box(portfolio.rank_ewma_only(&registry, COST_RACE_N)))
+    });
+    group.finish();
+
+    // Headline 1: predicted-vs-actual error across estimator families and
+    // sizes. Two warm-up solves calibrate each backend's ratio EWMA, then
+    // three measured solves score the prediction that was in force before
+    // each observation updated it. The gate is the *median* error factor,
+    // < 2x: the analytic curves plus a short calibration must land within
+    // a factor of two of reality, while a single descheduled solve cannot
+    // tip the gate.
+    let model = CostModel::new(registry.len());
+    let mut errors: Vec<f64> = Vec::new();
+    for name in COST_BACKENDS {
+        let idx = registry.find(name).expect("standard-registry backend");
+        for n in COST_SIZES {
+            let shape = CostShape::from_n_vars(n);
+            let analytic = analytic_seconds(&registry.get(idx).spec, shape);
+            for rep in 0..5 {
+                let spec =
+                    JobSpec::new(pick(n), SEED.fetch_add(1, Ordering::Relaxed)).on_backend(name);
+                let actual = service.run(spec).expect("cost sweep job solves").report.seconds;
+                if rep >= 2 {
+                    let predicted = model.predict_seconds(idx, analytic);
+                    errors.push((predicted / actual.max(1e-9)).max(actual / predicted));
+                }
+                model.observe(idx, analytic, actual);
+            }
+        }
+    }
+    errors.sort_by(|a, b| a.total_cmp(b));
+    let prediction_solves = errors.len();
+    let median_error = errors[prediction_solves / 2];
+    let max_error = *errors.last().expect("sweep produced measurements");
+    println!(
+        "runtime/cost prediction: median {median_error:.2}x / max {max_error:.2}x error over \
+         {prediction_solves} measured solves ({} families x {COST_SIZES:?} vars, 2 warm-up + 3 \
+         measured each)",
+        COST_BACKENDS.len(),
+    );
+    assert!(
+        median_error < 2.0,
+        "cost-model prediction gate: median error {median_error:.2}x >= 2x over \
+         {prediction_solves} solves"
+    );
+
+    // Headline 2: race-loser waste. The EWMA-only baseline scores an
+    // observed backend by its raw latency EWMA, however unrepresentative:
+    // after a run of tiny 4-var exact solves (a few µs each) it still
+    // believes the exact enumerator is the fastest backend at 14 vars and
+    // races it — the losing participant burns ~2^14 states of wasted
+    // work. The cost model extrapolates through the analytic curve
+    // instead, so its top-2 stays in the sweep-based family and the
+    // race's loser is cheap.
+    let waste_portfolio = PortfolioScheduler::new(registry.len());
+    let exact = registry.find("exact").expect("exact registered");
+    let tiny = CostShape::from_n_vars(4);
+    for _ in 0..6 {
+        let spec = JobSpec::new(pick(4), SEED.fetch_add(1, Ordering::Relaxed)).on_backend("exact");
+        let out = service.run(spec).expect("tiny exact job solves");
+        waste_portfolio.record(&registry, exact, tiny, out.report.seconds, 0.0, true);
+    }
+    let ewma_pair = waste_portfolio.rank_ewma_only(&registry, COST_RACE_N)[..2].to_vec();
+    let cost_pair =
+        waste_portfolio.rank_costed(&registry, race_shape, |_| false, |_| 1.0)[..2].to_vec();
+    // Median-of-3 pinned solves per participant; a pair's waste is every
+    // participant's solve time except the fastest (the work a k=2 race
+    // throws away).
+    let solve_seconds = |idx: usize| -> f64 {
+        let name = registry.get(idx).spec.name.clone();
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let spec = JobSpec::new(pick(COST_RACE_N), SEED.fetch_add(1, Ordering::Relaxed))
+                    .on_backend(&name);
+                service.run(spec).expect("race-waste job solves").report.seconds
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[1]
+    };
+    let pair_waste = |pair: &[usize]| -> f64 {
+        let seconds: Vec<f64> = pair.iter().map(|&i| solve_seconds(i)).collect();
+        seconds.iter().sum::<f64>() - seconds.iter().cloned().fold(f64::INFINITY, f64::min)
+    };
+    let ewma_waste_seconds = pair_waste(&ewma_pair);
+    let cost_waste_seconds = pair_waste(&cost_pair);
+    let backend_name = |idx: usize| registry.get(idx).spec.name.clone();
+    println!(
+        "runtime/cost race waste: ewma-only picks [{}, {}] wasting {:.1} µs/race vs cost-model \
+         [{}, {}] wasting {:.1} µs/race ({:.1}x cut, k=2, {COST_RACE_N} vars)",
+        backend_name(ewma_pair[0]),
+        backend_name(ewma_pair[1]),
+        ewma_waste_seconds * 1e6,
+        backend_name(cost_pair[0]),
+        backend_name(cost_pair[1]),
+        cost_waste_seconds * 1e6,
+        ewma_waste_seconds / cost_waste_seconds.max(1e-12),
+    );
+    assert!(
+        cost_waste_seconds <= ewma_waste_seconds,
+        "cost-model routing must not waste more race work than the EWMA-only baseline \
+         ({cost_waste_seconds:.6}s vs {ewma_waste_seconds:.6}s)"
+    );
+
+    let _ = COST.set(CostNumbers {
+        prediction_solves,
+        median_error,
+        max_error,
+        ewma_waste_seconds,
+        cost_waste_seconds,
+    });
+}
+
 /// The dense instance wrapped as a service-submittable problem.
 struct DenseProblem {
     qubo: QuboModel,
@@ -1436,6 +1600,21 @@ fn bench_compile_once(c: &mut Criterion) {
         ),
         None => String::new(),
     };
+    let cost = match COST.get() {
+        Some(cm) => format!(
+            ",\n  \"cost\": {{\"prediction\": {{\"solves\": {}, \"median_error_factor\": {:.2}, \
+             \"max_error_factor\": {:.2}, \"gate_error_factor\": 2.0}}, \
+             \"race_waste_seconds\": {{\"ewma_only\": {:.6}, \"cost_model\": {:.6}}}, \
+             \"waste_cut\": {:.2}}}",
+            cm.prediction_solves,
+            cm.median_error,
+            cm.max_error,
+            cm.ewma_waste_seconds,
+            cm.cost_waste_seconds,
+            cm.ewma_waste_seconds / cm.cost_waste_seconds.max(1e-12),
+        ),
+        None => String::new(),
+    };
     let recovery = match RECOVERY.get() {
         Some(r) => format!(
             ",\n  \"recovery\": {{\"jobs_per_batch\": {RECOVERY_JOBS}, \"journal\": {{\
@@ -1467,7 +1646,7 @@ fn bench_compile_once(c: &mut Criterion) {
          \"per_solve\": {per_stage_ns:.0}, \"compile_once\": {once_ns:.0}}},\n  \
          \"compile_amortization\": {amortization:.2},\n  \"latency_seconds\": {{\
          \"race\": {race_seconds:.6}, \"best_single\": {single_seconds:.6}}}{fairness}\
-         {observability}{cluster}{robustness}{recovery}\n}}\n",
+         {observability}{cluster}{robustness}{cost}{recovery}\n}}\n",
         m = q.n_interactions(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
@@ -1486,6 +1665,7 @@ criterion_group!(
     bench_observability,
     bench_cluster,
     bench_robustness,
+    bench_cost,
     bench_recovery,
     bench_compile_once
 );

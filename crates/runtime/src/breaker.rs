@@ -21,8 +21,11 @@
 //! injectable for the same reason the cluster's admission clock is: a
 //! test drives cooldown expiry with a
 //! [`crate::cluster::ManualClock`] and never sleeps. This state is also
-//! the substrate the ROADMAP's cost-aware routing will price: an open
-//! breaker is an infinite predicted cost.
+//! priced by the cost model ([`crate::cost`]): beyond the hard ranking
+//! exclusion, `CircuitBreakers::capacity` discounts an open or
+//! half-open backend's predicted capacity, so every predicted-seconds
+//! consumer (DRR charging, admission buckets, backlog estimates) sees a
+//! degraded backend as *more expensive* rather than invisible.
 
 use crate::cluster::{Clock, MonotonicClock};
 use crate::metrics::Metrics;
@@ -128,6 +131,36 @@ impl CircuitBreakers {
         }
     }
 
+    /// The cost-model capacity discount for `backend`'s current breaker
+    /// state: 1.0 closed, 0.5 half-open (probe traffic only — price it up
+    /// so races prefer proven backends), 0.25 open (an open breaker that
+    /// has cooled down reads as half-open). Side-effect free: no state
+    /// transition, no metrics — pricing must be able to quote a backend
+    /// without acting as its half-open probe.
+    pub(crate) fn capacity(&self, backend: usize) -> f64 {
+        let b = self.states[backend].lock_unpoisoned();
+        match b.state {
+            BreakerState::Closed => 1.0,
+            BreakerState::HalfOpen => 0.5,
+            BreakerState::Open { since_micros } => {
+                if self.clock.now_micros().saturating_sub(since_micros) >= self.cooldown_micros {
+                    0.5
+                } else {
+                    0.25
+                }
+            }
+        }
+    }
+
+    /// Whether `backend` is currently in the half-open probe state.
+    /// Side-effect free, like [`CircuitBreakers::capacity`]: no transition,
+    /// no metrics — callers use this to *promote* an already-half-opened
+    /// backend to the front of a ranking so the probe actually dispatches.
+    pub(crate) fn is_half_open(&self, backend: usize) -> bool {
+        let b = self.states[backend].lock_unpoisoned();
+        matches!(b.state, BreakerState::HalfOpen)
+    }
+
     /// Whether `backend` is currently excluded from ranking. An open
     /// breaker whose cooldown has elapsed transitions to `HalfOpen` here —
     /// the caller's ranking is the probe that re-admits it.
@@ -202,5 +235,25 @@ mod tests {
         assert!(!b.is_open(0, &m));
         let r = m.report();
         assert_eq!((r.breaker_opened, r.breaker_half_opened, r.breaker_closed), (2, 2, 1));
+    }
+
+    #[test]
+    fn capacity_discounts_by_state_without_transitions() {
+        let clock = Arc::new(ManualClock::new(0));
+        let b = breakers(1, Duration::from_millis(500), Arc::clone(&clock));
+        let m = Metrics::new();
+        assert_eq!(b.capacity(0), 1.0);
+        b.on_failure(0, &m);
+        assert_eq!(b.capacity(0), 0.25, "open: quarter capacity");
+        clock.advance(500_000);
+        assert_eq!(b.capacity(0), 0.5, "cooled down: prices as half-open");
+        // Quoting capacity is not the probe: the breaker is still Open
+        // and no half-open transition was counted.
+        assert_eq!(m.report().breaker_half_opened, 0);
+        assert!(!b.is_open(0, &m), "ranking is the probe");
+        assert_eq!(m.report().breaker_half_opened, 1);
+        assert_eq!(b.capacity(0), 0.5, "half-open: half capacity");
+        b.on_success(0, &m);
+        assert_eq!(b.capacity(0), 1.0);
     }
 }

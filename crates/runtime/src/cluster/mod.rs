@@ -13,16 +13,21 @@
 //!   already has it cached and single-flight there, so a burst of
 //!   permuted duplicates compiles **once cluster-wide**.
 //! - **Admission control** — each tenant draws from a token bucket
-//!   ([`AdmissionConfig`]) refilled on an injectable [`Clock`]; an empty
-//!   bucket sheds the job with [`SubmitError::Overloaded`] carrying a
-//!   retry hint derived from the refill rate.
+//!   ([`AdmissionConfig`]) denominated in **predicted seconds** of
+//!   backend time (the [`crate::cost`] model's quote for the routed
+//!   shard), refilled on an injectable [`Clock`]; an uncovered charge
+//!   sheds the job with [`SubmitError::Overloaded`] carrying a retry
+//!   hint derived from the refill rate and this job's own cost.
 //! - **Load shedding & migration** — a shard whose queue depth crosses
-//!   [`ClusterConfig::shed_watermark`] sheds new arrivals; when depths
-//!   diverge beyond [`ClusterConfig::migration_threshold`], queued jobs
-//!   migrate from the deepest to the shallowest shard in deterministic
-//!   order. A migrating job carries its precomputed route, so *where* it
-//!   runs never changes *what* it computes: per-job seeded RNGs keep
-//!   results bit-identical to a single-shard run.
+//!   [`ClusterConfig::shed_watermark`], or whose predicted-seconds
+//!   backlog crosses [`ClusterConfig::shed_watermark_seconds`], sheds
+//!   new arrivals with a retry hint sized to the estimated backlog
+//!   *drain time* (never below [`ClusterConfig::shed_retry_hint`]); when
+//!   depths diverge beyond [`ClusterConfig::migration_threshold`],
+//!   queued jobs migrate from the deepest to the shallowest shard in
+//!   deterministic order. A migrating job carries its precomputed route,
+//!   so *where* it runs never changes *what* it computes: per-job seeded
+//!   RNGs keep results bit-identical to a single-shard run.
 //! - **Shard failover** — an injectable [`HealthProbe`] marks shards
 //!   healthy or dead. New submissions whose ring owner is dead re-route
 //!   to the next healthy shard clockwise (each dead arc re-routes to one
@@ -94,10 +99,23 @@ pub struct ClusterConfig {
     /// Per-tenant token-bucket admission policy.
     pub admission: AdmissionConfig,
     /// Queue depth at which a shard sheds new arrivals with
-    /// [`SubmitError::Overloaded`]; `None` disables watermark shedding.
+    /// [`SubmitError::Overloaded`]; `None` disables depth-watermark
+    /// shedding.
     pub shed_watermark: Option<usize>,
-    /// Retry hint handed back with watermark sheds (how long the caller
-    /// should expect the shard to need to drain below the watermark).
+    /// Predicted-seconds backlog at which a shard sheds new arrivals:
+    /// when the estimated seconds of backend work queued on the routed
+    /// shard (from the [`DepthProbe`]'s
+    /// [`DepthProbe::backlog_seconds`] if it answers, else the shard's
+    /// live predicted-seconds backlog gauge) reach this value, the job is
+    /// shed. `None` disables backlog-watermark shedding. Unlike
+    /// [`ClusterConfig::shed_watermark`], this sheds on queued *work*,
+    /// not queued job count: ten 26-variable exact jobs trip it long
+    /// before a hundred 4-variable anneals.
+    pub shed_watermark_seconds: Option<f64>,
+    /// Floor for the retry hint handed back with watermark sheds. The
+    /// actual hint is the routed shard's estimated backlog drain time
+    /// (its predicted-seconds backlog, capped at one hour) or this
+    /// floor, whichever is larger.
     pub shed_retry_hint: Duration,
     /// Maximum tolerated queue-depth spread between the deepest and
     /// shallowest shard before queued jobs migrate; `None` disables
@@ -133,6 +151,7 @@ impl Default for ClusterConfig {
             service: ServiceConfig { workers: 1, ..ServiceConfig::default() },
             admission: AdmissionConfig::default(),
             shed_watermark: None,
+            shed_watermark_seconds: None,
             shed_retry_hint: Duration::from_millis(50),
             migration_threshold: None,
             clock: None,
@@ -155,6 +174,7 @@ pub struct ClusterService {
     depth_probe: Option<Arc<dyn DepthProbe>>,
     health_probe: Option<Arc<dyn HealthProbe>>,
     shed_watermark: Option<usize>,
+    shed_watermark_seconds: Option<f64>,
     shed_retry_hint: Duration,
     migration_threshold: Option<usize>,
     next_job_id: AtomicU64,
@@ -208,6 +228,7 @@ impl ClusterService {
             depth_probe: config.depth_probe,
             health_probe: config.health_probe,
             shed_watermark: config.shed_watermark,
+            shed_watermark_seconds: config.shed_watermark_seconds,
             shed_retry_hint: config.shed_retry_hint,
             migration_threshold: config.migration_threshold,
             next_job_id: AtomicU64::new(CLUSTER_ID_BASE),
@@ -357,6 +378,26 @@ impl ClusterService {
         }
     }
 
+    /// Predicted seconds of backend work queued on `shard`: the injected
+    /// probe's answer when it has one, else the shard's live
+    /// predicted-seconds backlog gauge (the sum of every queued job's
+    /// cost-model quote).
+    fn backlog_seconds(&self, shard: usize) -> f64 {
+        self.depth_probe.as_ref().and_then(|probe| probe.backlog_seconds(shard)).unwrap_or_else(
+            || self.shards[shard].shared.queue.lock_unpoisoned().backlog_micros() as f64 / 1e6,
+        )
+    }
+
+    /// Retry hint for a watermark shed on `shard`: the estimated time for
+    /// the shard's predicted-seconds backlog to drain (capped at one
+    /// hour), floored at the configured [`ClusterConfig::shed_retry_hint`]
+    /// so a shard shedding on depth with an unknown backlog still hands
+    /// back a useful backoff.
+    fn shed_hint(&self, shard: usize) -> Duration {
+        let drain = Duration::from_secs_f64(self.backlog_seconds(shard).clamp(0.0, 3600.0));
+        self.shed_retry_hint.max(drain)
+    }
+
     /// Migrates queued jobs from the deepest to the shallowest shard while
     /// the spread exceeds the threshold *and* moving a job strictly
     /// shrinks it (a spread of 1 would only oscillate). Donor and
@@ -494,28 +535,42 @@ impl ClusterSession<'_> {
         (shard, RouteInfo { qubo, canonical_fp, perm: Arc::new(perm) })
     }
 
-    /// Admission checks for an already-reserved slot: token bucket first,
-    /// then the routed shard's shedding watermark. On refusal the
-    /// reservation is unwound, the shed is counted against the routed
-    /// shard, and the spec is handed back inside the error.
+    /// Admission checks for an already-reserved slot: token bucket first
+    /// (charged the routed shard's predicted seconds for this spec —
+    /// calibration and breaker state included), then the shard's shedding
+    /// watermarks (queue depth and predicted-seconds backlog). On refusal
+    /// the reservation is unwound, the shed is counted against the routed
+    /// shard, and the spec is handed back inside the error with a hint
+    /// derived from either the bucket's refill deficit or the shard's
+    /// estimated backlog drain time.
     fn admit_reserved(&self, shard: usize, spec: JobSpec) -> Result<JobSpec, SubmitError> {
-        let metrics = &self.cluster.shards[shard].shared.metrics;
-        if let Err(retry_after_hint) =
-            self.cluster.admission.try_admit(&self.tenant, self.cluster.clock.now_micros())
-        {
+        let shard_shared = &self.cluster.shards[shard].shared;
+        let metrics = &shard_shared.metrics;
+        let cost_seconds = shard_shared.predicted_seconds(&spec);
+        if let Err(retry_after_hint) = self.cluster.admission.try_admit(
+            &self.tenant,
+            self.cluster.clock.now_micros(),
+            cost_seconds,
+        ) {
             self.core.unreserve();
             metrics.on_shed();
             return Err(SubmitError::Overloaded { retry_after_hint, spec });
         }
-        if let Some(watermark) = self.cluster.shed_watermark {
-            if self.cluster.depth(shard) >= watermark {
-                self.core.unreserve();
-                metrics.on_shed();
-                return Err(SubmitError::Overloaded {
-                    retry_after_hint: self.cluster.shed_retry_hint,
-                    spec,
-                });
-            }
+        let over_depth = self
+            .cluster
+            .shed_watermark
+            .is_some_and(|watermark| self.cluster.depth(shard) >= watermark);
+        let over_backlog = self
+            .cluster
+            .shed_watermark_seconds
+            .is_some_and(|watermark| self.cluster.backlog_seconds(shard) >= watermark);
+        if over_depth || over_backlog {
+            self.core.unreserve();
+            metrics.on_shed();
+            return Err(SubmitError::Overloaded {
+                retry_after_hint: self.cluster.shed_hint(shard),
+                spec,
+            });
         }
         metrics.on_admitted();
         Ok(spec)
@@ -591,10 +646,12 @@ impl ClusterSession<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::{analytic_seconds, CostShape};
     use crate::service::SharedProblem;
     use qdm_core::problem::{Decoded, DmProblem};
     use qdm_qubo::model::QuboModel;
     use qdm_qubo::penalty;
+    use std::sync::{Condvar, Mutex};
 
     struct PickOne {
         costs: Vec<f64>,
@@ -632,6 +689,50 @@ mod tests {
         Arc::new(PickOne { costs: (0..n).map(|i| ((i * 3) % 7) as f64 + 0.5).collect() })
     }
 
+    /// A [`PickOne`] whose decode blocks until the shared gate opens.
+    /// While a job is wedged in decode, no solve observation reaches the
+    /// cost model — every submission made before the gate opens is quoted
+    /// against the *frozen* cold calibration, which is what makes
+    /// admission charges exactly predictable in a test.
+    struct GatedPick {
+        inner: PickOne,
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    impl DmProblem for GatedPick {
+        fn name(&self) -> String {
+            self.inner.name()
+        }
+        fn n_vars(&self) -> usize {
+            self.inner.n_vars()
+        }
+        fn to_qubo(&self) -> QuboModel {
+            self.inner.to_qubo()
+        }
+        fn decode(&self, bits: &[bool]) -> Decoded {
+            let (lock, cv) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.decode(bits)
+        }
+    }
+
+    fn gated(n: usize, gate: &Arc<(Mutex<bool>, Condvar)>) -> SharedProblem {
+        Arc::new(GatedPick {
+            inner: PickOne { costs: (0..n).map(|i| ((i * 3) % 7) as f64 + 0.5).collect() },
+            gate: Arc::clone(gate),
+        })
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cv) = &**gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
     fn small_cluster(shards: usize) -> ClusterService {
         ClusterService::new(ClusterConfig {
             shards,
@@ -657,26 +758,39 @@ mod tests {
 
     #[test]
     fn token_bucket_sheds_and_manual_refill_readmits() {
+        // The bucket is denominated in predicted seconds, so its capacity
+        // and refill are expressed in units of one job's cold cost-model
+        // quote — read off the same public estimator the cluster charges
+        // with, never hardcoded. The gate keeps the first job wedged in
+        // decode so no observation recalibrates the quote mid-test.
+        let reg = SolverRegistry::standard();
+        let sa = reg.find("simulated-annealing").expect("SA registered");
+        let unit = analytic_seconds(&reg.get(sa).spec, CostShape::from_n_vars(4));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let clock = Arc::new(ManualClock::new(0));
         let cluster = ClusterService::new(ClusterConfig {
             shards: 2,
             service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
             admission: AdmissionConfig::default().with_tenant(
                 "metered",
-                TokenBucketConfig { capacity: 1.0, refill_per_second: 1.0 },
+                TokenBucketConfig { capacity: 1.5 * unit, refill_per_second: unit },
             ),
             clock: Some(clock.clone()),
             ..Default::default()
         });
         let session = cluster.session("metered", SessionConfig::default());
-        let first = session.submit(JobSpec::new(pick(4), 1)).expect("burst token");
-        let err = session.submit(JobSpec::new(pick(4), 2)).unwrap_err();
+        let spec = |seed| JobSpec::new(gated(4, &gate), seed).on_backend("simulated-annealing");
+        let first = session.submit(spec(1)).expect("burst covers one job");
+        // 0.5 units left cannot cover a 1-unit job: shed, with a hint of
+        // exactly the 0.5 units of refill this job still needs.
+        let err = session.submit(spec(2)).unwrap_err();
         let hint = err.retry_after_hint().expect("overloaded carries a hint");
-        assert_eq!(hint, Duration::from_secs(1));
+        assert_eq!(hint, Duration::from_millis(500));
         // Advance the injected clock instead of sleeping: the bucket
         // refills and the recovered spec resubmits cleanly.
-        clock.advance(1_000_000);
+        clock.advance(500_000);
         let retried = session.submit(err.into_spec()).expect("refilled");
+        open_gate(&gate);
         assert!(first.wait().is_ok());
         assert!(retried.wait().is_ok());
         session.drain();
@@ -704,7 +818,46 @@ mod tests {
         });
         let session = cluster.session("t", SessionConfig::default());
         let err = session.submit(JobSpec::new(pick(4), 1)).unwrap_err();
+        // The probe scripts a depth but no backlog, and nothing is queued
+        // live, so the hint falls back to the configured floor.
         assert_eq!(err.retry_after_hint(), Some(Duration::from_millis(250)));
+        drop(session);
+        let report = cluster.report();
+        assert_eq!(report.jobs_shed, 1);
+        assert_eq!(report.jobs_submitted, 0);
+    }
+
+    #[test]
+    fn seconds_watermark_sheds_on_estimated_backlog_with_drain_time_hint() {
+        // Zero queued *jobs* as far as depth is concerned — the probe
+        // reports backlog purely in predicted seconds, and that alone
+        // trips the seconds watermark. The hint is the drain time, not
+        // the floor.
+        struct DeepWork;
+        impl DepthProbe for DeepWork {
+            fn queue_depth(&self, _shard: usize) -> usize {
+                0
+            }
+            fn backlog_seconds(&self, _shard: usize) -> Option<f64> {
+                Some(12.5)
+            }
+        }
+        let cluster = ClusterService::new(ClusterConfig {
+            shards: 2,
+            service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
+            shed_watermark: Some(1000),
+            shed_watermark_seconds: Some(10.0),
+            shed_retry_hint: Duration::from_millis(250),
+            depth_probe: Some(Arc::new(DeepWork)),
+            ..Default::default()
+        });
+        let session = cluster.session("t", SessionConfig::default());
+        let err = session.submit(JobSpec::new(pick(4), 1)).unwrap_err();
+        assert_eq!(
+            err.retry_after_hint(),
+            Some(Duration::from_secs_f64(12.5)),
+            "hint is the estimated backlog drain time, not the floor"
+        );
         drop(session);
         let report = cluster.report();
         assert_eq!(report.jobs_shed, 1);

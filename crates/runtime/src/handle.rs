@@ -245,6 +245,7 @@ impl JobHandle {
                         start_ns: job.queued_ns,
                         end_ns: self.shared.now_ns(),
                         stats: StageStats::default(),
+                        predicted_seconds: None,
                     }],
                 });
             }

@@ -8,8 +8,15 @@
 //! a portfolio of (simulated) quantum and classical backends.
 //!
 //! - [`registry`] — every [`qdm_core::solver::QuboSolver`] backend with its
-//!   capability snapshot ([`registry::SolverSpec`]): `max_vars`, Fig. 2
-//!   branch, static cost prior;
+//!   capability snapshot ([`registry::SolverSpec`]): `max_vars` and Fig. 2
+//!   branch;
+//! - [`cost`] — the calibrated cost model ([`cost::CostModel`]): per-family
+//!   analytic latency estimators in *seconds*
+//!   ([`cost::analytic_seconds`]), calibrated online against observed
+//!   latencies and priced for reliability (expected seconds = predicted ÷
+//!   success rate ÷ breaker capacity). Predicted seconds are the common
+//!   currency for routing, DRR charging, admission draining, and backlog
+//!   estimation;
 //! - [`service`] — the worker pool and fair-scheduled job queue
 //!   ([`service::SolverService`]): each cache-miss job compiles its QUBO
 //!   **exactly once** into a shared `Arc<CompiledQubo>` — fingerprinting,
@@ -94,6 +101,7 @@
 pub mod breaker;
 pub mod cache;
 pub mod cluster;
+pub mod cost;
 pub mod fault;
 pub mod handle;
 pub mod journal;
@@ -114,6 +122,11 @@ pub mod prelude {
         AdmissionConfig, Clock, ClusterConfig, ClusterService, ClusterSession, DepthProbe,
         HealthProbe, ManualClock, MonotonicClock, TokenBucketConfig,
     };
+    // `cost::CostModel` stays out of the prelude: the `qdm` facade merges
+    // this prelude with `qdm_db`'s, whose join-ordering `CostModel` would
+    // collide. Reach it via [`crate::cost::CostModel`] or
+    // [`crate::portfolio::PortfolioScheduler::cost_model`].
+    pub use crate::cost::{analytic_seconds, CalibrationStats, CostShape};
     pub use crate::fault::{
         FaultAction, FaultInjector, FaultPlan, FaultSite, FaultWhen, NoFaults, RetryPolicy,
     };

@@ -364,6 +364,7 @@ impl Metrics {
             backend_telemetry: Vec::new(),
             traces_recorded: 0,
             traces_dropped: 0,
+            queue_backlog_seconds: 0.0,
             shard: None,
             shard_queue_depths: Vec::new(),
         }
@@ -387,6 +388,14 @@ pub struct BackendTelemetry {
     pub race_entries: u64,
     /// Races this backend won.
     pub race_wins: u64,
+    /// EWMA of the cost model's predicted latency for this backend's
+    /// recent jobs, seconds. Zero until the first calibrated observation.
+    pub predicted_seconds: f64,
+    /// EWMA of the symmetric prediction error factor
+    /// (`max(predicted/actual, actual/predicted)`, so 1.0 is a perfect
+    /// prediction and 2.0 is off by 2× in either direction). Zero until
+    /// the first calibrated observation.
+    pub estimation_error_factor: f64,
 }
 
 /// An immutable snapshot of the service's counters.
@@ -489,6 +498,14 @@ pub struct RuntimeReport {
     pub traces_recorded: u64,
     /// Job traces lost to ring wraparound or slot contention.
     pub traces_dropped: u64,
+    /// Predicted seconds of backend work sitting in the service queue
+    /// right now — the sum of every queued job's cost-model prediction.
+    /// This, not `queue_depth`, is what watermark shedding and
+    /// `retry_after_hint` reason about: ten queued 26-variable exact jobs
+    /// are a deeper backlog than a hundred 4-variable anneals. Zero on
+    /// bare [`Metrics::report`] snapshots — populated by
+    /// [`crate::service::SolverService::report`]; merged reports sum it.
+    pub queue_backlog_seconds: f64,
     /// The shard this report describes: `Some(id)` for a shard inside a
     /// [`crate::cluster::ClusterService`], `None` for a standalone service
     /// or a merged cluster report.
@@ -547,6 +564,7 @@ impl RuntimeReport {
             backend_telemetry: Vec::new(),
             traces_recorded: 0,
             traces_dropped: 0,
+            queue_backlog_seconds: 0.0,
             shard: None,
             shard_queue_depths: Vec::new(),
         };
@@ -584,6 +602,7 @@ impl RuntimeReport {
             merged.snapshot_loaded += r.snapshot_loaded;
             merged.traces_recorded += r.traces_recorded;
             merged.traces_dropped += r.traces_dropped;
+            merged.queue_backlog_seconds += r.queue_backlog_seconds;
             for i in 0..LATENCY_BUCKETS {
                 merged.latency_histogram[i] += r.latency_histogram[i];
                 merged.served_latency_histogram[i] += r.served_latency_histogram[i];
@@ -605,6 +624,11 @@ impl RuntimeReport {
                                 / (a + b);
                             acc.ewma_quality =
                                 (acc.ewma_quality * a + t.ewma_quality * b) / (a + b);
+                            acc.predicted_seconds =
+                                (acc.predicted_seconds * a + t.predicted_seconds * b) / (a + b);
+                            acc.estimation_error_factor = (acc.estimation_error_factor * a
+                                + t.estimation_error_factor * b)
+                                / (a + b);
                         }
                         acc.observations += t.observations;
                         acc.race_entries += t.race_entries;
@@ -755,6 +779,11 @@ impl RuntimeReport {
             self.queue_depth as f64,
         );
         gauge("queue_depth_peak", "Deepest the queue has ever been.", self.queue_depth_peak as f64);
+        gauge(
+            "queue_backlog_seconds",
+            "Predicted seconds of backend work sitting in the queue right now.",
+            self.queue_backlog_seconds,
+        );
 
         // Cluster admission/shedding counters carry the shard id as a label
         // when this report describes one shard of a cluster.
@@ -851,6 +880,16 @@ impl RuntimeReport {
                 "EWMA solution quality (lower is better) the router routes on.",
             ),
             ("backend_race_entries_total", "counter", "Races the backend was entered into."),
+            (
+                "backend_predicted_seconds",
+                "gauge",
+                "EWMA of the cost model's predicted latency for the backend's recent jobs.",
+            ),
+            (
+                "backend_estimation_error_factor",
+                "gauge",
+                "EWMA symmetric predicted-vs-actual error factor (1.0 = perfect).",
+            ),
         ];
         for (name, kind, help) in telemetry {
             out.push_str(&format!("# HELP qdm_{name} {help}\n# TYPE qdm_{name} {kind}\n"));
@@ -859,6 +898,8 @@ impl RuntimeReport {
                     "backend_observations_total" => t.observations as f64,
                     "backend_ewma_latency_seconds" => t.ewma_latency_seconds,
                     "backend_ewma_quality" => t.ewma_quality,
+                    "backend_predicted_seconds" => t.predicted_seconds,
+                    "backend_estimation_error_factor" => t.estimation_error_factor,
                     _ => t.race_entries as f64,
                 };
                 out.push_str(&format!("qdm_{name}{{backend=\"{}\"}} {value}\n", t.backend));
@@ -1263,7 +1304,10 @@ mod tests {
             ewma_quality: 1.0,
             race_entries: 2,
             race_wins: 1,
+            predicted_seconds: 0.002,
+            estimation_error_factor: 2.0,
         }];
+        ra.queue_backlog_seconds = 1.5;
         let mut rb = Metrics::new().report();
         rb.backend_telemetry = vec![
             BackendTelemetry {
@@ -1273,6 +1317,8 @@ mod tests {
                 ewma_quality: 2.0,
                 race_entries: 0,
                 race_wins: 0,
+                predicted_seconds: 0.004,
+                estimation_error_factor: 1.0,
             },
             BackendTelemetry {
                 backend: "tabu".to_string(),
@@ -1281,8 +1327,11 @@ mod tests {
                 ewma_quality: 3.0,
                 race_entries: 1,
                 race_wins: 1,
+                predicted_seconds: 0.006,
+                estimation_error_factor: 6.0,
             },
         ];
+        rb.queue_backlog_seconds = 0.25;
         let merged = RuntimeReport::merge([&ra, &rb]);
         assert_eq!(merged.backend_telemetry.len(), 2);
         let names: Vec<&str> =
@@ -1295,6 +1344,16 @@ mod tests {
         // Observation-weighted: (0.001*3 + 0.005*1) / 4 = 0.002.
         assert!((tabu.ewma_latency_seconds - 0.002).abs() < 1e-12);
         assert!((tabu.ewma_quality - 1.5).abs() < 1e-12);
+        // The cost-model gauges fold with the same observation weights:
+        // predicted (0.002*3 + 0.006*1) / 4 = 0.003, error (2*3 + 6*1) / 4
+        // = 3. A shard with few observations cannot drag the aggregate.
+        assert!((tabu.predicted_seconds - 0.003).abs() < 1e-12);
+        assert!((tabu.estimation_error_factor - 3.0).abs() < 1e-12);
+        let sa = &merged.backend_telemetry[0];
+        assert!((sa.predicted_seconds - 0.004).abs() < 1e-12, "singleton folds unchanged");
+        assert!((sa.estimation_error_factor - 1.0).abs() < 1e-12);
+        // Backlog is additive across shards: queued work is queued work.
+        assert!((merged.queue_backlog_seconds - 1.75).abs() < 1e-12);
     }
 
     #[test]
@@ -1331,6 +1390,8 @@ mod tests {
             ewma_quality: 0.25,
             race_entries: 1,
             race_wins: 1,
+            predicted_seconds: 0.005,
+            estimation_error_factor: 1.25,
         }];
         r.traces_recorded = 2;
         let text = r.render_prometheus();
@@ -1373,6 +1434,9 @@ mod tests {
         assert!(text.contains("qdm_race_wins_total{backend=\"tabu\"} 1\n"), "{text}");
         assert!(text.contains("qdm_backend_ewma_latency_seconds{backend=\"tabu\"} 0.004\n"));
         assert!(text.contains("qdm_backend_ewma_quality{backend=\"tabu\"} 0.25\n"));
+        assert!(text.contains("qdm_backend_predicted_seconds{backend=\"tabu\"} 0.005\n"));
+        assert!(text.contains("qdm_backend_estimation_error_factor{backend=\"tabu\"} 1.25\n"));
+        assert!(text.contains("qdm_queue_backlog_seconds 0\n"));
         assert!(text.contains("qdm_traces_recorded_total 2\n"));
 
         // Histogram shape: cumulative buckets ending in +Inf == _count.

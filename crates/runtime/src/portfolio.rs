@@ -1,17 +1,21 @@
 //! The adaptive portfolio scheduler: decides which registered backend gets
 //! each job.
 //!
-//! Routing starts from each backend's static [`SolverSpec::prior_cost`]
-//! curve, then blends in live telemetry — an exponentially-weighted moving
-//! average of observed solve latency and of energy quality (how far above
+//! Routing is priced in **expected seconds** by the calibrated cost model
+//! ([`crate::cost::CostModel`], owned here): each eligible backend's
+//! analytic estimate ([`crate::cost::analytic_seconds`]) is scaled by its
+//! observed calibration ratio, divided by its observed success rate and
+//! its circuit-breaker capacity, then blended with an
+//! exponentially-weighted moving average of energy quality (how far above
 //! the model's naive lower bound the returned assignment landed, plus a
-//! penalty for infeasible decodes). Backends that answer fast and well pull
-//! traffic; backends that stall or return poor assignments shed it. This is
-//! the serving-tier half of the hybrid orchestration the Zajac & Störl
-//! architecture calls for: classical control choosing among quantum(-like)
-//! backends per request.
+//! penalty for infeasible decodes). Backends that answer fast, reliably,
+//! and well pull traffic; backends that stall, fail, or return poor
+//! assignments shed it. This is the serving-tier half of the hybrid
+//! orchestration the Zajac & Störl architecture calls for: classical
+//! control choosing among quantum(-like) backends per request.
 
-use crate::registry::{SolverRegistry, SolverSpec};
+use crate::cost::{analytic_seconds, CostModel, CostShape};
+use crate::registry::SolverRegistry;
 use crate::sync::LockExt;
 use std::sync::Mutex;
 
@@ -38,25 +42,56 @@ const ALPHA: f64 = 0.2;
 /// Extra quality penalty for an infeasible decoded assignment.
 const INFEASIBLE_PENALTY: f64 = 4.0;
 
-/// Weight of the quality term relative to latency when scoring.
+/// Weight of the quality term relative to expected cost when scoring.
 const QUALITY_WEIGHT: f64 = 0.5;
 
 /// The adaptive router.
 pub struct PortfolioScheduler {
     stats: Mutex<Vec<BackendStats>>,
+    cost: CostModel,
 }
 
 impl PortfolioScheduler {
     /// A scheduler tracking `n_backends` backends.
     pub fn new(n_backends: usize) -> Self {
-        Self { stats: Mutex::new(vec![BackendStats::default(); n_backends]) }
+        Self {
+            stats: Mutex::new(vec![BackendStats::default(); n_backends]),
+            cost: CostModel::new(n_backends),
+        }
+    }
+
+    /// The calibrated cost model routing is priced on. Shared with the
+    /// admission/scheduling layers so every decision quotes the same
+    /// predicted seconds.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Reliability-priced expected seconds for `backend` on a
+    /// `shape`-shaped job: calibrated prediction ÷ success rate ÷
+    /// `capacity` (the breaker-state discount; 1.0 when breakers are
+    /// off). This is the *quote* channel (admission, DRR, shed hints);
+    /// route/race comparisons use the quantized routing channel instead
+    /// ([`crate::cost::CostModel::expected_routing_seconds`]).
+    pub fn expected_seconds(
+        &self,
+        registry: &SolverRegistry,
+        backend: usize,
+        shape: CostShape,
+        capacity: f64,
+    ) -> f64 {
+        self.cost.expected_seconds(
+            backend,
+            analytic_seconds(&registry.get(backend).spec, shape),
+            capacity,
+        )
     }
 
     /// Picks a backend index for an `n_vars`-variable job, or `None` when no
     /// registered backend admits the model.
     ///
-    /// Score = expected latency (observed EWMA once available, static prior
-    /// before that) × a quality multiplier; lowest score wins, ties broken
+    /// Score = expected seconds (calibrated analytic estimate, priced for
+    /// reliability) × a quality multiplier; lowest score wins, ties broken
     /// by registration order, so routing is deterministic for a given
     /// telemetry state. Equivalent to `rank(..).first()`.
     pub fn route(&self, registry: &SolverRegistry, n_vars: usize) -> Option<usize> {
@@ -69,17 +104,7 @@ impl PortfolioScheduler {
     /// job's participants are drawn from, so the order is deterministic for
     /// a given telemetry state.
     pub fn rank(&self, registry: &SolverRegistry, n_vars: usize) -> Vec<usize> {
-        let eligible = registry.eligible(n_vars);
-        let stats = self.stats.lock_unpoisoned();
-        let mut scored: Vec<(usize, f64)> = eligible
-            .into_iter()
-            .map(|i| {
-                let spec = &registry.get(i).spec;
-                (i, Self::score(spec, &stats[i], n_vars))
-            })
-            .collect();
-        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        scored.into_iter().map(|(i, _)| i).collect()
+        self.rank_costed(registry, CostShape::from_n_vars(n_vars), |_| false, |_| 1.0)
     }
 
     /// [`Self::rank`] with degraded backends removed: `exclude` is consulted
@@ -94,7 +119,40 @@ impl PortfolioScheduler {
         n_vars: usize,
         exclude: impl Fn(usize) -> bool,
     ) -> Vec<usize> {
-        let ranked = self.rank(registry, n_vars);
+        self.rank_costed(registry, CostShape::from_n_vars(n_vars), exclude, |_| 1.0)
+    }
+
+    /// The full-information ranking: a measured [`CostShape`] (the
+    /// compiled model's real average degree), per-candidate exclusion, and
+    /// a per-candidate capacity discount (open/half-open breakers price a
+    /// backend up instead of merely dropping out of one ranking). The
+    /// fallback rule of [`Self::rank_filtered`] applies: when everything
+    /// eligible is excluded, the best-ranked backend stays in.
+    pub fn rank_costed(
+        &self,
+        registry: &SolverRegistry,
+        shape: CostShape,
+        exclude: impl Fn(usize) -> bool,
+        capacity: impl Fn(usize) -> f64,
+    ) -> Vec<usize> {
+        let eligible = registry.eligible(shape.n_vars);
+        let stats = self.stats.lock_unpoisoned();
+        let mut scored: Vec<(usize, f64)> = eligible
+            .into_iter()
+            .map(|i| {
+                // Routing-channel pricing (quantized calibration): see
+                // [`CostModel::expected_routing_seconds`] for why ranking
+                // must not consume the raw jittery ratio.
+                let expected = self.cost.expected_routing_seconds(
+                    i,
+                    analytic_seconds(&registry.get(i).spec, shape),
+                    capacity(i),
+                );
+                (i, expected * (1.0 + QUALITY_WEIGHT * stats[i].ewma_quality))
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let ranked: Vec<usize> = scored.into_iter().map(|(i, _)| i).collect();
         let filtered: Vec<usize> = ranked.iter().copied().filter(|&i| !exclude(i)).collect();
         if filtered.is_empty() && !ranked.is_empty() {
             return vec![ranked[0]];
@@ -102,34 +160,71 @@ impl PortfolioScheduler {
         filtered
     }
 
-    fn score(spec: &SolverSpec, stats: &BackendStats, n_vars: usize) -> f64 {
-        let expected_cost = if stats.observations == 0 {
-            spec.prior_cost(n_vars)
-        } else {
-            // Rescale observed seconds into prior-comparable units so a
-            // backend with telemetry competes fairly against one without.
-            stats.ewma_latency * 1e6
-        };
-        expected_cost * (1.0 + QUALITY_WEIGHT * stats.ewma_quality)
+    /// The pre-cost-model ranking (raw latency EWMA seeded by the analytic
+    /// curve, no reliability pricing, no shape extrapolation): an observed
+    /// backend is scored by its EWMA latency alone, however stale or
+    /// unrepresentative of this job's size. Kept as the baseline the
+    /// `runtime/cost` bench measures race-loser waste against.
+    pub fn rank_ewma_only(&self, registry: &SolverRegistry, n_vars: usize) -> Vec<usize> {
+        let shape = CostShape::from_n_vars(n_vars);
+        let eligible = registry.eligible(n_vars);
+        let stats = self.stats.lock_unpoisoned();
+        let mut scored: Vec<(usize, f64)> = eligible
+            .into_iter()
+            .map(|i| {
+                let expected = if stats[i].observations == 0 {
+                    analytic_seconds(&registry.get(i).spec, shape)
+                } else {
+                    stats[i].ewma_latency
+                };
+                (i, expected * (1.0 + QUALITY_WEIGHT * stats[i].ewma_quality))
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.into_iter().map(|(i, _)| i).collect()
     }
 
-    /// Feeds one completed solve back into the router.
+    /// Feeds one completed solve back into the router: latency/quality
+    /// EWMAs for scoring, and the cost model's calibration ratio for the
+    /// same backend (observed seconds against the analytic estimate for
+    /// this job's `shape`).
     ///
     /// `quality` should be the normalized energy gap produced by
     /// [`energy_quality`]; `feasible` is the decoded assignment's
     /// feasibility.
-    pub fn record(&self, backend: usize, latency_seconds: f64, quality: f64, feasible: bool) {
-        let mut stats = self.stats.lock_unpoisoned();
-        let s = &mut stats[backend];
-        let q = quality + if feasible { 0.0 } else { INFEASIBLE_PENALTY };
-        if s.observations == 0 {
-            s.ewma_latency = latency_seconds;
-            s.ewma_quality = q;
-        } else {
-            s.ewma_latency = (1.0 - ALPHA) * s.ewma_latency + ALPHA * latency_seconds;
-            s.ewma_quality = (1.0 - ALPHA) * s.ewma_quality + ALPHA * q;
+    pub fn record(
+        &self,
+        registry: &SolverRegistry,
+        backend: usize,
+        shape: CostShape,
+        latency_seconds: f64,
+        quality: f64,
+        feasible: bool,
+    ) {
+        {
+            let mut stats = self.stats.lock_unpoisoned();
+            let s = &mut stats[backend];
+            let q = quality + if feasible { 0.0 } else { INFEASIBLE_PENALTY };
+            if s.observations == 0 {
+                s.ewma_latency = latency_seconds;
+                s.ewma_quality = q;
+            } else {
+                s.ewma_latency = (1.0 - ALPHA) * s.ewma_latency + ALPHA * latency_seconds;
+                s.ewma_quality = (1.0 - ALPHA) * s.ewma_quality + ALPHA * q;
+            }
+            s.observations += 1;
         }
-        s.observations += 1;
+        self.cost.observe(
+            backend,
+            analytic_seconds(&registry.get(backend).spec, shape),
+            latency_seconds,
+        );
+    }
+
+    /// Records a failure attributed to `backend`: prices its expected cost
+    /// up via the success rate without touching latency calibration.
+    pub fn record_failure(&self, backend: usize) {
+        self.cost.observe_failure(backend);
     }
 
     /// Records one backend's participation in a portfolio race and whether
@@ -164,6 +259,10 @@ mod tests {
     use super::*;
     use crate::registry::SolverRegistry;
 
+    fn record_simple(sched: &PortfolioScheduler, reg: &SolverRegistry, backend: usize, secs: f64) {
+        sched.record(reg, backend, CostShape::from_n_vars(6), secs, 0.0, true);
+    }
+
     #[test]
     fn routing_respects_max_vars() {
         let reg = SolverRegistry::standard();
@@ -194,11 +293,52 @@ mod tests {
         // traffic must move off exact.
         let sa = reg.find("simulated-annealing").unwrap();
         for _ in 0..5 {
-            sched.record(exact, 10.0, 0.0, true);
-            sched.record(sa, 1e-6, 0.0, true);
+            record_simple(&sched, &reg, exact, 10.0);
+            record_simple(&sched, &reg, sa, 1e-6);
         }
         let rerouted = sched.route(&reg, 6).unwrap();
         assert_eq!(rerouted, sa);
+    }
+
+    #[test]
+    fn failures_shift_routing_without_a_latency_signal() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        let exact = reg.find("exact").unwrap();
+        assert_eq!(sched.route(&reg, 6), Some(exact));
+        // Exact answers when it answers — but fails 39 times out of 40.
+        // Its expected cost is latency ÷ success rate, which prices it
+        // far above the (slower but reliable) heuristics at this size.
+        record_simple(&sched, &reg, exact, 1e-5);
+        for _ in 0..39 {
+            sched.record_failure(exact);
+        }
+        let rerouted = sched.route(&reg, 6).unwrap();
+        assert_ne!(rerouted, exact, "an unreliable backend loses its route");
+    }
+
+    #[test]
+    fn capacity_discount_reprices_a_backend() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        let exact = reg.find("exact").unwrap();
+        let shape = CostShape::from_n_vars(6);
+        let full = sched.rank_costed(&reg, shape, |_| false, |_| 1.0);
+        assert_eq!(full[0], exact);
+        // A breaker-discounted exact (capacity 0.25 = open) is priced 4×
+        // but still cheap enough to lead at 6 vars; at a harsher discount
+        // the field passes it.
+        let discounted =
+            sched.rank_costed(&reg, shape, |_| false, |i| if i == exact { 1e-3 } else { 1.0 });
+        assert!(
+            sched.expected_seconds(&reg, exact, shape, 1e-3)
+                > sched.expected_seconds(&reg, exact, shape, 1.0)
+        );
+        // Deterministic: repeated calls agree.
+        assert_eq!(
+            discounted,
+            sched.rank_costed(&reg, shape, |_| false, |i| if i == exact { 1e-3 } else { 1.0 })
+        );
     }
 
     #[test]
@@ -234,9 +374,22 @@ mod tests {
         let reg = SolverRegistry::standard();
         let sched = PortfolioScheduler::new(reg.len());
         let a = 0;
-        sched.record(a, 0.001, 0.0, false);
+        sched.record(&reg, a, CostShape::from_n_vars(6), 0.001, 0.0, false);
         let stats = sched.stats();
         assert!(stats[a].ewma_quality >= INFEASIBLE_PENALTY);
+    }
+
+    #[test]
+    fn recording_calibrates_the_cost_model() {
+        let reg = SolverRegistry::standard();
+        let sched = PortfolioScheduler::new(reg.len());
+        let sa = reg.find("simulated-annealing").unwrap();
+        let shape = CostShape::from_n_vars(64);
+        let analytic = crate::cost::analytic_seconds(&reg.get(sa).spec, shape);
+        // Observed 3× the analytic estimate: predictions follow.
+        sched.record(&reg, sa, shape, analytic * 3.0, 0.0, true);
+        let predicted = sched.cost_model().predict_seconds(sa, analytic);
+        assert!((predicted - analytic * 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -23,44 +23,6 @@ pub struct SolverSpec {
     pub max_vars: usize,
 }
 
-impl SolverSpec {
-    /// Static prior for the expected cost of solving `n` variables on this
-    /// backend, in arbitrary comparable units. Used by the portfolio
-    /// scheduler until real latency telemetry accumulates.
-    ///
-    /// The shape mirrors how the backends actually scale: exhaustive
-    /// enumeration and every gate-based route pay an exponential state-space
-    /// factor, annealing/tabu metaheuristics scale roughly linearly in
-    /// problem size per sweep (with the parallel-restart SA amortizing its
-    /// sweeps across hardware threads), and random sampling is the cheapest
-    /// per evaluation but rarely worth choosing — its prior carries a
-    /// constant quality handicap instead of a cost one.
-    pub fn prior_cost(&self, n_vars: usize) -> f64 {
-        let n = n_vars as f64;
-        match self.kind {
-            SolverKind::GateBased => (n.min(30.0)).exp2() * 64.0,
-            SolverKind::Annealing if self.name.contains("adiabatic") => (n.min(30.0)).exp2() * 64.0,
-            SolverKind::Annealing if self.name.ends_with("-parallel") => {
-                // Restarts fan out across the machine; on a single-core host
-                // this degrades to the serial SA prior (ties then break by
-                // registration order, which lists serial SA first). The
-                // parallelism probe is a syscall on Linux, so cache it —
-                // prior_cost runs per eligible backend on every routing
-                // decision.
-                static HW_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-                let hw = *HW_THREADS.get_or_init(|| {
-                    std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
-                });
-                n * 400.0 / hw as f64
-            }
-            SolverKind::Annealing => n * 400.0,
-            SolverKind::Classical if self.name == "exact" => (n.min(40.0)).exp2(),
-            SolverKind::Classical if self.name == "random" => n * 4_000.0,
-            SolverKind::Classical => n * 600.0,
-        }
-    }
-}
-
 /// One backend: its capability snapshot plus the shared solver instance.
 pub struct RegisteredSolver {
     /// Capability metadata used for routing.
@@ -189,24 +151,9 @@ mod tests {
     }
 
     #[test]
-    fn parallel_sa_is_registered_with_competitive_prior() {
+    fn parallel_sa_is_registered() {
         let reg = SolverRegistry::standard();
         let par = reg.find("simulated-annealing-parallel").expect("parallel SA registered");
-        let sa = reg.find("simulated-annealing").unwrap();
-        // Never costlier than serial SA; strictly cheaper on multi-core.
-        for n in [32usize, 128, 1024] {
-            assert!(reg.get(par).spec.prior_cost(n) <= reg.get(sa).spec.prior_cost(n));
-        }
-    }
-
-    #[test]
-    fn priors_prefer_heuristics_at_scale() {
-        let reg = SolverRegistry::standard();
-        let sa = reg.get(reg.find("simulated-annealing").unwrap());
-        let exact = reg.get(reg.find("exact").unwrap());
-        // Small models: exact enumeration is cheap enough to win.
-        assert!(exact.spec.prior_cost(6) < sa.spec.prior_cost(6));
-        // Large models: exponential enumeration must lose.
-        assert!(exact.spec.prior_cost(25) > sa.spec.prior_cost(25));
+        assert_eq!(reg.get(par).spec.kind, SolverKind::Annealing);
     }
 }

@@ -19,8 +19,11 @@
 //!    now keeps one subqueue per [`crate::submit::Session`] and serves them
 //!    deficit-round-robin: each rotation grants a subqueue [`DRR_QUANTUM`]
 //!    credit, and serving a job spends credit equal to the job's cost (its
-//!    variable count), so a session submitting many or large jobs
-//!    interleaves fairly with light ones instead of walling them off. This
+//!    **predicted solve time in microseconds**, quoted by the calibrated
+//!    cost model — see [`crate::cost`]), so a session submitting many or
+//!    expensive jobs interleaves fairly with light ones instead of
+//!    walling them off: fairness meters seconds of backend time, not job
+//!    counts or raw variable counts. This
 //!    also subsumes the work-stealing item from the ROADMAP: an idle worker
 //!    pops from whichever session has queued work — there is no per-worker
 //!    queue to steal from in the first place.
@@ -43,8 +46,12 @@ use std::collections::VecDeque;
 /// Counted in pops — never wall-clock — so scheduling stays deterministic.
 pub const AGE_AFTER_POPS: u64 = 16;
 
-/// Credit (in units of job cost, i.e. variable count) a session's subqueue
-/// earns each time the deficit-round-robin rotation passes over it.
+/// Credit (in units of job cost — predicted microseconds of backend
+/// time) a session's subqueue earns each time the deficit-round-robin
+/// rotation passes over it. Costs far above the quantum are handled by
+/// the arithmetic stall-lap fast-forward in the DRR loop, so a small
+/// quantum keeps cheap-job interleaving tight without making expensive
+/// jobs slow to schedule.
 pub const DRR_QUANTUM: u64 = 16;
 
 /// Which queueing discipline the service runs.
@@ -63,41 +70,70 @@ pub enum SchedulerPolicy {
     StrictPriority,
 }
 
-/// The service queue under either [`SchedulerPolicy`].
-pub(crate) enum JobScheduler {
+/// The service queue under either [`SchedulerPolicy`], maintaining a
+/// running total of the queued jobs' predicted cost. Every enqueue path
+/// (submission, retry re-queue, migration, failover drain, recovery
+/// replay) funnels through [`JobScheduler::push`]/[`JobScheduler::pop`],
+/// so the backlog gauge survives cross-shard job movement without any
+/// caller-side bookkeeping.
+pub(crate) struct JobScheduler {
+    inner: SchedulerImpl,
+    /// Sum of queued jobs' [`QueuedJob::cost`] (predicted microseconds of
+    /// backend time): the estimated seconds of work sitting in this
+    /// queue, which load shedding and `retry_after_hint` are derived
+    /// from.
+    backlog_micros: u64,
+}
+
+enum SchedulerImpl {
     Fair(FairScheduler),
     Strict(StrictQueues),
 }
 
 impl JobScheduler {
     pub(crate) fn new(policy: SchedulerPolicy) -> Self {
-        match policy {
-            SchedulerPolicy::FairShare => Self::Fair(FairScheduler::new()),
-            SchedulerPolicy::StrictPriority => Self::Strict(StrictQueues::new()),
-        }
+        let inner = match policy {
+            SchedulerPolicy::FairShare => SchedulerImpl::Fair(FairScheduler::new()),
+            SchedulerPolicy::StrictPriority => SchedulerImpl::Strict(StrictQueues::new()),
+        };
+        Self { inner, backlog_micros: 0 }
     }
 
     pub(crate) fn push(&mut self, job: QueuedJob) {
-        match self {
-            Self::Fair(s) => s.push(job),
-            Self::Strict(s) => s.push(job),
+        self.backlog_micros = self.backlog_micros.saturating_add(job.cost);
+        match &mut self.inner {
+            SchedulerImpl::Fair(s) => s.push(job),
+            SchedulerImpl::Strict(s) => s.push(job),
         }
     }
 
     pub(crate) fn pop(&mut self) -> Option<QueuedJob> {
-        match self {
-            Self::Fair(s) => s.pop(),
-            Self::Strict(s) => s.pop(),
+        let job = match &mut self.inner {
+            SchedulerImpl::Fair(s) => s.pop(),
+            SchedulerImpl::Strict(s) => s.pop(),
+        };
+        if let Some(job) = &job {
+            self.backlog_micros = self.backlog_micros.saturating_sub(job.cost);
         }
+        job
     }
 
     /// Removes a queued job by id (for cancellation); `None` if a worker
     /// already picked it up or it never existed.
     pub(crate) fn remove(&mut self, id: u64) -> Option<QueuedJob> {
-        match self {
-            Self::Fair(s) => s.remove(id),
-            Self::Strict(s) => s.remove(id),
+        let job = match &mut self.inner {
+            SchedulerImpl::Fair(s) => s.remove(id),
+            SchedulerImpl::Strict(s) => s.remove(id),
+        };
+        if let Some(job) = &job {
+            self.backlog_micros = self.backlog_micros.saturating_sub(job.cost);
         }
+        job
+    }
+
+    /// Predicted microseconds of backend time currently queued.
+    pub(crate) fn backlog_micros(&self) -> u64 {
+        self.backlog_micros
     }
 }
 
@@ -492,6 +528,47 @@ mod tests {
         let ids = pop_ids(&mut sched);
         assert_eq!(ids[AGE_AFTER_POPS as usize], 2000, "order: {ids:?}");
         assert!(ids[..AGE_AFTER_POPS as usize].iter().all(|&id| id < 100));
+    }
+
+    #[test]
+    fn drr_meters_predicted_microseconds_so_a_cheap_session_is_never_walled_off() {
+        let mut sched = JobScheduler::new(SchedulerPolicy::FairShare);
+        let (heavy, light) = (session(1), session(2));
+        // Costs are predicted microseconds: three ~50ms jobs against ten
+        // ~0.5ms jobs. The currency is seconds of backend time, so the
+        // light session's whole queue drains before one heavy job has
+        // accrued the credit to run — few-expensive and many-cheap are
+        // throttled by the same meter.
+        for id in 0..3 {
+            sched.push(job(id, &heavy, JobPriority::Normal, 50_000));
+        }
+        for id in 100..110 {
+            sched.push(job(id, &light, JobPriority::Normal, 500));
+        }
+        let ids = pop_ids(&mut sched);
+        assert_eq!(&ids[..10], &(100..110).collect::<Vec<u64>>()[..], "order: {ids:?}");
+        assert_eq!(&ids[10..], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn backlog_tracks_pushes_pops_and_removals() {
+        let mut sched = JobScheduler::new(SchedulerPolicy::FairShare);
+        let s = session(0);
+        assert_eq!(sched.backlog_micros(), 0);
+        sched.push(job(0, &s, JobPriority::Normal, 1000));
+        sched.push(job(1, &s, JobPriority::Normal, 250));
+        assert_eq!(sched.backlog_micros(), 1250);
+        assert_eq!(sched.remove(1).map(|j| j.id), Some(1));
+        assert_eq!(sched.backlog_micros(), 1000);
+        assert!(sched.pop().is_some());
+        assert_eq!(sched.backlog_micros(), 0);
+        assert!(sched.pop().is_none());
+        // The strict policy meters the same backlog.
+        let mut strict = JobScheduler::new(SchedulerPolicy::StrictPriority);
+        strict.push(job(2, &s, JobPriority::High, 42));
+        assert_eq!(strict.backlog_micros(), 42);
+        assert!(strict.pop().is_some());
+        assert_eq!(strict.backlog_micros(), 0);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::cache::{
     ResultCache,
 };
 use crate::cluster::{Clock, MonotonicClock};
+use crate::cost::{analytic_seconds, CostShape, MIN_PREDICTED_SECONDS};
 use crate::fault::{FaultAction, FaultInjector, FaultSite, RetryPolicy};
 use crate::handle::{Completion, CompletionSlot, JobHandle};
 use crate::journal::{unfinished, Journal, JournalEvent, SolutionSnapshot, SubmittedRecord};
@@ -376,6 +377,51 @@ impl Shared {
     pub(crate) fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
     }
+
+    /// Predicted seconds of backend time `spec` will consume, quoted by
+    /// the calibrated cost model *before* the job is queued (so before
+    /// compilation — the estimate uses the default degree assumption of
+    /// [`CostShape::from_n_vars`]). This is the common currency the
+    /// decision plane meters: the DRR scheduler charges it as the job's
+    /// cost, the cluster's admission buckets drain by it, and queue
+    /// backlogs sum it.
+    ///
+    /// Pinned jobs quote their named backend; `Auto` quotes the cheapest
+    /// eligible backend (what routing will pick, modulo the quality
+    /// term); a `Race { k }` quotes the **sum** of its k cheapest
+    /// participants — a race consumes every lane it occupies, not just
+    /// the winner's. Unroutable specs quote the floor and are rejected at
+    /// routing instead.
+    pub(crate) fn predicted_seconds(&self, spec: &JobSpec) -> f64 {
+        let n_vars = spec.problem.n_vars();
+        let shape = CostShape::from_n_vars(n_vars);
+        let expected = |idx: usize| {
+            let capacity = self.breakers.as_ref().map_or(1.0, |b| b.capacity(idx));
+            self.portfolio.expected_seconds(&self.registry, idx, shape, capacity)
+        };
+        match &spec.backend {
+            BackendChoice::Named(name) => match self.registry.find(name) {
+                Some(idx) => expected(idx),
+                None => MIN_PREDICTED_SECONDS,
+            },
+            BackendChoice::Auto => self
+                .registry
+                .eligible(n_vars)
+                .into_iter()
+                .map(expected)
+                .min_by(f64::total_cmp)
+                .unwrap_or(MIN_PREDICTED_SECONDS),
+            BackendChoice::Race { k } => {
+                let mut costs: Vec<f64> =
+                    self.registry.eligible(n_vars).into_iter().map(expected).collect();
+                if costs.is_empty() {
+                    return MIN_PREDICTED_SECONDS;
+                }
+                costs.sort_by(f64::total_cmp);
+                costs.iter().take((*k).clamp(1, costs.len())).sum()
+            }
+        }
+    }
 }
 
 /// Service configuration.
@@ -583,9 +629,12 @@ impl SolverService {
 
     /// Snapshot of runtime counters, cache behavior, and backend usage,
     /// including the portfolio's per-backend EWMA latency/quality telemetry
-    /// (name-sorted, observed backends only) and trace-ring counters.
+    /// (name-sorted, observed backends only), the cost model's
+    /// predicted-seconds and estimation-error gauges, the predicted-seconds
+    /// queue backlog, and trace-ring counters.
     pub fn report(&self) -> RuntimeReport {
         let mut report = self.shared.metrics.report();
+        let calibration = self.shared.portfolio.cost_model().stats();
         let mut telemetry: Vec<BackendTelemetry> = self
             .shared
             .portfolio
@@ -600,10 +649,14 @@ impl SolverService {
                 ewma_quality: s.ewma_quality,
                 race_entries: s.race_entries,
                 race_wins: s.race_wins,
+                predicted_seconds: calibration[idx].ewma_predicted_seconds,
+                estimation_error_factor: calibration[idx].ewma_error_factor,
             })
             .collect();
         telemetry.sort_by(|a, b| a.backend.cmp(&b.backend));
         report.backend_telemetry = telemetry;
+        report.queue_backlog_seconds =
+            self.shared.queue.lock_unpoisoned().backlog_micros() as f64 / 1e6;
         if let Some(ring) = &self.shared.ring {
             report.traces_recorded = ring.recorded();
             report.traces_dropped = ring.dropped();
@@ -832,6 +885,7 @@ fn run_job(shared: &Shared, mut job: QueuedJob) {
                     start_ns: backoff_start_ns,
                     end_ns: shared.now_ns(),
                     stats: StageStats::default(),
+                    predicted_seconds: None,
                 });
             }
             (trace, ctx, attempt)
@@ -854,6 +908,7 @@ fn run_job(shared: &Shared, mut job: QueuedJob) {
                     start_ns: job.queued_ns,
                     end_ns: shared.now_ns(),
                     stats: StageStats::default(),
+                    predicted_seconds: None,
                 }],
             });
             if job.recovered {
@@ -865,6 +920,7 @@ fn run_job(shared: &Shared, mut job: QueuedJob) {
                         start_ns: job.queued_ns,
                         end_ns: job.queued_ns,
                         stats: StageStats::default(),
+                        predicted_seconds: None,
                     });
                 }
             }
@@ -909,10 +965,14 @@ fn run_job(shared: &Shared, mut job: QueuedJob) {
             // context accounted; an unwound attempt never got there, so
             // every backend it dispatched is charged here.
             if !ctx.accounted {
-                if let Some(breakers) = &shared.breakers {
-                    for &idx in &ctx.attempted {
+                for &idx in &ctx.attempted {
+                    if let Some(breakers) = &shared.breakers {
                         breakers.on_failure(idx, &shared.metrics);
                     }
+                    // The cost model prices unreliability the same way:
+                    // every backend the unwound attempt dispatched gets a
+                    // failure against its success rate.
+                    shared.portfolio.record_failure(idx);
                 }
             }
             // The next attempt routes around everything this one tried.
@@ -934,6 +994,7 @@ fn run_job(shared: &Shared, mut job: QueuedJob) {
                         start_ns: backoff_start_ns,
                         end_ns: shared.now_ns(),
                         stats: StageStats::default(),
+                        predicted_seconds: None,
                     });
                 }
                 continue;
@@ -1233,6 +1294,7 @@ fn process(
                                 start_ns: park_start_ns,
                                 end_ns: shared.now_ns(),
                                 stats: StageStats::default(),
+                                predicted_seconds: None,
                             });
                         }
                         return Ok(result);
@@ -1295,6 +1357,7 @@ fn process_routed(
                 start_ns: serve_start_ns,
                 end_ns: shared.now_ns(),
                 stats: StageStats::default(),
+                predicted_seconds: None,
             });
         }
         return Ok(result);
@@ -1324,6 +1387,7 @@ fn process_routed(
                                 start_ns: park_start_ns,
                                 end_ns: shared.now_ns(),
                                 stats: StageStats::default(),
+                                predicted_seconds: None,
                             });
                         }
                         return Ok(result);
@@ -1399,6 +1463,7 @@ fn lead(
             start_ns: compile_start_ns,
             end_ns: shared.now_ns(),
             stats: StageStats::default(),
+            predicted_seconds: None,
         });
     }
     let key = CacheKey::new(spec.problem.name(), canonical_fp, &spec.options, spec.seed, requested);
@@ -1414,6 +1479,7 @@ fn lead(
                 start_ns: serve_start_ns,
                 end_ns: shared.now_ns(),
                 stats: StageStats::default(),
+                predicted_seconds: None,
             });
         }
         lease.publish(Ok(FlightOutput { cached, compiled, perm }));
@@ -1443,6 +1509,7 @@ fn lead(
                         start_ns: park_start_ns,
                         end_ns: shared.now_ns(),
                         stats: StageStats::default(),
+                        predicted_seconds: None,
                     });
                 }
                 // Publish through to this flight's own exact followers with
@@ -1470,10 +1537,30 @@ fn lead(
     // job and backends whose circuit breaker is open (the check also
     // half-opens breakers whose cooldown elapsed, making this routing the
     // probe). Pinned jobs keep their backend — a pin is an instruction, not
-    // a preference.
+    // a preference. Ranking is priced in expected seconds on the compiled
+    // model's *measured* coupling degree — this is the one decision point
+    // that runs after compilation, so it gets the real shape instead of
+    // the default degree assumption — and half-open breakers surviving the
+    // exclusion are priced up via the capacity discount rather than
+    // treated as fully healthy.
+    let shape = CostShape::with_degree(n_vars, compiled.avg_degree());
     let excluded = |idx: usize| {
         ctx.excluded.contains(&idx)
             || shared.breakers.as_ref().is_some_and(|b| b.is_open(idx, &shared.metrics))
+    };
+    let capacity = |idx: usize| shared.breakers.as_ref().map_or(1.0, |b| b.capacity(idx));
+    // A half-open breaker is an explicit probe request: the backend's
+    // recent failures already price it far down the ranking (success-rate
+    // and capacity penalties), so left to expected seconds alone the probe
+    // would never dispatch and the breaker never resolve. Promote half-open
+    // backends to the front (stable within each group, so the cost order
+    // is otherwise preserved) — the probe's outcome closes or re-opens the
+    // breaker.
+    let probe_first = |mut ranked: Vec<usize>| -> Vec<usize> {
+        if let Some(b) = shared.breakers.as_ref() {
+            ranked.sort_by_key(|&idx| !b.is_half_open(idx));
+        }
+        ranked
     };
     let routed: Result<Vec<usize>, JobError> = match &spec.backend {
         BackendChoice::Named(name) => match shared.registry.find(name) {
@@ -1488,13 +1575,24 @@ fn lead(
             }
         },
         BackendChoice::Auto => {
-            match shared.portfolio.rank_filtered(&shared.registry, n_vars, excluded).first() {
+            let ranked = probe_first(shared.portfolio.rank_costed(
+                &shared.registry,
+                shape,
+                excluded,
+                capacity,
+            ));
+            match ranked.first() {
                 Some(&idx) => Ok(vec![idx]),
                 None => Err(JobError::NoEligibleBackend { n_vars }),
             }
         }
         BackendChoice::Race { k } => {
-            let ranked = shared.portfolio.rank_filtered(&shared.registry, n_vars, excluded);
+            let ranked = probe_first(shared.portfolio.rank_costed(
+                &shared.registry,
+                shape,
+                excluded,
+                capacity,
+            ));
             if ranked.is_empty() {
                 Err(JobError::NoEligibleBackend { n_vars })
             } else {
@@ -1518,6 +1616,16 @@ fn lead(
     // a participant unwinds straight past this function, and the worker
     // loop charges exactly these indices to the circuit breakers.
     ctx.attempted = participants.clone();
+    // Quote each participant *now*, before any of them runs: the trace
+    // records the prediction the router actually acted on, not one
+    // recomputed after this very job's observation moved the calibration.
+    let predicted: Vec<f64> = participants
+        .iter()
+        .map(|&idx| {
+            let analytic = analytic_seconds(&shared.registry.get(idx).spec, shape);
+            shared.portfolio.cost_model().predict_seconds(idx, analytic)
+        })
+        .collect();
     // One compile served the fingerprint stage plus every participant;
     // under the old compile-per-stage scheme each would have compiled.
     if let Some(compile_seconds) = compile_seconds {
@@ -1543,6 +1651,7 @@ fn lead(
                 start_ns: presolve_start_ns,
                 end_ns: shared.now_ns(),
                 stats: profile.snapshot(),
+                predicted_seconds: None,
             });
         }
         prepared
@@ -1624,10 +1733,14 @@ fn lead(
             Err(_) => {
                 // An injected per-backend failure is attributed here, where
                 // the backend is known; the panic path attributes in the
-                // worker loop instead (see `AttemptCtx::accounted`).
+                // worker loop instead (see `AttemptCtx::accounted`). The
+                // cost model learns the failure too, so an unreliable
+                // backend's *expected* seconds rise even while its latency
+                // EWMA has no new sample.
                 if let Some(breakers) = &shared.breakers {
                     breakers.on_failure(idx, &shared.metrics);
                 }
+                shared.portfolio.record_failure(idx);
                 continue;
             }
         };
@@ -1636,7 +1749,9 @@ fn lead(
         }
         let won = Some(slot) == winner;
         shared.portfolio.record(
+            &shared.registry,
             idx,
+            shape,
             run.seconds,
             energy_quality(run.report.energy, naive_lower_bound),
             run.report.decoded.feasible,
@@ -1661,6 +1776,7 @@ fn lead(
                 start_ns: run.start_ns,
                 end_ns: run.end_ns,
                 stats: run.stats,
+                predicted_seconds: Some(predicted[slot]),
             });
         }
     }

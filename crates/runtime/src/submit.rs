@@ -55,12 +55,15 @@ pub enum SubmitError {
     /// The session's bounded queue is full; the spec is handed back so the
     /// caller can retry, reroute, or shed the work.
     QueueFull(JobSpec),
-    /// The cluster shed the job: the tenant's token bucket was empty or the
-    /// target shard's queue depth crossed the shedding watermark
+    /// The cluster shed the job: the tenant's token bucket lacked the
+    /// predicted seconds the job would consume, or the target shard's
+    /// queue crossed the shedding watermark
     /// ([`crate::cluster::ClusterSession::submit`]). The spec is handed
-    /// back, with a hint for how long to back off before retrying (how long
-    /// until the bucket refills one token, or the shard's configured
-    /// drain-retry interval).
+    /// back, with a hint for how long to back off before retrying — how
+    /// long until the bucket refills enough seconds for this job, or how
+    /// long the shard's estimated backlog (in predicted seconds of queued
+    /// work, floored at the configured drain-retry interval) needs to
+    /// drain.
     Overloaded {
         /// Suggested backoff before resubmitting.
         retry_after_hint: Duration,
@@ -384,10 +387,13 @@ pub(crate) fn enqueue_reserved(
         }
     }
     let slot = Arc::new(CompletionSlot::new());
-    // The job's deficit-round-robin cost: its variable count, so a
-    // session submitting big models spends its scheduling credit faster
-    // than one submitting small ones.
-    let cost = spec.problem.n_vars().max(1) as u64;
+    // The job's deficit-round-robin cost: the cost model's prediction of
+    // how many *microseconds of backend time* it will consume, so a
+    // session submitting expensive models spends its scheduling credit
+    // faster than one submitting cheap ones — fairness is metered in
+    // seconds, not jobs or variable counts. Floored at one microsecond so
+    // even a trivially cheap job charges something.
+    let cost = (shared.predicted_seconds(&spec) * 1e6).clamp(1.0, u64::MAX as f64) as u64;
     {
         let mut queue = shared.queue.lock_unpoisoned();
         queue.push(QueuedJob {

@@ -116,6 +116,11 @@ pub struct Span {
     pub end_ns: u64,
     /// Backend-internal counters collected during the span.
     pub stats: StageStats,
+    /// The cost model's latency prediction for this span, in seconds, as
+    /// quoted when the router dispatched the attempt — `Some` only on
+    /// [`Stage::Solve`] spans. Comparing it against the span's measured
+    /// duration is how calibration error is audited per job.
+    pub predicted_seconds: Option<f64>,
 }
 
 impl Span {
@@ -385,6 +390,7 @@ mod tests {
                 start_ns: job_id * 10,
                 end_ns: job_id * 10 + 5,
                 stats: StageStats::default(),
+                predicted_seconds: None,
             }],
         }
     }

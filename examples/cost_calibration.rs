@@ -1,0 +1,76 @@
+//! Calibration probe for the runtime cost model: measures actual solve
+//! seconds against [`qdm::prelude::analytic_seconds`] for every backend
+//! across a sweep of problem sizes, printing the actual/analytic ratio.
+//!
+//! Run it in release mode (`cargo run --release --example
+//! cost_calibration`) when retuning the per-state constants in
+//! `qdm_runtime::cost` (`EXACT_STATE_SECONDS`, `GATE_STATE_SECONDS`, …):
+//! a healthy constant keeps the ratio near 1 at large `n`, where per-state
+//! work dominates dispatch overhead. Debug builds run the solvers several
+//! times slower uniformly — that common-mode factor is exactly what the
+//! routing channel's fleet-relative quantization cancels, so only release
+//! numbers should feed the constants.
+
+use qdm::prelude::*;
+use std::sync::Arc;
+
+struct Pick(usize);
+impl DmProblem for Pick {
+    fn name(&self) -> String {
+        format!("pick-{}", self.0)
+    }
+    fn n_vars(&self) -> usize {
+        self.0
+    }
+    fn to_qubo(&self) -> QuboModel {
+        let mut q = QuboModel::new(self.0);
+        for i in 0..self.0 {
+            q.add_linear(i, ((i * 7) % 5) as f64 + 1.0);
+        }
+        let vars: Vec<usize> = (0..self.0).collect();
+        penalty::exactly_one(&mut q, &vars, 50.0);
+        q
+    }
+    fn decode(&self, _bits: &[bool]) -> Decoded {
+        Decoded { feasible: true, objective: 0.0, summary: String::new() }
+    }
+}
+
+fn main() {
+    let backends = [
+        "exact",
+        "simulated-annealing",
+        "parallel-tempering-sa",
+        "tabu-search",
+        "random-sampling",
+        "adiabatic-evolution",
+    ];
+    let reg = SolverRegistry::standard();
+    for n in [3usize, 6, 10, 14, 18, 22] {
+        for name in backends {
+            let Some(idx) = reg.find(name) else { continue };
+            if reg.get(idx).spec.max_vars < n {
+                continue;
+            }
+            let service = SolverService::new(ServiceConfig {
+                workers: 1,
+                cache_capacity: 4,
+                ..Default::default()
+            });
+            let mut total = 0.0;
+            let reps = 5;
+            for seed in 0..reps {
+                let spec = JobSpec::new(Arc::new(Pick(n)), seed).on_backend(name);
+                let out = service.run(spec).expect("solve");
+                total += out.report.seconds;
+            }
+            let actual = total / reps as f64;
+            let shape = CostShape::from_n_vars(n);
+            let analytic = analytic_seconds(&reg.get(idx).spec, shape);
+            println!(
+                "n={n:2} {name:22} actual={actual:>12.3e} analytic={analytic:>12.3e} ratio={:>10.2}",
+                actual / analytic
+            );
+        }
+    }
+}

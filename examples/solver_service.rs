@@ -278,12 +278,32 @@ fn main() {
     // shard), tenant "burst" is throttled by a token bucket while tenant
     // "steady" runs unlimited, and the merged report sums every shard's
     // ledger.
-    println!("\ncluster: 4 shards, tenant 'burst' capped at 4 jobs of burst...");
+    // Admission buckets are denominated in *predicted seconds* of backend
+    // time (the cost model's quote per job), not jobs: budget the 'burst'
+    // tenant well below what its 12-job burst will be charged, quoting
+    // the jobs the same way admission will (cheapest eligible backend's
+    // analytic estimate — the cold-calibration quote).
+    let quote_registry = SolverRegistry::standard();
+    let quote = |p: &SharedProblem| {
+        let n = p.n_vars();
+        quote_registry
+            .eligible(n)
+            .into_iter()
+            .map(|i| analytic_seconds(&quote_registry.get(i).spec, CostShape::from_n_vars(n)))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let burst_budget = problems.iter().cycle().take(12).map(|(_, p)| quote(p)).sum::<f64>() / 8.0;
+    println!(
+        "\ncluster: 4 shards, tenant 'burst' capped at {:.1} µs of predicted backend time...",
+        burst_budget * 1e6
+    );
     let cluster = ClusterService::new(ClusterConfig {
         shards: 4,
         service: ServiceConfig { workers: 1, cache_capacity: 256, ..Default::default() },
-        admission: AdmissionConfig::default()
-            .with_tenant("burst", TokenBucketConfig { capacity: 4.0, refill_per_second: 0.5 }),
+        admission: AdmissionConfig::default().with_tenant(
+            "burst",
+            TokenBucketConfig { capacity: burst_budget, refill_per_second: burst_budget / 8.0 },
+        ),
         ..Default::default()
     });
 
@@ -312,10 +332,14 @@ fn main() {
     }
     println!(
         "  tenant 'burst': {admitted} admitted, {shed} shed (first retry hint: {:?})",
-        first_hint.expect("a 12-job burst against a 4-token bucket must shed")
+        first_hint.expect("a 12-job burst against a fractional-burst budget must shed")
     );
-    assert!(admitted >= 4, "the burst tenant's bucket admits at least its burst capacity");
-    assert!(shed >= 1, "a 12-job burst against a 4-token bucket must shed");
+    // An oversized first job clamps its charge to the bucket capacity, so
+    // at least one job is always admitted; the budget is an eighth of the
+    // burst's total quote, so even a 4x-miscalibrated-cheap fleet still
+    // overdraws it.
+    assert!(admitted >= 1, "a full bucket always admits its first job");
+    assert!(shed >= 1, "a 12-job burst against an eighth of its predicted cost must shed");
 
     for handle in &steady_handles {
         assert!(handle.wait().is_ok(), "throttling one tenant never fails another's jobs");
@@ -354,7 +378,11 @@ fn main() {
     // A scripted fault plan kills the `exact` backend for good and panics
     // one presolve; retries with jittered backoff re-route every job to the
     // next-ranked backend and the circuit breaker stops re-probing the dead
-    // one after two consecutive failures. Every job still resolves.
+    // one after its first failure. (The cost model already prices the
+    // failure in — expected cost is divided by the observed success rate —
+    // so routing stops *choosing* the dead backend after one failure; a
+    // threshold-1 breaker turns that soft demotion into a hard exclusion.)
+    // Every job still resolves.
     println!("\nchaos: 'exact' backend down, one presolve panic, retries + breaker armed...");
     let plan: Arc<dyn FaultInjector> = Arc::new(
         FaultPlan::new()
@@ -379,7 +407,7 @@ fn main() {
             backoff_cap: Duration::from_millis(2),
         },
         breaker: Some(BreakerConfig {
-            failure_threshold: 2,
+            failure_threshold: 1,
             cooldown: Duration::from_secs(60),
             ..Default::default()
         }),
@@ -403,7 +431,7 @@ fn main() {
     );
     let chaos_report = chaotic.report();
     assert!(chaos_report.jobs_retried >= 1, "the dead backend must have cost at least one retry");
-    assert!(chaos_report.breaker_opened >= 1, "two consecutive failures must trip the breaker");
+    assert!(chaos_report.breaker_opened >= 1, "the first failure must trip the breaker");
     assert_eq!(chaos_report.deadlines_exceeded, 1, "exactly one deadline miss was provoked");
     println!(
         "  survived: {} completed, {} retries paid ({} exhausted), breaker opened {}x, \

@@ -80,29 +80,49 @@ fn four_shard_results_are_bit_identical_to_single_shard() {
 
 #[test]
 fn shed_then_retry_resubmits_the_recovered_spec() {
+    // Buckets are denominated in predicted seconds, so capacity and refill
+    // are expressed in units of one job's cold cost-model quote — read off
+    // the same public estimator the cluster charges with. The gate parks
+    // the first admitted job in decode, so no solve observation
+    // recalibrates the quote while the test is still submitting.
+    let reg = SolverRegistry::standard();
+    let sa = reg.find("simulated-annealing").expect("SA registered");
+    let unit = analytic_seconds(&reg.get(sa).spec, CostShape::from_n_vars(4));
+    let capacity = 2.5 * unit;
+    let refill = 4.0 * unit;
+    let gate = Arc::new(Gate::default());
     let clock = Arc::new(ManualClock::new(0));
     let cluster = ClusterService::new(ClusterConfig {
         shards: 2,
         service: ServiceConfig { workers: 1, cache_capacity: 16, ..Default::default() },
         admission: AdmissionConfig::default()
-            .with_tenant("burst", TokenBucketConfig { capacity: 2.0, refill_per_second: 4.0 }),
+            .with_tenant("burst", TokenBucketConfig { capacity, refill_per_second: refill }),
         clock: Some(clock.clone()),
         ..Default::default()
     });
     let session = cluster.session("burst", SessionConfig::default());
+    let spec = |seed| {
+        let problem =
+            Arc::new(GatedPick { costs: vec![2.5, 0.5, 1.5, 3.5], gate: Arc::clone(&gate) });
+        JobSpec::new(problem, seed).on_backend("simulated-annealing")
+    };
 
-    let a = session.submit(JobSpec::new(mqo(1), 1).with_options(repair())).expect("token 1");
-    let b = session.submit(JobSpec::new(mqo(2), 2).with_options(repair())).expect("token 2");
-    let err = session.submit(JobSpec::new(mqo(3), 3).with_options(repair())).unwrap_err();
+    let a = session.submit(spec(1)).expect("burst covers job 1");
+    let b = session.submit(spec(2)).expect("burst covers job 2");
+    let err = session.submit(spec(3)).unwrap_err();
     let hint = err.retry_after_hint().expect("overloaded carries a retry hint");
-    // Empty bucket at 4 tokens/s: a quarter second to the next token.
-    assert_eq!(hint, Duration::from_millis(250));
+    // The hint covers *this job's* deficit, replicated here with the
+    // bucket's own arithmetic: 0.5 units short at 4 units/s ≈ 125ms.
+    let remaining = capacity - unit - unit;
+    assert_eq!(hint, Duration::from_secs_f64((unit - remaining) / refill));
 
-    // No sleeping: advance the injected clock by the hint and resubmit the
-    // spec recovered from the error.
-    clock.advance(hint.as_micros() as u64);
+    // No sleeping: advance the injected clock past the hint (one extra
+    // microsecond absorbs the hint's sub-microsecond truncation) and
+    // resubmit the spec recovered from the error.
+    clock.advance(hint.as_micros() as u64 + 1);
     let c = session.submit(err.into_spec()).expect("bucket refilled");
 
+    gate.open();
     for handle in [&a, &b, &c] {
         assert!(handle.wait().is_ok());
     }
@@ -221,6 +241,85 @@ fn migration_never_loses_or_duplicates_a_job() {
         per_shard.iter().all(|r| r.jobs_completed >= 1),
         "both shards should execute part of the backlog: {per_shard:?}"
     );
+}
+
+#[test]
+fn admission_meters_predicted_seconds_not_job_count() {
+    // Two tenants with *identical* seconds budgets and a frozen clock (no
+    // refill): one submits big 64-variable jobs, the other a flood of
+    // 4-variable jobs. If admission metered job count they would be cut
+    // off at the same number of jobs; metering predicted seconds cuts
+    // both off within one job's cost of the same work budget. The gate
+    // wedges the single worker in decode so every quote in the test is
+    // the frozen cold calibration.
+    let reg = SolverRegistry::standard();
+    let sa = reg.find("simulated-annealing").expect("SA registered");
+    let heavy_unit = analytic_seconds(&reg.get(sa).spec, CostShape::from_n_vars(64));
+    let cheap_unit = analytic_seconds(&reg.get(sa).spec, CostShape::from_n_vars(4));
+    let capacity = 2.5 * heavy_unit;
+    let gate = Arc::new(Gate::default());
+    let clock = Arc::new(ManualClock::new(0));
+    let cluster = ClusterService::new(ClusterConfig {
+        shards: 1,
+        service: ServiceConfig { workers: 1, cache_capacity: 512, ..Default::default() },
+        admission: AdmissionConfig::default()
+            .with_default_bucket(TokenBucketConfig { capacity, refill_per_second: 0.0 }),
+        clock: Some(clock.clone()),
+        ..Default::default()
+    });
+
+    let heavy = cluster.session("heavy", SessionConfig::default());
+    let heavy_spec = |seed| {
+        let problem = Arc::new(GatedPick {
+            costs: (0..64).map(|i| (i % 5) as f64 + 0.5).collect(),
+            gate: Arc::clone(&gate),
+        });
+        JobSpec::new(problem, seed).on_backend("simulated-annealing")
+    };
+    let h1 = heavy.submit(heavy_spec(1)).expect("first heavy job fits the burst");
+    let h2 = heavy.submit(heavy_spec(2)).expect("second heavy job fits the burst");
+    assert!(heavy.submit(heavy_spec(3)).is_err(), "2.5 units of burst cannot cover a third");
+
+    // Replicate the bucket's own draining arithmetic (sequential
+    // subtraction, same f64 ops) to learn how many cheap jobs the
+    // identical budget covers, instead of hardcoding estimator constants.
+    let mut tokens = capacity;
+    let mut fits = 0u64;
+    while tokens >= cheap_unit {
+        tokens -= cheap_unit;
+        fits += 1;
+    }
+    assert!(fits > 50, "many cheap jobs should fit where two heavy ones did: {fits}");
+
+    let bulk = cluster.session("bulk", SessionConfig { queue_capacity: 256, ..Default::default() });
+    let bulk_spec = |seed| {
+        let problem =
+            Arc::new(GatedPick { costs: vec![2.5, 0.5, 1.5, 3.5], gate: Arc::clone(&gate) });
+        JobSpec::new(problem, seed).on_backend("simulated-annealing")
+    };
+    let mut bulk_handles = Vec::new();
+    for seed in 0..fits {
+        bulk_handles.push(bulk.submit(bulk_spec(seed)).expect("within the seconds budget"));
+    }
+    assert!(bulk.submit(bulk_spec(fits)).is_err(), "the budget is seconds, not a job count");
+
+    // Both tenants were stopped within one of their own jobs of the SAME
+    // seconds budget — comparable throttling despite a 50×+ job-count gap.
+    assert!(2.0 * heavy_unit <= capacity && 3.0 * heavy_unit > capacity);
+    assert!(fits as f64 * cheap_unit <= capacity && (fits + 1) as f64 * cheap_unit > capacity);
+
+    gate.open();
+    assert!(h1.wait().is_ok());
+    assert!(h2.wait().is_ok());
+    for handle in &bulk_handles {
+        assert!(handle.wait().is_ok());
+    }
+    heavy.drain();
+    bulk.drain();
+    let report = cluster.report();
+    assert_eq!(report.jobs_shed, 2, "one refusal per tenant");
+    assert_eq!(report.jobs_admitted, 2 + fits);
+    assert_eq!(report.jobs_completed, 2 + fits);
 }
 
 #[test]
